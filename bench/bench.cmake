@@ -1,0 +1,24 @@
+# Bench binaries land directly in ${CMAKE_BINARY_DIR}/bench so that
+# `for b in build/bench/*; do $b; done` runs every experiment.
+function(flsa_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE flsa::flsa flsa_benchlib
+                        benchmark::benchmark flsa_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+flsa_add_bench(bench_e1_worked_example)
+flsa_add_bench(bench_e2_workloads)
+flsa_add_bench(bench_e3_sequential_time)
+flsa_add_bench(bench_e4_k_sweep)
+flsa_add_bench(bench_e5_space)
+flsa_add_bench(bench_e6_speedup)
+flsa_add_bench(bench_e7_efficiency)
+flsa_add_bench(bench_e8_parallel_k)
+flsa_add_bench(bench_e9_model_check)
+flsa_add_bench(bench_e10_cache)
+flsa_add_bench(bench_e11_sched_ablation)
+flsa_add_bench(bench_e12_realthreads)
+flsa_add_bench(bench_e13_affine_extension)
+flsa_add_bench(bench_e14_search_scaling)

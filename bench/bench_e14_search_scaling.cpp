@@ -1,0 +1,69 @@
+// E14 — extension experiment: seed-and-extend search vs full
+// Smith-Waterman across subject sizes.
+//
+// The DP aligners are O(m*n); the search pipeline (k-mer seeds + X-drop +
+// windowed local alignment) touches only seed neighbourhoods, so its cost
+// grows ~linearly in the subject. Both must report the same top hit score
+// (the planted gene).
+#include <iostream>
+
+#include "benchlib/runner.hpp"
+#include "flsa/flsa.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  std::cout << "=== E14: seed-and-extend vs full Smith-Waterman ===\n\n";
+  flsa::Xoshiro256 rng(41);
+  const flsa::Alphabet& dna = flsa::Alphabet::dna();
+  const flsa::Sequence gene = flsa::random_sequence(dna, 200, rng, "gene");
+  flsa::MutationModel drift;
+  drift.substitution_rate = 0.05;
+  const flsa::SubstitutionMatrix matrix = flsa::scoring::dna();
+  const flsa::ScoringScheme scheme(matrix, -10);
+
+  flsa::Table table({"subject bp", "SW ms", "index ms", "search ms",
+                     "speedup", "scores agree"});
+  for (std::size_t chr_len : {20000u, 50000u, 100000u, 200000u}) {
+    const flsa::Sequence copy = flsa::mutate(gene, drift, rng);
+    std::string chromosome =
+        flsa::random_sequence(dna, chr_len, rng).to_string();
+    chromosome.replace(chr_len / 2, copy.size(), copy.to_string());
+    const flsa::Sequence subject(dna, chromosome, "chr");
+
+    flsa::Score sw_score = 0;
+    const flsa::Summary sw = flsa::bench::time_runs(
+        [&] {
+          sw_score =
+              flsa::local_align_full_matrix(gene, subject, scheme).score;
+        },
+        /*reps=*/3, /*warmup=*/0);
+
+    flsa::Timer index_timer;
+    const flsa::search::KmerIndex index(subject, 10);
+    const double index_ms = index_timer.millis();
+    flsa::Score seed_score = 0;
+    flsa::search::SearchParams params;
+    params.k = 10;
+    const flsa::Summary seed = flsa::bench::time_runs(
+        [&] {
+          const auto hits =
+              flsa::search::seed_and_extend(gene, index, scheme, params);
+          seed_score = hits.empty() ? 0 : hits[0].alignment.score;
+        },
+        /*reps=*/3, /*warmup=*/0);
+
+    table.add_row(
+        {std::to_string(chr_len), flsa::Table::num(sw.median * 1e3),
+         flsa::Table::num(index_ms), flsa::Table::num(seed.median * 1e3),
+         flsa::Table::num(sw.median / seed.median, 1),
+         sw_score == seed_score ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: SW time grows linearly with the subject"
+               " (quadratic in total\nwork); search time stays roughly"
+               " flat, so the speedup grows with subject size —\nthe"
+               " standard seed-and-extend payoff, here built on the"
+               " library's own aligners.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E3 — sequential comparison: FM vs Hirschberg vs FastLSA across sizes
+// (the paper's headline sequential experiment).
+//
+// Expected shape (paper Sections 1 and 4): FastLSA is always as fast or
+// faster than both baselines — it does ~1.0-1.5x m*n operations (vs
+// Hirschberg's ~2x) and, unlike FM, works out of a cache-sized buffer.
+#include <iostream>
+
+#include "benchlib/results.hpp"
+#include "benchlib/runner.hpp"
+#include "benchlib/workloads.hpp"
+#include "flsa/flsa.hpp"
+#include "support/table.hpp"
+
+int main() {
+  std::cout << "=== E3: sequential time, FM vs Hirschberg vs FastLSA ===\n\n";
+  flsa::Table table({"pair", "algorithm", "time ms", "cells (x m*n)",
+                     "throughput"});
+  flsa::bench::CsvSink csv("e3_sequential_time",
+                           {"pair", "algorithm", "time_ms", "cells_factor"});
+  for (const flsa::bench::Workload& w : flsa::bench::standard_suite(8000)) {
+    const flsa::SequencePair pair = w.make();
+    const flsa::ScoringScheme& scheme = w.scheme();
+    const double mn = static_cast<double>(pair.a.size()) *
+                      static_cast<double>(pair.b.size());
+
+    struct Run {
+      const char* name;
+      std::function<flsa::DpCounters()> fn;
+    };
+    flsa::FastLsaOptions fl;
+    fl.k = 8;
+    fl.base_case_cells = 1u << 18;  // ~1 MiB of Score: cache-resident
+    flsa::HirschbergOptions hb;
+    hb.base_case_cells = 1u << 18;
+    const Run runs[] = {
+        {"full-matrix",
+         [&] {
+           flsa::DpCounters c;
+           flsa::full_matrix_align(pair.a, pair.b, scheme, &c);
+           return c;
+         }},
+        {"hirschberg",
+         [&] {
+           flsa::DpCounters c;
+           flsa::hirschberg_align(pair.a, pair.b, scheme, hb, &c);
+           return c;
+         }},
+        {"fastlsa",
+         [&] {
+           flsa::FastLsaStats stats;
+           flsa::fastlsa_align(pair.a, pair.b, scheme, fl, &stats);
+           return stats.counters;
+         }},
+    };
+    for (const Run& run : runs) {
+      flsa::DpCounters counters;
+      const flsa::Summary timing = flsa::bench::time_runs(
+          [&] { counters = run.fn(); }, /*reps=*/3, /*warmup=*/1);
+      const double cells = static_cast<double>(counters.total_cells());
+      table.add_row({w.name, run.name,
+                     flsa::Table::num(timing.median * 1e3),
+                     flsa::Table::num(cells / mn),
+                     flsa::bench::throughput(cells, timing.median)});
+      csv.row({w.name, run.name, flsa::Table::num(timing.median * 1e3),
+               flsa::Table::num(cells / mn, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape: fastlsa <= full-matrix <= hirschberg in time;\n"
+         "cell factors ~1.0-1.2 (fastlsa), 1.0 (FM), ~2.0 (hirschberg).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Local alignment in linear space: plant a shared motif inside two
+// otherwise unrelated DNA sequences and recover it with the linear-space
+// Smith-Waterman built on FastLSA.
+//
+//   ./examples/local_search --length 5000 --motif 200
+#include <iostream>
+
+#include "flsa/flsa.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  flsa::CliParser cli("Linear-space local alignment demonstration");
+  cli.add_int("length", 5000, "host sequence length");
+  cli.add_int("motif", 200, "planted motif length");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto length = static_cast<std::size_t>(cli.get_int("length"));
+    const auto motif_len = static_cast<std::size_t>(cli.get_int("motif"));
+
+    flsa::Xoshiro256 rng(21);
+    const flsa::Alphabet& dna = flsa::Alphabet::dna();
+    const flsa::Sequence motif =
+        flsa::random_sequence(dna, motif_len, rng, "motif");
+    // Two hosts with the motif planted at different offsets, lightly
+    // mutated in the second.
+    flsa::MutationModel light;
+    light.substitution_rate = 0.03;
+    light.insertion_rate = 0.005;
+    light.deletion_rate = 0.005;
+    const flsa::Sequence motif2 = flsa::mutate(motif, light, rng);
+
+    auto plant = [&](const flsa::Sequence& m, std::size_t at) {
+      const flsa::Sequence host =
+          flsa::random_sequence(dna, length, rng, "host");
+      std::string s = host.to_string();
+      s.replace(at, m.size(), m.to_string());
+      return flsa::Sequence(dna, s, "planted");
+    };
+    const flsa::Sequence a = plant(motif, length / 4);
+    const flsa::Sequence b = plant(motif2, length / 2);
+
+    const flsa::SubstitutionMatrix matrix = flsa::scoring::dna();
+    const flsa::ScoringScheme scheme(matrix, -10);
+
+    flsa::FastLsaStats stats;
+    const flsa::Alignment aln = flsa::local_align(a, b, scheme, {}, &stats);
+
+    std::cout << "planted motif of " << motif_len << " bp at offsets "
+              << length / 4 << " and " << length / 2 << "\n"
+              << "local alignment found: a[" << aln.a_begin << ", "
+              << aln.a_end << ") x b[" << aln.b_begin << ", " << aln.b_end
+              << ")\n"
+              << "score    : " << aln.score << "\n"
+              << "identity : " << 100.0 * aln.identity() << "%\n"
+              << "cells    : " << stats.counters.total_cells() << " (vs "
+              << a.size() * b.size() << " full-matrix Smith-Waterman)\n";
+    const bool found = aln.a_begin >= length / 4 - 5 &&
+                       aln.a_end <= length / 4 + motif_len + 5;
+    std::cout << (found ? "motif recovered at the planted location\n"
+                        : "warning: recovered region differs\n");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Demonstrates the paper's central claim: FastLSA *adapts* to available
+// memory, trading recomputation for space. Aligns the same pair under a
+// ladder of memory budgets and reports work and peak memory for each.
+//
+//   ./examples/memory_budget --length 4000
+#include <iostream>
+
+#include "flsa/flsa.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  flsa::CliParser cli("FastLSA memory-adaptivity demonstration");
+  cli.add_int("length", 4000, "sequence length");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto length = static_cast<std::size_t>(cli.get_int("length"));
+
+    flsa::Xoshiro256 rng(7);
+    flsa::MutationModel model;
+    const flsa::SequencePair pair =
+        flsa::homologous_pair(flsa::Alphabet::protein(), length, model, rng);
+    const flsa::ScoringScheme& scheme = flsa::ScoringScheme::paper_default();
+
+    const std::size_t full_dpm =
+        (pair.a.size() + 1) * (pair.b.size() + 1) * sizeof(flsa::Score);
+    std::cout << "pair: " << pair.a.size() << " x " << pair.b.size()
+              << " residues; full DPM = " << full_dpm / 1024 << " KiB\n\n";
+
+    flsa::Table table({"budget", "strategy", "score", "cells (x m*n)",
+                       "peak KiB", "time ms"});
+    const double mn = static_cast<double>(pair.a.size()) *
+                      static_cast<double>(pair.b.size());
+    for (std::size_t budget_kb :
+         {full_dpm / 1024 + 512, 4096ul, 1024ul, 256ul, 64ul}) {
+      flsa::AlignOptions options;
+      options.memory_limit_bytes = budget_kb * 1024;
+      flsa::AlignReport report;
+      flsa::Timer timer;
+      const flsa::Alignment aln =
+          flsa::align(pair.a, pair.b, scheme, options, &report);
+      table.add_row(
+          {std::to_string(budget_kb) + " KiB",
+           flsa::to_string(report.chosen), std::to_string(aln.score),
+           flsa::Table::num(
+               static_cast<double>(report.stats.counters.total_cells()) /
+               mn),
+           std::to_string(report.stats.peak_bytes / 1024),
+           flsa::Table::num(timer.millis())});
+    }
+    table.print(std::cout);
+    std::cout << "\nSame optimal score at every budget; only the work/space"
+                 " trade-off moves.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

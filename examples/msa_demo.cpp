@@ -1,0 +1,68 @@
+// Multiple sequence alignment demo: evolve a family of sequences from a
+// common ancestor and reconstruct their alignment with center-star.
+//
+//   ./examples/msa_demo --members 6 --length 80
+#include <iostream>
+
+#include "flsa/flsa.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  flsa::CliParser cli("Center-star multiple alignment demo");
+  cli.add_int("members", 6, "family size");
+  cli.add_int("length", 80, "ancestor length");
+  cli.add_double("divergence", 0.12, "per-branch substitution rate");
+  cli.add_int("seed", 3, "PRNG seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto members = static_cast<std::size_t>(cli.get_int("members"));
+
+    flsa::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    flsa::MutationModel model;
+    model.substitution_rate = cli.get_double("divergence");
+    model.insertion_rate = 0.02;
+    model.deletion_rate = 0.02;
+    const flsa::Sequence ancestor = flsa::random_sequence(
+        flsa::Alphabet::protein(),
+        static_cast<std::size_t>(cli.get_int("length")), rng, "ancestor");
+    std::vector<flsa::Sequence> sequences;
+    for (std::size_t i = 0; i < members; ++i) {
+      sequences.push_back(
+          flsa::mutate(ancestor, model, rng, "seq" + std::to_string(i)));
+    }
+
+    const flsa::ScoringScheme& scheme = flsa::ScoringScheme::paper_default();
+    const flsa::msa::MultipleAlignment star =
+        flsa::msa::center_star_align(sequences, scheme);
+    const flsa::msa::MultipleAlignment aln =
+        flsa::msa::progressive_align(sequences, scheme);
+
+    const flsa::Score star_sp = flsa::msa::sum_of_pairs_score(
+        star, scheme, flsa::Alphabet::protein());
+    const flsa::Score prog_sp = flsa::msa::sum_of_pairs_score(
+        aln, scheme, flsa::Alphabet::protein());
+    std::cout << "center-star SP : " << star_sp << " (center "
+              << sequences[star.center_index].id() << ", width "
+              << star.width() << ")\n"
+              << "progressive SP : " << prog_sp << " (UPGMA guide tree, "
+              << "width " << aln.width() << ")\n\n"
+              << "progressive alignment:\n";
+    for (std::size_t i = 0; i < aln.rows.size(); ++i) {
+      std::cout << aln.rows[i] << "  " << sequences[i].id() << "\n";
+    }
+    // Conservation track: '*' fully conserved, ':' majority >= 75%.
+    const auto conservation =
+        flsa::msa::column_conservation(aln, flsa::Alphabet::protein());
+    std::string track;
+    for (double c : conservation) {
+      track.push_back(c >= 1.0 ? '*' : (c >= 0.75 ? ':' : ' '));
+    }
+    std::cout << track << "\n\nconsensus: "
+              << flsa::msa::consensus(aln, flsa::Alphabet::protein())
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

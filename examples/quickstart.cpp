@@ -1,0 +1,33 @@
+// Quickstart: align two protein sequences with the default (auto) strategy
+// and print the alignment — the paper's running example.
+//
+//   ./examples/quickstart [seqA seqB]
+#include <iostream>
+
+#include "flsa/flsa.hpp"
+
+int main(int argc, char** argv) {
+  const std::string sa = argc > 2 ? argv[1] : "TLDKLLKD";
+  const std::string sb = argc > 2 ? argv[2] : "TDVLKAD";
+
+  try {
+    const flsa::Sequence a(flsa::Alphabet::protein(), sa, "a");
+    const flsa::Sequence b(flsa::Alphabet::protein(), sb, "b");
+
+    // The paper's scoring function: MDM78 similarity, linear gap -10.
+    const flsa::ScoringScheme& scheme = flsa::ScoringScheme::paper_default();
+
+    flsa::AlignReport report;
+    const flsa::Alignment aln = flsa::align(a, b, scheme, {}, &report);
+
+    std::cout << "strategy : " << flsa::to_string(report.chosen) << "\n"
+              << "score    : " << aln.score << "\n"
+              << "identity : " << 100.0 * aln.identity() << "%\n"
+              << "cigar    : " << aln.cigar() << "\n\n"
+              << aln.pretty() << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

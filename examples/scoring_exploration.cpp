@@ -1,0 +1,57 @@
+// Scoring exploration: align the same protein pair under different
+// substitution matrices and gap models and compare the alignments — the
+// kind of sensitivity check a practitioner runs before trusting a homology
+// call.
+//
+//   ./examples/scoring_exploration [seqA seqB]
+#include <iostream>
+
+#include "flsa/flsa.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::string sa =
+      argc > 2 ? argv[1] : "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ";
+  const std::string sb =
+      argc > 2 ? argv[2] : "MKSAYIAKQRQISFVKSHFSRQLEERLGMIEVQAPILSRVGDG";
+  try {
+    const flsa::Sequence a(flsa::Alphabet::protein(), sa, "a");
+    const flsa::Sequence b(flsa::Alphabet::protein(), sb, "b");
+
+    struct Config {
+      std::string name;
+      flsa::ScoringScheme scheme;
+    };
+    const Config configs[] = {
+        {"mdm78, linear -10",
+         flsa::ScoringScheme(flsa::scoring::mdm78(), -10)},
+        {"pam250, linear -6",
+         flsa::ScoringScheme(flsa::scoring::pam250(), -6)},
+        {"blosum62, linear -6",
+         flsa::ScoringScheme(flsa::scoring::blosum62(), -6)},
+        {"blosum62, affine -11/-1",
+         flsa::ScoringScheme(flsa::scoring::blosum62(), -11, -1)},
+        {"pam250, affine -10/-2",
+         flsa::ScoringScheme(flsa::scoring::pam250(), -10, -2)},
+    };
+
+    flsa::Table table({"scheme", "score", "identity %", "gaps", "cigar"});
+    for (const Config& config : configs) {
+      const flsa::Alignment aln = flsa::align(a, b, config.scheme);
+      table.add_row({config.name, std::to_string(aln.score),
+                     flsa::Table::num(100.0 * aln.identity(), 1),
+                     std::to_string(aln.gap_count()), aln.cigar()});
+    }
+    std::cout << "aligning:\n  " << sa << "\n  " << sb << "\n\n";
+    table.print(std::cout);
+
+    std::cout << "\nblosum62 affine alignment in full:\n";
+    const flsa::Alignment aln = flsa::align(
+        a, b, flsa::ScoringScheme(flsa::scoring::blosum62(), -11, -1));
+    std::cout << aln.pretty() << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "benchlib/results.hpp"
+
+#include <cstdlib>
+
+namespace flsa {
+namespace bench {
+
+CsvSink::CsvSink(const std::string& name, std::vector<std::string> header) {
+  const char* dir = std::getenv("FLSA_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  path_ = std::string(dir) + "/" + name + ".csv";
+  file_ = std::make_unique<std::ofstream>(path_);
+  if (!*file_) {
+    // Unwritable directory: degrade to a no-op rather than failing the
+    // bench run.
+    path_.clear();
+    file_.reset();
+    return;
+  }
+  writer_ = std::make_unique<CsvWriter>(*file_, std::move(header));
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  if (writer_) writer_->write_row(cells);
+}
+
+}  // namespace bench
+}  // namespace flsa

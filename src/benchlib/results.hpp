@@ -1,0 +1,41 @@
+// Optional machine-readable bench output.
+//
+// When the environment variable FLSA_BENCH_CSV_DIR names a directory,
+// every CsvSink writes its rows to <dir>/<name>.csv alongside the human
+// tables on stdout, so plots and regression dashboards can be built from
+// the same run. Without the variable, sinks are no-ops.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/csv.hpp"
+
+namespace flsa {
+namespace bench {
+
+class CsvSink {
+ public:
+  /// Opens <FLSA_BENCH_CSV_DIR>/<name>.csv and writes the header, or
+  /// becomes a no-op when the variable is unset/empty.
+  CsvSink(const std::string& name, std::vector<std::string> header);
+
+  /// True when rows are actually being persisted.
+  bool enabled() const { return writer_ != nullptr; }
+
+  /// Path of the file being written ("" when disabled).
+  const std::string& path() const { return path_; }
+
+  /// Writes one row (no-op when disabled).
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::string path_;
+  std::unique_ptr<std::ofstream> file_;
+  std::unique_ptr<CsvWriter> writer_;
+};
+
+}  // namespace bench
+}  // namespace flsa

@@ -1,0 +1,41 @@
+#include "benchlib/runner.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace flsa {
+namespace bench {
+
+Summary time_runs(const std::function<void()>& fn, int reps, int warmup) {
+  FLSA_REQUIRE(reps >= 1);
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer timer;
+    fn();
+    seconds.push_back(timer.seconds());
+  }
+  return summarize(seconds);
+}
+
+std::string throughput(double cells, double seconds) {
+  std::ostringstream os;
+  const double rate = seconds > 0 ? cells / seconds : 0.0;
+  os.precision(1);
+  os << std::fixed;
+  if (rate >= 1e9) {
+    os << rate / 1e9 << " Gcell/s";
+  } else if (rate >= 1e6) {
+    os << rate / 1e6 << " Mcell/s";
+  } else {
+    os << rate / 1e3 << " kcell/s";
+  }
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace flsa

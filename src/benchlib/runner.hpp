@@ -1,0 +1,21 @@
+// Timing helpers shared by the bench binaries.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace flsa {
+namespace bench {
+
+/// Runs `fn` `reps` times (after `warmup` unmeasured runs) and summarizes
+/// the wall-clock seconds of the measured runs.
+Summary time_runs(const std::function<void()>& fn, int reps = 3,
+                  int warmup = 1);
+
+/// Formats cells-per-second throughput like "123.4 Mcell/s".
+std::string throughput(double cells, double seconds);
+
+}  // namespace bench
+}  // namespace flsa

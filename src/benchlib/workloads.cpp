@@ -1,0 +1,52 @@
+#include "benchlib/workloads.hpp"
+
+#include "scoring/builtin.hpp"
+
+namespace flsa {
+namespace bench {
+
+SequencePair Workload::make() const {
+  Xoshiro256 rng(seed ^ (length * 0x9e3779b97f4a7c15ULL));
+  MutationModel model;
+  model.substitution_rate = divergence;
+  model.insertion_rate = divergence / 6.0;
+  model.deletion_rate = divergence / 6.0;
+  const Alphabet& alphabet =
+      protein ? Alphabet::protein() : Alphabet::dna();
+  SequencePair pair = homologous_pair(alphabet, length, model, rng);
+  return pair;
+}
+
+const ScoringScheme& Workload::scheme() const {
+  static const ScoringScheme protein_scheme = ScoringScheme::paper_default();
+  static const SubstitutionMatrix dna_matrix = scoring::dna();
+  static const ScoringScheme dna_scheme(dna_matrix, -10);
+  return protein ? protein_scheme : dna_scheme;
+}
+
+std::vector<Workload> standard_suite(std::size_t max_length) {
+  // Length ladder mirroring the paper's span of problem sizes, scaled to
+  // what a CI-class machine sweeps in seconds.
+  static constexpr std::size_t kLadder[] = {500,  1000, 2000,
+                                            4000, 8000, 16000};
+  std::vector<Workload> suite;
+  for (std::size_t length : kLadder) {
+    if (length > max_length) break;
+    suite.push_back(sized_workload(length, /*protein=*/true));
+  }
+  return suite;
+}
+
+Workload sized_workload(std::size_t length, bool protein,
+                        std::uint64_t seed) {
+  Workload w;
+  w.name = (protein ? "prot-" : "dna-") + std::to_string(length);
+  w.protein = protein;
+  w.length = length;
+  w.divergence = 0.15;
+  w.seed = seed;
+  return w;
+}
+
+}  // namespace bench
+}  // namespace flsa

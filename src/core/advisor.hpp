@@ -1,0 +1,42 @@
+// Configuration advisor: the paper's tuning methodology as code.
+//
+// A recurring theme of the paper is that FastLSA is *parameterizable*: k
+// and BM should be chosen from the machine's cache and memory sizes, and k
+// also drives parallel speedup. recommend() encodes that reasoning — it
+// scores candidate configurations with the paper's own cost model
+// (simexec/model.hpp) under the machine's constraints and explains its
+// choice.
+#pragma once
+
+#include <string>
+
+#include "core/aligner.hpp"
+#include "parallel/parallel_fastlsa.hpp"
+
+namespace flsa {
+
+/// What the advisor knows about the machine.
+struct MachineProfile {
+  /// Effective cache size the Base Case buffer should live in.
+  std::size_t cache_bytes = 1u << 20;
+  /// Total memory available for DPM state; 0 = unbounded.
+  std::size_t memory_bytes = 0;
+  /// Worker threads available (the paper's P).
+  unsigned processors = 1;
+};
+
+/// Advisor output: a full configuration plus the reasoning.
+struct Recommendation {
+  Strategy strategy = Strategy::kFastLsa;
+  FastLsaOptions fastlsa;
+  ParallelOptions parallel;
+  /// Predicted cost in cell units under the paper's model (Eq. 36-style).
+  double predicted_cost = 0.0;
+  std::string rationale;
+};
+
+/// Recommends a configuration for aligning an m x n pair on `machine`.
+Recommendation recommend(std::size_t m, std::size_t n, bool affine,
+                         const MachineProfile& machine);
+
+}  // namespace flsa

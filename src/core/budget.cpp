@@ -1,0 +1,51 @@
+#include "core/budget.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+void MemoryTracker::allocate(std::size_t bytes) {
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+  ++allocations_;
+}
+
+void MemoryTracker::release(std::size_t bytes) {
+  FLSA_REQUIRE(bytes <= current_);
+  current_ -= bytes;
+}
+
+MemoryCharge::MemoryCharge(MemoryTracker* tracker, std::size_t bytes)
+    : tracker_(tracker), bytes_(bytes) {
+  if (tracker_) tracker_->allocate(bytes_);
+}
+
+MemoryCharge::~MemoryCharge() {
+  if (tracker_) tracker_->release(bytes_);
+}
+
+MemoryCharge::MemoryCharge(MemoryCharge&& other) noexcept
+    : tracker_(std::exchange(other.tracker_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)) {}
+
+MemoryCharge& MemoryCharge::operator=(MemoryCharge&& other) noexcept {
+  if (this != &other) {
+    if (tracker_) tracker_->release(bytes_);
+    tracker_ = std::exchange(other.tracker_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+void MemoryCharge::resize(std::size_t bytes) {
+  if (tracker_) {
+    tracker_->release(bytes_);
+    tracker_->allocate(bytes);
+  }
+  bytes_ = bytes;
+}
+
+}  // namespace flsa

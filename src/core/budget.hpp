@@ -1,0 +1,56 @@
+// Memory accounting for the paper's RM/BM model.
+//
+// The paper parameterizes FastLSA by the memory actually available (RM,
+// which may model cache or main memory) and a Base Case buffer of BM units
+// reserved from it. This tracker measures what the algorithms really
+// allocate for DPM state (grid caches, base-case buffers, full matrices,
+// row buffers) so the space experiments (E5) report observed peaks rather
+// than formulas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flsa {
+
+/// Byte-granular high-water-mark tracker. Not thread-safe; parallel code
+/// charges from the coordinating thread.
+class MemoryTracker {
+ public:
+  /// Records an allocation of `bytes`.
+  void allocate(std::size_t bytes);
+
+  /// Records a release; must not exceed the outstanding total.
+  void release(std::size_t bytes);
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  std::uint64_t allocation_count() const { return allocations_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+/// RAII charge against a tracker (released on destruction). The tracker may
+/// be null, in which case the guard is a no-op.
+class MemoryCharge {
+ public:
+  MemoryCharge(MemoryTracker* tracker, std::size_t bytes);
+  ~MemoryCharge();
+
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+  MemoryCharge(MemoryCharge&& other) noexcept;
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept;
+
+  /// Adjusts the charge to a new size (e.g. a buffer grew).
+  void resize(std::size_t bytes);
+
+ private:
+  MemoryTracker* tracker_;
+  std::size_t bytes_;
+};
+
+}  // namespace flsa

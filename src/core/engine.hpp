@@ -1,0 +1,460 @@
+// FastLSA recursion engine (internal header).
+//
+// Implements the paper's pseudo-code (its Figure 2) generically over the
+// gap model and the tile execution policy:
+//
+//   FastLSA(problem, cacheRow, cacheColumn, path):
+//     if problem fits in the Base Case buffer: solveFullMatrix(...)
+//     grid  = allocateGrid(problem)            -> GridLines
+//     fillGridCache(problem, grid)             -> tiled wavefront sweep,
+//                                                 skipping the bottom-right
+//                                                 sub-problem's tiles
+//     path += FastLSA(problem.bottomRight,...) -> first loop iteration
+//     while path not fully extended:
+//       sub = UpLeft(grid, path)               -> rectangle bounded by the
+//                                                 nearest grid lines above
+//                                                 and left of the path end
+//       path += FastLSA(sub, CachedRow(sub), CachedColumn(sub), path)
+//     deallocateGrid(grid)
+//
+// The template parameter selects the cell type: plain scores for linear
+// gaps, (D, Ix, Iy) triples for affine gaps, in which case the traceback
+// lane is carried across sub-problem boundaries.
+//
+// This header is internal to the library (the public entry points are in
+// core/fastlsa.hpp and parallel/parallel_fastlsa.hpp) but is shared by the
+// parallel driver and the virtual-time recorder, which plug in their own
+// TileExecutor.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/fastlsa.hpp"
+#include "core/tile_executor.hpp"
+#include "dp/fullmatrix.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/kernel.hpp"
+#include "dp/matrix.hpp"
+#include "dp/path.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace detail {
+
+/// Interior cut positions dividing [0, extent) into min(parts, extent)
+/// near-equal segments; empty when extent <= 1 or parts <= 1.
+inline std::vector<std::size_t> split_cuts(std::size_t extent,
+                                           std::size_t parts) {
+  const std::size_t segments = std::max<std::size_t>(
+      1, std::min<std::size_t>(parts, extent));
+  std::vector<std::size_t> cuts;
+  cuts.reserve(segments - 1);
+  for (std::size_t i = 1; i < segments; ++i) {
+    cuts.push_back(extent * i / segments);
+  }
+  return cuts;
+}
+
+/// Largest tile count for an extent that keeps every tile at least
+/// `min_extent` long (always >= 1).
+inline std::size_t clamp_tiles(std::size_t desired, std::size_t extent,
+                               std::size_t min_extent) {
+  const std::size_t cap =
+      min_extent <= 1 ? extent : std::max<std::size_t>(1, extent / min_extent);
+  return std::max<std::size_t>(1, std::min(desired, cap));
+}
+
+/// Refines block cuts by subdividing every block segment into up to
+/// `tiles_per_block` tiles of at least `min_tile_extent` residues each.
+/// Returns interior tile cuts (a superset of `block_cuts`).
+inline std::vector<std::size_t> refine_cuts(
+    std::size_t extent, const std::vector<std::size_t>& block_cuts,
+    std::size_t tiles_per_block, std::size_t min_tile_extent = 1) {
+  std::vector<std::size_t> tile_cuts;
+  std::size_t start = 0;
+  auto refine_segment = [&](std::size_t end) {
+    const std::size_t parts =
+        clamp_tiles(tiles_per_block, end - start, min_tile_extent);
+    for (std::size_t cut : split_cuts(end - start, parts)) {
+      tile_cuts.push_back(start + cut);
+    }
+    if (end != extent) tile_cuts.push_back(end);
+    start = end;
+  };
+  for (std::size_t cut : block_cuts) refine_segment(cut);
+  refine_segment(extent);
+  return tile_cuts;
+}
+
+/// Execution plan: which executor runs the tile grids and how finely each
+/// phase is tiled. Sequential FastLSA uses one tile per block.
+struct EnginePlan {
+  TileExecutor* executor = nullptr;
+  /// Fill Grid Cache tiles per block and dimension (the paper's finer
+  /// R x C tiling; its u x v skipped tiles are one block's worth).
+  std::size_t tiles_per_block = 1;
+  /// Tile grid per dimension for the stored base-case matrix.
+  std::size_t base_case_tiles = 1;
+  /// Minimum tile extent (residues per dimension): sub-problems are never
+  /// tiled finer than this, so fixed per-tile costs stay amortized.
+  std::size_t min_tile_extent = 1;
+};
+
+template <bool Affine>
+class FastLsaEngine {
+ public:
+  using CellT = std::conditional_t<Affine, AffineCell, Score>;
+
+  FastLsaEngine(const Sequence& a, const Sequence& b,
+                const ScoringScheme& scheme, const FastLsaOptions& options,
+                const EnginePlan& plan, FastLsaStats* stats)
+      : a_(a), b_(b), scheme_(scheme), options_(options), plan_(plan),
+        stats_(stats ? *stats : local_stats_),
+        path_(Cell{a.size(), b.size()}) {
+    validate(options_);
+    FLSA_REQUIRE(plan_.executor != nullptr);
+    FLSA_REQUIRE(plan_.tiles_per_block >= 1);
+    FLSA_REQUIRE(plan_.base_case_tiles >= 1);
+    if constexpr (Affine) {
+      // Nothing extra; linear schemes also run correctly in affine mode.
+    } else {
+      FLSA_REQUIRE(scheme.is_linear());
+    }
+    worker_counters_.resize(plan_.executor->worker_count());
+    scratch_bottom_.resize(worker_counters_.size());
+    scratch_right_.resize(worker_counters_.size());
+  }
+
+  FastLsaEngine(const FastLsaEngine&) = delete;
+  FastLsaEngine& operator=(const FastLsaEngine&) = delete;
+
+  Alignment run() {
+    const std::size_t m = a_.size();
+    const std::size_t n = b_.size();
+
+    // Reserve the Base Case buffer (the paper reserves BM units up front).
+    base_buffer_.reserve(options_.base_case_cells);
+    MemoryCharge base_charge(&tracker_,
+                             options_.base_case_cells * sizeof(CellT));
+
+    // Per-worker scratch rows/columns used by fill tiles.
+    const std::size_t scratch_len = std::max(m, n) + 1;
+    for (auto& s : scratch_bottom_) s.resize(scratch_len);
+    for (auto& s : scratch_right_) s.resize(scratch_len);
+    MemoryCharge scratch_charge(
+        &tracker_,
+        2 * scratch_len * sizeof(CellT) * worker_counters_.size());
+
+    if (m > 0 && n > 0) {
+      // Global DPM boundary (the initial cacheRow / cacheColumn).
+      std::vector<CellT> top(n + 1);
+      std::vector<CellT> left(m + 1);
+      init_boundary(top, /*horizontal=*/true);
+      init_boundary(left, /*horizontal=*/false);
+      MemoryCharge boundary_charge(&tracker_, (m + n + 2) * sizeof(CellT));
+      solve({0, 0, m, n}, top, left, 0);
+    }
+    extend_path_to_origin(path_);
+    FLSA_ASSERT(path_.reaches_origin() && path_.is_consistent());
+
+    for (const DpCounters& wc : worker_counters_) stats_.counters += wc;
+    stats_.peak_bytes = tracker_.peak_bytes();
+    return alignment_from_path(a_, b_, path_, scheme_);
+  }
+
+ private:
+  struct Rect {
+    std::size_t row0, col0, rows, cols;
+  };
+
+  static CellT zero_cell() {
+    if constexpr (Affine) {
+      return AffineCell{0, kNegInf, kNegInf};
+    } else {
+      return 0;
+    }
+  }
+
+  void init_boundary(std::span<CellT> boundary, bool horizontal) {
+    if constexpr (Affine) {
+      init_global_boundary_affine(scheme_, boundary, horizontal);
+    } else {
+      (void)horizontal;
+      init_global_boundary_linear(scheme_, boundary);
+    }
+  }
+
+  void solve(const Rect& rect, std::span<const CellT> top,
+             std::span<const CellT> left, unsigned depth) {
+    FLSA_ASSERT(rect.rows >= 1 && rect.cols >= 1);
+    FLSA_ASSERT(top.size() == rect.cols + 1);
+    FLSA_ASSERT(left.size() == rect.rows + 1);
+    FLSA_ASSERT(path_.front() ==
+                (Cell{rect.row0 + rect.rows, rect.col0 + rect.cols}));
+    stats_.max_recursion_depth =
+        std::max<std::uint64_t>(stats_.max_recursion_depth, depth);
+    if ((rect.rows + 1) * (rect.cols + 1) <= options_.base_case_cells) {
+      base_case(rect, top, left);
+    } else {
+      general_case(rect, top, left, depth);
+    }
+  }
+
+  void base_case(const Rect& rect, std::span<const CellT> top,
+                 std::span<const CellT> left) {
+    ++stats_.base_case_invocations;
+    const std::size_t rows = rect.rows;
+    const std::size_t cols = rect.cols;
+    base_buffer_.resize(rows + 1, cols + 1);
+    std::copy(top.begin(), top.end(), base_buffer_.row(0));
+    for (std::size_t r = 0; r <= rows; ++r) base_buffer_(r, 0) = left[r];
+
+    const std::span<const Residue> a_sub =
+        a_.residues().subspan(rect.row0, rows);
+    const std::span<const Residue> b_sub =
+        b_.residues().subspan(rect.col0, cols);
+
+    // Tiled interior fill (one tile sequentially; a wavefront in parallel).
+    const std::vector<std::size_t> row_cuts = split_cuts(
+        rows,
+        clamp_tiles(plan_.base_case_tiles, rows, plan_.min_tile_extent));
+    const std::vector<std::size_t> col_cuts = split_cuts(
+        cols,
+        clamp_tiles(plan_.base_case_tiles, cols, plan_.min_tile_extent));
+    auto seg = [](const std::vector<std::size_t>& cuts, std::size_t extent,
+                  std::size_t t) {
+      const std::size_t s = t == 0 ? 0 : cuts[t - 1];
+      const std::size_t e = t == cuts.size() ? extent : cuts[t];
+      return std::pair<std::size_t, std::size_t>{s, e};
+    };
+    plan_.executor->run(
+        row_cuts.size() + 1, col_cuts.size() + 1, nullptr,
+        [&](std::size_t ti, std::size_t tj, unsigned /*worker*/) {
+          const auto [rs, re] = seg(row_cuts, rows, ti);
+          const auto [cs, ce] = seg(col_cuts, cols, tj);
+          if constexpr (Affine) {
+            fill_matrix_region_affine(a_sub, b_sub, scheme_, base_buffer_,
+                                      rs + 1, cs + 1, re - rs, ce - cs);
+          } else {
+            fill_matrix_region_linear(a_sub, b_sub, scheme_, base_buffer_,
+                                      rs + 1, cs + 1, re - rs, ce - cs);
+          }
+          return static_cast<std::uint64_t>(re - rs) * (ce - cs);
+        },
+        TilePhase::kBaseCase);
+    worker_counters_[0].cells_stored +=
+        static_cast<std::uint64_t>(rows) * cols;
+
+    if constexpr (Affine) {
+      affine_state_ = traceback_rectangle_affine(
+          a_sub, b_sub, scheme_, base_buffer_, rows, cols, affine_state_,
+          path_, &worker_counters_[0]);
+    } else {
+      traceback_rectangle_linear(a_sub, b_sub, scheme_, base_buffer_, rows,
+                                 cols, path_, &worker_counters_[0]);
+    }
+  }
+
+  void general_case(const Rect& rect, std::span<const CellT> top,
+                    std::span<const CellT> left, unsigned depth) {
+    ++stats_.recursive_splits;
+    const std::size_t rows = rect.rows;
+    const std::size_t cols = rect.cols;
+
+    // Block grid (the paper's k x k split) and its tile refinement.
+    const std::vector<std::size_t> block_rows = split_cuts(rows, options_.k);
+    const std::vector<std::size_t> block_cols = split_cuts(cols, options_.k);
+    const std::vector<std::size_t> tile_rows = refine_cuts(
+        rows, block_rows, plan_.tiles_per_block, plan_.min_tile_extent);
+    const std::vector<std::size_t> tile_cols = refine_cuts(
+        cols, block_cols, plan_.tiles_per_block, plan_.min_tile_extent);
+    const std::size_t tr = tile_rows.size() + 1;
+    const std::size_t tc = tile_cols.size() + 1;
+
+    // Tile boundary line storage (grid lines are the subset of these that
+    // fall on block cuts; the rest exist only during the fill).
+    std::vector<std::vector<CellT>> line_rows(tr - 1);
+    std::vector<std::vector<CellT>> line_cols(tc - 1);
+    for (auto& line : line_rows) line.resize(cols + 1);
+    for (auto& line : line_cols) line.resize(rows + 1);
+    ++stats_.grid_allocations;
+    MemoryCharge grid_charge(
+        &tracker_, ((tr - 1) * (cols + 1) + (tc - 1) * (rows + 1)) *
+                       sizeof(CellT));
+
+    fill_grid_cache(rect, top, left, block_rows, block_cols, tile_rows,
+                    tile_cols, line_rows, line_cols);
+
+    // Keep only the block grid lines for the recursion phase.
+    std::vector<std::vector<CellT>> grid_rows(block_rows.size());
+    std::vector<std::vector<CellT>> grid_cols(block_cols.size());
+    for (std::size_t i = 0; i < block_rows.size(); ++i) {
+      const auto it = std::lower_bound(tile_rows.begin(), tile_rows.end(),
+                                       block_rows[i]);
+      FLSA_ASSERT(it != tile_rows.end() && *it == block_rows[i]);
+      grid_rows[i] = std::move(
+          line_rows[static_cast<std::size_t>(it - tile_rows.begin())]);
+    }
+    for (std::size_t j = 0; j < block_cols.size(); ++j) {
+      const auto it = std::lower_bound(tile_cols.begin(), tile_cols.end(),
+                                       block_cols[j]);
+      FLSA_ASSERT(it != tile_cols.end() && *it == block_cols[j]);
+      grid_cols[j] = std::move(
+          line_cols[static_cast<std::size_t>(it - tile_cols.begin())]);
+    }
+    line_rows.clear();
+    line_cols.clear();
+    grid_charge.resize((block_rows.size() * (cols + 1) +
+                        block_cols.size() * (rows + 1)) *
+                       sizeof(CellT));
+
+    // Successive up-left sub-problems along the optimal path (the first
+    // iteration is the bottom-right block).
+    while (true) {
+      const Cell front = path_.front();
+      FLSA_ASSERT(front.row >= rect.row0 && front.col >= rect.col0);
+      const std::size_t fr = front.row - rect.row0;
+      const std::size_t fc = front.col - rect.col0;
+      if (fr == 0 || fc == 0) break;  // reached this problem's boundary
+
+      // Nearest grid lines strictly above and left of the path end.
+      const auto row_it =
+          std::lower_bound(block_rows.begin(), block_rows.end(), fr);
+      const std::size_t row_top =
+          row_it == block_rows.begin() ? 0 : *(row_it - 1);
+      const auto col_it =
+          std::lower_bound(block_cols.begin(), block_cols.end(), fc);
+      const std::size_t col_left =
+          col_it == block_cols.begin() ? 0 : *(col_it - 1);
+
+      const std::span<const CellT> sub_top =
+          (row_top == 0
+               ? top
+               : std::span<const CellT>(
+                     grid_rows[static_cast<std::size_t>(
+                         (row_it - 1) - block_rows.begin())]))
+              .subspan(col_left, fc - col_left + 1);
+      const std::span<const CellT> sub_left =
+          (col_left == 0
+               ? left
+               : std::span<const CellT>(
+                     grid_cols[static_cast<std::size_t>(
+                         (col_it - 1) - block_cols.begin())]))
+              .subspan(row_top, fr - row_top + 1);
+
+      solve({rect.row0 + row_top, rect.col0 + col_left, fr - row_top,
+             fc - col_left},
+            sub_top, sub_left, depth + 1);
+    }
+  }
+
+  /// The Fill Grid Cache phase: wavefront-orderable sweep of every tile
+  /// except those covering the bottom-right block.
+  void fill_grid_cache(const Rect& rect, std::span<const CellT> top,
+                       std::span<const CellT> left,
+                       const std::vector<std::size_t>& block_rows,
+                       const std::vector<std::size_t>& block_cols,
+                       const std::vector<std::size_t>& tile_rows,
+                       const std::vector<std::size_t>& tile_cols,
+                       std::vector<std::vector<CellT>>& line_rows,
+                       std::vector<std::vector<CellT>>& line_cols) {
+    const std::size_t rows = rect.rows;
+    const std::size_t cols = rect.cols;
+    const std::size_t tr = tile_rows.size() + 1;
+    const std::size_t tc = tile_cols.size() + 1;
+    // The bottom-right block starts at the last block cut (or at 0 when the
+    // dimension has a single block, i.e. the block spans everything).
+    const std::size_t skip_row = block_rows.empty() ? 0 : block_rows.back();
+    const std::size_t skip_col = block_cols.empty() ? 0 : block_cols.back();
+
+    auto row_seg = [&](std::size_t ti) {
+      return std::pair<std::size_t, std::size_t>{
+          ti == 0 ? 0 : tile_rows[ti - 1],
+          ti == tile_rows.size() ? rows : tile_rows[ti]};
+    };
+    auto col_seg = [&](std::size_t tj) {
+      return std::pair<std::size_t, std::size_t>{
+          tj == 0 ? 0 : tile_cols[tj - 1],
+          tj == tile_cols.size() ? cols : tile_cols[tj]};
+    };
+
+    plan_.executor->run(
+        tr, tc,
+        [&](std::size_t ti, std::size_t tj) {
+          return row_seg(ti).first >= skip_row &&
+                 col_seg(tj).first >= skip_col;
+        },
+        [&](std::size_t ti, std::size_t tj, unsigned worker) {
+          const auto [rs, re] = row_seg(ti);
+          const auto [cs, ce] = col_seg(tj);
+          const std::size_t trows = re - rs;
+          const std::size_t tcols = ce - cs;
+
+          const std::span<const CellT> tile_top =
+              (ti == 0 ? top : std::span<const CellT>(line_rows[ti - 1]))
+                  .subspan(cs, tcols + 1);
+          const std::span<const CellT> tile_left =
+              (tj == 0 ? left : std::span<const CellT>(line_cols[tj - 1]))
+                  .subspan(rs, trows + 1);
+
+          std::span<CellT> bottom(scratch_bottom_[worker].data(), tcols + 1);
+          const bool need_right = tj + 1 < tc;
+          std::span<CellT> right =
+              need_right
+                  ? std::span<CellT>(scratch_right_[worker].data(), trows + 1)
+                  : std::span<CellT>{};
+
+          const std::span<const Residue> a_sub =
+              a_.residues().subspan(rect.row0 + rs, trows);
+          const std::span<const Residue> b_sub =
+              b_.residues().subspan(rect.col0 + cs, tcols);
+          if constexpr (Affine) {
+            sweep_rectangle_affine(a_sub, b_sub, scheme_, tile_top, tile_left,
+                                   bottom, right, &worker_counters_[worker]);
+          } else {
+            sweep_rectangle_linear(a_sub, b_sub, scheme_, tile_top, tile_left,
+                                   bottom, right, &worker_counters_[worker]);
+          }
+
+          // Publish boundary lines. Each shared corner entry has exactly one
+          // writer: a tile writes indices [1..len] of its own output lines
+          // and index 0 only on the grid's outer edge, so concurrent tiles
+          // never store to the same location.
+          if (ti + 1 < tr) {
+            CellT* dst = line_rows[ti].data() + cs;
+            std::copy(bottom.begin() + 1, bottom.end(), dst + 1);
+            if (tj == 0) dst[0] = bottom[0];
+          }
+          if (need_right) {
+            CellT* dst = line_cols[tj].data() + rs;
+            std::copy(right.begin() + 1, right.end(), dst + 1);
+            if (ti == 0) dst[0] = right[0];
+          }
+          return static_cast<std::uint64_t>(trows) * tcols;
+        },
+        TilePhase::kFillCache);
+  }
+
+  const Sequence& a_;
+  const Sequence& b_;
+  const ScoringScheme& scheme_;
+  FastLsaOptions options_;
+  EnginePlan plan_;
+  FastLsaStats local_stats_;
+  FastLsaStats& stats_;
+  MemoryTracker tracker_;
+  Path path_;
+  AffineState affine_state_ = AffineState::kD;
+  Matrix2D<CellT> base_buffer_;
+  std::vector<DpCounters> worker_counters_;
+  std::vector<std::vector<CellT>> scratch_bottom_;
+  std::vector<std::vector<CellT>> scratch_right_;
+};
+
+}  // namespace detail
+}  // namespace flsa

@@ -1,0 +1,59 @@
+#include "core/fastlsa.hpp"
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "dp/kernel.hpp"
+
+namespace flsa {
+
+void validate(const FastLsaOptions& options) {
+  if (options.k < 2) {
+    throw std::invalid_argument("FastLSA requires k >= 2");
+  }
+  if (options.base_case_cells < 16) {
+    throw std::invalid_argument(
+        "FastLSA requires a base-case buffer of at least 16 cells");
+  }
+}
+
+Alignment fastlsa_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options, FastLsaStats* stats) {
+  SequentialExecutor executor;
+  detail::EnginePlan plan;
+  plan.executor = &executor;
+  detail::FastLsaEngine<false> engine(a, b, scheme, options, plan, stats);
+  return engine.run();
+}
+
+Alignment fastlsa_align_affine(const Sequence& a, const Sequence& b,
+                               const ScoringScheme& scheme,
+                               const FastLsaOptions& options,
+                               FastLsaStats* stats) {
+  SequentialExecutor executor;
+  detail::EnginePlan plan;
+  plan.executor = &executor;
+  detail::FastLsaEngine<true> engine(a, b, scheme, options, plan, stats);
+  return engine.run();
+}
+
+Score fastlsa_score(const Sequence& a, const Sequence& b,
+                    const ScoringScheme& scheme, FastLsaStats* stats) {
+  DpCounters counters;
+  const Score score =
+      global_score_linear(a.residues(), b.residues(), scheme, &counters);
+  if (stats) {
+    stats->counters += counters;
+    stats->peak_bytes =
+        std::max(stats->peak_bytes,
+                 (a.size() + b.size() + 2) * sizeof(Score));
+  }
+  return score;
+}
+
+// Explicit instantiations shared with the parallel driver and recorders.
+template class detail::FastLsaEngine<false>;
+template class detail::FastLsaEngine<true>;
+
+}  // namespace flsa

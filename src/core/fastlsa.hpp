@@ -1,0 +1,78 @@
+// Sequential FastLSA (the paper's core contribution).
+//
+// FastLSA generalizes Hirschberg's linear-space alignment: instead of
+// halving one sequence, it divides *both* sequences into k parts, caching
+// the k-1 interior grid rows and k-1 interior grid columns of the logical
+// DPM (the Grid Cache). It then recurses on the sub-matrix at the current
+// end of the optimal path — bottom-right first, then the successive
+// "up-left" sub-matrices the path enters — re-deriving interior values only
+// for blocks the optimal path actually visits. Sub-problems whose DPM fits
+// in the reserved Base Case buffer (BM cells) are solved with the stored
+// full-matrix algorithm.
+//
+// Space: O(k * (m + n)) for grid lines along the recursion, plus BM.
+// Operations: between 1.0x and ~(k/(k-1))^2 x the full-matrix algorithm's
+// m*n, per the paper's theorems; k and BM tune the space/time trade-off.
+#pragma once
+
+#include <cstdint>
+
+#include "core/budget.hpp"
+#include "dp/alignment.hpp"
+#include "dp/counters.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Tuning parameters of FastLSA (the paper's k and BM).
+struct FastLsaOptions {
+  /// Number of segments each dimension of a sub-problem is divided into
+  /// (k >= 2). Larger k stores more grid lines and recomputes less.
+  unsigned k = 8;
+
+  /// Base Case buffer size in DPM *cells* (a cell is one Score for linear
+  /// schemes, one (D, Ix, Iy) triple for affine ones). A sub-problem with
+  /// (rows+1)*(cols+1) <= base_case_cells is solved with a full matrix.
+  /// Minimum 16.
+  std::size_t base_case_cells = 1u << 20;
+};
+
+/// Per-run observability: operation counters plus FastLSA-specific shape
+/// and memory statistics.
+struct FastLsaStats {
+  DpCounters counters;
+  /// Peak bytes of DPM state (grid caches + base-case buffer + boundaries).
+  std::size_t peak_bytes = 0;
+  std::uint64_t grid_allocations = 0;
+  std::uint64_t base_case_invocations = 0;
+  std::uint64_t recursive_splits = 0;
+  std::uint64_t max_recursion_depth = 0;
+};
+
+/// Validates options (throws std::invalid_argument on nonsense).
+void validate(const FastLsaOptions& options);
+
+/// Optimal global alignment with linear gaps via sequential FastLSA.
+/// Produces exactly the same optimal score as the FM and Hirschberg
+/// algorithms (and, with the shared deterministic tie-breaking, the same
+/// path).
+Alignment fastlsa_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options = {},
+                        FastLsaStats* stats = nullptr);
+
+/// Affine-gap FastLSA: grid lines cache (D, Ix, Iy) triples and the
+/// traceback carries its gap lane across block boundaries.
+Alignment fastlsa_align_affine(const Sequence& a, const Sequence& b,
+                               const ScoringScheme& scheme,
+                               const FastLsaOptions& options = {},
+                               FastLsaStats* stats = nullptr);
+
+/// Optimal score only (linear scheme), using FastLSA's FindScore phase —
+/// one row sweep, no grid caches. Provided for completeness/benchmarks.
+Score fastlsa_score(const Sequence& a, const Sequence& b,
+                    const ScoringScheme& scheme,
+                    FastLsaStats* stats = nullptr);
+
+}  // namespace flsa

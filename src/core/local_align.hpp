@@ -1,0 +1,25 @@
+// Linear-space local alignment (extension).
+//
+// Smith-Waterman in linear space by composition: a forward score-only pass
+// locates the end of the best local alignment, a reverse pass from that end
+// locates its start, and the enclosed rectangle — now a *global* alignment
+// problem — is solved with FastLSA. Total memory stays linear while the
+// full-matrix Smith-Waterman needs m*n.
+#pragma once
+
+#include "core/fastlsa.hpp"
+#include "dp/alignment.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Optimal local alignment (linear gaps) in linear space. Produces the same
+/// score as local_align_full_matrix; the aligned region may differ among
+/// co-optimal alignments but is deterministic.
+Alignment local_align(const Sequence& a, const Sequence& b,
+                      const ScoringScheme& scheme,
+                      const FastLsaOptions& options = {},
+                      FastLsaStats* stats = nullptr);
+
+}  // namespace flsa

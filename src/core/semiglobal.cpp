@@ -1,0 +1,98 @@
+#include "core/semiglobal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/kernel.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+namespace {
+
+/// Runs FastLSA on the located rectangle and stitches region metadata.
+Alignment solve_window(const Sequence& a, std::size_t a_begin,
+                       std::size_t a_end, const Sequence& b,
+                       std::size_t b_begin, std::size_t b_end, Score score,
+                       const ScoringScheme& scheme,
+                       const FastLsaOptions& options, FastLsaStats& stats) {
+  const Sequence a_sub = a.subsequence(a_begin, a_end - a_begin);
+  const Sequence b_sub = b.subsequence(b_begin, b_end - b_begin);
+  Alignment inner = fastlsa_align(a_sub, b_sub, scheme, options, &stats);
+  FLSA_ASSERT(inner.score == score);
+  Alignment out;
+  out.gapped_a = std::move(inner.gapped_a);
+  out.gapped_b = std::move(inner.gapped_b);
+  out.score = score;
+  out.a_begin = a_begin;
+  out.a_end = a_end;
+  out.b_begin = b_begin;
+  out.b_end = b_end;
+  return out;
+}
+
+}  // namespace
+
+Alignment fitting_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options, FastLsaStats* stats) {
+  FLSA_REQUIRE(scheme.is_linear());
+  FastLsaStats local_stats;
+  FastLsaStats& st = stats ? *stats : local_stats;
+
+  // 1. Forward fitting pass: optimal window end in b.
+  const SemiGlobalEnd end = fitting_score_linear(a.residues(), b.residues(),
+                                                 scheme, &st.counters);
+
+  // 2. Reverse global pass over the reversed prefix rectangle: the first
+  // column attaining the fitting score marks the window start.
+  const Sequence a_rev = a.reversed();
+  const Sequence b_rev = b.subsequence(0, end.col).reversed();
+  const std::vector<Score> rev_row = last_row_linear(
+      a_rev.residues(), b_rev.residues(), scheme, &st.counters);
+  std::size_t rev_cols = 0;
+  while (rev_row[rev_cols] != end.score) {
+    ++rev_cols;
+    FLSA_REQUIRE(rev_cols < rev_row.size());
+  }
+  const std::size_t b_begin = end.col - rev_cols;
+
+  // 3. The window is a global problem; FastLSA solves it.
+  return solve_window(a, 0, a.size(), b, b_begin, end.col, end.score, scheme,
+                      options, st);
+}
+
+Alignment overlap_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options, FastLsaStats* stats) {
+  FLSA_REQUIRE(scheme.is_linear());
+  FastLsaStats local_stats;
+  FastLsaStats& st = stats ? *stats : local_stats;
+
+  // 1. Forward overlap pass: end of the matched prefix of b.
+  const SemiGlobalEnd end = overlap_score_linear(a.residues(), b.residues(),
+                                                 scheme, &st.counters);
+
+  // 2. Reverse global pass; the right-column values score each suffix of a
+  // against all of b[0..end.col). The first row attaining the overlap
+  // score marks the suffix start.
+  const Sequence a_rev = a.reversed();
+  const Sequence b_rev = b.subsequence(0, end.col).reversed();
+  std::vector<Score> top(b_rev.size() + 1), left(a_rev.size() + 1);
+  init_global_boundary_linear(scheme, top);
+  init_global_boundary_linear(scheme, left);
+  std::vector<Score> bottom(b_rev.size() + 1), right(a_rev.size() + 1);
+  sweep_rectangle_linear(a_rev.residues(), b_rev.residues(), scheme, top,
+                         left, bottom, right, &st.counters);
+  std::size_t rev_rows = 0;
+  while (right[rev_rows] != end.score) {
+    ++rev_rows;
+    FLSA_REQUIRE(rev_rows < right.size());
+  }
+  const std::size_t a_begin = a.size() - rev_rows;
+
+  return solve_window(a, a_begin, a.size(), b, 0, end.col, end.score, scheme,
+                      options, st);
+}
+
+}  // namespace flsa

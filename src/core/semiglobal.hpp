@@ -1,0 +1,27 @@
+// Linear-space semi-global alignment (fitting and overlap) built on
+// FastLSA, by the same locate-then-solve composition as the local aligner:
+// a score-only pass finds the optimal end point, a reverse pass the start
+// point, and the enclosed rectangle — now an ordinary global problem — is
+// solved with FastLSA.
+#pragma once
+
+#include "core/fastlsa.hpp"
+#include "dp/semiglobal.hpp"
+
+namespace flsa {
+
+/// Fitting alignment (all of `a` inside a window of `b`) in linear space.
+/// Same score as fitting_align_full_matrix.
+Alignment fitting_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options = {},
+                        FastLsaStats* stats = nullptr);
+
+/// Overlap (dovetail) alignment (suffix of `a` against prefix of `b`) in
+/// linear space. Same score as overlap_align_full_matrix.
+Alignment overlap_align(const Sequence& a, const Sequence& b,
+                        const ScoringScheme& scheme,
+                        const FastLsaOptions& options = {},
+                        FastLsaStats* stats = nullptr);
+
+}  // namespace flsa

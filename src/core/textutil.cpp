@@ -1,0 +1,79 @@
+#include "core/textutil.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dp/kernel.hpp"
+#include "scoring/builtin.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+namespace {
+
+/// Synthesizes a case-sensitive alphabet covering every character of both
+/// strings (at most 64 distinct).
+Alphabet make_text_alphabet(std::string_view a, std::string_view b) {
+  bool seen[256] = {};
+  std::string letters;
+  auto collect = [&](std::string_view s) {
+    for (char c : s) {
+      if (!seen[static_cast<unsigned char>(c)]) {
+        seen[static_cast<unsigned char>(c)] = true;
+        letters.push_back(c);
+      }
+    }
+  };
+  collect(a);
+  collect(b);
+  FLSA_ASSERT(!letters.empty());  // callers handle empty inputs
+  if (letters.size() > 64) {
+    throw std::invalid_argument(
+        "edit_distance/LCS support at most 64 distinct characters, got " +
+        std::to_string(letters.size()));
+  }
+  return Alphabet(letters, "text", /*case_sensitive=*/true);
+}
+
+}  // namespace
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const Alphabet alphabet = make_text_alphabet(a, b);
+  const SubstitutionMatrix matrix =
+      scoring::identity(alphabet, /*match=*/0, /*mismatch=*/-1);
+  const ScoringScheme scheme(matrix, /*gap=*/-1);
+  const Sequence sa(alphabet, a);
+  const Sequence sb(alphabet, b);
+  const Score score =
+      global_score_linear(sa.residues(), sb.residues(), scheme);
+  FLSA_ASSERT(score <= 0);
+  return static_cast<std::size_t>(-score);
+}
+
+LcsResult longest_common_subsequence(std::string_view a, std::string_view b,
+                                     const FastLsaOptions& options) {
+  LcsResult result;
+  if (a.empty() || b.empty()) return result;
+  const Alphabet alphabet = make_text_alphabet(a, b);
+  // Match +1, gaps free; mismatching diagonals (-1) are never optimal
+  // because skipping both characters costs 0 — so every diagonal of the
+  // optimal path is a real match and the score is the LCS length.
+  const SubstitutionMatrix matrix =
+      scoring::identity(alphabet, /*match=*/1, /*mismatch=*/-1);
+  const ScoringScheme scheme(matrix, /*gap=*/0);
+  const Sequence sa(alphabet, a);
+  const Sequence sb(alphabet, b);
+  const Alignment aln = fastlsa_align(sa, sb, scheme, options);
+  result.length = static_cast<std::size_t>(aln.score);
+  for (std::size_t i = 0; i < aln.gapped_a.size(); ++i) {
+    if (aln.gapped_a[i] != '-' && aln.gapped_a[i] == aln.gapped_b[i]) {
+      result.subsequence.push_back(aln.gapped_a[i]);
+    }
+  }
+  FLSA_ASSERT(result.subsequence.size() == result.length);
+  return result;
+}
+
+}  // namespace flsa

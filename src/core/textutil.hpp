@@ -1,0 +1,35 @@
+// Text utilities on top of the alignment engine.
+//
+// Hirschberg's 1975 algorithm was originally stated for the longest common
+// subsequence problem; Myers and Miller transplanted it to sequence
+// alignment (paper Section 1). These helpers close the loop: LCS and
+// Levenshtein edit distance over arbitrary strings, computed in linear
+// space by the library's own machinery (an alphabet is synthesized from
+// the characters actually present).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/fastlsa.hpp"
+
+namespace flsa {
+
+/// Levenshtein distance (unit-cost substitutions, insertions, deletions),
+/// computed score-only in O(min(m, n)) space.
+/// Throws std::invalid_argument if the two strings use more than 64
+/// distinct characters (the alphabet limit).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Longest-common-subsequence result.
+struct LcsResult {
+  std::size_t length = 0;
+  std::string subsequence;  ///< one witness LCS (deterministic)
+};
+
+/// LCS of two strings via FastLSA (linear space, path recovered).
+LcsResult longest_common_subsequence(std::string_view a, std::string_view b,
+                                     const FastLsaOptions& options = {});
+
+}  // namespace flsa

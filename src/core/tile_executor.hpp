@@ -1,0 +1,68 @@
+// Execution interface for FastLSA's two data-parallel inner phases.
+//
+// Both the Fill Grid Cache phase and the (tiled) Base Case phase reduce to
+// the same pattern: a grid of tiles where tile (i, j) depends on tiles
+// (i-1, j) and (i, j-1) — the paper's wavefront. The engine describes the
+// grid and the per-tile work; an executor decides *how* the tiles run:
+//   - SequentialExecutor (here): row-major loop on the calling thread;
+//   - parallel/wavefront.hpp: P worker threads, barrier-staged or
+//     dependency-counter scheduling;
+//   - simexec/recording.hpp: sequential execution that also records the
+//     tile DAG and per-tile costs for virtual-time replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace flsa {
+
+/// Which FastLSA phase a tile grid belongs to (recorders label phases).
+enum class TilePhase : std::uint8_t { kFillCache, kBaseCase };
+
+/// Decides whether a tile is skipped (the fill phase skips the tiles of the
+/// bottom-right FastLSA sub-problem, the paper's u x v tiles).
+using TileSkipFn = std::function<bool(std::size_t ti, std::size_t tj)>;
+
+/// Performs one tile on worker slot `worker` and returns its cost in DPM
+/// cells (recorders use the cost; other executors ignore it).
+using TileWorkFn =
+    std::function<std::uint64_t(std::size_t ti, std::size_t tj,
+                                unsigned worker)>;
+
+/// Abstract tile-grid runner. Implementations must guarantee that `work`
+/// for tile (i, j) happens-after `work` for (i-1, j) and (i, j-1) (when
+/// those exist and are not skipped) and that all effects are visible to the
+/// caller when run() returns.
+class TileExecutor {
+ public:
+  virtual ~TileExecutor() = default;
+
+  /// Number of worker slots; the engine allocates per-worker scratch
+  /// accordingly, and `work` receives worker ids < worker_count().
+  virtual unsigned worker_count() const = 0;
+
+  /// Runs every non-skipped tile of a tile_rows x tile_cols grid.
+  virtual void run(std::size_t tile_rows, std::size_t tile_cols,
+                   const TileSkipFn& skip, const TileWorkFn& work,
+                   TilePhase phase) = 0;
+};
+
+/// Default executor: one worker, row-major order (exactly the sequential
+/// FastLSA of the paper's Section 3).
+class SequentialExecutor final : public TileExecutor {
+ public:
+  unsigned worker_count() const override { return 1; }
+
+  void run(std::size_t tile_rows, std::size_t tile_cols,
+           const TileSkipFn& skip, const TileWorkFn& work,
+           TilePhase /*phase*/) override {
+    for (std::size_t ti = 0; ti < tile_rows; ++ti) {
+      for (std::size_t tj = 0; tj < tile_cols; ++tj) {
+        if (skip && skip(ti, tj)) continue;
+        work(ti, tj, 0);
+      }
+    }
+  }
+};
+
+}  // namespace flsa

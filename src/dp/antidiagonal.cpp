@@ -1,0 +1,73 @@
+#include "dp/antidiagonal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+std::vector<Score> last_row_antidiagonal(std::span<const Residue> a,
+                                         std::span<const Residue> b,
+                                         const ScoringScheme& scheme,
+                                         DpCounters* counters) {
+  FLSA_REQUIRE(scheme.is_linear());
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const Score gap = scheme.gap_extend();
+  const SubstitutionMatrix& sub = scheme.matrix();
+
+  std::vector<Score> last_row(n + 1);
+  if (m == 0) {
+    for (std::size_t j = 0; j <= n; ++j) {
+      last_row[j] = static_cast<Score>(j) * gap;
+    }
+    return last_row;
+  }
+
+  // Buffers hold the two previous anti-diagonals, indexed by row i.
+  std::vector<Score> prev2(m + 1, kNegInf);
+  std::vector<Score> prev1(m + 1, kNegInf);
+  std::vector<Score> curr(m + 1, kNegInf);
+  prev1[0] = 0;  // diagonal 0: cell (0, 0)
+
+  for (std::size_t d = 1; d <= m + n; ++d) {
+    const std::size_t i_begin = d > n ? d - n : 0;
+    const std::size_t i_end = std::min(d, m);
+    // Cells on this diagonal, all independent of one another: the
+    // dependences reach only prev1/prev2 — no loop-carried dependence.
+    for (std::size_t i = i_begin; i <= i_end; ++i) {
+      const std::size_t j = d - i;
+      if (i == 0) {
+        curr[0] = static_cast<Score>(j) * gap;
+        continue;
+      }
+      if (j == 0) {
+        curr[i] = static_cast<Score>(i) * gap;
+        continue;
+      }
+      const Score via_diag = prev2[i - 1] + sub.at(a[i - 1], b[j - 1]);
+      const Score via_left = prev1[i] + gap;   // (i, j-1)
+      const Score via_up = prev1[i - 1] + gap;  // (i-1, j)
+      curr[i] = std::max(via_diag, std::max(via_up, via_left));
+    }
+    if (d >= m) last_row[d - m] = curr[m];
+    std::swap(prev2, prev1);
+    std::swap(prev1, curr);
+  }
+  // Diagonal m holds last_row[0]; handle the m == 0 corner covered above.
+  if (counters) {
+    counters->cells_scored += static_cast<std::uint64_t>(m) * n;
+  }
+  last_row[0] = static_cast<Score>(m) * gap;
+  return last_row;
+}
+
+Score global_score_antidiagonal(std::span<const Residue> a,
+                                std::span<const Residue> b,
+                                const ScoringScheme& scheme,
+                                DpCounters* counters) {
+  return last_row_antidiagonal(a, b, scheme, counters).back();
+}
+
+}  // namespace flsa

@@ -1,0 +1,34 @@
+// Anti-diagonal score kernel.
+//
+// The row-sweep kernel carries a loop dependence through `row[c-1]`, which
+// serializes each row. Walking the DPM by anti-diagonals removes all
+// intra-step dependences — every cell of a diagonal depends only on the
+// two previous diagonals — which is the classic auto-vectorizable /
+// fine-grained-parallel formulation (and the cell-level analogue of the
+// paper's tile wavefront). Provided as an alternative FindScore engine and
+// ablated against the row kernel in bench E10.
+#pragma once
+
+#include <span>
+
+#include "dp/counters.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Optimal global-alignment score via the anti-diagonal recurrence
+/// (linear gaps). Exactly equal to global_score_linear.
+Score global_score_antidiagonal(std::span<const Residue> a,
+                                std::span<const Residue> b,
+                                const ScoringScheme& scheme,
+                                DpCounters* counters = nullptr);
+
+/// Last DPM row via the anti-diagonal recurrence (drop-in replacement for
+/// last_row_linear).
+std::vector<Score> last_row_antidiagonal(std::span<const Residue> a,
+                                         std::span<const Residue> b,
+                                         const ScoringScheme& scheme,
+                                         DpCounters* counters = nullptr);
+
+}  // namespace flsa

@@ -1,0 +1,33 @@
+// Operation counters.
+//
+// The paper's analytical results are stated in DPM-entry computations
+// ("operations"); every kernel increments these counters so the benches can
+// compare measured operation counts against the paper's formulas (e.g.
+// FastLSA <= mn * (k/(k-1))^2, Hirschberg ~ 2mn, full matrix = mn).
+#pragma once
+
+#include <cstdint>
+
+namespace flsa {
+
+/// Accumulated work counters. Not thread-safe: parallel code keeps one per
+/// worker and merges with operator+=.
+struct DpCounters {
+  /// DPM entries computed by score-only sweeps (FindScore work).
+  std::uint64_t cells_scored = 0;
+  /// DPM entries computed inside stored full matrices (base cases / FM).
+  std::uint64_t cells_stored = 0;
+  /// Traceback steps taken (FindPath work).
+  std::uint64_t traceback_steps = 0;
+
+  std::uint64_t total_cells() const { return cells_scored + cells_stored; }
+
+  DpCounters& operator+=(const DpCounters& other) {
+    cells_scored += other.cells_scored;
+    cells_stored += other.cells_stored;
+    traceback_steps += other.traceback_steps;
+    return *this;
+  }
+};
+
+}  // namespace flsa

@@ -1,0 +1,76 @@
+#include "dp/format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+std::string format_blast(const Alignment& alignment,
+                         const std::string& query_id,
+                         const std::string& subject_id,
+                         std::size_t width) {
+  FLSA_REQUIRE(width >= 10);
+  std::ostringstream os;
+  os << "Query: " << query_id << "  Subject: " << subject_id << '\n'
+     << "Score = " << alignment.score << ", Identities = "
+     << alignment.matches() << "/" << alignment.length() << " ("
+     << std::fixed << std::setprecision(0) << 100.0 * alignment.identity()
+     << "%), Gaps = " << alignment.gap_count() << '\n';
+
+  // 1-based inclusive coordinates advance only on residues.
+  std::size_t a_pos = alignment.a_begin;
+  std::size_t b_pos = alignment.b_begin;
+  const std::size_t label_width =
+      std::max<std::size_t>(6, std::to_string(std::max(
+                                   alignment.a_end, alignment.b_end))
+                                   .size());
+  for (std::size_t chunk = 0; chunk < alignment.length(); chunk += width) {
+    const std::size_t len = std::min(width, alignment.length() - chunk);
+    const std::string qa = alignment.gapped_a.substr(chunk, len);
+    const std::string qb = alignment.gapped_b.substr(chunk, len);
+    std::size_t a_res = 0, b_res = 0;
+    std::string bars;
+    for (std::size_t i = 0; i < len; ++i) {
+      a_res += qa[i] != '-';
+      b_res += qb[i] != '-';
+      bars.push_back(qa[i] != '-' && qa[i] == qb[i]
+                         ? '|'
+                         : (qa[i] == '-' || qb[i] == '-' ? ' ' : '.'));
+    }
+    os << '\n'
+       << "Query  " << std::setw(static_cast<int>(label_width)) << std::left
+       << (a_res ? a_pos + 1 : a_pos) << ' ' << qa << "  "
+       << a_pos + a_res << '\n'
+       << "       " << std::setw(static_cast<int>(label_width)) << ' '
+       << ' ' << bars << '\n'
+       << "Sbjct  " << std::setw(static_cast<int>(label_width)) << std::left
+       << (b_res ? b_pos + 1 : b_pos) << ' ' << qb << "  "
+       << b_pos + b_res << '\n';
+    a_pos += a_res;
+    b_pos += b_res;
+  }
+  return os.str();
+}
+
+std::string tsv_header() {
+  return "query\tsubject\tscore\tidentity\tlength\tgaps\ta_begin\ta_end\t"
+         "b_begin\tb_end\tcigar";
+}
+
+std::string format_tsv(const Alignment& alignment,
+                       const std::string& query_id,
+                       const std::string& subject_id) {
+  std::ostringstream os;
+  os << query_id << '\t' << subject_id << '\t' << alignment.score << '\t'
+     << std::fixed << std::setprecision(2) << 100.0 * alignment.identity()
+     << '\t' << alignment.length() << '\t' << alignment.gap_count() << '\t'
+     << alignment.a_begin << '\t' << alignment.a_end << '\t'
+     << alignment.b_begin << '\t' << alignment.b_end << '\t'
+     << alignment.cigar();
+  return os.str();
+}
+
+}  // namespace flsa

@@ -1,0 +1,35 @@
+// Alignment report formatting: the interchange shapes downstream tools
+// expect — a BLAST-style coordinate-annotated block and a one-line TSV
+// record — in addition to Alignment::pretty()'s bare three-line view.
+#pragma once
+
+#include <string>
+
+#include "dp/alignment.hpp"
+
+namespace flsa {
+
+/// BLAST-pairwise-style rendering with 1-based residue coordinates:
+///
+///   Query  13  ACGT-ACG  19
+///              |||| ||.
+///   Sbjct  2   ACGTTACA  9
+///
+/// Coordinates respect the alignment's a_begin/b_begin offsets (local and
+/// semi-global regions render with their true positions).
+std::string format_blast(const Alignment& alignment,
+                         const std::string& query_id,
+                         const std::string& subject_id,
+                         std::size_t width = 60);
+
+/// One tab-separated record:
+/// query, subject, score, identity%, alignment length, gaps,
+/// a_begin, a_end, b_begin, b_end, cigar.
+std::string format_tsv(const Alignment& alignment,
+                       const std::string& query_id,
+                       const std::string& subject_id);
+
+/// Header line matching format_tsv's columns.
+std::string tsv_header();
+
+}  // namespace flsa

@@ -1,0 +1,88 @@
+#include "dp/kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+void sweep_rectangle_linear(std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const Score> top,
+                            std::span<const Score> left,
+                            std::span<Score> out_bottom,
+                            std::span<Score> out_right,
+                            DpCounters* counters) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = b.size();
+  FLSA_REQUIRE(scheme.is_linear());
+  FLSA_REQUIRE(top.size() == cols + 1);
+  FLSA_REQUIRE(left.size() == rows + 1);
+  FLSA_REQUIRE(top[0] == left[0]);
+  FLSA_REQUIRE(out_bottom.size() == cols + 1);
+  FLSA_REQUIRE(out_right.empty() || out_right.size() == rows + 1);
+
+  const Score gap = scheme.gap_extend();
+  const SubstitutionMatrix& sub = scheme.matrix();
+
+  // Row buffer; starts as the top boundary and is propagated downward.
+  // out_bottom may alias top, so copy through it directly.
+  if (out_bottom.data() != top.data()) {
+    std::copy(top.begin(), top.end(), out_bottom.begin());
+  }
+  Score* row = out_bottom.data();
+  if (!out_right.empty()) out_right[0] = row[cols];
+
+  for (std::size_t r = 1; r <= rows; ++r) {
+    Score diag = row[0];  // DPM value up-left of the first interior cell
+    row[0] = left[r];
+    const Residue ar = a[r - 1];
+    for (std::size_t c = 1; c <= cols; ++c) {
+      const Score up = row[c];
+      const Score match = diag + sub.at(ar, b[c - 1]);
+      const Score best =
+          std::max(match, std::max(up, row[c - 1]) + gap);
+      diag = up;
+      row[c] = best;
+    }
+    if (!out_right.empty()) out_right[r] = row[cols];
+  }
+
+  if (counters) {
+    counters->cells_scored += static_cast<std::uint64_t>(rows) * cols;
+  }
+}
+
+void init_global_boundary_linear(const ScoringScheme& scheme,
+                                 std::span<Score> boundary) {
+  FLSA_REQUIRE(scheme.is_linear());
+  const Score gap = scheme.gap_extend();
+  Score value = 0;
+  for (Score& slot : boundary) {
+    slot = value;
+    value += gap;
+  }
+}
+
+std::vector<Score> last_row_linear(std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters) {
+  std::vector<Score> row(b.size() + 1);
+  std::vector<Score> left(a.size() + 1);
+  init_global_boundary_linear(scheme, row);
+  init_global_boundary_linear(scheme, left);
+  sweep_rectangle_linear(a, b, scheme, row, left, row, {}, counters);
+  return row;
+}
+
+Score global_score_linear(std::span<const Residue> a,
+                          std::span<const Residue> b,
+                          const ScoringScheme& scheme,
+                          DpCounters* counters) {
+  return last_row_linear(a, b, scheme, counters).back();
+}
+
+}  // namespace flsa

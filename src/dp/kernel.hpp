@@ -1,0 +1,60 @@
+// Score-only DP sweeps over a rectangle with explicit boundary caches.
+//
+// This is the workhorse shared by Hirschberg (its LastRow computation) and
+// FastLSA (the Fill Grid Cache phase solves each tile with exactly this
+// kernel): given the DPM values on a rectangle's top row and left column,
+// compute the values on its bottom row and right column in O(cols) space
+// without storing the interior.
+#pragma once
+
+#include <span>
+
+#include "dp/counters.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Sweeps the rectangle spanned by residues `a` (rows) x `b` (columns) with
+/// a linear-gap recurrence.
+///
+/// Boundary layout: `top` has b.size()+1 entries (the DPM row above the
+/// rectangle, including the shared corner), `left` has a.size()+1 entries
+/// (the DPM column left of the rectangle, including the same corner);
+/// top[0] must equal left[0].
+///
+/// Outputs: `out_bottom` (b.size()+1 entries, the rectangle's last row
+/// including its left boundary value left[a.size()]) and `out_right`
+/// (a.size()+1 entries, the last column including top[b.size()]).
+/// `out_right` may be empty when only the bottom row is needed (Hirschberg).
+/// `out_bottom` may alias `top` (in-place row propagation).
+///
+/// Adds a.size()*b.size() to counters->cells_scored when counters != null.
+void sweep_rectangle_linear(std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const Score> top,
+                            std::span<const Score> left,
+                            std::span<Score> out_bottom,
+                            std::span<Score> out_right,
+                            DpCounters* counters = nullptr);
+
+/// Fills `boundary` (size len+1) with the global-alignment initial boundary
+/// 0, g, 2g, ... for a linear scheme (the leading-gap row/column of the DPM).
+void init_global_boundary_linear(const ScoringScheme& scheme,
+                                 std::span<Score> boundary);
+
+/// Convenience: last row of the global-alignment DPM of `a` x `b`
+/// (Hirschberg's LastRow). Returns b.size()+1 scores.
+std::vector<Score> last_row_linear(std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters = nullptr);
+
+/// Optimal global alignment *score* of `a` x `b` in linear space.
+Score global_score_linear(std::span<const Residue> a,
+                          std::span<const Residue> b,
+                          const ScoringScheme& scheme,
+                          DpCounters* counters = nullptr);
+
+}  // namespace flsa

@@ -1,0 +1,59 @@
+// Row-major 2-D container used for stored DPM blocks (full-matrix algorithm
+// and FastLSA base cases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+/// Simple row-major matrix; resizable so one buffer can be reused across
+/// base-case invocations (the paper's Base Case buffer).
+template <typename T>
+class Matrix2D {
+ public:
+  Matrix2D() = default;
+  Matrix2D(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  /// Reshapes to rows x cols. Keeps capacity; contents are unspecified.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Pre-grows capacity to `cells` elements without changing shape.
+  void reserve(std::size_t cells) { data_.reserve(cells); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    FLSA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    FLSA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* row(std::size_t r) {
+    FLSA_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const T* row(std::size_t r) const {
+    FLSA_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,99 @@
+#include "dp/packed_traceback.hpp"
+
+#include <algorithm>
+
+#include "dp/kernel.hpp"
+#include "dp/path.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+PackedDirectionMatrix::PackedDirectionMatrix(std::size_t rows,
+                                             std::size_t cols) {
+  resize(rows, cols);
+}
+
+void PackedDirectionMatrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  bytes_.assign((rows * cols + 3) / 4, 0);
+}
+
+void PackedDirectionMatrix::set(std::size_t r, std::size_t c, Move m) {
+  FLSA_ASSERT(r < rows_ && c < cols_);
+  const std::size_t cell = r * cols_ + c;
+  const std::size_t shift = (cell & 3) * 2;
+  std::uint8_t& byte = bytes_[cell >> 2];
+  byte = static_cast<std::uint8_t>(
+      (byte & ~(0x3u << shift)) |
+      (static_cast<unsigned>(m) << shift));
+}
+
+Move PackedDirectionMatrix::get(std::size_t r, std::size_t c) const {
+  FLSA_ASSERT(r < rows_ && c < cols_);
+  const std::size_t cell = r * cols_ + c;
+  const std::size_t shift = (cell & 3) * 2;
+  return static_cast<Move>((bytes_[cell >> 2] >> shift) & 0x3u);
+}
+
+Alignment packed_full_matrix_align(const Sequence& a, const Sequence& b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters) {
+  FLSA_REQUIRE(scheme.is_linear());
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const Score gap = scheme.gap_extend();
+  const SubstitutionMatrix& sub = scheme.matrix();
+
+  PackedDirectionMatrix dirs(m + 1, n + 1);
+  // Boundary directions: leading gaps.
+  for (std::size_t c = 1; c <= n; ++c) dirs.set(0, c, Move::kLeft);
+  for (std::size_t r = 1; r <= m; ++r) dirs.set(r, 0, Move::kUp);
+
+  std::vector<Score> row(n + 1);
+  init_global_boundary_linear(scheme, row);
+  for (std::size_t r = 1; r <= m; ++r) {
+    Score diag = row[0];
+    row[0] = static_cast<Score>(r) * gap;
+    const Residue ar = a[r - 1];
+    for (std::size_t c = 1; c <= n; ++c) {
+      const Score up = row[c];
+      const Score via_diag = diag + sub.at(ar, b[c - 1]);
+      const Score via_up = up + gap;
+      const Score via_left = row[c - 1] + gap;
+      const Score best = std::max(via_diag, std::max(via_up, via_left));
+      // Record the same deterministic preference the backward traceback of
+      // the unpacked FM algorithm applies: diagonal, then up, then left.
+      Move choice = Move::kLeft;
+      if (via_diag == best) {
+        choice = Move::kDiag;
+      } else if (via_up == best) {
+        choice = Move::kUp;
+      }
+      dirs.set(r, c, choice);
+      diag = up;
+      row[c] = best;
+    }
+  }
+  if (counters) {
+    counters->cells_scored += static_cast<std::uint64_t>(m) * n;
+  }
+
+  Path path(Cell{m, n});
+  std::size_t r = m, c = n;
+  while (r > 0 || c > 0) {
+    const Move move = dirs.get(r, c);
+    path.push_traceback(move);
+    switch (move) {
+      case Move::kDiag: --r; --c; break;
+      case Move::kUp: --r; break;
+      case Move::kLeft: --c; break;
+    }
+    if (counters) ++counters->traceback_steps;
+  }
+  Alignment out = alignment_from_path(a, b, path, scheme);
+  FLSA_ASSERT(out.score == row[n]);
+  return out;
+}
+
+}  // namespace flsa

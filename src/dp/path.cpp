@@ -1,0 +1,70 @@
+#include "dp/path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+char to_char(Move m) {
+  switch (m) {
+    case Move::kDiag: return 'D';
+    case Move::kUp: return 'U';
+    case Move::kLeft: return 'L';
+  }
+  return '?';
+}
+
+void Path::push_traceback(Move m) {
+  switch (m) {
+    case Move::kDiag:
+      if (front_.row == 0 || front_.col == 0) {
+        throw std::invalid_argument("diagonal move would leave the matrix");
+      }
+      --front_.row;
+      --front_.col;
+      break;
+    case Move::kUp:
+      if (front_.row == 0) {
+        throw std::invalid_argument("up move would leave the matrix");
+      }
+      --front_.row;
+      break;
+    case Move::kLeft:
+      if (front_.col == 0) {
+        throw std::invalid_argument("left move would leave the matrix");
+      }
+      --front_.col;
+      break;
+  }
+  traceback_.push_back(m);
+}
+
+std::vector<Move> Path::forward_moves() const {
+  std::vector<Move> forward(traceback_.rbegin(), traceback_.rend());
+  return forward;
+}
+
+std::string Path::to_string() const {
+  std::string s;
+  s.reserve(traceback_.size());
+  for (auto it = traceback_.rbegin(); it != traceback_.rend(); ++it) {
+    s.push_back(to_char(*it));
+  }
+  return s;
+}
+
+bool Path::is_consistent() const {
+  Cell pos = front_;
+  for (auto it = traceback_.rbegin(); it != traceback_.rend(); ++it) {
+    switch (*it) {
+      case Move::kDiag: ++pos.row; ++pos.col; break;
+      case Move::kUp: ++pos.row; break;
+      case Move::kLeft: ++pos.col; break;
+    }
+  }
+  return pos == end_;
+}
+
+}  // namespace flsa

@@ -1,0 +1,76 @@
+// Optimal paths through the (logical) dynamic-programming matrix.
+//
+// A path is the sequence of moves of the paper's FindPath phase. Matrix
+// convention throughout the library: rows 0..m index sequence `a`
+// (vertical), columns 0..n index sequence `b` (horizontal); entry (i, j) is
+// the optimal score of aligning a[1..i] with b[1..j].
+//
+// Paths are built *backwards* (the paper computes the optimal path from the
+// bottom-right corner toward the top-left), so Path records traceback moves
+// and exposes them in forward order on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flsa {
+
+/// One traceback step. Direction names describe where the predecessor lies.
+enum class Move : std::uint8_t {
+  kDiag,  ///< from (i-1, j-1): a[i] aligned with b[j]
+  kUp,    ///< from (i-1, j): a[i] aligned with a gap
+  kLeft,  ///< from (i, j-1): a gap aligned with b[j]
+};
+
+char to_char(Move m);  ///< 'D', 'U' or 'L'
+
+/// Cell coordinate in the DPM.
+struct Cell {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  bool operator==(const Cell&) const = default;
+};
+
+/// A contiguous path of moves ending at a fixed anchor cell and growing
+/// toward the origin as traceback moves are appended.
+class Path {
+ public:
+  /// Starts an empty path anchored at `end` (typically (m, n)).
+  explicit Path(Cell end) : end_(end), front_(end) {}
+
+  /// Appends one traceback step; the path front moves up/left accordingly.
+  /// Throws std::invalid_argument if the move would leave the matrix.
+  void push_traceback(Move m);
+
+  Cell end() const { return end_; }
+
+  /// Earliest (closest-to-origin) cell currently on the path.
+  Cell front() const { return front_; }
+
+  /// True once the path has reached the origin (0, 0).
+  bool reaches_origin() const { return front_ == Cell{0, 0}; }
+
+  std::size_t size() const { return traceback_.size(); }
+  bool empty() const { return traceback_.empty(); }
+
+  /// Moves in traceback order (last move of the alignment first).
+  const std::vector<Move>& traceback_moves() const { return traceback_; }
+
+  /// Moves in forward order, from front() to end().
+  std::vector<Move> forward_moves() const;
+
+  /// Compact display string of forward moves, e.g. "DDLUD".
+  std::string to_string() const;
+
+  /// Checks the internal geometry: replaying forward_moves() from front()
+  /// must land exactly on end(). (Cheap; used by tests and debug asserts.)
+  bool is_consistent() const;
+
+ private:
+  Cell end_;
+  Cell front_;
+  std::vector<Move> traceback_;
+};
+
+}  // namespace flsa

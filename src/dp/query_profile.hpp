@@ -1,0 +1,50 @@
+// Query-profile score kernel.
+//
+// The classic layout optimization for alignment inner loops: instead of a
+// 2-D substitution lookup `sub(a_i, b_j)` per cell, precompute for every
+// residue x the contiguous row P[x][j] = sub(x, b[j]). The inner loop
+// then streams one flat array (perfect spatial locality, no index
+// arithmetic on the matrix), typically 20-40% faster on protein
+// alphabets. Exposed as a drop-in FindScore engine and ablated against
+// the plain row kernel in bench E10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dp/counters.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Precomputed per-residue score rows for a fixed subject sequence `b`
+/// under a fixed substitution matrix.
+class QueryProfile {
+ public:
+  QueryProfile(std::span<const Residue> b, const SubstitutionMatrix& matrix);
+
+  std::size_t length() const { return length_; }
+
+  /// Scores of residue `x` against every position of `b` (length()).
+  const Score* row(Residue x) const { return rows_.data() + x * length_; }
+
+ private:
+  std::size_t length_;
+  std::vector<Score> rows_;  // [residue][position], row-major
+};
+
+/// Last DPM row of the global alignment of `a` x the profile's subject,
+/// using the profiled inner loop. Bit-identical to last_row_linear.
+std::vector<Score> last_row_profiled(std::span<const Residue> a,
+                                     const QueryProfile& profile,
+                                     const ScoringScheme& scheme,
+                                     DpCounters* counters = nullptr);
+
+/// Optimal global score via the profiled kernel.
+Score global_score_profiled(std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            DpCounters* counters = nullptr);
+
+}  // namespace flsa

@@ -1,0 +1,270 @@
+#include "dp/semiglobal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/fullmatrix.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/kernel.hpp"
+#include "dp/matrix.hpp"
+#include "dp/path.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+namespace {
+
+/// Shared sweep with configurable boundaries; returns the argmax over the
+/// last DPM row.
+SemiGlobalEnd sweep_with_boundaries(std::span<const Residue> a,
+                                    std::span<const Residue> b,
+                                    const ScoringScheme& scheme,
+                                    bool free_top, bool free_left,
+                                    DpCounters* counters) {
+  FLSA_REQUIRE(scheme.is_linear());
+  const Score gap = scheme.gap_extend();
+  const SubstitutionMatrix& sub = scheme.matrix();
+  std::vector<Score> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = free_top ? 0 : static_cast<Score>(j) * gap;
+  }
+  for (std::size_t r = 1; r <= a.size(); ++r) {
+    Score diag = row[0];
+    row[0] = free_left ? 0 : static_cast<Score>(r) * gap;
+    const Residue ar = a[r - 1];
+    for (std::size_t c = 1; c <= b.size(); ++c) {
+      const Score up = row[c];
+      row[c] = std::max(diag + sub.at(ar, b[c - 1]),
+                        std::max(up, row[c - 1]) + gap);
+      diag = up;
+    }
+  }
+  if (counters) {
+    counters->cells_scored += static_cast<std::uint64_t>(a.size()) * b.size();
+  }
+  SemiGlobalEnd end;
+  end.row = a.size();
+  end.score = row[0];
+  end.col = 0;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    if (row[j] > end.score) {
+      end.score = row[j];
+      end.col = j;
+    }
+  }
+  return end;
+}
+
+/// Full matrix with configurable boundaries; traceback from the best
+/// last-row cell until the free boundary is reached.
+Alignment semiglobal_full_matrix(const Sequence& a, const Sequence& b,
+                                 const ScoringScheme& scheme, bool free_top,
+                                 bool free_left, DpCounters* counters) {
+  FLSA_REQUIRE(scheme.is_linear());
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const Score gap = scheme.gap_extend();
+  std::vector<Score> top(n + 1), left(m + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    top[j] = free_top ? 0 : static_cast<Score>(j) * gap;
+  }
+  for (std::size_t r = 0; r <= m; ++r) {
+    left[r] = free_left ? 0 : static_cast<Score>(r) * gap;
+  }
+  Matrix2D<Score> dpm;
+  fill_full_matrix_linear(a.residues(), b.residues(), scheme, top, left, dpm,
+                          counters);
+
+  SemiGlobalEnd end;
+  end.row = m;
+  end.score = dpm(m, 0);
+  end.col = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (dpm(m, j) > end.score) {
+      end.score = dpm(m, j);
+      end.col = j;
+    }
+  }
+
+  Path path(Cell{m, end.col});
+  traceback_rectangle_linear(a.residues(), b.residues(), scheme, dpm, m,
+                             end.col, path, counters);
+  // The path stopped at row 0 or column 0; where it stopped defines the
+  // matched region. On the free boundary the remaining moves are skipped
+  // residues, not gaps; on the charged boundary they are real gaps.
+  Alignment out;
+  const Cell front = path.front();
+  std::size_t a_begin = 0, b_begin = 0;
+  if (free_top) {
+    // fitting: stop must be on row 0 (free), column gives the window start.
+    while (path.front().row > 0) path.push_traceback(Move::kUp);
+    b_begin = path.front().col;
+  } else {
+    FLSA_ASSERT(free_left);
+    // overlap: if the traceback stopped on row 0 with col > 0, those
+    // leading b-residues are charged gaps (b prefix is not free).
+    while (path.front().col > 0) path.push_traceback(Move::kLeft);
+    a_begin = path.front().row;
+  }
+  (void)front;
+
+  // Materialize the gapped rows over the matched region only.
+  std::string ga, gb;
+  std::size_t i = a_begin, j = b_begin;
+  for (auto it = path.traceback_moves().rbegin();
+       it != path.traceback_moves().rend(); ++it) {
+    switch (*it) {
+      case Move::kDiag:
+        ga.push_back(a.alphabet().letter(a[i++]));
+        gb.push_back(b.alphabet().letter(b[j++]));
+        break;
+      case Move::kUp:
+        ga.push_back(a.alphabet().letter(a[i++]));
+        gb.push_back('-');
+        break;
+      case Move::kLeft:
+        ga.push_back('-');
+        gb.push_back(b.alphabet().letter(b[j++]));
+        break;
+    }
+  }
+  out.gapped_a = std::move(ga);
+  out.gapped_b = std::move(gb);
+  out.score = end.score;
+  out.a_begin = a_begin;
+  out.a_end = m;
+  out.b_begin = b_begin;
+  out.b_end = end.col;
+  FLSA_ASSERT(i == m && j == end.col);
+  return out;
+}
+
+/// Affine variant of semiglobal_full_matrix: free boundaries hold
+/// D = 0 with dead gap lanes; charged boundaries are the usual affine gap
+/// ramps.
+Alignment semiglobal_full_matrix_affine(const Sequence& a,
+                                        const Sequence& b,
+                                        const ScoringScheme& scheme,
+                                        bool free_top, bool free_left,
+                                        DpCounters* counters) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<AffineCell> top(n + 1), left(m + 1);
+  if (free_top) {
+    for (auto& cell : top) cell = AffineCell{0, kNegInf, kNegInf};
+  } else {
+    init_global_boundary_affine(scheme, top, /*horizontal=*/true);
+  }
+  if (free_left) {
+    for (auto& cell : left) cell = AffineCell{0, kNegInf, kNegInf};
+  } else {
+    init_global_boundary_affine(scheme, left, /*horizontal=*/false);
+  }
+  top[0] = left[0] = AffineCell{0, kNegInf, kNegInf};
+  Matrix2D<AffineCell> dpm;
+  fill_full_matrix_affine(a.residues(), b.residues(), scheme, top, left,
+                          dpm, counters);
+
+  SemiGlobalEnd end;
+  end.row = m;
+  end.score = dpm(m, 0).d;
+  end.col = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (dpm(m, j).d > end.score) {
+      end.score = dpm(m, j).d;
+      end.col = j;
+    }
+  }
+
+  Path path(Cell{m, end.col});
+  traceback_rectangle_affine(a.residues(), b.residues(), scheme, dpm, m,
+                             end.col, AffineState::kD, path, counters);
+  Alignment out;
+  std::size_t a_begin = 0, b_begin = 0;
+  if (free_top) {
+    while (path.front().row > 0) path.push_traceback(Move::kUp);
+    b_begin = path.front().col;
+  } else {
+    while (path.front().col > 0) path.push_traceback(Move::kLeft);
+    a_begin = path.front().row;
+  }
+
+  std::string ga, gb;
+  std::size_t i = a_begin, j = b_begin;
+  for (auto it = path.traceback_moves().rbegin();
+       it != path.traceback_moves().rend(); ++it) {
+    switch (*it) {
+      case Move::kDiag:
+        ga.push_back(a.alphabet().letter(a[i++]));
+        gb.push_back(b.alphabet().letter(b[j++]));
+        break;
+      case Move::kUp:
+        ga.push_back(a.alphabet().letter(a[i++]));
+        gb.push_back('-');
+        break;
+      case Move::kLeft:
+        ga.push_back('-');
+        gb.push_back(b.alphabet().letter(b[j++]));
+        break;
+    }
+  }
+  out.gapped_a = std::move(ga);
+  out.gapped_b = std::move(gb);
+  out.score = end.score;
+  out.a_begin = a_begin;
+  out.a_end = m;
+  out.b_begin = b_begin;
+  out.b_end = end.col;
+  FLSA_ASSERT(i == m && j == end.col);
+  return out;
+}
+
+}  // namespace
+
+SemiGlobalEnd fitting_score_linear(std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters) {
+  return sweep_with_boundaries(a, b, scheme, /*free_top=*/true,
+                               /*free_left=*/false, counters);
+}
+
+SemiGlobalEnd overlap_score_linear(std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters) {
+  return sweep_with_boundaries(a, b, scheme, /*free_top=*/false,
+                               /*free_left=*/true, counters);
+}
+
+Alignment fitting_align_full_matrix(const Sequence& a, const Sequence& b,
+                                    const ScoringScheme& scheme,
+                                    DpCounters* counters) {
+  return semiglobal_full_matrix(a, b, scheme, /*free_top=*/true,
+                                /*free_left=*/false, counters);
+}
+
+Alignment overlap_align_full_matrix(const Sequence& a, const Sequence& b,
+                                    const ScoringScheme& scheme,
+                                    DpCounters* counters) {
+  return semiglobal_full_matrix(a, b, scheme, /*free_top=*/false,
+                                /*free_left=*/true, counters);
+}
+
+Alignment fitting_align_full_matrix_affine(const Sequence& a,
+                                           const Sequence& b,
+                                           const ScoringScheme& scheme,
+                                           DpCounters* counters) {
+  return semiglobal_full_matrix_affine(a, b, scheme, /*free_top=*/true,
+                                       /*free_left=*/false, counters);
+}
+
+Alignment overlap_align_full_matrix_affine(const Sequence& a,
+                                           const Sequence& b,
+                                           const ScoringScheme& scheme,
+                                           DpCounters* counters) {
+  return semiglobal_full_matrix_affine(a, b, scheme, /*free_top=*/false,
+                                       /*free_left=*/true, counters);
+}
+
+}  // namespace flsa

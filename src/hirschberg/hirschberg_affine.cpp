@@ -1,0 +1,172 @@
+#include "hirschberg/hirschberg_affine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/fullmatrix.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/matrix.hpp"
+#include "dp/path.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+namespace {
+
+std::vector<Residue> reversed_copy(std::span<const Residue> s) {
+  return std::vector<Residue>(s.rbegin(), s.rend());
+}
+
+/// Builds the sub-problem boundaries: the top row is an ordinary horizontal
+/// gap ramp; the left column is a vertical gap run whose open charge is
+/// `tb` (0 when a run already open above the sub-problem's top-left corner
+/// continues into it, gap_open otherwise).
+void make_boundaries(const ScoringScheme& scheme, std::size_t rows,
+                     std::size_t cols, Score tb,
+                     std::vector<AffineCell>& top,
+                     std::vector<AffineCell>& left) {
+  const Score open = scheme.gap_open();
+  const Score ext = scheme.gap_extend();
+  top.assign(cols + 1, AffineCell{});
+  left.assign(rows + 1, AffineCell{});
+  top[0] = AffineCell{0, kNegInf, kNegInf};
+  for (std::size_t j = 1; j <= cols; ++j) {
+    const Score run = open + static_cast<Score>(j) * ext;
+    top[j] = AffineCell{run, kNegInf, run};
+  }
+  left[0] = top[0];
+  for (std::size_t r = 1; r <= rows; ++r) {
+    const Score run = tb + static_cast<Score>(r) * ext;
+    left[r] = AffineCell{run, run, kNegInf};
+  }
+}
+
+/// Last DPM row of the sub-problem with top-left vertical open charge `tb`.
+std::vector<AffineCell> affine_pass(std::span<const Residue> a,
+                                    std::span<const Residue> b,
+                                    const ScoringScheme& scheme, Score tb,
+                                    DpCounters* counters) {
+  std::vector<AffineCell> top, left;
+  make_boundaries(scheme, a.size(), b.size(), tb, top, left);
+  std::vector<AffineCell> bottom(b.size() + 1);
+  sweep_rectangle_affine(a, b, scheme, top, left, bottom, {}, counters);
+  return bottom;
+}
+
+/// Full-matrix base case honouring both boundary charges. Appends forward
+/// moves of the optimal sub-alignment to `out`.
+void base_case(std::span<const Residue> a, std::span<const Residue> b,
+               const ScoringScheme& scheme, Score tb, Score te,
+               std::vector<Move>& out, DpCounters* counters) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<AffineCell> top, left;
+  make_boundaries(scheme, m, n, tb, top, left);
+  Matrix2D<AffineCell> dpm;
+  fill_full_matrix_affine(a, b, scheme, top, left, dpm, counters);
+
+  // A vertical run ending exactly at the bottom-right corner may have its
+  // open charge replaced by `te` (the run continues below the junction).
+  const AffineCell& corner = dpm(m, n);
+  const Score open = scheme.gap_open();
+  AffineState state = AffineState::kD;
+  if (corner.ix != kNegInf && corner.ix - open + te > corner.d) {
+    state = AffineState::kIx;
+  }
+  Path path(Cell{m, n});
+  traceback_rectangle_affine(a, b, scheme, dpm, m, n, state, path, counters);
+  extend_path_to_origin(path);
+  const std::vector<Move> forward = path.forward_moves();
+  out.insert(out.end(), forward.begin(), forward.end());
+}
+
+void recurse(std::span<const Residue> a, std::span<const Residue> b,
+             const ScoringScheme& scheme, Score tb, Score te,
+             const HirschbergOptions& options, std::vector<Move>& out,
+             DpCounters* counters) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m == 0) {
+    out.insert(out.end(), n, Move::kLeft);
+    return;
+  }
+  if (n == 0) {
+    out.insert(out.end(), m, Move::kUp);
+    return;
+  }
+  if (m <= 2 || n <= 2 ||
+      m * n <= std::max<std::size_t>(options.base_case_cells, 2)) {
+    base_case(a, b, scheme, tb, te, out, counters);
+    return;
+  }
+
+  const Score open = scheme.gap_open();
+  const std::size_t mid = m / 2;
+  const std::vector<AffineCell> fwd =
+      affine_pass(a.subspan(0, mid), b, scheme, tb, counters);
+  const std::vector<Residue> bottom_rev = reversed_copy(a.subspan(mid));
+  const std::vector<Residue> b_rev = reversed_copy(b);
+  const std::vector<AffineCell> bwd =
+      affine_pass(bottom_rev, b_rev, scheme, te, counters);
+
+  // Type 1: the optimal path passes through vertex (mid, j).
+  // Type 2: a vertical gap run crosses row mid at column j; its open was
+  // charged in both halves, so refund one.
+  std::size_t best_j = 0;
+  Score best = kNegInf;
+  bool crossing = false;
+  for (std::size_t j = 0; j <= n; ++j) {
+    const Score type1 = fwd[j].d + bwd[n - j].d;
+    if (type1 > best) {
+      best = type1;
+      best_j = j;
+      crossing = false;
+    }
+  }
+  for (std::size_t j = 0; j <= n; ++j) {
+    const Score type2 = fwd[j].ix + bwd[n - j].ix - open;
+    if (type2 > best) {
+      best = type2;
+      best_j = j;
+      crossing = true;
+    }
+  }
+
+  if (!crossing) {
+    recurse(a.subspan(0, mid), b.subspan(0, best_j), scheme, tb, open,
+            options, out, counters);
+    recurse(a.subspan(mid), b.subspan(best_j), scheme, open, te, options, out,
+            counters);
+  } else {
+    // The crossing run deletes at least a[mid-1] and a[mid]; emit those two
+    // moves directly and let the sub-problems continue the run with an
+    // exempted (already paid) open charge at the junction corners.
+    recurse(a.subspan(0, mid - 1), b.subspan(0, best_j), scheme, tb, 0,
+            options, out, counters);
+    out.push_back(Move::kUp);
+    out.push_back(Move::kUp);
+    recurse(a.subspan(mid + 1), b.subspan(best_j), scheme, 0, te, options,
+            out, counters);
+  }
+}
+
+}  // namespace
+
+Alignment hirschberg_align_affine(const Sequence& a, const Sequence& b,
+                                  const ScoringScheme& scheme,
+                                  const HirschbergOptions& options,
+                                  DpCounters* counters) {
+  std::vector<Move> forward;
+  forward.reserve(a.size() + b.size());
+  recurse(a.residues(), b.residues(), scheme, scheme.gap_open(),
+          scheme.gap_open(), options, forward, counters);
+
+  Path path(Cell{a.size(), b.size()});
+  for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+    path.push_traceback(*it);
+  }
+  FLSA_REQUIRE(path.reaches_origin());
+  return alignment_from_path(a, b, path, scheme);
+}
+
+}  // namespace flsa

@@ -1,0 +1,28 @@
+// Myers-Miller linear-space alignment with affine gaps.
+//
+// Hirschberg's split must account for vertical gap runs that cross the
+// split row: the forward/backward passes therefore carry the full affine
+// lane triples, the join considers both a vertex crossing (type 1,
+// D_f + D_b) and a gap crossing (type 2, Ix_f + Ix_b - gap_open, refunding
+// the doubly charged open), and sub-problems receive boundary gap-open
+// charges (tb at the top-left corner, te at the bottom-right corner) so a
+// run continuing across a junction is charged its open exactly once.
+#pragma once
+
+#include "dp/alignment.hpp"
+#include "dp/counters.hpp"
+#include "hirschberg/hirschberg.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Optimal global alignment with affine gaps in linear space.
+/// Also accepts linear schemes (gap_open == 0), where it reduces to the
+/// plain algorithm.
+Alignment hirschberg_align_affine(const Sequence& a, const Sequence& b,
+                                  const ScoringScheme& scheme,
+                                  const HirschbergOptions& options = {},
+                                  DpCounters* counters = nullptr);
+
+}  // namespace flsa

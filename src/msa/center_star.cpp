@@ -1,0 +1,214 @@
+#include "msa/center_star.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dp/alignment.hpp"
+#include "dp/kernel.hpp"
+#include "parallel/batch.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace msa {
+
+namespace {
+
+/// Merges one pairwise alignment (center row `pc`, partner row `po`) into
+/// the growing alignment whose row 0 gap pattern is `master[0]` (the
+/// center). Gap columns are reconciled under "once a gap, always a gap".
+void merge_pairwise(std::vector<std::string>& master, const std::string& pc,
+                    const std::string& po) {
+  const std::string& mc = master[0];
+  std::vector<std::string> out(master.size() + 1);
+  std::size_t i = 0, j = 0;
+  auto copy_master_column = [&](std::size_t col) {
+    for (std::size_t r = 0; r < master.size(); ++r) {
+      out[r].push_back(master[r][col]);
+    }
+  };
+  auto gap_master_column = [&] {
+    for (std::size_t r = 0; r < master.size(); ++r) {
+      out[r].push_back('-');
+    }
+  };
+  while (i < mc.size() || j < pc.size()) {
+    const bool master_gap = i < mc.size() && mc[i] == '-';
+    const bool pair_gap = j < pc.size() && pc[j] == '-';
+    if (master_gap) {
+      // A column some earlier sequence inserted; the new one sits out.
+      copy_master_column(i);
+      out.back().push_back('-');
+      ++i;
+    } else if (pair_gap) {
+      // The new sequence inserts a column; everyone else sits out.
+      gap_master_column();
+      out.back().push_back(po[j]);
+      ++j;
+    } else {
+      // Both sides hold the same center residue (counts always match).
+      FLSA_ASSERT(i < mc.size() && j < pc.size());
+      FLSA_ASSERT(mc[i] == pc[j]);
+      copy_master_column(i);
+      out.back().push_back(po[j]);
+      ++i;
+      ++j;
+    }
+  }
+  master = std::move(out);
+}
+
+}  // namespace
+
+MultipleAlignment center_star_align(const std::vector<Sequence>& sequences,
+                                    const ScoringScheme& scheme,
+                                    const CenterStarOptions& options) {
+  FLSA_REQUIRE(!sequences.empty());
+  FLSA_REQUIRE(scheme.is_linear());
+  const Alphabet& alphabet = sequences[0].alphabet();
+  for (const Sequence& s : sequences) {
+    FLSA_REQUIRE(&s.alphabet() == &alphabet);
+  }
+
+  MultipleAlignment result;
+  if (sequences.size() == 1) {
+    result.rows.push_back(sequences[0].to_string());
+    return result;
+  }
+
+  // 1. Pick the center: the sequence maximizing its total pairwise global
+  // score against all others (score-only passes; O(sum of pair areas)).
+  const std::size_t n = sequences.size();
+  std::vector<std::vector<Score>> pair_score(n, std::vector<Score>(n, 0));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      const Score s = global_score_linear(sequences[x].residues(),
+                                          sequences[y].residues(), scheme);
+      pair_score[x][y] = s;
+      pair_score[y][x] = s;
+    }
+  }
+  std::size_t center = 0;
+  std::int64_t best_total = INT64_MIN;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::int64_t total = std::accumulate(
+        pair_score[x].begin(), pair_score[x].end(), std::int64_t{0});
+    if (total > best_total) {
+      best_total = total;
+      center = x;
+    }
+  }
+  result.center_index = center;
+
+  // 2. Align every other sequence to the center (batch, FastLSA under the
+  // hood via AlignOptions).
+  std::vector<AlignJob> jobs;
+  std::vector<std::size_t> job_index;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (x == center) continue;
+    jobs.push_back(AlignJob{&sequences[center], &sequences[x]});
+    job_index.push_back(x);
+  }
+  AlignOptions align_options;
+  align_options.strategy = Strategy::kFastLsa;
+  align_options.fastlsa = options.fastlsa;
+  const std::vector<BatchResult> aligned =
+      align_batch(jobs, scheme, align_options,
+                  options.threads == 0 ? 0 : options.threads);
+
+  // 3. Merge pairwise alignments into the star (center is row 0 during
+  // construction; rows are re-ordered to input order at the end).
+  std::vector<std::string> master{sequences[center].to_string()};
+  for (const BatchResult& r : aligned) {
+    merge_pairwise(master, r.alignment.gapped_a, r.alignment.gapped_b);
+  }
+
+  // master rows: [center, partners in job order] -> input order.
+  result.rows.assign(n, "");
+  result.rows[center] = std::move(master[0]);
+  for (std::size_t idx = 0; idx < job_index.size(); ++idx) {
+    result.rows[job_index[idx]] = std::move(master[idx + 1]);
+  }
+  return result;
+}
+
+namespace {
+
+/// Majority residue of one column: (residue code or -1 for gap, count).
+std::pair<int, std::size_t> column_majority(
+    const MultipleAlignment& alignment, const Alphabet& alphabet,
+    std::size_t col) {
+  std::vector<std::size_t> counts(alphabet.size(), 0);
+  std::size_t gaps = 0;
+  for (const std::string& row : alignment.rows) {
+    if (row[col] == '-') {
+      ++gaps;
+    } else {
+      ++counts[alphabet.code(row[col])];
+    }
+  }
+  int best = -1;
+  std::size_t best_count = gaps;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] > best_count) {
+      best_count = counts[r];
+      best = static_cast<int>(r);
+    }
+  }
+  return {best, best_count};
+}
+
+}  // namespace
+
+std::string consensus(const MultipleAlignment& alignment,
+                      const Alphabet& alphabet) {
+  std::string out;
+  for (std::size_t col = 0; col < alignment.width(); ++col) {
+    const auto [residue, count] = column_majority(alignment, alphabet, col);
+    if (residue >= 0) {
+      out.push_back(alphabet.letter(static_cast<Residue>(residue)));
+    }
+  }
+  return out;
+}
+
+std::vector<double> column_conservation(const MultipleAlignment& alignment,
+                                        const Alphabet& alphabet) {
+  std::vector<double> out;
+  out.reserve(alignment.width());
+  const double depth = static_cast<double>(alignment.rows.size());
+  for (std::size_t col = 0; col < alignment.width(); ++col) {
+    const auto [residue, count] = column_majority(alignment, alphabet, col);
+    out.push_back(residue < 0 ? 0.0
+                              : static_cast<double>(count) / depth);
+  }
+  return out;
+}
+
+Score sum_of_pairs_score(const MultipleAlignment& alignment,
+                         const ScoringScheme& scheme,
+                         const Alphabet& alphabet) {
+  const std::size_t n = alignment.rows.size();
+  for (const std::string& row : alignment.rows) {
+    FLSA_REQUIRE(row.size() == alignment.width());
+  }
+  Score total = 0;
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      // Project the pair out of the MSA, dropping gap-gap columns, and
+      // score it like any pairwise alignment.
+      Alignment pair;
+      for (std::size_t col = 0; col < alignment.width(); ++col) {
+        const char cx = alignment.rows[x][col];
+        const char cy = alignment.rows[y][col];
+        if (cx == '-' && cy == '-') continue;
+        pair.gapped_a.push_back(cx);
+        pair.gapped_b.push_back(cy);
+      }
+      total += score_alignment(pair, scheme, alphabet);
+    }
+  }
+  return total;
+}
+
+}  // namespace msa
+}  // namespace flsa

@@ -1,0 +1,64 @@
+// Multiple sequence alignment by the center-star method.
+//
+// A downstream-user extension built entirely on the library's pairwise
+// engine: homology studies rarely stop at two sequences. Center-star picks
+// the sequence with the highest total pairwise similarity as the center,
+// aligns every other sequence to it (with FastLSA, so memory stays linear
+// in the inputs), and merges the pairwise alignments column-wise under the
+// "once a gap, always a gap" rule. For metric-like scoring this is the
+// classic 2-approximation to the optimal sum-of-pairs alignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fastlsa.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+namespace msa {
+
+/// A multiple alignment: one gapped row per input sequence, equal lengths,
+/// rows in input order.
+struct MultipleAlignment {
+  std::vector<std::string> rows;
+  std::size_t center_index = 0;  ///< which input was chosen as the center
+
+  std::size_t width() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+/// Options for the center-star build.
+struct CenterStarOptions {
+  FastLsaOptions fastlsa;
+  /// Threads for the all-vs-center pairwise phase (0 = hardware).
+  unsigned threads = 1;
+};
+
+/// Builds the center-star alignment of `sequences` (>= 1, shared
+/// alphabet). Linear gap schemes only.
+MultipleAlignment center_star_align(const std::vector<Sequence>& sequences,
+                                    const ScoringScheme& scheme,
+                                    const CenterStarOptions& options = {});
+
+/// Majority-rule consensus of a multiple alignment: per column, the most
+/// frequent residue (ties to the smallest residue code); columns whose
+/// majority is a gap are skipped. Returns a plain letter string.
+std::string consensus(const MultipleAlignment& alignment,
+                      const Alphabet& alphabet);
+
+/// Per-column conservation: fraction of rows agreeing with the column's
+/// majority residue (gap rows count against it). Length == width().
+std::vector<double> column_conservation(const MultipleAlignment& alignment,
+                                        const Alphabet& alphabet);
+
+/// Sum-of-pairs score of a multiple alignment under `scheme`: every
+/// unordered row pair is scored column-wise (gap-gap columns contribute
+/// zero; each maximal gap run against a residue is charged like a pairwise
+/// gap).
+Score sum_of_pairs_score(const MultipleAlignment& alignment,
+                         const ScoringScheme& scheme,
+                         const Alphabet& alphabet);
+
+}  // namespace msa
+}  // namespace flsa

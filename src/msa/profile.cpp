@@ -1,0 +1,170 @@
+#include "msa/profile.hpp"
+
+#include <algorithm>
+
+#include "dp/matrix.hpp"
+#include "dp/path.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace msa {
+
+Profile::Profile(const Sequence& sequence)
+    : alphabet_(&sequence.alphabet()), rows_{sequence.to_string()},
+      width_(sequence.size()) {
+  index_columns();
+}
+
+Profile::Profile(const Alphabet& alphabet, std::vector<std::string> rows)
+    : alphabet_(&alphabet), rows_(std::move(rows)) {
+  FLSA_REQUIRE(!rows_.empty());
+  width_ = rows_[0].size();
+  for (const std::string& row : rows_) {
+    FLSA_REQUIRE(row.size() == width_);
+  }
+  index_columns();
+}
+
+void Profile::index_columns() {
+  counts_.assign(width_, std::vector<std::uint32_t>(alphabet_->size(), 0));
+  gaps_.assign(width_, 0);
+  for (const std::string& row : rows_) {
+    for (std::size_t col = 0; col < width_; ++col) {
+      const char c = row[col];
+      if (c == '-') {
+        ++gaps_[col];
+      } else {
+        ++counts_[col][alphabet_->code(c)];
+      }
+    }
+  }
+}
+
+Score column_pair_score(const Profile& p1, std::size_t i, const Profile& p2,
+                        std::size_t j, const ScoringScheme& scheme) {
+  FLSA_REQUIRE(&p1.alphabet() == &p2.alphabet());
+  const SubstitutionMatrix& m = scheme.matrix();
+  const auto& c1 = p1.counts(i);
+  const auto& c2 = p2.counts(j);
+  Score total = 0;
+  for (Residue x = 0; x < p1.alphabet().size(); ++x) {
+    if (c1[x] == 0) continue;
+    Score row_total = 0;
+    for (Residue y = 0; y < p2.alphabet().size(); ++y) {
+      if (c2[y] == 0) continue;
+      row_total += static_cast<Score>(c2[y]) * m.at(x, y);
+    }
+    total += static_cast<Score>(c1[x]) * row_total;
+  }
+  // Residue-vs-gap pairs on both sides; gap-gap pairs are free.
+  total += scheme.gap_extend() *
+           (static_cast<Score>(p1.residues(i)) *
+                static_cast<Score>(p2.gaps(j)) +
+            static_cast<Score>(p1.gaps(i)) *
+                static_cast<Score>(p2.residues(j)));
+  return total;
+}
+
+Profile align_profiles(const Profile& p1, const Profile& p2,
+                       const ScoringScheme& scheme) {
+  FLSA_REQUIRE(&p1.alphabet() == &p2.alphabet());
+  FLSA_REQUIRE(scheme.is_linear());
+  const std::size_t w1 = p1.width();
+  const std::size_t w2 = p2.width();
+  const Score gap = scheme.gap_extend();
+
+  // Cost of aligning a column against an inserted all-gap column: every
+  // residue in the column pairs with a gap in each row of the other side.
+  auto gap_against_p2 = [&](std::size_t i) {
+    return gap * static_cast<Score>(p1.residues(i)) *
+           static_cast<Score>(p2.depth());
+  };
+  auto gap_against_p1 = [&](std::size_t j) {
+    return gap * static_cast<Score>(p2.residues(j)) *
+           static_cast<Score>(p1.depth());
+  };
+
+  // Precompute per-(x, j) matrix-vector products so each DP cell costs
+  // O(|A|) instead of O(|A|^2).
+  const std::size_t asize = p1.alphabet().size();
+  const SubstitutionMatrix& m = scheme.matrix();
+  std::vector<Score> mv(asize * w2, 0);
+  for (std::size_t j = 0; j < w2; ++j) {
+    const auto& c2 = p2.counts(j);
+    for (Residue x = 0; x < asize; ++x) {
+      Score sum = 0;
+      for (Residue y = 0; y < asize; ++y) {
+        if (c2[y]) sum += static_cast<Score>(c2[y]) * m.at(x, y);
+      }
+      mv[x * w2 + j] = sum;
+    }
+  }
+  auto pair_score = [&](std::size_t i, std::size_t j) {
+    const auto& c1 = p1.counts(i);
+    Score total = 0;
+    for (Residue x = 0; x < asize; ++x) {
+      if (c1[x]) total += static_cast<Score>(c1[x]) * mv[x * w2 + j];
+    }
+    total += gap * (static_cast<Score>(p1.residues(i)) *
+                        static_cast<Score>(p2.gaps(j)) +
+                    static_cast<Score>(p1.gaps(i)) *
+                        static_cast<Score>(p2.residues(j)));
+    return total;
+  };
+
+  Matrix2D<Score> dpm(w1 + 1, w2 + 1);
+  dpm(0, 0) = 0;
+  for (std::size_t j = 1; j <= w2; ++j) {
+    dpm(0, j) = dpm(0, j - 1) + gap_against_p1(j - 1);
+  }
+  for (std::size_t i = 1; i <= w1; ++i) {
+    dpm(i, 0) = dpm(i - 1, 0) + gap_against_p2(i - 1);
+    for (std::size_t j = 1; j <= w2; ++j) {
+      dpm(i, j) = std::max(
+          {dpm(i - 1, j - 1) + pair_score(i - 1, j - 1),
+           dpm(i - 1, j) + gap_against_p2(i - 1),
+           dpm(i, j - 1) + gap_against_p1(j - 1)});
+    }
+  }
+
+  // Traceback over columns (diag, up, left preference as everywhere).
+  std::vector<Move> rev_moves;
+  std::size_t i = w1, j = w2;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        dpm(i, j) == dpm(i - 1, j - 1) + pair_score(i - 1, j - 1)) {
+      rev_moves.push_back(Move::kDiag);
+      --i;
+      --j;
+    } else if (i > 0 && dpm(i, j) == dpm(i - 1, j) + gap_against_p2(i - 1)) {
+      rev_moves.push_back(Move::kUp);
+      --i;
+    } else {
+      FLSA_ASSERT(j > 0 &&
+                  dpm(i, j) == dpm(i, j - 1) + gap_against_p1(j - 1));
+      rev_moves.push_back(Move::kLeft);
+      --j;
+    }
+  }
+
+  // Emit merged rows.
+  std::vector<std::string> merged(p1.depth() + p2.depth());
+  std::size_t ci = 0, cj = 0;
+  for (auto it = rev_moves.rbegin(); it != rev_moves.rend(); ++it) {
+    const bool take1 = *it != Move::kLeft;
+    const bool take2 = *it != Move::kUp;
+    for (std::size_t r = 0; r < p1.depth(); ++r) {
+      merged[r].push_back(take1 ? p1.rows()[r][ci] : '-');
+    }
+    for (std::size_t r = 0; r < p2.depth(); ++r) {
+      merged[p1.depth() + r].push_back(take2 ? p2.rows()[r][cj] : '-');
+    }
+    if (take1) ++ci;
+    if (take2) ++cj;
+  }
+  FLSA_ASSERT(ci == w1 && cj == w2);
+  return Profile(p1.alphabet(), std::move(merged));
+}
+
+}  // namespace msa
+}  // namespace flsa

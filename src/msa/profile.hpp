@@ -1,0 +1,67 @@
+// Alignment profiles and profile-profile alignment.
+//
+// A profile is a multiple alignment summarized as per-column residue/gap
+// counts. Two profiles align with the same global DP as two sequences —
+// cells score columns against columns by summed pairwise substitution
+// scores ("sum of pairs") — which is the merge step of progressive MSA
+// (msa/progressive.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msa/center_star.hpp"
+#include "scoring/scheme.hpp"
+
+namespace flsa {
+namespace msa {
+
+/// Per-column counts over an alphabet (+ gaps) for a set of aligned rows.
+class Profile {
+ public:
+  /// Builds a single-sequence profile.
+  Profile(const Sequence& sequence);
+
+  /// Builds a profile from gapped rows (equal lengths) over `alphabet`.
+  Profile(const Alphabet& alphabet, std::vector<std::string> rows);
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return rows_.size(); }
+  const std::vector<std::string>& rows() const { return rows_; }
+
+  /// Residue counts of column `col` (size |A|).
+  const std::vector<std::uint32_t>& counts(std::size_t col) const {
+    return counts_[col];
+  }
+  /// Number of gap characters in column `col`.
+  std::uint32_t gaps(std::size_t col) const { return gaps_[col]; }
+  /// Number of residues (non-gaps) in column `col`.
+  std::uint32_t residues(std::size_t col) const {
+    return static_cast<std::uint32_t>(depth()) - gaps_[col];
+  }
+
+ private:
+  void index_columns();
+
+  const Alphabet* alphabet_;
+  std::vector<std::string> rows_;
+  std::size_t width_ = 0;
+  std::vector<std::vector<std::uint32_t>> counts_;  // [col][residue]
+  std::vector<std::uint32_t> gaps_;
+};
+
+/// Sum-of-pairs score of aligning column `i` of `p1` with column `j` of
+/// `p2`: residue pairs via the matrix, residue-gap pairs via gap_extend,
+/// gap-gap pairs free. (Linear gap model.)
+Score column_pair_score(const Profile& p1, std::size_t i, const Profile& p2,
+                        std::size_t j, const ScoringScheme& scheme);
+
+/// Globally aligns two profiles (full-matrix DP over columns, linear
+/// gaps), returning the merged profile whose rows are p1's rows followed
+/// by p2's rows, with gap columns inserted per the optimal column path.
+Profile align_profiles(const Profile& p1, const Profile& p2,
+                       const ScoringScheme& scheme);
+
+}  // namespace msa
+}  // namespace flsa

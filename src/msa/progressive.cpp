@@ -1,0 +1,167 @@
+#include "msa/progressive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "dp/kernel.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace msa {
+
+GuideTree upgma(const std::vector<std::vector<double>>& distances) {
+  const std::size_t n = distances.size();
+  FLSA_REQUIRE(n >= 1);
+  for (const auto& row : distances) {
+    FLSA_REQUIRE(row.size() == n);
+  }
+
+  GuideTree tree;
+  tree.nodes.reserve(2 * n - 1);
+  // Active clusters: node index -> (member count). Distances between
+  // clusters live in a mutable copy, indexed by node id.
+  struct Cluster {
+    int node;
+    std::size_t size;
+  };
+  std::vector<Cluster> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    GuideNode leaf;
+    leaf.sequence = i;
+    tree.nodes.push_back(leaf);
+    active.push_back({static_cast<int>(i), 1});
+  }
+  // dist[{a,b}] keyed by node ids (a < b).
+  std::map<std::pair<int, int>, double> dist;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[{static_cast<int>(i), static_cast<int>(j)}] = distances[i][j];
+    }
+  }
+  auto d = [&](int a, int b) {
+    return dist.at({std::min(a, b), std::max(a, b)});
+  };
+
+  while (active.size() > 1) {
+    // Closest pair (smallest indices on ties).
+    std::size_t bi = 0, bj = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double dij = d(active[i].node, active[j].node);
+        if (dij < best) {
+          best = dij;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge: new node, UPGMA average-linkage update.
+    GuideNode parent;
+    parent.left = active[bi].node;
+    parent.right = active[bj].node;
+    parent.height = best / 2.0;
+    const int parent_id = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(parent);
+    const std::size_t size_i = active[bi].size;
+    const std::size_t size_j = active[bj].size;
+    const int node_i = active[bi].node;
+    const int node_j = active[bj].node;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (k == bi || k == bj) continue;
+      const int other = active[k].node;
+      const double dnew =
+          (d(node_i, other) * static_cast<double>(size_i) +
+           d(node_j, other) * static_cast<double>(size_j)) /
+          static_cast<double>(size_i + size_j);
+      dist[{std::min(parent_id, other), std::max(parent_id, other)}] = dnew;
+    }
+    // Replace bi with the parent, drop bj.
+    active[bi] = {parent_id, size_i + size_j};
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  tree.root = active[0].node;
+  return tree;
+}
+
+std::vector<std::vector<double>> alignment_distances(
+    const std::vector<Sequence>& sequences, const ScoringScheme& scheme) {
+  const std::size_t n = sequences.size();
+  std::vector<Score> self(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    self[i] = global_score_linear(sequences[i].residues(),
+                                  sequences[i].residues(), scheme);
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Score s = global_score_linear(sequences[i].residues(),
+                                          sequences[j].residues(), scheme);
+      const double dij =
+          (static_cast<double>(self[i]) + static_cast<double>(self[j])) /
+              2.0 -
+          static_cast<double>(s);
+      d[i][j] = dij;
+      d[j][i] = dij;
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Post-order profile construction over the guide tree. Also collects the
+/// input index of every row, in row order, so the final alignment can be
+/// re-sorted to input order.
+Profile build_profile(const GuideTree& tree, int node,
+                      const std::vector<Sequence>& sequences,
+                      const ScoringScheme& scheme,
+                      std::vector<std::size_t>& row_order) {
+  const GuideNode& gn = tree.nodes[static_cast<std::size_t>(node)];
+  if (gn.is_leaf()) {
+    row_order.push_back(gn.sequence);
+    return Profile(sequences[gn.sequence]);
+  }
+  const Profile left =
+      build_profile(tree, gn.left, sequences, scheme, row_order);
+  const Profile right =
+      build_profile(tree, gn.right, sequences, scheme, row_order);
+  return align_profiles(left, right, scheme);
+}
+
+}  // namespace
+
+MultipleAlignment progressive_align(const std::vector<Sequence>& sequences,
+                                    const ScoringScheme& scheme) {
+  FLSA_REQUIRE(!sequences.empty());
+  FLSA_REQUIRE(scheme.is_linear());
+  const Alphabet& alphabet = sequences[0].alphabet();
+  for (const Sequence& s : sequences) {
+    FLSA_REQUIRE(&s.alphabet() == &alphabet);
+  }
+
+  MultipleAlignment result;
+  if (sequences.size() == 1) {
+    result.rows.push_back(sequences[0].to_string());
+    return result;
+  }
+
+  const GuideTree tree = upgma(alignment_distances(sequences, scheme));
+  std::vector<std::size_t> row_order;
+  const Profile merged =
+      build_profile(tree, tree.root, sequences, scheme, row_order);
+  FLSA_ASSERT(row_order.size() == sequences.size());
+
+  result.rows.assign(sequences.size(), "");
+  for (std::size_t r = 0; r < row_order.size(); ++r) {
+    result.rows[row_order[r]] = merged.rows()[r];
+  }
+  // center_index is meaningless for progressive MSA; report the root's
+  // deepest leaf conventionally as 0 of the first pair merged.
+  result.center_index = row_order.empty() ? 0 : row_order[0];
+  return result;
+}
+
+}  // namespace msa
+}  // namespace flsa

@@ -1,0 +1,50 @@
+// Progressive multiple sequence alignment over a UPGMA guide tree.
+//
+// The ClustalW-style pipeline, built from this library's parts: pairwise
+// FastLSA scores give a distance matrix; UPGMA clusters it into a guide
+// tree; profiles merge bottom-up with profile-profile alignment
+// (msa/profile.hpp). Generally produces better sum-of-pairs scores than
+// center-star on divergent families, at the cost of the extra profile
+// DPs.
+#pragma once
+
+#include "msa/center_star.hpp"
+#include "msa/profile.hpp"
+
+namespace flsa {
+namespace msa {
+
+/// Node of the UPGMA guide tree; leaves carry sequence indices.
+struct GuideNode {
+  int left = -1;    ///< child node index, -1 for leaves
+  int right = -1;
+  std::size_t sequence = 0;  ///< input index (leaves only)
+  double height = 0.0;       ///< UPGMA cluster height
+
+  bool is_leaf() const { return left < 0; }
+};
+
+/// A guide tree: nodes in construction order, root last. Leaves occupy
+/// indices [0, n).
+struct GuideTree {
+  std::vector<GuideNode> nodes;
+  int root = -1;
+};
+
+/// Builds the UPGMA tree from a symmetric distance matrix (row-major,
+/// n x n, zero diagonal). Ties break toward the smallest index pair.
+GuideTree upgma(const std::vector<std::vector<double>>& distances);
+
+/// Pairwise distances from global alignment scores:
+/// d(x, y) = (s(x,x) + s(y,y)) / 2 - s(x,y), a standard
+/// similarity-to-distance transform (0 for identical sequences, larger
+/// for more divergent pairs under any sensible matrix).
+std::vector<std::vector<double>> alignment_distances(
+    const std::vector<Sequence>& sequences, const ScoringScheme& scheme);
+
+/// Progressive MSA: UPGMA guide tree + profile merges. Linear gaps only.
+MultipleAlignment progressive_align(const std::vector<Sequence>& sequences,
+                                    const ScoringScheme& scheme);
+
+}  // namespace msa
+}  // namespace flsa

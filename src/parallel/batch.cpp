@@ -1,0 +1,66 @@
+#include "parallel/batch.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
+                                     const ScoringScheme& scheme,
+                                     const AlignOptions& options,
+                                     unsigned threads) {
+  for (const AlignJob& job : jobs) {
+    FLSA_REQUIRE(job.a != nullptr && job.b != nullptr);
+  }
+  std::vector<BatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, jobs.size()));
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker_fn = [&](unsigned) {
+    while (true) {
+      const std::size_t index =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) break;
+      try {
+        results[index].alignment =
+            align(*jobs[index].a, *jobs[index].b, scheme, options,
+                  &results[index].report);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker_fn(0);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_run(worker_fn);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<BatchResult> align_one_vs_many(
+    const Sequence& query, const std::vector<Sequence>& targets,
+    const ScoringScheme& scheme, const AlignOptions& options,
+    unsigned threads) {
+  std::vector<AlignJob> jobs;
+  jobs.reserve(targets.size());
+  for (const Sequence& target : targets) {
+    jobs.push_back(AlignJob{&query, &target});
+  }
+  return align_batch(jobs, scheme, options, threads);
+}
+
+}  // namespace flsa

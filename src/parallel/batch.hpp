@@ -1,0 +1,45 @@
+// Batch alignment: many independent pairs on a thread pool.
+//
+// Complements Parallel FastLSA's intra-alignment wavefront parallelism
+// with the orthogonal, embarrassingly parallel axis: homology search
+// workloads align one query against many targets. Each worker runs the
+// sequential memory-adaptive aligner on its own pairs; results land in
+// input order.
+#pragma once
+
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace flsa {
+
+/// One batch work item (sequences are borrowed, not copied).
+struct AlignJob {
+  const Sequence* a = nullptr;
+  const Sequence* b = nullptr;
+};
+
+/// Per-job outcome.
+struct BatchResult {
+  Alignment alignment;
+  AlignReport report;
+};
+
+/// Aligns every job under `options` using `threads` workers (0 = hardware
+/// concurrency). The `options.memory_limit_bytes` budget applies per
+/// worker, so total memory is bounded by threads * limit.
+/// Jobs are dealt dynamically (atomic cursor), so skewed size mixes
+/// balance automatically. Results are positionally aligned with `jobs`.
+std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
+                                     const ScoringScheme& scheme,
+                                     const AlignOptions& options = {},
+                                     unsigned threads = 0);
+
+/// Convenience: all-vs-one (one query against many targets).
+std::vector<BatchResult> align_one_vs_many(
+    const Sequence& query, const std::vector<Sequence>& targets,
+    const ScoringScheme& scheme, const AlignOptions& options = {},
+    unsigned threads = 0);
+
+}  // namespace flsa

@@ -1,0 +1,64 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  FLSA_REQUIRE(threads >= 1);
+  workers_.reserve(threads);
+  for (unsigned id = 0; id < threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_run(const std::function<void(unsigned)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  FLSA_REQUIRE(job_ == nullptr);  // no concurrent parallel_run calls
+  job_ = &fn;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace flsa

@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by the wavefront schedulers.
+//
+// The pool supports one collective operation: parallel_run(fn) invokes
+// fn(worker_id) once on every worker and returns when all have finished.
+// Schedulers build wavefront execution on top of this by sharing a work
+// queue among the workers. Keeping the pool alive across FastLSA's many
+// fill/base-case phases avoids per-phase thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flsa {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(worker_id) on every worker; blocks until all calls return.
+  /// Exceptions thrown by fn propagate to the caller (the first one wins;
+  /// remaining workers still complete the generation).
+  void parallel_run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,53 @@
+// Wavefront tile schedulers: the parallel execution policies behind
+// Parallel FastLSA's Fill Grid Cache and Base Case phases.
+//
+// Tiles on the same anti-diagonal are independent (the paper's "wavefront
+// lines"); two policies realize this:
+//   kBarrierStaged      — the paper's formulation: process one wavefront
+//                         line at a time, with a barrier between lines.
+//   kDependencyCounter  — each tile becomes runnable as soon as its up and
+//                         left neighbours finish; no barriers, so ragged
+//                         diagonals and uneven tile costs overlap across
+//                         lines. Ablation E11 compares the two.
+#pragma once
+
+#include "core/tile_executor.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace flsa {
+
+enum class SchedulerKind : std::uint8_t {
+  kBarrierStaged,
+  kDependencyCounter,
+};
+
+const char* to_string(SchedulerKind kind);
+
+/// TileExecutor running tiles on a shared ThreadPool.
+///
+/// Contract inherited from TileExecutor, plus: the skipped region must be
+/// "down-right closed" (if (i, j) is skipped, so are (i+1, j) and
+/// (i, j+1) within the grid) — true of FastLSA's bottom-right sub-problem
+/// skip — so a runnable tile never waits on a skipped one.
+class WavefrontExecutor final : public TileExecutor {
+ public:
+  WavefrontExecutor(ThreadPool& pool, SchedulerKind kind)
+      : pool_(pool), kind_(kind) {}
+
+  unsigned worker_count() const override { return pool_.size(); }
+
+  void run(std::size_t tile_rows, std::size_t tile_cols,
+           const TileSkipFn& skip, const TileWorkFn& work,
+           TilePhase phase) override;
+
+ private:
+  void run_barrier(std::size_t tile_rows, std::size_t tile_cols,
+                   const TileSkipFn& skip, const TileWorkFn& work);
+  void run_dependency(std::size_t tile_rows, std::size_t tile_cols,
+                      const TileSkipFn& skip, const TileWorkFn& work);
+
+  ThreadPool& pool_;
+  SchedulerKind kind_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,150 @@
+#include "scoring/builtin.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace scoring {
+
+namespace {
+
+// Residue order of Alphabet::protein(): ARNDCQEGHILKMFPSTWYV.
+constexpr int kNumAmino = 20;
+
+// Published Dayhoff PAM250 log-odds table, row-major in the order above.
+constexpr std::array<Score, kNumAmino * kNumAmino> kPam250 = {
+    //  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+/*A*/   2, -2,  0,  0, -2,  0,  0,  1, -1, -1, -2, -1, -1, -3,  1,  1,  1, -6, -3,  0,
+/*R*/  -2,  6,  0, -1, -4,  1, -1, -3,  2, -2, -3,  3,  0, -4,  0,  0, -1,  2, -4, -2,
+/*N*/   0,  0,  2,  2, -4,  1,  1,  0,  2, -2, -3,  1, -2, -3,  0,  1,  0, -4, -2, -2,
+/*D*/   0, -1,  2,  4, -5,  2,  3,  1,  1, -2, -4,  0, -3, -6, -1,  0,  0, -7, -4, -2,
+/*C*/  -2, -4, -4, -5, 12, -5, -5, -3, -3, -2, -6, -5, -5, -4, -3,  0, -2, -8,  0, -2,
+/*Q*/   0,  1,  1,  2, -5,  4,  2, -1,  3, -2, -2,  1, -1, -5,  0, -1, -1, -5, -4, -2,
+/*E*/   0, -1,  1,  3, -5,  2,  4,  0,  1, -2, -3,  0, -2, -5, -1,  0,  0, -7, -4, -2,
+/*G*/   1, -3,  0,  1, -3, -1,  0,  5, -2, -3, -4, -2, -3, -5,  0,  1,  0, -7, -5, -1,
+/*H*/  -1,  2,  2,  1, -3,  3,  1, -2,  6, -2, -2,  0, -2, -2,  0, -1, -1, -3,  0, -2,
+/*I*/  -1, -2, -2, -2, -2, -2, -2, -3, -2,  5,  2, -2,  2,  1, -2, -1,  0, -5, -1,  4,
+/*L*/  -2, -3, -3, -4, -6, -2, -3, -4, -2,  2,  6, -3,  4,  2, -3, -3, -2, -2, -1,  2,
+/*K*/  -1,  3,  1,  0, -5,  1,  0, -2,  0, -2, -3,  5,  0, -5, -1,  0,  0, -3, -4, -2,
+/*M*/  -1,  0, -2, -3, -5, -1, -2, -3, -2,  2,  4,  0,  6,  0, -2, -2, -1, -4, -2,  2,
+/*F*/  -3, -4, -3, -6, -4, -5, -5, -5, -2,  1,  2, -5,  0,  9, -5, -3, -3,  0,  7, -1,
+/*P*/   1,  0,  0, -1, -3,  0, -1,  0,  0, -2, -3, -1, -2, -5,  6,  1,  0, -6, -5, -1,
+/*S*/   1,  0,  1,  0,  0, -1,  0,  1, -1, -1, -3,  0, -2, -3,  1,  2,  1, -2, -3, -1,
+/*T*/   1, -1,  0,  0, -2, -1,  0,  0, -1,  0, -2,  0, -1, -3,  0,  1,  3, -5, -3,  0,
+/*W*/  -6,  2, -4, -7, -8, -5, -7, -7, -3, -5, -2, -3, -4,  0, -6, -2, -5, 17,  0, -6,
+/*Y*/  -3, -4, -2, -4,  0, -4, -4, -5,  0, -1, -1, -4, -2,  7, -5, -3, -3,  0, 10, -4,
+/*V*/   0, -2, -2, -2, -2, -2, -2, -1, -2,  4,  2, -2,  2, -1, -1, -1,  0, -6, -4,  4,
+};
+
+// Published BLOSUM62 table, row-major in the same residue order.
+constexpr std::array<Score, kNumAmino * kNumAmino> kBlosum62 = {
+    //  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+/*A*/   4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0,
+/*R*/  -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3,
+/*N*/  -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,
+/*D*/  -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,
+/*C*/   0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,
+/*Q*/  -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,
+/*E*/  -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,
+/*G*/   0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3,
+/*H*/  -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,
+/*I*/  -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3,
+/*L*/  -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1,
+/*K*/  -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,
+/*M*/  -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1,
+/*F*/  -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1,
+/*P*/  -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2,
+/*S*/   1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,
+/*T*/   0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0,
+/*W*/  -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3,
+/*Y*/  -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1,
+/*V*/   0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4,
+};
+
+SubstitutionMatrix build_from_table(
+    const std::array<Score, kNumAmino * kNumAmino>& table, std::string name) {
+  const Alphabet& protein = Alphabet::protein();
+  FLSA_ASSERT(protein.size() == kNumAmino);
+  return SubstitutionMatrix(protein, std::move(name),
+                            std::vector<Score>(table.begin(), table.end()));
+}
+
+SubstitutionMatrix build_mdm78() {
+  const Alphabet& protein = Alphabet::protein();
+  SubstitutionMatrix m(protein, "mdm78");
+  for (Residue x = 0; x < protein.size(); ++x) {
+    for (Residue y = 0; y < protein.size(); ++y) {
+      const Score pam = kPam250[static_cast<std::size_t>(x) * kNumAmino + y];
+      Score value;
+      if (x == y) {
+        value = pam <= 2 ? 16 : 20;
+      } else {
+        value = pam <= 1 ? 0 : std::min<Score>(16, 12 + 4 * (pam - 2));
+      }
+      m.set(x, y, value);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+const SubstitutionMatrix& mdm78() {
+  static const SubstitutionMatrix instance = build_mdm78();
+  return instance;
+}
+
+const SubstitutionMatrix& pam250() {
+  static const SubstitutionMatrix instance =
+      build_from_table(kPam250, "pam250");
+  return instance;
+}
+
+const SubstitutionMatrix& blosum62() {
+  static const SubstitutionMatrix instance =
+      build_from_table(kBlosum62, "blosum62");
+  return instance;
+}
+
+SubstitutionMatrix dna(Score match, Score mismatch) {
+  const Alphabet& alphabet = Alphabet::dna();
+  SubstitutionMatrix m(alphabet, "dna");
+  for (Residue x = 0; x < alphabet.size(); ++x) {
+    for (Residue y = 0; y < alphabet.size(); ++y) {
+      m.set(x, y, x == y ? match : mismatch);
+    }
+  }
+  return m;
+}
+
+SubstitutionMatrix dna_n(Score match, Score mismatch, Score n_score) {
+  const Alphabet& alphabet = Alphabet::dna_n();
+  SubstitutionMatrix m(alphabet, "dna-n");
+  const Residue n_code = alphabet.code('N');
+  for (Residue x = 0; x < alphabet.size(); ++x) {
+    for (Residue y = 0; y < alphabet.size(); ++y) {
+      if (x == n_code || y == n_code) {
+        m.set(x, y, n_score);
+      } else {
+        m.set(x, y, x == y ? match : mismatch);
+      }
+    }
+  }
+  return m;
+}
+
+SubstitutionMatrix identity(const Alphabet& alphabet, Score match,
+                            Score mismatch) {
+  SubstitutionMatrix m(alphabet, "identity");
+  for (Residue x = 0; x < alphabet.size(); ++x) {
+    for (Residue y = 0; y < alphabet.size(); ++y) {
+      m.set(x, y, x == y ? match : mismatch);
+    }
+  }
+  return m;
+}
+
+}  // namespace scoring
+}  // namespace flsa

@@ -1,0 +1,48 @@
+// Built-in substitution matrices.
+//
+// mdm78() reconstructs the scoring table of the paper: the paper uses the
+// PepTool-modified Dayhoff MDM78 matrix "scaled so that each entry is a
+// non-negative integer" and publishes a 6-residue excerpt (its Table 1).
+// The exact full table is proprietary, so entries outside the excerpt follow
+// a documented monotone transform of PAM250 chosen to agree with every
+// published entry:
+//   diagonal:     16 when PAM250(x,x) <= 2, else 20
+//   off-diagonal: 0 when PAM250(x,y) <= 1,
+//                 else min(16, 12 + 4*(PAM250(x,y) - 2))
+// (the cap keeps every diagonal entry dominant in its row, as in the
+// published excerpt)
+// This matches Table 1 exactly (A=16; D,K,L,T,V=20; L-V=12; K-L=0 and the
+// remaining excerpt zeros) and is unit-tested against it.
+#pragma once
+
+#include "scoring/matrix.hpp"
+
+namespace flsa {
+namespace scoring {
+
+/// Paper scoring table (see file comment). Protein alphabet, non-negative.
+const SubstitutionMatrix& mdm78();
+
+/// Standard Dayhoff PAM250 log-odds matrix (may be negative).
+const SubstitutionMatrix& pam250();
+
+/// Standard BLOSUM62 matrix (may be negative).
+const SubstitutionMatrix& blosum62();
+
+/// DNA match/mismatch matrix, defaults to the BLAST megablast-style +5/-4.
+SubstitutionMatrix dna(Score match = 5, Score mismatch = -4);
+
+/// DNA with ambiguity code N over Alphabet::dna_n(): N against anything
+/// (including N) scores `n_score` (neutral by default), other pairs
+/// match/mismatch.
+SubstitutionMatrix dna_n(Score match = 5, Score mismatch = -4,
+                         Score n_score = 0);
+
+/// Identity matrix over any alphabet: `match` on the diagonal, `mismatch`
+/// elsewhere. With match=1, mismatch=0 and gap 0 this turns global alignment
+/// into longest-common-subsequence, Hirschberg's original problem.
+SubstitutionMatrix identity(const Alphabet& alphabet, Score match = 1,
+                            Score mismatch = 0);
+
+}  // namespace scoring
+}  // namespace flsa

@@ -1,0 +1,53 @@
+#include "scoring/matrix.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+SubstitutionMatrix::SubstitutionMatrix(const Alphabet& alphabet,
+                                       std::string name)
+    : alphabet_(&alphabet), name_(std::move(name)), size_(alphabet.size()),
+      table_(size_ * size_, 0) {}
+
+SubstitutionMatrix::SubstitutionMatrix(const Alphabet& alphabet,
+                                       std::string name,
+                                       std::vector<Score> row_major)
+    : alphabet_(&alphabet), name_(std::move(name)), size_(alphabet.size()),
+      table_(std::move(row_major)) {
+  FLSA_REQUIRE(table_.size() == size_ * size_);
+}
+
+Score SubstitutionMatrix::score(char x, char y) const {
+  return at(alphabet_->code(x), alphabet_->code(y));
+}
+
+void SubstitutionMatrix::set(Residue x, Residue y, Score value) {
+  FLSA_REQUIRE(x < size_ && y < size_);
+  table_[static_cast<std::size_t>(x) * size_ + y] = value;
+}
+
+void SubstitutionMatrix::set_symmetric(Residue x, Residue y, Score value) {
+  set(x, y, value);
+  set(y, x, value);
+}
+
+bool SubstitutionMatrix::is_symmetric() const {
+  for (std::size_t x = 0; x < size_; ++x) {
+    for (std::size_t y = x + 1; y < size_; ++y) {
+      if (table_[x * size_ + y] != table_[y * size_ + x]) return false;
+    }
+  }
+  return true;
+}
+
+Score SubstitutionMatrix::min_score() const {
+  return *std::min_element(table_.begin(), table_.end());
+}
+
+Score SubstitutionMatrix::max_score() const {
+  return *std::max_element(table_.begin(), table_.end());
+}
+
+}  // namespace flsa

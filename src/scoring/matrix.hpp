@@ -1,0 +1,58 @@
+// Substitution (similarity) matrices: per-residue-pair scores over an
+// alphabet. Higher scores denote higher similarity, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sequence/alphabet.hpp"
+
+namespace flsa {
+
+/// Alignment score type. 32-bit signed; all kernels use kNegInf as the
+/// "unreachable" sentinel, chosen far from the INT32 boundary so that adding
+/// a handful of gap penalties can never overflow.
+using Score = std::int32_t;
+
+inline constexpr Score kNegInf = INT32_MIN / 4;
+
+/// Dense |A|x|A| score table over an alphabet.
+class SubstitutionMatrix {
+ public:
+  /// All-zero matrix (scores are then set individually).
+  SubstitutionMatrix(const Alphabet& alphabet, std::string name);
+
+  /// Builds from a row-major table of size |A|*|A| (row = first residue).
+  SubstitutionMatrix(const Alphabet& alphabet, std::string name,
+                     std::vector<Score> row_major);
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  const std::string& name() const { return name_; }
+
+  Score at(Residue x, Residue y) const {
+    return table_[static_cast<std::size_t>(x) * size_ + y];
+  }
+
+  /// Score of two letters (convenience; validates both characters).
+  Score score(char x, char y) const;
+
+  /// Sets one entry (not symmetrized automatically).
+  void set(Residue x, Residue y, Score value);
+
+  /// Sets entry (x, y) and its mirror (y, x).
+  void set_symmetric(Residue x, Residue y, Score value);
+
+  bool is_symmetric() const;
+
+  Score min_score() const;
+  Score max_score() const;
+
+ private:
+  const Alphabet* alphabet_;
+  std::string name_;
+  std::size_t size_;
+  std::vector<Score> table_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,116 @@
+#include "scoring/matrix_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace flsa {
+namespace scoring {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("matrix parse error: " + what);
+}
+
+}  // namespace
+
+LoadedMatrix read_matrix(std::istream& is, const std::string& name) {
+  std::string line;
+  std::string header_letters;
+  std::vector<std::vector<Score>> rows;
+  std::string row_labels;
+
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blank and comment lines.
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    if (header_letters.empty()) {
+      // Header: the column letters.
+      std::string token;
+      while (fields >> token) {
+        if (token.size() != 1 ||
+            !std::isalpha(static_cast<unsigned char>(token[0]))) {
+          fail("header must list single letters, got '" + token + "'");
+        }
+        header_letters.push_back(token[0]);
+      }
+      if (header_letters.empty()) fail("empty header line");
+      continue;
+    }
+    // Data row: letter then |A| integers.
+    std::string label;
+    fields >> label;
+    if (label.size() != 1) fail("row label must be one letter");
+    row_labels.push_back(label[0]);
+    std::vector<Score> scores;
+    Score value;
+    while (fields >> value) scores.push_back(value);
+    if (!fields.eof()) fail("non-integer score in row " + label);
+    if (scores.size() != header_letters.size()) {
+      fail("row " + label + " has " + std::to_string(scores.size()) +
+           " scores, expected " + std::to_string(header_letters.size()));
+    }
+    rows.push_back(std::move(scores));
+  }
+
+  if (header_letters.empty()) fail("no header found");
+  if (row_labels.size() != header_letters.size()) {
+    fail("expected " + std::to_string(header_letters.size()) +
+         " rows, found " + std::to_string(row_labels.size()));
+  }
+  for (std::size_t i = 0; i < row_labels.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(row_labels[i])) !=
+        std::toupper(static_cast<unsigned char>(header_letters[i]))) {
+      fail(std::string("row label '") + row_labels[i] +
+           "' does not match header order");
+    }
+  }
+
+  LoadedMatrix loaded;
+  loaded.alphabet =
+      std::make_shared<Alphabet>(header_letters, name + "-alphabet");
+  std::vector<Score> flat;
+  flat.reserve(rows.size() * rows.size());
+  for (const auto& row : rows) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  loaded.matrix = std::make_shared<SubstitutionMatrix>(
+      *loaded.alphabet, name, std::move(flat));
+  return loaded;
+}
+
+LoadedMatrix read_matrix_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  // Derive the matrix name from the file name.
+  const auto slash = path.find_last_of('/');
+  return read_matrix(in, slash == std::string::npos
+                             ? path
+                             : path.substr(slash + 1));
+}
+
+void write_matrix(std::ostream& os, const SubstitutionMatrix& matrix) {
+  const Alphabet& alphabet = matrix.alphabet();
+  os << "# " << matrix.name() << "\n  ";
+  for (Residue c = 0; c < alphabet.size(); ++c) {
+    os << std::setw(4) << alphabet.letter(c);
+  }
+  os << '\n';
+  for (Residue r = 0; r < alphabet.size(); ++r) {
+    os << alphabet.letter(r) << ' ';
+    for (Residue c = 0; c < alphabet.size(); ++c) {
+      os << std::setw(4) << matrix.at(r, c);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace scoring
+}  // namespace flsa

@@ -1,0 +1,38 @@
+// Substitution-matrix file I/O in the NCBI text format:
+//
+//   # comments
+//      A  R  N  D ...
+//   A  4 -1 -2 -2 ...
+//   R -1  5  0 -2 ...
+//
+// Lets users drop in their own scoring tables (the paper's own table came
+// from a vendor file in exactly this spirit).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "scoring/matrix.hpp"
+
+namespace flsa {
+namespace scoring {
+
+/// A matrix loaded from a file owns the alphabet its header declared.
+struct LoadedMatrix {
+  std::shared_ptr<const Alphabet> alphabet;
+  std::shared_ptr<const SubstitutionMatrix> matrix;
+};
+
+/// Parses an NCBI-format matrix. Throws std::invalid_argument on malformed
+/// input (missing header, ragged rows, mismatched row labels, non-integer
+/// scores).
+LoadedMatrix read_matrix(std::istream& is, const std::string& name);
+
+LoadedMatrix read_matrix_file(const std::string& path);
+
+/// Writes a matrix in the same format (round-trips through read_matrix).
+void write_matrix(std::ostream& os, const SubstitutionMatrix& matrix);
+
+}  // namespace scoring
+}  // namespace flsa

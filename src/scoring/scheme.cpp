@@ -1,0 +1,26 @@
+#include "scoring/scheme.hpp"
+
+#include "scoring/builtin.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+
+ScoringScheme::ScoringScheme(const SubstitutionMatrix& matrix,
+                             Score gap_per_residue)
+    : matrix_(&matrix), gap_open_(0), gap_extend_(gap_per_residue) {
+  FLSA_REQUIRE(gap_per_residue <= 0);
+}
+
+ScoringScheme::ScoringScheme(const SubstitutionMatrix& matrix, Score gap_open,
+                             Score gap_extend)
+    : matrix_(&matrix), gap_open_(gap_open), gap_extend_(gap_extend) {
+  FLSA_REQUIRE(gap_open <= 0);
+  FLSA_REQUIRE(gap_extend <= 0);
+}
+
+const ScoringScheme& ScoringScheme::paper_default() {
+  static const ScoringScheme instance(scoring::mdm78(), -10);
+  return instance;
+}
+
+}  // namespace flsa

@@ -1,0 +1,48 @@
+// A full scoring scheme: substitution matrix plus gap model.
+//
+// The paper uses a linear gap penalty (a constant per gap residue, -10 in
+// its examples). The affine model (open + extend, Gotoh) is supported as the
+// natural extension; a scheme with gap_open == 0 is linear and every
+// algorithm then runs its cheaper linear-gap kernel.
+#pragma once
+
+#include "scoring/matrix.hpp"
+
+namespace flsa {
+
+/// Substitution matrix + gap penalties. Gap penalties are non-positive:
+/// a gap of length L costs gap_open + L * gap_extend.
+class ScoringScheme {
+ public:
+  /// Linear gaps: every gap residue costs `gap_per_residue` (must be <= 0).
+  ScoringScheme(const SubstitutionMatrix& matrix, Score gap_per_residue);
+
+  /// Affine gaps: a length-L gap costs gap_open + L * gap_extend
+  /// (both must be <= 0).
+  ScoringScheme(const SubstitutionMatrix& matrix, Score gap_open,
+                Score gap_extend);
+
+  const SubstitutionMatrix& matrix() const { return *matrix_; }
+  const Alphabet& alphabet() const { return matrix_->alphabet(); }
+
+  Score substitution(Residue x, Residue y) const { return matrix_->at(x, y); }
+
+  bool is_linear() const { return gap_open_ == 0; }
+  Score gap_open() const { return gap_open_; }
+  Score gap_extend() const { return gap_extend_; }
+
+  /// Total cost of a gap of `length` residues (length >= 1).
+  Score gap_cost(std::size_t length) const {
+    return gap_open_ + static_cast<Score>(length) * gap_extend_;
+  }
+
+  /// The paper's default scheme: MDM78 similarity with linear gap -10.
+  static const ScoringScheme& paper_default();
+
+ private:
+  const SubstitutionMatrix* matrix_;
+  Score gap_open_;
+  Score gap_extend_;
+};
+
+}  // namespace flsa

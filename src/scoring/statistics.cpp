@@ -1,0 +1,110 @@
+#include "scoring/statistics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace scoring {
+
+std::vector<double> uniform_frequencies(std::size_t alphabet_size) {
+  FLSA_REQUIRE(alphabet_size > 0);
+  return std::vector<double>(alphabet_size, 1.0 / static_cast<double>(
+                                                      alphabet_size));
+}
+
+namespace {
+
+void validate_frequencies(const SubstitutionMatrix& matrix,
+                          std::span<const double> frequencies) {
+  FLSA_REQUIRE(frequencies.size() == matrix.alphabet().size());
+  double total = 0.0;
+  for (double p : frequencies) {
+    FLSA_REQUIRE(p >= 0.0);
+    total += p;
+  }
+  FLSA_REQUIRE(std::abs(total - 1.0) < 1e-6);
+}
+
+/// sum_ij p_i p_j e^{lambda s_ij}
+double restriction_sum(const SubstitutionMatrix& matrix,
+                       std::span<const double> frequencies, double lambda) {
+  double sum = 0.0;
+  const std::size_t n = matrix.alphabet().size();
+  for (Residue x = 0; x < n; ++x) {
+    for (Residue y = 0; y < n; ++y) {
+      sum += frequencies[x] * frequencies[y] *
+             std::exp(lambda * matrix.at(x, y));
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double expected_pair_score(const SubstitutionMatrix& matrix,
+                           std::span<const double> frequencies) {
+  validate_frequencies(matrix, frequencies);
+  double expectation = 0.0;
+  const std::size_t n = matrix.alphabet().size();
+  for (Residue x = 0; x < n; ++x) {
+    for (Residue y = 0; y < n; ++y) {
+      expectation += frequencies[x] * frequencies[y] * matrix.at(x, y);
+    }
+  }
+  return expectation;
+}
+
+double karlin_lambda(const SubstitutionMatrix& matrix,
+                     std::span<const double> frequencies, double tolerance) {
+  validate_frequencies(matrix, frequencies);
+  if (expected_pair_score(matrix, frequencies) >= 0.0) {
+    throw std::invalid_argument(
+        "Karlin-Altschul lambda requires a negative expected pair score");
+  }
+  if (matrix.max_score() <= 0) {
+    throw std::invalid_argument(
+        "Karlin-Altschul lambda requires at least one positive score");
+  }
+  // f(lambda) = restriction_sum - 1: f(0) = 0, f'(0) = E[s] < 0, and
+  // f -> +inf as lambda grows (the positive scores dominate), so a unique
+  // positive root exists. Bracket it, then bisect.
+  double high = 1.0 / matrix.max_score();
+  while (restriction_sum(matrix, frequencies, high) < 1.0) {
+    high *= 2.0;
+    FLSA_REQUIRE(high < 1e6);
+  }
+  double low = 0.0;
+  while (high - low > tolerance) {
+    const double mid = 0.5 * (low + high);
+    if (restriction_sum(matrix, frequencies, mid) < 1.0) {
+      low = mid;
+    } else {
+      high = mid;
+    }
+  }
+  return 0.5 * (low + high);
+}
+
+KarlinParams karlin_params(const SubstitutionMatrix& matrix,
+                           std::span<const double> frequencies) {
+  KarlinParams params;
+  params.lambda = karlin_lambda(matrix, frequencies);
+  return params;
+}
+
+double bit_score(Score raw, const KarlinParams& params) {
+  FLSA_REQUIRE(params.lambda > 0.0 && params.k > 0.0);
+  return (params.lambda * raw - std::log(params.k)) / std::log(2.0);
+}
+
+double e_value(Score raw, std::size_t m, std::size_t n,
+               const KarlinParams& params) {
+  FLSA_REQUIRE(params.lambda > 0.0 && params.k > 0.0);
+  return params.k * static_cast<double>(m) * static_cast<double>(n) *
+         std::exp(-params.lambda * raw);
+}
+
+}  // namespace scoring
+}  // namespace flsa

@@ -1,0 +1,56 @@
+// Local-alignment score statistics (Karlin-Altschul).
+//
+// Homology search needs more than a raw Smith-Waterman score: under the
+// Karlin-Altschul theory, ungapped local scores for random sequences
+// follow an extreme-value distribution with parameters (lambda, K) derived
+// from the scoring matrix and residue frequencies. This module computes
+// lambda (the unique positive root of sum_ij p_i p_j e^{lambda*s_ij} = 1),
+// the derived bit score, and E-values, giving the bench/example search
+// pipelines a principled ranking statistic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "scoring/matrix.hpp"
+
+namespace flsa {
+namespace scoring {
+
+/// Uniform residue frequencies for an alphabet of the given size.
+std::vector<double> uniform_frequencies(std::size_t alphabet_size);
+
+/// Expected per-pair score sum_ij p_i p_j s_ij. Karlin-Altschul statistics
+/// require this to be negative (otherwise local alignments grow without
+/// bound and lambda does not exist).
+double expected_pair_score(const SubstitutionMatrix& matrix,
+                           std::span<const double> frequencies);
+
+/// Solves sum_ij p_i p_j e^{lambda s_ij} = 1 for lambda > 0 by bisection.
+/// Requires a negative expected score and at least one positive entry;
+/// throws std::invalid_argument otherwise.
+double karlin_lambda(const SubstitutionMatrix& matrix,
+                     std::span<const double> frequencies,
+                     double tolerance = 1e-9);
+
+/// Karlin-Altschul parameter bundle. K is approximated by the common
+/// ungapped heuristic K ~ 0.1 (exact K needs the full Karlin sum); the
+/// field is exposed so callers with better estimates can override it.
+struct KarlinParams {
+  double lambda = 0.0;
+  double k = 0.1;
+};
+
+KarlinParams karlin_params(const SubstitutionMatrix& matrix,
+                           std::span<const double> frequencies);
+
+/// Normalized bit score: (lambda * raw - ln K) / ln 2.
+double bit_score(Score raw, const KarlinParams& params);
+
+/// Expected number of chance alignments scoring >= raw in an m x n search
+/// space: E = K * m * n * e^{-lambda * raw}.
+double e_value(Score raw, std::size_t m, std::size_t n,
+               const KarlinParams& params);
+
+}  // namespace scoring
+}  // namespace flsa

@@ -1,0 +1,49 @@
+#include "search/kmer_index.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace search {
+
+const std::vector<std::uint32_t> KmerIndex::kEmpty;
+
+KmerIndex::KmerIndex(const Sequence& subject, std::size_t k)
+    : subject_(&subject), k_(k), radix_(subject.alphabet().size()) {
+  FLSA_REQUIRE(k >= 1);
+  // |A|^k must fit comfortably in 64 bits.
+  double bits = static_cast<double>(k) * std::log2(static_cast<double>(radix_));
+  FLSA_REQUIRE(bits < 62.0);
+  if (subject.size() < k) return;
+
+  // Rolling pack over the subject.
+  std::uint64_t key = 0;
+  std::uint64_t high = 1;
+  for (std::size_t i = 0; i + 1 < k; ++i) high *= radix_;
+  for (std::size_t i = 0; i < subject.size(); ++i) {
+    if (i < k) {
+      key = key * radix_ + subject[i];
+      if (i + 1 < k) continue;
+    } else {
+      key = (key - subject[i - k] * high) * radix_ + subject[i];
+    }
+    positions_[key].push_back(static_cast<std::uint32_t>(i + 1 - k));
+  }
+}
+
+std::uint64_t KmerIndex::pack(std::span<const Residue> kmer) const {
+  FLSA_REQUIRE(kmer.size() == k_);
+  std::uint64_t key = 0;
+  for (Residue r : kmer) key = key * radix_ + r;
+  return key;
+}
+
+const std::vector<std::uint32_t>& KmerIndex::lookup(
+    std::span<const Residue> kmer) const {
+  const auto it = positions_.find(pack(kmer));
+  return it == positions_.end() ? kEmpty : it->second;
+}
+
+}  // namespace search
+}  // namespace flsa

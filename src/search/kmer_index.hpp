@@ -1,0 +1,48 @@
+// Exact k-mer index over a subject sequence.
+//
+// The first stage of seed-and-extend homology search (search/seed_extend):
+// every length-k word of the subject is hashed to its positions, so query
+// words find their exact matches in O(1). Works for any alphabet with
+// |A|^k packable into 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+namespace search {
+
+class KmerIndex {
+ public:
+  /// Indexes every k-mer of `subject`. Requires 1 <= k <= subject length
+  /// practical bound and |A|^k < 2^62.
+  KmerIndex(const Sequence& subject, std::size_t k);
+
+  std::size_t k() const { return k_; }
+  const Sequence& subject() const { return *subject_; }
+
+  /// Number of distinct k-mers present.
+  std::size_t distinct_kmers() const { return positions_.size(); }
+
+  /// Positions (0-based) where the k-mer starting at query[pos] occurs in
+  /// the subject; empty when absent.
+  const std::vector<std::uint32_t>& lookup(
+      std::span<const Residue> kmer) const;
+
+  /// Packs a k-mer into its integer key (exposed for tests).
+  std::uint64_t pack(std::span<const Residue> kmer) const;
+
+ private:
+  const Sequence* subject_;
+  std::size_t k_;
+  std::uint64_t radix_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> positions_;
+  static const std::vector<std::uint32_t> kEmpty;
+};
+
+}  // namespace search
+}  // namespace flsa

@@ -1,0 +1,152 @@
+#include "search/seed_extend.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dp/local.hpp"
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace search {
+
+UngappedHit xdrop_extend(const Sequence& query, std::size_t q,
+                         const Sequence& subject, std::size_t s,
+                         std::size_t k, const ScoringScheme& scheme,
+                         Score x_drop) {
+  FLSA_REQUIRE(q + k <= query.size() && s + k <= subject.size());
+  FLSA_REQUIRE(x_drop >= 0);
+  const SubstitutionMatrix& sub = scheme.matrix();
+
+  Score score = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    score += sub.at(query[q + i], subject[s + i]);
+  }
+  UngappedHit hit{q, q + k, s, s + k, score};
+
+  // Right extension.
+  Score running = score;
+  Score best = score;
+  std::size_t qi = q + k, si = s + k;
+  std::size_t best_q = qi, best_s = si;
+  while (qi < query.size() && si < subject.size()) {
+    running += sub.at(query[qi], subject[si]);
+    ++qi;
+    ++si;
+    if (running > best) {
+      best = running;
+      best_q = qi;
+      best_s = si;
+    } else if (running < best - x_drop) {
+      break;
+    }
+  }
+  hit.q_end = best_q;
+  hit.s_end = best_s;
+  hit.score = best;
+
+  // Left extension from the seed start.
+  running = best;
+  Score best_total = best;
+  std::size_t lq = q, ls = s;
+  std::size_t best_lq = q, best_ls = s;
+  while (lq > 0 && ls > 0) {
+    --lq;
+    --ls;
+    running += sub.at(query[lq], subject[ls]);
+    if (running > best_total) {
+      best_total = running;
+      best_lq = lq;
+      best_ls = ls;
+    } else if (running < best_total - x_drop) {
+      break;
+    }
+  }
+  hit.q_begin = best_lq;
+  hit.s_begin = best_ls;
+  hit.score = best_total;
+  return hit;
+}
+
+std::vector<SearchHit> seed_and_extend(const Sequence& query,
+                                       const KmerIndex& index,
+                                       const ScoringScheme& scheme,
+                                       const SearchParams& params) {
+  FLSA_REQUIRE(scheme.is_linear());
+  FLSA_REQUIRE(params.k == index.k());
+  const Sequence& subject = index.subject();
+  std::vector<SearchHit> hits;
+  if (query.size() < params.k) return hits;
+
+  // Stage 1+2: seeds, deduplicated per diagonal (skip seeds inside a
+  // region some earlier seed on the same diagonal already extended over).
+  std::map<std::ptrdiff_t, std::size_t> diagonal_frontier;
+  std::vector<UngappedHit> ungapped;
+  for (std::size_t q = 0; q + params.k <= query.size(); ++q) {
+    for (std::uint32_t s : index.lookup(
+             query.residues().subspan(q, params.k))) {
+      const std::ptrdiff_t diagonal = static_cast<std::ptrdiff_t>(s) -
+                                      static_cast<std::ptrdiff_t>(q);
+      const auto frontier = diagonal_frontier.find(diagonal);
+      if (frontier != diagonal_frontier.end() && q < frontier->second) {
+        continue;  // already covered by an earlier extension
+      }
+      const UngappedHit hit = xdrop_extend(query, q, subject, s, params.k,
+                                           scheme, params.x_drop);
+      diagonal_frontier[diagonal] = hit.q_end;
+      if (hit.score >= params.min_ungapped_score) {
+        ungapped.push_back(hit);
+      }
+    }
+  }
+  std::sort(ungapped.begin(), ungapped.end(),
+            [](const UngappedHit& x, const UngappedHit& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.s_begin < y.s_begin;
+            });
+
+  // Stage 3: gapped local alignment of a padded window per candidate,
+  // best-first, dropping candidates overlapping an already-reported hit.
+  const std::size_t candidate_cap = params.max_hits * 4;
+  std::vector<std::pair<std::size_t, std::size_t>> reported;  // subject ranges
+  for (std::size_t i = 0;
+       i < std::min(candidate_cap, ungapped.size()) &&
+       hits.size() < params.max_hits;
+       ++i) {
+    const UngappedHit& u = ungapped[i];
+    // Subject window sized so the *whole* query fits alongside the seed's
+    // diagonal, plus padding for gaps.
+    const std::size_t left_need = u.q_begin + params.window_pad;
+    const std::size_t s_begin =
+        u.s_begin > left_need ? u.s_begin - left_need : 0;
+    const std::size_t right_need =
+        (query.size() - u.q_end) + params.window_pad;
+    const std::size_t s_end = std::min(subject.size(), u.s_end + right_need);
+
+    bool overlaps = false;
+    for (const auto& [rb, re] : reported) {
+      if (u.s_begin < re && rb < u.s_end) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+
+    const Sequence s_window =
+        subject.subsequence(s_begin, s_end - s_begin);
+    Alignment aln = local_align_full_matrix(query, s_window, scheme);
+    if (aln.length() == 0) continue;
+    // Re-anchor the subject region to global coordinates.
+    aln.b_begin += s_begin;
+    aln.b_end += s_begin;
+    reported.emplace_back(aln.b_begin, aln.b_end);
+    hits.push_back(SearchHit{std::move(aln)});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& x, const SearchHit& y) {
+              return x.alignment.score > y.alignment.score;
+            });
+  return hits;
+}
+
+}  // namespace search
+}  // namespace flsa

@@ -1,0 +1,56 @@
+// Seed-and-extend search (BLAST-style, built on this library's aligners).
+//
+// Pipeline: exact k-mer seeds (search/kmer_index) -> ungapped X-drop
+// extension along each seed's diagonal -> full gapped local alignment
+// (Smith-Waterman) of a window around the surviving extensions. Turns the
+// O(mn) aligners into a practical sub-quadratic homology search for long
+// subjects, the workload the paper's introduction motivates.
+#pragma once
+
+#include <vector>
+
+#include "dp/alignment.hpp"
+#include "search/kmer_index.hpp"
+#include "scoring/scheme.hpp"
+
+namespace flsa {
+namespace search {
+
+/// Parameters of the search pipeline.
+struct SearchParams {
+  std::size_t k = 8;            ///< seed length
+  Score x_drop = 20;            ///< ungapped extension drop-off
+  Score min_ungapped_score = 25;  ///< seeds below this never reach stage 3
+  std::size_t window_pad = 32;  ///< gapped window margin around extensions
+  std::size_t max_hits = 16;    ///< cap on reported hits
+};
+
+/// One ungapped seed extension (stage 2 output).
+struct UngappedHit {
+  std::size_t q_begin = 0, q_end = 0;  ///< query range [begin, end)
+  std::size_t s_begin = 0, s_end = 0;  ///< subject range
+  Score score = 0;
+};
+
+/// One final gapped hit.
+struct SearchHit {
+  Alignment alignment;  ///< local alignment; regions are subject-global
+};
+
+/// Stage 2 in isolation: extends the exact match query[q]..=/subject[s]
+/// of length k in both directions without gaps, stopping when the running
+/// score falls `x_drop` below its running maximum. Exposed for testing.
+UngappedHit xdrop_extend(const Sequence& query, std::size_t q,
+                         const Sequence& subject, std::size_t s,
+                         std::size_t k, const ScoringScheme& scheme,
+                         Score x_drop);
+
+/// Full pipeline: all gapped local hits of `query` in the indexed
+/// subject, best first, deduplicated by overlapping subject regions.
+std::vector<SearchHit> seed_and_extend(const Sequence& query,
+                                       const KmerIndex& index,
+                                       const ScoringScheme& scheme,
+                                       const SearchParams& params = {});
+
+}  // namespace search
+}  // namespace flsa

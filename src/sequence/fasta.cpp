@@ -1,0 +1,87 @@
+#include "sequence/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flsa {
+
+std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet) {
+  std::vector<Sequence> records;
+  std::string id;
+  std::string description;
+  std::string letters;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    try {
+      records.emplace_back(alphabet, letters, id, description);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("FASTA record '" + id + "': " + e.what());
+    }
+    letters.clear();
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      const std::string header = line.substr(1);
+      const auto space = header.find_first_of(" \t");
+      if (space == std::string::npos) {
+        id = header;
+        description.clear();
+      } else {
+        id = header.substr(0, space);
+        const auto rest = header.find_first_not_of(" \t", space);
+        description = rest == std::string::npos ? "" : header.substr(rest);
+      }
+    } else {
+      if (!in_record) {
+        throw std::invalid_argument(
+            "FASTA stream: sequence data before any '>' header");
+      }
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) letters.push_back(c);
+      }
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& os, const std::vector<Sequence>& records,
+                 std::size_t width) {
+  for (const Sequence& seq : records) {
+    os << '>' << (seq.id().empty() ? "unnamed" : seq.id());
+    if (!seq.description().empty()) os << ' ' << seq.description();
+    os << '\n';
+    const std::string letters = seq.to_string();
+    for (std::size_t pos = 0; pos < letters.size(); pos += width) {
+      os << letters.substr(pos, width) << '\n';
+    }
+    if (letters.empty()) os << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& records,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  write_fasta(out, records, width);
+}
+
+}  // namespace flsa

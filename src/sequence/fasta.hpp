@@ -1,0 +1,31 @@
+// FASTA input/output. The paper's workloads are DNA/protein sequence pairs;
+// this module lets the examples and benches load real files when available
+// and persist generated workloads for reproducibility.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Reads every record of a FASTA stream. Header lines are `>id description`;
+/// sequence lines are concatenated; blank lines are skipped; characters not
+/// in `alphabet` raise std::invalid_argument naming the record.
+std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet);
+
+/// Reads a FASTA file from disk. Throws std::runtime_error if unreadable.
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      const Alphabet& alphabet);
+
+/// Writes records with lines wrapped at `width` characters (default 70).
+void write_fasta(std::ostream& os, const std::vector<Sequence>& records,
+                 std::size_t width = 70);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& records,
+                      std::size_t width = 70);
+
+}  // namespace flsa

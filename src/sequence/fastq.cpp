@@ -1,0 +1,85 @@
+#include "sequence/fastq.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace flsa {
+
+double FastqRecord::mean_phred() const {
+  if (quality.empty()) return 0.0;
+  double total = 0.0;
+  for (char c : quality) total += c - 33;
+  return total / static_cast<double>(quality.size());
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& is,
+                                    const Alphabet& alphabet) {
+  std::vector<FastqRecord> records;
+  std::string line;
+  auto next_line = [&](std::string& out) {
+    if (!std::getline(is, out)) return false;
+    if (!out.empty() && out.back() == '\r') out.pop_back();
+    return true;
+  };
+
+  while (next_line(line)) {
+    if (line.empty()) continue;
+    if (line[0] != '@') {
+      throw std::invalid_argument(
+          "FASTQ: expected '@' header, got: " + line.substr(0, 20));
+    }
+    const std::string header = line.substr(1);
+    const auto space = header.find_first_of(" \t");
+    const std::string id =
+        space == std::string::npos ? header : header.substr(0, space);
+    const std::string description =
+        space == std::string::npos
+            ? ""
+            : header.substr(header.find_first_not_of(" \t", space));
+
+    std::string letters, plus, quality;
+    if (!next_line(letters) || !next_line(plus) || !next_line(quality)) {
+      throw std::invalid_argument("FASTQ record '" + id + "': truncated");
+    }
+    if (plus.empty() || plus[0] != '+') {
+      throw std::invalid_argument("FASTQ record '" + id +
+                                  "': missing '+' separator line");
+    }
+    if (quality.size() != letters.size()) {
+      throw std::invalid_argument(
+          "FASTQ record '" + id + "': quality length " +
+          std::to_string(quality.size()) + " != sequence length " +
+          std::to_string(letters.size()));
+    }
+    try {
+      records.push_back(FastqRecord{
+          Sequence(alphabet, letters, id, description), std::move(quality)});
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("FASTQ record '" + id + "': " + e.what());
+    }
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTQ file: " + path);
+  return read_fastq(in, alphabet);
+}
+
+void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records) {
+  for (const FastqRecord& record : records) {
+    os << '@'
+       << (record.sequence.id().empty() ? "unnamed" : record.sequence.id());
+    if (!record.sequence.description().empty()) {
+      os << ' ' << record.sequence.description();
+    }
+    os << '\n'
+       << record.sequence.to_string() << "\n+\n"
+       << record.quality << '\n';
+  }
+}
+
+}  // namespace flsa

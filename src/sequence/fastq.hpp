@@ -1,0 +1,41 @@
+// FASTQ input/output: the four-line read format sequencers emit.
+//
+// Rounds out the I/O substrate: reads arrive as FASTQ, references as
+// FASTA; the search and batch pipelines consume both. Quality strings are
+// carried verbatim (Phred+33 by convention) and validated for length.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// One FASTQ record: the encoded sequence plus its quality string
+/// (same length, Phred+33 ASCII).
+struct FastqRecord {
+  Sequence sequence;
+  std::string quality;
+
+  /// Phred quality of base `i` (quality[i] - 33).
+  int phred(std::size_t i) const { return quality.at(i) - 33; }
+
+  /// Mean Phred quality; 0 for empty reads.
+  double mean_phred() const;
+};
+
+/// Reads every record of a FASTQ stream. Throws std::invalid_argument on
+/// structural errors (missing '@'/'+' lines, quality/sequence length
+/// mismatch, residues outside `alphabet`), naming the record.
+std::vector<FastqRecord> read_fastq(std::istream& is,
+                                    const Alphabet& alphabet);
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const Alphabet& alphabet);
+
+/// Writes records in four-line form.
+void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records);
+
+}  // namespace flsa

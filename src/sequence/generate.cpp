@@ -1,0 +1,101 @@
+#include "sequence/generate.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+Sequence random_sequence(const Alphabet& alphabet, std::size_t length,
+                         Xoshiro256& rng, std::string id) {
+  std::vector<Residue> residues;
+  residues.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    residues.push_back(static_cast<Residue>(rng.bounded(alphabet.size())));
+  }
+  return Sequence(alphabet, std::move(residues), std::move(id));
+}
+
+namespace {
+
+/// Geometric indel length: 1 + (number of successful extensions).
+std::size_t indel_length(double extension_prob, Xoshiro256& rng) {
+  std::size_t len = 1;
+  while (rng.uniform01() < extension_prob && len < 1000) ++len;
+  return len;
+}
+
+Residue different_residue(Residue current, std::size_t alphabet_size,
+                          Xoshiro256& rng) {
+  FLSA_ASSERT(alphabet_size >= 2);
+  const auto offset = 1 + rng.bounded(alphabet_size - 1);
+  return static_cast<Residue>((current + offset) % alphabet_size);
+}
+
+}  // namespace
+
+Sequence mutate(const Sequence& parent, const MutationModel& model,
+                Xoshiro256& rng, std::string id) {
+  FLSA_REQUIRE(model.substitution_rate >= 0 && model.substitution_rate <= 1);
+  FLSA_REQUIRE(model.insertion_rate >= 0 && model.insertion_rate <= 1);
+  FLSA_REQUIRE(model.deletion_rate >= 0 && model.deletion_rate <= 1);
+  FLSA_REQUIRE(model.extension_prob >= 0 && model.extension_prob < 1);
+  const Alphabet& alphabet = parent.alphabet();
+  std::vector<Residue> child;
+  child.reserve(parent.size() + parent.size() / 8);
+  std::size_t i = 0;
+  while (i < parent.size()) {
+    const double roll = rng.uniform01();
+    if (roll < model.deletion_rate) {
+      i += indel_length(model.extension_prob, rng);
+      continue;
+    }
+    if (roll < model.deletion_rate + model.insertion_rate) {
+      const std::size_t len = indel_length(model.extension_prob, rng);
+      for (std::size_t j = 0; j < len; ++j) {
+        child.push_back(static_cast<Residue>(rng.bounded(alphabet.size())));
+      }
+      // fall through: the current parent residue is still copied below
+    }
+    Residue r = parent[i];
+    if (rng.uniform01() < model.substitution_rate && alphabet.size() >= 2) {
+      r = different_residue(r, alphabet.size(), rng);
+    }
+    child.push_back(r);
+    ++i;
+  }
+  return Sequence(alphabet, std::move(child), std::move(id));
+}
+
+SequencePair homologous_pair(const Alphabet& alphabet, std::size_t length,
+                             const MutationModel& model, Xoshiro256& rng) {
+  Sequence parent = random_sequence(alphabet, length, rng, "parent");
+  Sequence child = mutate(parent, model, rng, "child");
+  return SequencePair{std::move(parent), std::move(child)};
+}
+
+Sequence biased_sequence(const Alphabet& alphabet,
+                         std::span<const double> weights, std::size_t length,
+                         Xoshiro256& rng, std::string id) {
+  FLSA_REQUIRE(weights.size() == alphabet.size());
+  double total = 0.0;
+  for (double w : weights) {
+    FLSA_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  FLSA_REQUIRE(total > 0.0);
+  // Cumulative distribution for inverse-transform sampling.
+  std::vector<double> cdf(weights.size());
+  std::partial_sum(weights.begin(), weights.end(), cdf.begin());
+  std::vector<Residue> residues;
+  residues.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double u = rng.uniform01() * total;
+    std::size_t r = 0;
+    while (r + 1 < cdf.size() && u >= cdf[r]) ++r;
+    residues.push_back(static_cast<Residue>(r));
+  }
+  return Sequence(alphabet, std::move(residues), std::move(id));
+}
+
+}  // namespace flsa

@@ -1,0 +1,56 @@
+// Synthetic workload generation.
+//
+// The paper evaluates on real protein/DNA pairs (its Table 3) that we do not
+// have; these generators produce the documented substitute: random sequences
+// and homologous pairs derived by a point-mutation + indel process, which
+// reproduce the structural properties the DP algorithms are sensitive to
+// (lengths, alphabet size, long diagonal runs broken by gaps).
+#pragma once
+
+#include <cstdint>
+
+#include "sequence/sequence.hpp"
+#include "support/prng.hpp"
+
+namespace flsa {
+
+/// Uniform random sequence of `length` residues.
+Sequence random_sequence(const Alphabet& alphabet, std::size_t length,
+                         Xoshiro256& rng, std::string id = "random");
+
+/// Parameters of the homologous-pair mutation process applied to a parent
+/// sequence to derive its partner.
+struct MutationModel {
+  /// Per-residue probability of a point substitution (to a different residue).
+  double substitution_rate = 0.10;
+  /// Per-residue probability of starting an insertion in the child.
+  double insertion_rate = 0.02;
+  /// Per-residue probability of starting a deletion from the parent.
+  double deletion_rate = 0.02;
+  /// Indel lengths are geometric with this continuation probability; the
+  /// expected indel length is 1 / (1 - extension_prob).
+  double extension_prob = 0.5;
+};
+
+/// A generated homologous pair: `a` is the random parent, `b` the mutated
+/// child. Lengths differ by the net indel drift.
+struct SequencePair {
+  Sequence a;
+  Sequence b;
+};
+
+/// Derives a mutated child of `parent` under `model`.
+Sequence mutate(const Sequence& parent, const MutationModel& model,
+                Xoshiro256& rng, std::string id = "mutant");
+
+/// Generates a homologous pair with parent length `length`.
+SequencePair homologous_pair(const Alphabet& alphabet, std::size_t length,
+                             const MutationModel& model, Xoshiro256& rng);
+
+/// Composition-biased random sequence: residue `r` is drawn with weight
+/// `weights[r]` (weights need not be normalized; all must be >= 0, sum > 0).
+Sequence biased_sequence(const Alphabet& alphabet,
+                         std::span<const double> weights, std::size_t length,
+                         Xoshiro256& rng, std::string id = "biased");
+
+}  // namespace flsa

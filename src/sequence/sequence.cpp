@@ -1,0 +1,45 @@
+#include "sequence/sequence.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+Sequence::Sequence(const Alphabet& alphabet, std::string_view letters,
+                   std::string id, std::string description)
+    : alphabet_(&alphabet), id_(std::move(id)),
+      description_(std::move(description)) {
+  residues_.reserve(letters.size());
+  for (char c : letters) residues_.push_back(alphabet.code(c));
+}
+
+Sequence::Sequence(const Alphabet& alphabet, std::vector<Residue> residues,
+                   std::string id, std::string description)
+    : alphabet_(&alphabet), residues_(std::move(residues)),
+      id_(std::move(id)), description_(std::move(description)) {
+  for (Residue r : residues_) FLSA_REQUIRE(r < alphabet.size());
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(residues_.size());
+  for (Residue r : residues_) out.push_back(alphabet_->letter(r));
+  return out;
+}
+
+Sequence Sequence::reversed() const {
+  std::vector<Residue> rev(residues_.rbegin(), residues_.rend());
+  return Sequence(*alphabet_, std::move(rev), id_ + "/rev", description_);
+}
+
+Sequence Sequence::subsequence(std::size_t pos, std::size_t count) const {
+  FLSA_REQUIRE(pos <= residues_.size());
+  FLSA_REQUIRE(count <= residues_.size() - pos);
+  std::vector<Residue> sub(residues_.begin() + static_cast<std::ptrdiff_t>(pos),
+                           residues_.begin() +
+                               static_cast<std::ptrdiff_t>(pos + count));
+  return Sequence(*alphabet_, std::move(sub), id_ + "/sub", description_);
+}
+
+}  // namespace flsa

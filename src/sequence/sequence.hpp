@@ -1,0 +1,55 @@
+// A biological sequence: residues encoded over an alphabet, plus an
+// identifier and optional description (FASTA-style metadata).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sequence/alphabet.hpp"
+
+namespace flsa {
+
+/// Immutable-after-construction encoded sequence. All alignment code works
+/// on residue codes; letters are only materialized for I/O and display.
+class Sequence {
+ public:
+  /// Encodes `letters` over `alphabet`. Throws on foreign characters.
+  Sequence(const Alphabet& alphabet, std::string_view letters,
+           std::string id = "", std::string description = "");
+
+  /// Adopts already-encoded residues (each must be < alphabet.size()).
+  Sequence(const Alphabet& alphabet, std::vector<Residue> residues,
+           std::string id = "", std::string description = "");
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  const std::string& id() const { return id_; }
+  const std::string& description() const { return description_; }
+
+  std::size_t size() const { return residues_.size(); }
+  bool empty() const { return residues_.empty(); }
+
+  /// Residue code at zero-based position i.
+  Residue operator[](std::size_t i) const { return residues_[i]; }
+
+  std::span<const Residue> residues() const { return residues_; }
+
+  /// Decodes back to letters.
+  std::string to_string() const;
+
+  /// The reversed sequence (used by Hirschberg's backward pass and the
+  /// linear-space local aligner).
+  Sequence reversed() const;
+
+  /// Subsequence of `count` residues starting at `pos` (zero-based).
+  Sequence subsequence(std::size_t pos, std::size_t count) const;
+
+ private:
+  const Alphabet* alphabet_;
+  std::vector<Residue> residues_;
+  std::string id_;
+  std::string description_;
+};
+
+}  // namespace flsa

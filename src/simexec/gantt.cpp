@@ -1,0 +1,116 @@
+#include "simexec/gantt.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+GridSchedule schedule_grid(const TileGridRecord& grid, unsigned processors,
+                           std::uint64_t per_tile_overhead) {
+  FLSA_REQUIRE(processors >= 1);
+  GridSchedule schedule;
+  schedule.processors = processors;
+  if (grid.rows == 0 || grid.cols == 0) return schedule;
+
+  // Same event-driven list scheduling as virtual_time.cpp's
+  // dependency_makespan, but with per-tile placement recorded.
+  const std::size_t slots = grid.rows * grid.cols;
+  std::vector<int> deps(slots, 0);
+  auto skipped = [&](std::size_t idx) {
+    return grid.costs[idx] == TileGridRecord::kSkipped;
+  };
+  std::size_t runnable = 0;
+  for (std::size_t ti = 0; ti < grid.rows; ++ti) {
+    for (std::size_t tj = 0; tj < grid.cols; ++tj) {
+      const std::size_t idx = ti * grid.cols + tj;
+      if (skipped(idx)) continue;
+      ++runnable;
+      deps[idx] = (ti > 0 ? 1 : 0) + (tj > 0 ? 1 : 0);
+    }
+  }
+  if (runnable == 0) return schedule;
+
+  struct ReadyTile {
+    std::uint64_t at;
+    std::size_t diag, ti, tj;
+    bool operator>(const ReadyTile& o) const {
+      if (at != o.at) return at > o.at;
+      if (diag != o.diag) return diag > o.diag;
+      return ti > o.ti;
+    }
+  };
+  struct Proc {
+    std::uint64_t free_at;
+    unsigned id;
+    bool operator>(const Proc& o) const {
+      if (free_at != o.free_at) return free_at > o.free_at;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<ReadyTile, std::vector<ReadyTile>, std::greater<>>
+      ready;
+  std::priority_queue<Proc, std::vector<Proc>, std::greater<>> procs;
+  for (unsigned p = 0; p < processors; ++p) procs.push({0, p});
+  FLSA_ASSERT(!skipped(0));
+  ready.push({0, 0, 0, 0});
+
+  std::size_t done = 0;
+  while (done < runnable) {
+    FLSA_ASSERT(!ready.empty());
+    const ReadyTile tile = ready.top();
+    ready.pop();
+    const Proc proc = procs.top();
+    procs.pop();
+    const std::size_t idx = tile.ti * grid.cols + tile.tj;
+    const std::uint64_t start = std::max(tile.at, proc.free_at);
+    const std::uint64_t end = start + grid.costs[idx] + per_tile_overhead;
+    procs.push({end, proc.id});
+    schedule.makespan = std::max(schedule.makespan, end);
+    schedule.tiles.push_back({tile.ti, tile.tj, proc.id, start, end});
+    ++done;
+
+    auto release = [&](std::size_t ri, std::size_t rj) {
+      const std::size_t ridx = ri * grid.cols + rj;
+      if (skipped(ridx)) return;
+      if (--deps[ridx] == 0) ready.push({end, ri + rj, ri, rj});
+    };
+    if (tile.ti + 1 < grid.rows) release(tile.ti + 1, tile.tj);
+    if (tile.tj + 1 < grid.cols) release(tile.ti, tile.tj + 1);
+  }
+  return schedule;
+}
+
+std::string render_gantt(const GridSchedule& schedule, std::size_t width) {
+  FLSA_REQUIRE(width >= 8);
+  std::ostringstream os;
+  if (schedule.makespan == 0) return "(empty schedule)\n";
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(schedule.makespan);
+  std::vector<std::string> lanes(schedule.processors,
+                                 std::string(width, '.'));
+  for (const ScheduledTile& tile : schedule.tiles) {
+    const auto begin = static_cast<std::size_t>(
+        static_cast<double>(tile.start) * scale);
+    auto end = static_cast<std::size_t>(
+        static_cast<double>(tile.end) * scale);
+    end = std::min(end, width);
+    const char mark =
+        static_cast<char>('0' + static_cast<int>((tile.ti + tile.tj) % 10));
+    for (std::size_t x = begin; x < std::max(end, begin + 1) && x < width;
+         ++x) {
+      lanes[tile.processor][x] = mark;
+    }
+  }
+  for (unsigned p = 0; p < schedule.processors; ++p) {
+    os << "P" << p << " |" << lanes[p] << "|\n";
+  }
+  os << "    0" << std::string(width > 20 ? width - 14 : 1, ' ')
+     << "t=" << schedule.makespan << '\n';
+  return os.str();
+}
+
+}  // namespace flsa

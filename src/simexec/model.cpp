@@ -1,0 +1,61 @@
+#include "simexec/model.hpp"
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace model {
+
+double alpha(unsigned processors, std::size_t tile_rows,
+             std::size_t tile_cols) {
+  FLSA_REQUIRE(processors >= 1);
+  FLSA_REQUIRE(tile_rows >= 1 && tile_cols >= 1);
+  const double p = processors;
+  const double rc =
+      static_cast<double>(tile_rows) * static_cast<double>(tile_cols);
+  return (1.0 / p) * (1.0 + (p * p - p) / rc);
+}
+
+double parallel_fill_cache_time(std::size_t rows, std::size_t cols,
+                                unsigned processors, std::size_t tile_rows,
+                                std::size_t tile_cols) {
+  return static_cast<double>(rows) * static_cast<double>(cols) *
+         alpha(processors, tile_rows, tile_cols);
+}
+
+double sequential_ops_bound(std::size_t m, std::size_t n, unsigned k) {
+  FLSA_REQUIRE(k >= 2);
+  const double ratio = static_cast<double>(k) / (k - 1.0);
+  return static_cast<double>(m) * static_cast<double>(n) * ratio * ratio;
+}
+
+double total_time_bound(std::size_t m, std::size_t n, unsigned k,
+                        unsigned processors, std::size_t tile_rows,
+                        std::size_t tile_cols) {
+  return sequential_ops_bound(m, n, k) *
+         alpha(processors, tile_rows, tile_cols);
+}
+
+double sequential_ops_estimate(std::size_t m, std::size_t n, unsigned k,
+                               unsigned levels) {
+  FLSA_REQUIRE(k >= 2);
+  const double q = (2.0 * k - 1.0) / (static_cast<double>(k) * k);
+  double sum = 0.0;
+  double term = 1.0;
+  for (unsigned i = 0; i <= levels; ++i) {
+    sum += term;
+    term *= q;
+  }
+  return static_cast<double>(m) * static_cast<double>(n) * sum;
+}
+
+double efficiency_bound(unsigned processors, std::size_t tile_rows,
+                        std::size_t tile_cols) {
+  return 1.0 / (processors * alpha(processors, tile_rows, tile_cols));
+}
+
+double hirschberg_ops_estimate(std::size_t m, std::size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace model
+}  // namespace flsa

@@ -1,0 +1,47 @@
+// The paper's analytical cost model (its Section 5.1 and Appendix A).
+//
+// All quantities are in DPM-cell units, matching the counters and the
+// virtual-time executor, so bench E9 can put measured and predicted values
+// side by side.
+#pragma once
+
+#include <cstdint>
+
+namespace flsa {
+namespace model {
+
+/// Eq. 32: alpha = (1/P) * (1 + (P^2 - P) / (R*C)) — the per-cell parallel
+/// cost factor of a Fill Cache phase tiled R x C on P processors.
+double alpha(unsigned processors, std::size_t tile_rows,
+             std::size_t tile_cols);
+
+/// Eq. 31: PFillCacheT(M, N, k, P) = M * N * alpha. Virtual-time units.
+double parallel_fill_cache_time(std::size_t rows, std::size_t cols,
+                                unsigned processors, std::size_t tile_rows,
+                                std::size_t tile_cols);
+
+/// Eq. 36: WT(m, n, k, P) <= (m*n / P) * (1 + (P^2-P)/(R*C)) * (k/(k-1))^2.
+double total_time_bound(std::size_t m, std::size_t n, unsigned k,
+                        unsigned processors, std::size_t tile_rows,
+                        std::size_t tile_cols);
+
+/// Sequential operation bound (Eq. 35 with P = 1, alpha = 1):
+/// ops <= m*n*(k/(k-1))^2. The k -> infinity limit is the FM cost m*n; the
+/// linear-space end of the spectrum costs ~1.5x at k ~ 5.45.
+double sequential_ops_bound(std::size_t m, std::size_t n, unsigned k);
+
+/// Finite-recursion estimate of sequential FastLSA operations:
+/// m*n * sum_{i=0..levels} ((2k-1)/k^2)^i, the paper's Eq. 34 geometric
+/// series truncated at the recursion depth actually reached.
+double sequential_ops_estimate(std::size_t m, std::size_t n, unsigned k,
+                               unsigned levels);
+
+/// Parallel efficiency upper bound implied by alpha: 1 / (P * alpha).
+double efficiency_bound(unsigned processors, std::size_t tile_rows,
+                        std::size_t tile_cols);
+
+/// Hirschberg's expected operations (~2 m n; Myers-Miller's analysis).
+double hirschberg_ops_estimate(std::size_t m, std::size_t n);
+
+}  // namespace model
+}  // namespace flsa

@@ -1,0 +1,42 @@
+#include "simexec/recording.hpp"
+
+namespace flsa {
+
+std::uint64_t TileGridRecord::total_cost() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : costs) {
+    if (c != kSkipped) total += c;
+  }
+  return total;
+}
+
+std::size_t TileGridRecord::tile_count() const {
+  std::size_t count = 0;
+  for (std::uint64_t c : costs) count += (c != kSkipped);
+  return count;
+}
+
+std::uint64_t RunTrace::total_cells() const {
+  std::uint64_t total = 0;
+  for (const TileGridRecord& grid : grids) total += grid.total_cost();
+  return total;
+}
+
+void RecordingExecutor::run(std::size_t tile_rows, std::size_t tile_cols,
+                            const TileSkipFn& skip, const TileWorkFn& work,
+                            TilePhase phase) {
+  TileGridRecord record;
+  record.phase = phase;
+  record.rows = tile_rows;
+  record.cols = tile_cols;
+  record.costs.assign(tile_rows * tile_cols, TileGridRecord::kSkipped);
+  for (std::size_t ti = 0; ti < tile_rows; ++ti) {
+    for (std::size_t tj = 0; tj < tile_cols; ++tj) {
+      if (skip && skip(ti, tj)) continue;
+      record.costs[ti * tile_cols + tj] = work(ti, tj, 0);
+    }
+  }
+  trace_.grids.push_back(std::move(record));
+}
+
+}  // namespace flsa

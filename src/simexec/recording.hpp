@@ -1,0 +1,59 @@
+// Tile-DAG recording: the bridge between the real algorithm and the
+// virtual-time processor model.
+//
+// This host has few cores, so the paper's speedup experiments cannot be
+// re-run on real silicon; instead, the RecordingExecutor executes a run
+// sequentially (bit-identical results) while capturing every tile grid the
+// engine submits — dimensions, skipped region, and per-tile cost in DPM
+// cells. virtual_time.hpp then replays those DAGs on P simulated
+// processors. The speedup/efficiency shapes the paper reports are
+// properties of exactly this DAG structure (wavefront ramp-up, saturated
+// middle, ramp-down), so the replay preserves them; see DESIGN.md's
+// substitution table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tile_executor.hpp"
+
+namespace flsa {
+
+/// One recorded tile grid (a Fill Grid Cache or Base Case phase instance).
+struct TileGridRecord {
+  TilePhase phase = TilePhase::kFillCache;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Row-major per-tile cost in DPM cells; kSkipped marks skipped tiles.
+  std::vector<std::uint64_t> costs;
+
+  static constexpr std::uint64_t kSkipped = ~std::uint64_t{0};
+
+  std::uint64_t total_cost() const;
+  std::size_t tile_count() const;  ///< non-skipped tiles
+};
+
+/// A full run's trace: the ordered tile grids plus the sequential work
+/// (traceback and other non-tiled cells) between them.
+struct RunTrace {
+  std::vector<TileGridRecord> grids;
+  std::uint64_t total_cells() const;
+};
+
+/// Sequential TileExecutor that records every grid it runs.
+class RecordingExecutor final : public TileExecutor {
+ public:
+  unsigned worker_count() const override { return 1; }
+
+  void run(std::size_t tile_rows, std::size_t tile_cols,
+           const TileSkipFn& skip, const TileWorkFn& work,
+           TilePhase phase) override;
+
+  const RunTrace& trace() const { return trace_; }
+  RunTrace take_trace() { return std::move(trace_); }
+
+ private:
+  RunTrace trace_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,48 @@
+#include "simexec/simulate.hpp"
+
+#include "core/engine.hpp"
+#include "parallel/parallel_fastlsa.hpp"
+
+namespace flsa {
+
+SimulatedRun record_fastlsa(const Sequence& a, const Sequence& b,
+                            const ScoringScheme& scheme,
+                            const FastLsaOptions& options,
+                            unsigned simulated_threads,
+                            std::size_t tiles_per_block,
+                            std::size_t base_case_tiles,
+                            std::size_t min_tile_extent) {
+  ParallelOptions tiling;
+  tiling.threads = simulated_threads;
+  tiling.tiles_per_block = tiles_per_block;
+  tiling.base_case_tiles = base_case_tiles;
+  tiling.min_tile_extent = min_tile_extent;
+  const ParallelOptions resolved = tiling.resolved(options.k);
+
+  SimulatedRun run;
+  RecordingExecutor recorder;
+  detail::EnginePlan plan;
+  plan.executor = &recorder;
+  plan.tiles_per_block = resolved.tiles_per_block;
+  plan.base_case_tiles = resolved.base_case_tiles;
+  plan.min_tile_extent = resolved.min_tile_extent;
+  detail::FastLsaEngine<false> engine(a, b, scheme, options, plan,
+                                      &run.stats);
+  run.alignment = engine.run();
+  run.trace = recorder.take_trace();
+  return run;
+}
+
+std::vector<SpeedupPoint> speedup_curve(const RunTrace& trace,
+                                        const std::vector<unsigned>& procs,
+                                        SchedulerKind policy,
+                                        std::uint64_t per_tile_overhead) {
+  std::vector<SpeedupPoint> curve;
+  curve.reserve(procs.size());
+  for (unsigned p : procs) {
+    curve.push_back(speedup_at(trace, p, policy, per_tile_overhead));
+  }
+  return curve;
+}
+
+}  // namespace flsa

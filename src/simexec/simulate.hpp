@@ -1,0 +1,40 @@
+// High-level driver: run FastLSA once under the recording executor, then
+// evaluate the captured tile DAG at any processor count / policy.
+#pragma once
+
+#include <vector>
+
+#include "core/fastlsa.hpp"
+#include "dp/alignment.hpp"
+#include "simexec/recording.hpp"
+#include "simexec/virtual_time.hpp"
+
+namespace flsa {
+
+/// A recorded FastLSA run: the (correct, sequentially computed) alignment
+/// plus the tile trace used for virtual-time evaluation.
+struct SimulatedRun {
+  Alignment alignment;
+  FastLsaStats stats;
+  RunTrace trace;
+};
+
+/// Runs (linear-gap) FastLSA with the parallel tiling parameters but on one
+/// real thread, recording the tile DAG. tiles_per_block/base_case_tiles use
+/// the same auto rules as ParallelOptions when zero, resolved against
+/// `simulated_threads` (the P the tiling is planned for).
+SimulatedRun record_fastlsa(const Sequence& a, const Sequence& b,
+                            const ScoringScheme& scheme,
+                            const FastLsaOptions& options,
+                            unsigned simulated_threads,
+                            std::size_t tiles_per_block = 0,
+                            std::size_t base_case_tiles = 0,
+                            std::size_t min_tile_extent = 0);
+
+/// Evaluates a trace at each processor count.
+std::vector<SpeedupPoint> speedup_curve(const RunTrace& trace,
+                                        const std::vector<unsigned>& procs,
+                                        SchedulerKind policy,
+                                        std::uint64_t per_tile_overhead = 0);
+
+}  // namespace flsa

@@ -1,0 +1,53 @@
+// Virtual-time replay: makespan of a recorded tile DAG on P simulated
+// processors, in cost units (DPM cells).
+//
+// Two policies mirror the real schedulers:
+//  - barrier-staged: wavefront lines run as synchronized stages; a stage's
+//    duration is the greedy P-processor makespan of its tiles (matching
+//    WavefrontExecutor::run_barrier's dynamic work stealing within a line);
+//  - dependency-counter: event-driven list scheduling where a tile starts
+//    the moment a processor is free and its up/left tiles finished.
+//
+// `per_tile_overhead` models the fixed cost of dispatching/synchronizing
+// one tile (scheduling, boundary copies, cache warm-up), expressed in cell
+// units. It is what makes parallel efficiency *grow with sequence length*
+// in the paper's measurements: at fixed k the tiles grow with n, so a
+// constant per-tile cost shrinks relative to tile compute. Speedups are
+// always computed against the overhead-free sequential cell count (the
+// sequential algorithm pays no scheduling cost).
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/wavefront.hpp"
+#include "simexec/recording.hpp"
+
+namespace flsa {
+
+/// Makespan of one tile grid on `processors` simulated processors; each
+/// tile costs its recorded cells plus `per_tile_overhead`.
+std::uint64_t grid_makespan(const TileGridRecord& grid, unsigned processors,
+                            SchedulerKind policy,
+                            std::uint64_t per_tile_overhead = 0);
+
+/// Makespan of a whole run: grids execute one after another (the FastLSA
+/// recursion between them is sequential).
+std::uint64_t trace_makespan(const RunTrace& trace, unsigned processors,
+                             SchedulerKind policy,
+                             std::uint64_t per_tile_overhead = 0);
+
+/// Derived parallel metrics of a trace.
+struct SpeedupPoint {
+  unsigned processors = 1;
+  std::uint64_t makespan = 0;
+  /// total cells (sequential-algorithm time) / makespan. With nonzero
+  /// overhead this can be < P even at P = 1, as in real measurements.
+  double speedup = 1.0;
+  double efficiency = 1.0;  ///< speedup / P
+};
+
+SpeedupPoint speedup_at(const RunTrace& trace, unsigned processors,
+                        SchedulerKind policy,
+                        std::uint64_t per_tile_overhead = 0);
+
+}  // namespace flsa

@@ -1,0 +1,43 @@
+// Lightweight contract macros used across the library.
+//
+// FLSA_REQUIRE checks a precondition in every build type and throws
+// std::invalid_argument on violation (callers may pass bad data).
+// FLSA_ASSERT checks an internal invariant; it aborts with a message and is
+// compiled out when NDEBUG is defined, like the standard assert.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace flsa {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::string msg = std::string(kind) + " failed: " + expr + " at " + file +
+                    ":" + std::to_string(line);
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace flsa
+
+#define FLSA_REQUIRE(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::flsa::contract_violation("precondition", #cond, __FILE__, __LINE__); \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLSA_ASSERT(cond) ((void)0)
+#else
+#define FLSA_ASSERT(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "invariant failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+#endif

@@ -1,0 +1,28 @@
+// Minimal CSV emission for bench results so plots can be regenerated
+// externally. Handles quoting of cells containing separators or quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flsa {
+
+/// Streams rows of cells as RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  /// Writes one data row; arity must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quotes a single cell if needed (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+  std::size_t arity_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64; small, fast,
+// and reproducible across platforms, which matters because every synthetic
+// workload in tests and benchmarks is identified by its seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace flsa {
+
+/// Single-step splitmix64; used to expand one 64-bit seed into a full
+/// xoshiro state and useful on its own for hashing experiment ids.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 so any seed (including 0)
+  /// yields a well-mixed state.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// bound must be nonzero.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Jump function: advances the stream by 2^128 steps, giving independent
+  /// parallel substreams from one seed.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace flsa

@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flsa {
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.n = sample.size();
+  if (s.n == 0) return s;
+  Accumulator acc;
+  for (double x : sample) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = median(sample);
+  return s;
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : sample) total += x;
+  return total / static_cast<double>(sample.size());
+}
+
+double median(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double ci95_halfwidth(const Summary& s) {
+  if (s.n < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace flsa

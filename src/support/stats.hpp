@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses to
+// aggregate repeated timing measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace flsa {
+
+/// Summary of a sample of measurements.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a full summary of the sample. Empty input yields a zero summary.
+Summary summarize(std::span<const double> sample);
+
+double mean(std::span<const double> sample);
+double median(std::span<const double> sample);
+
+/// Half-width of the ~95% normal-approximation confidence interval of the
+/// mean (1.96 * stddev / sqrt(n)); 0 for samples smaller than 2.
+double ci95_halfwidth(const Summary& s);
+
+/// Online accumulator (Welford) for streaming measurements.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance; 0 when fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace flsa

@@ -1,0 +1,38 @@
+// Fixed-width plain-text table printer used by the bench binaries to emit
+// paper-style result tables to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flsa {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Numeric-looking cells are right-aligned, text cells left-aligned. The
+/// table renders a header rule and is safe to print incrementally row by row
+/// (widths are computed when print() is called).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters for common cell types.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the full table.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,29 @@
+// Monotonic wall-clock timing for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace flsa {
+
+/// Stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flsa

@@ -1,0 +1,100 @@
+// Tests for the configuration advisor.
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Advisor, SmallProblemGetsFullMatrix) {
+  MachineProfile machine;
+  machine.cache_bytes = 1u << 20;
+  const Recommendation rec = recommend(100, 100, false, machine);
+  EXPECT_EQ(rec.strategy, Strategy::kFullMatrix);
+  EXPECT_NE(rec.rationale.find("cache"), std::string::npos);
+}
+
+TEST(Advisor, LargeProblemGetsFastLsa) {
+  MachineProfile machine;
+  machine.cache_bytes = 1u << 20;
+  const Recommendation rec = recommend(100000, 100000, false, machine);
+  EXPECT_EQ(rec.strategy, Strategy::kFastLsa);
+  EXPECT_GE(rec.fastlsa.k, 2u);
+  EXPECT_GE(rec.fastlsa.base_case_cells, 16u);
+  // The buffer fits in half the cache.
+  EXPECT_LE(rec.fastlsa.base_case_cells * sizeof(Score),
+            machine.cache_bytes / 2);
+}
+
+TEST(Advisor, AffineCellsShrinkTheBuffer) {
+  MachineProfile machine;
+  machine.cache_bytes = 1u << 20;
+  const Recommendation linear = recommend(50000, 50000, false, machine);
+  const Recommendation affine = recommend(50000, 50000, true, machine);
+  EXPECT_LT(affine.fastlsa.base_case_cells, linear.fastlsa.base_case_cells);
+}
+
+TEST(Advisor, MoreProcessorsPreferLargerK) {
+  MachineProfile one;
+  one.cache_bytes = 1u << 20;
+  one.processors = 1;
+  MachineProfile many = one;
+  many.processors = 16;
+  const Recommendation rec1 = recommend(50000, 50000, false, one);
+  const Recommendation rec16 = recommend(50000, 50000, false, many);
+  EXPECT_GE(rec16.fastlsa.k, rec1.fastlsa.k);
+  EXPECT_EQ(rec16.parallel.threads, 16u);
+}
+
+TEST(Advisor, TightMemoryCapsK) {
+  MachineProfile machine;
+  machine.cache_bytes = 1u << 16;
+  machine.processors = 16;  // pressure toward large k
+  machine.memory_bytes = 3u << 20;
+  const Recommendation rec = recommend(100000, 100000, false, machine);
+  // Grid lines k*(m+n) cells must fit 3 MiB: k <= ~3.9.
+  EXPECT_LE(rec.fastlsa.k, 4u);
+}
+
+TEST(Advisor, RecommendationActuallyWorks) {
+  Xoshiro256 rng(191);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 400, model, rng);
+  MachineProfile machine;
+  machine.cache_bytes = 64 * 1024;
+  machine.memory_bytes = 1u << 20;
+  const Recommendation rec =
+      recommend(pair.a.size(), pair.b.size(), false, machine);
+  ASSERT_EQ(rec.strategy, Strategy::kFastLsa);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  FastLsaStats stats;
+  const Alignment aln =
+      fastlsa_align(pair.a, pair.b, scheme, rec.fastlsa, &stats);
+  EXPECT_EQ(aln.score, full_matrix_score(pair.a, pair.b, scheme));
+  EXPECT_LE(stats.peak_bytes, machine.memory_bytes);
+}
+
+TEST(Advisor, PredictedCostIsPositiveAndOrdered) {
+  MachineProfile machine;
+  machine.cache_bytes = 1u << 20;
+  const Recommendation small = recommend(10000, 10000, false, machine);
+  const Recommendation large = recommend(40000, 40000, false, machine);
+  EXPECT_GT(small.predicted_cost, 0.0);
+  EXPECT_GT(large.predicted_cost, small.predicted_cost);
+}
+
+TEST(Advisor, RejectsNonsenseProfiles) {
+  MachineProfile machine;
+  machine.processors = 0;
+  EXPECT_THROW(recommend(100, 100, false, machine), std::invalid_argument);
+  machine.processors = 1;
+  machine.cache_bytes = 128;
+  EXPECT_THROW(recommend(100, 100, false, machine), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,149 @@
+// Tests for the top-level align() API: strategy selection under the
+// paper's RM memory model and cross-strategy agreement.
+#include <gtest/gtest.h>
+
+#include "core/aligner.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Aligner, AutoPicksFullMatrixWhenUnbounded) {
+  Xoshiro256 rng(101);
+  const Sequence a = random_sequence(Alphabet::protein(), 50, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 50, rng);
+  AlignReport report;
+  align(a, b, ScoringScheme::paper_default(), {}, &report);
+  EXPECT_EQ(report.chosen, Strategy::kFullMatrix);
+}
+
+TEST(Aligner, AutoPicksFastLsaUnderTightMemory) {
+  Xoshiro256 rng(102);
+  const Sequence a = random_sequence(Alphabet::protein(), 400, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 400, rng);
+  AlignOptions options;
+  options.memory_limit_bytes = 64 * 1024;  // far below the 640 KB DPM
+  AlignReport report;
+  const Alignment aln =
+      align(a, b, ScoringScheme::paper_default(), options, &report);
+  EXPECT_EQ(report.chosen, Strategy::kFastLsa);
+  EXPECT_EQ(aln.score,
+            full_matrix_score(a, b, ScoringScheme::paper_default()));
+  // The run respected the memory budget (paper's RM adaptation).
+  EXPECT_LE(report.stats.peak_bytes, options.memory_limit_bytes);
+}
+
+TEST(Aligner, ChooseStrategyThreshold) {
+  // 100x100 linear DPM = 101*101*4 bytes ~ 40.8 KB.
+  EXPECT_EQ(choose_strategy(100, 100, false, 50 * 1024),
+            Strategy::kFullMatrix);
+  EXPECT_EQ(choose_strategy(100, 100, false, 30 * 1024),
+            Strategy::kFastLsa);
+  // Affine cells are 3x bigger.
+  EXPECT_EQ(choose_strategy(100, 100, true, 50 * 1024),
+            Strategy::kFastLsa);
+  EXPECT_EQ(choose_strategy(100, 100, false, 0), Strategy::kFullMatrix);
+}
+
+TEST(Aligner, FitOptionsShrinkWithMemory) {
+  const FastLsaOptions big = fit_fastlsa_options(10000, 10000, false,
+                                                 8u << 20);
+  const FastLsaOptions small = fit_fastlsa_options(10000, 10000, false,
+                                                   256u << 10);
+  EXPECT_GT(big.base_case_cells, small.base_case_cells);
+  EXPECT_GE(small.base_case_cells, 16u);
+}
+
+TEST(Aligner, AllStrategiesAgreeLinear) {
+  Xoshiro256 rng(103);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 150, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  Score scores[3];
+  const Strategy strategies[] = {Strategy::kFullMatrix,
+                                 Strategy::kHirschberg, Strategy::kFastLsa};
+  for (int i = 0; i < 3; ++i) {
+    AlignOptions options;
+    options.strategy = strategies[i];
+    options.fastlsa.base_case_cells = 64;
+    scores[i] = align(pair.a, pair.b, scheme, options).score;
+  }
+  EXPECT_EQ(scores[0], scores[1]);
+  EXPECT_EQ(scores[0], scores[2]);
+}
+
+TEST(Aligner, AllStrategiesAgreeAffine) {
+  Xoshiro256 rng(104);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 120, model, rng);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -8, -2);
+  Score scores[3];
+  const Strategy strategies[] = {Strategy::kFullMatrix,
+                                 Strategy::kHirschberg, Strategy::kFastLsa};
+  for (int i = 0; i < 3; ++i) {
+    AlignOptions options;
+    options.strategy = strategies[i];
+    options.fastlsa.base_case_cells = 64;
+    scores[i] = align(pair.a, pair.b, scheme, options).score;
+  }
+  EXPECT_EQ(scores[0], scores[1]);
+  EXPECT_EQ(scores[0], scores[2]);
+}
+
+TEST(Aligner, ReportsCounters) {
+  Xoshiro256 rng(105);
+  const Sequence a = random_sequence(Alphabet::protein(), 80, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 70, rng);
+  AlignReport report;
+  AlignOptions options;
+  options.strategy = Strategy::kHirschberg;
+  align(a, b, ScoringScheme::paper_default(), options, &report);
+  EXPECT_GT(report.stats.counters.total_cells(), 80u * 70u);
+}
+
+TEST(Aligner, RejectsAlphabetMismatch) {
+  const Sequence a(Alphabet::dna(), "ACGT");
+  const Sequence b(Alphabet::protein(), "ACDE");
+  EXPECT_THROW(align(a, b, ScoringScheme::paper_default()),
+               std::invalid_argument);
+  const Sequence c(Alphabet::dna(), "ACGT");
+  EXPECT_THROW(align(a, c, ScoringScheme::paper_default()),
+               std::invalid_argument);
+}
+
+TEST(Aligner, StrategyNames) {
+  EXPECT_STREQ(to_string(Strategy::kFullMatrix), "full-matrix");
+  EXPECT_STREQ(to_string(Strategy::kHirschberg), "hirschberg");
+  EXPECT_STREQ(to_string(Strategy::kFastLsa), "fastlsa");
+  EXPECT_STREQ(to_string(Strategy::kAuto), "auto");
+}
+
+// Memory-limit ladder: FastLSA must succeed and stay within budget at
+// every limit from generous to tight.
+class MemoryLadder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MemoryLadder, RespectsLimit) {
+  const std::size_t limit_kb = GetParam();
+  Xoshiro256 rng(limit_kb);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 300, model, rng);
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  options.memory_limit_bytes = limit_kb * 1024;
+  AlignReport report;
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Alignment aln = align(pair.a, pair.b, scheme, options, &report);
+  EXPECT_EQ(aln.score, full_matrix_score(pair.a, pair.b, scheme));
+  EXPECT_LE(report.stats.peak_bytes, options.memory_limit_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, MemoryLadder,
+                         ::testing::Values(64, 128, 256, 512));
+
+}  // namespace
+}  // namespace flsa

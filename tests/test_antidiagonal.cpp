@@ -1,0 +1,88 @@
+// Tests for the anti-diagonal score kernel (cell-level wavefront).
+#include <gtest/gtest.h>
+
+#include "dp/antidiagonal.hpp"
+#include "dp/kernel.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+ScoringScheme scheme() {
+  static const SubstitutionMatrix m = scoring::dna(5, -4);
+  return ScoringScheme(m, -6);
+}
+
+TEST(Antidiagonal, PaperExampleScore) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  EXPECT_EQ(global_score_antidiagonal(a.residues(), b.residues(),
+                                      ScoringScheme::paper_default()),
+            82);
+}
+
+TEST(Antidiagonal, MatchesRowKernelOnRandomPairs) {
+  Xoshiro256 rng(161);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = rng.bounded(50);
+    const std::size_t n = rng.bounded(50);
+    const Sequence a = random_sequence(Alphabet::dna(), m, rng);
+    const Sequence b = random_sequence(Alphabet::dna(), n, rng);
+    EXPECT_EQ(
+        global_score_antidiagonal(a.residues(), b.residues(), scheme()),
+        global_score_linear(a.residues(), b.residues(), scheme()))
+        << m << "x" << n;
+  }
+}
+
+TEST(Antidiagonal, LastRowMatchesRowKernel) {
+  Xoshiro256 rng(162);
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{13, 29},
+                             {29, 13},
+                             {1, 10},
+                             {10, 1},
+                             {7, 7}}) {
+    const Sequence a = random_sequence(Alphabet::dna(), m, rng);
+    const Sequence b = random_sequence(Alphabet::dna(), n, rng);
+    EXPECT_EQ(last_row_antidiagonal(a.residues(), b.residues(), scheme()),
+              last_row_linear(a.residues(), b.residues(), scheme()))
+        << m << "x" << n;
+  }
+}
+
+TEST(Antidiagonal, EmptyInputs) {
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acgt(Alphabet::dna(), "ACGT");
+  EXPECT_EQ(global_score_antidiagonal(empty.residues(), empty.residues(),
+                                      scheme()),
+            0);
+  EXPECT_EQ(global_score_antidiagonal(acgt.residues(), empty.residues(),
+                                      scheme()),
+            -24);
+  EXPECT_EQ(global_score_antidiagonal(empty.residues(), acgt.residues(),
+                                      scheme()),
+            -24);
+}
+
+TEST(Antidiagonal, CountsCells) {
+  Xoshiro256 rng(163);
+  const Sequence a = random_sequence(Alphabet::dna(), 11, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 13, rng);
+  DpCounters counters;
+  global_score_antidiagonal(a.residues(), b.residues(), scheme(),
+                            &counters);
+  EXPECT_EQ(counters.cells_scored, 143u);
+}
+
+TEST(Antidiagonal, RejectsAffine) {
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  const Sequence a(Alphabet::dna(), "ACG");
+  EXPECT_THROW(
+      global_score_antidiagonal(a.residues(), a.residues(), affine),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

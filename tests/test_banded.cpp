@@ -1,0 +1,97 @@
+// Tests for the banded global aligner.
+#include <gtest/gtest.h>
+
+#include "dp/banded.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+ScoringScheme scheme() {
+  static const SubstitutionMatrix m = scoring::dna(5, -4);
+  return ScoringScheme(m, -6);
+}
+
+TEST(Banded, WideBandMatchesFullMatrix) {
+  Xoshiro256 rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m = 1 + rng.bounded(40);
+    const std::size_t n = 1 + rng.bounded(40);
+    const Sequence a = random_sequence(Alphabet::dna(), m, rng);
+    const Sequence b = random_sequence(Alphabet::dna(), n, rng);
+    const std::size_t wide = std::max(m, n);
+    EXPECT_EQ(banded_score(a, b, scheme(), wide),
+              full_matrix_score(a, b, scheme()));
+    const Alignment aln = banded_align(a, b, scheme(), wide);
+    EXPECT_EQ(aln.score, full_matrix_score(a, b, scheme()));
+    EXPECT_EQ(score_alignment(aln, scheme(), Alphabet::dna()), aln.score);
+  }
+}
+
+TEST(Banded, ScoreMonotoneInBandWidth) {
+  Xoshiro256 rng(62);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 100, model, rng);
+  Score previous = kNegInf;
+  for (std::size_t w : {1u, 2u, 4u, 8u, 16u, 32u, 100u}) {
+    const Score s = banded_score(pair.a, pair.b, scheme(), w);
+    EXPECT_GE(s, previous) << "w=" << w;
+    previous = s;
+  }
+  EXPECT_EQ(previous, full_matrix_score(pair.a, pair.b, scheme()));
+}
+
+TEST(Banded, HighIdentityPairConvergesWithNarrowBand) {
+  Xoshiro256 rng(63);
+  MutationModel model;
+  model.substitution_rate = 0.02;
+  model.insertion_rate = 0.002;
+  model.deletion_rate = 0.002;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 300, model, rng);
+  const Score exact = full_matrix_score(pair.a, pair.b, scheme());
+  // A modest band already recovers the unconstrained optimum on a
+  // high-identity pair.
+  EXPECT_EQ(banded_score(pair.a, pair.b, scheme(), 24), exact);
+}
+
+TEST(Banded, BandReducesStoredCells) {
+  Xoshiro256 rng(64);
+  const Sequence a = random_sequence(Alphabet::dna(), 200, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 200, rng);
+  DpCounters banded_counters, fm_counters;
+  banded_score(a, b, scheme(), 10, &banded_counters);
+  full_matrix_score(a, b, scheme(), &fm_counters);
+  EXPECT_LT(banded_counters.cells_stored, fm_counters.cells_stored / 3);
+}
+
+TEST(Banded, EqualLengthIdenticalSequencesWithMinimalBand) {
+  Xoshiro256 rng(65);
+  const Sequence s = random_sequence(Alphabet::dna(), 50, rng);
+  const Alignment aln = banded_align(s, s, scheme(), 1);
+  EXPECT_EQ(aln.score, 250);
+  EXPECT_EQ(aln.gap_count(), 0u);
+}
+
+TEST(Banded, LengthMismatchStillReachesCorner) {
+  const Sequence a(Alphabet::dna(), "ACGT");
+  const Sequence b(Alphabet::dna(), "ACGTACGTACGT");
+  // Band geometry always contains both corners, whatever the half-width.
+  const Alignment aln = banded_align(a, b, scheme(), 1);
+  EXPECT_EQ(score_alignment(aln, scheme(), Alphabet::dna()), aln.score);
+  std::size_t b_res = 0;
+  for (char c : aln.gapped_b) b_res += (c != '-');
+  EXPECT_EQ(b_res, b.size());
+}
+
+TEST(Banded, RejectsBadParameters) {
+  const Sequence a(Alphabet::dna(), "ACG");
+  EXPECT_THROW(banded_align(a, a, scheme(), 0), std::invalid_argument);
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  EXPECT_THROW(banded_align(a, a, affine, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

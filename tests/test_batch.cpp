@@ -1,0 +1,117 @@
+// Tests for the batch (many-pairs) aligner.
+#include <gtest/gtest.h>
+
+#include "dp/fullmatrix.hpp"
+#include "parallel/batch.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Batch, EmptyBatch) {
+  const auto results =
+      align_batch({}, ScoringScheme::paper_default(), {}, 4);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Batch, ResultsMatchSequentialPerPair) {
+  Xoshiro256 rng(181);
+  std::vector<Sequence> as, bs;
+  for (int i = 0; i < 12; ++i) {
+    as.push_back(random_sequence(Alphabet::protein(),
+                                 20 + rng.bounded(120), rng));
+    bs.push_back(random_sequence(Alphabet::protein(),
+                                 20 + rng.bounded(120), rng));
+  }
+  std::vector<AlignJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(AlignJob{&as[static_cast<std::size_t>(i)],
+                            &bs[static_cast<std::size_t>(i)]});
+  }
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const auto results = align_batch(jobs, scheme, {}, 4);
+  ASSERT_EQ(results.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(results[i].alignment.score,
+              full_matrix_score(as[i], bs[i], scheme))
+        << "pair " << i;
+  }
+}
+
+TEST(Batch, ThreadCountsAgree) {
+  Xoshiro256 rng(182);
+  std::vector<Sequence> as, bs;
+  for (int i = 0; i < 9; ++i) {
+    as.push_back(random_sequence(Alphabet::dna(), 30 + rng.bounded(70),
+                                 rng));
+    bs.push_back(random_sequence(Alphabet::dna(), 30 + rng.bounded(70),
+                                 rng));
+  }
+  std::vector<AlignJob> jobs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    jobs.push_back(AlignJob{&as[i], &bs[i]});
+  }
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -6);
+  const auto one = align_batch(jobs, scheme, {}, 1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    const auto many = align_batch(jobs, scheme, {}, threads);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(many[i].alignment.score, one[i].alignment.score);
+      EXPECT_EQ(many[i].alignment.gapped_a, one[i].alignment.gapped_a);
+    }
+  }
+}
+
+TEST(Batch, HonoursAlignOptions) {
+  Xoshiro256 rng(183);
+  const Sequence a = random_sequence(Alphabet::protein(), 300, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 300, rng);
+  std::vector<AlignJob> jobs{AlignJob{&a, &b}};
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  options.fastlsa.base_case_cells = 256;
+  const auto results =
+      align_batch(jobs, ScoringScheme::paper_default(), options, 2);
+  EXPECT_EQ(results[0].report.chosen, Strategy::kFastLsa);
+  EXPECT_GT(results[0].report.stats.base_case_invocations, 1u);
+}
+
+TEST(Batch, OneVsMany) {
+  Xoshiro256 rng(184);
+  const Sequence query = random_sequence(Alphabet::protein(), 100, rng);
+  std::vector<Sequence> targets;
+  for (int i = 0; i < 6; ++i) {
+    targets.push_back(
+        random_sequence(Alphabet::protein(), 50 + rng.bounded(100), rng));
+  }
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const auto results = align_one_vs_many(query, targets, scheme, {}, 3);
+  ASSERT_EQ(results.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(results[i].alignment.score,
+              full_matrix_score(query, targets[i], scheme));
+  }
+}
+
+TEST(Batch, NullJobRejected) {
+  const Sequence a(Alphabet::dna(), "ACG");
+  std::vector<AlignJob> jobs{AlignJob{&a, nullptr}};
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -2);
+  EXPECT_THROW(align_batch(jobs, scheme), std::invalid_argument);
+}
+
+TEST(Batch, PropagatesWorkerExceptions) {
+  // Alphabet mismatch inside a job surfaces to the caller.
+  const Sequence a(Alphabet::dna(), "ACG");
+  const Sequence p(Alphabet::protein(), "ACD");
+  std::vector<AlignJob> jobs{AlignJob{&a, &p}};
+  EXPECT_THROW(align_batch(jobs, ScoringScheme::paper_default(), {}, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

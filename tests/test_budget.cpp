@@ -1,0 +1,70 @@
+// Tests for the memory tracker / RAII charges.
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(MemoryTracker, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.allocate(100);
+  t.allocate(50);
+  EXPECT_EQ(t.current_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.release(100);
+  EXPECT_EQ(t.current_bytes(), 50u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.allocate(60);
+  EXPECT_EQ(t.peak_bytes(), 150u);  // 110 < 150
+  t.allocate(100);
+  EXPECT_EQ(t.peak_bytes(), 210u);
+  EXPECT_EQ(t.allocation_count(), 4u);
+}
+
+TEST(MemoryTracker, OverReleaseThrows) {
+  MemoryTracker t;
+  t.allocate(10);
+  EXPECT_THROW(t.release(11), std::invalid_argument);
+}
+
+TEST(MemoryCharge, RaiiReleasesOnScopeExit) {
+  MemoryTracker t;
+  {
+    MemoryCharge charge(&t, 64);
+    EXPECT_EQ(t.current_bytes(), 64u);
+  }
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 64u);
+}
+
+TEST(MemoryCharge, NullTrackerIsNoop) {
+  MemoryCharge charge(nullptr, 64);  // must not crash
+  charge.resize(128);
+}
+
+TEST(MemoryCharge, ResizeAdjustsCharge) {
+  MemoryTracker t;
+  MemoryCharge charge(&t, 100);
+  charge.resize(40);
+  EXPECT_EQ(t.current_bytes(), 40u);
+  EXPECT_EQ(t.peak_bytes(), 100u);
+  charge.resize(70);
+  EXPECT_EQ(t.current_bytes(), 70u);
+}
+
+TEST(MemoryCharge, MoveTransfersOwnership) {
+  MemoryTracker t;
+  MemoryCharge a(&t, 30);
+  MemoryCharge b = std::move(a);
+  EXPECT_EQ(t.current_bytes(), 30u);
+  {
+    MemoryCharge c(&t, 10);
+    b = std::move(c);  // b's 30 released, c's 10 adopted
+    EXPECT_EQ(t.current_bytes(), 10u);
+  }
+  EXPECT_EQ(t.current_bytes(), 10u);  // c was moved-from; no double release
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,151 @@
+// Tests for the 3-bit direction-set encoding and co-optimal path
+// counting/enumeration (paper Section 2.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dp/cooptimal.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(DirectionSetMatrix, PacksThreeBitsPerCell) {
+  DirectionSetMatrix m(3, 5);
+  m.set(0, 0, true, false, true);
+  m.set(0, 1, false, true, false);
+  m.set(2, 4, true, true, true);
+  EXPECT_TRUE(m.diag(0, 0));
+  EXPECT_FALSE(m.up(0, 0));
+  EXPECT_TRUE(m.left(0, 0));
+  EXPECT_TRUE(m.up(0, 1));
+  EXPECT_FALSE(m.diag(0, 1));
+  EXPECT_TRUE(m.diag(2, 4) && m.up(2, 4) && m.left(2, 4));
+  // Neighbours unaffected.
+  EXPECT_FALSE(m.diag(1, 0) || m.up(1, 0) || m.left(1, 0));
+}
+
+TEST(CoOptimal, PaperExampleHasASingleOptimalPath) {
+  // The paper (Section 2.1): "in our example, there is a single optimal
+  // path and it is denoted by numerical subscripts" — under the MDM78
+  // scheme the score-82 optimum is unique, and it is the V-L-pairing
+  // alignment of the introduction. (The introduction's "2 different ways
+  // of obtaining 5 identically aligned letters" counts identical-letter
+  // maximizers, a different objective.)
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const CoOptimalAnalysis analysis = count_optimal_paths(a, b, scheme);
+  EXPECT_EQ(analysis.score, 82);
+  EXPECT_EQ(analysis.path_count, 1u);
+
+  const auto alignments = enumerate_optimal_alignments(a, b, scheme, 10);
+  ASSERT_EQ(alignments.size(), 1u);
+  EXPECT_EQ(alignments[0].score, 82);
+  EXPECT_EQ(alignments[0].gapped_a, "TLDKLLK-D");
+  EXPECT_EQ(alignments[0].gapped_b, "T-D-VLKAD");
+}
+
+TEST(CoOptimal, FirstEnumeratedEqualsSinglePathTraceback) {
+  Xoshiro256 rng(251);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(30), rng);
+    const Sequence b =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(30), rng);
+    const auto alignments = enumerate_optimal_alignments(a, b, scheme, 1);
+    ASSERT_EQ(alignments.size(), 1u);
+    const Alignment fm = full_matrix_align(a, b, scheme);
+    EXPECT_EQ(alignments[0].gapped_a, fm.gapped_a);
+    EXPECT_EQ(alignments[0].gapped_b, fm.gapped_b);
+  }
+}
+
+TEST(CoOptimal, CountMatchesEnumerationOnSmallCases) {
+  Xoshiro256 rng(252);
+  const SubstitutionMatrix m = scoring::dna(2, -1);
+  const ScoringScheme scheme(m, -1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::dna(), rng.bounded(8), rng);
+    const Sequence b =
+        random_sequence(Alphabet::dna(), rng.bounded(8), rng);
+    const CoOptimalAnalysis analysis = count_optimal_paths(a, b, scheme);
+    const auto alignments =
+        enumerate_optimal_alignments(a, b, scheme, 100000);
+    EXPECT_EQ(analysis.path_count, alignments.size())
+        << a.to_string() << "/" << b.to_string();
+    // All enumerated paths are distinct and optimal.
+    std::set<std::string> unique;
+    for (const Alignment& aln : alignments) {
+      EXPECT_EQ(aln.score, analysis.score);
+      unique.insert(aln.gapped_a + "/" + aln.gapped_b);
+    }
+    EXPECT_EQ(unique.size(), alignments.size());
+  }
+}
+
+TEST(CoOptimal, UniquePathForStrongDiagonalSignal) {
+  // Identical sequences with strong match reward: exactly one optimum.
+  Xoshiro256 rng(253);
+  const Sequence s = random_sequence(Alphabet::protein(), 50, rng);
+  const CoOptimalAnalysis analysis =
+      count_optimal_paths(s, s, ScoringScheme::paper_default());
+  EXPECT_EQ(analysis.path_count, 1u);
+}
+
+TEST(CoOptimal, SaturatesOnDegenerateScoring) {
+  // All-zero scoring with free gaps: every monotone path is optimal;
+  // C(80, 40) >> 2^64 saturates the counter.
+  const SubstitutionMatrix m = scoring::identity(Alphabet::dna(), 0, 0);
+  const ScoringScheme scheme(m, 0);
+  Xoshiro256 rng(254);
+  const Sequence a = random_sequence(Alphabet::dna(), 40, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 40, rng);
+  const CoOptimalAnalysis analysis = count_optimal_paths(a, b, scheme);
+  EXPECT_TRUE(analysis.saturated());
+}
+
+TEST(CoOptimal, CountsLatticePathsExactly) {
+  // Same degenerate scoring, small sizes: the count is the binomial
+  // C(m+n, m) since every monotone path (including diagonals...) — with
+  // all three moves allowed the count is the Delannoy number D(m, n).
+  const SubstitutionMatrix m = scoring::identity(Alphabet::dna(), 0, 0);
+  const ScoringScheme scheme(m, 0);
+  const Sequence a(Alphabet::dna(), "AC");
+  const Sequence b(Alphabet::dna(), "GT");
+  // Delannoy D(2,2) = 13.
+  EXPECT_EQ(count_optimal_paths(a, b, scheme).path_count, 13u);
+  const Sequence one(Alphabet::dna(), "A");
+  // D(1,1) = 3: diag, up+left, left+up.
+  EXPECT_EQ(count_optimal_paths(one, one, scheme).path_count, 3u);
+}
+
+TEST(CoOptimal, LimitTruncatesEnumeration) {
+  const SubstitutionMatrix m = scoring::identity(Alphabet::dna(), 0, 0);
+  const ScoringScheme scheme(m, 0);
+  const Sequence a(Alphabet::dna(), "ACGT");
+  const Sequence b(Alphabet::dna(), "ACGT");
+  const auto alignments = enumerate_optimal_alignments(a, b, scheme, 5);
+  EXPECT_EQ(alignments.size(), 5u);
+  EXPECT_TRUE(enumerate_optimal_alignments(a, b, scheme, 0).empty());
+}
+
+TEST(CoOptimal, EmptyInputs) {
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -2);
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  EXPECT_EQ(count_optimal_paths(empty, empty, scheme).path_count, 1u);
+  EXPECT_EQ(count_optimal_paths(acg, empty, scheme).path_count, 1u);
+  const auto alignments =
+      enumerate_optimal_alignments(empty, acg, scheme, 10);
+  ASSERT_EQ(alignments.size(), 1u);
+  EXPECT_EQ(alignments[0].gapped_a, "---");
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,99 @@
+// Tests for the FastLSA engine's internal tiling arithmetic
+// (detail::split_cuts / refine_cuts / clamp_tiles) — the geometry every
+// grid cache and wavefront depends on.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace flsa {
+namespace detail {
+namespace {
+
+TEST(SplitCuts, EvenDivision) {
+  EXPECT_EQ(split_cuts(12, 4), (std::vector<std::size_t>{3, 6, 9}));
+  EXPECT_EQ(split_cuts(10, 2), (std::vector<std::size_t>{5}));
+}
+
+TEST(SplitCuts, UnevenDivisionIsMonotoneAndInterior) {
+  const auto cuts = split_cuts(10, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_LT(cuts[0], cuts[1]);
+  EXPECT_GT(cuts[0], 0u);
+  EXPECT_LT(cuts[1], 10u);
+}
+
+TEST(SplitCuts, MorePartsThanExtentClamps) {
+  // Each segment must contain at least one residue.
+  const auto cuts = split_cuts(3, 10);
+  EXPECT_EQ(cuts, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(SplitCuts, DegenerateExtents) {
+  EXPECT_TRUE(split_cuts(0, 4).empty());
+  EXPECT_TRUE(split_cuts(1, 4).empty());
+  EXPECT_TRUE(split_cuts(100, 1).empty());
+}
+
+TEST(SplitCuts, SegmentsNearEqualForLargeExtent) {
+  const auto cuts = split_cuts(1000, 8);
+  ASSERT_EQ(cuts.size(), 7u);
+  std::size_t prev = 0;
+  for (std::size_t cut : cuts) {
+    const std::size_t seg = cut - prev;
+    EXPECT_GE(seg, 125u - 1);
+    EXPECT_LE(seg, 125u + 1);
+    prev = cut;
+  }
+}
+
+TEST(ClampTiles, Behaviour) {
+  EXPECT_EQ(clamp_tiles(8, 1000, 64), 8u);   // unconstrained
+  EXPECT_EQ(clamp_tiles(8, 100, 64), 1u);    // 100/64 = 1
+  EXPECT_EQ(clamp_tiles(8, 256, 64), 4u);    // 256/64 = 4
+  EXPECT_EQ(clamp_tiles(8, 0, 64), 1u);      // never zero
+  EXPECT_EQ(clamp_tiles(8, 5, 1), 5u);       // min extent 1: cap = extent
+  EXPECT_EQ(clamp_tiles(0, 100, 1), 1u);     // desired 0 still yields 1
+}
+
+TEST(RefineCuts, SupersetOfBlockCuts) {
+  const std::vector<std::size_t> blocks{30, 60, 90};
+  const auto tiles = refine_cuts(120, blocks, 3);
+  for (std::size_t b : blocks) {
+    EXPECT_NE(std::find(tiles.begin(), tiles.end(), b), tiles.end())
+        << "missing block cut " << b;
+  }
+  // 4 blocks x 3 tiles = 12 segments -> 11 interior cuts.
+  EXPECT_EQ(tiles.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(tiles.begin(), tiles.end()));
+  EXPECT_GT(tiles.front(), 0u);
+  EXPECT_LT(tiles.back(), 120u);
+}
+
+TEST(RefineCuts, OneTilePerBlockIsIdentity) {
+  const std::vector<std::size_t> blocks{25, 50, 75};
+  EXPECT_EQ(refine_cuts(100, blocks, 1), blocks);
+}
+
+TEST(RefineCuts, MinTileExtentLimitsRefinement) {
+  const std::vector<std::size_t> blocks{50};
+  // Each 50-wide block refined into up to 8 tiles of >= 20 -> 2 tiles.
+  const auto tiles = refine_cuts(100, blocks, 8, 20);
+  EXPECT_EQ(tiles.size(), 3u);  // 4 segments
+  // And with a huge floor, no refinement at all.
+  EXPECT_EQ(refine_cuts(100, blocks, 8, 64), blocks);
+}
+
+TEST(RefineCuts, EmptyBlockListRefinesWholeExtent) {
+  const auto tiles = refine_cuts(40, {}, 4);
+  EXPECT_EQ(tiles, (std::vector<std::size_t>{10, 20, 30}));
+}
+
+TEST(RefineCuts, TinyBlocksStayIntact) {
+  // Blocks of one residue cannot be subdivided.
+  const std::vector<std::size_t> blocks{1, 2, 3};
+  EXPECT_EQ(refine_cuts(4, blocks, 5), blocks);
+}
+
+}  // namespace
+}  // namespace detail
+}  // namespace flsa

@@ -1,0 +1,219 @@
+// Tests for sequential FastLSA (linear gaps): correctness against the FM
+// baseline across k, base-case-buffer sizes, and problem shapes; operation
+// counts against the paper's analytical bounds; memory behaviour.
+#include <gtest/gtest.h>
+
+#include "core/fastlsa.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+#include "simexec/model.hpp"
+
+namespace flsa {
+namespace {
+
+FastLsaOptions opts(unsigned k, std::size_t base_cells) {
+  FastLsaOptions o;
+  o.k = k;
+  o.base_case_cells = base_cells;
+  return o;
+}
+
+TEST(FastLsa, PaperExample) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  // Tiny buffer forces at least one general-case split even on this 8x7
+  // example.
+  const Alignment aln = fastlsa_align(a, b, ScoringScheme::paper_default(),
+                                      opts(2, 16));
+  EXPECT_EQ(aln.score, 82);
+}
+
+TEST(FastLsa, MatchesFullMatrixPathExactly) {
+  // Same deterministic tie-breaking => same optimal path, not merely the
+  // same score.
+  Xoshiro256 rng(81);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m = 1 + rng.bounded(80);
+    const std::size_t n = 1 + rng.bounded(80);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const Alignment fm = full_matrix_align(a, b, scheme);
+    const Alignment fl = fastlsa_align(a, b, scheme, opts(3, 64));
+    EXPECT_EQ(fl.score, fm.score);
+    EXPECT_EQ(fl.gapped_a, fm.gapped_a) << "m=" << m << " n=" << n;
+    EXPECT_EQ(fl.gapped_b, fm.gapped_b);
+  }
+}
+
+TEST(FastLsa, EmptyAndSingleResidueInputs) {
+  const SubstitutionMatrix m = scoring::dna(1, -1);
+  const ScoringScheme scheme(m, -2);
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  const Sequence one(Alphabet::dna(), "A");
+  EXPECT_EQ(fastlsa_align(empty, empty, scheme).score, 0);
+  EXPECT_EQ(fastlsa_align(acg, empty, scheme).score, -6);
+  EXPECT_EQ(fastlsa_align(empty, acg, scheme).score, -6);
+  EXPECT_EQ(fastlsa_align(one, one, scheme).score, 1);
+  EXPECT_EQ(fastlsa_align(one, acg, scheme, opts(2, 16)).score, -3);
+}
+
+TEST(FastLsa, ExtremeAspectRatios) {
+  Xoshiro256 rng(82);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (const auto& [m, n] :
+       {std::pair<std::size_t, std::size_t>{1, 500}, {500, 1}, {2, 300},
+        {300, 2}, {5, 200}}) {
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    EXPECT_EQ(fastlsa_align(a, b, scheme, opts(4, 64)).score,
+              full_matrix_score(a, b, scheme))
+        << m << "x" << n;
+  }
+}
+
+TEST(FastLsa, OptionValidation) {
+  const Sequence a(Alphabet::dna(), "ACGT");
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -2);
+  EXPECT_THROW(fastlsa_align(a, a, scheme, opts(1, 1024)),
+               std::invalid_argument);
+  EXPECT_THROW(fastlsa_align(a, a, scheme, opts(4, 8)),
+               std::invalid_argument);
+  const ScoringScheme affine(m, -5, -1);
+  EXPECT_THROW(fastlsa_align(a, a, affine), std::invalid_argument);
+}
+
+TEST(FastLsa, OperationsWithinPaperBound) {
+  // Paper Theorem (Eq. 35, P = 1): total cells <= m*n*(k/(k-1))^2, with a
+  // small additive slack for boundary effects on modest sizes.
+  Xoshiro256 rng(83);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 600, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (unsigned k : {2u, 3u, 4u, 8u}) {
+    FastLsaStats stats;
+    fastlsa_align(pair.a, pair.b, scheme, opts(k, 1024), &stats);
+    const double bound = model::sequential_ops_bound(pair.a.size(),
+                                                     pair.b.size(), k);
+    EXPECT_LE(static_cast<double>(stats.counters.total_cells()),
+              bound * 1.05)
+        << "k=" << k;
+    // And it always does at least the FM work.
+    EXPECT_GE(stats.counters.total_cells(),
+              static_cast<std::uint64_t>(pair.a.size()) * pair.b.size());
+  }
+}
+
+TEST(FastLsa, LargerKMeansFewerRecomputations) {
+  Xoshiro256 rng(84);
+  const Sequence a = random_sequence(Alphabet::protein(), 500, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 500, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  std::uint64_t cells_k2 = 0, cells_k16 = 0;
+  {
+    FastLsaStats stats;
+    fastlsa_align(a, b, scheme, opts(2, 256), &stats);
+    cells_k2 = stats.counters.total_cells();
+  }
+  {
+    FastLsaStats stats;
+    fastlsa_align(a, b, scheme, opts(16, 256), &stats);
+    cells_k16 = stats.counters.total_cells();
+  }
+  EXPECT_LT(cells_k16, cells_k2);
+}
+
+TEST(FastLsa, QuadraticSpaceExtremeDoesNoExtraWork) {
+  // With a base-case buffer holding the whole DPM, FastLSA *is* the FM
+  // algorithm: exactly m*n cells.
+  Xoshiro256 rng(85);
+  const Sequence a = random_sequence(Alphabet::protein(), 100, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 90, rng);
+  FastLsaStats stats;
+  fastlsa_align(a, b, ScoringScheme::paper_default(), opts(8, 1u << 20),
+                &stats);
+  EXPECT_EQ(stats.counters.total_cells(), 100u * 90u);
+  EXPECT_EQ(stats.base_case_invocations, 1u);
+  EXPECT_EQ(stats.recursive_splits, 0u);
+}
+
+TEST(FastLsa, StatsArePopulated) {
+  Xoshiro256 rng(86);
+  const Sequence a = random_sequence(Alphabet::protein(), 400, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 380, rng);
+  FastLsaStats stats;
+  fastlsa_align(a, b, ScoringScheme::paper_default(), opts(4, 512), &stats);
+  EXPECT_GT(stats.recursive_splits, 0u);
+  EXPECT_GT(stats.base_case_invocations, 1u);
+  EXPECT_GT(stats.grid_allocations, 0u);
+  EXPECT_GT(stats.max_recursion_depth, 0u);
+  EXPECT_GT(stats.peak_bytes, 0u);
+  EXPECT_GT(stats.counters.traceback_steps, 0u);
+}
+
+TEST(FastLsa, LinearSpaceIsMuchSmallerThanQuadratic) {
+  Xoshiro256 rng(87);
+  const std::size_t len = 1200;
+  const Sequence a = random_sequence(Alphabet::protein(), len, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), len, rng);
+  FastLsaStats stats;
+  fastlsa_align(a, b, ScoringScheme::paper_default(), opts(8, 4096), &stats);
+  const std::size_t quadratic = (len + 1) * (len + 1) * sizeof(Score);
+  // Linear-space configuration stays far below the full matrix.
+  EXPECT_LT(stats.peak_bytes, quadratic / 10);
+}
+
+TEST(FastLsa, ScoreOnlyHelperAgrees) {
+  Xoshiro256 rng(88);
+  const Sequence a = random_sequence(Alphabet::protein(), 150, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 140, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  EXPECT_EQ(fastlsa_score(a, b, scheme),
+            full_matrix_score(a, b, scheme));
+}
+
+// The central property sweep: FastLSA == FM score for every (k, BM)
+// combination on random homologous pairs.
+struct FastLsaParam {
+  unsigned k;
+  std::size_t base_cells;
+};
+
+class FastLsaKBm : public ::testing::TestWithParam<FastLsaParam> {};
+
+TEST_P(FastLsaKBm, MatchesFullMatrixScore) {
+  const FastLsaParam param = GetParam();
+  Xoshiro256 rng(param.k * 7919 + param.base_cells);
+  MutationModel model;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t len = 40 + rng.bounded(160);
+    const SequencePair pair =
+        homologous_pair(Alphabet::protein(), len, model, rng);
+    const ScoringScheme& scheme = ScoringScheme::paper_default();
+    const Alignment aln = fastlsa_align(pair.a, pair.b, scheme,
+                                        opts(param.k, param.base_cells));
+    EXPECT_EQ(aln.score, full_matrix_score(pair.a, pair.b, scheme))
+        << "k=" << param.k << " bm=" << param.base_cells << " len=" << len;
+    EXPECT_EQ(score_alignment(aln, scheme, Alphabet::protein()), aln.score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KBmGrid, FastLsaKBm,
+    ::testing::Values(FastLsaParam{2, 16}, FastLsaParam{2, 256},
+                      FastLsaParam{3, 16}, FastLsaParam{3, 1024},
+                      FastLsaParam{4, 64}, FastLsaParam{5, 100},
+                      FastLsaParam{8, 16}, FastLsaParam{8, 4096},
+                      FastLsaParam{13, 64}, FastLsaParam{16, 256},
+                      FastLsaParam{32, 1024}, FastLsaParam{64, 16}),
+    [](const ::testing::TestParamInfo<FastLsaParam>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_bm" +
+             std::to_string(param_info.param.base_cells);
+    });
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,139 @@
+// Tests for affine-gap FastLSA: grid caches carry (D, Ix, Iy) triples and
+// the traceback lane crosses block boundaries. Validated against the
+// full-matrix Gotoh baseline.
+#include <gtest/gtest.h>
+
+#include "core/fastlsa.hpp"
+#include "dp/gotoh.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+FastLsaOptions opts(unsigned k, std::size_t base_cells) {
+  FastLsaOptions o;
+  o.k = k;
+  o.base_case_cells = base_cells;
+  return o;
+}
+
+ScoringScheme affine_scheme() {
+  static const SubstitutionMatrix m = scoring::dna(5, -4);
+  return ScoringScheme(m, -8, -2);
+}
+
+TEST(FastLsaAffine, MatchesGotohOnRandomPairs) {
+  Xoshiro256 rng(91);
+  const ScoringScheme scheme = affine_scheme();
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 1 + rng.bounded(70);
+    const std::size_t n = 1 + rng.bounded(70);
+    const Sequence a = random_sequence(Alphabet::dna(), m, rng);
+    const Sequence b = random_sequence(Alphabet::dna(), n, rng);
+    const Score expected =
+        global_score_affine(a.residues(), b.residues(), scheme);
+    const Alignment aln = fastlsa_align_affine(a, b, scheme, opts(3, 64));
+    EXPECT_EQ(aln.score, expected) << "m=" << m << " n=" << n;
+    EXPECT_EQ(score_alignment(aln, scheme, Alphabet::dna()), aln.score);
+  }
+}
+
+TEST(FastLsaAffine, GapRunCrossingGridLines) {
+  // A long gap spanning several grid blocks: the traceback must stay in
+  // the Ix lane across block boundaries, paying gap-open exactly once.
+  const SubstitutionMatrix m = scoring::dna(10, -10);
+  const ScoringScheme scheme(m, -9, -1);
+  const Sequence a(Alphabet::dna(), "ACGTGGGGGGGGGGGGGGGGGGGGGGGGACGT");
+  const Sequence b(Alphabet::dna(), "ACGTACGT");
+  const Score expected =
+      global_score_affine(a.residues(), b.residues(), scheme);
+  // k=2 and a tiny buffer force the 24-long gap across many blocks.
+  const Alignment aln = fastlsa_align_affine(a, b, scheme, opts(2, 16));
+  EXPECT_EQ(aln.score, expected);
+  EXPECT_EQ(expected, 80 - 9 - 24);
+  EXPECT_EQ(score_alignment(aln, scheme, Alphabet::dna()), aln.score);
+}
+
+TEST(FastLsaAffine, MatchesGotohPathExactly) {
+  Xoshiro256 rng(92);
+  const ScoringScheme scheme = affine_scheme();
+  for (int trial = 0; trial < 10; ++trial) {
+    MutationModel model;
+    const SequencePair pair =
+        homologous_pair(Alphabet::dna(), 50 + rng.bounded(100), model, rng);
+    const Alignment fm = full_matrix_align_affine(pair.a, pair.b, scheme);
+    const Alignment fl =
+        fastlsa_align_affine(pair.a, pair.b, scheme, opts(4, 100));
+    EXPECT_EQ(fl.score, fm.score);
+    EXPECT_EQ(fl.gapped_a, fm.gapped_a);
+    EXPECT_EQ(fl.gapped_b, fm.gapped_b);
+  }
+}
+
+TEST(FastLsaAffine, LinearSchemeAgreesWithLinearFastLsa) {
+  Xoshiro256 rng(93);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 8; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(60), rng);
+    const Sequence b =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(60), rng);
+    EXPECT_EQ(fastlsa_align_affine(a, b, scheme, opts(3, 64)).score,
+              fastlsa_align(a, b, scheme, opts(3, 64)).score);
+  }
+}
+
+TEST(FastLsaAffine, EmptyInputs) {
+  const ScoringScheme scheme = affine_scheme();
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  EXPECT_EQ(fastlsa_align_affine(empty, empty, scheme).score, 0);
+  EXPECT_EQ(fastlsa_align_affine(acg, empty, scheme).score, -14);
+  EXPECT_EQ(fastlsa_align_affine(empty, acg, scheme).score, -14);
+}
+
+// Parameterized (k, BM) sweep mirroring the linear suite.
+struct AffineParam {
+  unsigned k;
+  std::size_t base_cells;
+};
+
+class FastLsaAffineKBm : public ::testing::TestWithParam<AffineParam> {};
+
+TEST_P(FastLsaAffineKBm, MatchesGotohScore) {
+  const AffineParam param = GetParam();
+  Xoshiro256 rng(param.k * 104729 + param.base_cells);
+  MutationModel model;
+  model.substitution_rate = 0.2;
+  model.insertion_rate = 0.05;
+  model.deletion_rate = 0.05;
+  model.extension_prob = 0.7;  // longer indels stress the gap lanes
+  const ScoringScheme scheme = affine_scheme();
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t len = 30 + rng.bounded(120);
+    const SequencePair pair =
+        homologous_pair(Alphabet::dna(), len, model, rng);
+    const Score expected = global_score_affine(pair.a.residues(),
+                                               pair.b.residues(), scheme);
+    EXPECT_EQ(fastlsa_align_affine(pair.a, pair.b, scheme,
+                                   opts(param.k, param.base_cells))
+                  .score,
+              expected)
+        << "k=" << param.k << " bm=" << param.base_cells;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KBmGrid, FastLsaAffineKBm,
+    ::testing::Values(AffineParam{2, 16}, AffineParam{2, 512},
+                      AffineParam{3, 100}, AffineParam{4, 16},
+                      AffineParam{5, 256}, AffineParam{8, 64},
+                      AffineParam{16, 1024}),
+    [](const ::testing::TestParamInfo<AffineParam>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_bm" +
+             std::to_string(param_info.param.base_cells);
+    });
+
+}  // namespace
+}  // namespace flsa

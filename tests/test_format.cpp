@@ -1,0 +1,91 @@
+// Tests for the BLAST-style and TSV alignment report formats.
+#include <gtest/gtest.h>
+
+#include "dp/format.hpp"
+#include "dp/fullmatrix.hpp"
+#include "dp/local.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+Alignment paper_alignment() {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  return full_matrix_align(a, b, ScoringScheme::paper_default());
+}
+
+TEST(FormatBlast, HeaderCarriesScoreAndIdentity) {
+  const std::string text = format_blast(paper_alignment(), "q", "s");
+  EXPECT_NE(text.find("Score = 82"), std::string::npos);
+  EXPECT_NE(text.find("Identities = 5/9"), std::string::npos);
+  EXPECT_NE(text.find("Gaps = 3"), std::string::npos);
+  EXPECT_NE(text.find("Query: q"), std::string::npos);
+}
+
+TEST(FormatBlast, CoordinatesAreOneBasedAndResidueCounting) {
+  const std::string text = format_blast(paper_alignment(), "q", "s", 60);
+  // Global alignment of 8 and 7 residues: query spans 1..8, subject 1..7.
+  EXPECT_NE(text.find("Query  1"), std::string::npos);
+  EXPECT_NE(text.find("  8\n"), std::string::npos);
+  EXPECT_NE(text.find("Sbjct  1"), std::string::npos);
+  EXPECT_NE(text.find("  7\n"), std::string::npos);
+}
+
+TEST(FormatBlast, WrapsAndKeepsCoordinateContinuity) {
+  Xoshiro256 rng(231);
+  const Sequence s = random_sequence(Alphabet::dna(), 150, rng);
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -4);
+  const Alignment aln = full_matrix_align(s, s, scheme);
+  const std::string text = format_blast(aln, "a", "b", 50);
+  // Three chunks: 1-50, 51-100, 101-150.
+  EXPECT_NE(text.find("Query  1 "), std::string::npos);
+  EXPECT_NE(text.find("Query  51"), std::string::npos);
+  EXPECT_NE(text.find("Query  101"), std::string::npos);
+  EXPECT_NE(text.find("  150\n"), std::string::npos);
+}
+
+TEST(FormatBlast, LocalAlignmentUsesRegionOffsets) {
+  const Sequence a(Alphabet::dna(), "TTTTACGTACGTTTTT");
+  const Sequence b(Alphabet::dna(), "GGGGGACGTACGGGGG");
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -6);
+  const Alignment aln = local_align_full_matrix(a, b, scheme);
+  const std::string text = format_blast(aln, "a", "b");
+  // The local region starts at a[4] (1-based 5) and b[5] (1-based 6).
+  EXPECT_NE(text.find("Query  " + std::to_string(aln.a_begin + 1)),
+            std::string::npos);
+  EXPECT_NE(text.find("Sbjct  " + std::to_string(aln.b_begin + 1)),
+            std::string::npos);
+}
+
+TEST(FormatTsv, FieldsRoundTrip) {
+  const Alignment aln = paper_alignment();
+  const std::string line = format_tsv(aln, "query1", "subject1");
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (std::getline(in, field, '\t')) fields.push_back(field);
+  ASSERT_EQ(fields.size(), 11u);
+  EXPECT_EQ(fields[0], "query1");
+  EXPECT_EQ(fields[1], "subject1");
+  EXPECT_EQ(fields[2], "82");
+  EXPECT_EQ(fields[4], "9");   // alignment length
+  EXPECT_EQ(fields[5], "3");   // gaps
+  EXPECT_EQ(fields[7], "8");   // a_end
+  EXPECT_EQ(fields[10], aln.cigar());
+  // Header arity matches.
+  std::size_t header_fields = 1;
+  for (char c : tsv_header()) header_fields += (c == '\t');
+  EXPECT_EQ(header_fields, fields.size());
+}
+
+TEST(FormatBlast, RejectsSillyWidth) {
+  EXPECT_THROW(format_blast(paper_alignment(), "q", "s", 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,101 @@
+// Tests for the tile-schedule computation and its ASCII rendering.
+#include <gtest/gtest.h>
+
+#include "simexec/gantt.hpp"
+#include "simexec/virtual_time.hpp"
+
+namespace flsa {
+namespace {
+
+TileGridRecord uniform_grid(std::size_t rows, std::size_t cols,
+                            std::uint64_t cost) {
+  TileGridRecord grid;
+  grid.rows = rows;
+  grid.cols = cols;
+  grid.costs.assign(rows * cols, cost);
+  return grid;
+}
+
+TEST(Gantt, ScheduleCoversEveryTileExactlyOnce) {
+  const TileGridRecord grid = uniform_grid(5, 6, 10);
+  const GridSchedule schedule = schedule_grid(grid, 3);
+  EXPECT_EQ(schedule.tiles.size(), 30u);
+  std::vector<bool> seen(30, false);
+  for (const ScheduledTile& tile : schedule.tiles) {
+    const std::size_t idx = tile.ti * 6 + tile.tj;
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+    EXPECT_EQ(tile.end - tile.start, 10u);
+    EXPECT_LT(tile.processor, 3u);
+  }
+}
+
+TEST(Gantt, ScheduleRespectsDependencies) {
+  const TileGridRecord grid = uniform_grid(6, 6, 7);
+  const GridSchedule schedule = schedule_grid(grid, 4);
+  std::vector<std::uint64_t> end_of(36, 0);
+  for (const ScheduledTile& tile : schedule.tiles) {
+    end_of[tile.ti * 6 + tile.tj] = tile.end;
+  }
+  for (const ScheduledTile& tile : schedule.tiles) {
+    if (tile.ti > 0) {
+      EXPECT_GE(tile.start, end_of[(tile.ti - 1) * 6 + tile.tj]);
+    }
+    if (tile.tj > 0) {
+      EXPECT_GE(tile.start, end_of[tile.ti * 6 + tile.tj - 1]);
+    }
+  }
+}
+
+TEST(Gantt, NoProcessorOverlap) {
+  const TileGridRecord grid = uniform_grid(8, 8, 5);
+  const GridSchedule schedule = schedule_grid(grid, 3);
+  for (const ScheduledTile& x : schedule.tiles) {
+    for (const ScheduledTile& y : schedule.tiles) {
+      if (&x == &y || x.processor != y.processor) continue;
+      EXPECT_TRUE(x.end <= y.start || y.end <= x.start)
+          << "overlap on P" << x.processor;
+    }
+  }
+}
+
+TEST(Gantt, MakespanMatchesVirtualTime) {
+  const TileGridRecord grid = uniform_grid(9, 9, 11);
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(schedule_grid(grid, p).makespan,
+              grid_makespan(grid, p, SchedulerKind::kDependencyCounter))
+        << "P=" << p;
+  }
+}
+
+TEST(Gantt, SkippedTilesAbsent) {
+  TileGridRecord grid = uniform_grid(4, 4, 3);
+  grid.costs[15] = TileGridRecord::kSkipped;  // bottom-right
+  const GridSchedule schedule = schedule_grid(grid, 2);
+  EXPECT_EQ(schedule.tiles.size(), 15u);
+}
+
+TEST(Gantt, RenderShowsLanesAndIdleRamp) {
+  const TileGridRecord grid = uniform_grid(6, 6, 100);
+  const GridSchedule schedule = schedule_grid(grid, 4);
+  const std::string text = render_gantt(schedule, 48);
+  EXPECT_NE(text.find("P0 |"), std::string::npos);
+  EXPECT_NE(text.find("P3 |"), std::string::npos);
+  // The wavefront ramp leaves idle ('.') time on the later processors.
+  EXPECT_NE(text.find('.'), std::string::npos);
+  EXPECT_NE(text.find("t="), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleRenders) {
+  GridSchedule schedule;
+  EXPECT_EQ(render_gantt(schedule), "(empty schedule)\n");
+}
+
+TEST(Gantt, OverheadStretchesTheSchedule) {
+  const TileGridRecord grid = uniform_grid(5, 5, 10);
+  EXPECT_GT(schedule_grid(grid, 2, 100).makespan,
+            schedule_grid(grid, 2, 0).makespan);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,82 @@
+// Golden regression tests: exact scores, cell counts and shape statistics
+// for fixed seeds. Any algorithmic drift — a changed tie-break, an
+// off-by-one in grid geometry, a different recursion shape — trips these
+// even when all the cross-checks still agree with each other.
+#include <gtest/gtest.h>
+
+#include "benchlib/workloads.hpp"
+#include "flsa/flsa.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Golden, Prot500WorkloadIsStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  ASSERT_EQ(pair.a.size(), 500u);
+  ASSERT_EQ(pair.b.size(), 493u);
+  // First residues of the parent are frozen by the PRNG contract.
+  EXPECT_EQ(pair.a.to_string().substr(0, 10), "PPFWVYIIIY");
+  EXPECT_EQ(full_matrix_score(pair.a, pair.b,
+                              ScoringScheme::paper_default()),
+            7534);
+}
+
+TEST(Golden, FastLsaShapeStatsStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  FastLsaOptions options;
+  options.k = 4;
+  options.base_case_cells = 1024;
+  FastLsaStats stats;
+  const Alignment aln = fastlsa_align(pair.a, pair.b,
+                                      ScoringScheme::paper_default(),
+                                      options, &stats);
+  EXPECT_EQ(aln.score, 7534);
+  // Exact work/shape fingerprint of the recursion for this input.
+  EXPECT_EQ(stats.counters.cells_scored, 288566u);
+  EXPECT_EQ(stats.counters.cells_stored, 15334u);
+  EXPECT_EQ(stats.counters.total_cells(), 303900u);
+  EXPECT_EQ(stats.base_case_invocations, 32u);
+  EXPECT_EQ(stats.recursive_splits, 6u);
+  EXPECT_EQ(stats.max_recursion_depth, 3u);
+}
+
+TEST(Golden, HirschbergCellCountStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  DpCounters counters;
+  HirschbergOptions options;
+  options.base_case_cells = 256;
+  hirschberg_align(pair.a, pair.b, ScoringScheme::paper_default(), options,
+                   &counters);
+  EXPECT_EQ(counters.total_cells(), 485741u);
+}
+
+TEST(Golden, AffineScoreStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  const ScoringScheme scheme(scoring::mdm78(), -12, -2);
+  EXPECT_EQ(global_score_affine(pair.a.residues(), pair.b.residues(),
+                                scheme),
+            7562);
+}
+
+TEST(Golden, EditDistanceAndLcsStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  const std::string a = pair.a.to_string();
+  const std::string b = pair.b.to_string();
+  EXPECT_EQ(edit_distance(a, b), 115u);
+  EXPECT_EQ(longest_common_subsequence(a, b).length, 402u);
+}
+
+TEST(Golden, VirtualTimeFingerprintStable) {
+  const SequencePair pair = bench::sized_workload(500).make();
+  FastLsaOptions options;
+  options.k = 8;
+  options.base_case_cells = 1024;
+  const SimulatedRun run =
+      record_fastlsa(pair.a, pair.b, ScoringScheme::paper_default(),
+                     options, 8, 1, 1, 1);
+  EXPECT_EQ(run.trace.total_cells(), 276345u);
+  EXPECT_EQ(run.trace.grids.size(), 130u);
+}
+
+}  // namespace
+}  // namespace flsa

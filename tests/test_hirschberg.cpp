@@ -1,0 +1,201 @@
+// Tests for the Hirschberg / Myers-Miller linear-space baselines, linear
+// and affine, validated against the full-matrix algorithms.
+#include <gtest/gtest.h>
+
+#include "dp/fullmatrix.hpp"
+#include "dp/gotoh.hpp"
+#include "hirschberg/hirschberg.hpp"
+#include "hirschberg/hirschberg_affine.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+HirschbergOptions tiny_base() {
+  HirschbergOptions options;
+  options.base_case_cells = 2;  // force deep recursion
+  return options;
+}
+
+TEST(Hirschberg, PaperExample) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  const Alignment aln =
+      hirschberg_align(a, b, ScoringScheme::paper_default(), tiny_base());
+  EXPECT_EQ(aln.score, 82);
+}
+
+TEST(Hirschberg, MatchesFullMatrixOnRandomPairs) {
+  Xoshiro256 rng(71);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 1 + rng.bounded(60);
+    const std::size_t n = 1 + rng.bounded(60);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const Alignment fm = full_matrix_align(a, b, scheme);
+    const Alignment h = hirschberg_align(a, b, scheme, tiny_base());
+    EXPECT_EQ(h.score, fm.score) << "m=" << m << " n=" << n;
+    EXPECT_EQ(score_alignment(h, scheme, Alphabet::protein()), h.score);
+  }
+}
+
+TEST(Hirschberg, EmptyInputs) {
+  const SubstitutionMatrix m = scoring::dna(1, -1);
+  const ScoringScheme scheme(m, -2);
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  EXPECT_EQ(hirschberg_align(empty, empty, scheme).score, 0);
+  EXPECT_EQ(hirschberg_align(acg, empty, scheme).score, -6);
+  EXPECT_EQ(hirschberg_align(empty, acg, scheme).score, -6);
+}
+
+TEST(Hirschberg, RoughlyDoublesTheScoredCells) {
+  // The classic result: Hirschberg recomputes, costing ~2x the FM cell
+  // count (paper Section 2.2).
+  Xoshiro256 rng(72);
+  const Sequence a = random_sequence(Alphabet::protein(), 300, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 280, rng);
+  DpCounters counters;
+  HirschbergOptions options;
+  options.base_case_cells = 128;
+  hirschberg_align(a, b, ScoringScheme::paper_default(), options, &counters);
+  const double cells = static_cast<double>(counters.total_cells());
+  const double mn = 300.0 * 280.0;
+  EXPECT_GT(cells, 1.6 * mn);
+  EXPECT_LT(cells, 2.2 * mn);
+}
+
+TEST(Hirschberg, LargerBaseCaseSameAnswer) {
+  Xoshiro256 rng(73);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 200, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Score expected = full_matrix_score(pair.a, pair.b, scheme);
+  for (std::size_t base : {2u, 64u, 1024u, 65536u}) {
+    HirschbergOptions options;
+    options.base_case_cells = base;
+    EXPECT_EQ(hirschberg_align(pair.a, pair.b, scheme, options).score,
+              expected)
+        << "base=" << base;
+  }
+}
+
+TEST(Hirschberg, RejectsAffineScheme) {
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  const Sequence a(Alphabet::dna(), "ACG");
+  EXPECT_THROW(hirschberg_align(a, a, affine), std::invalid_argument);
+}
+
+// ---------- Affine (Myers-Miller) ----------
+
+TEST(HirschbergAffine, MatchesGotohOnRandomPairs) {
+  Xoshiro256 rng(74);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -8, -2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t la = 1 + rng.bounded(40);
+    const std::size_t lb = 1 + rng.bounded(40);
+    const Sequence a = random_sequence(Alphabet::dna(), la, rng);
+    const Sequence b = random_sequence(Alphabet::dna(), lb, rng);
+    const Score expected =
+        global_score_affine(a.residues(), b.residues(), scheme);
+    const Alignment aln = hirschberg_align_affine(a, b, scheme, tiny_base());
+    EXPECT_EQ(aln.score, expected) << "la=" << la << " lb=" << lb;
+    EXPECT_EQ(score_alignment(aln, scheme, Alphabet::dna()), aln.score);
+  }
+}
+
+TEST(HirschbergAffine, GapCrossingSplitIsHandled) {
+  // Construct a pair whose optimal alignment contains one long vertical
+  // gap spanning the middle of `a` — the Myers-Miller type-2 case.
+  const SubstitutionMatrix m = scoring::dna(10, -10);
+  const ScoringScheme scheme(m, -9, -1);
+  const Sequence a(Alphabet::dna(), "ACGTGGGGGGGGACGT");
+  const Sequence b(Alphabet::dna(), "ACGTACGT");
+  const Score expected =
+      global_score_affine(a.residues(), b.residues(), scheme);
+  const Alignment aln = hirschberg_align_affine(a, b, scheme, tiny_base());
+  EXPECT_EQ(aln.score, expected);
+  // One 8-long deletion: 8 matches (80) + open (-9) + 8 * extend (-8).
+  EXPECT_EQ(expected, 80 - 9 - 8);
+  EXPECT_EQ(score_alignment(aln, scheme, Alphabet::dna()), aln.score);
+}
+
+TEST(HirschbergAffine, EmptyAndDegenerate) {
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -8, -2);
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  EXPECT_EQ(hirschberg_align_affine(empty, empty, scheme).score, 0);
+  EXPECT_EQ(hirschberg_align_affine(acg, empty, scheme).score, -14);
+  EXPECT_EQ(hirschberg_align_affine(empty, acg, scheme).score, -14);
+  const Sequence one(Alphabet::dna(), "A");
+  EXPECT_EQ(hirschberg_align_affine(one, one, scheme).score, 5);
+}
+
+TEST(HirschbergAffine, LinearSchemeReducesToPlainHirschberg) {
+  Xoshiro256 rng(75);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(50), rng);
+    const Sequence b =
+        random_sequence(Alphabet::protein(), 1 + rng.bounded(50), rng);
+    EXPECT_EQ(hirschberg_align_affine(a, b, scheme, tiny_base()).score,
+              hirschberg_align(a, b, scheme, tiny_base()).score);
+  }
+}
+
+TEST(HirschbergAffine, HomologousPairsManyPenaltyCombos) {
+  Xoshiro256 rng(76);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  MutationModel model;
+  model.substitution_rate = 0.2;
+  model.insertion_rate = 0.05;
+  model.deletion_rate = 0.05;
+  for (const auto& [open, extend] :
+       {std::pair<Score, Score>{-2, -2}, {-12, -1}, {-6, -3}, {-20, -1}}) {
+    const ScoringScheme scheme(m, open, extend);
+    const SequencePair pair =
+        homologous_pair(Alphabet::dna(), 60 + rng.bounded(60), model, rng);
+    const Score expected = global_score_affine(pair.a.residues(),
+                                               pair.b.residues(), scheme);
+    EXPECT_EQ(
+        hirschberg_align_affine(pair.a, pair.b, scheme, tiny_base()).score,
+        expected)
+        << "open=" << open << " extend=" << extend;
+  }
+}
+
+// Exhaustive micro-pairs: every DNA pair of lengths up to 4 x 4 — affine
+// Myers-Miller must equal Gotoh everywhere (catches boundary-charge bugs).
+class HirschbergAffineExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(HirschbergAffineExhaustive, TinyPairsMatchGotoh) {
+  const int seed = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const SubstitutionMatrix m = scoring::dna(6, -3);
+  const ScoringScheme scheme(m, -7, -2);
+  for (std::size_t la = 0; la <= 4; ++la) {
+    for (std::size_t lb = 0; lb <= 4; ++lb) {
+      const Sequence a = random_sequence(Alphabet::dna(), la, rng);
+      const Sequence b = random_sequence(Alphabet::dna(), lb, rng);
+      const Score expected =
+          global_score_affine(a.residues(), b.residues(), scheme);
+      const Alignment aln =
+          hirschberg_align_affine(a, b, scheme, tiny_base());
+      ASSERT_EQ(aln.score, expected)
+          << "la=" << la << " lb=" << lb << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HirschbergAffineExhaustive,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace flsa

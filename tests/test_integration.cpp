@@ -1,0 +1,162 @@
+// Cross-module integration tests: every aligner in the library against
+// every other on shared workloads, end-to-end through the public umbrella
+// header, including FASTA round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flsa/flsa.hpp"
+
+namespace flsa {
+namespace {
+
+// All linear-gap global aligners must produce the same optimal score (and,
+// given the shared tie-breaking, the same path) on any input.
+struct IntegrationCase {
+  std::size_t len;
+  double divergence;
+  std::uint64_t seed;
+};
+
+class AllAlgorithmsAgree : public ::testing::TestWithParam<IntegrationCase> {
+};
+
+TEST_P(AllAlgorithmsAgree, LinearGapGlobal) {
+  const IntegrationCase c = GetParam();
+  Xoshiro256 rng(c.seed);
+  MutationModel model;
+  model.substitution_rate = c.divergence;
+  model.insertion_rate = c.divergence / 5;
+  model.deletion_rate = c.divergence / 5;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), c.len, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+
+  const Alignment fm = full_matrix_align(pair.a, pair.b, scheme);
+  const Alignment h = hirschberg_align(pair.a, pair.b, scheme);
+
+  FastLsaOptions fl_options;
+  fl_options.k = 4;
+  fl_options.base_case_cells = 512;
+  const Alignment fl = fastlsa_align(pair.a, pair.b, scheme, fl_options);
+
+  ParallelOptions par;
+  par.threads = 3;
+  const Alignment pfl =
+      parallel_fastlsa_align(pair.a, pair.b, scheme, fl_options, par);
+
+  EXPECT_EQ(fm.score, h.score);
+  EXPECT_EQ(fm.score, fl.score);
+  EXPECT_EQ(fm.score, pfl.score);
+  EXPECT_EQ(fl.gapped_a, fm.gapped_a);
+  EXPECT_EQ(pfl.gapped_a, fm.gapped_a);
+  // Banded with a full-width band agrees too.
+  const Alignment banded = banded_align(
+      pair.a, pair.b, scheme, std::max(pair.a.size(), pair.b.size()));
+  EXPECT_EQ(banded.score, fm.score);
+  // Every alignment rescoreable to its claimed score.
+  for (const Alignment* aln : {&fm, &h, &fl, &pfl, &banded}) {
+    EXPECT_EQ(score_alignment(*aln, scheme, Alphabet::protein()),
+              aln->score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllAlgorithmsAgree,
+    ::testing::Values(IntegrationCase{60, 0.05, 1},
+                      IntegrationCase{137, 0.15, 2},
+                      IntegrationCase{200, 0.30, 3},
+                      IntegrationCase{333, 0.50, 4},
+                      IntegrationCase{512, 0.15, 5}),
+    [](const ::testing::TestParamInfo<IntegrationCase>& param_info) {
+      return "len" + std::to_string(param_info.param.len) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+TEST(Integration, AffineAlgorithmsAgree) {
+  Xoshiro256 rng(141);
+  MutationModel model;
+  model.extension_prob = 0.75;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 180, model, rng);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -10, -1);
+
+  const Alignment fm = full_matrix_align_affine(pair.a, pair.b, scheme);
+  const Alignment mm = hirschberg_align_affine(pair.a, pair.b, scheme);
+  FastLsaOptions options;
+  options.k = 3;
+  options.base_case_cells = 128;
+  const Alignment fl =
+      fastlsa_align_affine(pair.a, pair.b, scheme, options);
+  ParallelOptions par;
+  par.threads = 2;
+  const Alignment pfl = parallel_fastlsa_align_affine(pair.a, pair.b,
+                                                      scheme, options, par);
+  EXPECT_EQ(fm.score, mm.score);
+  EXPECT_EQ(fm.score, fl.score);
+  EXPECT_EQ(fm.score, pfl.score);
+}
+
+TEST(Integration, FastaToAlignmentPipeline) {
+  // FASTA in, aligned pretty-print out — the quickstart path end to end.
+  std::istringstream fasta(
+      ">query sample protein\nTLDKLLKD\n>target\nTDVLKAD\n");
+  const auto records = read_fasta(fasta, Alphabet::protein());
+  ASSERT_EQ(records.size(), 2u);
+  AlignReport report;
+  const Alignment aln = align(records[0], records[1],
+                              ScoringScheme::paper_default(), {}, &report);
+  EXPECT_EQ(aln.score, 82);
+  EXPECT_EQ(report.chosen, Strategy::kFullMatrix);
+  const std::string pretty = aln.pretty();
+  EXPECT_NE(pretty.find("TLDKLLK-D"), std::string::npos);
+}
+
+TEST(Integration, LargeAlignmentUnderMemoryBudgetMatchesUnbounded) {
+  Xoshiro256 rng(142);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 1000, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+
+  AlignOptions unbounded;
+  const Alignment reference = align(pair.a, pair.b, scheme, unbounded);
+
+  AlignOptions bounded;
+  bounded.memory_limit_bytes = 200 * 1024;
+  AlignReport report;
+  const Alignment constrained =
+      align(pair.a, pair.b, scheme, bounded, &report);
+  EXPECT_EQ(report.chosen, Strategy::kFastLsa);
+  EXPECT_EQ(constrained.score, reference.score);
+  EXPECT_LE(report.stats.peak_bytes, bounded.memory_limit_bytes);
+}
+
+TEST(Integration, VirtualTimeSpeedupOnRealRun) {
+  Xoshiro256 rng(143);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 500, model, rng);
+  FastLsaOptions options;
+  options.k = 8;
+  options.base_case_cells = 1024;
+  const SimulatedRun run = record_fastlsa(
+      pair.a, pair.b, ScoringScheme::paper_default(), options, 8);
+  const SpeedupPoint p8 =
+      speedup_at(run.trace, 8, SchedulerKind::kDependencyCounter);
+  EXPECT_GT(p8.speedup, 2.0);
+  EXPECT_LE(p8.speedup, 8.0);
+}
+
+TEST(Integration, LocalAndGlobalConsistency) {
+  // Local score >= global score; on a perfectly matching pair they agree.
+  Xoshiro256 rng(144);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -6);
+  const Sequence s = random_sequence(Alphabet::dna(), 120, rng);
+  EXPECT_EQ(local_align(s, s, scheme).score,
+            full_matrix_align(s, s, scheme).score);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,107 @@
+// Tests for the linear-space local aligner (forward pass + anchored
+// reverse pass + FastLSA on the located rectangle).
+#include <gtest/gtest.h>
+
+#include "core/local_align.hpp"
+#include "dp/local.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+ScoringScheme scheme() {
+  static const SubstitutionMatrix m = scoring::dna(5, -4);
+  return ScoringScheme(m, -6);
+}
+
+TEST(LocalAlign, ScoreMatchesFullMatrixSmithWaterman) {
+  Xoshiro256 rng(131);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::dna(), 1 + rng.bounded(80), rng);
+    const Sequence b =
+        random_sequence(Alphabet::dna(), 1 + rng.bounded(80), rng);
+    const Alignment linear_space = local_align(a, b, scheme());
+    const Alignment full = local_align_full_matrix(a, b, scheme());
+    EXPECT_EQ(linear_space.score, full.score);
+  }
+}
+
+TEST(LocalAlign, RecoversEmbeddedMotif) {
+  const Sequence a(Alphabet::dna(), "TTTTTTACGTACGTACGTTTTTTT");
+  const Sequence b(Alphabet::dna(), "GGGGACGTACGTACGGGGG");
+  const Alignment aln = local_align(a, b, scheme());
+  EXPECT_EQ(aln.score, 55);  // the shared 11-mer ACGTACGTACG at +5 each
+  const Alignment full = local_align_full_matrix(a, b, scheme());
+  EXPECT_EQ(aln.score, full.score);
+  EXPECT_EQ(score_alignment(aln, scheme(), Alphabet::dna()), aln.score);
+}
+
+TEST(LocalAlign, EmptyWhenNothingScoresPositive) {
+  const SubstitutionMatrix m = scoring::dna(-1, -5);
+  const ScoringScheme negative(m, -6);
+  const Sequence a(Alphabet::dna(), "AAAA");
+  const Sequence b(Alphabet::dna(), "CCCC");
+  const Alignment aln = local_align(a, b, negative);
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_EQ(aln.length(), 0u);
+}
+
+TEST(LocalAlign, RegionConsistentWithGappedRows) {
+  Xoshiro256 rng(132);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 150, model, rng);
+  const Alignment aln = local_align(pair.a, pair.b, scheme());
+  std::size_t a_res = 0, b_res = 0;
+  for (char c : aln.gapped_a) a_res += (c != '-');
+  for (char c : aln.gapped_b) b_res += (c != '-');
+  EXPECT_EQ(a_res, aln.a_end - aln.a_begin);
+  EXPECT_EQ(b_res, aln.b_end - aln.b_begin);
+  // Gapped rows really are the claimed subsequences.
+  std::string sub_a;
+  for (char c : aln.gapped_a) {
+    if (c != '-') sub_a.push_back(c);
+  }
+  EXPECT_EQ(sub_a, pair.a.to_string().substr(aln.a_begin,
+                                             aln.a_end - aln.a_begin));
+}
+
+TEST(LocalAlign, WorksAcrossFastLsaConfigurations) {
+  Xoshiro256 rng(133);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 200, model, rng);
+  const Score expected =
+      local_align_full_matrix(pair.a, pair.b, scheme()).score;
+  for (unsigned k : {2u, 8u}) {
+    for (std::size_t bm : {16u, 1024u}) {
+      FastLsaOptions options;
+      options.k = k;
+      options.base_case_cells = bm;
+      EXPECT_EQ(local_align(pair.a, pair.b, scheme(), options).score,
+                expected)
+          << "k=" << k << " bm=" << bm;
+    }
+  }
+}
+
+TEST(LocalAlign, StatsAccumulateAcrossPhases) {
+  Xoshiro256 rng(134);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 100, model, rng);
+  FastLsaStats stats;
+  local_align(pair.a, pair.b, scheme(), {}, &stats);
+  // Forward pass + reverse pass + FastLSA all counted.
+  EXPECT_GT(stats.counters.cells_scored,
+            static_cast<std::uint64_t>(pair.a.size()) * pair.b.size());
+}
+
+TEST(LocalAlign, RejectsAffineScheme) {
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  const Sequence a(Alphabet::dna(), "ACGT");
+  EXPECT_THROW(local_align(a, a, affine), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,83 @@
+// Tests for NCBI-format substitution-matrix I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scoring/builtin.hpp"
+#include "scoring/matrix_io.hpp"
+
+namespace flsa {
+namespace {
+
+constexpr const char* kTinyMatrix = R"(# toy DNA matrix
+   A  C  G  T
+A  5 -4 -4 -4
+C -4  5 -4 -4
+G -4 -4  5 -4
+T -4 -4 -4  5
+)";
+
+TEST(MatrixIo, ParsesTinyMatrix) {
+  std::istringstream in(kTinyMatrix);
+  const scoring::LoadedMatrix loaded = scoring::read_matrix(in, "toy");
+  EXPECT_EQ(loaded.alphabet->size(), 4u);
+  EXPECT_EQ(loaded.matrix->name(), "toy");
+  EXPECT_EQ(loaded.matrix->score('A', 'A'), 5);
+  EXPECT_EQ(loaded.matrix->score('A', 'T'), -4);
+  EXPECT_TRUE(loaded.matrix->is_symmetric());
+}
+
+TEST(MatrixIo, RoundTripsBlosum62) {
+  std::ostringstream out;
+  scoring::write_matrix(out, scoring::blosum62());
+  std::istringstream in(out.str());
+  const scoring::LoadedMatrix loaded =
+      scoring::read_matrix(in, "blosum62-copy");
+  ASSERT_EQ(loaded.alphabet->size(), 20u);
+  for (Residue x = 0; x < 20; ++x) {
+    for (Residue y = 0; y < 20; ++y) {
+      // Residue codes may differ only if letter order differed; the writer
+      // preserves order, so codes are directly comparable.
+      EXPECT_EQ(loaded.matrix->at(x, y), scoring::blosum62().at(x, y));
+    }
+  }
+}
+
+TEST(MatrixIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("\n# c1\n\n  A C\nA 1 0\n# mid comment\nC 0 1\n");
+  const scoring::LoadedMatrix loaded = scoring::read_matrix(in, "x");
+  EXPECT_EQ(loaded.matrix->score('C', 'C'), 1);
+}
+
+TEST(MatrixIo, RejectsRaggedRow) {
+  std::istringstream in("  A C\nA 1 0\nC 0\n");
+  EXPECT_THROW(scoring::read_matrix(in, "x"), std::invalid_argument);
+}
+
+TEST(MatrixIo, RejectsLabelMismatch) {
+  std::istringstream in("  A C\nA 1 0\nG 0 1\n");
+  EXPECT_THROW(scoring::read_matrix(in, "x"), std::invalid_argument);
+}
+
+TEST(MatrixIo, RejectsMissingRows) {
+  std::istringstream in("  A C\nA 1 0\n");
+  EXPECT_THROW(scoring::read_matrix(in, "x"), std::invalid_argument);
+}
+
+TEST(MatrixIo, RejectsNonIntegerScores) {
+  std::istringstream in("  A C\nA 1 x\nC 0 1\n");
+  EXPECT_THROW(scoring::read_matrix(in, "x"), std::invalid_argument);
+}
+
+TEST(MatrixIo, RejectsEmptyInput) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(scoring::read_matrix(in, "x"), std::invalid_argument);
+}
+
+TEST(MatrixIo, MissingFileThrows) {
+  EXPECT_THROW(scoring::read_matrix_file("/nonexistent/matrix.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,109 @@
+// Tests for the paper's analytical model functions.
+#include <gtest/gtest.h>
+
+#include "simexec/model.hpp"
+#include "simexec/recording.hpp"
+#include "simexec/virtual_time.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Model, AlphaReducesToOneOverPWithManyTiles) {
+  // R*C >> P^2: alpha ~ 1/P (perfect parallelism).
+  EXPECT_NEAR(model::alpha(8, 1000, 1000), 1.0 / 8.0, 1e-4);
+}
+
+TEST(Model, AlphaIsOneForOneProcessor) {
+  EXPECT_DOUBLE_EQ(model::alpha(1, 10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(model::alpha(1, 1, 1), 1.0);
+}
+
+TEST(Model, AlphaKnownValue) {
+  // Eq. 32 with P=4, R=C=8: (1/4)(1 + 12/64) = 0.296875.
+  EXPECT_DOUBLE_EQ(model::alpha(4, 8, 8), 0.296875);
+}
+
+TEST(Model, FillCacheTimeScalesWithArea) {
+  const double t1 = model::parallel_fill_cache_time(100, 100, 4, 16, 16);
+  const double t2 = model::parallel_fill_cache_time(200, 100, 4, 16, 16);
+  EXPECT_DOUBLE_EQ(t2, 2 * t1);
+}
+
+TEST(Model, SequentialBoundDecreasesInK) {
+  const std::size_t m = 1000, n = 1000;
+  // (k/(k-1))^2: k=2 -> 4x, k=3 -> 2.25x, k->inf -> 1x.
+  EXPECT_DOUBLE_EQ(model::sequential_ops_bound(m, n, 2), 4e6);
+  EXPECT_DOUBLE_EQ(model::sequential_ops_bound(m, n, 3), 2.25e6);
+  EXPECT_GT(model::sequential_ops_bound(m, n, 3),
+            model::sequential_ops_bound(m, n, 4));
+  EXPECT_NEAR(model::sequential_ops_bound(m, n, 1000), 1e6, 3e3);
+}
+
+TEST(Model, SequentialEstimateConvergesToBound) {
+  const std::size_t m = 500, n = 400;
+  const unsigned k = 4;
+  const double bound = model::sequential_ops_bound(m, n, k);
+  double previous = 0;
+  for (unsigned levels : {0u, 1u, 2u, 5u, 30u}) {
+    const double estimate = model::sequential_ops_estimate(m, n, k, levels);
+    EXPECT_GT(estimate, previous);
+    EXPECT_LE(estimate, bound * (1 + 1e-9));
+    previous = estimate;
+  }
+  EXPECT_NEAR(previous, bound, bound * 1e-6);
+}
+
+TEST(Model, TotalBoundComposes) {
+  // WT bound = sequential bound * alpha.
+  const double expected =
+      model::sequential_ops_bound(100, 100, 4) * model::alpha(8, 32, 32);
+  EXPECT_DOUBLE_EQ(model::total_time_bound(100, 100, 4, 8, 32, 32),
+                   expected);
+}
+
+TEST(Model, EfficiencyBoundBetweenZeroAndOne) {
+  for (unsigned p : {1u, 2u, 8u, 32u}) {
+    for (std::size_t rc : {4u, 16u, 64u, 256u}) {
+      const double e = model::efficiency_bound(p, rc, rc);
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+  // More tiles -> higher efficiency at fixed P.
+  EXPECT_GT(model::efficiency_bound(8, 64, 64),
+            model::efficiency_bound(8, 8, 8));
+}
+
+TEST(Model, HirschbergEstimate) {
+  EXPECT_DOUBLE_EQ(model::hirschberg_ops_estimate(100, 50), 10000.0);
+}
+
+TEST(Model, InvalidArgumentsThrow) {
+  EXPECT_THROW(model::alpha(0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(model::alpha(4, 0, 4), std::invalid_argument);
+  EXPECT_THROW(model::sequential_ops_bound(10, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(Model, BarrierMakespanWithinAlphaModelForUniformTiles) {
+  // For a uniform R x C grid the paper's PFillCacheT = M*N*alpha is an
+  // upper-ish approximation of the simulated barrier makespan; check the
+  // simulation lands within a modest factor of the model.
+  TileGridRecord grid;
+  grid.rows = 24;
+  grid.cols = 24;
+  const std::uint64_t tile_cost = 100;
+  grid.costs.assign(grid.rows * grid.cols, tile_cost);
+  const double mn =
+      static_cast<double>(grid.total_cost());  // M*N in cell units
+  for (unsigned p : {2u, 4u, 8u}) {
+    const double predicted = mn * model::alpha(p, grid.rows, grid.cols);
+    const double simulated = static_cast<double>(
+        grid_makespan(grid, p, SchedulerKind::kBarrierStaged));
+    EXPECT_GT(simulated, 0.8 * predicted) << "P=" << p;
+    EXPECT_LT(simulated, 1.5 * predicted) << "P=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,103 @@
+// Tests for the 2-bit packed-traceback FM variant (paper Section 2.1's
+// "two bits can be used to encode the three path choices").
+#include <gtest/gtest.h>
+
+#include "dp/fullmatrix.hpp"
+#include "dp/packed_traceback.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(PackedDirectionMatrix, RoundTripsAllMoves) {
+  PackedDirectionMatrix m(5, 7);
+  const Move moves[] = {Move::kDiag, Move::kUp, Move::kLeft};
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      m.set(r, c, moves[(r * 7 + c) % 3]);
+    }
+  }
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_EQ(m.get(r, c), moves[(r * 7 + c) % 3]) << r << "," << c;
+    }
+  }
+}
+
+TEST(PackedDirectionMatrix, UsesQuarterByterPerCell) {
+  PackedDirectionMatrix m(100, 100);
+  EXPECT_EQ(m.byte_size(), 2500u);
+  PackedDirectionMatrix odd(3, 3);  // 9 cells -> 3 bytes
+  EXPECT_EQ(odd.byte_size(), 3u);
+}
+
+TEST(PackedDirectionMatrix, NeighboringCellsDoNotClobber) {
+  PackedDirectionMatrix m(1, 8);
+  for (std::size_t c = 0; c < 8; ++c) m.set(0, c, Move::kLeft);
+  m.set(0, 3, Move::kUp);
+  EXPECT_EQ(m.get(0, 2), Move::kLeft);
+  EXPECT_EQ(m.get(0, 3), Move::kUp);
+  EXPECT_EQ(m.get(0, 4), Move::kLeft);
+}
+
+TEST(Packed, PaperExample) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  const Alignment aln =
+      packed_full_matrix_align(a, b, ScoringScheme::paper_default());
+  EXPECT_EQ(aln.score, 82);
+}
+
+TEST(Packed, IdenticalPathToUnpackedFullMatrix) {
+  Xoshiro256 rng(151);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 1 + rng.bounded(60);
+    const std::size_t n = 1 + rng.bounded(60);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const Alignment unpacked = full_matrix_align(a, b, scheme);
+    const Alignment packed = packed_full_matrix_align(a, b, scheme);
+    EXPECT_EQ(packed.score, unpacked.score);
+    EXPECT_EQ(packed.gapped_a, unpacked.gapped_a) << m << "x" << n;
+    EXPECT_EQ(packed.gapped_b, unpacked.gapped_b);
+  }
+}
+
+TEST(Packed, EmptyInputs) {
+  const SubstitutionMatrix m = scoring::dna(1, -1);
+  const ScoringScheme scheme(m, -2);
+  const Sequence empty(Alphabet::dna(), "");
+  const Sequence acg(Alphabet::dna(), "ACG");
+  EXPECT_EQ(packed_full_matrix_align(empty, empty, scheme).score, 0);
+  EXPECT_EQ(packed_full_matrix_align(acg, empty, scheme).score, -6);
+  EXPECT_EQ(packed_full_matrix_align(empty, acg, scheme).score, -6);
+}
+
+TEST(Packed, CountsScoredNotStoredCells) {
+  Xoshiro256 rng(152);
+  const Sequence a = random_sequence(Alphabet::dna(), 10, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 12, rng);
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -3);
+  DpCounters counters;
+  packed_full_matrix_align(a, b, scheme, &counters);
+  EXPECT_EQ(counters.cells_scored, 120u);
+  EXPECT_EQ(counters.cells_stored, 0u);
+  // The traceback walks from (m, n) to the origin: between max(m, n) and
+  // m + n steps.
+  EXPECT_GE(counters.traceback_steps, 12u);
+  EXPECT_LE(counters.traceback_steps, 22u);
+}
+
+TEST(Packed, RejectsAffine) {
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  const Sequence a(Alphabet::dna(), "ACG");
+  EXPECT_THROW(packed_full_matrix_align(a, a, affine),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,195 @@
+// Tests for profiles, profile-profile alignment, UPGMA and progressive
+// multiple alignment.
+#include <gtest/gtest.h>
+
+#include "dp/fullmatrix.hpp"
+#include "msa/progressive.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+ScoringScheme scheme() {
+  static const SubstitutionMatrix m = scoring::dna(5, -4);
+  return ScoringScheme(m, -6);
+}
+
+std::string degap(const std::string& row) {
+  std::string out;
+  for (char c : row) {
+    if (c != '-') out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Profile, SingleSequenceCounts) {
+  const Sequence s(Alphabet::dna(), "ACGA");
+  const msa::Profile p(s);
+  EXPECT_EQ(p.width(), 4u);
+  EXPECT_EQ(p.depth(), 1u);
+  EXPECT_EQ(p.counts(0)[Alphabet::dna().code('A')], 1u);
+  EXPECT_EQ(p.gaps(0), 0u);
+  EXPECT_EQ(p.residues(0), 1u);
+}
+
+TEST(Profile, GappedRowsCounts) {
+  msa::Profile p(Alphabet::dna(), {"AC-G", "A--G", "TC-G"});
+  EXPECT_EQ(p.width(), 4u);
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.counts(0)[Alphabet::dna().code('A')], 2u);
+  EXPECT_EQ(p.counts(0)[Alphabet::dna().code('T')], 1u);
+  EXPECT_EQ(p.gaps(1), 1u);
+  EXPECT_EQ(p.gaps(2), 3u);
+  EXPECT_EQ(p.residues(3), 3u);
+}
+
+TEST(Profile, RejectsRaggedRows) {
+  EXPECT_THROW(msa::Profile(Alphabet::dna(), {"AC", "A"}),
+               std::invalid_argument);
+  EXPECT_THROW(msa::Profile(Alphabet::dna(), {}), std::invalid_argument);
+}
+
+TEST(Profile, ColumnPairScoreSumsAllPairs) {
+  // Column {A, A} vs {A, C}: pairs AA, AC, AA, AC = 5 - 4 + 5 - 4 = 2.
+  msa::Profile p1(Alphabet::dna(), {"A", "A"});
+  msa::Profile p2(Alphabet::dna(), {"A", "C"});
+  EXPECT_EQ(msa::column_pair_score(p1, 0, p2, 0, scheme()), 2);
+  // Column {A, -} vs {C}: pairs AC (-4), -C (gap -6) = -10.
+  msa::Profile p3(Alphabet::dna(), {"A", "-"});
+  msa::Profile p4(Alphabet::dna(), {"C"});
+  EXPECT_EQ(msa::column_pair_score(p3, 0, p4, 0, scheme()), -10);
+}
+
+TEST(ProfileAlign, TwoSingletonsEqualsPairwiseAlignment) {
+  Xoshiro256 rng(221);
+  MutationModel model;
+  for (int trial = 0; trial < 10; ++trial) {
+    const SequencePair pair =
+        homologous_pair(Alphabet::dna(), 30 + rng.bounded(60), model, rng);
+    const msa::Profile merged = msa::align_profiles(
+        msa::Profile(pair.a), msa::Profile(pair.b), scheme());
+    ASSERT_EQ(merged.depth(), 2u);
+    Alignment as_pairwise;
+    as_pairwise.gapped_a = merged.rows()[0];
+    as_pairwise.gapped_b = merged.rows()[1];
+    EXPECT_EQ(score_alignment(as_pairwise, scheme(), Alphabet::dna()),
+              full_matrix_score(pair.a, pair.b, scheme()));
+  }
+}
+
+TEST(ProfileAlign, PreservesRowContents) {
+  msa::Profile p1(Alphabet::dna(), {"ACGT-A", "AC-TTA"});
+  msa::Profile p2(Alphabet::dna(), {"CGTA"});
+  const msa::Profile merged = msa::align_profiles(p1, p2, scheme());
+  EXPECT_EQ(merged.depth(), 3u);
+  EXPECT_EQ(degap(merged.rows()[0]), "ACGTA");
+  EXPECT_EQ(degap(merged.rows()[1]), "ACTTA");
+  EXPECT_EQ(degap(merged.rows()[2]), "CGTA");
+}
+
+TEST(Upgma, PairAndTriple) {
+  // Two leaves: root joins them at half the distance.
+  const msa::GuideTree pair = msa::upgma({{0, 4}, {4, 0}});
+  ASSERT_EQ(pair.nodes.size(), 3u);
+  EXPECT_EQ(pair.root, 2);
+  EXPECT_DOUBLE_EQ(pair.nodes[2].height, 2.0);
+
+  // Three leaves with 0,1 closest: they join first.
+  const msa::GuideTree triple = msa::upgma(
+      {{0, 2, 8}, {2, 0, 8}, {8, 8, 0}});
+  ASSERT_EQ(triple.nodes.size(), 5u);
+  const msa::GuideNode& first_join = triple.nodes[3];
+  EXPECT_EQ(first_join.left, 0);
+  EXPECT_EQ(first_join.right, 1);
+  const msa::GuideNode& root = triple.nodes[4];
+  EXPECT_EQ(root.right, 2);
+  EXPECT_DOUBLE_EQ(root.height, 4.0);  // avg(8, 8) / 2
+}
+
+TEST(Upgma, ValidatesInput) {
+  EXPECT_THROW(msa::upgma({}), std::invalid_argument);
+  EXPECT_THROW(msa::upgma({{0, 1}}), std::invalid_argument);
+}
+
+TEST(AlignmentDistances, ZeroOnDiagonalSymmetricPositive) {
+  Xoshiro256 rng(222);
+  MutationModel model;
+  std::vector<Sequence> seqs;
+  const Sequence ancestor = random_sequence(Alphabet::dna(), 60, rng);
+  for (int i = 0; i < 4; ++i) seqs.push_back(mutate(ancestor, model, rng));
+  const auto d = msa::alignment_distances(seqs, scheme());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(d[i][i], 0.0);
+    for (std::size_t j = 0; j < seqs.size(); ++j) {
+      EXPECT_EQ(d[i][j], d[j][i]);
+      if (i != j) {
+        EXPECT_GT(d[i][j], 0.0);
+      }
+    }
+  }
+}
+
+TEST(Progressive, RowsDegapToInputs) {
+  Xoshiro256 rng(223);
+  MutationModel model;
+  model.substitution_rate = 0.15;
+  const Sequence ancestor = random_sequence(Alphabet::dna(), 100, rng);
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 6; ++i) seqs.push_back(mutate(ancestor, model, rng));
+  const msa::MultipleAlignment aln =
+      msa::progressive_align(seqs, scheme());
+  ASSERT_EQ(aln.rows.size(), seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(degap(aln.rows[i]), seqs[i].to_string()) << "row " << i;
+    EXPECT_EQ(aln.rows[i].size(), aln.width());
+  }
+}
+
+TEST(Progressive, TwoSequencesOptimal) {
+  Xoshiro256 rng(224);
+  MutationModel model;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 70, model, rng);
+  const msa::MultipleAlignment aln =
+      msa::progressive_align({pair.a, pair.b}, scheme());
+  EXPECT_EQ(msa::sum_of_pairs_score(aln, scheme(), Alphabet::dna()),
+            full_matrix_score(pair.a, pair.b, scheme()));
+}
+
+TEST(Progressive, CompetitiveWithCenterStar) {
+  // On a two-subfamily dataset (where the star topology is a poor fit)
+  // the guide tree should match or beat center-star's sum of pairs.
+  Xoshiro256 rng(225);
+  MutationModel drift;
+  drift.substitution_rate = 0.25;
+  const Sequence rootseq = random_sequence(Alphabet::dna(), 90, rng);
+  const Sequence branch_a = mutate(rootseq, drift, rng);
+  const Sequence branch_b = mutate(rootseq, drift, rng);
+  MutationModel leaf;
+  leaf.substitution_rate = 0.05;
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 3; ++i) seqs.push_back(mutate(branch_a, leaf, rng));
+  for (int i = 0; i < 3; ++i) seqs.push_back(mutate(branch_b, leaf, rng));
+
+  const Score star = msa::sum_of_pairs_score(
+      msa::center_star_align(seqs, scheme()), scheme(), Alphabet::dna());
+  const Score prog = msa::sum_of_pairs_score(
+      msa::progressive_align(seqs, scheme()), scheme(), Alphabet::dna());
+  EXPECT_GE(prog, star);
+}
+
+TEST(Progressive, SingleSequenceAndValidation) {
+  const Sequence s(Alphabet::dna(), "ACGT");
+  const msa::MultipleAlignment aln = msa::progressive_align({s}, scheme());
+  ASSERT_EQ(aln.rows.size(), 1u);
+  EXPECT_EQ(aln.rows[0], "ACGT");
+  EXPECT_THROW(msa::progressive_align({}, scheme()),
+               std::invalid_argument);
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme affine(m, -5, -1);
+  EXPECT_THROW(msa::progressive_align({s, s}, affine),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,81 @@
+// Tests for the query-profile kernel.
+#include <gtest/gtest.h>
+
+#include "dp/kernel.hpp"
+#include "dp/query_profile.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(QueryProfile, RowsMatchMatrixLookups) {
+  Xoshiro256 rng(241);
+  const Sequence b = random_sequence(Alphabet::protein(), 40, rng);
+  const QueryProfile profile(b.residues(), scoring::mdm78());
+  EXPECT_EQ(profile.length(), 40u);
+  for (Residue x = 0; x < 20; ++x) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      EXPECT_EQ(profile.row(x)[j], scoring::mdm78().at(x, b[j]));
+    }
+  }
+}
+
+TEST(QueryProfile, LastRowBitIdenticalToPlainKernel) {
+  Xoshiro256 rng(242);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = rng.bounded(60);
+    const std::size_t n = rng.bounded(60);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const QueryProfile profile(b.residues(), scheme.matrix());
+    EXPECT_EQ(last_row_profiled(a.residues(), profile, scheme),
+              last_row_linear(a.residues(), b.residues(), scheme))
+        << m << "x" << n;
+  }
+}
+
+TEST(QueryProfile, GlobalScoreAgrees) {
+  Xoshiro256 rng(243);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 300, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  EXPECT_EQ(global_score_profiled(pair.a.residues(), pair.b.residues(),
+                                  scheme),
+            global_score_linear(pair.a.residues(), pair.b.residues(),
+                                scheme));
+}
+
+TEST(QueryProfile, ProfileReusableAcrossQueries) {
+  Xoshiro256 rng(244);
+  const Sequence b = random_sequence(Alphabet::dna(), 50, rng);
+  const SubstitutionMatrix m = scoring::dna(3, -2);
+  const ScoringScheme scheme(m, -4);
+  const QueryProfile profile(b.residues(), m);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Sequence a =
+        random_sequence(Alphabet::dna(), 1 + rng.bounded(40), rng);
+    EXPECT_EQ(last_row_profiled(a.residues(), profile, scheme).back(),
+              global_score_linear(a.residues(), b.residues(), scheme));
+  }
+}
+
+TEST(QueryProfile, CountsCellsAndRejectsAffine) {
+  Xoshiro256 rng(245);
+  const Sequence a = random_sequence(Alphabet::dna(), 7, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 9, rng);
+  const SubstitutionMatrix m = scoring::dna();
+  const ScoringScheme scheme(m, -2);
+  DpCounters counters;
+  global_score_profiled(a.residues(), b.residues(), scheme, &counters);
+  EXPECT_EQ(counters.cells_scored, 63u);
+  const ScoringScheme affine(m, -5, -1);
+  const QueryProfile profile(b.residues(), m);
+  EXPECT_THROW(last_row_profiled(a.residues(), profile, affine),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

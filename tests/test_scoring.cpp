@@ -1,0 +1,161 @@
+// Tests for substitution matrices and scoring schemes, including an exact
+// check of the paper's published Table 1 excerpt of the MDM78 table.
+#include <gtest/gtest.h>
+
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Mdm78, MatchesPaperTable1Exactly) {
+  const SubstitutionMatrix& m = scoring::mdm78();
+  // Diagonal of the excerpt: A=16, D=K=L=T=V=20.
+  EXPECT_EQ(m.score('A', 'A'), 16);
+  EXPECT_EQ(m.score('D', 'D'), 20);
+  EXPECT_EQ(m.score('K', 'K'), 20);
+  EXPECT_EQ(m.score('L', 'L'), 20);
+  EXPECT_EQ(m.score('T', 'T'), 20);
+  EXPECT_EQ(m.score('V', 'V'), 20);
+  // The one nonzero off-diagonal of the excerpt: L-V = 12 (similar
+  // function), and the highlighted zero: K-L = 0 (dissimilar function).
+  EXPECT_EQ(m.score('L', 'V'), 12);
+  EXPECT_EQ(m.score('K', 'L'), 0);
+  // Remaining excerpt entries are all zero.
+  const char letters[] = {'A', 'D', 'K', 'L', 'T', 'V'};
+  for (char x : letters) {
+    for (char y : letters) {
+      if (x == y) continue;
+      if ((x == 'L' && y == 'V') || (x == 'V' && y == 'L')) continue;
+      EXPECT_EQ(m.score(x, y), 0) << x << " vs " << y;
+    }
+  }
+}
+
+TEST(Mdm78, NonNegativeAndSymmetric) {
+  const SubstitutionMatrix& m = scoring::mdm78();
+  EXPECT_GE(m.min_score(), 0);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Mdm78, DiagonalDominatesItsRow) {
+  const SubstitutionMatrix& m = scoring::mdm78();
+  for (Residue x = 0; x < 20; ++x) {
+    for (Residue y = 0; y < 20; ++y) {
+      if (x == y) continue;
+      EXPECT_GE(m.at(x, x), m.at(x, y));
+    }
+  }
+}
+
+TEST(Pam250, KnownValuesAndSymmetry) {
+  const SubstitutionMatrix& m = scoring::pam250();
+  EXPECT_EQ(m.score('A', 'A'), 2);
+  EXPECT_EQ(m.score('W', 'W'), 17);
+  EXPECT_EQ(m.score('L', 'V'), 2);
+  EXPECT_EQ(m.score('K', 'L'), -3);
+  EXPECT_EQ(m.score('C', 'W'), -8);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Blosum62, KnownValuesAndSymmetry) {
+  const SubstitutionMatrix& m = scoring::blosum62();
+  EXPECT_EQ(m.score('A', 'A'), 4);
+  EXPECT_EQ(m.score('W', 'W'), 11);
+  EXPECT_EQ(m.score('I', 'V'), 3);
+  EXPECT_EQ(m.score('E', 'Q'), 2);
+  EXPECT_EQ(m.score('G', 'I'), -4);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(DnaMatrix, MatchMismatchStructure) {
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  for (Residue x = 0; x < 4; ++x) {
+    for (Residue y = 0; y < 4; ++y) {
+      EXPECT_EQ(m.at(x, y), x == y ? 5 : -4);
+    }
+  }
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(DnaNMatrix, AmbiguityCodeIsNeutral) {
+  const SubstitutionMatrix m = scoring::dna_n(5, -4, 0);
+  const Alphabet& alphabet = Alphabet::dna_n();
+  EXPECT_EQ(alphabet.size(), 5u);
+  EXPECT_EQ(m.score('A', 'A'), 5);
+  EXPECT_EQ(m.score('A', 'C'), -4);
+  EXPECT_EQ(m.score('A', 'N'), 0);
+  EXPECT_EQ(m.score('N', 'N'), 0);  // N-N is unknown, not a match
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(DnaNMatrix, AlignsReadsWithUnknownBases) {
+  // An N in a read should neither reward nor punish the alignment.
+  const SubstitutionMatrix m = scoring::dna_n(5, -4, 0);
+  const ScoringScheme scheme(m, -6);
+  const Sequence ref(Alphabet::dna_n(), "ACGTACGT");
+  const Sequence read(Alphabet::dna_n(), "ACGNACGT");
+  const Sequence bad(Alphabet::dna_n(), "ACGGACGT");  // real mismatch
+  const Score with_n = full_matrix_score(ref, read, scheme);
+  const Score with_mismatch = full_matrix_score(ref, bad, scheme);
+  EXPECT_EQ(with_n, 7 * 5 + 0);
+  EXPECT_GT(with_n, with_mismatch);
+}
+
+TEST(IdentityMatrix, LcsConfiguration) {
+  const SubstitutionMatrix m = scoring::identity(Alphabet::dna(), 1, 0);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(SubstitutionMatrix, SetAndSymmetrize) {
+  SubstitutionMatrix m(Alphabet::dna(), "custom");
+  m.set_symmetric(0, 2, 7);
+  EXPECT_EQ(m.at(0, 2), 7);
+  EXPECT_EQ(m.at(2, 0), 7);
+  m.set(1, 3, -2);
+  EXPECT_EQ(m.at(1, 3), -2);
+  EXPECT_EQ(m.at(3, 1), 0);
+  EXPECT_FALSE(m.is_symmetric());
+  EXPECT_EQ(m.min_score(), -2);
+  EXPECT_EQ(m.max_score(), 7);
+}
+
+TEST(SubstitutionMatrix, RowMajorConstructorValidatesSize) {
+  EXPECT_THROW(SubstitutionMatrix(Alphabet::dna(), "bad",
+                                  std::vector<Score>(15, 0)),
+               std::invalid_argument);
+}
+
+TEST(ScoringScheme, LinearGapProperties) {
+  const ScoringScheme scheme(scoring::mdm78(), -10);
+  EXPECT_TRUE(scheme.is_linear());
+  EXPECT_EQ(scheme.gap_open(), 0);
+  EXPECT_EQ(scheme.gap_extend(), -10);
+  EXPECT_EQ(scheme.gap_cost(3), -30);
+}
+
+TEST(ScoringScheme, AffineGapProperties) {
+  const ScoringScheme scheme(scoring::blosum62(), -11, -1);
+  EXPECT_FALSE(scheme.is_linear());
+  EXPECT_EQ(scheme.gap_cost(1), -12);
+  EXPECT_EQ(scheme.gap_cost(5), -16);
+}
+
+TEST(ScoringScheme, RejectsPositiveGapPenalties) {
+  EXPECT_THROW(ScoringScheme(scoring::mdm78(), 10), std::invalid_argument);
+  EXPECT_THROW(ScoringScheme(scoring::mdm78(), -1, 5),
+               std::invalid_argument);
+}
+
+TEST(ScoringScheme, PaperDefaultIsMdm78WithGap10) {
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  EXPECT_TRUE(scheme.is_linear());
+  EXPECT_EQ(scheme.gap_extend(), -10);
+  EXPECT_EQ(scheme.matrix().name(), "mdm78");
+}
+
+}  // namespace
+}  // namespace flsa

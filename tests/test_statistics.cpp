@@ -1,0 +1,108 @@
+// Tests for the Karlin-Altschul statistics module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scoring/builtin.hpp"
+#include "scoring/statistics.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Statistics, UniformFrequenciesSumToOne) {
+  const auto freqs = scoring::uniform_frequencies(20);
+  double total = 0;
+  for (double p : freqs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_THROW(scoring::uniform_frequencies(0), std::invalid_argument);
+}
+
+TEST(Statistics, ExpectedScoreOfDnaMatrix) {
+  // +5 on the diagonal (p = 1/4), -4 off it (p = 3/4):
+  // E = 5/4 - 3 = -1.75.
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const auto freqs = scoring::uniform_frequencies(4);
+  EXPECT_NEAR(scoring::expected_pair_score(m, freqs), -1.75, 1e-12);
+}
+
+TEST(Statistics, LambdaSatisfiesTheRestrictionEquation) {
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const auto freqs = scoring::uniform_frequencies(4);
+  const double lambda = scoring::karlin_lambda(m, freqs);
+  EXPECT_GT(lambda, 0.0);
+  // Plug back in: sum p_i p_j e^{lambda s_ij} must be 1.
+  double sum = 0;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      sum += 0.0625 * std::exp(lambda * m.at(static_cast<Residue>(x),
+                                             static_cast<Residue>(y)));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Statistics, KnownLambdaForUnitDna) {
+  // match +1 / mismatch -1 uniform DNA: closed form
+  // (1/4)e^l + (3/4)e^{-l} = 1  =>  e^l = 3  =>  lambda = ln 3.
+  const SubstitutionMatrix m = scoring::dna(1, -1);
+  const auto freqs = scoring::uniform_frequencies(4);
+  EXPECT_NEAR(scoring::karlin_lambda(m, freqs), std::log(3.0), 1e-6);
+}
+
+TEST(Statistics, LambdaShrinksWithScaledScores) {
+  // Doubling every score halves lambda (s -> 2s, lambda -> lambda/2).
+  const SubstitutionMatrix m1 = scoring::dna(5, -4);
+  const SubstitutionMatrix m2 = scoring::dna(10, -8);
+  const auto freqs = scoring::uniform_frequencies(4);
+  EXPECT_NEAR(scoring::karlin_lambda(m2, freqs),
+              scoring::karlin_lambda(m1, freqs) / 2.0, 1e-6);
+}
+
+TEST(Statistics, Blosum62LambdaInKnownRange) {
+  // Published ungapped BLOSUM62 lambda with true background frequencies is
+  // ~0.318; with uniform frequencies it lands nearby.
+  const auto freqs = scoring::uniform_frequencies(20);
+  const double lambda = scoring::karlin_lambda(scoring::blosum62(), freqs);
+  EXPECT_GT(lambda, 0.2);
+  EXPECT_LT(lambda, 0.45);
+}
+
+TEST(Statistics, NonNegativeExpectationRejected) {
+  // mdm78 is non-negative everywhere: E[s] >= 0, no lambda exists.
+  const auto freqs = scoring::uniform_frequencies(20);
+  EXPECT_THROW(scoring::karlin_lambda(scoring::mdm78(), freqs),
+               std::invalid_argument);
+}
+
+TEST(Statistics, AllNegativeMatrixRejected) {
+  const SubstitutionMatrix m = scoring::dna(-1, -2);
+  const auto freqs = scoring::uniform_frequencies(4);
+  EXPECT_THROW(scoring::karlin_lambda(m, freqs), std::invalid_argument);
+}
+
+TEST(Statistics, EValueAndBitScoreBehaviour) {
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const auto freqs = scoring::uniform_frequencies(4);
+  const scoring::KarlinParams params = scoring::karlin_params(m, freqs);
+  // Higher raw score -> higher bit score, exponentially lower E-value.
+  EXPECT_GT(scoring::bit_score(100, params), scoring::bit_score(50, params));
+  EXPECT_LT(scoring::e_value(100, 1000, 1000, params),
+            scoring::e_value(50, 1000, 1000, params));
+  // Bigger search space -> bigger E-value, linearly.
+  EXPECT_NEAR(scoring::e_value(60, 2000, 1000, params),
+              2 * scoring::e_value(60, 1000, 1000, params), 1e-9);
+  EXPECT_GT(scoring::e_value(0, 100, 100, params), 1.0);
+}
+
+TEST(Statistics, FrequencyValidation) {
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const std::vector<double> wrong_arity{0.5, 0.5};
+  EXPECT_THROW(scoring::karlin_lambda(m, wrong_arity),
+               std::invalid_argument);
+  const std::vector<double> not_normalized{0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(scoring::karlin_lambda(m, not_normalized),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

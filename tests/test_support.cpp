@@ -1,0 +1,231 @@
+// Tests for the support substrate: PRNG, statistics, table/CSV emission,
+// and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Xoshiro256, ZeroSeedStillProducesVariedOutput) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedZeroThrows) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(rng.bounded(0), std::invalid_argument);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int histogram[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.bounded(kBuckets)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenRange) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, JumpCreatesDisjointStream) {
+  Xoshiro256 a(3);
+  Xoshiro256 b(3);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const double data[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const double data[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(data), 2.5);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const double data[] = {0.5, 1.5, 9.0, -2.0, 4.0, 4.0};
+  Accumulator acc;
+  for (double x : data) acc.add(x);
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(acc.mean(), s.mean);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(Stats, Ci95ZeroForTinySamples) {
+  Summary s;
+  s.n = 1;
+  s.stddev = 10.0;
+  EXPECT_EQ(ci95_halfwidth(s), 0.0);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x", "y"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Csv, RejectsWrongArity) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x", "y"});
+  EXPECT_THROW(csv.write_row({"1"}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesAllValueKinds) {
+  CliParser cli("test");
+  cli.add_flag("verbose", false, "verbosity");
+  cli.add_int("count", 3, "count");
+  cli.add_double("rate", 0.5, "rate");
+  cli.add_string("name", "default", "name");
+  const char* argv[] = {"prog",   "--verbose", "--count", "7",
+                        "--rate=0.25", "--name", "widget", "extra"};
+  ASSERT_TRUE(cli.parse(8, argv));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+  EXPECT_EQ(cli.get_string("name"), "widget");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "extra");
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  CliParser cli("test");
+  cli.add_int("count", 3, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("count"), 3);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  CliParser cli("test");
+  cli.add_int("count", 0, "count");
+  const char* argv[] = {"prog", "--count", "12x"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("test");
+  cli.add_int("count", 0, "count");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -1,0 +1,76 @@
+// Tests for the worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "parallel/thread_pool.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> calls{0};
+  std::mutex mutex;
+  std::set<unsigned> ids;
+  pool.parallel_run([&](unsigned id) {
+    calls.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(id);
+  });
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(ids, (std::set<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, SequentialGenerationsReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_run([&](unsigned) { calls.fetch_add(1); });
+  }
+  EXPECT_EQ(calls.load(), 150);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.parallel_run([&](unsigned id) {
+    EXPECT_EQ(id, 0u);
+    ++value;
+  });
+  EXPECT_EQ(value, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_run([&](unsigned id) {
+    if (id == 0) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> calls{0};
+  pool.parallel_run([&](unsigned) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, DestructionWithNoRuns) {
+  ThreadPool pool(4);  // must join cleanly without any parallel_run
+}
+
+TEST(ThreadPool, SharedCounterVisibility) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_run([&](unsigned id) {
+    for (int i = 0; i < 10000; ++i) sum.fetch_add(id + 1);
+  });
+  EXPECT_EQ(sum.load(), 10000u * (1 + 2 + 3 + 4));
+}
+
+}  // namespace
+}  // namespace flsa

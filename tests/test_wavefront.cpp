@@ -1,0 +1,164 @@
+// Tests for the wavefront schedulers: dependency ordering, skip handling,
+// completeness, and equivalence between policies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "core/tile_executor.hpp"
+#include "parallel/wavefront.hpp"
+
+namespace flsa {
+namespace {
+
+// Defeats optimization of the busy-wait loop in UnevenTileCostsStillComplete.
+std::atomic<long> benchmark_sink{0};
+
+struct CompletionLog {
+  explicit CompletionLog(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), done_(rows * cols) {
+    for (auto& d : done_) d.store(false);
+  }
+
+  // Marks a tile complete, first asserting its dependencies completed.
+  void complete(std::size_t ti, std::size_t tj) {
+    if (ti > 0) {
+      EXPECT_TRUE(done_[(ti - 1) * cols_ + tj].load());
+    }
+    if (tj > 0) {
+      EXPECT_TRUE(done_[ti * cols_ + tj - 1].load());
+    }
+    done_[ti * cols_ + tj].store(true);
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& d : done_) n += d.load();
+    return n;
+  }
+
+  std::size_t rows_, cols_;
+  std::vector<std::atomic<bool>> done_;
+};
+
+class WavefrontPolicies : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(WavefrontPolicies, RunsAllTilesRespectingDependencies) {
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, GetParam());
+  CompletionLog log(7, 5);
+  exec.run(
+      7, 5, nullptr,
+      [&](std::size_t ti, std::size_t tj, unsigned worker) {
+        EXPECT_LT(worker, 4u);
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), 35u);
+}
+
+TEST_P(WavefrontPolicies, SkipsDownRightClosedRegion) {
+  ThreadPool pool(3);
+  WavefrontExecutor exec(pool, GetParam());
+  CompletionLog log(6, 6);
+  auto skip = [](std::size_t ti, std::size_t tj) {
+    return ti >= 4 && tj >= 3;
+  };
+  exec.run(
+      6, 6, skip,
+      [&](std::size_t ti, std::size_t tj, unsigned) {
+        EXPECT_FALSE(skip(ti, tj));
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), 36u - 6u);
+}
+
+TEST_P(WavefrontPolicies, SingleRowAndColumnGrids) {
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, GetParam());
+  for (const auto& [r, c] : {std::pair<std::size_t, std::size_t>{1, 12},
+                            {12, 1},
+                            {1, 1}}) {
+    std::atomic<std::size_t> count{0};
+    exec.run(
+        r, c, nullptr,
+        [&](std::size_t, std::size_t, unsigned) {
+          count.fetch_add(1);
+          return std::uint64_t{1};
+        },
+        TilePhase::kBaseCase);
+    EXPECT_EQ(count.load(), r * c);
+  }
+}
+
+TEST_P(WavefrontPolicies, UnevenTileCostsStillComplete) {
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, GetParam());
+  CompletionLog log(5, 9);
+  exec.run(
+      5, 9, nullptr,
+      [&](std::size_t ti, std::size_t tj, unsigned) {
+        // Busy-wait proportional to a pseudo-random cost to shake the
+        // schedule.
+        int sink = 0;
+        const int loops = static_cast<int>((ti * 31 + tj * 17) % 97) * 50;
+        for (int i = 0; i < loops; ++i) sink += i;
+        benchmark_sink.fetch_add(sink, std::memory_order_relaxed);
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), 45u);
+}
+
+TEST_P(WavefrontPolicies, EmptyGridIsNoop) {
+  ThreadPool pool(2);
+  WavefrontExecutor exec(pool, GetParam());
+  exec.run(
+      0, 5, nullptr,
+      [&](std::size_t, std::size_t, unsigned) -> std::uint64_t {
+        ADD_FAILURE() << "no tiles expected";
+        return 0;
+      },
+      TilePhase::kFillCache);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, WavefrontPolicies,
+                         ::testing::Values(
+                             SchedulerKind::kBarrierStaged,
+                             SchedulerKind::kDependencyCounter),
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          SchedulerKind::kBarrierStaged
+                                      ? "barrier"
+                                      : "dependency";
+                         });
+
+TEST(Wavefront, SequentialExecutorRowMajorOrder) {
+  SequentialExecutor exec;
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  exec.run(
+      3, 3, [](std::size_t ti, std::size_t tj) { return ti == 2 && tj == 2; },
+      [&](std::size_t ti, std::size_t tj, unsigned worker) {
+        EXPECT_EQ(worker, 0u);
+        order.emplace_back(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(order.back(), (std::pair<std::size_t, std::size_t>{2, 1}));
+}
+
+TEST(Wavefront, SchedulerNames) {
+  EXPECT_STREQ(to_string(SchedulerKind::kBarrierStaged), "barrier-staged");
+  EXPECT_STREQ(to_string(SchedulerKind::kDependencyCounter),
+               "dependency-counter");
+}
+
+}  // namespace
+}  // namespace flsa

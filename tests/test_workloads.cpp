@@ -1,0 +1,104 @@
+// Tests for the benchmark workload suite and timing helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "benchlib/results.hpp"
+#include "benchlib/runner.hpp"
+#include "benchlib/workloads.hpp"
+
+namespace flsa {
+namespace {
+
+TEST(Workloads, DeterministicAcrossCalls) {
+  const bench::Workload w = bench::sized_workload(500);
+  const SequencePair p1 = w.make();
+  const SequencePair p2 = w.make();
+  EXPECT_EQ(p1.a.to_string(), p2.a.to_string());
+  EXPECT_EQ(p1.b.to_string(), p2.b.to_string());
+}
+
+TEST(Workloads, ParentLengthIsExact) {
+  for (std::size_t len : {100u, 1000u}) {
+    const SequencePair pair = bench::sized_workload(len).make();
+    EXPECT_EQ(pair.a.size(), len);
+    EXPECT_NEAR(static_cast<double>(pair.b.size()),
+                static_cast<double>(len), 0.3 * static_cast<double>(len));
+  }
+}
+
+TEST(Workloads, SuiteRespectsMaxLength) {
+  const auto suite = bench::standard_suite(2000);
+  ASSERT_FALSE(suite.empty());
+  for (const auto& w : suite) EXPECT_LE(w.length, 2000u);
+  EXPECT_EQ(suite.back().length, 2000u);
+}
+
+TEST(Workloads, ProteinAndDnaSchemes) {
+  const bench::Workload protein = bench::sized_workload(100, true);
+  EXPECT_EQ(protein.scheme().matrix().name(), "mdm78");
+  const bench::Workload dna = bench::sized_workload(100, false);
+  EXPECT_EQ(dna.scheme().matrix().name(), "dna");
+  const SequencePair pair = dna.make();
+  EXPECT_EQ(&pair.a.alphabet(), &Alphabet::dna());
+}
+
+TEST(Workloads, DifferentSeedsDifferentPairs) {
+  const SequencePair p1 = bench::sized_workload(200, true, 1).make();
+  const SequencePair p2 = bench::sized_workload(200, true, 2).make();
+  EXPECT_NE(p1.a.to_string(), p2.a.to_string());
+}
+
+TEST(Runner, TimeRunsExecutesExactly) {
+  int calls = 0;
+  const Summary s = bench::time_runs([&] { ++calls; }, /*reps=*/4,
+                                     /*warmup=*/2);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(CsvSink, DisabledWithoutEnvironment) {
+  unsetenv("FLSA_BENCH_CSV_DIR");
+  bench::CsvSink sink("unit", {"a", "b"});
+  EXPECT_FALSE(sink.enabled());
+  sink.row({"1", "2"});  // must be a harmless no-op
+}
+
+TEST(CsvSink, WritesFileWhenEnabled) {
+  const std::string dir = ::testing::TempDir();
+  setenv("FLSA_BENCH_CSV_DIR", dir.c_str(), 1);
+  {
+    bench::CsvSink sink("unit", {"x", "y"});
+    ASSERT_TRUE(sink.enabled());
+    sink.row({"1", "two"});
+    sink.row({"3", "has,comma"});
+  }
+  unsetenv("FLSA_BENCH_CSV_DIR");
+  std::ifstream in(dir + "/unit.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,two");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"has,comma\"");
+}
+
+TEST(CsvSink, UnwritableDirectoryDegradesToNoop) {
+  setenv("FLSA_BENCH_CSV_DIR", "/nonexistent-dir-xyz", 1);
+  bench::CsvSink sink("unit", {"a"});
+  EXPECT_FALSE(sink.enabled());
+  unsetenv("FLSA_BENCH_CSV_DIR");
+}
+
+TEST(Runner, ThroughputFormatting) {
+  EXPECT_EQ(bench::throughput(2e9, 1.0), "2.0 Gcell/s");
+  EXPECT_EQ(bench::throughput(5e6, 1.0), "5.0 Mcell/s");
+  EXPECT_EQ(bench::throughput(1500, 1.0), "1.5 kcell/s");
+}
+
+}  // namespace
+}  // namespace flsa
