@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_cache.dir/bench/bench_e10_cache.cpp.o"
+  "CMakeFiles/bench_e10_cache.dir/bench/bench_e10_cache.cpp.o.d"
+  "bench/bench_e10_cache"
+  "bench/bench_e10_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

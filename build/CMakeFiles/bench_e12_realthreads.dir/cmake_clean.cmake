@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_realthreads.dir/bench/bench_e12_realthreads.cpp.o"
+  "CMakeFiles/bench_e12_realthreads.dir/bench/bench_e12_realthreads.cpp.o.d"
+  "bench/bench_e12_realthreads"
+  "bench/bench_e12_realthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_realthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

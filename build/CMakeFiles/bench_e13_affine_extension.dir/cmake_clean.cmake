@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_affine_extension.dir/bench/bench_e13_affine_extension.cpp.o"
+  "CMakeFiles/bench_e13_affine_extension.dir/bench/bench_e13_affine_extension.cpp.o.d"
+  "bench/bench_e13_affine_extension"
+  "bench/bench_e13_affine_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_affine_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

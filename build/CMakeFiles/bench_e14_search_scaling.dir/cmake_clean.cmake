@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_search_scaling.dir/bench/bench_e14_search_scaling.cpp.o"
+  "CMakeFiles/bench_e14_search_scaling.dir/bench/bench_e14_search_scaling.cpp.o.d"
+  "bench/bench_e14_search_scaling"
+  "bench/bench_e14_search_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_search_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

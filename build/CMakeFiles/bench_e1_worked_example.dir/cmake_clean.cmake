@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_worked_example.dir/bench/bench_e1_worked_example.cpp.o"
+  "CMakeFiles/bench_e1_worked_example.dir/bench/bench_e1_worked_example.cpp.o.d"
+  "bench/bench_e1_worked_example"
+  "bench/bench_e1_worked_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_worked_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_sequential_time.dir/bench/bench_e3_sequential_time.cpp.o"
+  "CMakeFiles/bench_e3_sequential_time.dir/bench/bench_e3_sequential_time.cpp.o.d"
+  "bench/bench_e3_sequential_time"
+  "bench/bench_e3_sequential_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_sequential_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

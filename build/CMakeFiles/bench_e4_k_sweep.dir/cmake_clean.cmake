@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_k_sweep.dir/bench/bench_e4_k_sweep.cpp.o"
+  "CMakeFiles/bench_e4_k_sweep.dir/bench/bench_e4_k_sweep.cpp.o.d"
+  "bench/bench_e4_k_sweep"
+  "bench/bench_e4_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_space.dir/bench/bench_e5_space.cpp.o"
+  "CMakeFiles/bench_e5_space.dir/bench/bench_e5_space.cpp.o.d"
+  "bench/bench_e5_space"
+  "bench/bench_e5_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

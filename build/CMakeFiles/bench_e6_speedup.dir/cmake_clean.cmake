@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_speedup.dir/bench/bench_e6_speedup.cpp.o"
+  "CMakeFiles/bench_e6_speedup.dir/bench/bench_e6_speedup.cpp.o.d"
+  "bench/bench_e6_speedup"
+  "bench/bench_e6_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_efficiency.dir/bench/bench_e7_efficiency.cpp.o"
+  "CMakeFiles/bench_e7_efficiency.dir/bench/bench_e7_efficiency.cpp.o.d"
+  "bench/bench_e7_efficiency"
+  "bench/bench_e7_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_parallel_k.dir/bench/bench_e8_parallel_k.cpp.o"
+  "CMakeFiles/bench_e8_parallel_k.dir/bench/bench_e8_parallel_k.cpp.o.d"
+  "bench/bench_e8_parallel_k"
+  "bench/bench_e8_parallel_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_parallel_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

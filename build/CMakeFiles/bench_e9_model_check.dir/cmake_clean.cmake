@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_model_check.dir/bench/bench_e9_model_check.cpp.o"
+  "CMakeFiles/bench_e9_model_check.dir/bench/bench_e9_model_check.cpp.o.d"
+  "bench/bench_e9_model_check"
+  "bench/bench_e9_model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

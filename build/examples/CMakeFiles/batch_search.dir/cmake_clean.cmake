@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_search.dir/batch_search.cpp.o"
+  "CMakeFiles/batch_search.dir/batch_search.cpp.o.d"
+  "batch_search"
+  "batch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_alignment.dir/genome_alignment.cpp.o"
+  "CMakeFiles/genome_alignment.dir/genome_alignment.cpp.o.d"
+  "genome_alignment"
+  "genome_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for genome_alignment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_search.dir/genome_search.cpp.o"
+  "CMakeFiles/genome_search.dir/genome_search.cpp.o.d"
+  "genome_search"
+  "genome_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_search.dir/local_search.cpp.o"
+  "CMakeFiles/local_search.dir/local_search.cpp.o.d"
+  "local_search"
+  "local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

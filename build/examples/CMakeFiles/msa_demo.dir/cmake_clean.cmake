@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_demo.dir/msa_demo.cpp.o"
+  "CMakeFiles/msa_demo.dir/msa_demo.cpp.o.d"
+  "msa_demo"
+  "msa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_exploration.dir/scoring_exploration.cpp.o"
+  "CMakeFiles/scoring_exploration.dir/scoring_exploration.cpp.o.d"
+  "scoring_exploration"
+  "scoring_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

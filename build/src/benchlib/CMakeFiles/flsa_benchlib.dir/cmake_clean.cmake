@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_benchlib.dir/results.cpp.o"
+  "CMakeFiles/flsa_benchlib.dir/results.cpp.o.d"
+  "CMakeFiles/flsa_benchlib.dir/runner.cpp.o"
+  "CMakeFiles/flsa_benchlib.dir/runner.cpp.o.d"
+  "CMakeFiles/flsa_benchlib.dir/workloads.cpp.o"
+  "CMakeFiles/flsa_benchlib.dir/workloads.cpp.o.d"
+  "libflsa_benchlib.a"
+  "libflsa_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

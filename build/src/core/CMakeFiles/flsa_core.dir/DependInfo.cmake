@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/flsa_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/aligner.cpp" "src/core/CMakeFiles/flsa_core.dir/aligner.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/aligner.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/flsa_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/fastlsa.cpp" "src/core/CMakeFiles/flsa_core.dir/fastlsa.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/fastlsa.cpp.o.d"
+  "/root/repo/src/core/local_align.cpp" "src/core/CMakeFiles/flsa_core.dir/local_align.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/local_align.cpp.o.d"
+  "/root/repo/src/core/semiglobal.cpp" "src/core/CMakeFiles/flsa_core.dir/semiglobal.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/semiglobal.cpp.o.d"
+  "/root/repo/src/core/textutil.cpp" "src/core/CMakeFiles/flsa_core.dir/textutil.cpp.o" "gcc" "src/core/CMakeFiles/flsa_core.dir/textutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dp/CMakeFiles/flsa_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hirschberg/CMakeFiles/flsa_hirschberg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simexec/CMakeFiles/flsa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/flsa_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/flsa_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

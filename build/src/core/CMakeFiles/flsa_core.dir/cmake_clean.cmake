@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_core.dir/advisor.cpp.o"
+  "CMakeFiles/flsa_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/aligner.cpp.o"
+  "CMakeFiles/flsa_core.dir/aligner.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/budget.cpp.o"
+  "CMakeFiles/flsa_core.dir/budget.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/fastlsa.cpp.o"
+  "CMakeFiles/flsa_core.dir/fastlsa.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/local_align.cpp.o"
+  "CMakeFiles/flsa_core.dir/local_align.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/semiglobal.cpp.o"
+  "CMakeFiles/flsa_core.dir/semiglobal.cpp.o.d"
+  "CMakeFiles/flsa_core.dir/textutil.cpp.o"
+  "CMakeFiles/flsa_core.dir/textutil.cpp.o.d"
+  "libflsa_core.a"
+  "libflsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/alignment.cpp" "src/dp/CMakeFiles/flsa_dp.dir/alignment.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/alignment.cpp.o.d"
+  "/root/repo/src/dp/antidiagonal.cpp" "src/dp/CMakeFiles/flsa_dp.dir/antidiagonal.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/antidiagonal.cpp.o.d"
+  "/root/repo/src/dp/banded.cpp" "src/dp/CMakeFiles/flsa_dp.dir/banded.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/banded.cpp.o.d"
+  "/root/repo/src/dp/cooptimal.cpp" "src/dp/CMakeFiles/flsa_dp.dir/cooptimal.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/cooptimal.cpp.o.d"
+  "/root/repo/src/dp/format.cpp" "src/dp/CMakeFiles/flsa_dp.dir/format.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/format.cpp.o.d"
+  "/root/repo/src/dp/fullmatrix.cpp" "src/dp/CMakeFiles/flsa_dp.dir/fullmatrix.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/fullmatrix.cpp.o.d"
+  "/root/repo/src/dp/gotoh.cpp" "src/dp/CMakeFiles/flsa_dp.dir/gotoh.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/gotoh.cpp.o.d"
+  "/root/repo/src/dp/kernel.cpp" "src/dp/CMakeFiles/flsa_dp.dir/kernel.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/kernel.cpp.o.d"
+  "/root/repo/src/dp/local.cpp" "src/dp/CMakeFiles/flsa_dp.dir/local.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/local.cpp.o.d"
+  "/root/repo/src/dp/packed_traceback.cpp" "src/dp/CMakeFiles/flsa_dp.dir/packed_traceback.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/packed_traceback.cpp.o.d"
+  "/root/repo/src/dp/path.cpp" "src/dp/CMakeFiles/flsa_dp.dir/path.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/path.cpp.o.d"
+  "/root/repo/src/dp/query_profile.cpp" "src/dp/CMakeFiles/flsa_dp.dir/query_profile.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/query_profile.cpp.o.d"
+  "/root/repo/src/dp/semiglobal.cpp" "src/dp/CMakeFiles/flsa_dp.dir/semiglobal.cpp.o" "gcc" "src/dp/CMakeFiles/flsa_dp.dir/semiglobal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scoring/CMakeFiles/flsa_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/flsa_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

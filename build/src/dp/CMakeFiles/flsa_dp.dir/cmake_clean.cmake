@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_dp.dir/alignment.cpp.o"
+  "CMakeFiles/flsa_dp.dir/alignment.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/antidiagonal.cpp.o"
+  "CMakeFiles/flsa_dp.dir/antidiagonal.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/banded.cpp.o"
+  "CMakeFiles/flsa_dp.dir/banded.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/cooptimal.cpp.o"
+  "CMakeFiles/flsa_dp.dir/cooptimal.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/format.cpp.o"
+  "CMakeFiles/flsa_dp.dir/format.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/fullmatrix.cpp.o"
+  "CMakeFiles/flsa_dp.dir/fullmatrix.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/gotoh.cpp.o"
+  "CMakeFiles/flsa_dp.dir/gotoh.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/kernel.cpp.o"
+  "CMakeFiles/flsa_dp.dir/kernel.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/local.cpp.o"
+  "CMakeFiles/flsa_dp.dir/local.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/packed_traceback.cpp.o"
+  "CMakeFiles/flsa_dp.dir/packed_traceback.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/path.cpp.o"
+  "CMakeFiles/flsa_dp.dir/path.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/query_profile.cpp.o"
+  "CMakeFiles/flsa_dp.dir/query_profile.cpp.o.d"
+  "CMakeFiles/flsa_dp.dir/semiglobal.cpp.o"
+  "CMakeFiles/flsa_dp.dir/semiglobal.cpp.o.d"
+  "libflsa_dp.a"
+  "libflsa_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflsa_dp.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_hirschberg.dir/hirschberg.cpp.o"
+  "CMakeFiles/flsa_hirschberg.dir/hirschberg.cpp.o.d"
+  "CMakeFiles/flsa_hirschberg.dir/hirschberg_affine.cpp.o"
+  "CMakeFiles/flsa_hirschberg.dir/hirschberg_affine.cpp.o.d"
+  "libflsa_hirschberg.a"
+  "libflsa_hirschberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_hirschberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

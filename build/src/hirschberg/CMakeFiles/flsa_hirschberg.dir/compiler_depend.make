@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flsa_hirschberg.
+# This may be replaced when dependencies are built.

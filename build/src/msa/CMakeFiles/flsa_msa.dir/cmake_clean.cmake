@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_msa.dir/center_star.cpp.o"
+  "CMakeFiles/flsa_msa.dir/center_star.cpp.o.d"
+  "CMakeFiles/flsa_msa.dir/profile.cpp.o"
+  "CMakeFiles/flsa_msa.dir/profile.cpp.o.d"
+  "CMakeFiles/flsa_msa.dir/progressive.cpp.o"
+  "CMakeFiles/flsa_msa.dir/progressive.cpp.o.d"
+  "libflsa_msa.a"
+  "libflsa_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flsa_msa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_parallel.dir/batch.cpp.o"
+  "CMakeFiles/flsa_parallel.dir/batch.cpp.o.d"
+  "CMakeFiles/flsa_parallel.dir/parallel_fastlsa.cpp.o"
+  "CMakeFiles/flsa_parallel.dir/parallel_fastlsa.cpp.o.d"
+  "CMakeFiles/flsa_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/flsa_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/flsa_parallel.dir/wavefront.cpp.o"
+  "CMakeFiles/flsa_parallel.dir/wavefront.cpp.o.d"
+  "libflsa_parallel.a"
+  "libflsa_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

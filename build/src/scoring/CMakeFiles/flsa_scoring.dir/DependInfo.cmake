@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scoring/builtin.cpp" "src/scoring/CMakeFiles/flsa_scoring.dir/builtin.cpp.o" "gcc" "src/scoring/CMakeFiles/flsa_scoring.dir/builtin.cpp.o.d"
+  "/root/repo/src/scoring/matrix.cpp" "src/scoring/CMakeFiles/flsa_scoring.dir/matrix.cpp.o" "gcc" "src/scoring/CMakeFiles/flsa_scoring.dir/matrix.cpp.o.d"
+  "/root/repo/src/scoring/matrix_io.cpp" "src/scoring/CMakeFiles/flsa_scoring.dir/matrix_io.cpp.o" "gcc" "src/scoring/CMakeFiles/flsa_scoring.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/scoring/scheme.cpp" "src/scoring/CMakeFiles/flsa_scoring.dir/scheme.cpp.o" "gcc" "src/scoring/CMakeFiles/flsa_scoring.dir/scheme.cpp.o.d"
+  "/root/repo/src/scoring/statistics.cpp" "src/scoring/CMakeFiles/flsa_scoring.dir/statistics.cpp.o" "gcc" "src/scoring/CMakeFiles/flsa_scoring.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sequence/CMakeFiles/flsa_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_scoring.dir/builtin.cpp.o"
+  "CMakeFiles/flsa_scoring.dir/builtin.cpp.o.d"
+  "CMakeFiles/flsa_scoring.dir/matrix.cpp.o"
+  "CMakeFiles/flsa_scoring.dir/matrix.cpp.o.d"
+  "CMakeFiles/flsa_scoring.dir/matrix_io.cpp.o"
+  "CMakeFiles/flsa_scoring.dir/matrix_io.cpp.o.d"
+  "CMakeFiles/flsa_scoring.dir/scheme.cpp.o"
+  "CMakeFiles/flsa_scoring.dir/scheme.cpp.o.d"
+  "CMakeFiles/flsa_scoring.dir/statistics.cpp.o"
+  "CMakeFiles/flsa_scoring.dir/statistics.cpp.o.d"
+  "libflsa_scoring.a"
+  "libflsa_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

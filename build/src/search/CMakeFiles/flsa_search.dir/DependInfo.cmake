@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/kmer_index.cpp" "src/search/CMakeFiles/flsa_search.dir/kmer_index.cpp.o" "gcc" "src/search/CMakeFiles/flsa_search.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/search/seed_extend.cpp" "src/search/CMakeFiles/flsa_search.dir/seed_extend.cpp.o" "gcc" "src/search/CMakeFiles/flsa_search.dir/seed_extend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dp/CMakeFiles/flsa_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/flsa_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/flsa_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

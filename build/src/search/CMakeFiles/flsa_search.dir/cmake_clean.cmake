@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_search.dir/kmer_index.cpp.o"
+  "CMakeFiles/flsa_search.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/flsa_search.dir/seed_extend.cpp.o"
+  "CMakeFiles/flsa_search.dir/seed_extend.cpp.o.d"
+  "libflsa_search.a"
+  "libflsa_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

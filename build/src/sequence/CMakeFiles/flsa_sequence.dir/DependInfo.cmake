@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sequence/alphabet.cpp" "src/sequence/CMakeFiles/flsa_sequence.dir/alphabet.cpp.o" "gcc" "src/sequence/CMakeFiles/flsa_sequence.dir/alphabet.cpp.o.d"
+  "/root/repo/src/sequence/fasta.cpp" "src/sequence/CMakeFiles/flsa_sequence.dir/fasta.cpp.o" "gcc" "src/sequence/CMakeFiles/flsa_sequence.dir/fasta.cpp.o.d"
+  "/root/repo/src/sequence/fastq.cpp" "src/sequence/CMakeFiles/flsa_sequence.dir/fastq.cpp.o" "gcc" "src/sequence/CMakeFiles/flsa_sequence.dir/fastq.cpp.o.d"
+  "/root/repo/src/sequence/generate.cpp" "src/sequence/CMakeFiles/flsa_sequence.dir/generate.cpp.o" "gcc" "src/sequence/CMakeFiles/flsa_sequence.dir/generate.cpp.o.d"
+  "/root/repo/src/sequence/sequence.cpp" "src/sequence/CMakeFiles/flsa_sequence.dir/sequence.cpp.o" "gcc" "src/sequence/CMakeFiles/flsa_sequence.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

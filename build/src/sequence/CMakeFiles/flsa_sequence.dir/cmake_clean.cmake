@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_sequence.dir/alphabet.cpp.o"
+  "CMakeFiles/flsa_sequence.dir/alphabet.cpp.o.d"
+  "CMakeFiles/flsa_sequence.dir/fasta.cpp.o"
+  "CMakeFiles/flsa_sequence.dir/fasta.cpp.o.d"
+  "CMakeFiles/flsa_sequence.dir/fastq.cpp.o"
+  "CMakeFiles/flsa_sequence.dir/fastq.cpp.o.d"
+  "CMakeFiles/flsa_sequence.dir/generate.cpp.o"
+  "CMakeFiles/flsa_sequence.dir/generate.cpp.o.d"
+  "CMakeFiles/flsa_sequence.dir/sequence.cpp.o"
+  "CMakeFiles/flsa_sequence.dir/sequence.cpp.o.d"
+  "libflsa_sequence.a"
+  "libflsa_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

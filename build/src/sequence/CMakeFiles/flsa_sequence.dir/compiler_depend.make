@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flsa_sequence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_model.dir/model.cpp.o"
+  "CMakeFiles/flsa_model.dir/model.cpp.o.d"
+  "libflsa_model.a"
+  "libflsa_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

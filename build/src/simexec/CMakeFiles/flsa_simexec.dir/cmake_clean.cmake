@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_simexec.dir/gantt.cpp.o"
+  "CMakeFiles/flsa_simexec.dir/gantt.cpp.o.d"
+  "CMakeFiles/flsa_simexec.dir/recording.cpp.o"
+  "CMakeFiles/flsa_simexec.dir/recording.cpp.o.d"
+  "CMakeFiles/flsa_simexec.dir/simulate.cpp.o"
+  "CMakeFiles/flsa_simexec.dir/simulate.cpp.o.d"
+  "CMakeFiles/flsa_simexec.dir/virtual_time.cpp.o"
+  "CMakeFiles/flsa_simexec.dir/virtual_time.cpp.o.d"
+  "libflsa_simexec.a"
+  "libflsa_simexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_simexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

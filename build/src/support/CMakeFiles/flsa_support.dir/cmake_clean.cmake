@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_support.dir/cli.cpp.o"
+  "CMakeFiles/flsa_support.dir/cli.cpp.o.d"
+  "CMakeFiles/flsa_support.dir/csv.cpp.o"
+  "CMakeFiles/flsa_support.dir/csv.cpp.o.d"
+  "CMakeFiles/flsa_support.dir/prng.cpp.o"
+  "CMakeFiles/flsa_support.dir/prng.cpp.o.d"
+  "CMakeFiles/flsa_support.dir/stats.cpp.o"
+  "CMakeFiles/flsa_support.dir/stats.cpp.o.d"
+  "CMakeFiles/flsa_support.dir/table.cpp.o"
+  "CMakeFiles/flsa_support.dir/table.cpp.o.d"
+  "libflsa_support.a"
+  "libflsa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligner.dir/test_aligner.cpp.o"
+  "CMakeFiles/test_aligner.dir/test_aligner.cpp.o.d"
+  "test_aligner"
+  "test_aligner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

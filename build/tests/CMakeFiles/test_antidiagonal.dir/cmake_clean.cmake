@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antidiagonal.dir/test_antidiagonal.cpp.o"
+  "CMakeFiles/test_antidiagonal.dir/test_antidiagonal.cpp.o.d"
+  "test_antidiagonal"
+  "test_antidiagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antidiagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banded.dir/test_banded.cpp.o"
+  "CMakeFiles/test_banded.dir/test_banded.cpp.o.d"
+  "test_banded"
+  "test_banded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

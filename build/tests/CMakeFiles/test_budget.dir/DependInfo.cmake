@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_budget.cpp" "tests/CMakeFiles/test_budget.dir/test_budget.cpp.o" "gcc" "tests/CMakeFiles/test_budget.dir/test_budget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/flsa_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/simexec/CMakeFiles/flsa_simexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/flsa_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/flsa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hirschberg/CMakeFiles/flsa_hirschberg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simexec/CMakeFiles/flsa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/flsa_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/flsa_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/flsa_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/flsa_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_budget.dir/test_budget.cpp.o"
+  "CMakeFiles/test_budget.dir/test_budget.cpp.o.d"
+  "test_budget"
+  "test_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooptimal.dir/test_cooptimal.cpp.o"
+  "CMakeFiles/test_cooptimal.dir/test_cooptimal.cpp.o.d"
+  "test_cooptimal"
+  "test_cooptimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooptimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cooptimal.
+# This may be replaced when dependencies are built.

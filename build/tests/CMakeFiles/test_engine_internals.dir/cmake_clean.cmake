@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_internals.dir/test_engine_internals.cpp.o"
+  "CMakeFiles/test_engine_internals.dir/test_engine_internals.cpp.o.d"
+  "test_engine_internals"
+  "test_engine_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastlsa.dir/test_fastlsa.cpp.o"
+  "CMakeFiles/test_fastlsa.dir/test_fastlsa.cpp.o.d"
+  "test_fastlsa"
+  "test_fastlsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastlsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastlsa_affine.dir/test_fastlsa_affine.cpp.o"
+  "CMakeFiles/test_fastlsa_affine.dir/test_fastlsa_affine.cpp.o.d"
+  "test_fastlsa_affine"
+  "test_fastlsa_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastlsa_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

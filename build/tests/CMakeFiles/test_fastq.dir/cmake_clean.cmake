@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastq.dir/test_fastq.cpp.o"
+  "CMakeFiles/test_fastq.dir/test_fastq.cpp.o.d"
+  "test_fastq"
+  "test_fastq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

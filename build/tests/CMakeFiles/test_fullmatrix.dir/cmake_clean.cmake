@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullmatrix.dir/test_fullmatrix.cpp.o"
+  "CMakeFiles/test_fullmatrix.dir/test_fullmatrix.cpp.o.d"
+  "test_fullmatrix"
+  "test_fullmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

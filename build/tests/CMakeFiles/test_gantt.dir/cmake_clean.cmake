@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gantt.dir/test_gantt.cpp.o"
+  "CMakeFiles/test_gantt.dir/test_gantt.cpp.o.d"
+  "test_gantt"
+  "test_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

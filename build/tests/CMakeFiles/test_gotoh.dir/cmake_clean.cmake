@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gotoh.dir/test_gotoh.cpp.o"
+  "CMakeFiles/test_gotoh.dir/test_gotoh.cpp.o.d"
+  "test_gotoh"
+  "test_gotoh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gotoh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hirschberg.dir/test_hirschberg.cpp.o"
+  "CMakeFiles/test_hirschberg.dir/test_hirschberg.cpp.o.d"
+  "test_hirschberg"
+  "test_hirschberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hirschberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local.dir/test_local.cpp.o"
+  "CMakeFiles/test_local.dir/test_local.cpp.o.d"
+  "test_local"
+  "test_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

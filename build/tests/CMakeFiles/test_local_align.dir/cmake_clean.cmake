@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_align.dir/test_local_align.cpp.o"
+  "CMakeFiles/test_local_align.dir/test_local_align.cpp.o.d"
+  "test_local_align"
+  "test_local_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

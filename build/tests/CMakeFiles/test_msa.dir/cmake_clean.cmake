@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msa.dir/test_msa.cpp.o"
+  "CMakeFiles/test_msa.dir/test_msa.cpp.o.d"
+  "test_msa"
+  "test_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed.dir/test_packed.cpp.o"
+  "CMakeFiles/test_packed.dir/test_packed.cpp.o.d"
+  "test_packed"
+  "test_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_fastlsa.dir/test_parallel_fastlsa.cpp.o"
+  "CMakeFiles/test_parallel_fastlsa.dir/test_parallel_fastlsa.cpp.o.d"
+  "test_parallel_fastlsa"
+  "test_parallel_fastlsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_fastlsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

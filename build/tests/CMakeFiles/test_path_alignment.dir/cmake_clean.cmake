@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_alignment.dir/test_path_alignment.cpp.o"
+  "CMakeFiles/test_path_alignment.dir/test_path_alignment.cpp.o.d"
+  "test_path_alignment"
+  "test_path_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progressive.dir/test_progressive.cpp.o"
+  "CMakeFiles/test_progressive.dir/test_progressive.cpp.o.d"
+  "test_progressive"
+  "test_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_profile.dir/test_query_profile.cpp.o"
+  "CMakeFiles/test_query_profile.dir/test_query_profile.cpp.o.d"
+  "test_query_profile"
+  "test_query_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

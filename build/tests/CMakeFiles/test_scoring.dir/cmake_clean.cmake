@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoring.dir/test_scoring.cpp.o"
+  "CMakeFiles/test_scoring.dir/test_scoring.cpp.o.d"
+  "test_scoring"
+  "test_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semiglobal.dir/test_semiglobal.cpp.o"
+  "CMakeFiles/test_semiglobal.dir/test_semiglobal.cpp.o.d"
+  "test_semiglobal"
+  "test_semiglobal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semiglobal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequence.dir/test_sequence.cpp.o"
+  "CMakeFiles/test_sequence.dir/test_sequence.cpp.o.d"
+  "test_sequence"
+  "test_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

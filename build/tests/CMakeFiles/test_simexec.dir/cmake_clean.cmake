@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simexec.dir/test_simexec.cpp.o"
+  "CMakeFiles/test_simexec.dir/test_simexec.cpp.o.d"
+  "test_simexec"
+  "test_simexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

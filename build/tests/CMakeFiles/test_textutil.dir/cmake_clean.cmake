@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textutil.dir/test_textutil.cpp.o"
+  "CMakeFiles/test_textutil.dir/test_textutil.cpp.o.d"
+  "test_textutil"
+  "test_textutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavefront.dir/test_wavefront.cpp.o"
+  "CMakeFiles/test_wavefront.dir/test_wavefront.cpp.o.d"
+  "test_wavefront"
+  "test_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_align.dir/flsa_align.cpp.o"
+  "CMakeFiles/flsa_align.dir/flsa_align.cpp.o.d"
+  "flsa_align"
+  "flsa_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

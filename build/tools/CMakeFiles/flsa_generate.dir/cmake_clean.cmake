@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsa_generate.dir/flsa_generate.cpp.o"
+  "CMakeFiles/flsa_generate.dir/flsa_generate.cpp.o.d"
+  "flsa_generate"
+  "flsa_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsa_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
