@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -20,6 +21,20 @@ Summary time_runs(const std::function<void()>& fn, int reps, int warmup) {
     seconds.push_back(timer.seconds());
   }
   return summarize(seconds);
+}
+
+double cells_per_second(double cells, double seconds) {
+  return seconds > 0 ? cells / seconds : 0.0;
+}
+
+std::vector<KernelKind> kernel_variants() {
+  std::vector<KernelKind> variants{KernelKind::kScalar};
+  if (simd_kernel_available()) variants.push_back(KernelKind::kSimd);
+  return variants;
+}
+
+std::string kernel_label(const std::string& base, KernelKind kind) {
+  return base + "[" + to_string(kind) + "]";
 }
 
 std::string throughput(double cells, double seconds) {

@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "dp/kernel.hpp"
 #include "support/stats.hpp"
 
 namespace flsa {
@@ -16,6 +18,17 @@ Summary time_runs(const std::function<void()>& fn, int reps = 3,
 
 /// Formats cells-per-second throughput like "123.4 Mcell/s".
 std::string throughput(double cells, double seconds);
+
+/// Raw cells-per-second rate (0 when `seconds` is not positive).
+double cells_per_second(double cells, double seconds);
+
+/// The sweep-kernel variants worth benchmarking on this host: always
+/// kScalar, plus kSimd when the CPU has a vector ISA. Benches iterate this
+/// to report per-kernel-variant throughput.
+std::vector<KernelKind> kernel_variants();
+
+/// Label for a per-kernel bench row, e.g. "fastlsa[simd]".
+std::string kernel_label(const std::string& base, KernelKind kind);
 
 }  // namespace bench
 }  // namespace flsa

@@ -85,6 +85,7 @@ Alignment align(const Sequence& a, const Sequence& b,
                                                 &stats.counters)
                       : hirschberg_align(a, b, scheme, options.hirschberg,
                                          &stats.counters);
+      stats.kernel_used = resolve_kernel(options.hirschberg.kernel);
       break;
     case Strategy::kFastLsa: {
       FastLsaOptions fl = options.fastlsa;

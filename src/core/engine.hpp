@@ -115,8 +115,10 @@ class FastLsaEngine {
                 const EnginePlan& plan, FastLsaStats* stats)
       : a_(a), b_(b), scheme_(scheme), options_(options), plan_(plan),
         stats_(stats ? *stats : local_stats_),
+        kernel_(resolve_kernel(options.kernel)),
         path_(Cell{a.size(), b.size()}) {
     validate(options_);
+    stats_.kernel_used = kernel_;
     FLSA_REQUIRE(plan_.executor != nullptr);
     FLSA_REQUIRE(plan_.tiles_per_block >= 1);
     FLSA_REQUIRE(plan_.base_case_tiles >= 1);
@@ -414,11 +416,13 @@ class FastLsaEngine {
           const std::span<const Residue> b_sub =
               b_.residues().subspan(rect.col0 + cs, tcols);
           if constexpr (Affine) {
-            sweep_rectangle_affine(a_sub, b_sub, scheme_, tile_top, tile_left,
-                                   bottom, right, &worker_counters_[worker]);
+            sweep_rectangle_affine(kernel_, a_sub, b_sub, scheme_, tile_top,
+                                   tile_left, bottom, right,
+                                   &worker_counters_[worker]);
           } else {
-            sweep_rectangle_linear(a_sub, b_sub, scheme_, tile_top, tile_left,
-                                   bottom, right, &worker_counters_[worker]);
+            sweep_rectangle_linear(kernel_, a_sub, b_sub, scheme_, tile_top,
+                                   tile_left, bottom, right,
+                                   &worker_counters_[worker]);
           }
 
           // Publish boundary lines. Each shared corner entry has exactly one
@@ -447,6 +451,7 @@ class FastLsaEngine {
   EnginePlan plan_;
   FastLsaStats local_stats_;
   FastLsaStats& stats_;
+  KernelKind kernel_;  ///< resolved (never kAuto)
   MemoryTracker tracker_;
   Path path_;
   AffineState affine_state_ = AffineState::kD;

@@ -41,10 +41,11 @@ Alignment fastlsa_align_affine(const Sequence& a, const Sequence& b,
 Score fastlsa_score(const Sequence& a, const Sequence& b,
                     const ScoringScheme& scheme, FastLsaStats* stats) {
   DpCounters counters;
-  const Score score =
-      global_score_linear(a.residues(), b.residues(), scheme, &counters);
+  const Score score = global_score_linear(
+      KernelKind::kAuto, a.residues(), b.residues(), scheme, &counters);
   if (stats) {
     stats->counters += counters;
+    stats->kernel_used = resolve_kernel(KernelKind::kAuto);
     stats->peak_bytes =
         std::max(stats->peak_bytes,
                  (a.size() + b.size() + 2) * sizeof(Score));

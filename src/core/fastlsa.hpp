@@ -20,6 +20,7 @@
 #include "core/budget.hpp"
 #include "dp/alignment.hpp"
 #include "dp/counters.hpp"
+#include "dp/kernel.hpp"
 #include "scoring/scheme.hpp"
 #include "sequence/sequence.hpp"
 
@@ -36,6 +37,11 @@ struct FastLsaOptions {
   /// (rows+1)*(cols+1) <= base_case_cells is solved with a full matrix.
   /// Minimum 16.
   std::size_t base_case_cells = 1u << 20;
+
+  /// DP sweep implementation for the Fill Grid Cache tiles (and every
+  /// other boundary sweep). kAuto picks the fastest kernel the CPU
+  /// supports; all kernels produce identical scores and alignments.
+  KernelKind kernel = KernelKind::kAuto;
 };
 
 /// Per-run observability: operation counters plus FastLSA-specific shape
@@ -48,6 +54,8 @@ struct FastLsaStats {
   std::uint64_t base_case_invocations = 0;
   std::uint64_t recursive_splits = 0;
   std::uint64_t max_recursion_depth = 0;
+  /// The sweep kernel the run actually executed with (kAuto resolved).
+  KernelKind kernel_used = KernelKind::kScalar;
 };
 
 /// Validates options (throws std::invalid_argument on nonsense).

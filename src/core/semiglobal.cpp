@@ -48,8 +48,9 @@ Alignment fitting_align(const Sequence& a, const Sequence& b,
   // column attaining the fitting score marks the window start.
   const Sequence a_rev = a.reversed();
   const Sequence b_rev = b.subsequence(0, end.col).reversed();
-  const std::vector<Score> rev_row = last_row_linear(
-      a_rev.residues(), b_rev.residues(), scheme, &st.counters);
+  const std::vector<Score> rev_row =
+      last_row_linear(KernelKind::kAuto, a_rev.residues(), b_rev.residues(),
+                      scheme, &st.counters);
   std::size_t rev_cols = 0;
   while (rev_row[rev_cols] != end.score) {
     ++rev_cols;
@@ -82,8 +83,9 @@ Alignment overlap_align(const Sequence& a, const Sequence& b,
   init_global_boundary_linear(scheme, top);
   init_global_boundary_linear(scheme, left);
   std::vector<Score> bottom(b_rev.size() + 1), right(a_rev.size() + 1);
-  sweep_rectangle_linear(a_rev.residues(), b_rev.residues(), scheme, top,
-                         left, bottom, right, &st.counters);
+  sweep_rectangle_linear(KernelKind::kAuto, a_rev.residues(),
+                         b_rev.residues(), scheme, top, left, bottom, right,
+                         &st.counters);
   std::size_t rev_rows = 0;
   while (right[rev_rows] != end.score) {
     ++rev_rows;

@@ -46,8 +46,8 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
   const ScoringScheme scheme(matrix, /*gap=*/-1);
   const Sequence sa(alphabet, a);
   const Sequence sb(alphabet, b);
-  const Score score =
-      global_score_linear(sa.residues(), sb.residues(), scheme);
+  const Score score = global_score_linear(
+      KernelKind::kAuto, sa.residues(), sb.residues(), scheme);
   FLSA_ASSERT(score <= 0);
   return static_cast<std::size_t>(-score);
 }

@@ -28,8 +28,10 @@ void DirectionSetMatrix::set(std::size_t r, std::size_t c, bool diag_in,
 std::uint8_t DirectionSetMatrix::get(std::size_t r, std::size_t c) const {
   FLSA_ASSERT(r < rows_ && c < cols_);
   const std::size_t cell = r * cols_ + c;
-  return static_cast<std::uint8_t>((bits_[cell >> 1] >> ((cell & 1) * 4)) &
-                                   0x7u);
+  // Explicit promotion: UBSan's shift instrumentation otherwise trips a
+  // spurious -Wsign-conversion on the implicit uint8_t -> int promotion.
+  const auto byte = static_cast<unsigned>(bits_[cell >> 1]);
+  return static_cast<std::uint8_t>((byte >> ((cell & 1) * 4)) & 0x7u);
 }
 
 bool DirectionSetMatrix::diag(std::size_t r, std::size_t c) const {

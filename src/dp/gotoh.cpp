@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dp/fullmatrix.hpp"
+#include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -54,6 +55,23 @@ void sweep_rectangle_affine(std::span<const Residue> a,
 
   if (counters) {
     counters->cells_scored += static_cast<std::uint64_t>(rows) * cols;
+  }
+}
+
+void sweep_rectangle_affine(KernelKind kind, std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const AffineCell> top,
+                            std::span<const AffineCell> left,
+                            std::span<AffineCell> out_bottom,
+                            std::span<AffineCell> out_right,
+                            DpCounters* counters) {
+  if (resolve_kernel(kind) == KernelKind::kSimd) {
+    sweep_rectangle_affine_simd(a, b, scheme, top, left, out_bottom,
+                                out_right, counters);
+  } else {
+    sweep_rectangle_affine(a, b, scheme, top, left, out_bottom, out_right,
+                           counters);
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include "dp/alignment.hpp"
 #include "dp/counters.hpp"
+#include "dp/kernel.hpp"
 #include "dp/matrix.hpp"
 #include "dp/path.hpp"
 #include "scoring/scheme.hpp"
@@ -35,6 +36,17 @@ enum class AffineState : std::uint8_t { kD, kIx, kIy };
 /// Affine analogue of sweep_rectangle_linear: boundary caches and outputs
 /// are AffineCell rows/columns. `out_bottom` may alias `top`.
 void sweep_rectangle_affine(std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const AffineCell> top,
+                            std::span<const AffineCell> left,
+                            std::span<AffineCell> out_bottom,
+                            std::span<AffineCell> out_right,
+                            DpCounters* counters = nullptr);
+
+/// Dispatching overload: runs the affine sweep with the requested kernel
+/// (kAuto resolves against the CPU). All kernels agree bit-for-bit.
+void sweep_rectangle_affine(KernelKind kind, std::span<const Residue> a,
                             std::span<const Residue> b,
                             const ScoringScheme& scheme,
                             std::span<const AffineCell> top,

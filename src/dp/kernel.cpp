@@ -3,9 +3,40 @@
 #include <algorithm>
 #include <vector>
 
+#include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
+
+KernelKind resolve_kernel(KernelKind requested) {
+  if (requested == KernelKind::kAuto) {
+    return simd_kernel_available() ? KernelKind::kSimd : KernelKind::kScalar;
+  }
+  return requested;
+}
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAuto: return "auto";
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kSimd: return "simd";
+  }
+  return "?";
+}
+
+bool parse_kernel_kind(std::string_view text, KernelKind* out) {
+  FLSA_REQUIRE(out != nullptr);
+  if (text == "auto") {
+    *out = KernelKind::kAuto;
+  } else if (text == "scalar") {
+    *out = KernelKind::kScalar;
+  } else if (text == "simd") {
+    *out = KernelKind::kSimd;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void sweep_rectangle_linear(std::span<const Residue> a,
                             std::span<const Residue> b,
@@ -55,6 +86,23 @@ void sweep_rectangle_linear(std::span<const Residue> a,
   }
 }
 
+void sweep_rectangle_linear(KernelKind kind, std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const Score> top,
+                            std::span<const Score> left,
+                            std::span<Score> out_bottom,
+                            std::span<Score> out_right,
+                            DpCounters* counters) {
+  if (resolve_kernel(kind) == KernelKind::kSimd) {
+    sweep_rectangle_linear_simd(a, b, scheme, top, left, out_bottom,
+                                out_right, counters);
+  } else {
+    sweep_rectangle_linear(a, b, scheme, top, left, out_bottom, out_right,
+                           counters);
+  }
+}
+
 void init_global_boundary_linear(const ScoringScheme& scheme,
                                  std::span<Score> boundary) {
   FLSA_REQUIRE(scheme.is_linear());
@@ -83,6 +131,26 @@ Score global_score_linear(std::span<const Residue> a,
                           const ScoringScheme& scheme,
                           DpCounters* counters) {
   return last_row_linear(a, b, scheme, counters).back();
+}
+
+std::vector<Score> last_row_linear(KernelKind kind,
+                                   std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters) {
+  std::vector<Score> row(b.size() + 1);
+  std::vector<Score> left(a.size() + 1);
+  init_global_boundary_linear(scheme, row);
+  init_global_boundary_linear(scheme, left);
+  sweep_rectangle_linear(kind, a, b, scheme, row, left, row, {}, counters);
+  return row;
+}
+
+Score global_score_linear(KernelKind kind, std::span<const Residue> a,
+                          std::span<const Residue> b,
+                          const ScoringScheme& scheme,
+                          DpCounters* counters) {
+  return last_row_linear(kind, a, b, scheme, counters).back();
 }
 
 }  // namespace flsa

@@ -8,12 +8,35 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 
 #include "dp/counters.hpp"
 #include "scoring/scheme.hpp"
 #include "sequence/sequence.hpp"
 
 namespace flsa {
+
+/// Which sweep implementation a score-only rectangle is computed with.
+/// The scalar row sweep is the reference; the SIMD kernel walks the DPM by
+/// anti-diagonals (dp/kernel_simd.hpp) and produces bit-identical boundary
+/// rows/columns and counters.
+enum class KernelKind : std::uint8_t {
+  kAuto,    ///< pick the fastest kernel this CPU supports (default)
+  kScalar,  ///< the reference row sweep
+  kSimd,    ///< vectorized anti-diagonal sweep (scalar fallback off-x86)
+};
+
+/// Resolves kAuto against the runtime CPU: kSimd when a vector ISA is
+/// available, kScalar otherwise. kScalar/kSimd pass through unchanged
+/// (kSimd is safe everywhere — it degrades to a scalar anti-diagonal
+/// sweep on CPUs without SSE4.1/AVX2).
+KernelKind resolve_kernel(KernelKind requested);
+
+/// "auto" | "scalar" | "simd".
+const char* to_string(KernelKind kind);
+
+/// Parses "auto" / "scalar" / "simd" (returns false on anything else).
+bool parse_kernel_kind(std::string_view text, KernelKind* out);
 
 /// Sweeps the rectangle spanned by residues `a` (rows) x `b` (columns) with
 /// a linear-gap recurrence.
@@ -39,6 +62,17 @@ void sweep_rectangle_linear(std::span<const Residue> a,
                             std::span<Score> out_right,
                             DpCounters* counters = nullptr);
 
+/// Dispatching overload: runs the sweep with the requested kernel (kAuto
+/// resolves against the CPU). All kernels agree bit-for-bit.
+void sweep_rectangle_linear(KernelKind kind, std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            std::span<const Score> top,
+                            std::span<const Score> left,
+                            std::span<Score> out_bottom,
+                            std::span<Score> out_right,
+                            DpCounters* counters = nullptr);
+
 /// Fills `boundary` (size len+1) with the global-alignment initial boundary
 /// 0, g, 2g, ... for a linear scheme (the leading-gap row/column of the DPM).
 void init_global_boundary_linear(const ScoringScheme& scheme,
@@ -51,8 +85,21 @@ std::vector<Score> last_row_linear(std::span<const Residue> a,
                                    const ScoringScheme& scheme,
                                    DpCounters* counters = nullptr);
 
+/// Dispatching overload of last_row_linear.
+std::vector<Score> last_row_linear(KernelKind kind,
+                                   std::span<const Residue> a,
+                                   std::span<const Residue> b,
+                                   const ScoringScheme& scheme,
+                                   DpCounters* counters = nullptr);
+
 /// Optimal global alignment *score* of `a` x `b` in linear space.
 Score global_score_linear(std::span<const Residue> a,
+                          std::span<const Residue> b,
+                          const ScoringScheme& scheme,
+                          DpCounters* counters = nullptr);
+
+/// Dispatching overload of global_score_linear.
+Score global_score_linear(KernelKind kind, std::span<const Residue> a,
                           std::span<const Residue> b,
                           const ScoringScheme& scheme,
                           DpCounters* counters = nullptr);

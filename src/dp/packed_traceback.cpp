@@ -33,7 +33,10 @@ Move PackedDirectionMatrix::get(std::size_t r, std::size_t c) const {
   FLSA_ASSERT(r < rows_ && c < cols_);
   const std::size_t cell = r * cols_ + c;
   const std::size_t shift = (cell & 3) * 2;
-  return static_cast<Move>((bytes_[cell >> 2] >> shift) & 0x3u);
+  // Explicit promotion: UBSan's shift instrumentation otherwise trips a
+  // spurious -Wsign-conversion on the implicit uint8_t -> int promotion.
+  const auto byte = static_cast<unsigned>(bytes_[cell >> 2]);
+  return static_cast<Move>((byte >> shift) & 0x3u);
 }
 
 Alignment packed_full_matrix_align(const Sequence& a, const Sequence& b,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dp/kernel.hpp"
+#include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -49,12 +50,31 @@ std::vector<Score> last_row_profiled(std::span<const Residue> a,
   return row;
 }
 
+std::vector<Score> last_row_profiled(KernelKind kind,
+                                     std::span<const Residue> a,
+                                     const QueryProfile& profile,
+                                     const ScoringScheme& scheme,
+                                     DpCounters* counters) {
+  if (resolve_kernel(kind) == KernelKind::kSimd) {
+    return last_row_profiled_simd(a, profile, scheme, counters);
+  }
+  return last_row_profiled(a, profile, scheme, counters);
+}
+
 Score global_score_profiled(std::span<const Residue> a,
                             std::span<const Residue> b,
                             const ScoringScheme& scheme,
                             DpCounters* counters) {
   const QueryProfile profile(b, scheme.matrix());
   return last_row_profiled(a, profile, scheme, counters).back();
+}
+
+Score global_score_profiled(KernelKind kind, std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            DpCounters* counters) {
+  const QueryProfile profile(b, scheme.matrix());
+  return last_row_profiled(kind, a, profile, scheme, counters).back();
 }
 
 }  // namespace flsa

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dp/counters.hpp"
+#include "dp/kernel.hpp"
 #include "scoring/scheme.hpp"
 #include "sequence/sequence.hpp"
 
@@ -41,8 +42,22 @@ std::vector<Score> last_row_profiled(std::span<const Residue> a,
                                      const ScoringScheme& scheme,
                                      DpCounters* counters = nullptr);
 
+/// Dispatching overload: kSimd feeds the profile's flat rows into the
+/// vector lanes (kernel_simd.hpp); results are bit-identical either way.
+std::vector<Score> last_row_profiled(KernelKind kind,
+                                     std::span<const Residue> a,
+                                     const QueryProfile& profile,
+                                     const ScoringScheme& scheme,
+                                     DpCounters* counters = nullptr);
+
 /// Optimal global score via the profiled kernel.
 Score global_score_profiled(std::span<const Residue> a,
+                            std::span<const Residue> b,
+                            const ScoringScheme& scheme,
+                            DpCounters* counters = nullptr);
+
+/// Dispatching overload of global_score_profiled.
+Score global_score_profiled(KernelKind kind, std::span<const Residue> a,
                             std::span<const Residue> b,
                             const ScoringScheme& scheme,
                             DpCounters* counters = nullptr);

@@ -22,6 +22,7 @@
 #include "dp/fullmatrix.hpp"
 #include "dp/gotoh.hpp"
 #include "dp/kernel.hpp"
+#include "dp/kernel_simd.hpp"
 #include "dp/local.hpp"
 #include "dp/packed_traceback.hpp"
 #include "dp/semiglobal.hpp"

@@ -53,11 +53,11 @@ void recurse(std::span<const Residue> a, std::span<const Residue> b,
   // with maximal total score.
   const std::size_t mid = m / 2;
   const std::vector<Score> fwd =
-      last_row_linear(a.subspan(0, mid), b, scheme, counters);
+      last_row_linear(options.kernel, a.subspan(0, mid), b, scheme, counters);
   const std::vector<Residue> bottom_rev = reversed_copy(a.subspan(mid));
   const std::vector<Residue> b_rev = reversed_copy(b);
   const std::vector<Score> bwd =
-      last_row_linear(bottom_rev, b_rev, scheme, counters);
+      last_row_linear(options.kernel, bottom_rev, b_rev, scheme, counters);
 
   std::size_t best_j = 0;
   Score best = kNegInf;

@@ -11,6 +11,7 @@
 
 #include "dp/alignment.hpp"
 #include "dp/counters.hpp"
+#include "dp/kernel.hpp"
 #include "scoring/scheme.hpp"
 #include "sequence/sequence.hpp"
 
@@ -23,6 +24,10 @@ struct HirschbergOptions {
   /// notes the recursion "could be terminated sooner by using a FM
   /// algorithm when the problem size is small enough"). Minimum 2.
   std::size_t base_case_cells = 4096;
+
+  /// Sweep kernel for the forward/backward LastRow passes. kAuto picks
+  /// the fastest one the CPU supports; the alignment is identical.
+  KernelKind kernel = KernelKind::kAuto;
 };
 
 /// Optimal global alignment with linear gaps in linear space.

@@ -42,14 +42,16 @@ void make_boundaries(const ScoringScheme& scheme, std::size_t rows,
 }
 
 /// Last DPM row of the sub-problem with top-left vertical open charge `tb`.
-std::vector<AffineCell> affine_pass(std::span<const Residue> a,
+std::vector<AffineCell> affine_pass(KernelKind kernel,
+                                    std::span<const Residue> a,
                                     std::span<const Residue> b,
                                     const ScoringScheme& scheme, Score tb,
                                     DpCounters* counters) {
   std::vector<AffineCell> top, left;
   make_boundaries(scheme, a.size(), b.size(), tb, top, left);
   std::vector<AffineCell> bottom(b.size() + 1);
-  sweep_rectangle_affine(a, b, scheme, top, left, bottom, {}, counters);
+  sweep_rectangle_affine(kernel, a, b, scheme, top, left, bottom, {},
+                         counters);
   return bottom;
 }
 
@@ -103,11 +105,11 @@ void recurse(std::span<const Residue> a, std::span<const Residue> b,
   const Score open = scheme.gap_open();
   const std::size_t mid = m / 2;
   const std::vector<AffineCell> fwd =
-      affine_pass(a.subspan(0, mid), b, scheme, tb, counters);
+      affine_pass(options.kernel, a.subspan(0, mid), b, scheme, tb, counters);
   const std::vector<Residue> bottom_rev = reversed_copy(a.subspan(mid));
   const std::vector<Residue> b_rev = reversed_copy(b);
   const std::vector<AffineCell> bwd =
-      affine_pass(bottom_rev, b_rev, scheme, te, counters);
+      affine_pass(options.kernel, bottom_rev, b_rev, scheme, te, counters);
 
   // Type 1: the optimal path passes through vertex (mid, j).
   // Type 2: a vertical gap run crosses row mid at column j; its open was

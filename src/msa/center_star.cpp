@@ -81,8 +81,9 @@ MultipleAlignment center_star_align(const std::vector<Sequence>& sequences,
   std::vector<std::vector<Score>> pair_score(n, std::vector<Score>(n, 0));
   for (std::size_t x = 0; x < n; ++x) {
     for (std::size_t y = x + 1; y < n; ++y) {
-      const Score s = global_score_linear(sequences[x].residues(),
-                                          sequences[y].residues(), scheme);
+      const Score s =
+          global_score_linear(KernelKind::kAuto, sequences[x].residues(),
+                              sequences[y].residues(), scheme);
       pair_score[x][y] = s;
       pair_score[y][x] = s;
     }

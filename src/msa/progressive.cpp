@@ -90,14 +90,16 @@ std::vector<std::vector<double>> alignment_distances(
   const std::size_t n = sequences.size();
   std::vector<Score> self(n);
   for (std::size_t i = 0; i < n; ++i) {
-    self[i] = global_score_linear(sequences[i].residues(),
-                                  sequences[i].residues(), scheme);
+    self[i] =
+        global_score_linear(KernelKind::kAuto, sequences[i].residues(),
+                            sequences[i].residues(), scheme);
   }
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const Score s = global_score_linear(sequences[i].residues(),
-                                          sequences[j].residues(), scheme);
+      const Score s =
+          global_score_linear(KernelKind::kAuto, sequences[i].residues(),
+                              sequences[j].residues(), scheme);
       const double dij =
           (static_cast<double>(self[i]) + static_cast<double>(self[j])) /
               2.0 -

@@ -34,6 +34,10 @@ class SubstitutionMatrix {
     return table_[static_cast<std::size_t>(x) * size_ + y];
   }
 
+  /// Row-major |A|*|A| table (entry (x, y) at x*|A| + y); the SIMD kernels
+  /// gather substitution scores straight out of it.
+  const Score* data() const { return table_.data(); }
+
   /// Score of two letters (convenience; validates both characters).
   Score score(char x, char y) const;
 

@@ -60,26 +60,49 @@ TEST_P(FuzzSweep, AllGlobalAlgorithmsAgree) {
       ASSERT_EQ(
           global_score_antidiagonal(a.residues(), b.residues(), scheme),
           fm.score);
+      ASSERT_EQ(global_score_profiled(a.residues(), b.residues(), scheme),
+                fm.score);
 
       // Packed FM: identical path.
       const Alignment packed = packed_full_matrix_align(a, b, scheme);
       ASSERT_EQ(packed.gapped_a, fm.gapped_a);
       ASSERT_EQ(packed.gapped_b, fm.gapped_b);
 
-      // Hirschberg.
+      // Hirschberg / FastLSA / the score-only dispatch layer, under both
+      // sweep kernels: identical scores AND identical paths either way.
       HirschbergOptions hopts;
       hopts.base_case_cells = 2 + rng.bounded(64);
-      ASSERT_EQ(hirschberg_align(a, b, scheme, hopts).score, fm.score);
-
-      // FastLSA with random (k, BM).
       FastLsaOptions fopts;
       fopts.k = 2 + static_cast<unsigned>(rng.bounded(9));
       fopts.base_case_cells = 16 + rng.bounded(200);
-      const Alignment fl = fastlsa_align(a, b, scheme, fopts);
-      ASSERT_EQ(fl.score, fm.score)
-          << "k=" << fopts.k << " bm=" << fopts.base_case_cells << " m=" << m
-          << " n=" << n;
-      ASSERT_EQ(fl.gapped_a, fm.gapped_a);
+      for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+        ASSERT_EQ(global_score_linear(kind, a.residues(), b.residues(),
+                                      scheme),
+                  fm.score)
+            << to_string(kind);
+        hopts.kernel = kind;
+        // Hirschberg guarantees the optimal score (its split tie-breaking
+        // may pick a different co-optimal path than FM).
+        ASSERT_EQ(hirschberg_align(a, b, scheme, hopts).score, fm.score)
+            << to_string(kind);
+        fopts.kernel = kind;
+        const Alignment fl = fastlsa_align(a, b, scheme, fopts);
+        ASSERT_EQ(fl.score, fm.score)
+            << "k=" << fopts.k << " bm=" << fopts.base_case_cells
+            << " m=" << m << " n=" << n << " kernel=" << to_string(kind);
+        ASSERT_EQ(fl.gapped_a, fm.gapped_a) << to_string(kind);
+        ASSERT_EQ(fl.gapped_b, fm.gapped_b) << to_string(kind);
+        // Parallel FastLSA: same alignment, tile wavefront, both kernels
+        // (first trial only; the tiny problems make threads pure overhead).
+        if (trial == 0) {
+          ParallelOptions popts;
+          popts.threads = 2;
+          const Alignment par =
+              parallel_fastlsa_align(a, b, scheme, fopts, popts);
+          ASSERT_EQ(par.score, fm.score) << to_string(kind);
+          ASSERT_EQ(par.gapped_a, fm.gapped_a) << to_string(kind);
+        }
+      }
 
       // Banded with a full band.
       ASSERT_EQ(banded_score(a, b, scheme, std::max<std::size_t>(
@@ -120,16 +143,20 @@ TEST_P(FuzzSweep, AffineAlgorithmsAgree) {
 
       HirschbergOptions hopts;
       hopts.base_case_cells = 2 + rng.bounded(64);
-      ASSERT_EQ(hirschberg_align_affine(a, b, scheme, hopts).score,
-                expected)
-          << "open=" << open << " extend=" << extend << " m=" << m
-          << " n=" << n;
-
       FastLsaOptions fopts;
       fopts.k = 2 + static_cast<unsigned>(rng.bounded(7));
       fopts.base_case_cells = 16 + rng.bounded(150);
-      ASSERT_EQ(fastlsa_align_affine(a, b, scheme, fopts).score, expected)
-          << "k=" << fopts.k << " bm=" << fopts.base_case_cells;
+      for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+        hopts.kernel = kind;
+        ASSERT_EQ(hirschberg_align_affine(a, b, scheme, hopts).score,
+                  expected)
+            << "open=" << open << " extend=" << extend << " m=" << m
+            << " n=" << n << " kernel=" << to_string(kind);
+        fopts.kernel = kind;
+        ASSERT_EQ(fastlsa_align_affine(a, b, scheme, fopts).score, expected)
+            << "k=" << fopts.k << " bm=" << fopts.base_case_cells
+            << " kernel=" << to_string(kind);
+      }
     }
   }
 }
@@ -157,6 +184,37 @@ TEST_P(FuzzSweep, LocalAndSemiGlobalAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 12));
+
+// The paper's Figure 1 worked example (MDM78, optimal score 82) as a golden
+// case through every engine x kernel combination.
+TEST(FuzzGolden, PaperExampleUnderBothKernels) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  ASSERT_EQ(full_matrix_align(a, b, scheme).score, 82);
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+    ASSERT_EQ(global_score_linear(kind, a.residues(), b.residues(), scheme),
+              82)
+        << to_string(kind);
+    HirschbergOptions hopts;
+    hopts.base_case_cells = 2;
+    hopts.kernel = kind;
+    ASSERT_EQ(hirschberg_align(a, b, scheme, hopts).score, 82)
+        << to_string(kind);
+    FastLsaOptions fopts;
+    fopts.k = 2;
+    fopts.base_case_cells = 16;
+    fopts.kernel = kind;
+    FastLsaStats stats;
+    ASSERT_EQ(fastlsa_align(a, b, scheme, fopts, &stats).score, 82)
+        << to_string(kind);
+    ASSERT_EQ(stats.kernel_used, kind);
+    ParallelOptions popts;
+    popts.threads = 2;
+    ASSERT_EQ(parallel_fastlsa_align(a, b, scheme, fopts, popts).score, 82)
+        << to_string(kind);
+  }
+}
 
 }  // namespace
 }  // namespace flsa

@@ -65,6 +65,9 @@ int main(int argc, char** argv) {
   cli.add_int("k", 8, "FastLSA division factor");
   cli.add_int("bm", 1 << 20, "FastLSA base-case buffer, in DPM cells");
   cli.add_int("threads", 1, "threads for --algorithm parallel");
+  cli.add_string("kernel", "auto",
+                 "DP sweep kernel: auto | scalar | simd (auto picks the "
+                 "fastest this CPU supports; results are identical)");
   cli.add_int("memory-mb", 0,
               "memory budget in MiB for --algorithm auto (0 = unbounded)");
   cli.add_flag("stats", false, "print operation/memory statistics");
@@ -134,6 +137,12 @@ int main(int argc, char** argv) {
     flsa::FastLsaOptions fl;
     fl.k = static_cast<unsigned>(cli.get_int("k"));
     fl.base_case_cells = static_cast<std::size_t>(cli.get_int("bm"));
+    flsa::KernelKind kernel = flsa::KernelKind::kAuto;
+    if (!flsa::parse_kernel_kind(cli.get_string("kernel"), &kernel)) {
+      throw std::invalid_argument("unknown --kernel " +
+                                  cli.get_string("kernel"));
+    }
+    fl.kernel = kernel;
 
     const std::string mode = cli.get_string("mode");
     flsa::Timer timer;
@@ -172,6 +181,7 @@ int main(int argc, char** argv) {
       } else {
         flsa::AlignOptions options;
         options.fastlsa = fl;
+        options.hirschberg.kernel = kernel;
         if (algorithm == "full-matrix") {
           options.strategy = flsa::Strategy::kFullMatrix;
         } else if (algorithm == "hirschberg") {
@@ -218,6 +228,9 @@ int main(int argc, char** argv) {
     }
     if (cli.get_flag("stats")) {
       std::cout << "time            : " << seconds * 1e3 << " ms\n"
+                << "kernel          : " << flsa::to_string(stats.kernel_used)
+                << " (requested " << flsa::to_string(kernel) << ", simd ISA "
+                << flsa::simd_kernel_isa() << ")\n"
                 << "cells scored    : " << stats.counters.cells_scored
                 << "\ncells stored    : " << stats.counters.cells_stored
                 << "\ntraceback steps : " << stats.counters.traceback_steps
