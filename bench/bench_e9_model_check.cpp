@@ -35,20 +35,27 @@ int main() {
               return x->total_cost() > y->total_cost();
             });
   flsa::Table per_grid({"grid (RxC)", "cells", "P", "measured barrier",
-                        "model M*N*alpha", "ratio"});
+                        "model M*N*alpha", "alpha meas", "alpha model",
+                        "ratio"});
   for (std::size_t i = 0; i < std::min<std::size_t>(4, fills.size()); ++i) {
     const flsa::TileGridRecord& g = *fills[i];
     for (unsigned p : {4u, 8u}) {
       const double measured = static_cast<double>(
           flsa::grid_makespan(g, p, flsa::SchedulerKind::kBarrierStaged));
+      // Measured alpha = makespan / total work, directly comparable to the
+      // paper's analytical alpha = (1/P)(1 + (P^2 - P)/(R*C)) (Eq. 32).
+      const double alpha_meas =
+          measured / static_cast<double>(g.total_cost());
+      const double alpha_model = flsa::model::alpha(p, g.rows, g.cols);
       const double predicted =
-          static_cast<double>(g.total_cost()) *
-          flsa::model::alpha(p, g.rows, g.cols);
+          static_cast<double>(g.total_cost()) * alpha_model;
       per_grid.add_row({std::to_string(g.rows) + "x" +
                             std::to_string(g.cols),
                         std::to_string(g.total_cost()), std::to_string(p),
                         flsa::Table::num(measured / 1e6, 3),
                         flsa::Table::num(predicted / 1e6, 3),
+                        flsa::Table::num(alpha_meas, 4),
+                        flsa::Table::num(alpha_model, 4),
                         flsa::Table::num(measured / predicted, 3)});
     }
   }

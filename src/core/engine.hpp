@@ -41,6 +41,7 @@
 #include "dp/kernel.hpp"
 #include "dp/matrix.hpp"
 #include "dp/path.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -136,6 +137,9 @@ class FastLsaEngine {
   FastLsaEngine& operator=(const FastLsaEngine&) = delete;
 
   Alignment run() {
+    FLSA_OBS_PHASE(obs_align, obs::Phase::kAlign);
+    FLSA_OBS_GAUGE("fastlsa.workers",
+                   static_cast<double>(worker_counters_.size()));
     const std::size_t m = a_.size();
     const std::size_t n = b_.size();
 
@@ -166,6 +170,7 @@ class FastLsaEngine {
 
     for (const DpCounters& wc : worker_counters_) stats_.counters += wc;
     stats_.peak_bytes = tracker_.peak_bytes();
+    FLSA_OBS_PHASE_CELLS(obs_align, stats_.counters.total_cells());
     return alignment_from_path(a_, b_, path_, scheme_);
   }
 
@@ -200,6 +205,13 @@ class FastLsaEngine {
                 (Cell{rect.row0 + rect.rows, rect.col0 + rect.cols}));
     stats_.max_recursion_depth =
         std::max<std::uint64_t>(stats_.max_recursion_depth, depth);
+    // Trace-only scope (metrics suppressed): solve() nests within itself,
+    // so per-invocation seconds would double-count; the nested trace
+    // spans, by contrast, render as the recursion's flame graph.
+    FLSA_OBS_PHASE(obs_solve, obs::Phase::kRecursion, obs::kPhaseLane,
+                   static_cast<std::int64_t>(depth),
+                   /*record_metrics=*/false);
+    FLSA_OBS_OBSERVE("fastlsa.recursion.depth", depth);
     if ((rect.rows + 1) * (rect.cols + 1) <= options_.base_case_cells) {
       base_case(rect, top, left);
     } else {
@@ -212,6 +224,9 @@ class FastLsaEngine {
     ++stats_.base_case_invocations;
     const std::size_t rows = rect.rows;
     const std::size_t cols = rect.cols;
+    FLSA_OBS_PHASE(obs_phase, obs::Phase::kBaseCase);
+    FLSA_OBS_PHASE_CELLS(obs_phase,
+                         static_cast<std::uint64_t>(rows) * cols);
     base_buffer_.resize(rows + 1, cols + 1);
     std::copy(top.begin(), top.end(), base_buffer_.row(0));
     for (std::size_t r = 0; r <= rows; ++r) base_buffer_(r, 0) = left[r];
@@ -373,6 +388,13 @@ class FastLsaEngine {
     // dimension has a single block, i.e. the block spans everything).
     const std::size_t skip_row = block_rows.empty() ? 0 : block_rows.back();
     const std::size_t skip_col = block_cols.empty() ? 0 : block_cols.back();
+
+    // Filled cells = whole rectangle minus the skipped bottom-right block.
+    FLSA_OBS_PHASE(obs_phase, obs::Phase::kFillGrid);
+    FLSA_OBS_PHASE_CELLS(
+        obs_phase, static_cast<std::uint64_t>(rows) * cols -
+                       static_cast<std::uint64_t>(rows - skip_row) *
+                           (cols - skip_col));
 
     auto row_seg = [&](std::size_t ti) {
       return std::pair<std::size_t, std::size_t>{

@@ -14,10 +14,17 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace flsa {
 
 /// Which FastLSA phase a tile grid belongs to (recorders label phases).
 enum class TilePhase : std::uint8_t { kFillCache, kBaseCase };
+
+/// Trace-span category label of a tile phase.
+inline const char* to_string(TilePhase phase) {
+  return phase == TilePhase::kFillCache ? "fill-grid" : "base-case";
+}
 
 /// Decides whether a tile is skipped (the fill phase skips the tiles of the
 /// bottom-right FastLSA sub-problem, the paper's u x v tiles).
@@ -28,6 +35,29 @@ using TileSkipFn = std::function<bool(std::size_t ti, std::size_t tj)>;
 using TileWorkFn =
     std::function<std::uint64_t(std::size_t ti, std::size_t tj,
                                 unsigned worker)>;
+
+/// Invokes `work` for one tile, recording a per-worker trace span (tile
+/// coordinates, cells, wall time on lane `worker`) when a trace is being
+/// collected. Every executor funnels tile execution through here so the
+/// trace sees all scheduling policies identically; without an active
+/// trace this is a direct call.
+inline std::uint64_t run_tile(const TileWorkFn& work, std::size_t ti,
+                              std::size_t tj, unsigned worker,
+                              TilePhase phase) {
+  obs::TraceRecorder* recorder = obs::active_trace();
+  if (recorder == nullptr) return work(ti, tj, worker);
+  const auto start = obs::TraceRecorder::now();
+  const std::uint64_t cells = work(ti, tj, worker);
+  obs::TraceSpan span;
+  span.name = "tile";
+  span.category = to_string(phase);
+  span.tid = worker;
+  span.tile_row = static_cast<std::int64_t>(ti);
+  span.tile_col = static_cast<std::int64_t>(tj);
+  span.cells = static_cast<std::int64_t>(cells);
+  recorder->record(span, start, obs::TraceRecorder::now());
+  return cells;
+}
 
 /// Abstract tile-grid runner. Implementations must guarantee that `work`
 /// for tile (i, j) happens-after `work` for (i-1, j) and (i, j-1) (when
@@ -55,11 +85,11 @@ class SequentialExecutor final : public TileExecutor {
 
   void run(std::size_t tile_rows, std::size_t tile_cols,
            const TileSkipFn& skip, const TileWorkFn& work,
-           TilePhase /*phase*/) override {
+           TilePhase phase) override {
     for (std::size_t ti = 0; ti < tile_rows; ++ti) {
       for (std::size_t tj = 0; tj < tile_cols; ++tj) {
         if (skip && skip(ti, tj)) continue;
-        work(ti, tj, 0);
+        run_tile(work, ti, tj, 0, phase);
       }
     }
   }

@@ -32,6 +32,9 @@
 #include "hirschberg/hirschberg_affine.hpp"
 #include "msa/center_star.hpp"
 #include "msa/progressive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "parallel/batch.hpp"
 #include "parallel/parallel_fastlsa.hpp"
 #include "search/seed_extend.hpp"

@@ -7,6 +7,7 @@
 #include "dp/kernel.hpp"
 #include "dp/matrix.hpp"
 #include "dp/path.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -81,9 +82,17 @@ Alignment hirschberg_align(const Sequence& a, const Sequence& b,
                            const HirschbergOptions& options,
                            DpCounters* counters) {
   FLSA_REQUIRE(scheme.is_linear());
+  // Count into a local when the caller does not ask for counters, so the
+  // phase timer can still report cells and throughput.
+  DpCounters local_counters;
+  if (counters == nullptr) counters = &local_counters;
+  FLSA_OBS_PHASE(obs_phase, obs::Phase::kHirschberg);
+  [[maybe_unused]] const std::uint64_t cells_before =
+      counters->total_cells();
   std::vector<Move> forward;
   forward.reserve(a.size() + b.size());
   recurse(a.residues(), b.residues(), scheme, options, forward, counters);
+  FLSA_OBS_PHASE_CELLS(obs_phase, counters->total_cells() - cells_before);
 
   // Re-anchor the forward moves as a Path to reuse the shared validation
   // and alignment construction.

@@ -7,6 +7,7 @@
 #include "dp/gotoh.hpp"
 #include "dp/matrix.hpp"
 #include "dp/path.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -158,10 +159,18 @@ Alignment hirschberg_align_affine(const Sequence& a, const Sequence& b,
                                   const ScoringScheme& scheme,
                                   const HirschbergOptions& options,
                                   DpCounters* counters) {
+  // Count into a local when the caller does not ask for counters, so the
+  // phase timer can still report cells and throughput.
+  DpCounters local_counters;
+  if (counters == nullptr) counters = &local_counters;
+  FLSA_OBS_PHASE(obs_phase, obs::Phase::kHirschberg);
+  [[maybe_unused]] const std::uint64_t cells_before =
+      counters->total_cells();
   std::vector<Move> forward;
   forward.reserve(a.size() + b.size());
   recurse(a.residues(), b.residues(), scheme, scheme.gap_open(),
           scheme.gap_open(), options, forward, counters);
+  FLSA_OBS_PHASE_CELLS(obs_phase, counters->total_cells() - cells_before);
 
   Path path(Cell{a.size(), b.size()});
   for (auto it = forward.rbegin(); it != forward.rend(); ++it) {

@@ -115,6 +115,11 @@ MultipleAlignment center_star_align(const std::vector<Sequence>& sequences,
   const std::vector<BatchResult> aligned =
       align_batch(jobs, scheme, align_options,
                   options.threads == 0 ? 0 : options.threads);
+  // A star alignment needs every pairwise result; surface the first
+  // per-job failure as this call's failure.
+  for (const BatchResult& r : aligned) {
+    if (!r.ok()) std::rethrow_exception(r.error);
+  }
 
   // 3. Merge pairwise alignments into the star (center is row 0 during
   // construction; rows are re-ordered to input order at the end).

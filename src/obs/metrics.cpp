@@ -1,0 +1,146 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+namespace flsa {
+namespace obs {
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = mantissa * 2^exp, mantissa in [0.5, 1)
+  return std::clamp(exp + kBucketBias, 0, kBucketCount - 1);
+}
+
+double Histogram::bucket_upper_bound(int index) {
+  return std::ldexp(1.0, index - kBucketBias);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) {
+    stats_.min = value;
+    stats_.max = value;
+  } else {
+    stats_.min = std::min(stats_.min, value);
+    stats_.max = std::max(stats_.max, value);
+  }
+  ++stats_.count;
+  stats_.sum += value;
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) return 0.0;
+  const double target = q * static_cast<double>(stats_.count);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(bucket_upper_bound(i), stats_.max);
+    }
+  }
+  return stats_.max;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Snapshot{};
+  buckets_.fill(0);
+}
+
+namespace {
+
+template <typename Map>
+auto& lookup(Map& map, std::string_view name, std::mutex& mutex) {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  using Instrument = typename Map::mapped_type::element_type;
+  return *map.emplace(std::string(name), std::make_unique<Instrument>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return lookup(counters_, name, mutex_);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return lookup(gauges_, name, mutex_);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return lookup(histograms_, name, mutex_);
+}
+
+void MetricsRegistry::report(std::ostream& os) const {
+  // Snapshot the name lists under the lock, then read the instruments
+  // lock-free / per-instrument so a concurrent observe() cannot deadlock.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+  }
+  os << "-- metrics "
+        "--------------------------------------------------------------\n";
+  for (const auto& [name, c] : counters) {
+    os << "counter    " << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges) {
+    os << "gauge      " << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "histogram  " << name << " : count=" << s.count
+       << " sum=" << s.sum << " mean=" << s.mean() << " min=" << s.min
+       << " max=" << s.max << " p50~" << h->quantile(0.5) << " p99~"
+       << h->quantile(0.99) << "\n";
+  }
+  os << "-----------------------------------------------------------------"
+        "--------\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+#if !defined(FLSA_OBS_OFF)
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+#endif  // !FLSA_OBS_OFF
+
+}  // namespace obs
+}  // namespace flsa

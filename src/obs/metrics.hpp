@@ -1,0 +1,128 @@
+// Thread-safe metrics primitives and the process-wide registry.
+//
+// The registry answers "where did the time and the cells go" for a run:
+// counters accumulate monotonically (jobs, failures, cells), gauges hold
+// the latest value of a quantity (resolved worker counts, the last run's
+// cells/s), histograms record distributions (per-phase seconds, per-phase
+// cells/s throughput). All primitives may be updated from concurrent
+// workers; registry lookups return references that stay valid for the
+// process lifetime, so hot paths resolve a name once and then touch only
+// the instrument itself.
+//
+// Observability is off by default: every recording site first checks
+// enabled(), one relaxed atomic load. Compiling with FLSA_OBS_OFF (CMake
+// -DFLSA_OBS=OFF) turns enabled() into a constant false so the
+// instrumentation folds away entirely — see obs/obs.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace flsa {
+namespace obs {
+
+/// Monotonic counter (events, cells, failures).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latest-value gauge (worker counts, last-run throughput).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of non-negative samples: count / sum / min / max plus
+/// power-of-two buckets wide enough for both microsecond timings and
+/// gigacell/s throughputs, so approximate quantiles come out of one
+/// fixed-size table. observe() takes a short lock; callers record per
+/// phase or per grid, not per cell, so contention is negligible.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  };
+
+  void observe(double value);
+  Snapshot snapshot() const;
+
+  /// Upper bound of the bucket where the cumulative count first reaches
+  /// `q` (0 < q <= 1) of the total; 0 when empty. Approximate by design.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  // Bucket i covers [2^(i - kBucketBias - 1), 2^(i - kBucketBias)).
+  static constexpr int kBucketCount = 96;
+  static constexpr int kBucketBias = 32;  // resolves down to ~2^-32
+  static int bucket_index(double value);
+  static double bucket_upper_bound(int index);
+
+  mutable std::mutex mutex_;
+  Snapshot stats_;
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+};
+
+/// Name -> instrument registry. Instruments are created on first lookup
+/// and never destroyed, so returned references are stable; reset() zeroes
+/// values but keeps the objects (and outstanding references) alive.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Human-readable dump, sorted by kind then name.
+  void report(std::ostream& os) const;
+
+  /// Zeroes every instrument (bench reruns / tests).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site records into.
+MetricsRegistry& metrics();
+
+#if defined(FLSA_OBS_OFF)
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#else
+/// Runtime switch for metrics recording (default off).
+bool enabled();
+void set_enabled(bool on);
+#endif
+
+}  // namespace obs
+}  // namespace flsa

@@ -1,11 +1,26 @@
 #include "parallel/batch.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
+
+namespace {
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown (non-std::exception) error";
+  }
+}
+
+}  // namespace
 
 std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
                                      const ScoringScheme& scheme,
@@ -16,27 +31,29 @@ std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
   }
   std::vector<BatchResult> results(jobs.size());
   if (jobs.empty()) return results;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_thread_count();
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, jobs.size()));
 
   std::atomic<std::size_t> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker_fn = [&](unsigned) {
+  std::atomic<std::uint64_t> failed{0};
+  auto worker_fn = [&]([[maybe_unused]] unsigned worker) {
     while (true) {
       const std::size_t index =
           cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= jobs.size()) break;
+      BatchResult& result = results[index];
+      FLSA_OBS_PHASE(obs_job, obs::Phase::kBatchJob, worker);
       try {
-        results[index].alignment =
+        result.alignment =
             align(*jobs[index].a, *jobs[index].b, scheme, options,
-                  &results[index].report);
+                  &result.report);
+        FLSA_OBS_PHASE_CELLS(obs_job,
+                             result.report.stats.counters.total_cells());
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        result.error = std::current_exception();
+        result.error_message = describe_current_exception();
+        failed.fetch_add(1, std::memory_order_relaxed);
       }
     }
   };
@@ -47,7 +64,8 @@ std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
     ThreadPool pool(threads);
     pool.parallel_run(worker_fn);
   }
-  if (first_error) std::rethrow_exception(first_error);
+  FLSA_OBS_COUNT("batch.jobs", jobs.size());
+  FLSA_OBS_COUNT("batch.jobs_failed", failed.load(std::memory_order_relaxed));
   return results;
 }
 

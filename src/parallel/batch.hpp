@@ -7,6 +7,8 @@
 // input order.
 #pragma once
 
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "core/aligner.hpp"
@@ -20,10 +22,20 @@ struct AlignJob {
   const Sequence* b = nullptr;
 };
 
-/// Per-job outcome.
+/// Per-job outcome. A failed job carries its error here instead of
+/// aborting the batch: `alignment`/`report` are only meaningful when
+/// ok() is true.
 struct BatchResult {
   Alignment alignment;
   AlignReport report;
+  /// The exception the job's aligner threw, or nullptr on success.
+  /// std::rethrow_exception(error) recovers the original type.
+  std::exception_ptr error;
+  /// what() of the failure (or a fallback for non-std exceptions);
+  /// empty on success.
+  std::string error_message;
+
+  bool ok() const { return error == nullptr; }
 };
 
 /// Aligns every job under `options` using `threads` workers (0 = hardware
@@ -31,6 +43,12 @@ struct BatchResult {
 /// worker, so total memory is bounded by threads * limit.
 /// Jobs are dealt dynamically (atomic cursor), so skewed size mixes
 /// balance automatically. Results are positionally aligned with `jobs`.
+///
+/// Error handling is per job: a job whose aligner throws records the
+/// exception in its BatchResult (and in the metrics registry as
+/// batch.jobs_failed, when metrics are enabled) while every other job
+/// still completes and is returned. Only a malformed batch itself — a
+/// null sequence pointer — throws, before any work starts.
 std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
                                      const ScoringScheme& scheme,
                                      const AlignOptions& options = {},

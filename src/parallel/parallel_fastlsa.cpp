@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "core/engine.hpp"
+#include "obs/obs.hpp"
 
 namespace flsa {
 
 ParallelOptions ParallelOptions::resolved(unsigned k) const {
   ParallelOptions r = *this;
   if (r.threads == 0) {
-    r.threads = std::max(1u, std::thread::hardware_concurrency());
+    r.threads = default_thread_count();
   }
   if (r.tiles_per_block == 0) {
     // Aim for wavefront lines of at least 2P tiles at full width so the
@@ -35,6 +36,9 @@ Alignment run_parallel(const Sequence& a, const Sequence& b,
                        const ParallelOptions& parallel, FastLsaStats* stats) {
   validate(options);
   const ParallelOptions resolved = parallel.resolved(options.k);
+  FLSA_OBS_GAUGE("parallel.threads", resolved.threads);
+  FLSA_OBS_GAUGE("parallel.tiles_per_block",
+                 static_cast<double>(resolved.tiles_per_block));
   ThreadPool pool(resolved.threads);
   WavefrontExecutor executor(pool, resolved.scheduler);
   detail::EnginePlan plan;

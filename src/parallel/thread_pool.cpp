@@ -1,8 +1,24 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
+
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
+
+namespace {
+
+/// True on any thread that is a ThreadPool worker (of any pool). Used to
+/// detect re-entrant parallel_run calls, which must not block on the
+/// pool's own workers.
+thread_local bool t_pool_worker = false;
+
+}  // namespace
+
+unsigned default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   FLSA_REQUIRE(threads >= 1);
@@ -22,8 +38,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_run(const std::function<void(unsigned)>& fn) {
+  // Nested call from a worker thread: dispatching to the pool would
+  // deadlock (same pool) or oversubscribe (another pool); run inline.
+  if (t_pool_worker) {
+    run_serial(fn);
+    return;
+  }
   std::unique_lock<std::mutex> lock(mutex_);
-  FLSA_REQUIRE(job_ == nullptr);  // no concurrent parallel_run calls
+  if (job_ != nullptr) {
+    // Another thread's collective call is in flight; don't wedge into its
+    // generation accounting — run this one serially instead.
+    lock.unlock();
+    run_serial(fn);
+    return;
+  }
   job_ = &fn;
   remaining_ = size();
   first_error_ = nullptr;
@@ -34,7 +62,23 @@ void ThreadPool::parallel_run(const std::function<void(unsigned)>& fn) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void ThreadPool::run_serial(const std::function<void(unsigned)>& fn) {
+  FLSA_OBS_COUNT("thread_pool.serial_fallbacks", 1);
+  // Same contract as the parallel path: every worker slot runs exactly
+  // once, the first exception wins, and the remaining slots still run.
+  std::exception_ptr first_error;
+  for (unsigned id = 0; id < size(); ++id) {
+    try {
+      fn(id);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::worker_loop(unsigned id) {
+  t_pool_worker = true;
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(unsigned)>* job = nullptr;

@@ -16,6 +16,12 @@
 
 namespace flsa {
 
+/// Worker count to use when a caller passes 0 ("use the hardware"):
+/// std::thread::hardware_concurrency() with the mandatory >= 1 guard for
+/// targets where it reports 0. Every "0 = auto" thread knob in the
+/// library resolves through here so no call site can forget the guard.
+unsigned default_thread_count();
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1).
@@ -32,10 +38,20 @@ class ThreadPool {
   /// Runs fn(worker_id) on every worker; blocks until all calls return.
   /// Exceptions thrown by fn propagate to the caller (the first one wins;
   /// remaining workers still complete the generation).
+  ///
+  /// Re-entrant and concurrent calls degrade gracefully instead of
+  /// failing: when the calling thread is itself a pool worker (of this or
+  /// any pool — e.g. a parallel engine invoked from inside an align_batch
+  /// job), or when another thread's parallel_run is already in flight on
+  /// this pool, fn(0) .. fn(size()-1) run serially on the calling thread.
+  /// That preserves the collective-call contract (each worker slot runs
+  /// exactly once, per-slot scratch is never shared) while avoiding both
+  /// deadlock and thread oversubscription.
   void parallel_run(const std::function<void(unsigned)>& fn);
 
  private:
   void worker_loop(unsigned id);
+  void run_serial(const std::function<void(unsigned)>& fn);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

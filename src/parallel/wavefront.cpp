@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -20,32 +21,35 @@ const char* to_string(SchedulerKind kind) {
 
 void WavefrontExecutor::run(std::size_t tile_rows, std::size_t tile_cols,
                             const TileSkipFn& skip, const TileWorkFn& work,
-                            TilePhase /*phase*/) {
+                            TilePhase phase) {
   if (tile_rows == 0 || tile_cols == 0) return;
   // A single tile (or a single worker) needs no scheduling machinery.
   if (pool_.size() == 1 || tile_rows * tile_cols == 1) {
     for (std::size_t ti = 0; ti < tile_rows; ++ti) {
       for (std::size_t tj = 0; tj < tile_cols; ++tj) {
         if (skip && skip(ti, tj)) continue;
-        work(ti, tj, 0);
+        run_tile(work, ti, tj, 0, phase);
       }
     }
     return;
   }
   if (kind_ == SchedulerKind::kBarrierStaged) {
-    run_barrier(tile_rows, tile_cols, skip, work);
+    run_barrier(tile_rows, tile_cols, skip, work, phase);
   } else {
-    run_dependency(tile_rows, tile_cols, skip, work);
+    run_dependency(tile_rows, tile_cols, skip, work, phase);
   }
 }
 
 void WavefrontExecutor::run_barrier(std::size_t tile_rows,
                                     std::size_t tile_cols,
                                     const TileSkipFn& skip,
-                                    const TileWorkFn& work) {
+                                    const TileWorkFn& work,
+                                    TilePhase phase) {
   // One parallel stage per wavefront line (anti-diagonal), exactly the
   // paper's three-phase schedule: lines grow from 1 tile to full width and
-  // shrink again.
+  // shrink again. Each line also gets a trace span on the scheduler lane,
+  // so ramp-up / saturation / ramp-down is visible at a glance.
+  obs::TraceRecorder* recorder = obs::active_trace();
   std::vector<std::pair<std::size_t, std::size_t>> line;
   for (std::size_t d = 0; d + 1 < tile_rows + tile_cols; ++d) {
     line.clear();
@@ -57,26 +61,40 @@ void WavefrontExecutor::run_barrier(std::size_t tile_rows,
       line.emplace_back(ti, tj);
     }
     if (line.empty()) continue;
+    const auto line_start = recorder != nullptr
+                                ? obs::TraceRecorder::now()
+                                : obs::TraceRecorder::Clock::time_point{};
     if (line.size() == 1) {
-      work(line[0].first, line[0].second, 0);
-      continue;
+      run_tile(work, line[0].first, line[0].second, 0, phase);
+    } else {
+      std::atomic<std::size_t> next{0};
+      pool_.parallel_run([&](unsigned worker) {
+        while (true) {
+          const std::size_t index =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (index >= line.size()) break;
+          run_tile(work, line[index].first, line[index].second, worker,
+                   phase);
+        }
+      });
     }
-    std::atomic<std::size_t> next{0};
-    pool_.parallel_run([&](unsigned worker) {
-      while (true) {
-        const std::size_t index =
-            next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= line.size()) break;
-        work(line[index].first, line[index].second, worker);
-      }
-    });
+    if (recorder != nullptr) {
+      obs::TraceSpan span;
+      span.name = "wavefront-line";
+      span.category = to_string(phase);
+      span.tid = obs::kSchedulerLane;
+      span.line = static_cast<std::int64_t>(d);
+      span.tiles = static_cast<std::int64_t>(line.size());
+      recorder->record(span, line_start, obs::TraceRecorder::now());
+    }
   }
 }
 
 void WavefrontExecutor::run_dependency(std::size_t tile_rows,
                                        std::size_t tile_cols,
                                        const TileSkipFn& skip,
-                                       const TileWorkFn& work) {
+                                       const TileWorkFn& work,
+                                       TilePhase phase) {
   const std::size_t total_slots = tile_rows * tile_cols;
   auto index_of = [tile_cols](std::size_t ti, std::size_t tj) {
     return ti * tile_cols + tj;
@@ -117,7 +135,7 @@ void WavefrontExecutor::run_dependency(std::size_t tile_rows,
       ready.pop_front();
       lock.unlock();
 
-      work(ti, tj, worker);
+      run_tile(work, ti, tj, worker, phase);
 
       std::size_t newly_ready = 0;
       auto release = [&](std::size_t ri, std::size_t rj) {

@@ -42,9 +42,11 @@ class WavefrontExecutor final : public TileExecutor {
 
  private:
   void run_barrier(std::size_t tile_rows, std::size_t tile_cols,
-                   const TileSkipFn& skip, const TileWorkFn& work);
+                   const TileSkipFn& skip, const TileWorkFn& work,
+                   TilePhase phase);
   void run_dependency(std::size_t tile_rows, std::size_t tile_cols,
-                      const TileSkipFn& skip, const TileWorkFn& work);
+                      const TileSkipFn& skip, const TileWorkFn& work,
+                      TilePhase phase);
 
   ThreadPool& pool_;
   SchedulerKind kind_;

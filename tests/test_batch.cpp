@@ -104,13 +104,43 @@ TEST(Batch, NullJobRejected) {
   EXPECT_THROW(align_batch(jobs, scheme), std::invalid_argument);
 }
 
-TEST(Batch, PropagatesWorkerExceptions) {
-  // Alphabet mismatch inside a job surfaces to the caller.
-  const Sequence a(Alphabet::dna(), "ACG");
-  const Sequence p(Alphabet::protein(), "ACD");
-  std::vector<AlignJob> jobs{AlignJob{&a, &p}};
-  EXPECT_THROW(align_batch(jobs, ScoringScheme::paper_default(), {}, 2),
+TEST(Batch, ReportsPerJobErrors) {
+  // A failing job (alphabet mismatch) is reported on its own result slot
+  // instead of throwing, and does not throw away its neighbours' work.
+  Xoshiro256 rng(185);
+  const Sequence a = random_sequence(Alphabet::protein(), 80, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 90, rng);
+  const Sequence dna(Alphabet::dna(), "ACGTACGT");
+  std::vector<AlignJob> jobs{AlignJob{&a, &b}, AlignJob{&dna, &b},
+                             AlignJob{&b, &a}};
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const auto results = align_batch(jobs, scheme, {}, 2);
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].alignment.score, full_matrix_score(a, b, scheme));
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[2].alignment.score, full_matrix_score(b, a, scheme));
+
+  EXPECT_FALSE(results[1].ok());
+  ASSERT_NE(results[1].error, nullptr);
+  EXPECT_FALSE(results[1].error_message.empty());
+  EXPECT_THROW(std::rethrow_exception(results[1].error),
                std::invalid_argument);
+}
+
+TEST(Batch, AllJobsFailingStillReturnsAllResults) {
+  const Sequence dna(Alphabet::dna(), "ACGT");
+  const Sequence prot(Alphabet::protein(), "ACDEF");
+  std::vector<AlignJob> jobs(5, AlignJob{&dna, &prot});
+  const auto results =
+      align_batch(jobs, ScoringScheme::paper_default(), {}, 3);
+  ASSERT_EQ(results.size(), 5u);
+  for (const BatchResult& r : results) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error, nullptr);
+    EXPECT_FALSE(r.error_message.empty());
+  }
 }
 
 }  // namespace

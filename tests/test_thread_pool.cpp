@@ -63,6 +63,88 @@ TEST(ThreadPool, DestructionWithNoRuns) {
   ThreadPool pool(4);  // must join cleanly without any parallel_run
 }
 
+TEST(ThreadPool, NestedParallelRunFallsBackToSerial) {
+  // A worker re-entering parallel_run (e.g. a parallel engine invoked
+  // from inside a batch job) must not deadlock or abort: the nested call
+  // runs every slot serially on the calling thread.
+  ThreadPool pool(3);
+  std::atomic<int> outer_calls{0};
+  std::atomic<int> inner_calls{0};
+  pool.parallel_run([&](unsigned) {
+    outer_calls.fetch_add(1);
+    pool.parallel_run([&](unsigned inner_id) {
+      EXPECT_LT(inner_id, 3u);
+      inner_calls.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(outer_calls.load(), 3);
+  // Each of the 3 outer slots ran all 3 inner slots serially.
+  EXPECT_EQ(inner_calls.load(), 9);
+}
+
+TEST(ThreadPool, NestedRunIntoDifferentPoolAlsoSerial) {
+  // Workers of one pool are pool workers, full stop: they may not block
+  // inside another pool's collective either (that pool's workers could
+  // themselves be waiting on us — e.g. batch jobs driving a shared
+  // engine pool), so the call degrades to serial as well.
+  ThreadPool outer(2);
+  ThreadPool inner(4);
+  std::atomic<int> calls{0};
+  outer.parallel_run([&](unsigned) {
+    inner.parallel_run([&](unsigned id) {
+      EXPECT_LT(id, 4u);
+      calls.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(calls.load(), 2 * 4);
+}
+
+TEST(ThreadPool, NestedRunPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> nested_throws{0};
+  EXPECT_THROW(
+      pool.parallel_run([&](unsigned) {
+        try {
+          pool.parallel_run([&](unsigned inner_id) {
+            if (inner_id == 1) throw std::runtime_error("inner boom");
+          });
+        } catch (const std::runtime_error&) {
+          nested_throws.fetch_add(1);
+          throw;
+        }
+      }),
+      std::runtime_error);
+  // Every outer slot saw the nested exception; the pool stays usable.
+  EXPECT_EQ(nested_throws.load(), 2);
+  std::atomic<int> calls{0};
+  pool.parallel_run([&](unsigned) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SerialFallbackRunsRemainingSlotsAfterThrow) {
+  // The serial fallback mirrors the parallel contract: one slot throwing
+  // does not stop the other slots from running.
+  ThreadPool pool(3);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_run([&](unsigned outer_id) {
+    if (outer_id != 0) return;  // only one slot exercises the nested call
+    EXPECT_THROW(pool.parallel_run([&](unsigned inner_id) {
+      inner_calls.fetch_add(1);
+      if (inner_id == 0) throw std::runtime_error("slot 0");
+    }),
+                 std::runtime_error);
+  });
+  EXPECT_EQ(inner_calls.load(), 3);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+  ThreadPool pool(default_thread_count());  // usable as a pool size
+  std::atomic<unsigned> calls{0};
+  pool.parallel_run([&](unsigned) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), default_thread_count());
+}
+
 TEST(ThreadPool, SharedCounterVisibility) {
   ThreadPool pool(4);
   std::atomic<std::uint64_t> sum{0};

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "core/tile_executor.hpp"
@@ -95,6 +96,71 @@ TEST_P(WavefrontPolicies, SingleRowAndColumnGrids) {
   }
 }
 
+TEST_P(WavefrontPolicies, StaircaseSkipRegion) {
+  // A non-rectangular (but still down-right-closed) staircase skip:
+  // skip(ti, tj) <=> 2*ti + tj >= 9 on a 6x7 grid. The last row is
+  // skipped entirely, so the dependency-counter scheduler's runnable
+  // count must not include it.
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, GetParam());
+  auto skip = [](std::size_t ti, std::size_t tj) {
+    return 2 * ti + tj >= 9;
+  };
+  std::size_t expected = 0;
+  for (std::size_t ti = 0; ti < 6; ++ti) {
+    for (std::size_t tj = 0; tj < 7; ++tj) {
+      if (!skip(ti, tj)) ++expected;
+    }
+  }
+  ASSERT_EQ(expected, 23u);
+  CompletionLog log(6, 7);
+  exec.run(
+      6, 7, skip,
+      [&](std::size_t ti, std::size_t tj, unsigned) {
+        EXPECT_FALSE(skip(ti, tj));
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), expected);
+}
+
+TEST_P(WavefrontPolicies, MoreWorkersThanTiles) {
+  // 8 workers, 4 tiles: most workers never get a tile, and on the
+  // dependency-counter policy they must still wake up and exit when the
+  // last tile completes.
+  ThreadPool pool(8);
+  WavefrontExecutor exec(pool, GetParam());
+  CompletionLog log(2, 2);
+  exec.run(
+      2, 2, nullptr,
+      [&](std::size_t ti, std::size_t tj, unsigned worker) {
+        EXPECT_LT(worker, 8u);
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kBaseCase);
+  EXPECT_EQ(log.count(), 4u);
+}
+
+TEST_P(WavefrontPolicies, MoreWorkersThanTilesWithSkips) {
+  // Workers > runnable tiles where skips thin the grid further: only the
+  // first column of a 3x4 grid runs (down-right-closed region).
+  ThreadPool pool(8);
+  WavefrontExecutor exec(pool, GetParam());
+  auto skip = [](std::size_t, std::size_t tj) { return tj >= 1; };
+  CompletionLog log(3, 4);
+  exec.run(
+      3, 4, skip,
+      [&](std::size_t ti, std::size_t tj, unsigned) {
+        EXPECT_FALSE(skip(ti, tj));
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), 3u);
+}
+
 TEST_P(WavefrontPolicies, UnevenTileCostsStillComplete) {
   ThreadPool pool(4);
   WavefrontExecutor exec(pool, GetParam());
@@ -153,6 +219,34 @@ TEST(Wavefront, SequentialExecutorRowMajorOrder) {
   EXPECT_EQ(order.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
   EXPECT_EQ(order.back(), (std::pair<std::size_t, std::size_t>{2, 1}));
 }
+
+#if !defined(FLSA_OBS_OFF)
+TEST(Wavefront, BarrierSchedulerRecordsLineSpans) {
+  // The barrier policy stamps one scheduler-lane span per non-empty
+  // wavefront line; a 3x4 grid has 6 anti-diagonals.
+  ThreadPool pool(2);
+  WavefrontExecutor exec(pool, SchedulerKind::kBarrierStaged);
+  obs::TraceRecorder trace;
+  obs::set_active_trace(&trace);
+  exec.run(
+      3, 4, nullptr,
+      [&](std::size_t, std::size_t, unsigned) { return std::uint64_t{1}; },
+      TilePhase::kFillCache);
+  obs::set_active_trace(nullptr);
+  std::size_t lines = 0, tiles = 0;
+  for (const obs::TraceSpan& span : trace.spans()) {
+    if (std::string_view(span.name) == "wavefront-line") {
+      EXPECT_EQ(span.tid, obs::kSchedulerLane);
+      EXPECT_GE(span.tiles, 1);
+      ++lines;
+    } else if (std::string_view(span.name) == "tile") {
+      ++tiles;
+    }
+  }
+  EXPECT_EQ(lines, 6u);
+  EXPECT_EQ(tiles, 12u);
+}
+#endif  // !defined(FLSA_OBS_OFF)
 
 TEST(Wavefront, SchedulerNames) {
   EXPECT_STREQ(to_string(SchedulerKind::kBarrierStaged), "barrier-staged");

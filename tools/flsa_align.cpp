@@ -7,6 +7,9 @@
 //   flsa_align pair.fasta
 //   flsa_align --mode local --matrix blosum62 --gap -6 query.fa target.fa
 //   flsa_align --algorithm fastlsa --k 8 --memory-mb 64 --stats big.fa
+//   flsa_align --algorithm parallel --threads 8 --metrics
+//       --trace-out trace.json big.fa
+#include <fstream>
 #include <iostream>
 
 #include "core/advisor.hpp"
@@ -71,6 +74,11 @@ int main(int argc, char** argv) {
   cli.add_int("memory-mb", 0,
               "memory budget in MiB for --algorithm auto (0 = unbounded)");
   cli.add_flag("stats", false, "print operation/memory statistics");
+  cli.add_flag("metrics", false,
+               "record and print per-phase metrics (timings, cells/s)");
+  cli.add_string("trace-out", "",
+                 "write a Chrome-trace JSON (chrome://tracing / Perfetto) "
+                 "of per-worker tile execution to this file");
   cli.add_flag("advise", false,
                "print the advisor's recommended configuration and exit");
   cli.add_int("width", 60, "pretty-print width");
@@ -143,6 +151,15 @@ int main(int argc, char** argv) {
                                   cli.get_string("kernel"));
     }
     fl.kernel = kernel;
+
+    // Observability: arm the metrics registry and/or a trace recorder
+    // before the alignment runs. Both are process-global switches; this
+    // tool runs one alignment, so scoping is trivial.
+    const bool metrics_on = cli.get_flag("metrics");
+    const std::string trace_path = cli.get_string("trace-out");
+    flsa::obs::TraceRecorder trace;
+    if (metrics_on) flsa::obs::set_enabled(true);
+    if (!trace_path.empty()) flsa::obs::set_active_trace(&trace);
 
     const std::string mode = cli.get_string("mode");
     flsa::Timer timer;
@@ -235,6 +252,25 @@ int main(int argc, char** argv) {
                 << "\ncells stored    : " << stats.counters.cells_stored
                 << "\ntraceback steps : " << stats.counters.traceback_steps
                 << "\npeak DPM bytes  : " << stats.peak_bytes << "\n";
+    }
+    if (!trace_path.empty()) {
+      flsa::obs::set_active_trace(nullptr);
+      std::ofstream out(trace_path);
+      if (!out) {
+        throw std::invalid_argument("cannot open --trace-out file " +
+                                    trace_path);
+      }
+      trace.write_chrome_trace(out);
+      if (!out.flush()) {
+        throw std::runtime_error("failed writing --trace-out file " +
+                                 trace_path);
+      }
+      std::cout << "trace    : " << trace.size() << " spans -> "
+                << trace_path << "\n";
+    }
+    if (metrics_on) {
+      std::cout << "\n";
+      flsa::obs::metrics().report(std::cout);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
