@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/arena.hpp"
 #include "dp/fullmatrix.hpp"
 #include "dp/gotoh.hpp"
 #include "hirschberg/hirschberg_affine.hpp"
@@ -109,6 +110,21 @@ Alignment align(const Sequence& a, const Sequence& b,
     report->stats = stats;
   }
   return result;
+}
+
+Aligner::Aligner(AlignOptions options)
+    : options_(std::move(options)),
+      workspace_(std::make_unique<FastLsaWorkspace>()) {}
+
+Aligner::~Aligner() = default;
+Aligner::Aligner(Aligner&&) noexcept = default;
+Aligner& Aligner::operator=(Aligner&&) noexcept = default;
+
+Alignment Aligner::align(const Sequence& a, const Sequence& b,
+                         const ScoringScheme& scheme, AlignReport* report) {
+  AlignOptions options = options_;
+  options.fastlsa.workspace = workspace_.get();
+  return flsa::align(a, b, scheme, options, report);
 }
 
 }  // namespace flsa

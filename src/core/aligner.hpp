@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -54,6 +55,35 @@ struct AlignReport {
 Alignment align(const Sequence& a, const Sequence& b,
                 const ScoringScheme& scheme, const AlignOptions& options = {},
                 AlignReport* report = nullptr);
+
+/// Reusable aligner: identical results to the free align(), but owns a
+/// FastLsaWorkspace (core/arena.hpp) that persists across calls, so every
+/// FastLSA buffer — grid/line caches, base-case matrix, per-worker
+/// scratch, path storage — is recycled instead of re-allocated. After the
+/// first (warm-up) call, steady-state align() calls perform no engine
+/// heap allocations (only the returned Alignment allocates).
+///
+/// Not thread-safe: use one Aligner per aligning thread (align_batch does
+/// exactly that). Movable, not copyable.
+class Aligner {
+ public:
+  explicit Aligner(AlignOptions options = {});
+  ~Aligner();
+  Aligner(Aligner&&) noexcept;
+  Aligner& operator=(Aligner&&) noexcept;
+
+  /// Same contract as the free align(), drawing scratch from workspace().
+  Alignment align(const Sequence& a, const Sequence& b,
+                  const ScoringScheme& scheme,
+                  AlignReport* report = nullptr);
+
+  const AlignOptions& options() const { return options_; }
+  FastLsaWorkspace& workspace() { return *workspace_; }
+
+ private:
+  AlignOptions options_;
+  std::unique_ptr<FastLsaWorkspace> workspace_;
+};
 
 /// The strategy kAuto would choose for this problem size and limit.
 Strategy choose_strategy(std::size_t m, std::size_t n, bool affine,

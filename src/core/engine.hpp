@@ -29,10 +29,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/budget.hpp"
 #include "core/fastlsa.hpp"
 #include "core/tile_executor.hpp"
@@ -48,16 +50,24 @@ namespace flsa {
 namespace detail {
 
 /// Interior cut positions dividing [0, extent) into min(parts, extent)
-/// near-equal segments; empty when extent <= 1 or parts <= 1.
-inline std::vector<std::size_t> split_cuts(std::size_t extent,
-                                           std::size_t parts) {
+/// near-equal segments; empty when extent <= 1 or parts <= 1. The out
+/// parameter is cleared and refilled, keeping its capacity — the recursion
+/// hot path reuses one vector per level instead of reallocating.
+inline void split_cuts_into(std::vector<std::size_t>& cuts,
+                            std::size_t extent, std::size_t parts) {
   const std::size_t segments = std::max<std::size_t>(
       1, std::min<std::size_t>(parts, extent));
-  std::vector<std::size_t> cuts;
+  cuts.clear();
   cuts.reserve(segments - 1);
   for (std::size_t i = 1; i < segments; ++i) {
     cuts.push_back(extent * i / segments);
   }
+}
+
+inline std::vector<std::size_t> split_cuts(std::size_t extent,
+                                           std::size_t parts) {
+  std::vector<std::size_t> cuts;
+  split_cuts_into(cuts, extent, parts);
   return cuts;
 }
 
@@ -72,11 +82,15 @@ inline std::size_t clamp_tiles(std::size_t desired, std::size_t extent,
 
 /// Refines block cuts by subdividing every block segment into up to
 /// `tiles_per_block` tiles of at least `min_tile_extent` residues each.
-/// Returns interior tile cuts (a superset of `block_cuts`).
-inline std::vector<std::size_t> refine_cuts(
-    std::size_t extent, const std::vector<std::size_t>& block_cuts,
-    std::size_t tiles_per_block, std::size_t min_tile_extent = 1) {
-  std::vector<std::size_t> tile_cuts;
+/// Fills `tile_cuts` (cleared first, capacity kept) with interior tile
+/// cuts (a superset of `block_cuts`).
+inline void refine_cuts_into(std::vector<std::size_t>& tile_cuts,
+                             std::size_t extent,
+                             const std::vector<std::size_t>& block_cuts,
+                             std::size_t tiles_per_block,
+                             std::size_t min_tile_extent = 1) {
+  tile_cuts.clear();
+  tile_cuts.reserve((block_cuts.size() + 1) * tiles_per_block);
   std::size_t start = 0;
   auto refine_segment = [&](std::size_t end) {
     const std::size_t parts =
@@ -89,6 +103,14 @@ inline std::vector<std::size_t> refine_cuts(
   };
   for (std::size_t cut : block_cuts) refine_segment(cut);
   refine_segment(extent);
+}
+
+inline std::vector<std::size_t> refine_cuts(
+    std::size_t extent, const std::vector<std::size_t>& block_cuts,
+    std::size_t tiles_per_block, std::size_t min_tile_extent = 1) {
+  std::vector<std::size_t> tile_cuts;
+  refine_cuts_into(tile_cuts, extent, block_cuts, tiles_per_block,
+                   min_tile_extent);
   return tile_cuts;
 }
 
@@ -117,7 +139,11 @@ class FastLsaEngine {
       : a_(a), b_(b), scheme_(scheme), options_(options), plan_(plan),
         stats_(stats ? *stats : local_stats_),
         kernel_(resolve_kernel(options.kernel)),
-        path_(Cell{a.size(), b.size()}) {
+        owned_workspace_(options.workspace ? nullptr
+                                           : new FastLsaWorkspace()),
+        arena_((options.workspace ? *options.workspace : *owned_workspace_)
+                   .template arena<CellT>()),
+        path_(Cell{a.size(), b.size()}, std::move(arena_.path_storage)) {
     validate(options_);
     stats_.kernel_used = kernel_;
     FLSA_REQUIRE(plan_.executor != nullptr);
@@ -128,9 +154,14 @@ class FastLsaEngine {
     } else {
       FLSA_REQUIRE(scheme.is_linear());
     }
-    worker_counters_.resize(plan_.executor->worker_count());
-    scratch_bottom_.resize(worker_counters_.size());
-    scratch_right_.resize(worker_counters_.size());
+    workers_ = plan_.executor->worker_count();
+    arena_.worker_counters.assign(workers_, DpCounters{});
+    if (arena_.scratch_bottom.size() < workers_) {
+      arena_.scratch_bottom.resize(workers_);
+    }
+    if (arena_.scratch_right.size() < workers_) {
+      arena_.scratch_right.resize(workers_);
+    }
   }
 
   FastLsaEngine(const FastLsaEngine&) = delete;
@@ -138,28 +169,32 @@ class FastLsaEngine {
 
   Alignment run() {
     FLSA_OBS_PHASE(obs_align, obs::Phase::kAlign);
-    FLSA_OBS_GAUGE("fastlsa.workers",
-                   static_cast<double>(worker_counters_.size()));
+    FLSA_OBS_GAUGE("fastlsa.workers", static_cast<double>(workers_));
     const std::size_t m = a_.size();
     const std::size_t n = b_.size();
+    const std::uint64_t pool_hits0 = arena_.cell_pool.hits();
+    const std::uint64_t pool_misses0 = arena_.cell_pool.misses();
 
     // Reserve the Base Case buffer (the paper reserves BM units up front).
-    base_buffer_.reserve(options_.base_case_cells);
+    arena_.base_buffer.reserve(options_.base_case_cells);
     MemoryCharge base_charge(&tracker_,
                              options_.base_case_cells * sizeof(CellT));
 
     // Per-worker scratch rows/columns used by fill tiles.
     const std::size_t scratch_len = std::max(m, n) + 1;
-    for (auto& s : scratch_bottom_) s.resize(scratch_len);
-    for (auto& s : scratch_right_) s.resize(scratch_len);
+    for (unsigned w = 0; w < workers_; ++w) {
+      arena_.scratch_bottom[w].resize(scratch_len);
+      arena_.scratch_right[w].resize(scratch_len);
+    }
     MemoryCharge scratch_charge(
-        &tracker_,
-        2 * scratch_len * sizeof(CellT) * worker_counters_.size());
+        &tracker_, 2 * scratch_len * sizeof(CellT) * workers_);
 
     if (m > 0 && n > 0) {
       // Global DPM boundary (the initial cacheRow / cacheColumn).
-      std::vector<CellT> top(n + 1);
-      std::vector<CellT> left(m + 1);
+      std::vector<CellT>& top = arena_.boundary_top;
+      std::vector<CellT>& left = arena_.boundary_left;
+      top.resize(n + 1);
+      left.resize(m + 1);
       init_boundary(top, /*horizontal=*/true);
       init_boundary(left, /*horizontal=*/false);
       MemoryCharge boundary_charge(&tracker_, (m + n + 2) * sizeof(CellT));
@@ -168,10 +203,19 @@ class FastLsaEngine {
     extend_path_to_origin(path_);
     FLSA_ASSERT(path_.reaches_origin() && path_.is_consistent());
 
-    for (const DpCounters& wc : worker_counters_) stats_.counters += wc;
+    for (unsigned w = 0; w < workers_; ++w) {
+      stats_.counters += arena_.worker_counters[w];
+    }
     stats_.peak_bytes = tracker_.peak_bytes();
+    stats_.arena_pool_hits = arena_.cell_pool.hits() - pool_hits0;
+    stats_.arena_pool_misses = arena_.cell_pool.misses() - pool_misses0;
+    FLSA_OBS_COUNT("fastlsa.arena.pool_hits", stats_.arena_pool_hits);
+    FLSA_OBS_COUNT("fastlsa.arena.pool_misses", stats_.arena_pool_misses);
     FLSA_OBS_PHASE_CELLS(obs_align, stats_.counters.total_cells());
-    return alignment_from_path(a_, b_, path_, scheme_);
+    Alignment result = alignment_from_path(a_, b_, path_, scheme_);
+    // Hand the traceback storage back for the next run on this workspace.
+    arena_.path_storage = std::move(path_).reclaim_storage();
+    return result;
   }
 
  private:
@@ -227,9 +271,10 @@ class FastLsaEngine {
     FLSA_OBS_PHASE(obs_phase, obs::Phase::kBaseCase);
     FLSA_OBS_PHASE_CELLS(obs_phase,
                          static_cast<std::uint64_t>(rows) * cols);
-    base_buffer_.resize(rows + 1, cols + 1);
-    std::copy(top.begin(), top.end(), base_buffer_.row(0));
-    for (std::size_t r = 0; r <= rows; ++r) base_buffer_(r, 0) = left[r];
+    Matrix2D<CellT>& base_buffer = arena_.base_buffer;
+    base_buffer.resize(rows + 1, cols + 1);
+    std::copy(top.begin(), top.end(), base_buffer.row(0));
+    for (std::size_t r = 0; r <= rows; ++r) base_buffer(r, 0) = left[r];
 
     const std::span<const Residue> a_sub =
         a_.residues().subspan(rect.row0, rows);
@@ -237,11 +282,15 @@ class FastLsaEngine {
         b_.residues().subspan(rect.col0, cols);
 
     // Tiled interior fill (one tile sequentially; a wavefront in parallel).
-    const std::vector<std::size_t> row_cuts = split_cuts(
-        rows,
+    // Base cases are recursion leaves, so one pair of cut vectors in the
+    // arena serves every invocation.
+    std::vector<std::size_t>& row_cuts = arena_.base_row_cuts;
+    std::vector<std::size_t>& col_cuts = arena_.base_col_cuts;
+    split_cuts_into(
+        row_cuts, rows,
         clamp_tiles(plan_.base_case_tiles, rows, plan_.min_tile_extent));
-    const std::vector<std::size_t> col_cuts = split_cuts(
-        cols,
+    split_cuts_into(
+        col_cuts, cols,
         clamp_tiles(plan_.base_case_tiles, cols, plan_.min_tile_extent));
     auto seg = [](const std::vector<std::size_t>& cuts, std::size_t extent,
                   std::size_t t) {
@@ -255,25 +304,25 @@ class FastLsaEngine {
           const auto [rs, re] = seg(row_cuts, rows, ti);
           const auto [cs, ce] = seg(col_cuts, cols, tj);
           if constexpr (Affine) {
-            fill_matrix_region_affine(a_sub, b_sub, scheme_, base_buffer_,
+            fill_matrix_region_affine(a_sub, b_sub, scheme_, base_buffer,
                                       rs + 1, cs + 1, re - rs, ce - cs);
           } else {
-            fill_matrix_region_linear(a_sub, b_sub, scheme_, base_buffer_,
+            fill_matrix_region_linear(a_sub, b_sub, scheme_, base_buffer,
                                       rs + 1, cs + 1, re - rs, ce - cs);
           }
           return static_cast<std::uint64_t>(re - rs) * (ce - cs);
         },
         TilePhase::kBaseCase);
-    worker_counters_[0].cells_stored +=
+    arena_.worker_counters[0].cells_stored +=
         static_cast<std::uint64_t>(rows) * cols;
 
     if constexpr (Affine) {
       affine_state_ = traceback_rectangle_affine(
-          a_sub, b_sub, scheme_, base_buffer_, rows, cols, affine_state_,
-          path_, &worker_counters_[0]);
+          a_sub, b_sub, scheme_, base_buffer, rows, cols, affine_state_,
+          path_, &arena_.worker_counters[0]);
     } else {
-      traceback_rectangle_linear(a_sub, b_sub, scheme_, base_buffer_, rows,
-                                 cols, path_, &worker_counters_[0]);
+      traceback_rectangle_linear(a_sub, b_sub, scheme_, base_buffer, rows,
+                                 cols, path_, &arena_.worker_counters[0]);
     }
   }
 
@@ -283,49 +332,69 @@ class FastLsaEngine {
     const std::size_t rows = rect.rows;
     const std::size_t cols = rect.cols;
 
+    // All per-level storage comes from the arena: the recursion is
+    // sequential (one active sub-problem per depth), so every re-entry at
+    // this depth reuses the same cut vectors and line handles, and the
+    // pooled cell buffers recycle across depths and re-entries. The deque
+    // behind level() keeps `lvl` valid while deeper levels are created.
+    LevelScratch<CellT>& lvl = arena_.level(depth);
+
     // Block grid (the paper's k x k split) and its tile refinement.
-    const std::vector<std::size_t> block_rows = split_cuts(rows, options_.k);
-    const std::vector<std::size_t> block_cols = split_cuts(cols, options_.k);
-    const std::vector<std::size_t> tile_rows = refine_cuts(
-        rows, block_rows, plan_.tiles_per_block, plan_.min_tile_extent);
-    const std::vector<std::size_t> tile_cols = refine_cuts(
-        cols, block_cols, plan_.tiles_per_block, plan_.min_tile_extent);
+    split_cuts_into(lvl.block_rows, rows, options_.k);
+    split_cuts_into(lvl.block_cols, cols, options_.k);
+    refine_cuts_into(lvl.tile_rows, rows, lvl.block_rows,
+                     plan_.tiles_per_block, plan_.min_tile_extent);
+    refine_cuts_into(lvl.tile_cols, cols, lvl.block_cols,
+                     plan_.tiles_per_block, plan_.min_tile_extent);
+    const std::vector<std::size_t>& block_rows = lvl.block_rows;
+    const std::vector<std::size_t>& block_cols = lvl.block_cols;
+    const std::vector<std::size_t>& tile_rows = lvl.tile_rows;
+    const std::vector<std::size_t>& tile_cols = lvl.tile_cols;
     const std::size_t tr = tile_rows.size() + 1;
     const std::size_t tc = tile_cols.size() + 1;
 
     // Tile boundary line storage (grid lines are the subset of these that
-    // fall on block cuts; the rest exist only during the fill).
-    std::vector<std::vector<CellT>> line_rows(tr - 1);
-    std::vector<std::vector<CellT>> line_cols(tc - 1);
-    for (auto& line : line_rows) line.resize(cols + 1);
-    for (auto& line : line_cols) line.resize(rows + 1);
+    // fall on block cuts; the rest exist only during the fill). Recycled
+    // buffers carry stale data, which is safe: the wavefront dependency
+    // order guarantees every read slot was written by this fill first.
+    LevelScratch<CellT>::ensure(lvl.line_rows, tr - 1);
+    LevelScratch<CellT>::ensure(lvl.line_cols, tc - 1);
+    for (std::size_t i = 0; i + 1 < tr; ++i) {
+      lvl.line_rows[i] = PooledVector<CellT>(
+          arena_.cell_pool.acquire(cols + 1), &arena_.cell_pool);
+    }
+    for (std::size_t j = 0; j + 1 < tc; ++j) {
+      lvl.line_cols[j] = PooledVector<CellT>(
+          arena_.cell_pool.acquire(rows + 1), &arena_.cell_pool);
+    }
     ++stats_.grid_allocations;
     MemoryCharge grid_charge(
         &tracker_, ((tr - 1) * (cols + 1) + (tc - 1) * (rows + 1)) *
                        sizeof(CellT));
 
     fill_grid_cache(rect, top, left, block_rows, block_cols, tile_rows,
-                    tile_cols, line_rows, line_cols);
+                    tile_cols, lvl.line_rows, lvl.line_cols);
 
-    // Keep only the block grid lines for the recursion phase.
-    std::vector<std::vector<CellT>> grid_rows(block_rows.size());
-    std::vector<std::vector<CellT>> grid_cols(block_cols.size());
+    // Keep only the block grid lines for the recursion phase; the rest go
+    // straight back to the pool.
+    LevelScratch<CellT>::ensure(lvl.grid_rows, block_rows.size());
+    LevelScratch<CellT>::ensure(lvl.grid_cols, block_cols.size());
     for (std::size_t i = 0; i < block_rows.size(); ++i) {
       const auto it = std::lower_bound(tile_rows.begin(), tile_rows.end(),
                                        block_rows[i]);
       FLSA_ASSERT(it != tile_rows.end() && *it == block_rows[i]);
-      grid_rows[i] = std::move(
-          line_rows[static_cast<std::size_t>(it - tile_rows.begin())]);
+      lvl.grid_rows[i] = std::move(
+          lvl.line_rows[static_cast<std::size_t>(it - tile_rows.begin())]);
     }
     for (std::size_t j = 0; j < block_cols.size(); ++j) {
       const auto it = std::lower_bound(tile_cols.begin(), tile_cols.end(),
                                        block_cols[j]);
       FLSA_ASSERT(it != tile_cols.end() && *it == block_cols[j]);
-      grid_cols[j] = std::move(
-          line_cols[static_cast<std::size_t>(it - tile_cols.begin())]);
+      lvl.grid_cols[j] = std::move(
+          lvl.line_cols[static_cast<std::size_t>(it - tile_cols.begin())]);
     }
-    line_rows.clear();
-    line_cols.clear();
+    for (std::size_t i = 0; i + 1 < tr; ++i) lvl.line_rows[i].release();
+    for (std::size_t j = 0; j + 1 < tc; ++j) lvl.line_cols[j].release();
     grid_charge.resize((block_rows.size() * (cols + 1) +
                         block_cols.size() * (rows + 1)) *
                        sizeof(CellT));
@@ -353,20 +422,30 @@ class FastLsaEngine {
           (row_top == 0
                ? top
                : std::span<const CellT>(
-                     grid_rows[static_cast<std::size_t>(
-                         (row_it - 1) - block_rows.begin())]))
+                     lvl.grid_rows[static_cast<std::size_t>(
+                                       (row_it - 1) - block_rows.begin())]
+                         .vec()))
               .subspan(col_left, fc - col_left + 1);
       const std::span<const CellT> sub_left =
           (col_left == 0
                ? left
                : std::span<const CellT>(
-                     grid_cols[static_cast<std::size_t>(
-                         (col_it - 1) - block_cols.begin())]))
+                     lvl.grid_cols[static_cast<std::size_t>(
+                                       (col_it - 1) - block_cols.begin())]
+                         .vec()))
               .subspan(row_top, fr - row_top + 1);
 
       solve({rect.row0 + row_top, rect.col0 + col_left, fr - row_top,
              fc - col_left},
             sub_top, sub_left, depth + 1);
+    }
+
+    // Grid lines go back to the pool for reuse by other depths/re-entries.
+    for (std::size_t i = 0; i < block_rows.size(); ++i) {
+      lvl.grid_rows[i].release();
+    }
+    for (std::size_t j = 0; j < block_cols.size(); ++j) {
+      lvl.grid_cols[j].release();
     }
   }
 
@@ -378,8 +457,8 @@ class FastLsaEngine {
                        const std::vector<std::size_t>& block_cols,
                        const std::vector<std::size_t>& tile_rows,
                        const std::vector<std::size_t>& tile_cols,
-                       std::vector<std::vector<CellT>>& line_rows,
-                       std::vector<std::vector<CellT>>& line_cols) {
+                       std::vector<PooledVector<CellT>>& line_rows,
+                       std::vector<PooledVector<CellT>>& line_cols) {
     const std::size_t rows = rect.rows;
     const std::size_t cols = rect.cols;
     const std::size_t tr = tile_rows.size() + 1;
@@ -420,18 +499,22 @@ class FastLsaEngine {
           const std::size_t tcols = ce - cs;
 
           const std::span<const CellT> tile_top =
-              (ti == 0 ? top : std::span<const CellT>(line_rows[ti - 1]))
+              (ti == 0 ? top
+                       : std::span<const CellT>(line_rows[ti - 1].vec()))
                   .subspan(cs, tcols + 1);
           const std::span<const CellT> tile_left =
-              (tj == 0 ? left : std::span<const CellT>(line_cols[tj - 1]))
+              (tj == 0 ? left
+                       : std::span<const CellT>(line_cols[tj - 1].vec()))
                   .subspan(rs, trows + 1);
 
-          std::span<CellT> bottom(scratch_bottom_[worker].data(), tcols + 1);
+          std::span<CellT> bottom(arena_.scratch_bottom[worker].data(),
+                                  tcols + 1);
           const bool need_right = tj + 1 < tc;
           std::span<CellT> right =
-              need_right
-                  ? std::span<CellT>(scratch_right_[worker].data(), trows + 1)
-                  : std::span<CellT>{};
+              need_right ? std::span<CellT>(
+                               arena_.scratch_right[worker].data(),
+                               trows + 1)
+                         : std::span<CellT>{};
 
           const std::span<const Residue> a_sub =
               a_.residues().subspan(rect.row0 + rs, trows);
@@ -440,11 +523,11 @@ class FastLsaEngine {
           if constexpr (Affine) {
             sweep_rectangle_affine(kernel_, a_sub, b_sub, scheme_, tile_top,
                                    tile_left, bottom, right,
-                                   &worker_counters_[worker]);
+                                   &arena_.worker_counters[worker]);
           } else {
             sweep_rectangle_linear(kernel_, a_sub, b_sub, scheme_, tile_top,
                                    tile_left, bottom, right,
-                                   &worker_counters_[worker]);
+                                   &arena_.worker_counters[worker]);
           }
 
           // Publish boundary lines. Each shared corner entry has exactly one
@@ -452,12 +535,12 @@ class FastLsaEngine {
           // and index 0 only on the grid's outer edge, so concurrent tiles
           // never store to the same location.
           if (ti + 1 < tr) {
-            CellT* dst = line_rows[ti].data() + cs;
+            CellT* dst = line_rows[ti].vec().data() + cs;
             std::copy(bottom.begin() + 1, bottom.end(), dst + 1);
             if (tj == 0) dst[0] = bottom[0];
           }
           if (need_right) {
-            CellT* dst = line_cols[tj].data() + rs;
+            CellT* dst = line_cols[tj].vec().data() + rs;
             std::copy(right.begin() + 1, right.end(), dst + 1);
             if (ti == 0) dst[0] = right[0];
           }
@@ -475,12 +558,13 @@ class FastLsaEngine {
   FastLsaStats& stats_;
   KernelKind kernel_;  ///< resolved (never kAuto)
   MemoryTracker tracker_;
+  // Declared before arena_/path_: arena_ binds to it when the caller did
+  // not supply a workspace, and path_ adopts the arena's move storage.
+  std::unique_ptr<FastLsaWorkspace> owned_workspace_;
+  EngineArena<CellT>& arena_;
   Path path_;
   AffineState affine_state_ = AffineState::kD;
-  Matrix2D<CellT> base_buffer_;
-  std::vector<DpCounters> worker_counters_;
-  std::vector<std::vector<CellT>> scratch_bottom_;
-  std::vector<std::vector<CellT>> scratch_right_;
+  unsigned workers_ = 1;
 };
 
 }  // namespace detail

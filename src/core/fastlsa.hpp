@@ -26,6 +26,8 @@
 
 namespace flsa {
 
+class FastLsaWorkspace;  // core/arena.hpp
+
 /// Tuning parameters of FastLSA (the paper's k and BM).
 struct FastLsaOptions {
   /// Number of segments each dimension of a sub-problem is divided into
@@ -42,6 +44,14 @@ struct FastLsaOptions {
   /// other boundary sweep). kAuto picks the fastest kernel the CPU
   /// supports; all kernels produce identical scores and alignments.
   KernelKind kernel = KernelKind::kAuto;
+
+  /// Optional reusable scratch (core/arena.hpp). When set, the engine
+  /// draws every internal buffer — grid/line caches, base-case matrix,
+  /// per-worker scratch, path storage — from this workspace instead of the
+  /// heap, so repeated align calls with the same workspace stop allocating
+  /// once warm. Not thread-safe: one workspace per aligning thread. When
+  /// null the engine creates a private (single-use) workspace.
+  FastLsaWorkspace* workspace = nullptr;
 };
 
 /// Per-run observability: operation counters plus FastLSA-specific shape
@@ -54,6 +64,11 @@ struct FastLsaStats {
   std::uint64_t base_case_invocations = 0;
   std::uint64_t recursive_splits = 0;
   std::uint64_t max_recursion_depth = 0;
+  /// Arena buffer recycling during this run: misses are fresh heap
+  /// growths, hits are recycled buffers. With a reused workspace, misses
+  /// drops to 0 once warm (the allocation-free steady state).
+  std::uint64_t arena_pool_hits = 0;
+  std::uint64_t arena_pool_misses = 0;
   /// The sweep kernel the run actually executed with (kAuto resolved).
   KernelKind kernel_used = KernelKind::kScalar;
 };

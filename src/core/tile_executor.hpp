@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "obs/trace.hpp"
+#include "support/function_ref.hpp"
 
 namespace flsa {
 
@@ -28,22 +28,29 @@ inline const char* to_string(TilePhase phase) {
 
 /// Decides whether a tile is skipped (the fill phase skips the tiles of the
 /// bottom-right FastLSA sub-problem, the paper's u x v tiles).
-using TileSkipFn = std::function<bool(std::size_t ti, std::size_t tj)>;
+///
+/// Non-owning (support/function_ref.hpp): executors receive these per
+/// phase on the engine's hot path, where the std::function conversion
+/// used to heap-allocate a closure copy every call. The callables only
+/// need to outlive the (synchronous) run() call that takes them.
+using TileSkipFn = FunctionRef<bool(std::size_t ti, std::size_t tj)>;
 
 /// Performs one tile on worker slot `worker` and returns its cost in DPM
 /// cells (recorders use the cost; other executors ignore it).
 using TileWorkFn =
-    std::function<std::uint64_t(std::size_t ti, std::size_t tj,
-                                unsigned worker)>;
+    FunctionRef<std::uint64_t(std::size_t ti, std::size_t tj,
+                              unsigned worker)>;
 
 /// Invokes `work` for one tile, recording a per-worker trace span (tile
-/// coordinates, cells, wall time on lane `worker`) when a trace is being
-/// collected. Every executor funnels tile execution through here so the
-/// trace sees all scheduling policies identically; without an active
+/// coordinates, cells, wall time on lane `worker`, plus the scheduling
+/// policy when the executor passes its static-string tag) when a trace is
+/// being collected. Every executor funnels tile execution through here so
+/// the trace sees all scheduling policies identically; without an active
 /// trace this is a direct call.
-inline std::uint64_t run_tile(const TileWorkFn& work, std::size_t ti,
+inline std::uint64_t run_tile(TileWorkFn work, std::size_t ti,
                               std::size_t tj, unsigned worker,
-                              TilePhase phase) {
+                              TilePhase phase,
+                              const char* scheduler = nullptr) {
   obs::TraceRecorder* recorder = obs::active_trace();
   if (recorder == nullptr) return work(ti, tj, worker);
   const auto start = obs::TraceRecorder::now();
@@ -55,6 +62,7 @@ inline std::uint64_t run_tile(const TileWorkFn& work, std::size_t ti,
   span.tile_row = static_cast<std::int64_t>(ti);
   span.tile_col = static_cast<std::int64_t>(tj);
   span.cells = static_cast<std::int64_t>(cells);
+  span.scheduler = scheduler;
   recorder->record(span, start, obs::TraceRecorder::now());
   return cells;
 }
@@ -72,9 +80,9 @@ class TileExecutor {
   virtual unsigned worker_count() const = 0;
 
   /// Runs every non-skipped tile of a tile_rows x tile_cols grid.
+  /// `skip` may be null (no skips).
   virtual void run(std::size_t tile_rows, std::size_t tile_cols,
-                   const TileSkipFn& skip, const TileWorkFn& work,
-                   TilePhase phase) = 0;
+                   TileSkipFn skip, TileWorkFn work, TilePhase phase) = 0;
 };
 
 /// Default executor: one worker, row-major order (exactly the sequential
@@ -83,9 +91,8 @@ class SequentialExecutor final : public TileExecutor {
  public:
   unsigned worker_count() const override { return 1; }
 
-  void run(std::size_t tile_rows, std::size_t tile_cols,
-           const TileSkipFn& skip, const TileWorkFn& work,
-           TilePhase phase) override {
+  void run(std::size_t tile_rows, std::size_t tile_cols, TileSkipFn skip,
+           TileWorkFn work, TilePhase phase) override {
     for (std::size_t ti = 0; ti < tile_rows; ++ti) {
       for (std::size_t tj = 0; tj < tile_cols; ++tj) {
         if (skip && skip(ti, tj)) continue;

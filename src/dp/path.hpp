@@ -39,6 +39,17 @@ class Path {
   /// Starts an empty path anchored at `end` (typically (m, n)).
   explicit Path(Cell end) : end_(end), front_(end) {}
 
+  /// Same, but adopts `storage` (cleared, capacity kept) for the move
+  /// vector so callers can recycle traceback storage across runs.
+  Path(Cell end, std::vector<Move>&& storage)
+      : end_(end), front_(end), traceback_(std::move(storage)) {
+    traceback_.clear();
+  }
+
+  /// Surrenders the move storage (capacity intact) for recycling. The
+  /// path is left empty and must not be used afterwards.
+  std::vector<Move> reclaim_storage() && { return std::move(traceback_); }
+
   /// Appends one traceback step; the path front moves up/left accordingly.
   /// Throws std::invalid_argument if the move would leave the matrix.
   void push_traceback(Move m);

@@ -10,6 +10,7 @@
 
 #include "core/advisor.hpp"
 #include "core/aligner.hpp"
+#include "core/arena.hpp"
 #include "core/fastlsa.hpp"
 #include "core/local_align.hpp"
 #include "core/semiglobal.hpp"

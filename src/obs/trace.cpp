@@ -102,6 +102,10 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     write_arg(os, first_arg, "depth", s.depth);
     write_arg(os, first_arg, "line", s.line);
     write_arg(os, first_arg, "tiles", s.tiles);
+    if (s.scheduler != nullptr) {
+      os << (first_arg ? "" : ",") << "\"sched\":\"" << s.scheduler << "\"";
+      first_arg = false;
+    }
     os << "}}";
     first_event = false;
   }

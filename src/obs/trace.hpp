@@ -37,6 +37,9 @@ struct TraceSpan {
   std::int64_t depth = -1;
   std::int64_t line = -1;
   std::int64_t tiles = -1;
+  /// Scheduling policy that ran the tile (static string, e.g.
+  /// "work-stealing"); nullptr when not applicable, omitted from JSON.
+  const char* scheduler = nullptr;
 };
 
 /// Display lanes for spans that do not belong to a DP worker.

@@ -35,9 +35,17 @@ std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, jobs.size()));
 
+  // One reusable Aligner (and thus one arena workspace) per worker: the
+  // whole batch after each worker's first job runs allocation-free inside
+  // the engine.
+  std::vector<Aligner> aligners;
+  aligners.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) aligners.emplace_back(options);
+
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::uint64_t> failed{0};
   auto worker_fn = [&]([[maybe_unused]] unsigned worker) {
+    Aligner& aligner = aligners[worker];
     while (true) {
       const std::size_t index =
           cursor.fetch_add(1, std::memory_order_relaxed);
@@ -45,9 +53,8 @@ std::vector<BatchResult> align_batch(const std::vector<AlignJob>& jobs,
       BatchResult& result = results[index];
       FLSA_OBS_PHASE(obs_job, obs::Phase::kBatchJob, worker);
       try {
-        result.alignment =
-            align(*jobs[index].a, *jobs[index].b, scheme, options,
-                  &result.report);
+        result.alignment = aligner.align(*jobs[index].a, *jobs[index].b,
+                                         scheme, &result.report);
         FLSA_OBS_PHASE_CELLS(obs_job,
                              result.report.stats.counters.total_cells());
       } catch (...) {

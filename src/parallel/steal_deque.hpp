@@ -1,0 +1,107 @@
+// Chase–Lev-style work-stealing deque of tile ids.
+//
+// Each wavefront worker owns one deque: the owner pushes and pops at the
+// bottom (LIFO — the tile it just made runnable is the one whose boundary
+// lines are still hot in its cache), thieves steal from the top (FIFO —
+// the oldest tile, farthest along the anti-diagonal from the owner's
+// position, which is exactly the tile that spreads the wavefront).
+//
+// Differences from the textbook Chase–Lev deque, both deliberate:
+//   * Fixed capacity. A wavefront run knows its tile count up front, so
+//     prepare() sizes the ring once per run (grow-only, reused across
+//     runs) and push() never needs the concurrent-resize protocol.
+//   * Conservative memory orders, no standalone fences. The classic
+//     formulation (Le et al., PPoPP'13) uses std::atomic_thread_fence,
+//     which ThreadSanitizer does not model and flags as false races.
+//     Tiles are >= min_tile_extent^2 cells of DP work each, so the few
+//     extra seq_cst operations per tile are far below measurement noise,
+//     and the TSan CI job can verify the scheduler for real.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+
+class StealDeque {
+ public:
+  /// Readies the deque for a run needing up to `capacity` queued entries.
+  /// Grows (to a power of two) only when a larger run arrives; otherwise
+  /// just resets the indices. Must be called with no concurrent access —
+  /// the scheduler calls it before handing workers to the pool.
+  void prepare(std::size_t capacity) {
+    std::size_t want = 1;
+    while (want < capacity) want *= 2;
+    if (want > ring_.size()) {
+      ring_ = std::vector<std::atomic<std::uint32_t>>(want);
+      mask_ = want - 1;
+    }
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Capacity is guaranteed by prepare(), so no resize path.
+  void push(std::uint32_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    FLSA_ASSERT(static_cast<std::size_t>(
+                    b - top_.load(std::memory_order_relaxed)) <= mask_);
+    ring_[static_cast<std::size_t>(b) & mask_].store(
+        value, std::memory_order_relaxed);
+    // Publishes the slot: a thief that observes bottom > b also observes
+    // the slot store (release/acquire pairing on bottom_).
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. LIFO; loses the race for the last element to a thief's
+  /// concurrent steal at most once per run.
+  bool pop(std::uint32_t* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty (a thief may have just taken the last entry)
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *out = ring_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the CAS on top_.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Thieves. FIFO; returns false when empty or when another thief (or the
+  /// owner's last-element pop) won the CAS — callers just move on to the
+  /// next victim.
+  bool steal(std::uint32_t* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    *out = ring_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  /// Approximate current depth, for the owner's own statistics. Racy by
+  /// nature; never used for scheduling decisions.
+  std::int64_t depth_hint() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<std::uint32_t>> ring_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace flsa

@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::parallel_run(const std::function<void(unsigned)>& fn) {
+void ThreadPool::parallel_run(FunctionRef<void(unsigned)> fn) {
   // Nested call from a worker thread: dispatching to the pool would
   // deadlock (same pool) or oversubscribe (another pool); run inline.
   if (t_pool_worker) {
@@ -45,24 +45,25 @@ void ThreadPool::parallel_run(const std::function<void(unsigned)>& fn) {
     return;
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  if (job_ != nullptr) {
+  if (job_active_) {
     // Another thread's collective call is in flight; don't wedge into its
     // generation accounting — run this one serially instead.
     lock.unlock();
     run_serial(fn);
     return;
   }
-  job_ = &fn;
+  job_ = fn;
+  job_active_ = true;
   remaining_ = size();
   first_error_ = nullptr;
   ++generation_;
   start_cv_.notify_all();
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
+  job_active_ = false;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-void ThreadPool::run_serial(const std::function<void(unsigned)>& fn) {
+void ThreadPool::run_serial(FunctionRef<void(unsigned)> fn) {
   FLSA_OBS_COUNT("thread_pool.serial_fallbacks", 1);
   // Same contract as the parallel path: every worker slot runs exactly
   // once, the first exception wins, and the remaining slots still run.
@@ -81,7 +82,7 @@ void ThreadPool::worker_loop(unsigned id) {
   t_pool_worker = true;
   std::uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(unsigned)>* job = nullptr;
+    FunctionRef<void(unsigned)> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -89,11 +90,11 @@ void ThreadPool::worker_loop(unsigned id) {
       });
       if (shutdown_) return;
       seen_generation = generation_;
-      job = job_;
+      job = job_;  // two-pointer copy; the submitter blocks until done
     }
     std::exception_ptr error;
     try {
-      (*job)(id);
+      job(id);
     } catch (...) {
       error = std::current_exception();
     }

@@ -9,10 +9,11 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/function_ref.hpp"
 
 namespace flsa {
 
@@ -47,17 +48,23 @@ class ThreadPool {
   /// That preserves the collective-call contract (each worker slot runs
   /// exactly once, per-slot scratch is never shared) while avoiding both
   /// deadlock and thread oversubscription.
-  void parallel_run(const std::function<void(unsigned)>& fn);
+  ///
+  /// Takes a FunctionRef, not a std::function: the engine calls this once
+  /// per fill/base-case phase with a fat capturing lambda, and the
+  /// std::function conversion heap-allocated a closure copy every time.
+  /// The callable only needs to outlive the (blocking) call.
+  void parallel_run(FunctionRef<void(unsigned)> fn);
 
  private:
   void worker_loop(unsigned id);
-  void run_serial(const std::function<void(unsigned)>& fn);
+  void run_serial(FunctionRef<void(unsigned)> fn);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
+  FunctionRef<void(unsigned)> job_;  ///< valid only while job_active_
+  bool job_active_ = false;
   std::uint64_t generation_ = 0;
   unsigned remaining_ = 0;
   bool shutdown_ = false;

@@ -23,7 +23,7 @@ std::uint64_t RunTrace::total_cells() const {
 }
 
 void RecordingExecutor::run(std::size_t tile_rows, std::size_t tile_cols,
-                            const TileSkipFn& skip, const TileWorkFn& work,
+                            TileSkipFn skip, TileWorkFn work,
                             TilePhase phase) {
   TileGridRecord record;
   record.phase = phase;

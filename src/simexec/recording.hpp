@@ -45,9 +45,8 @@ class RecordingExecutor final : public TileExecutor {
  public:
   unsigned worker_count() const override { return 1; }
 
-  void run(std::size_t tile_rows, std::size_t tile_cols,
-           const TileSkipFn& skip, const TileWorkFn& work,
-           TilePhase phase) override;
+  void run(std::size_t tile_rows, std::size_t tile_cols, TileSkipFn skip,
+           TileWorkFn work, TilePhase phase) override;
 
   const RunTrace& trace() const { return trace_; }
   RunTrace take_trace() { return std::move(trace_); }

@@ -1,0 +1,57 @@
+// Non-owning callable reference.
+//
+// FunctionRef<R(Args...)> is a two-pointer view of any callable — no heap,
+// no virtual dispatch, trivially copyable. The hot scheduling paths
+// (ThreadPool::parallel_run, TileExecutor::run) take FunctionRef instead of
+// std::function because the capturing lambdas they receive exceed
+// std::function's small-buffer optimization, which made every fill /
+// base-case phase call heap-allocate its own closure copy. A FunctionRef
+// never outlives the call it is passed to, so referencing the caller's
+// closure directly is safe.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace flsa {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Empty reference; operator bool is false and calling it is undefined.
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Binds to any callable. The callable is captured by reference: it must
+  /// outlive every invocation through this FunctionRef (always true for the
+  /// intended "pass a lambda down into a blocking call" pattern).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(object),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace flsa

@@ -1,0 +1,229 @@
+// Tests for the allocation-recycling arena (core/arena.hpp): VectorPool
+// bucket mechanics, PooledVector RAII, and the headline property — with a
+// reused workspace, steady-state align() performs zero engine heap
+// allocations (verified with a counting global allocator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "core/arena.hpp"
+#include "core/fastlsa.hpp"
+#include "dp/fullmatrix.hpp"
+#include "scoring/builtin.hpp"
+#include "sequence/generate.hpp"
+
+namespace {
+
+// Counting global allocator. Interposing operator new/delete is the
+// classic instrumented-allocator trick; the counter covers every heap
+// allocation in the process, so tests measure deltas around the calls
+// they care about.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace flsa {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(VectorPool, AcquireSizesAndPowerOfTwoCapacity) {
+  detail::VectorPool<int> pool;
+  std::vector<int> v = pool.acquire(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.capacity(), 8u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(VectorPool, ReleasedBuffersAreRecycledBySizeBucket) {
+  detail::VectorPool<int> pool;
+  std::vector<int> v = pool.acquire(100);  // bucket 7 (128)
+  int* data = v.data();
+  pool.release(std::move(v));
+  // Any size with the same ceil-log2 bucket reuses the same buffer.
+  std::vector<int> w = pool.acquire(65);
+  EXPECT_EQ(w.data(), data);
+  EXPECT_EQ(w.size(), 65u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  // A different bucket misses.
+  std::vector<int> x = pool.acquire(200);
+  EXPECT_EQ(pool.misses(), 2u);
+  pool.release(std::move(w));
+  pool.release(std::move(x));
+}
+
+TEST(VectorPool, SteadyStateLoopNeverAllocates) {
+  detail::VectorPool<int> pool;
+  // Warm up with the largest size, then churn mixed sizes in-bucket.
+  pool.release(pool.acquire(1000));
+  const std::uint64_t before = allocations();
+  for (std::size_t i = 0; i < 100; ++i) {
+    std::vector<int> v = pool.acquire(513 + i);  // all in bucket 10
+    v[0] = static_cast<int>(i);
+    pool.release(std::move(v));
+  }
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(PooledVector, ReturnsBufferOnDestruction) {
+  detail::VectorPool<int> pool;
+  {
+    detail::PooledVector<int> handle(pool.acquire(10), &pool);
+    EXPECT_EQ(handle.vec().size(), 10u);
+  }
+  EXPECT_EQ(pool.acquire(10).capacity(), 16u);
+  EXPECT_EQ(pool.hits(), 1u);  // the destructor returned the buffer
+}
+
+TEST(PooledVector, MoveTransfersOwnership) {
+  detail::VectorPool<int> pool;
+  detail::PooledVector<int> a(pool.acquire(4), &pool);
+  detail::PooledVector<int> b = std::move(a);
+  EXPECT_EQ(b.vec().size(), 4u);
+  EXPECT_TRUE(a.vec().empty());  // NOLINT(bugprone-use-after-move)
+  a.release();                   // no-op, must not double-release
+  b.release();
+  EXPECT_EQ(pool.hits() + pool.misses(), 1u);  // exactly one real buffer
+  EXPECT_EQ(pool.acquire(4).size(), 4u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(Arena, ReusedWorkspaceReportsZeroPoolMissesOnceWarm) {
+  Xoshiro256 rng(42);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Sequence a = random_sequence(Alphabet::protein(), 400, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 380, rng);
+
+  FastLsaWorkspace workspace;
+  FastLsaOptions options;
+  options.k = 4;
+  options.base_case_cells = 256;
+  options.workspace = &workspace;
+
+  FastLsaStats cold;
+  const Alignment first = fastlsa_align(a, b, scheme, options, &cold);
+  EXPECT_GT(cold.arena_pool_misses, 0u);  // warm-up grows the pool
+
+  FastLsaStats warm;
+  const Alignment second = fastlsa_align(a, b, scheme, options, &warm);
+  EXPECT_EQ(warm.arena_pool_misses, 0u);
+  EXPECT_GT(warm.arena_pool_hits, 0u);
+  EXPECT_EQ(second.score, first.score);
+  EXPECT_EQ(second.gapped_a, first.gapped_a);
+}
+
+TEST(Arena, SteadyStateAlignIsAllocationFreeInsideTheEngine) {
+  // The acceptance test: repeated align() calls on one Aligner stop
+  // allocating once warm. The engine itself allocates nothing (pool
+  // misses == 0); the per-call allocation count is flat, and what remains
+  // is only the returned Alignment (gapped strings + move vectors).
+  Xoshiro256 rng(43);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Sequence a = random_sequence(Alphabet::protein(), 500, rng);
+  const Sequence b = random_sequence(Alphabet::protein(), 450, rng);
+
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  options.fastlsa.k = 4;
+  options.fastlsa.base_case_cells = 512;
+  Aligner aligner(options);
+
+  // Warm-up calls populate the pool and every grow-only buffer.
+  AlignReport report;
+  const Alignment expected = aligner.align(a, b, scheme, &report);
+  aligner.align(a, b, scheme, &report);
+
+  // Baseline: allocations of one fully-warm call.
+  const std::uint64_t before_first = allocations();
+  aligner.align(a, b, scheme, &report);
+  const std::uint64_t per_call = allocations() - before_first;
+  EXPECT_EQ(report.stats.arena_pool_misses, 0u);
+
+  // Steady state: every further call costs exactly the same, and the
+  // engine contributes none of it (misses stay 0).
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t before = allocations();
+    const Alignment result = aligner.align(a, b, scheme, &report);
+    EXPECT_EQ(allocations() - before, per_call) << "call " << i;
+    EXPECT_EQ(report.stats.arena_pool_misses, 0u) << "call " << i;
+    EXPECT_EQ(result.score, expected.score);
+  }
+
+  // The flat per-call cost is only the returned Alignment: aligning into
+  // a sink that immediately discards it costs the same handful of
+  // allocations, far below one grid line per recursion level.
+  EXPECT_LT(per_call, 32u);
+}
+
+TEST(Arena, FreeAlignAndAlignerAgree) {
+  Xoshiro256 rng(44);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  options.fastlsa.k = 3;
+  options.fastlsa.base_case_cells = 128;
+  Aligner aligner(options);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t m = 30 + rng.bounded(300);
+    const std::size_t n = 30 + rng.bounded(300);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const Alignment plain = align(a, b, scheme, options);
+    const Alignment reused = aligner.align(a, b, scheme);
+    EXPECT_EQ(reused.score, plain.score);
+    EXPECT_EQ(reused.gapped_a, plain.gapped_a);
+    EXPECT_EQ(reused.gapped_b, plain.gapped_b);
+    EXPECT_EQ(plain.score, full_matrix_score(a, b, scheme));
+  }
+}
+
+TEST(Arena, AffineWorkspaceRecyclesIndependently) {
+  Xoshiro256 rng(45);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -8, -2);
+  const Sequence a = random_sequence(Alphabet::dna(), 300, rng);
+  const Sequence b = random_sequence(Alphabet::dna(), 280, rng);
+
+  FastLsaWorkspace workspace;
+  FastLsaOptions options;
+  options.k = 3;
+  options.base_case_cells = 200;
+  options.workspace = &workspace;
+
+  FastLsaStats cold, warm;
+  const Alignment first = fastlsa_align_affine(a, b, scheme, options, &cold);
+  const Alignment second = fastlsa_align_affine(a, b, scheme, options, &warm);
+  EXPECT_GT(cold.arena_pool_misses, 0u);
+  EXPECT_EQ(warm.arena_pool_misses, 0u);
+  EXPECT_EQ(second.score, first.score);
+  EXPECT_EQ(second.gapped_a, first.gapped_a);
+}
+
+}  // namespace
+}  // namespace flsa

@@ -92,15 +92,23 @@ TEST_P(FuzzSweep, AllGlobalAlgorithmsAgree) {
             << " m=" << m << " n=" << n << " kernel=" << to_string(kind);
         ASSERT_EQ(fl.gapped_a, fm.gapped_a) << to_string(kind);
         ASSERT_EQ(fl.gapped_b, fm.gapped_b) << to_string(kind);
-        // Parallel FastLSA: same alignment, tile wavefront, both kernels
-        // (first trial only; the tiny problems make threads pure overhead).
+        // Parallel FastLSA: same alignment, tile wavefront, both kernels,
+        // all three schedulers (first trial only; the tiny problems make
+        // threads pure overhead).
         if (trial == 0) {
-          ParallelOptions popts;
-          popts.threads = 2;
-          const Alignment par =
-              parallel_fastlsa_align(a, b, scheme, fopts, popts);
-          ASSERT_EQ(par.score, fm.score) << to_string(kind);
-          ASSERT_EQ(par.gapped_a, fm.gapped_a) << to_string(kind);
+          for (SchedulerKind sched : {SchedulerKind::kBarrierStaged,
+                                      SchedulerKind::kDependencyCounter,
+                                      SchedulerKind::kWorkStealing}) {
+            ParallelOptions popts;
+            popts.threads = 2;
+            popts.scheduler = sched;
+            const Alignment par =
+                parallel_fastlsa_align(a, b, scheme, fopts, popts);
+            ASSERT_EQ(par.score, fm.score)
+                << to_string(kind) << "/" << to_string(sched);
+            ASSERT_EQ(par.gapped_a, fm.gapped_a)
+                << to_string(kind) << "/" << to_string(sched);
+          }
         }
       }
 
@@ -209,10 +217,16 @@ TEST(FuzzGolden, PaperExampleUnderBothKernels) {
     ASSERT_EQ(fastlsa_align(a, b, scheme, fopts, &stats).score, 82)
         << to_string(kind);
     ASSERT_EQ(stats.kernel_used, kind);
-    ParallelOptions popts;
-    popts.threads = 2;
-    ASSERT_EQ(parallel_fastlsa_align(a, b, scheme, fopts, popts).score, 82)
-        << to_string(kind);
+    for (SchedulerKind sched : {SchedulerKind::kBarrierStaged,
+                                SchedulerKind::kDependencyCounter,
+                                SchedulerKind::kWorkStealing}) {
+      ParallelOptions popts;
+      popts.threads = 2;
+      popts.scheduler = sched;
+      ASSERT_EQ(parallel_fastlsa_align(a, b, scheme, fopts, popts).score,
+                82)
+          << to_string(kind) << "/" << to_string(sched);
+    }
   }
 }
 

@@ -323,7 +323,7 @@ TEST_F(Obs, RunTileEmitsWorkerSpans) {
 TEST_F(Obs, RunTileWithoutTraceIsDirectCall) {
   ASSERT_EQ(active_trace(), nullptr);
   std::size_t calls = 0;
-  const TileWorkFn work = [&](std::size_t, std::size_t, unsigned) {
+  const auto work = [&](std::size_t, std::size_t, unsigned) {
     ++calls;
     return std::uint64_t{7};
   };

@@ -2,6 +2,7 @@
 // algorithm across thread counts, schedulers, and tilings.
 #include <gtest/gtest.h>
 
+#include "core/arena.hpp"
 #include "core/fastlsa.hpp"
 #include "dp/fullmatrix.hpp"
 #include "dp/gotoh.hpp"
@@ -49,7 +50,7 @@ TEST(ParallelFastLsa, MatchesSequentialAlignmentExactly) {
   }
 }
 
-TEST(ParallelFastLsa, BothSchedulersAgree) {
+TEST(ParallelFastLsa, AllSchedulersAgree) {
   Xoshiro256 rng(112);
   MutationModel model;
   const SequencePair pair =
@@ -57,7 +58,8 @@ TEST(ParallelFastLsa, BothSchedulersAgree) {
   const ScoringScheme& scheme = ScoringScheme::paper_default();
   const Score expected = full_matrix_score(pair.a, pair.b, scheme);
   for (SchedulerKind kind : {SchedulerKind::kBarrierStaged,
-                             SchedulerKind::kDependencyCounter}) {
+                             SchedulerKind::kDependencyCounter,
+                             SchedulerKind::kWorkStealing}) {
     ParallelOptions parallel;
     parallel.threads = 4;
     parallel.scheduler = kind;
@@ -66,6 +68,73 @@ TEST(ParallelFastLsa, BothSchedulersAgree) {
                   .score,
               expected)
         << to_string(kind);
+  }
+}
+
+TEST(ParallelFastLsa, SchedulersProduceIdenticalAlignments) {
+  // Bit-identical alignments (not just scores) across all three policies
+  // and against the sequential reference.
+  Xoshiro256 rng(117);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 320, model, rng);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Alignment seq = fastlsa_align(pair.a, pair.b, scheme, opts(4, 256));
+  for (SchedulerKind kind : {SchedulerKind::kBarrierStaged,
+                             SchedulerKind::kDependencyCounter,
+                             SchedulerKind::kWorkStealing}) {
+    ParallelOptions parallel;
+    parallel.threads = 4;
+    parallel.scheduler = kind;
+    const Alignment par = parallel_fastlsa_align(pair.a, pair.b, scheme,
+                                                 opts(4, 256), parallel);
+    EXPECT_EQ(par.score, seq.score) << to_string(kind);
+    EXPECT_EQ(par.gapped_a, seq.gapped_a) << to_string(kind);
+    EXPECT_EQ(par.gapped_b, seq.gapped_b) << to_string(kind);
+  }
+}
+
+TEST(ParallelFastLsa, WorkStealingAffineMatchesGotoh) {
+  Xoshiro256 rng(118);
+  MutationModel model;
+  model.extension_prob = 0.7;
+  const SequencePair pair =
+      homologous_pair(Alphabet::dna(), 240, model, rng);
+  const SubstitutionMatrix m = scoring::dna(5, -4);
+  const ScoringScheme scheme(m, -8, -2);
+  const Score expected =
+      global_score_affine(pair.a.residues(), pair.b.residues(), scheme);
+  ParallelOptions parallel;
+  parallel.threads = 4;
+  parallel.scheduler = SchedulerKind::kWorkStealing;
+  const Alignment aln = parallel_fastlsa_align_affine(
+      pair.a, pair.b, scheme, opts(3, 128), parallel);
+  EXPECT_EQ(aln.score, expected);
+  EXPECT_EQ(score_alignment(aln, scheme, Alphabet::dna()), aln.score);
+}
+
+TEST(ParallelFastLsa, WorkspaceReuseAcrossRunsStaysCorrect) {
+  // The same FastLsaWorkspace recycled across runs of different shapes
+  // and schedulers must never change results — recycled buffers carry
+  // stale data by design.
+  Xoshiro256 rng(119);
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  FastLsaWorkspace workspace;
+  FastLsaOptions o = opts(3, 200);
+  o.workspace = &workspace;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t m = 60 + rng.bounded(200);
+    const std::size_t n = 60 + rng.bounded(200);
+    const Sequence a = random_sequence(Alphabet::protein(), m, rng);
+    const Sequence b = random_sequence(Alphabet::protein(), n, rng);
+    const Score expected = full_matrix_score(a, b, scheme);
+    EXPECT_EQ(fastlsa_align(a, b, scheme, o).score, expected);
+    ParallelOptions parallel;
+    parallel.threads = 3;
+    parallel.scheduler = trial % 2 == 0 ? SchedulerKind::kWorkStealing
+                                        : SchedulerKind::kDependencyCounter;
+    EXPECT_EQ(parallel_fastlsa_align(a, b, scheme, o, parallel).score,
+              expected);
   }
 }
 

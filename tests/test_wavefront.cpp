@@ -2,12 +2,16 @@
 // completeness, and equivalence between policies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <string_view>
 #include <vector>
 
 #include "core/tile_executor.hpp"
+#include "parallel/steal_deque.hpp"
 #include "parallel/wavefront.hpp"
 
 namespace flsa {
@@ -193,16 +197,124 @@ TEST_P(WavefrontPolicies, EmptyGridIsNoop) {
       TilePhase::kFillCache);
 }
 
+TEST_P(WavefrontPolicies, ManyMoreTilesThanWorkers) {
+  // Tiles >> workers: 2 workers over a 24x24 grid exercises sustained
+  // queue/deque churn (and steal pressure on the work-stealing policy).
+  ThreadPool pool(2);
+  WavefrontExecutor exec(pool, GetParam());
+  CompletionLog log(24, 24);
+  exec.run(
+      24, 24, nullptr,
+      [&](std::size_t ti, std::size_t tj, unsigned) {
+        log.complete(ti, tj);
+        return std::uint64_t{1};
+      },
+      TilePhase::kFillCache);
+  EXPECT_EQ(log.count(), 24u * 24u);
+}
+
+TEST_P(WavefrontPolicies, RaggedTileCostsAcrossManyRuns) {
+  // Heavily ragged costs (two orders of magnitude spread) across repeated
+  // runs on one executor — the persistent deques/counters must reset
+  // cleanly between runs.
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, GetParam());
+  for (int round = 0; round < 5; ++round) {
+    CompletionLog log(9, 5);
+    exec.run(
+        9, 5, nullptr,
+        [&](std::size_t ti, std::size_t tj, unsigned) {
+          long sink = 0;
+          const long loops =
+              ((ti * 13 + tj * 7 + static_cast<std::size_t>(round)) % 11 == 0)
+                  ? 5000
+                  : 50;
+          for (long i = 0; i < loops; ++i) sink += i;
+          benchmark_sink.fetch_add(sink, std::memory_order_relaxed);
+          log.complete(ti, tj);
+          return std::uint64_t{1};
+        },
+        TilePhase::kFillCache);
+    EXPECT_EQ(log.count(), 45u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Policies, WavefrontPolicies,
                          ::testing::Values(
                              SchedulerKind::kBarrierStaged,
-                             SchedulerKind::kDependencyCounter),
+                             SchedulerKind::kDependencyCounter,
+                             SchedulerKind::kWorkStealing),
                          [](const auto& param_info) {
-                           return param_info.param ==
-                                          SchedulerKind::kBarrierStaged
-                                      ? "barrier"
-                                      : "dependency";
+                           switch (param_info.param) {
+                             case SchedulerKind::kBarrierStaged:
+                               return "barrier";
+                             case SchedulerKind::kDependencyCounter:
+                               return "dependency";
+                             case SchedulerKind::kWorkStealing:
+                               return "stealing";
+                           }
+                           return "unknown";
                          });
+
+TEST(Wavefront, AllPoliciesVisitTheSameTileSet) {
+  // Differential check: for a staircase skip on a ragged-cost grid, every
+  // policy must execute exactly the same tile set, each tile exactly once.
+  auto skip = [](std::size_t ti, std::size_t tj) {
+    return ti + 2 * tj >= 14;
+  };
+  auto visited_under = [&](SchedulerKind kind) {
+    ThreadPool pool(4);
+    WavefrontExecutor exec(pool, kind);
+    std::vector<std::atomic<int>> visits(8 * 11);
+    for (auto& v : visits) v.store(0);
+    exec.run(
+        8, 11, skip,
+        [&](std::size_t ti, std::size_t tj, unsigned) {
+          visits[ti * 11 + tj].fetch_add(1);
+          long sink = 0;
+          for (long i = 0; i < static_cast<long>((ti * 29 + tj) % 63) * 40;
+               ++i) {
+            sink += i;
+          }
+          benchmark_sink.fetch_add(sink, std::memory_order_relaxed);
+          return std::uint64_t{1};
+        },
+        TilePhase::kFillCache);
+    std::vector<int> counts(visits.size());
+    for (std::size_t i = 0; i < visits.size(); ++i) counts[i] = visits[i];
+    return counts;
+  };
+  const std::vector<int> barrier =
+      visited_under(SchedulerKind::kBarrierStaged);
+  const std::vector<int> dependency =
+      visited_under(SchedulerKind::kDependencyCounter);
+  const std::vector<int> stealing =
+      visited_under(SchedulerKind::kWorkStealing);
+  for (std::size_t ti = 0; ti < 8; ++ti) {
+    for (std::size_t tj = 0; tj < 11; ++tj) {
+      const int expected = skip(ti, tj) ? 0 : 1;
+      EXPECT_EQ(barrier[ti * 11 + tj], expected) << ti << "," << tj;
+    }
+  }
+  EXPECT_EQ(dependency, barrier);
+  EXPECT_EQ(stealing, barrier);
+}
+
+TEST(Wavefront, WorkStealingPropagatesExceptions) {
+  // A throwing tile must neither hang the quiescence loop nor be lost:
+  // the first error reaches the caller.
+  ThreadPool pool(4);
+  WavefrontExecutor exec(pool, SchedulerKind::kWorkStealing);
+  EXPECT_THROW(
+      exec.run(
+          6, 6, nullptr,
+          [&](std::size_t ti, std::size_t tj, unsigned) -> std::uint64_t {
+            if (ti == 3 && tj == 3) throw std::runtime_error("tile failed");
+            return 1;
+          },
+          TilePhase::kFillCache),
+      std::runtime_error);
+}
 
 TEST(Wavefront, SequentialExecutorRowMajorOrder) {
   SequentialExecutor exec;
@@ -252,6 +364,94 @@ TEST(Wavefront, SchedulerNames) {
   EXPECT_STREQ(to_string(SchedulerKind::kBarrierStaged), "barrier-staged");
   EXPECT_STREQ(to_string(SchedulerKind::kDependencyCounter),
                "dependency-counter");
+  EXPECT_STREQ(to_string(SchedulerKind::kWorkStealing), "work-stealing");
+}
+
+TEST(Wavefront, ParseSchedulerKind) {
+  SchedulerKind kind = SchedulerKind::kBarrierStaged;
+  EXPECT_TRUE(parse_scheduler_kind("stealing", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kWorkStealing);
+  EXPECT_TRUE(parse_scheduler_kind("work-stealing", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kWorkStealing);
+  EXPECT_TRUE(parse_scheduler_kind("dependency", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kDependencyCounter);
+  EXPECT_TRUE(parse_scheduler_kind("dependency-counter", &kind));
+  EXPECT_TRUE(parse_scheduler_kind("barrier", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kBarrierStaged);
+  EXPECT_TRUE(parse_scheduler_kind("barrier-staged", &kind));
+  kind = SchedulerKind::kWorkStealing;
+  EXPECT_FALSE(parse_scheduler_kind("fifo", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kWorkStealing);  // untouched on failure
+}
+
+TEST(StealDeque, OwnerLifoThiefFifo) {
+  StealDeque deque;
+  deque.prepare(8);
+  deque.push(10);
+  deque.push(11);
+  deque.push(12);
+  EXPECT_EQ(deque.depth_hint(), 3);
+
+  std::uint32_t v = 0;
+  ASSERT_TRUE(deque.pop(&v));  // owner pops the newest
+  EXPECT_EQ(v, 12u);
+  ASSERT_TRUE(deque.steal(&v));  // thief takes the oldest
+  EXPECT_EQ(v, 10u);
+  ASSERT_TRUE(deque.pop(&v));
+  EXPECT_EQ(v, 11u);
+  EXPECT_FALSE(deque.pop(&v));
+  EXPECT_FALSE(deque.steal(&v));
+}
+
+TEST(StealDeque, PrepareResetsAcrossRuns) {
+  StealDeque deque;
+  for (int run = 0; run < 3; ++run) {
+    deque.prepare(4);
+    EXPECT_EQ(deque.depth_hint(), 0);
+    deque.push(static_cast<std::uint32_t>(run));
+    std::uint32_t v = 99;
+    ASSERT_TRUE(deque.steal(&v));
+    EXPECT_EQ(v, static_cast<std::uint32_t>(run));
+    EXPECT_FALSE(deque.steal(&v));
+  }
+}
+
+TEST(StealDeque, ConcurrentDrainDeliversEachValueOnce) {
+  // One owner pushing/popping, three thieves stealing: every pushed value
+  // must be taken exactly once. (Run under TSan in CI.)
+  constexpr std::uint32_t kValues = 2000;
+  StealDeque deque;
+  deque.prepare(kValues);
+  std::vector<std::atomic<int>> taken(kValues);
+  for (auto& t : taken) t.store(0);
+  std::atomic<std::uint32_t> total_taken{0};
+
+  auto consume = [&](std::uint32_t v) {
+    taken[v].fetch_add(1);
+    total_taken.fetch_add(1);
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      std::uint32_t v = 0;
+      while (total_taken.load() < kValues) {
+        if (deque.steal(&v)) consume(v);
+      }
+    });
+  }
+  // Owner: push in bursts, occasionally popping its own work.
+  std::uint32_t next = 0;
+  while (next < kValues) {
+    const std::uint32_t burst = std::min<std::uint32_t>(7, kValues - next);
+    for (std::uint32_t i = 0; i < burst; ++i) deque.push(next++);
+    std::uint32_t v = 0;
+    if (deque.pop(&v)) consume(v);
+  }
+  for (auto& thief : thieves) thief.join();
+  EXPECT_EQ(total_taken.load(), kValues);
+  for (std::uint32_t v = 0; v < kValues; ++v) {
+    EXPECT_EQ(taken[v].load(), 1) << "value " << v;
+  }
 }
 
 }  // namespace

@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
   cli.add_int("k", 8, "FastLSA division factor");
   cli.add_int("bm", 1 << 20, "FastLSA base-case buffer, in DPM cells");
   cli.add_int("threads", 1, "threads for --algorithm parallel");
+  cli.add_string("scheduler", "dependency",
+                 "wavefront scheduler for --algorithm parallel: "
+                 "barrier | dependency | stealing");
   cli.add_string("kernel", "auto",
                  "DP sweep kernel: auto | scalar | simd (auto picks the "
                  "fastest this CPU supports; results are identical)");
@@ -189,12 +192,18 @@ int main(int argc, char** argv) {
         flsa::ParallelOptions parallel;
         parallel.threads =
             std::max(1u, static_cast<unsigned>(cli.get_int("threads")));
+        const std::string scheduler = cli.get_string("scheduler");
+        if (!flsa::parse_scheduler_kind(scheduler, &parallel.scheduler)) {
+          throw std::invalid_argument("unknown --scheduler " + scheduler);
+        }
         aln = scheme.is_linear()
                   ? flsa::parallel_fastlsa_align(a, b, scheme, fl, parallel,
                                                  &stats)
                   : flsa::parallel_fastlsa_align_affine(a, b, scheme, fl,
                                                         parallel, &stats);
-        algorithm_used = "parallel fastlsa";
+        algorithm_used =
+            std::string("parallel fastlsa (") +
+            flsa::to_string(parallel.scheduler) + ")";
       } else {
         flsa::AlignOptions options;
         options.fastlsa = fl;
