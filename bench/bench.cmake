@@ -22,3 +22,4 @@ flsa_add_bench(bench_e11_sched_ablation)
 flsa_add_bench(bench_e12_realthreads)
 flsa_add_bench(bench_e13_affine_extension)
 flsa_add_bench(bench_e14_search_scaling)
+flsa_add_bench(bench_e15_service_load)

@@ -1,0 +1,210 @@
+// E15 — alignment service under closed-loop load (our addition; the
+// serving-shape experiment the ROADMAP's "heavy traffic" north star asks
+// for).
+//
+// Starts an in-process AlignmentServer on an ephemeral loopback port and
+// drives it with C concurrent closed-loop clients (each sends a request,
+// waits for the answer, repeats). Reports throughput and exact
+// p50/p95/p99 latency per concurrency level, then demonstrates admission
+// control: against a queue of capacity 1 a pipelined burst is answered
+// with OVERLOADED rejections instead of unbounded queueing.
+//
+// Feeds BENCH_service.json so CI tracks the serving-path trajectory the
+// same way BENCH_sched.json tracks the scheduler.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "benchlib/workloads.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sequence/generate.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct LoadRow {
+  unsigned connections = 0;
+  std::size_t requests = 0;
+  double wall_s = 0.0;
+  double rps = 0.0;
+  flsa::LatencyQuantiles latency;  // milliseconds
+  std::size_t errors = 0;
+};
+
+/// C closed-loop clients, `per_client` requests each. Every latency sample
+/// is kept; quantiles are exact order statistics (support/stats).
+LoadRow run_closed_loop(std::uint16_t port,
+                        const flsa::service::AlignRequest& prototype,
+                        unsigned connections, std::size_t per_client) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<std::size_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (unsigned c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        flsa::service::Client client;
+        client.connect("127.0.0.1", port);
+        latencies[c].reserve(per_client);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          flsa::service::AlignRequest request = prototype;
+          request.request_id = 0;
+          const auto t0 = std::chrono::steady_clock::now();
+          const flsa::service::Response response =
+              client.call(std::move(request));
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!std::holds_alternative<flsa::service::AlignResponse>(
+                  response)) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(per_client, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  LoadRow row;
+  row.connections = connections;
+  row.requests = all.size();
+  row.wall_s = wall;
+  row.rps = wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+  row.latency = flsa::latency_quantiles(all);
+  row.errors = errors.load();
+  return row;
+}
+
+void write_json(const std::string& path, unsigned workers,
+                std::size_t pair_length, const std::vector<LoadRow>& rows,
+                std::size_t overload_accepted, std::size_t overload_rejected) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"workers\": " << workers
+      << ",\n  \"pair_length\": " << pair_length << ",\n  \"load\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LoadRow& r = rows[i];
+    out << "    {\"connections\": " << r.connections
+        << ", \"requests\": " << r.requests << ", \"wall_s\": " << r.wall_s
+        << ", \"throughput_rps\": " << r.rps << ", \"p50_ms\": "
+        << r.latency.p50 << ", \"p95_ms\": " << r.latency.p95
+        << ", \"p99_ms\": " << r.latency.p99 << ", \"max_ms\": "
+        << r.latency.max << ", \"errors\": " << r.errors << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overload\": {\"accepted\": " << overload_accepted
+      << ", \"rejected_overloaded\": " << overload_rejected << "}\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E15: service closed-loop load ===\n\n";
+
+  // Small-request serving workload: the daemon shape matters most when
+  // per-request work is modest and arrival concurrency is high.
+  const std::size_t pair_length = 256;
+  const flsa::SequencePair pair =
+      flsa::bench::sized_workload(pair_length).make();
+  flsa::service::AlignRequest prototype;
+  prototype.matrix = flsa::service::WireMatrix::kMdm78;
+  prototype.gap_extend = -10;
+  prototype.a = pair.a.to_string();
+  prototype.b = pair.b.to_string();
+
+  flsa::service::ServiceConfig config;
+  config.queue_capacity = 256;
+  flsa::service::AlignmentServer server(config);
+  server.start();
+  const unsigned workers = config.workers != 0 ? config.workers
+                                               : flsa::default_thread_count();
+  std::cout << "server on 127.0.0.1:" << server.port() << " (workers="
+            << workers << ", queue=" << config.queue_capacity << ")\n\n";
+
+  const std::size_t total_requests = 2048;
+  std::vector<LoadRow> rows;
+  flsa::Table table({"conns", "requests", "wall s", "req/s", "p50 ms",
+                     "p95 ms", "p99 ms", "max ms", "errors"});
+  for (unsigned connections : {1u, 8u, 32u, 64u}) {
+    const std::size_t per_client =
+        std::max<std::size_t>(8, total_requests / connections);
+    const LoadRow row =
+        run_closed_loop(server.port(), prototype, connections, per_client);
+    rows.push_back(row);
+    table.add_row({std::to_string(row.connections),
+                   std::to_string(row.requests),
+                   flsa::Table::num(row.wall_s), flsa::Table::num(row.rps),
+                   flsa::Table::num(row.latency.p50),
+                   flsa::Table::num(row.latency.p95),
+                   flsa::Table::num(row.latency.p99),
+                   flsa::Table::num(row.latency.max),
+                   std::to_string(row.errors)});
+  }
+  table.print(std::cout);
+  std::cout << "\nClosed-loop clients: offered load rises with connections"
+               " until the worker pool\nsaturates; past that, added"
+               " connections buy queueing latency, not throughput\n(the"
+               " shape Little's law predicts).\n";
+  server.stop();
+
+  // ---- Admission control under a deliberately tiny queue. ----
+  std::cout << "\n=== overload: queue capacity 1, pipelined burst ===\n\n";
+  flsa::service::ServiceConfig tiny;
+  tiny.queue_capacity = 1;
+  tiny.workers = 1;
+  flsa::service::AlignmentServer tiny_server(tiny);
+  tiny_server.start();
+  std::size_t accepted = 0, rejected = 0, other = 0;
+  {
+    flsa::service::Client client;
+    client.connect("127.0.0.1", tiny_server.port());
+    const std::size_t burst = 32;
+    for (std::size_t i = 0; i < burst; ++i) {
+      flsa::service::AlignRequest request = prototype;
+      request.request_id = 0;
+      client.send(std::move(request));
+    }
+    for (std::size_t i = 0; i < burst; ++i) {
+      const flsa::service::Response response = client.receive();
+      if (std::holds_alternative<flsa::service::AlignResponse>(response)) {
+        ++accepted;
+      } else if (const auto* err =
+                     std::get_if<flsa::service::ErrorResponse>(&response);
+                 err != nullptr &&
+                 err->code == flsa::service::ErrorCode::kOverloaded) {
+        ++rejected;
+      } else {
+        ++other;
+      }
+    }
+  }
+  tiny_server.stop();
+  std::cout << "burst of 32 -> accepted " << accepted << ", OVERLOADED "
+            << rejected << ", other " << other
+            << "\n(bounded queue + typed rejection instead of a hang: the"
+               " client can back off)\n";
+
+  write_json("BENCH_service.json", workers, pair_length, rows, accepted,
+             rejected);
+  std::cout << "\nwrote BENCH_service.json\n";
+  return 0;
+}

@@ -116,6 +116,40 @@ void MetricsRegistry::report(std::ostream& os) const {
         "--------\n";
 }
 
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  // Same locking discipline as report(): copy the instrument lists under
+  // the registry lock, then sample each instrument through its own
+  // synchronization.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+  }
+  std::vector<Sample> samples;
+  samples.reserve(counters.size() + gauges.size() + 6 * histograms.size());
+  for (const auto& [name, c] : counters) {
+    samples.push_back({name, static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges) {
+    samples.push_back({name, g->value()});
+  }
+  for (const auto& [name, h] : histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    samples.push_back({name + ".count", static_cast<double>(s.count)});
+    samples.push_back({name + ".mean", s.mean()});
+    samples.push_back({name + ".p50", h->quantile(0.5)});
+    samples.push_back({name + ".p95", h->quantile(0.95)});
+    samples.push_back({name + ".p99", h->quantile(0.99)});
+    samples.push_back({name + ".max", s.max});
+  }
+  return samples;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& entry : counters_) entry.second->reset();

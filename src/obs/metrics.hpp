@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace flsa {
 namespace obs {
@@ -101,6 +102,19 @@ class MetricsRegistry {
 
   /// Human-readable dump, sorted by kind then name.
   void report(std::ostream& os) const;
+
+  /// One sampled instrument value. Counters and gauges yield their name
+  /// as-is; each histogram expands into `<name>.count`, `<name>.mean`,
+  /// `<name>.p50`, `<name>.p95`, `<name>.p99` and `<name>.max` entries.
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+  };
+
+  /// Flat machine-readable snapshot of every instrument, sorted by name
+  /// within each kind (counters, then gauges, then histogram expansions).
+  /// This is what the alignment service's STATS verb ships over the wire.
+  std::vector<Sample> snapshot() const;
 
   /// Zeroes every instrument (bench reruns / tests).
   void reset();

@@ -7,12 +7,17 @@
 
 namespace flsa {
 
-std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet) {
+std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet,
+                                 const ParseLimits& limits) {
   std::vector<Sequence> records;
   std::string id;
   std::string description;
   std::string letters;
   bool in_record = false;
+  // A record whose header is the very last line of the stream is a
+  // truncated upload, not an empty sequence; an intentional empty record
+  // is written as a header followed by a blank line (see write_fasta).
+  bool saw_body = false;
 
   auto flush = [&] {
     if (!in_record) return;
@@ -25,12 +30,16 @@ std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet) {
   };
 
   std::string line;
-  while (std::getline(is, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
+  while (detail::read_bounded_line(is, &line, limits.max_line_bytes,
+                                   "FASTA")) {
+    if (line.empty()) {
+      if (in_record) saw_body = true;
+      continue;
+    }
     if (line[0] == '>') {
       flush();
       in_record = true;
+      saw_body = false;
       const std::string header = line.substr(1);
       const auto space = header.find_first_of(" \t");
       if (space == std::string::npos) {
@@ -46,20 +55,35 @@ std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet) {
         throw std::invalid_argument(
             "FASTA stream: sequence data before any '>' header");
       }
+      saw_body = true;
       for (char c : line) {
         if (!std::isspace(static_cast<unsigned char>(c))) letters.push_back(c);
       }
+      if (letters.size() > limits.max_record_residues) {
+        throw std::invalid_argument(
+            "FASTA record '" + id + "': exceeds the limit of " +
+            std::to_string(limits.max_record_residues) + " residues");
+      }
     }
+  }
+  if (is.bad()) {
+    throw std::runtime_error("FASTA stream: I/O error while reading");
+  }
+  if (in_record && !saw_body) {
+    throw std::invalid_argument(
+        "FASTA record '" + id +
+        "': truncated final record (header at end of input)");
   }
   flush();
   return records;
 }
 
 std::vector<Sequence> read_fasta_file(const std::string& path,
-                                      const Alphabet& alphabet) {
+                                      const Alphabet& alphabet,
+                                      const ParseLimits& limits) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
-  return read_fasta(in, alphabet);
+  return read_fasta(in, alphabet, limits);
 }
 
 void write_fasta(std::ostream& os, const std::vector<Sequence>& records,

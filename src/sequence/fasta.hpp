@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sequence/parse_limits.hpp"
 #include "sequence/sequence.hpp"
 
 namespace flsa {
@@ -14,11 +15,20 @@ namespace flsa {
 /// Reads every record of a FASTA stream. Header lines are `>id description`;
 /// sequence lines are concatenated; blank lines are skipped; characters not
 /// in `alphabet` raise std::invalid_argument naming the record.
-std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet);
+///
+/// Hardened for untrusted input: lines longer than limits.max_line_bytes and
+/// records larger than limits.max_record_residues raise std::invalid_argument
+/// before the bytes are buffered; a header at end of input with no sequence
+/// or blank line after it is a truncated final record and also raises
+/// std::invalid_argument (a header followed by a blank line remains an
+/// explicit empty record); stream I/O failures raise std::runtime_error.
+std::vector<Sequence> read_fasta(std::istream& is, const Alphabet& alphabet,
+                                 const ParseLimits& limits = {});
 
 /// Reads a FASTA file from disk. Throws std::runtime_error if unreadable.
 std::vector<Sequence> read_fasta_file(const std::string& path,
-                                      const Alphabet& alphabet);
+                                      const Alphabet& alphabet,
+                                      const ParseLimits& limits = {});
 
 /// Writes records with lines wrapped at `width` characters (default 70).
 void write_fasta(std::ostream& os, const std::vector<Sequence>& records,

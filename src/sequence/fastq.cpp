@@ -13,14 +13,12 @@ double FastqRecord::mean_phred() const {
   return total / static_cast<double>(quality.size());
 }
 
-std::vector<FastqRecord> read_fastq(std::istream& is,
-                                    const Alphabet& alphabet) {
+std::vector<FastqRecord> read_fastq(std::istream& is, const Alphabet& alphabet,
+                                    const ParseLimits& limits) {
   std::vector<FastqRecord> records;
   std::string line;
   auto next_line = [&](std::string& out) {
-    if (!std::getline(is, out)) return false;
-    if (!out.empty() && out.back() == '\r') out.pop_back();
-    return true;
+    return detail::read_bounded_line(is, &out, limits.max_line_bytes, "FASTQ");
   };
 
   while (next_line(line)) {
@@ -46,6 +44,11 @@ std::vector<FastqRecord> read_fastq(std::istream& is,
       throw std::invalid_argument("FASTQ record '" + id +
                                   "': missing '+' separator line");
     }
+    if (letters.size() > limits.max_record_residues) {
+      throw std::invalid_argument(
+          "FASTQ record '" + id + "': exceeds the limit of " +
+          std::to_string(limits.max_record_residues) + " residues");
+    }
     if (quality.size() != letters.size()) {
       throw std::invalid_argument(
           "FASTQ record '" + id + "': quality length " +
@@ -59,14 +62,18 @@ std::vector<FastqRecord> read_fastq(std::istream& is,
       throw std::invalid_argument("FASTQ record '" + id + "': " + e.what());
     }
   }
+  if (is.bad()) {
+    throw std::runtime_error("FASTQ stream: I/O error while reading");
+  }
   return records;
 }
 
 std::vector<FastqRecord> read_fastq_file(const std::string& path,
-                                         const Alphabet& alphabet) {
+                                         const Alphabet& alphabet,
+                                         const ParseLimits& limits) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open FASTQ file: " + path);
-  return read_fastq(in, alphabet);
+  return read_fastq(in, alphabet, limits);
 }
 
 void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sequence/parse_limits.hpp"
 #include "sequence/sequence.hpp"
 
 namespace flsa {
@@ -27,13 +28,18 @@ struct FastqRecord {
 };
 
 /// Reads every record of a FASTQ stream. Throws std::invalid_argument on
-/// structural errors (missing '@'/'+' lines, quality/sequence length
-/// mismatch, residues outside `alphabet`), naming the record.
-std::vector<FastqRecord> read_fastq(std::istream& is,
-                                    const Alphabet& alphabet);
+/// structural errors (missing '@'/'+' lines, truncated final records,
+/// quality/sequence length mismatch, residues outside `alphabet`), naming
+/// the record. Hardened for untrusted input: lines over
+/// limits.max_line_bytes and reads over limits.max_record_residues raise
+/// std::invalid_argument before the bytes are buffered; stream I/O
+/// failures raise std::runtime_error. CRLF line endings are accepted.
+std::vector<FastqRecord> read_fastq(std::istream& is, const Alphabet& alphabet,
+                                    const ParseLimits& limits = {});
 
 std::vector<FastqRecord> read_fastq_file(const std::string& path,
-                                         const Alphabet& alphabet);
+                                         const Alphabet& alphabet,
+                                         const ParseLimits& limits = {});
 
 /// Writes records in four-line form.
 void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records);

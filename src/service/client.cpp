@@ -1,0 +1,120 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace service {
+
+namespace {
+
+std::uint64_t response_id(const Response& response) {
+  return std::visit([](const auto& r) { return r.request_id; }, response);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      last_id_(std::exchange(other.last_id_, 0)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    last_id_ = std::exchange(other.last_id_, 0);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("invalid server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    close();
+    throw std::runtime_error("connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + what);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t Client::next_id() { return ++last_id_; }
+
+std::uint64_t Client::send(AlignRequest request) {
+  FLSA_REQUIRE(connected());
+  if (request.request_id == 0) request.request_id = next_id();
+  if (!write_frame(fd_, encode(request))) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return request.request_id;
+}
+
+std::uint64_t Client::send(StatsRequest request) {
+  FLSA_REQUIRE(connected());
+  if (request.request_id == 0) request.request_id = next_id();
+  if (!write_frame(fd_, encode(request))) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return request.request_id;
+}
+
+Response Client::receive() {
+  FLSA_REQUIRE(connected());
+  std::string payload;
+  if (!read_frame(fd_, &payload)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return decode_response(payload);
+}
+
+Response Client::wait_for(std::uint64_t request_id) {
+  Response response = receive();
+  if (response_id(response) != request_id) {
+    throw std::runtime_error(
+        "out-of-order response (id " + std::to_string(response_id(response)) +
+        ", expected " + std::to_string(request_id) +
+        "): call() must not be mixed with pipelined send()s");
+  }
+  return response;
+}
+
+Response Client::call(AlignRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(StatsRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+}  // namespace service
+}  // namespace flsa

@@ -1,0 +1,56 @@
+// Blocking client for the alignment service. One Client owns one TCP
+// connection; it is not thread-safe (use one per thread — the load
+// generator and align_batch follow the same rule). Requests may be
+// pipelined with send()/receive(); call() is the closed-loop convenience
+// that assigns request ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace flsa {
+namespace service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. Throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Fire-and-forget send (pipelining). Assigns the next request id when
+  /// request.request_id == 0 and returns the id actually sent.
+  std::uint64_t send(AlignRequest request);
+  std::uint64_t send(StatsRequest request);
+
+  /// Blocks for the next response frame (any request id). Throws
+  /// ProtocolError on malformed frames, std::runtime_error when the
+  /// server closed the connection.
+  Response receive();
+
+  /// Closed-loop helpers: send one request, wait for *its* response (by
+  /// request id; other pipelined responses arriving first are an error —
+  /// do not mix call() with pipelining on one connection).
+  Response call(AlignRequest request);
+  Response call(StatsRequest request);
+
+ private:
+  std::uint64_t next_id();
+  Response wait_for(std::uint64_t request_id);
+
+  int fd_ = -1;
+  std::uint64_t last_id_ = 0;
+};
+
+}  // namespace service
+}  // namespace flsa

@@ -1,0 +1,389 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace flsa {
+namespace service {
+namespace {
+
+/// Append-only little-endian payload builder.
+class Writer {
+ public:
+  explicit Writer(Verb verb) {
+    out_.push_back(static_cast<char>(kProtocolVersion));
+    out_.push_back(static_cast<char>(verb));
+  }
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    if (s.size() > kMaxFrameBytes) {
+      throw ProtocolError("string field exceeds the frame limit");
+    }
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian payload consumer.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= std::uint32_t(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= std::uint64_t(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  void finish() const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError("trailing bytes after payload body");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw ProtocolError("truncated payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+Verb read_header(Reader& r) {
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  return static_cast<Verb>(r.u8());
+}
+
+WireMatrix read_matrix(Reader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(WireMatrix::kDnaN)) {
+    throw ProtocolError("unknown matrix selector " + std::to_string(raw));
+  }
+  return static_cast<WireMatrix>(raw);
+}
+
+ErrorCode read_error_code(Reader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw < static_cast<std::uint8_t>(ErrorCode::kBadRequest) ||
+      raw > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+    throw ProtocolError("unknown error code " + std::to_string(raw));
+  }
+  return static_cast<ErrorCode>(raw);
+}
+
+}  // namespace
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kAlign: return "ALIGN";
+    case Verb::kStats: return "STATS";
+    case Verb::kAlignOk: return "ALIGN_OK";
+    case Verb::kError: return "ERROR";
+    case Verb::kStatsOk: return "STATS_OK";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "BAD_REQUEST";
+    case ErrorCode::kTooLarge: return "TOO_LARGE";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+const char* to_string(WireMatrix matrix) {
+  switch (matrix) {
+    case WireMatrix::kMdm78: return "mdm78";
+    case WireMatrix::kPam250: return "pam250";
+    case WireMatrix::kBlosum62: return "blosum62";
+    case WireMatrix::kDna: return "dna";
+    case WireMatrix::kDnaN: return "dna-n";
+  }
+  return "?";
+}
+
+bool parse_wire_matrix(std::string_view name, WireMatrix* out) {
+  for (WireMatrix m : {WireMatrix::kMdm78, WireMatrix::kPam250,
+                       WireMatrix::kBlosum62, WireMatrix::kDna,
+                       WireMatrix::kDnaN}) {
+    if (name == to_string(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode(const AlignRequest& request) {
+  Writer w(Verb::kAlign);
+  w.u64(request.request_id);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.i32(request.gap_open);
+  w.i32(request.gap_extend);
+  w.u32(request.k);
+  w.u64(request.base_case_cells);
+  w.u32(request.deadline_ms);
+  w.u8(request.score_only ? 1 : 0);
+  w.str(request.a);
+  w.str(request.b);
+  return w.take();
+}
+
+std::string encode(const StatsRequest& request) {
+  Writer w(Verb::kStats);
+  w.u64(request.request_id);
+  return w.take();
+}
+
+std::string encode(const AlignResponse& response) {
+  Writer w(Verb::kAlignOk);
+  w.u64(response.request_id);
+  w.i64(response.score);
+  w.str(response.cigar);
+  w.u64(response.cells);
+  w.u64(response.queue_micros);
+  w.u64(response.exec_micros);
+  return w.take();
+}
+
+std::string encode(const ErrorResponse& response) {
+  Writer w(Verb::kError);
+  w.u64(response.request_id);
+  w.u8(static_cast<std::uint8_t>(response.code));
+  w.str(response.message);
+  return w.take();
+}
+
+std::string encode(const StatsResponse& response) {
+  Writer w(Verb::kStatsOk);
+  w.u64(response.request_id);
+  w.u32(static_cast<std::uint32_t>(response.entries.size()));
+  for (const auto& [name, value] : response.entries) {
+    w.str(name);
+    w.f64(value);
+  }
+  return w.take();
+}
+
+Request decode_request(std::string_view payload) {
+  Reader r(payload);
+  const Verb verb = read_header(r);
+  switch (verb) {
+    case Verb::kAlign: {
+      AlignRequest req;
+      req.request_id = r.u64();
+      req.matrix = read_matrix(r);
+      req.gap_open = r.i32();
+      req.gap_extend = r.i32();
+      req.k = r.u32();
+      req.base_case_cells = r.u64();
+      req.deadline_ms = r.u32();
+      req.score_only = r.u8() != 0;
+      req.a = r.str();
+      req.b = r.str();
+      r.finish();
+      return req;
+    }
+    case Verb::kStats: {
+      StatsRequest req;
+      req.request_id = r.u64();
+      r.finish();
+      return req;
+    }
+    default:
+      throw ProtocolError(std::string("unexpected request verb ") +
+                          to_string(verb));
+  }
+}
+
+Response decode_response(std::string_view payload) {
+  Reader r(payload);
+  const Verb verb = read_header(r);
+  switch (verb) {
+    case Verb::kAlignOk: {
+      AlignResponse res;
+      res.request_id = r.u64();
+      res.score = r.i64();
+      res.cigar = r.str();
+      res.cells = r.u64();
+      res.queue_micros = r.u64();
+      res.exec_micros = r.u64();
+      r.finish();
+      return res;
+    }
+    case Verb::kError: {
+      ErrorResponse res;
+      res.request_id = r.u64();
+      res.code = read_error_code(r);
+      res.message = r.str();
+      r.finish();
+      return res;
+    }
+    case Verb::kStatsOk: {
+      StatsResponse res;
+      res.request_id = r.u64();
+      const std::uint32_t count = r.u32();
+      res.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = r.str();
+        const double value = r.f64();
+        res.entries.emplace_back(std::move(name), value);
+      }
+      r.finish();
+      return res;
+    }
+    default:
+      throw ProtocolError(std::string("unexpected response verb ") +
+                          to_string(verb));
+  }
+}
+
+std::uint64_t estimated_cells(const AlignRequest& request) {
+  return (static_cast<std::uint64_t>(request.a.size()) + 1) *
+         (static_cast<std::uint64_t>(request.b.size()) + 1);
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload exceeds the frame limit");
+  }
+  char header[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+  }
+  std::string buffer;
+  buffer.reserve(4 + payload.size());
+  buffer.append(header, 4);
+  buffer.append(payload);
+
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const ssize_t rc = ::send(fd, buffer.data() + sent, buffer.size() - sent,
+                              MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw std::runtime_error(std::string("send failed: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns 0 on EOF before any byte, n on
+/// success; throws ProtocolError on EOF mid-read.
+std::size_t read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, out + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return got;  // treated like EOF
+      throw std::runtime_error(std::string("recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (rc == 0) break;
+    got += static_cast<std::size_t>(rc);
+  }
+  if (got != 0 && got != n) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* payload, std::size_t max_bytes) {
+  char header[4];
+  if (read_exact(fd, header, 4) == 0) return false;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= std::uint32_t(static_cast<unsigned char>(header[i])) << (8 * i);
+  }
+  if (n > max_bytes) {
+    throw ProtocolError("frame of " + std::to_string(n) +
+                        " bytes exceeds the limit of " +
+                        std::to_string(max_bytes));
+  }
+  payload->resize(n);
+  if (n != 0 && read_exact(fd, payload->data(), n) != n) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace service
+}  // namespace flsa

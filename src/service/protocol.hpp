@@ -1,0 +1,170 @@
+// Wire protocol of the alignment service.
+//
+// Transport framing is length-prefixed: a frame is a 4-byte little-endian
+// payload length followed by the payload. Every payload starts with a
+// 1-byte protocol version and a 1-byte verb; the remainder is the verb's
+// body. All integers are little-endian and fixed-width, strings are a
+// u32 byte count followed by raw bytes, doubles are the IEEE-754 bit
+// pattern as a u64. The format is versioned so a v2 server can keep
+// answering v1 clients; decoders reject unknown versions with a typed
+// error instead of guessing.
+//
+// Verbs (requests from the client, responses from the server):
+//   ALIGN  -> ALIGN_OK | ERROR    one pairwise alignment job
+//   STATS  -> STATS_OK | ERROR    snapshot of the server metrics registry
+//
+// Responses carry the request_id of the request they answer, so clients
+// may pipeline: with a shared worker pool, responses on one connection can
+// complete out of submission order (an OVERLOADED rejection overtakes a
+// job still running).
+//
+// Decoding is strict: every read is bounds-checked and trailing garbage is
+// an error (ProtocolError). The server maps ProtocolError to a BAD_REQUEST
+// response; it never crashes on hostile bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace flsa {
+namespace service {
+
+/// Protocol version this build speaks.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling a decoder applies to incoming frame payloads; servers and
+/// clients may configure a smaller limit.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+
+enum class Verb : std::uint8_t {
+  kAlign = 0x01,
+  kStats = 0x02,
+  kAlignOk = 0x81,
+  kError = 0x82,
+  kStatsOk = 0x83,
+};
+
+/// Substitution matrix selector (the server owns the tables; the wire
+/// carries only the choice, never a matrix).
+enum class WireMatrix : std::uint8_t {
+  kMdm78 = 0,
+  kPam250 = 1,
+  kBlosum62 = 2,
+  kDna = 3,
+  kDnaN = 4,
+};
+
+/// Typed rejection/failure codes. Everything the admission controller or a
+/// worker can do to a request short of answering it has a code here.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 1,        ///< malformed frame, bad residues, bad options
+  kTooLarge = 2,          ///< estimated DPM cells above the server budget
+  kOverloaded = 3,        ///< bounded request queue full (admission control)
+  kDeadlineExceeded = 4,  ///< still queued past the request deadline
+  kShuttingDown = 5,      ///< server is draining; no new work accepted
+  kInternal = 6,          ///< unexpected server-side failure
+};
+
+const char* to_string(Verb verb);
+const char* to_string(ErrorCode code);
+const char* to_string(WireMatrix matrix);
+
+/// Parses a matrix name ("mdm78", "pam250", ...). Returns false on unknown
+/// names; `out` is untouched then.
+bool parse_wire_matrix(std::string_view name, WireMatrix* out);
+
+/// One pairwise alignment job.
+struct AlignRequest {
+  std::uint64_t request_id = 0;
+  WireMatrix matrix = WireMatrix::kMdm78;
+  /// Gap model: gap_open == 0 selects linear gaps (both must be <= 0).
+  std::int32_t gap_open = 0;
+  std::int32_t gap_extend = -10;
+  /// FastLSA tuning; 0 means "use the server default".
+  std::uint32_t k = 0;
+  std::uint64_t base_case_cells = 0;
+  /// Queueing deadline in milliseconds from submission; 0 = none. A job
+  /// still waiting in the queue past its deadline is answered with
+  /// DEADLINE_EXCEEDED instead of being executed.
+  std::uint32_t deadline_ms = 0;
+  /// Skip the traceback CIGAR in the response (score only).
+  bool score_only = false;
+  /// Residue letters of the two sequences (alphabet follows the matrix).
+  std::string a;
+  std::string b;
+};
+
+/// Registry snapshot request.
+struct StatsRequest {
+  std::uint64_t request_id = 0;
+};
+
+/// Successful alignment.
+struct AlignResponse {
+  std::uint64_t request_id = 0;
+  std::int64_t score = 0;
+  std::string cigar;  ///< empty when the request asked for score only
+  std::uint64_t cells = 0;         ///< m * n of the problem
+  std::uint64_t queue_micros = 0;  ///< time spent waiting for a worker
+  std::uint64_t exec_micros = 0;   ///< time spent aligning
+};
+
+/// Typed failure.
+struct ErrorResponse {
+  std::uint64_t request_id = 0;  ///< 0 when the request was unparseable
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Metrics snapshot: flat name -> value pairs (counters and gauges as-is,
+/// histograms expanded into count/mean/quantile entries by the server).
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  std::vector<std::pair<std::string, double>> entries;
+};
+
+using Request = std::variant<AlignRequest, StatsRequest>;
+using Response = std::variant<AlignResponse, ErrorResponse, StatsResponse>;
+
+/// Thrown by decoders on malformed payloads (truncation, trailing bytes,
+/// unknown version/verb, length overflow).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Payload encoders (version byte + verb + body; no length prefix).
+std::string encode(const AlignRequest& request);
+std::string encode(const StatsRequest& request);
+std::string encode(const AlignResponse& response);
+std::string encode(const ErrorResponse& response);
+std::string encode(const StatsResponse& response);
+
+/// Payload decoders; throw ProtocolError on malformed input.
+Request decode_request(std::string_view payload);
+Response decode_response(std::string_view payload);
+
+/// Estimated DPM cells of a request, the quantity the admission
+/// controller's TOO_LARGE budget is expressed in: (|a|+1) * (|b|+1).
+std::uint64_t estimated_cells(const AlignRequest& request);
+
+// ---- Framed transport over a connected socket ------------------------
+
+/// Writes one length-prefixed frame. Returns false when the peer is gone
+/// (EPIPE/ECONNRESET); throws std::runtime_error on other socket errors.
+bool write_frame(int fd, std::string_view payload);
+
+/// Reads one length-prefixed frame into *payload. Returns false on clean
+/// EOF at a frame boundary; throws ProtocolError on oversized or truncated
+/// frames and std::runtime_error on socket errors.
+bool read_frame(int fd, std::string* payload,
+                std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace service
+}  // namespace flsa

@@ -1,0 +1,422 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "scoring/builtin.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+namespace service {
+
+namespace {
+
+const Alphabet& alphabet_for(WireMatrix matrix) {
+  switch (matrix) {
+    case WireMatrix::kDna: return Alphabet::dna();
+    case WireMatrix::kDnaN: return Alphabet::dna_n();
+    default: return Alphabet::protein();
+  }
+}
+
+const SubstitutionMatrix& matrix_for(WireMatrix matrix) {
+  static const SubstitutionMatrix dna_matrix = scoring::dna();
+  static const SubstitutionMatrix dna_n_matrix = scoring::dna_n();
+  switch (matrix) {
+    case WireMatrix::kMdm78: return scoring::mdm78();
+    case WireMatrix::kPam250: return scoring::pam250();
+    case WireMatrix::kBlosum62: return scoring::blosum62();
+    case WireMatrix::kDna: return dna_matrix;
+    case WireMatrix::kDnaN: return dna_n_matrix;
+  }
+  return scoring::mdm78();
+}
+
+std::uint64_t micros_between(std::chrono::steady_clock::time_point from,
+                             std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+/// Per-connection state shared between the handler thread (reads) and the
+/// workers (response writes). `open` is flipped under `write_mutex` before
+/// the fd is closed, so a worker can never write into a recycled fd.
+struct AlignmentServer::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  bool open = true;                ///< guarded by write_mutex
+  std::atomic<bool> finished{false};  ///< handler thread has exited
+  std::thread handler;
+};
+
+AlignmentServer::AlignmentServer(ServiceConfig config)
+    : config_(std::move(config)),
+      instruments_{
+          obs::metrics().counter("service.connections"),
+          obs::metrics().counter("service.requests"),
+          obs::metrics().counter("service.completed"),
+          obs::metrics().counter("service.rejected.overloaded"),
+          obs::metrics().counter("service.rejected.too_large"),
+          obs::metrics().counter("service.rejected.deadline"),
+          obs::metrics().counter("service.rejected.shutting_down"),
+          obs::metrics().counter("service.bad_requests"),
+          obs::metrics().counter("service.internal_errors"),
+          obs::metrics().counter("service.write_errors"),
+          obs::metrics().counter("service.cells"),
+          obs::metrics().gauge("service.queue_depth"),
+          obs::metrics().histogram("service.queue_seconds"),
+          obs::metrics().histogram("service.exec_seconds"),
+      },
+      queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
+  validate(config_.fastlsa);
+}
+
+AlignmentServer::~AlignmentServer() { stop(); }
+
+void AlignmentServer::start() {
+  FLSA_REQUIRE(!running_.load());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on " + config_.host + ":" +
+                             std::to_string(config_.port) + " failed: " +
+                             what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("getsockname failed: ") + what);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (config_.enable_metrics) obs::set_enabled(true);
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  const unsigned workers =
+      config_.workers != 0 ? config_.workers : default_thread_count();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void AlignmentServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: shutdown unblocks the acceptor's accept(2).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Drain: no new admissions, workers finish every queued job.
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 3. Every admitted job is answered; unblock the connection readers
+  //    (clients that pipelined further requests got SHUTTING_DOWN from
+  //    the closed queue) and tear the sockets down.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  reap_connections(/*all=*/true);
+  instruments_.queue_depth.set(0.0);
+}
+
+void AlignmentServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL/EBADF after stop()'s shutdown — or a transient error while
+      // still running; either way, stop accepting only when draining.
+      if (draining_.load(std::memory_order_acquire)) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED) {
+        continue;  // out of fds or a client vanished: keep serving
+      }
+      return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    instruments_.connections.add();
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    connection->handler = std::thread(
+        [this, connection] { connection_loop(connection); });
+    reap_connections(/*all=*/false);
+  }
+}
+
+void AlignmentServer::reap_connections(bool all) {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        finished.push_back(*it);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& connection : finished) {
+    if (connection->handler.joinable()) connection->handler.join();
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    if (connection->open) {
+      connection->open = false;
+      ::close(connection->fd);
+    }
+  }
+}
+
+void AlignmentServer::connection_loop(
+    std::shared_ptr<Connection> connection) {
+  std::string payload;
+  while (true) {
+    try {
+      if (!read_frame(connection->fd, &payload, config_.max_frame_bytes)) {
+        break;  // clean EOF
+      }
+    } catch (const ProtocolError& e) {
+      reject(connection, 0, ErrorCode::kBadRequest, e.what());
+      break;
+    } catch (const std::exception&) {
+      break;  // socket error (peer reset, fd shut down during drain)
+    }
+    try {
+      handle_request(connection, decode_request(payload));
+    } catch (const ProtocolError& e) {
+      reject(connection, 0, ErrorCode::kBadRequest, e.what());
+      break;  // framing is suspect; stop reading from this peer
+    }
+  }
+  connection->finished.store(true, std::memory_order_release);
+}
+
+void AlignmentServer::handle_request(
+    const std::shared_ptr<Connection>& connection, Request request) {
+  if (std::holds_alternative<StatsRequest>(request)) {
+    answer_stats(connection, std::get<StatsRequest>(request));
+    return;
+  }
+  AlignRequest align = std::get<AlignRequest>(std::move(request));
+  instruments_.requests.add();
+
+  if (draining_.load(std::memory_order_acquire)) {
+    instruments_.rejected_shutdown.add();
+    reject(connection, align.request_id, ErrorCode::kShuttingDown,
+           "server is draining");
+    return;
+  }
+  const std::uint64_t cells = estimated_cells(align);
+  if (cells > config_.max_request_cells) {
+    instruments_.rejected_too_large.add();
+    reject(connection, align.request_id, ErrorCode::kTooLarge,
+           "request of " + std::to_string(cells) +
+               " DPM cells exceeds the budget of " +
+               std::to_string(config_.max_request_cells));
+    return;
+  }
+
+  Job job;
+  job.connection = connection;
+  const std::uint64_t request_id = align.request_id;
+  job.request = std::move(align);
+  job.enqueued = std::chrono::steady_clock::now();
+  switch (queue_.try_push(std::move(job))) {
+    case BoundedQueue<Job>::Push::kAccepted:
+      instruments_.queue_depth.set(static_cast<double>(queue_.size()));
+      break;
+    case BoundedQueue<Job>::Push::kFull:
+      instruments_.rejected_overloaded.add();
+      reject(connection, request_id, ErrorCode::kOverloaded,
+             "request queue full (" + std::to_string(queue_.capacity()) +
+                 " entries)");
+      break;
+    case BoundedQueue<Job>::Push::kClosed:
+      instruments_.rejected_shutdown.add();
+      reject(connection, request_id, ErrorCode::kShuttingDown,
+             "server is draining");
+      break;
+  }
+}
+
+void AlignmentServer::worker_loop(unsigned worker_index) {
+  (void)worker_index;
+  // One persistent Aligner per worker: its workspace recycles every
+  // engine buffer, so steady-state requests allocate nothing inside the
+  // engine (PR-3 contract), which is what lets a warm daemon beat
+  // one-shot CLI invocations.
+  AlignOptions base;
+  base.strategy = Strategy::kFastLsa;  // linear space per request
+  base.fastlsa = config_.fastlsa;
+  Aligner aligner(base);
+
+  while (auto job = queue_.pop()) {
+    instruments_.queue_depth.set(static_cast<double>(queue_.size()));
+    const auto now = std::chrono::steady_clock::now();
+    const AlignRequest& request = job->request;
+    if (request.deadline_ms != 0 &&
+        now - job->enqueued >= std::chrono::milliseconds(request.deadline_ms)) {
+      instruments_.rejected_deadline.add();
+      reject(job->connection, request.request_id,
+             ErrorCode::kDeadlineExceeded,
+             "queued for " +
+                 std::to_string(micros_between(job->enqueued, now) / 1000) +
+                 " ms, deadline " + std::to_string(request.deadline_ms) +
+                 " ms");
+      continue;
+    }
+    execute(aligner, *job);
+  }
+}
+
+void AlignmentServer::execute(Aligner& aligner, Job& job) {
+  const AlignRequest& request = job.request;
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    if (request.gap_open > 0 || request.gap_extend > 0) {
+      throw std::invalid_argument("gap penalties must be <= 0");
+    }
+    const Alphabet& alphabet = alphabet_for(request.matrix);
+    const SubstitutionMatrix& matrix = matrix_for(request.matrix);
+    const ScoringScheme scheme =
+        request.gap_open == 0
+            ? ScoringScheme(matrix, request.gap_extend)
+            : ScoringScheme(matrix, request.gap_open, request.gap_extend);
+    const Sequence a(alphabet, request.a);
+    const Sequence b(alphabet, request.b);
+
+    AlignOptions options = aligner.options();
+    if (request.k != 0) options.fastlsa.k = request.k;
+    if (request.base_case_cells != 0) {
+      options.fastlsa.base_case_cells = request.base_case_cells;
+    }
+    validate(options.fastlsa);
+    // The worker's persistent workspace: this is the whole point of the
+    // daemon shape — buffers stay warm across requests.
+    options.fastlsa.workspace = &aligner.workspace();
+
+    const Alignment alignment = flsa::align(a, b, scheme, options);
+    const auto done = std::chrono::steady_clock::now();
+
+    AlignResponse response;
+    response.request_id = request.request_id;
+    response.score = alignment.score;
+    if (!request.score_only) response.cigar = alignment.cigar();
+    response.cells = static_cast<std::uint64_t>(a.size()) * b.size();
+    response.queue_micros = micros_between(job.enqueued, started);
+    response.exec_micros = micros_between(started, done);
+
+    instruments_.completed.add();
+    instruments_.cells.add(response.cells);
+    instruments_.queue_seconds.observe(
+        static_cast<double>(response.queue_micros) * 1e-6);
+    instruments_.exec_seconds.observe(
+        static_cast<double>(response.exec_micros) * 1e-6);
+    if (!respond(job.connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const std::invalid_argument& e) {
+    instruments_.bad_requests.add();
+    reject(job.connection, request.request_id, ErrorCode::kBadRequest,
+           e.what());
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(job.connection, request.request_id, ErrorCode::kInternal,
+           e.what());
+  }
+}
+
+void AlignmentServer::answer_stats(
+    const std::shared_ptr<Connection>& connection,
+    const StatsRequest& request) {
+  instruments_.queue_depth.set(static_cast<double>(queue_.size()));
+  StatsResponse response;
+  response.request_id = request.request_id;
+  for (const obs::MetricsRegistry::Sample& sample :
+       obs::metrics().snapshot()) {
+    response.entries.emplace_back(sample.name, sample.value);
+  }
+  respond(connection, encode(response));
+}
+
+bool AlignmentServer::respond(const std::shared_ptr<Connection>& connection,
+                              const std::string& payload) {
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (!connection->open) return false;
+  try {
+    return write_frame(connection->fd, payload);
+  } catch (const std::exception&) {
+    return false;  // peer is gone; dropping the answer is the contract
+  }
+}
+
+void AlignmentServer::reject(const std::shared_ptr<Connection>& connection,
+                             std::uint64_t request_id, ErrorCode code,
+                             const std::string& message) {
+  ErrorResponse response;
+  response.request_id = request_id;
+  response.code = code;
+  response.message = message;
+  if (!respond(connection, encode(response))) {
+    instruments_.write_errors.add();
+  }
+}
+
+}  // namespace service
+}  // namespace flsa

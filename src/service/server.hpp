@@ -1,0 +1,170 @@
+// The alignment daemon: a POSIX-socket server that keeps the FastLSA
+// engine warm across requests.
+//
+// Threading model
+// ---------------
+//   acceptor thread      accept()s connections, one handler thread each
+//   connection threads   read frames, decode, run admission control, and
+//                        either answer inline (STATS, rejections) or
+//                        enqueue a Job
+//   worker threads       pop Jobs from the bounded queue; each worker owns
+//                        a persistent Aligner whose workspace (core/arena)
+//                        makes steady-state alignment allocation-free
+//
+// Admission control happens on the connection thread, before the queue:
+//   * draining            -> SHUTTING_DOWN
+//   * (m+1)(n+1) > budget -> TOO_LARGE   (a huge job must not occupy a
+//                                         worker for seconds and starve
+//                                         the pool)
+//   * queue full          -> OVERLOADED  (backpressure is an answer, not
+//                                         a hang or a dropped connection)
+// Deadlines are enforced at dequeue: a job whose queueing time exceeded
+// its deadline_ms is answered with DEADLINE_EXCEEDED instead of executed —
+// the client has given up, so the cells would be wasted.
+//
+// Graceful drain: stop() (or the SIGINT/SIGTERM handler in flsa_serve
+// calling it) closes the listener, closes the queue for admission, lets
+// the workers finish every job admitted before the close, then unblocks
+// and joins the connection threads. In-flight clients get their answers;
+// new work gets SHUTTING_DOWN.
+//
+// Responses may complete out of submission order on one connection (the
+// worker pool is shared); the request_id keys them. A per-connection write
+// mutex keeps frames from interleaving.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "core/fastlsa.hpp"
+#include "obs/metrics.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/protocol.hpp"
+
+namespace flsa {
+namespace service {
+
+struct ServiceConfig {
+  /// Listen address. The daemon speaks a trusted-network protocol; the
+  /// default binds loopback only.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (see AlignmentServer::port()).
+  std::uint16_t port = 0;
+  /// Worker pool size; 0 = hardware concurrency.
+  unsigned workers = 0;
+  /// Bounded request queue capacity (admission control threshold).
+  std::size_t queue_capacity = 64;
+  /// TOO_LARGE budget: maximum (m+1)*(n+1) DPM cells per request.
+  std::uint64_t max_request_cells = std::uint64_t{1} << 28;
+  /// Per-frame byte ceiling applied when reading requests.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Base FastLSA tuning; requests may override k / base_case_cells.
+  FastLsaOptions fastlsa;
+  /// Arm the obs metrics registry on start() so the STATS verb has data.
+  bool enable_metrics = true;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+class AlignmentServer {
+ public:
+  explicit AlignmentServer(ServiceConfig config = {});
+  ~AlignmentServer();  ///< stops (drains) if still running
+
+  AlignmentServer(const AlignmentServer&) = delete;
+  AlignmentServer& operator=(const AlignmentServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker threads. Throws
+  /// std::runtime_error on socket failures.
+  void start();
+
+  /// The bound TCP port (resolves config.port == 0 to the real one).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain; blocks until every admitted job is answered and all
+  /// threads are joined. Idempotent and callable from any thread (the
+  /// signal path in flsa_serve funnels here via a self-pipe).
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Current depth of the bounded request queue.
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> connection;
+    AlignRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> connection);
+  void worker_loop(unsigned worker_index);
+
+  /// Handles one decoded request on the connection thread (admission,
+  /// STATS, rejections). Alignment work is enqueued, never run here.
+  void handle_request(const std::shared_ptr<Connection>& connection,
+                      Request request);
+  void execute(Aligner& aligner, Job& job);
+  void answer_stats(const std::shared_ptr<Connection>& connection,
+                    const StatsRequest& request);
+
+  /// Serialized, connection-locked frame write; false when the peer hung
+  /// up (the job's result is then dropped, not an error).
+  bool respond(const std::shared_ptr<Connection>& connection,
+               const std::string& payload);
+  void reject(const std::shared_ptr<Connection>& connection,
+              std::uint64_t request_id, ErrorCode code,
+              const std::string& message);
+
+  /// Joins finished connection handlers and closes their sockets.
+  /// Amortized from the accept loop; stop() sweeps the remainder.
+  void reap_connections(bool all);
+
+  /// Cached registry instruments (stable references, hot-path safe).
+  struct Instruments {
+    obs::Counter& connections;
+    obs::Counter& requests;
+    obs::Counter& completed;
+    obs::Counter& rejected_overloaded;
+    obs::Counter& rejected_too_large;
+    obs::Counter& rejected_deadline;
+    obs::Counter& rejected_shutdown;
+    obs::Counter& bad_requests;
+    obs::Counter& internal_errors;
+    obs::Counter& write_errors;
+    obs::Counter& cells;
+    obs::Gauge& queue_depth;
+    obs::Histogram& queue_seconds;
+    obs::Histogram& exec_seconds;
+  };
+
+  ServiceConfig config_;
+  Instruments instruments_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  BoundedQueue<Job> queue_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace service
+}  // namespace flsa

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "support/assert.hpp"
+#include "support/version.hpp"
 
 namespace flsa {
 
@@ -58,6 +59,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_help(std::cout);
+      return false;
+    }
+    if (arg == "--version") {
+      std::cout << version_string() << "\n";
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -152,7 +157,9 @@ const std::string& CliParser::get_string(const std::string& name) const {
 }
 
 void CliParser::print_help(std::ostream& os) const {
-  os << description_ << "\n\nusage: " << program_name_ << " [flags]\n";
+  os << description_ << "\n\nusage: " << program_name_
+     << " [flags]\n  --version  print \"" << version_string()
+     << "\" and exit\n";
   for (const auto& [name, e] : entries_) {
     os << "  --" << name << "  (default " << e.default_repr << ")\n      "
        << e.help << "\n";

@@ -28,7 +28,8 @@ class CliParser {
   void add_string(const std::string& name, const std::string& default_value,
                   const std::string& help);
 
-  /// Parses argv. Returns false (after printing help) when --help was given.
+  /// Parses argv. Returns false (after printing) when --help or --version
+  /// was given (every tool thus identifies its build via --version).
   /// Throws std::invalid_argument on unknown flags or malformed values.
   bool parse(int argc, const char* const* argv);
 

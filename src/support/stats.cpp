@@ -40,6 +40,39 @@ double ci95_halfwidth(const Summary& s) {
   return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
 }
 
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double fraction = h - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[lo + 1] - sorted[lo]);
+}
+
+LatencyQuantiles latency_quantiles(std::span<const double> sample) {
+  LatencyQuantiles q;
+  q.n = sample.size();
+  if (q.n == 0) return q;
+  // One sort shared by all three quantiles.
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&sorted](double p) {
+    const double h = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] +
+           (h - static_cast<double>(lo)) * (sorted[lo + 1] - sorted[lo]);
+  };
+  q.p50 = at(0.50);
+  q.p95 = at(0.95);
+  q.p99 = at(0.99);
+  q.max = sorted.back();
+  return q;
+}
+
 void Accumulator::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -28,6 +28,26 @@ double median(std::span<const double> sample);
 /// mean (1.96 * stddev / sqrt(n)); 0 for samples smaller than 2.
 double ci95_halfwidth(const Summary& s);
 
+/// Exact sample quantile with linear interpolation between order
+/// statistics (the "linear" / Hyndman-Fan type-7 rule): for a sorted
+/// sample x[0..n-1], percentile(p) = x[h] interpolated at
+/// h = p * (n - 1). p is clamped to [0, 1]; an empty sample yields 0.
+/// percentile(s, 0.5) agrees with median() for every sample size.
+double percentile(std::span<const double> sample, double p);
+
+/// The latency-report quantiles of the service load benchmark. Exact
+/// (order-statistic) values, unlike obs::Histogram::quantile's bucketed
+/// approximation — closed-loop load generators keep every sample, so
+/// there is no reason to approximate.
+struct LatencyQuantiles {
+  std::size_t n = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+LatencyQuantiles latency_quantiles(std::span<const double> sample);
+
 /// Online accumulator (Welford) for streaming measurements.
 class Accumulator {
  public:

@@ -65,6 +65,45 @@ TEST(Fastq, RejectsStructuralErrors) {
                std::runtime_error);
 }
 
+TEST(Fastq, HandlesWindowsLineEndings) {
+  std::istringstream in("@r one\r\nACGT\r\n+\r\nIIII\r\n");
+  const auto records = read_fastq(in, Alphabet::dna());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGT");
+  EXPECT_EQ(records[0].sequence.description(), "one");
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+TEST(Fastq, OversizedLineThrowsCleanly) {
+  ParseLimits limits;
+  limits.max_line_bytes = 8;
+  std::istringstream in("@r\n" + std::string(32, 'A') + "\n+\n" +
+                        std::string(32, 'I') + "\n");
+  EXPECT_THROW(read_fastq(in, Alphabet::dna(), limits), std::invalid_argument);
+}
+
+TEST(Fastq, OversizedRecordThrowsAndNamesIt) {
+  ParseLimits limits;
+  limits.max_record_residues = 4;
+  std::istringstream in("@big\nACGTACGT\n+\nIIIIIIII\n");
+  try {
+    read_fastq(in, Alphabet::dna(), limits);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("big"), std::string::npos);
+  }
+}
+
+TEST(Fastq, TruncatedFinalRecordNamesIt) {
+  std::istringstream in("@ok\nACGT\n+\nIIII\n@cut\nACGT\n");
+  try {
+    read_fastq(in, Alphabet::dna());
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cut"), std::string::npos);
+  }
+}
+
 TEST(Consensus, MajorityRuleAndGapSkipping) {
   msa::MultipleAlignment aln;
   aln.rows = {"AC-GT", "AC-GA", "ATCGT"};

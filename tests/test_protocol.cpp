@@ -1,0 +1,226 @@
+// Serialization round-trip and hostile-input tests for the service wire
+// protocol. Every message type must survive encode -> decode bit-exactly,
+// and every malformed payload must produce a typed ProtocolError — the
+// daemon's first line of defence against untrusted bytes.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <variant>
+
+#include "service/protocol.hpp"
+
+namespace flsa {
+namespace service {
+namespace {
+
+AlignRequest sample_align_request() {
+  AlignRequest request;
+  request.request_id = 0x1122334455667788ULL;
+  request.matrix = WireMatrix::kBlosum62;
+  request.gap_open = -11;
+  request.gap_extend = -1;
+  request.k = 4;
+  request.base_case_cells = 1 << 16;
+  request.deadline_ms = 250;
+  request.score_only = true;
+  request.a = "HEAGAWGHEE";
+  request.b = "PAWHEAE";
+  return request;
+}
+
+TEST(Protocol, AlignRequestRoundTrip) {
+  const AlignRequest request = sample_align_request();
+  const Request decoded = decode_request(encode(request));
+  const auto* align = std::get_if<AlignRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_EQ(align->request_id, request.request_id);
+  EXPECT_EQ(align->matrix, request.matrix);
+  EXPECT_EQ(align->gap_open, request.gap_open);
+  EXPECT_EQ(align->gap_extend, request.gap_extend);
+  EXPECT_EQ(align->k, request.k);
+  EXPECT_EQ(align->base_case_cells, request.base_case_cells);
+  EXPECT_EQ(align->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(align->score_only, request.score_only);
+  EXPECT_EQ(align->a, request.a);
+  EXPECT_EQ(align->b, request.b);
+}
+
+TEST(Protocol, AlignRequestDefaultsRoundTrip) {
+  AlignRequest request;
+  request.a = "A";
+  request.b = "C";
+  const Request decoded = decode_request(encode(request));
+  const auto* align = std::get_if<AlignRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_EQ(align->request_id, 0u);
+  EXPECT_EQ(align->gap_open, 0);
+  EXPECT_FALSE(align->score_only);
+}
+
+TEST(Protocol, StatsRequestRoundTrip) {
+  StatsRequest request;
+  request.request_id = 7;
+  const Request decoded = decode_request(encode(request));
+  const auto* stats = std::get_if<StatsRequest>(&decoded);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->request_id, 7u);
+}
+
+TEST(Protocol, AlignResponseRoundTrip) {
+  AlignResponse response;
+  response.request_id = 42;
+  response.score = -12345;
+  response.cigar = "3M1I2M1D4M";
+  response.cells = 99;
+  response.queue_micros = 1234;
+  response.exec_micros = 56789;
+  const Response decoded = decode_response(encode(response));
+  const auto* ok = std::get_if<AlignResponse>(&decoded);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->request_id, 42u);
+  EXPECT_EQ(ok->score, -12345);
+  EXPECT_EQ(ok->cigar, "3M1I2M1D4M");
+  EXPECT_EQ(ok->cells, 99u);
+  EXPECT_EQ(ok->queue_micros, 1234u);
+  EXPECT_EQ(ok->exec_micros, 56789u);
+}
+
+TEST(Protocol, ErrorResponseRoundTripAllCodes) {
+  for (ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kTooLarge, ErrorCode::kOverloaded,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kShuttingDown,
+        ErrorCode::kInternal}) {
+    ErrorResponse response;
+    response.request_id = 9;
+    response.code = code;
+    response.message = std::string("why: ") + to_string(code);
+    const Response decoded = decode_response(encode(response));
+    const auto* error = std::get_if<ErrorResponse>(&decoded);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->code, code);
+    EXPECT_EQ(error->message, response.message);
+  }
+}
+
+TEST(Protocol, StatsResponseRoundTrip) {
+  StatsResponse response;
+  response.request_id = 3;
+  response.entries = {{"service.requests", 10.0},
+                      {"service.exec_seconds.p99", 0.125},
+                      {"negative", -1.5}};
+  const Response decoded = decode_response(encode(response));
+  const auto* stats = std::get_if<StatsResponse>(&decoded);
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->entries.size(), 3u);
+  EXPECT_EQ(stats->entries[0].first, "service.requests");
+  EXPECT_DOUBLE_EQ(stats->entries[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(stats->entries[1].second, 0.125);
+  EXPECT_DOUBLE_EQ(stats->entries[2].second, -1.5);
+}
+
+TEST(Protocol, EmptySequencesRoundTrip) {
+  AlignRequest request;  // both sequences empty
+  const Request decoded = decode_request(encode(request));
+  const auto* align = std::get_if<AlignRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_TRUE(align->a.empty());
+  EXPECT_TRUE(align->b.empty());
+}
+
+TEST(Protocol, RejectsEmptyPayload) {
+  EXPECT_THROW(decode_request(""), ProtocolError);
+  EXPECT_THROW(decode_response(""), ProtocolError);
+}
+
+TEST(Protocol, RejectsUnknownVersion) {
+  std::string payload = encode(sample_align_request());
+  payload[0] = static_cast<char>(kProtocolVersion + 1);
+  EXPECT_THROW(decode_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsUnknownVerb) {
+  std::string payload = encode(sample_align_request());
+  payload[1] = '\x7f';
+  EXPECT_THROW(decode_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsResponseVerbInRequestAndViceVersa) {
+  EXPECT_THROW(decode_request(encode(AlignResponse{})), ProtocolError);
+  EXPECT_THROW(decode_response(encode(sample_align_request())),
+               ProtocolError);
+}
+
+TEST(Protocol, RejectsTruncationAtEveryPrefix) {
+  const std::string payload = encode(sample_align_request());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW(decode_request(payload.substr(0, cut)), ProtocolError)
+        << "prefix of " << cut << " bytes decoded successfully";
+  }
+}
+
+TEST(Protocol, RejectsTrailingGarbage) {
+  std::string payload = encode(sample_align_request());
+  payload.push_back('\0');
+  EXPECT_THROW(decode_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsStringLengthPastEnd) {
+  // Corrupt the final string's length field to point past the payload.
+  AlignRequest request = sample_align_request();
+  request.b = "XYZ";
+  std::string payload = encode(request);
+  // b's length field is the 4 bytes preceding its 3 characters.
+  const std::size_t len_offset = payload.size() - 3 - 4;
+  payload[len_offset] = '\xff';
+  payload[len_offset + 1] = '\xff';
+  EXPECT_THROW(decode_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RejectsUnknownMatrixAndErrorCode) {
+  std::string align = encode(sample_align_request());
+  // Layout after version+verb: u64 request_id, then the matrix byte.
+  align[2 + 8] = '\x63';
+  EXPECT_THROW(decode_request(align), ProtocolError);
+
+  ErrorResponse error;
+  error.code = ErrorCode::kOverloaded;
+  std::string encoded = encode(error);
+  encoded[2 + 8] = '\x63';  // same offset: request_id then code byte
+  EXPECT_THROW(decode_response(encoded), ProtocolError);
+}
+
+TEST(Protocol, EstimatedCellsCountsDpmEntries) {
+  AlignRequest request;
+  request.a = std::string(9, 'A');
+  request.b = std::string(4, 'C');
+  EXPECT_EQ(estimated_cells(request), 50u);  // (9+1) * (4+1)
+  AlignRequest empty;
+  EXPECT_EQ(estimated_cells(empty), 1u);
+}
+
+TEST(Protocol, MatrixNamesRoundTrip) {
+  for (WireMatrix matrix :
+       {WireMatrix::kMdm78, WireMatrix::kPam250, WireMatrix::kBlosum62,
+        WireMatrix::kDna, WireMatrix::kDnaN}) {
+    WireMatrix parsed = WireMatrix::kMdm78;
+    ASSERT_TRUE(parse_wire_matrix(to_string(matrix), &parsed));
+    EXPECT_EQ(parsed, matrix);
+  }
+  WireMatrix out = WireMatrix::kDna;
+  EXPECT_FALSE(parse_wire_matrix("nonsense", &out));
+  EXPECT_EQ(out, WireMatrix::kDna);  // untouched on failure
+}
+
+TEST(Protocol, VerbAndCodeNamesAreStable) {
+  EXPECT_STREQ(to_string(Verb::kAlign), "ALIGN");
+  EXPECT_STREQ(to_string(Verb::kStats), "STATS");
+  EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(to_string(ErrorCode::kTooLarge), "TOO_LARGE");
+  EXPECT_STREQ(to_string(ErrorCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(to_string(ErrorCode::kShuttingDown), "SHUTTING_DOWN");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace flsa

@@ -124,6 +124,75 @@ TEST(Fasta, WriteReadRoundTrip) {
   EXPECT_EQ(parsed[1].size(), 0u);
 }
 
+// ---- Hostile-input hardening (the alignment service feeds these parsers
+// ---- untrusted bytes; every failure mode must be a clean typed error).
+
+TEST(Fasta, TruncatedFinalRecordThrows) {
+  // A header as the last line of the stream is a truncated upload.
+  std::istringstream in(">seq1\nACGT\n>cut\n");
+  try {
+    read_fasta(in, Alphabet::dna());
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cut"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(Fasta, TruncatedHeaderWithoutNewlineThrows) {
+  std::istringstream in(">seq1\nACGT\n>cut");
+  EXPECT_THROW(read_fasta(in, Alphabet::dna()), std::invalid_argument);
+}
+
+TEST(Fasta, HeaderThenBlankLineIsExplicitEmptyRecord) {
+  // write_fasta emits empty records as header + blank line; that must keep
+  // round-tripping even with the truncation check in place.
+  std::istringstream in(">empty\n\n");
+  const auto records = read_fasta(in, Alphabet::dna());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].size(), 0u);
+}
+
+TEST(Fasta, FinalLineWithoutNewlineStillParses) {
+  std::istringstream in(">s\nACGT");
+  const auto records = read_fasta(in, Alphabet::dna());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, OversizedLineThrowsCleanly) {
+  ParseLimits limits;
+  limits.max_line_bytes = 16;
+  std::istringstream in(">s\n" + std::string(64, 'A') + "\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::dna(), limits), std::invalid_argument);
+}
+
+TEST(Fasta, OversizedRecordAcrossManyLinesThrows) {
+  ParseLimits limits;
+  limits.max_record_residues = 10;
+  std::istringstream in(">s\nACGT\nACGT\nACGT\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::dna(), limits), std::invalid_argument);
+}
+
+TEST(Fasta, LimitBoundaryIsInclusive) {
+  ParseLimits limits;
+  limits.max_line_bytes = 4;
+  limits.max_record_residues = 4;
+  std::istringstream in(">s\nACGT\n");
+  const auto records = read_fasta(in, Alphabet::dna(), limits);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, CrlfWithBlankLinesAndFinalRecord) {
+  std::istringstream in(">a one\r\nAC\r\nGT\r\n\r\n>b\r\nTT\r\n");
+  const auto records = read_fasta(in, Alphabet::dna());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+  EXPECT_EQ(records[0].description(), "one");
+  EXPECT_EQ(records[1].to_string(), "TT");
+}
+
 TEST(Generate, RandomSequenceHasRequestedLength) {
   Xoshiro256 rng(1);
   const Sequence s = random_sequence(Alphabet::protein(), 1000, rng);

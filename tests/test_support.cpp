@@ -133,6 +133,64 @@ TEST(Stats, Ci95ZeroForTinySamples) {
   EXPECT_EQ(ci95_halfwidth(s), 0.0);
 }
 
+TEST(Stats, PercentileExactValuesOnKnownDistribution) {
+  // 1..101: h = p * 100 lands on integers, so the type-7 rule reads the
+  // order statistics directly and every answer is exact.
+  std::vector<double> data;
+  for (int i = 101; i >= 1; --i) data.push_back(i);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.50), 51.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.95), 96.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 1.0), 101.0);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
+  // {10, 20, 30, 40}: h = p * 3, so p = 0.5 -> halfway between 20 and 30,
+  // and p = 0.25 -> 3/4 of the way from 10 to 20.
+  const double data[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.25), 17.5);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.75), 32.5);
+}
+
+TEST(Stats, PercentileAgreesWithMedian) {
+  const double odd[] = {9.0, 1.0, 5.0};
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 0.5), median(odd));
+  EXPECT_DOUBLE_EQ(percentile(even, 0.5), median(even));
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);  // empty sample
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+  const double pair[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(pair, -0.5), 1.0);  // p clamps to [0, 1]
+  EXPECT_DOUBLE_EQ(percentile(pair, 1.5), 2.0);
+}
+
+TEST(Stats, LatencyQuantilesMatchPercentile) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back((i * 37) % 1000);
+  const LatencyQuantiles q = latency_quantiles(data);
+  EXPECT_EQ(q.n, 1000u);
+  EXPECT_DOUBLE_EQ(q.p50, percentile(data, 0.50));
+  EXPECT_DOUBLE_EQ(q.p95, percentile(data, 0.95));
+  EXPECT_DOUBLE_EQ(q.p99, percentile(data, 0.99));
+  EXPECT_DOUBLE_EQ(q.max, 999.0);
+}
+
+TEST(Stats, LatencyQuantilesEmptySampleIsZero) {
+  const LatencyQuantiles q = latency_quantiles({});
+  EXPECT_EQ(q.n, 0u);
+  EXPECT_EQ(q.p50, 0.0);
+  EXPECT_EQ(q.p99, 0.0);
+  EXPECT_EQ(q.max, 0.0);
+}
+
 TEST(Table, AlignsColumnsAndCountsRows) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

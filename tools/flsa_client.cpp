@@ -1,0 +1,179 @@
+// flsa_client — command-line client for the alignment service.
+//
+//   flsa_client --port 7421 pair.fasta               # align two records
+//   flsa_client --port 7421 --expect-score 82 pair.fasta   # CI assertion
+//   flsa_client --port 7421 --flood 8 pair.fasta     # pipeline w/o waiting,
+//                                                    # tally response codes
+//   flsa_client --port 7421 --server-stats           # STATS verb
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sequence/fasta.hpp"
+#include "service/client.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+const flsa::Alphabet& alphabet_for(flsa::service::WireMatrix matrix) {
+  switch (matrix) {
+    case flsa::service::WireMatrix::kDna: return flsa::Alphabet::dna();
+    case flsa::service::WireMatrix::kDnaN: return flsa::Alphabet::dna_n();
+    default: return flsa::Alphabet::protein();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flsa::CliParser cli(
+      "flsa_client: sends alignment requests to a running flsa_serve "
+      "(docs/service.md protocol)");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_int("port", 7421, "server TCP port");
+  cli.add_string("matrix", "mdm78",
+                 "mdm78 | pam250 | blosum62 | dna | dna-n");
+  cli.add_int("gap", -10, "linear gap penalty per residue (<= 0)");
+  cli.add_int("gap-open", 0,
+              "affine gap-open penalty (<= 0; 0 selects linear gaps)");
+  cli.add_int("k", 0, "FastLSA division factor (0 = server default)");
+  cli.add_int("bm", 0, "FastLSA base-case cells (0 = server default)");
+  cli.add_int("deadline-ms", 0,
+              "queueing deadline in milliseconds (0 = none)");
+  cli.add_flag("score-only", false, "omit the CIGAR from the response");
+  cli.add_int("repeat", 1, "closed-loop repetitions of the request");
+  cli.add_int("flood", 0,
+              "pipeline this many copies without waiting, then tally the "
+              "response codes (drives OVERLOADED against a full queue)");
+  cli.add_flag("server-stats", false,
+               "send a STATS request and print the metrics snapshot");
+  cli.add_int("expect-score", std::numeric_limits<std::int64_t>::min(),
+              "exit nonzero unless every ALIGN_OK score equals this");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string host = cli.get_string("host");
+    const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+
+    flsa::service::Client client;
+    client.connect(host, port);
+
+    if (cli.get_flag("server-stats")) {
+      const flsa::service::Response response =
+          client.call(flsa::service::StatsRequest{});
+      const auto& stats = std::get<flsa::service::StatsResponse>(response);
+      for (const auto& [name, value] : stats.entries) {
+        std::cout << name << " = " << value << "\n";
+      }
+      return 0;
+    }
+
+    if (cli.positional().empty()) {
+      std::cerr << "error: no FASTA input given (see --help)\n";
+      return 2;
+    }
+
+    flsa::service::AlignRequest request;
+    if (!flsa::service::parse_wire_matrix(cli.get_string("matrix"),
+                                          &request.matrix)) {
+      throw std::invalid_argument("unknown --matrix " +
+                                  cli.get_string("matrix"));
+    }
+    request.gap_open = static_cast<std::int32_t>(cli.get_int("gap-open"));
+    request.gap_extend = static_cast<std::int32_t>(cli.get_int("gap"));
+    request.k = static_cast<std::uint32_t>(cli.get_int("k"));
+    request.base_case_cells =
+        static_cast<std::uint64_t>(cli.get_int("bm"));
+    request.deadline_ms =
+        static_cast<std::uint32_t>(cli.get_int("deadline-ms"));
+    request.score_only = cli.get_flag("score-only");
+
+    const flsa::Alphabet& alphabet = alphabet_for(request.matrix);
+    std::vector<flsa::Sequence> records;
+    for (const std::string& path : cli.positional()) {
+      for (flsa::Sequence& seq : flsa::read_fasta_file(path, alphabet)) {
+        records.push_back(std::move(seq));
+      }
+    }
+    if (records.size() < 2) {
+      throw std::invalid_argument("need two FASTA records (got " +
+                                  std::to_string(records.size()) + ")");
+    }
+    request.a = records[0].to_string();
+    request.b = records[1].to_string();
+
+    const std::int64_t expected = cli.get_int("expect-score");
+    const bool expecting =
+        expected != std::numeric_limits<std::int64_t>::min();
+    bool all_expected = true;
+
+    const auto flood = static_cast<std::size_t>(cli.get_int("flood"));
+    if (flood > 0) {
+      // Pipeline: send everything, then read everything. Against a full
+      // queue this surfaces OVERLOADED rejections, which arrive *before*
+      // the accepted jobs' results.
+      for (std::size_t i = 0; i < flood; ++i) {
+        flsa::service::AlignRequest copy = request;
+        copy.request_id = 0;  // assign fresh ids
+        client.send(std::move(copy));
+      }
+      std::map<std::string, std::size_t> tally;
+      for (std::size_t i = 0; i < flood; ++i) {
+        const flsa::service::Response response = client.receive();
+        if (const auto* ok =
+                std::get_if<flsa::service::AlignResponse>(&response)) {
+          ++tally["ALIGN_OK"];
+          if (expecting && ok->score != expected) all_expected = false;
+        } else if (const auto* err =
+                       std::get_if<flsa::service::ErrorResponse>(&response)) {
+          ++tally[flsa::service::to_string(err->code)];
+        } else {
+          ++tally["STATS_OK"];
+        }
+      }
+      for (const auto& [code, count] : tally) {
+        std::cout << code << " : " << count << "\n";
+      }
+      if (expecting && !all_expected) {
+        std::cerr << "error: a response score differed from "
+                  << expected << "\n";
+        return 1;
+      }
+      return 0;
+    }
+
+    const auto repeat =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("repeat")));
+    for (std::size_t i = 0; i < repeat; ++i) {
+      flsa::service::AlignRequest copy = request;
+      copy.request_id = 0;
+      const flsa::service::Response response = client.call(std::move(copy));
+      if (const auto* err =
+              std::get_if<flsa::service::ErrorResponse>(&response)) {
+        std::cerr << "error response: " << to_string(err->code) << ": "
+                  << err->message << "\n";
+        return 1;
+      }
+      const auto& ok = std::get<flsa::service::AlignResponse>(response);
+      std::cout << "# " << records[0].id() << " (" << request.a.size()
+                << ") x " << records[1].id() << " (" << request.b.size()
+                << ") via " << host << ":" << port << "\n"
+                << "score  : " << ok.score << "\n";
+      if (!ok.cigar.empty()) std::cout << "cigar  : " << ok.cigar << "\n";
+      std::cout << "queued : " << static_cast<double>(ok.queue_micros) / 1e3
+                << " ms\nexec   : "
+                << static_cast<double>(ok.exec_micros) / 1e3 << " ms\n";
+      if (expecting && ok.score != expected) {
+        std::cerr << "error: score " << ok.score << " != expected "
+                  << expected << "\n";
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
