@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "benchlib/workloads.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sequence/generate.hpp"
 #include "service/client.hpp"
+#include "service/fault.hpp"
 #include "service/server.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -94,9 +96,94 @@ LoadRow run_closed_loop(std::uint16_t port,
   return row;
 }
 
+/// Outcome of the faulty-network section: requests pushed through a
+/// chaos fault plan by retrying clients, plus the client.retry.* counter
+/// deltas that show what the recovery cost.
+struct FaultyRun {
+  std::size_t requests = 0;
+  std::size_t succeeded = 0;       ///< ALIGN_OK after <= max_attempts
+  std::size_t typed_failures = 0;  ///< typed error/exception terminations
+  std::uint64_t retry_attempts = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t exhausted = 0;
+};
+
+FaultyRun run_faulty(std::uint16_t port,
+                     const flsa::service::AlignRequest& prototype,
+                     unsigned connections, std::size_t per_client) {
+  const std::uint64_t attempts0 =
+      flsa::obs::metrics().counter("client.retry.attempts").value();
+  const std::uint64_t reconnects0 =
+      flsa::obs::metrics().counter("client.retry.reconnects").value();
+  const std::uint64_t recovered0 =
+      flsa::obs::metrics().counter("client.retry.recovered").value();
+  const std::uint64_t exhausted0 =
+      flsa::obs::metrics().counter("client.retry.exhausted").value();
+
+  std::atomic<std::size_t> succeeded{0}, typed_failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      flsa::service::RetryPolicy policy;
+      policy.max_attempts = 8;
+      policy.base_delay = std::chrono::milliseconds(1);
+      policy.max_delay = std::chrono::milliseconds(50);
+      policy.seed = 0xFEED + c;
+      flsa::service::Client client;
+      try {
+        client.connect("127.0.0.1", port);
+      } catch (const std::exception&) {
+        typed_failures.fetch_add(per_client, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = 0; i < per_client; ++i) {
+        flsa::service::AlignRequest request = prototype;
+        request.request_id = 0;
+        try {
+          const flsa::service::Response response =
+              client.call_with_retry(std::move(request), policy);
+          if (std::holds_alternative<flsa::service::AlignResponse>(
+                  response)) {
+            succeeded.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            typed_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          // TransportError after exhausted retries, or a ProtocolError
+          // from a corrupt fault — typed either way.
+          typed_failures.fetch_add(1, std::memory_order_relaxed);
+          client.close();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  FaultyRun run;
+  run.requests = static_cast<std::size_t>(connections) * per_client;
+  run.succeeded = succeeded.load();
+  run.typed_failures = typed_failures.load();
+  run.retry_attempts =
+      flsa::obs::metrics().counter("client.retry.attempts").value() -
+      attempts0;
+  run.reconnects =
+      flsa::obs::metrics().counter("client.retry.reconnects").value() -
+      reconnects0;
+  run.recovered =
+      flsa::obs::metrics().counter("client.retry.recovered").value() -
+      recovered0;
+  run.exhausted =
+      flsa::obs::metrics().counter("client.retry.exhausted").value() -
+      exhausted0;
+  return run;
+}
+
 void write_json(const std::string& path, unsigned workers,
                 std::size_t pair_length, const std::vector<LoadRow>& rows,
-                std::size_t overload_accepted, std::size_t overload_rejected) {
+                std::size_t overload_accepted, std::size_t overload_rejected,
+                const std::string& fault_plan, const FaultyRun& faulty) {
   std::ofstream out(path);
   if (!out) return;
   out << "{\n  \"workers\": " << workers
@@ -112,7 +199,15 @@ void write_json(const std::string& path, unsigned workers,
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"overload\": {\"accepted\": " << overload_accepted
-      << ", \"rejected_overloaded\": " << overload_rejected << "}\n}\n";
+      << ", \"rejected_overloaded\": " << overload_rejected << "},\n"
+      << "  \"faulty\": {\"fault_plan\": \"" << fault_plan
+      << "\", \"requests\": " << faulty.requests
+      << ", \"succeeded\": " << faulty.succeeded
+      << ", \"typed_failures\": " << faulty.typed_failures
+      << ", \"retry_attempts\": " << faulty.retry_attempts
+      << ", \"reconnects\": " << faulty.reconnects
+      << ", \"recovered\": " << faulty.recovered
+      << ", \"exhausted\": " << faulty.exhausted << "}\n}\n";
 }
 
 }  // namespace
@@ -203,8 +298,29 @@ int main() {
             << "\n(bounded queue + typed rejection instead of a hang: the"
                " client can back off)\n";
 
+  // ---- Faulty network: the chaos plan vs the retry/backoff layer. ----
+  std::cout << "\n=== faulty network: fault plan vs call_with_retry ===\n\n";
+  const std::string fault_plan_spec =
+      "seed=42,reject=0.15,drop=0.03,delay=0.05:2";
+  flsa::service::ServiceConfig faulty_config;
+  faulty_config.queue_capacity = 256;
+  faulty_config.fault_plan = flsa::service::parse_fault_plan(fault_plan_spec);
+  flsa::service::AlignmentServer faulty_server(faulty_config);
+  faulty_server.start();
+  const FaultyRun faulty =
+      run_faulty(faulty_server.port(), prototype, 8, 64);
+  faulty_server.stop();
+  std::cout << "plan " << fault_plan_spec << "\n"
+            << faulty.requests << " requests -> " << faulty.succeeded
+            << " succeeded, " << faulty.typed_failures
+            << " typed failures\nretry attempts " << faulty.retry_attempts
+            << ", reconnects " << faulty.reconnects << ", recovered "
+            << faulty.recovered << ", exhausted " << faulty.exhausted
+            << "\n(decorrelated-jitter backoff turns injected overload and"
+               " dropped connections\ninto latency, not errors)\n";
+
   write_json("BENCH_service.json", workers, pair_length, rows, accepted,
-             rejected);
+             rejected, fault_plan_spec, faulty);
   std::cout << "\nwrote BENCH_service.json\n";
   return 0;
 }

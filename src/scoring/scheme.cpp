@@ -19,7 +19,7 @@ ScoringScheme::ScoringScheme(const SubstitutionMatrix& matrix, Score gap_open,
 }
 
 const ScoringScheme& ScoringScheme::paper_default() {
-  static const ScoringScheme instance(scoring::mdm78(), -10);
+  static const ScoringScheme instance(scoring::mdm78(), kDefaultGapExtend);
   return instance;
 }
 

@@ -10,6 +10,15 @@
 
 namespace flsa {
 
+/// The paper's default gap model: linear gaps at -10 per residue
+/// (gap_open == 0 selects linear). Every surface that defaults penalties
+/// — ScoringScheme::paper_default(), the service wire protocol's
+/// AlignRequest, and the CLI tools' --gap/--gap-open flags — reads these
+/// two constants, so an AlignRequest that omits penalties aligns with
+/// exactly the scheme flsa_align uses by default.
+inline constexpr Score kDefaultGapOpen = 0;
+inline constexpr Score kDefaultGapExtend = -10;
+
 /// Substitution matrix + gap penalties. Gap penalties are non-positive:
 /// a gap of length L costs gap_open + L * gap_extend.
 class ScoringScheme {

@@ -2,14 +2,18 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -21,19 +25,52 @@ std::uint64_t response_id(const Response& response) {
   return std::visit([](const auto& r) { return r.request_id; }, response);
 }
 
+/// splitmix64 step — the jitter source for decorrelated backoff.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Retry instruments, resolved once (registry references are stable).
+struct RetryInstruments {
+  obs::Counter& attempts;    ///< retry attempts beyond the first try
+  obs::Counter& reconnects;  ///< sockets re-dialled by the retry loop
+  obs::Counter& recovered;   ///< calls that succeeded after >= 1 retry
+  obs::Counter& exhausted;   ///< calls that ran out of attempts/budget
+  obs::Histogram& backoff_seconds;
+
+  static RetryInstruments& get() {
+    static RetryInstruments instance{
+        obs::metrics().counter("client.retry.attempts"),
+        obs::metrics().counter("client.retry.reconnects"),
+        obs::metrics().counter("client.retry.recovered"),
+        obs::metrics().counter("client.retry.exhausted"),
+        obs::metrics().histogram("client.retry.backoff_seconds"),
+    };
+    return instance;
+  }
+};
+
 }  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      last_id_(std::exchange(other.last_id_, 0)) {}
+      last_id_(std::exchange(other.last_id_, 0)),
+      host_(std::move(other.host_)),
+      port_(std::exchange(other.port_, 0)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     last_id_ = std::exchange(other.last_id_, 0);
+    host_ = std::move(other.host_);
+    port_ = std::exchange(other.port_, 0);
   }
   return *this;
 }
@@ -42,8 +79,8 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    throw std::runtime_error(std::string("socket failed: ") +
-                             std::strerror(errno));
+    throw TransportError(std::string("socket failed: ") +
+                         std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -56,9 +93,13 @@ void Client::connect(const std::string& host, std::uint16_t port) {
                 sizeof(addr)) != 0) {
     const std::string what = std::strerror(errno);
     close();
-    throw std::runtime_error("connect to " + host + ":" +
-                             std::to_string(port) + " failed: " + what);
+    throw TransportError("connect to " + host + ":" +
+                         std::to_string(port) + " failed: " + what);
   }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  host_ = host;
+  port_ = port;
 }
 
 void Client::close() {
@@ -74,7 +115,7 @@ std::uint64_t Client::send(AlignRequest request) {
   FLSA_REQUIRE(connected());
   if (request.request_id == 0) request.request_id = next_id();
   if (!write_frame(fd_, encode(request))) {
-    throw std::runtime_error("server closed the connection");
+    throw TransportError("server closed the connection");
   }
   return request.request_id;
 }
@@ -83,7 +124,7 @@ std::uint64_t Client::send(StatsRequest request) {
   FLSA_REQUIRE(connected());
   if (request.request_id == 0) request.request_id = next_id();
   if (!write_frame(fd_, encode(request))) {
-    throw std::runtime_error("server closed the connection");
+    throw TransportError("server closed the connection");
   }
   return request.request_id;
 }
@@ -92,13 +133,19 @@ Response Client::receive() {
   FLSA_REQUIRE(connected());
   std::string payload;
   if (!read_frame(fd_, &payload)) {
-    throw std::runtime_error("server closed the connection");
+    throw TransportError("server closed the connection");
   }
   return decode_response(payload);
 }
 
 Response Client::wait_for(std::uint64_t request_id) {
   Response response = receive();
+  // Connection-scoped errors (id 0: unparseable frame, connection cap)
+  // answer whatever is in flight — there is no request id to echo.
+  if (const auto* error = std::get_if<ErrorResponse>(&response);
+      error != nullptr && error->request_id == 0) {
+    return response;
+  }
   if (response_id(response) != request_id) {
     throw std::runtime_error(
         "out-of-order response (id " + std::to_string(response_id(response)) +
@@ -114,6 +161,77 @@ Response Client::call(AlignRequest request) {
 
 Response Client::call(StatsRequest request) {
   return wait_for(send(std::move(request)));
+}
+
+Response Client::call_with_retry(AlignRequest request,
+                                 const RetryPolicy& policy) {
+  FLSA_REQUIRE(!host_.empty());  // connect() must have been called once
+  if (request.request_id == 0) request.request_id = next_id();
+
+  RetryInstruments& instruments = RetryInstruments::get();
+  const unsigned max_attempts = std::max(1u, policy.max_attempts);
+  const auto budget_deadline =
+      std::chrono::steady_clock::now() + policy.retry_budget;
+
+  std::uint64_t jitter_state = policy.seed;
+  std::chrono::milliseconds previous_sleep = policy.base_delay;
+  std::exception_ptr last_transport_error;
+  bool have_rejection = false;
+  Response last_rejection;
+
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+      const std::int64_t base = policy.base_delay.count();
+      const std::int64_t high =
+          std::max<std::int64_t>(base, 3 * previous_sleep.count());
+      const std::int64_t span = high - base + 1;
+      const auto sleep_ms = std::chrono::milliseconds(
+          base + static_cast<std::int64_t>(
+                     splitmix64(jitter_state) % static_cast<std::uint64_t>(span)));
+      previous_sleep = std::min(
+          std::chrono::milliseconds(policy.max_delay), sleep_ms);
+      if (std::chrono::steady_clock::now() + previous_sleep >
+          budget_deadline) {
+        break;  // the retry budget is spent
+      }
+      instruments.attempts.add();
+      instruments.backoff_seconds.observe(
+          static_cast<double>(previous_sleep.count()) * 1e-3);
+      std::this_thread::sleep_for(previous_sleep);
+    }
+    try {
+      if (!connected()) {
+        if (attempt > 0) instruments.reconnects.add();
+        connect(host_, port_);
+      }
+      Response response = call(request);
+      const auto* error = std::get_if<ErrorResponse>(&response);
+      if (error != nullptr && is_retryable(error->code)) {
+        // A connection-scoped refusal (CONNECTION_LIMIT echoes id 0) is
+        // followed by the server closing the socket; re-dial eagerly
+        // instead of burning the next attempt on a dead connection.
+        if (error->request_id == 0) close();
+        have_rejection = true;
+        last_rejection = std::move(response);
+        continue;
+      }
+      if (attempt > 0) instruments.recovered.add();
+      return response;
+    } catch (const TransportError&) {
+      // The request never completed on this connection; dropping the
+      // socket and re-dialling is idempotent-safe. ProtocolError (a
+      // delivered-but-malformed frame) deliberately propagates: the
+      // stream consumed an answer we cannot interpret.
+      last_transport_error = std::current_exception();
+      close();
+    }
+  }
+
+  instruments.exhausted.add();
+  if (have_rejection) return last_rejection;
+  if (last_transport_error) std::rethrow_exception(last_transport_error);
+  throw TransportError("retry budget spent before any attempt completed");
 }
 
 }  // namespace service

@@ -2,9 +2,13 @@
 // connection; it is not thread-safe (use one per thread — the load
 // generator and align_batch follow the same rule). Requests may be
 // pipelined with send()/receive(); call() is the closed-loop convenience
-// that assigns request ids.
+// that assigns request ids, and call_with_retry() layers exponential
+// backoff with decorrelated jitter over call() for transient failures
+// (OVERLOADED, SHUTTING_DOWN, CONNECTION_LIMIT, connect/reset) —
+// deterministic rejections (BAD_REQUEST, TOO_LARGE) are never retried.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -12,6 +16,26 @@
 
 namespace flsa {
 namespace service {
+
+/// Retry/backoff schedule for call_with_retry(). The sleep before
+/// attempt n+1 is drawn uniformly from [base_delay, 3 * previous_sleep]
+/// and capped at max_delay — "decorrelated jitter", which spreads a
+/// thundering herd of retrying clients across time instead of
+/// resynchronizing them the way fixed exponential steps do. A retry
+/// budget bounds the total time burnt across all attempts, so a retrying
+/// caller still has a worst-case latency.
+struct RetryPolicy {
+  /// Total attempts, including the first; minimum 1.
+  unsigned max_attempts = 5;
+  /// Floor of every backoff sleep.
+  std::chrono::milliseconds base_delay{10};
+  /// Cap of every backoff sleep.
+  std::chrono::milliseconds max_delay{2000};
+  /// Ceiling on the summed backoff sleeps; once spent, no more retries.
+  std::chrono::milliseconds retry_budget{30000};
+  /// Jitter RNG seed — per-client determinism for tests and CI.
+  std::uint64_t seed = 0x5eedULL;
+};
 
 class Client {
  public:
@@ -23,19 +47,22 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to host:port. Throws std::runtime_error on failure.
+  /// Connects to host:port (remembered for reconnects). Throws
+  /// TransportError on socket-level failures, std::runtime_error on a
+  /// malformed address.
   void connect(const std::string& host, std::uint16_t port);
   bool connected() const { return fd_ >= 0; }
   void close();
 
   /// Fire-and-forget send (pipelining). Assigns the next request id when
-  /// request.request_id == 0 and returns the id actually sent.
+  /// request.request_id == 0 and returns the id actually sent. Throws
+  /// TransportError when the server is gone.
   std::uint64_t send(AlignRequest request);
   std::uint64_t send(StatsRequest request);
 
   /// Blocks for the next response frame (any request id). Throws
-  /// ProtocolError on malformed frames, std::runtime_error when the
-  /// server closed the connection.
+  /// ProtocolError on malformed frames, TransportError when the server
+  /// closed the connection (cleanly or mid-frame).
   Response receive();
 
   /// Closed-loop helpers: send one request, wait for *its* response (by
@@ -44,12 +71,24 @@ class Client {
   Response call(AlignRequest request);
   Response call(StatsRequest request);
 
+  /// call() plus retry: reconnects (to the host:port of the last
+  /// connect()) and resends after TransportErrors and after the typed
+  /// transient rejections of is_retryable() — all idempotent-safe, the
+  /// request was never executed. Returns the first success or
+  /// non-retryable response; when every attempt failed, returns the last
+  /// typed rejection, or rethrows the last TransportError if no typed
+  /// answer was ever received. Per-attempt metrics land in the obs
+  /// registry under client.retry.*.
+  Response call_with_retry(AlignRequest request, const RetryPolicy& policy);
+
  private:
   std::uint64_t next_id();
   Response wait_for(std::uint64_t request_id);
 
   int fd_ = -1;
   std::uint64_t last_id_ = 0;
+  std::string host_;
+  std::uint16_t port_ = 0;
 };
 
 }  // namespace service

@@ -129,7 +129,7 @@ WireMatrix read_matrix(Reader& r) {
 ErrorCode read_error_code(Reader& r) {
   const std::uint8_t raw = r.u8();
   if (raw < static_cast<std::uint8_t>(ErrorCode::kBadRequest) ||
-      raw > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+      raw > static_cast<std::uint8_t>(ErrorCode::kConnectionLimit)) {
     throw ProtocolError("unknown error code " + std::to_string(raw));
   }
   return static_cast<ErrorCode>(raw);
@@ -156,8 +156,24 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kConnectionLimit: return "CONNECTION_LIMIT";
   }
   return "?";
+}
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown:
+    case ErrorCode::kConnectionLimit:
+      return true;
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kTooLarge:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kInternal:
+      return false;
+  }
+  return false;
 }
 
 const char* to_string(WireMatrix matrix) {
@@ -212,6 +228,7 @@ std::string encode(const AlignResponse& response) {
   w.u64(response.cells);
   w.u64(response.queue_micros);
   w.u64(response.exec_micros);
+  w.i64(response.deadline_remaining_ms);
   return w.take();
 }
 
@@ -277,6 +294,7 @@ Response decode_response(std::string_view payload) {
       res.cells = r.u64();
       res.queue_micros = r.u64();
       res.exec_micros = r.u64();
+      res.deadline_remaining_ms = r.i64();
       r.finish();
       return res;
     }
@@ -312,54 +330,69 @@ std::uint64_t estimated_cells(const AlignRequest& request) {
          (static_cast<std::uint64_t>(request.b.size()) + 1);
 }
 
-bool write_frame(int fd, std::string_view payload) {
+std::string frame_bytes(std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw ProtocolError("frame payload exceeds the frame limit");
   }
-  char header[4];
   const auto n = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<char>((n >> (8 * i)) & 0xff);
-  }
   std::string buffer;
   buffer.reserve(4 + payload.size());
-  buffer.append(header, 4);
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
   buffer.append(payload);
+  return buffer;
+}
 
+bool write_all(int fd, std::string_view bytes) {
   std::size_t sent = 0;
-  while (sent < buffer.size()) {
-    const ssize_t rc = ::send(fd, buffer.data() + sent, buffer.size() - sent,
+  while (sent < bytes.size()) {
+    const ssize_t rc = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                               MSG_NOSIGNAL);
     if (rc < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;
-      throw std::runtime_error(std::string("send failed: ") +
-                               std::strerror(errno));
+      throw TransportError(std::string("send failed: ") +
+                           std::strerror(errno));
     }
     sent += static_cast<std::size_t>(rc);
   }
   return true;
 }
 
+bool write_frame(int fd, std::string_view payload) {
+  return write_all(fd, frame_bytes(payload));
+}
+
 namespace {
 
 /// Reads exactly `n` bytes. Returns 0 on EOF before any byte, n on
-/// success; throws ProtocolError on EOF mid-read.
-std::size_t read_exact(int fd, char* out, std::size_t n) {
+/// success; throws TransportError on EOF mid-read (a peer that died
+/// mid-frame) and on an expired SO_RCVTIMEO read deadline. When
+/// `boundary` is set and the deadline expires before the first byte,
+/// throws the ReadTimeout subtype instead (idle peer, not a stall).
+std::size_t read_exact(int fd, char* out, std::size_t n,
+                       bool boundary = false) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t rc = ::recv(fd, out + got, n - got, 0);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (boundary && got == 0) {
+          throw ReadTimeout("idle deadline expired at a frame boundary");
+        }
+        throw TransportError("read deadline expired mid-frame");
+      }
       if (errno == ECONNRESET) return got;  // treated like EOF
-      throw std::runtime_error(std::string("recv failed: ") +
-                               std::strerror(errno));
+      throw TransportError(std::string("recv failed: ") +
+                           std::strerror(errno));
     }
     if (rc == 0) break;
     got += static_cast<std::size_t>(rc);
   }
   if (got != 0 && got != n) {
-    throw ProtocolError("connection closed mid-frame");
+    throw TransportError("connection closed mid-frame");
   }
   return got;
 }
@@ -368,7 +401,7 @@ std::size_t read_exact(int fd, char* out, std::size_t n) {
 
 bool read_frame(int fd, std::string* payload, std::size_t max_bytes) {
   char header[4];
-  if (read_exact(fd, header, 4) == 0) return false;
+  if (read_exact(fd, header, 4, /*boundary=*/true) == 0) return false;
   std::uint32_t n = 0;
   for (int i = 0; i < 4; ++i) {
     n |= std::uint32_t(static_cast<unsigned char>(header[i])) << (8 * i);
@@ -380,7 +413,7 @@ bool read_frame(int fd, std::string* payload, std::size_t max_bytes) {
   }
   payload->resize(n);
   if (n != 0 && read_exact(fd, payload->data(), n) != n) {
-    throw ProtocolError("connection closed mid-frame");
+    throw TransportError("connection closed mid-frame");
   }
   return true;
 }

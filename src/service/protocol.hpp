@@ -31,6 +31,8 @@
 #include <variant>
 #include <vector>
 
+#include "scoring/scheme.hpp"
+
 namespace flsa {
 namespace service {
 
@@ -65,10 +67,18 @@ enum class ErrorCode : std::uint8_t {
   kBadRequest = 1,        ///< malformed frame, bad residues, bad options
   kTooLarge = 2,          ///< estimated DPM cells above the server budget
   kOverloaded = 3,        ///< bounded request queue full (admission control)
-  kDeadlineExceeded = 4,  ///< still queued past the request deadline
+  kDeadlineExceeded = 4,  ///< deadline expired before or during execution
   kShuttingDown = 5,      ///< server is draining; no new work accepted
   kInternal = 6,          ///< unexpected server-side failure
+  kConnectionLimit = 7,   ///< concurrent-connection cap reached
 };
+
+/// Transient rejections a client may safely retry: the request was never
+/// executed (OVERLOADED, SHUTTING_DOWN, CONNECTION_LIMIT reject before any
+/// work happens), so resending cannot double-apply anything. BAD_REQUEST /
+/// TOO_LARGE are deterministic — retrying them only repeats the rejection —
+/// and DEADLINE_EXCEEDED means the caller's own deadline already passed.
+bool is_retryable(ErrorCode code);
 
 const char* to_string(Verb verb);
 const char* to_string(ErrorCode code);
@@ -83,8 +93,10 @@ struct AlignRequest {
   std::uint64_t request_id = 0;
   WireMatrix matrix = WireMatrix::kMdm78;
   /// Gap model: gap_open == 0 selects linear gaps (both must be <= 0).
-  std::int32_t gap_open = 0;
-  std::int32_t gap_extend = -10;
+  /// Defaults come from scoring/scheme.hpp so an omitted gap model means
+  /// the same scheme everywhere (engine, CLI, wire).
+  std::int32_t gap_open = kDefaultGapOpen;
+  std::int32_t gap_extend = kDefaultGapExtend;
   /// FastLSA tuning; 0 means "use the server default".
   std::uint32_t k = 0;
   std::uint64_t base_case_cells = 0;
@@ -109,9 +121,17 @@ struct AlignResponse {
   std::uint64_t request_id = 0;
   std::int64_t score = 0;
   std::string cigar;  ///< empty when the request asked for score only
-  std::uint64_t cells = 0;         ///< m * n of the problem
+  /// DPM cells of the problem, (m+1)*(n+1) — the same estimated_cells()
+  /// quantity the admission budget is expressed in, so STATS/bench
+  /// numbers and `max_request_cells` agree at the boundary.
+  std::uint64_t cells = 0;
   std::uint64_t queue_micros = 0;  ///< time spent waiting for a worker
   std::uint64_t exec_micros = 0;   ///< time spent aligning
+  /// Milliseconds left on the request's deadline when the answer was
+  /// produced; -1 when the request carried no deadline. A job whose
+  /// deadline expired mid-align is answered DEADLINE_EXCEEDED instead of
+  /// with a stale success, so this is never negative on the wire.
+  std::int64_t deadline_remaining_ms = -1;
 };
 
 /// Typed failure.
@@ -139,6 +159,29 @@ class ProtocolError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown on connection-level failures: peer gone, connection reset,
+/// EOF in the middle of a frame (a peer killed mid-write), or a read
+/// deadline expiring. Distinct from ProtocolError (malformed bytes that
+/// *were* delivered): a TransportError never consumed a half-answer, so
+/// the client retry layer treats it as idempotent-safe to retry after a
+/// reconnect, while a ProtocolError is never retried.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The read deadline (SO_RCVTIMEO) expired while waiting *at a frame
+/// boundary*: the peer is connected but has sent nothing. A subtype so
+/// generic TransportError handling still applies, but the server can
+/// tell a genuinely idle peer (safe to hang up on) from one that is
+/// merely waiting for a slow in-flight job. A deadline that expires
+/// mid-frame is a slow-loris stall and stays a plain TransportError.
+class ReadTimeout : public TransportError {
+ public:
+  explicit ReadTimeout(const std::string& what) : TransportError(what) {}
+};
+
 /// Payload encoders (version byte + verb + body; no length prefix).
 std::string encode(const AlignRequest& request);
 std::string encode(const StatsRequest& request);
@@ -156,13 +199,22 @@ std::uint64_t estimated_cells(const AlignRequest& request);
 
 // ---- Framed transport over a connected socket ------------------------
 
+/// The exact on-the-wire bytes of one frame: 4-byte little-endian length
+/// prefix followed by the payload. Exposed so the fault injector and the
+/// partial-write tests can send deliberate prefixes of a real frame.
+std::string frame_bytes(std::string_view payload);
+
+/// Sends raw bytes (no framing). Returns false when the peer is gone
+/// (EPIPE/ECONNRESET); throws TransportError on other socket errors.
+bool write_all(int fd, std::string_view bytes);
+
 /// Writes one length-prefixed frame. Returns false when the peer is gone
-/// (EPIPE/ECONNRESET); throws std::runtime_error on other socket errors.
+/// (EPIPE/ECONNRESET); throws TransportError on other socket errors.
 bool write_frame(int fd, std::string_view payload);
 
 /// Reads one length-prefixed frame into *payload. Returns false on clean
-/// EOF at a frame boundary; throws ProtocolError on oversized or truncated
-/// frames and std::runtime_error on socket errors.
+/// EOF at a frame boundary; throws ProtocolError on oversized frames,
+/// TransportError on EOF mid-frame, read deadlines, or socket errors.
 bool read_frame(int fd, std::string* payload,
                 std::size_t max_bytes = kMaxFrameBytes);
 

@@ -2,7 +2,9 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -58,6 +60,10 @@ struct AlignmentServer::Connection {
   std::mutex write_mutex;
   bool open = true;                ///< guarded by write_mutex
   std::atomic<bool> finished{false};  ///< handler thread has exited
+  /// Admitted-but-unanswered jobs from this peer. An idle-deadline expiry
+  /// only hangs up when this is zero: a client quietly waiting out a long
+  /// alignment is not idle, it is patient.
+  std::atomic<std::size_t> in_flight{0};
   std::thread handler;
 };
 
@@ -71,6 +77,7 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
           obs::metrics().counter("service.rejected.too_large"),
           obs::metrics().counter("service.rejected.deadline"),
           obs::metrics().counter("service.rejected.shutting_down"),
+          obs::metrics().counter("service.rejected.connection_limit"),
           obs::metrics().counter("service.bad_requests"),
           obs::metrics().counter("service.internal_errors"),
           obs::metrics().counter("service.write_errors"),
@@ -81,6 +88,9 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
       },
       queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
   validate(config_.fastlsa);
+  if (config_.fault_plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+  }
 }
 
 AlignmentServer::~AlignmentServer() { stop(); }
@@ -162,7 +172,8 @@ void AlignmentServer::stop() {
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& connection : connections_) {
-      ::shutdown(connection->fd, SHUT_RDWR);
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      if (connection->open) ::shutdown(connection->fd, SHUT_RDWR);
     }
   }
   reap_connections(/*all=*/true);
@@ -186,6 +197,40 @@ void AlignmentServer::accept_loop() {
       ::close(fd);
       return;
     }
+
+    // Connection hygiene: a low-latency, keepalive-probed socket with a
+    // per-recv deadline. The deadline is the slow-loris defence — a peer
+    // dribbling one byte per minute cannot pin a handler thread forever.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+    if (config_.idle_timeout_ms != 0) {
+      timeval tv{};
+      tv.tv_sec = config_.idle_timeout_ms / 1000;
+      tv.tv_usec = static_cast<suseconds_t>(
+          (config_.idle_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+
+    reap_connections(/*all=*/false);
+    if (config_.max_connections != 0 &&
+        live_connections() >= config_.max_connections) {
+      // Over the cap: a typed answer, then close. Never a silent drop —
+      // the peer learns *why* and can back off (the code is retryable).
+      instruments_.rejected_connection_limit.add();
+      ErrorResponse refusal;
+      refusal.code = ErrorCode::kConnectionLimit;
+      refusal.message = "connection limit of " +
+                        std::to_string(config_.max_connections) + " reached";
+      try {
+        write_frame(fd, encode(refusal));
+      } catch (const std::exception&) {
+        // Best effort; the close below is the real answer.
+      }
+      ::close(fd);
+      continue;
+    }
+
     instruments_.connections.add();
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
@@ -195,7 +240,27 @@ void AlignmentServer::accept_loop() {
     }
     connection->handler = std::thread(
         [this, connection] { connection_loop(connection); });
-    reap_connections(/*all=*/false);
+  }
+}
+
+std::size_t AlignmentServer::live_connections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::size_t live = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->finished.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+void AlignmentServer::kill_connection(
+    const std::shared_ptr<Connection>& connection) {
+  // shutdown() only — the fd itself is closed exactly once, by
+  // reap_connections after the handler thread joined, so no thread can
+  // ever touch a recycled descriptor.
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (connection->open) {
+    connection->open = false;
+    ::shutdown(connection->fd, SHUT_RDWR);
   }
 }
 
@@ -216,9 +281,10 @@ void AlignmentServer::reap_connections(bool all) {
   for (const auto& connection : finished) {
     if (connection->handler.joinable()) connection->handler.join();
     std::lock_guard<std::mutex> lock(connection->write_mutex);
-    if (connection->open) {
-      connection->open = false;
+    connection->open = false;
+    if (connection->fd >= 0) {
       ::close(connection->fd);
+      connection->fd = -1;
     }
   }
 }
@@ -227,15 +293,36 @@ void AlignmentServer::connection_loop(
     std::shared_ptr<Connection> connection) {
   std::string payload;
   while (true) {
+    if (injector_ && injector_->active()) {
+      // Read-site faults: a stalled reader sleeps inside inject_read();
+      // a drop kills this connection the way a flaky network would.
+      if (injector_->inject_read() == ReadFault::kDrop) {
+        kill_connection(connection);
+        break;
+      }
+    }
     try {
       if (!read_frame(connection->fd, &payload, config_.max_frame_bytes)) {
         break;  // clean EOF
       }
+    } catch (const ReadTimeout&) {
+      // Idle deadline at a frame boundary. A peer with admitted jobs
+      // still in flight is waiting, not idling — re-arm and read again.
+      if (connection->in_flight.load(std::memory_order_acquire) > 0) {
+        continue;
+      }
+      kill_connection(connection);  // truly idle: hang up (peer sees EOF)
+      break;
+    } catch (const TransportError&) {
+      // Peer reset, fd shut down during drain, or a mid-frame stall past
+      // the read deadline (slow-loris defence): nobody sane is left.
+      kill_connection(connection);
+      break;
     } catch (const ProtocolError& e) {
       reject(connection, 0, ErrorCode::kBadRequest, e.what());
       break;
     } catch (const std::exception&) {
-      break;  // socket error (peer reset, fd shut down during drain)
+      break;  // other socket error
     }
     try {
       handle_request(connection, decode_request(payload));
@@ -271,23 +358,36 @@ void AlignmentServer::handle_request(
                std::to_string(config_.max_request_cells));
     return;
   }
+  if (injector_ && injector_->active() && injector_->inject_reject()) {
+    // Admission-site fault: a synthetic overload rejection, exercising
+    // exactly the typed answer a real full queue produces (and the
+    // client retry/backoff path that recovers from it).
+    instruments_.rejected_overloaded.add();
+    reject(connection, align.request_id, ErrorCode::kOverloaded,
+           "fault injection: admission rejected");
+    return;
+  }
 
   Job job;
   job.connection = connection;
   const std::uint64_t request_id = align.request_id;
   job.request = std::move(align);
   job.enqueued = std::chrono::steady_clock::now();
+  // Count before pushing: a worker may pop (and decrement) immediately.
+  connection->in_flight.fetch_add(1, std::memory_order_acq_rel);
   switch (queue_.try_push(std::move(job))) {
     case BoundedQueue<Job>::Push::kAccepted:
       instruments_.queue_depth.set(static_cast<double>(queue_.size()));
       break;
     case BoundedQueue<Job>::Push::kFull:
+      connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       instruments_.rejected_overloaded.add();
       reject(connection, request_id, ErrorCode::kOverloaded,
              "request queue full (" + std::to_string(queue_.capacity()) +
                  " entries)");
       break;
     case BoundedQueue<Job>::Push::kClosed:
+      connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       instruments_.rejected_shutdown.add();
       reject(connection, request_id, ErrorCode::kShuttingDown,
              "server is draining");
@@ -319,9 +419,13 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
                  std::to_string(micros_between(job->enqueued, now) / 1000) +
                  " ms, deadline " + std::to_string(request.deadline_ms) +
                  " ms");
+      job->connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }
     execute(aligner, *job);
+    // Decremented only after the answer is written (or provably dropped):
+    // an idle-deadline hangup can then never race a pending response.
+    job->connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -354,13 +458,38 @@ void AlignmentServer::execute(Aligner& aligner, Job& job) {
     const Alignment alignment = flsa::align(a, b, scheme, options);
     const auto done = std::chrono::steady_clock::now();
 
+    // Deadline re-check after the (uncancellable) alignment: a request
+    // whose deadline expired mid-align must not be answered with a stale
+    // success — the client has given up, and a late "82" is
+    // indistinguishable from a correct one to whatever retried elsewhere.
+    std::int64_t deadline_remaining_ms = -1;
+    if (request.deadline_ms != 0) {
+      const auto deadline =
+          job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+      if (done >= deadline) {
+        instruments_.rejected_deadline.add();
+        reject(job.connection, request.request_id,
+               ErrorCode::kDeadlineExceeded,
+               "deadline of " + std::to_string(request.deadline_ms) +
+                   " ms expired during execution; result discarded");
+        return;
+      }
+      deadline_remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                done)
+              .count();
+    }
+
     AlignResponse response;
     response.request_id = request.request_id;
     response.score = alignment.score;
     if (!request.score_only) response.cigar = alignment.cigar();
-    response.cells = static_cast<std::uint64_t>(a.size()) * b.size();
+    // The same (m+1)(n+1) DPM-cell quantity the admission budget uses —
+    // STATS/bench numbers and max_request_cells agree at the boundary.
+    response.cells = estimated_cells(request);
     response.queue_micros = micros_between(job.enqueued, started);
     response.exec_micros = micros_between(started, done);
+    response.deadline_remaining_ms = deadline_remaining_ms;
 
     instruments_.completed.add();
     instruments_.cells.add(response.cells);
@@ -397,9 +526,43 @@ void AlignmentServer::answer_stats(
 
 bool AlignmentServer::respond(const std::shared_ptr<Connection>& connection,
                               const std::string& payload) {
+  // Write-site faults are decided (and delay faults slept) before taking
+  // the write mutex, so a stalled injector never serializes every other
+  // responder on this connection.
+  WriteFault fault = WriteFault::kNone;
+  if (injector_ && injector_->active()) fault = injector_->inject_write();
+
   std::lock_guard<std::mutex> lock(connection->write_mutex);
   if (!connection->open) return false;
   try {
+    switch (fault) {
+      case WriteFault::kDrop:
+        // The network ate the whole answer: kill the connection.
+        connection->open = false;
+        ::shutdown(connection->fd, SHUT_RDWR);
+        return false;
+      case WriteFault::kTruncate: {
+        // Server-died-mid-write: send a strict prefix of the frame, then
+        // kill. The peer must surface a typed TransportError, never a
+        // hang (framing promised more bytes) or a garbage score.
+        const std::string wire = frame_bytes(payload);
+        const std::size_t cut = injector_->truncate_point(wire.size());
+        (void)write_all(connection->fd,
+                        std::string_view(wire).substr(0, cut));
+        connection->open = false;
+        ::shutdown(connection->fd, SHUT_RDWR);
+        return false;
+      }
+      case WriteFault::kCorrupt: {
+        // Damaged-but-framed bytes: always a typed decode error on the
+        // peer (see FaultInjector::corrupt), never a wrong-score answer.
+        std::string damaged = payload;
+        FaultInjector::corrupt(damaged);
+        return write_frame(connection->fd, damaged);
+      }
+      case WriteFault::kNone:
+        break;
+    }
     return write_frame(connection->fd, payload);
   } catch (const std::exception&) {
     return false;  // peer is gone; dropping the answer is the contract

@@ -45,6 +45,7 @@
 #include "core/fastlsa.hpp"
 #include "obs/metrics.hpp"
 #include "service/bounded_queue.hpp"
+#include "service/fault.hpp"
 #include "service/protocol.hpp"
 
 namespace flsa {
@@ -70,6 +71,23 @@ struct ServiceConfig {
   bool enable_metrics = true;
   /// listen(2) backlog.
   int backlog = 128;
+
+  // ---- Connection hygiene ---------------------------------------------
+  /// Per-recv read deadline in milliseconds (SO_RCVTIMEO on accepted
+  /// sockets). Bounds both idle connections and slow-loris peers that
+  /// dribble a frame byte-by-byte: any single recv stalled past this is
+  /// a TransportError and the connection is closed. 0 disables.
+  std::uint32_t idle_timeout_ms = 60000;
+  /// Cap on concurrently served connections. A connection over the cap
+  /// is answered with a typed CONNECTION_LIMIT error and closed — never
+  /// silently dropped. 0 means unlimited.
+  std::size_t max_connections = 256;
+
+  // ---- Fault injection ------------------------------------------------
+  /// Chaos-testing plan (see service/fault.hpp); inactive by default.
+  /// When enabled, the read/write/admission paths consult the seeded
+  /// injector so tests and CI deterministically exercise failure edges.
+  FaultPlan fault_plan;
 };
 
 class AlignmentServer {
@@ -121,12 +139,21 @@ class AlignmentServer {
                     const StatsRequest& request);
 
   /// Serialized, connection-locked frame write; false when the peer hung
-  /// up (the job's result is then dropped, not an error).
+  /// up (the job's result is then dropped, not an error). Consults the
+  /// fault injector's write site when a plan is active.
   bool respond(const std::shared_ptr<Connection>& connection,
                const std::string& payload);
   void reject(const std::shared_ptr<Connection>& connection,
               std::uint64_t request_id, ErrorCode code,
               const std::string& message);
+
+  /// Closes a connection from its own handler (fault drops, hygiene):
+  /// flips `open` under the write mutex so no worker writes into a
+  /// recycled fd, then closes.
+  void kill_connection(const std::shared_ptr<Connection>& connection);
+
+  /// Live (unreaped, unfinished) connection count for the accept cap.
+  std::size_t live_connections();
 
   /// Joins finished connection handlers and closes their sockets.
   /// Amortized from the accept loop; stop() sweeps the remainder.
@@ -141,6 +168,7 @@ class AlignmentServer {
     obs::Counter& rejected_too_large;
     obs::Counter& rejected_deadline;
     obs::Counter& rejected_shutdown;
+    obs::Counter& rejected_connection_limit;
     obs::Counter& bad_requests;
     obs::Counter& internal_errors;
     obs::Counter& write_errors;
@@ -152,6 +180,9 @@ class AlignmentServer {
 
   ServiceConfig config_;
   Instruments instruments_;
+  /// Non-null only when config_.fault_plan is enabled; shared by every
+  /// connection handler and worker (FaultInjector is thread-safe).
+  std::unique_ptr<FaultInjector> injector_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 

@@ -1,0 +1,315 @@
+// Chaos soak for the alignment service: a flood of retrying clients
+// against a server running a randomized (but seeded, hence reproducible)
+// fault plan. The contract under test is absolute: every request
+// terminates — promptly — in exactly one of
+//   * an ALIGN_OK whose score is bit-identical to direct align(), or
+//   * a typed ErrorResponse, or
+//   * a typed TransportError / ProtocolError on the client,
+// never a hang, never a silent drop, never a plausible-but-wrong score.
+// These tests run under TSan in CI (the `service-chaos` job): the
+// injector's kill/truncate/delay paths racing the worker pool's response
+// writes are the subject under test as much as the outcomes are.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "obs/metrics.hpp"
+#include "scoring/builtin.hpp"
+#include "scoring/scheme.hpp"
+#include "sequence/generate.hpp"
+#include "service/client.hpp"
+#include "service/fault.hpp"
+#include "service/server.hpp"
+
+namespace flsa {
+namespace service {
+namespace {
+
+// ---- Fault-plan grammar ----------------------------------------------
+
+TEST(FaultPlan, ParsesTheFullGrammar) {
+  const FaultPlan plan = parse_fault_plan(
+      "seed=42,reject=0.2,drop=0.05,delay=0.1:25,truncate=0.05,"
+      "corrupt=0.125");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.reject, 0.2);
+  EXPECT_DOUBLE_EQ(plan.drop, 0.05);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.1);
+  EXPECT_EQ(plan.delay_ms, 25u);
+  EXPECT_DOUBLE_EQ(plan.truncate, 0.05);
+  EXPECT_DOUBLE_EQ(plan.corrupt, 0.125);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, EmptyAndOffAreInactive) {
+  EXPECT_FALSE(parse_fault_plan("").enabled());
+  EXPECT_FALSE(parse_fault_plan("off").enabled());
+  EXPECT_FALSE(parse_fault_plan("seed=9").enabled());  // seed alone: no faults
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const FaultPlan plan =
+      parse_fault_plan("seed=7,reject=0.25,delay=0.5:100,corrupt=0.75");
+  const FaultPlan again = parse_fault_plan(to_string(plan));
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(again.reject, plan.reject);
+  EXPECT_DOUBLE_EQ(again.delay, plan.delay);
+  EXPECT_EQ(again.delay_ms, plan.delay_ms);
+  EXPECT_DOUBLE_EQ(again.corrupt, plan.corrupt);
+  EXPECT_EQ(to_string(parse_fault_plan("off")), "off");
+}
+
+TEST(FaultPlan, RejectsBadGrammar) {
+  EXPECT_THROW(parse_fault_plan("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("reject"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("reject=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("reject=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("reject=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("delay=0.5:999999"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("seed=notanumber"), std::invalid_argument);
+}
+
+TEST(FaultInjector, TruncationIsAlwaysAStrictPrefix) {
+  FaultInjector injector(parse_fault_plan("seed=11,truncate=1"));
+  for (std::size_t size : {std::size_t(1), std::size_t(2), std::size_t(5),
+                           std::size_t(64), std::size_t(4096)}) {
+    for (int i = 0; i < 32; ++i) {
+      const std::size_t cut = injector.truncate_point(size);
+      EXPECT_LT(cut, size);  // strict: the peer always sees EOF mid-frame
+    }
+  }
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  const FaultPlan plan = parse_fault_plan("seed=99,drop=0.5,reject=0.5");
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.inject_reject(), b.inject_reject());
+    EXPECT_EQ(a.inject_read() == ReadFault::kDrop,
+              b.inject_read() == ReadFault::kDrop);
+  }
+}
+
+// ---- The soak itself --------------------------------------------------
+
+struct SoakTally {
+  std::atomic<std::uint64_t> correct{0};     ///< bit-identical scores
+  std::atomic<std::uint64_t> rejected{0};    ///< typed ErrorResponse
+  std::atomic<std::uint64_t> transport{0};   ///< typed TransportError
+  std::atomic<std::uint64_t> protocol{0};    ///< typed ProtocolError
+  std::atomic<std::uint64_t> wrong{0};       ///< the unforgivable bucket
+};
+
+/// One client thread: `requests` closed-loop calls through the retry
+/// layer, every outcome tallied. Anything that is not a correct score or
+/// a typed error lands in `failures[index]` and fails the test.
+void soak_client(const AlignmentServer& server, unsigned index,
+                 int requests, const std::string& a, const std::string& b,
+                 Score expected, SoakTally* tally, std::string* failure) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(20);
+  policy.retry_budget = std::chrono::milliseconds(5000);
+  policy.seed = 0xC0FFEE + index;
+
+  Client client;
+  try {
+    client.connect("127.0.0.1", server.port());
+  } catch (const TransportError&) {
+    // The server may already be draining (stop-under-fire soak); every
+    // request this thread would have made terminates typed.
+    tally->transport.fetch_add(static_cast<std::uint64_t>(requests));
+    return;
+  }
+  for (int i = 0; i < requests; ++i) {
+    AlignRequest request;
+    request.matrix = WireMatrix::kMdm78;
+    request.gap_extend = -10;
+    request.a = a;
+    request.b = b;
+    try {
+      const Response response =
+          client.call_with_retry(std::move(request), policy);
+      if (const auto* ok = std::get_if<AlignResponse>(&response)) {
+        if (ok->score == expected) {
+          tally->correct.fetch_add(1);
+        } else {
+          tally->wrong.fetch_add(1);
+          *failure = "wrong score " + std::to_string(ok->score) +
+                     " (expected " + std::to_string(expected) + ")";
+          return;
+        }
+      } else if (std::holds_alternative<ErrorResponse>(response)) {
+        tally->rejected.fetch_add(1);
+      } else {
+        *failure = "unexpected STATS response";
+        return;
+      }
+    } catch (const ProtocolError&) {
+      // A corrupt fault consumed this request's answer; the stream is
+      // still frame-aligned but the connection's trust is spent.
+      tally->protocol.fetch_add(1);
+      client.close();
+    } catch (const TransportError&) {
+      tally->transport.fetch_add(1);  // retries exhausted, typed
+    } catch (const std::exception& e) {
+      *failure = std::string("untyped failure: ") + e.what();
+      return;
+    }
+  }
+}
+
+TEST(Chaos, EveryRequestTerminatesCorrectOrTyped) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.fault_plan = parse_fault_plan(
+      "seed=42,reject=0.15,drop=0.05,delay=0.1:5,truncate=0.05,"
+      "corrupt=0.05");
+  AlignmentServer server(config);
+  server.start();
+
+  Xoshiro256 rng(4242);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 112, model, rng);
+  const std::string a = pair.a.to_string();
+  const std::string b = pair.b.to_string();
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  const Score expected =
+      align(Sequence(Alphabet::protein(), a), Sequence(Alphabet::protein(), b),
+            ScoringScheme(scoring::mdm78(), -10), options)
+          .score;
+
+  constexpr unsigned kClients = 4;
+  constexpr int kRequestsEach = 24;
+  SoakTally tally;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      soak_client(server, t, kRequestsEach, a, b, expected, &tally,
+                  &failures[t]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.stop();
+
+  for (unsigned t = 0; t < kClients; ++t) {
+    EXPECT_EQ(failures[t], "") << "client " << t;
+  }
+  const std::uint64_t total = tally.correct + tally.rejected +
+                              tally.transport + tally.protocol + tally.wrong;
+  EXPECT_EQ(total, std::uint64_t(kClients) * kRequestsEach)
+      << "some request terminated in no bucket at all";
+  EXPECT_EQ(tally.wrong.load(), 0u) << "a damaged frame decoded to a score";
+  // With 8 retry attempts against these fault rates, the overwhelming
+  // majority of requests must still come back correct.
+  EXPECT_GE(tally.correct.load(), std::uint64_t(kClients) * kRequestsEach / 2)
+      << "correct=" << tally.correct << " rejected=" << tally.rejected
+      << " transport=" << tally.transport << " protocol=" << tally.protocol;
+}
+
+TEST(Chaos, RetryRecoversEveryInjectedOverload) {
+  // Admission rejections only — the one fault class retry is *guaranteed*
+  // to beat, because the request was provably never executed. With a 25%
+  // rejection rate and 12 attempts, the chance any of the 48 calls
+  // exhausts its attempts is ~48 * 0.25^12 ≈ 3e-6.
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=7,reject=0.25");
+  AlignmentServer server(config);
+  server.start();
+
+  const std::uint64_t recovered_before =
+      obs::metrics().counter("client.retry.recovered").value();
+
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(10);
+  policy.seed = 0xBACC0FF;
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  constexpr int kCalls = 48;
+  int succeeded = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    AlignRequest request;
+    request.matrix = WireMatrix::kMdm78;
+    request.gap_extend = -10;
+    request.a = "TLDKLLKD";
+    request.b = "TDVLKAD";
+    const Response response =
+        client.call_with_retry(std::move(request), policy);
+    const auto* ok = std::get_if<AlignResponse>(&response);
+    if (ok != nullptr && ok->score == 82) ++succeeded;
+  }
+  server.stop();
+
+  EXPECT_EQ(succeeded, kCalls)
+      << "retry failed to recover an idempotent-safe OVERLOADED rejection";
+  // The injector fired on roughly a quarter of all attempts, so at least
+  // one call must have needed (and recorded) a recovery.
+  EXPECT_GT(obs::metrics().counter("client.retry.recovered").value(),
+            recovered_before);
+}
+
+TEST(Chaos, DrainUnderFireStaysTyped) {
+  // Stop the server while retrying clients are mid-flight: every
+  // in-flight and every subsequent request still terminates typed
+  // (SHUTTING_DOWN, a transport error, or a late correct answer).
+  ServiceConfig config;
+  config.workers = 2;
+  config.fault_plan = parse_fault_plan("seed=13,reject=0.2,delay=0.2:5");
+  AlignmentServer server(config);
+  server.start();
+
+  Xoshiro256 rng(1313);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 96, model, rng);
+  const std::string a = pair.a.to_string();
+  const std::string b = pair.b.to_string();
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  const Score expected =
+      align(Sequence(Alphabet::protein(), a), Sequence(Alphabet::protein(), b),
+            ScoringScheme(scoring::mdm78(), -10), options)
+          .score;
+
+  constexpr unsigned kClients = 3;
+  constexpr int kRequestsEach = 16;
+  SoakTally tally;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      soak_client(server, t, kRequestsEach, a, b, expected, &tally,
+                  &failures[t]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.stop();  // mid-flood
+  for (std::thread& thread : threads) thread.join();
+
+  for (unsigned t = 0; t < kClients; ++t) {
+    EXPECT_EQ(failures[t], "") << "client " << t;
+  }
+  EXPECT_EQ(tally.wrong.load(), 0u);
+  EXPECT_EQ(tally.correct + tally.rejected + tally.transport +
+                tally.protocol,
+            std::uint64_t(kClients) * kRequestsEach);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace flsa

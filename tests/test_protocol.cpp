@@ -4,10 +4,14 @@
 // daemon's first line of defence against untrusted bytes.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <limits>
 #include <string>
 #include <variant>
 
+#include "scoring/scheme.hpp"
 #include "service/protocol.hpp"
 
 namespace flsa {
@@ -58,6 +62,28 @@ TEST(Protocol, AlignRequestDefaultsRoundTrip) {
   EXPECT_FALSE(align->score_only);
 }
 
+TEST(Protocol, DefaultGapModelMatchesEngineDefaults) {
+  // Regression: the wire defaults and the engine's paper_default() scheme
+  // are sourced from one header (scoring/scheme.hpp); a request that
+  // omits penalties must mean exactly the scheme flsa_align defaults to.
+  const AlignRequest request;  // penalties omitted
+  EXPECT_EQ(request.gap_open, ScoringScheme::paper_default().gap_open());
+  EXPECT_EQ(request.gap_extend,
+            ScoringScheme::paper_default().gap_extend());
+  EXPECT_EQ(request.gap_open, kDefaultGapOpen);
+  EXPECT_EQ(request.gap_extend, kDefaultGapExtend);
+
+  // And the defaults survive the wire bit-exactly.
+  AlignRequest on_wire;
+  on_wire.a = "HEAGAWGHEE";
+  on_wire.b = "PAWHEAE";
+  const Request decoded = decode_request(encode(on_wire));
+  const auto* align = std::get_if<AlignRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_EQ(align->gap_open, kDefaultGapOpen);
+  EXPECT_EQ(align->gap_extend, kDefaultGapExtend);
+}
+
 TEST(Protocol, StatsRequestRoundTrip) {
   StatsRequest request;
   request.request_id = 7;
@@ -75,6 +101,7 @@ TEST(Protocol, AlignResponseRoundTrip) {
   response.cells = 99;
   response.queue_micros = 1234;
   response.exec_micros = 56789;
+  response.deadline_remaining_ms = 17;
   const Response decoded = decode_response(encode(response));
   const auto* ok = std::get_if<AlignResponse>(&decoded);
   ASSERT_NE(ok, nullptr);
@@ -84,13 +111,22 @@ TEST(Protocol, AlignResponseRoundTrip) {
   EXPECT_EQ(ok->cells, 99u);
   EXPECT_EQ(ok->queue_micros, 1234u);
   EXPECT_EQ(ok->exec_micros, 56789u);
+  EXPECT_EQ(ok->deadline_remaining_ms, 17);
+}
+
+TEST(Protocol, AlignResponseNoDeadlineSentinelRoundTrip) {
+  AlignResponse response;  // deadline_remaining_ms defaults to -1
+  const Response decoded = decode_response(encode(response));
+  const auto* ok = std::get_if<AlignResponse>(&decoded);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->deadline_remaining_ms, -1);
 }
 
 TEST(Protocol, ErrorResponseRoundTripAllCodes) {
   for (ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kTooLarge, ErrorCode::kOverloaded,
         ErrorCode::kDeadlineExceeded, ErrorCode::kShuttingDown,
-        ErrorCode::kInternal}) {
+        ErrorCode::kInternal, ErrorCode::kConnectionLimit}) {
     ErrorResponse response;
     response.request_id = 9;
     response.code = code;
@@ -219,6 +255,74 @@ TEST(Protocol, VerbAndCodeNamesAreStable) {
   EXPECT_STREQ(to_string(ErrorCode::kTooLarge), "TOO_LARGE");
   EXPECT_STREQ(to_string(ErrorCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
   EXPECT_STREQ(to_string(ErrorCode::kShuttingDown), "SHUTTING_DOWN");
+  EXPECT_STREQ(to_string(ErrorCode::kConnectionLimit), "CONNECTION_LIMIT");
+}
+
+TEST(Protocol, RetryableClassificationIsIdempotentSafe) {
+  // Retry is only safe when the server provably did not run the job.
+  EXPECT_TRUE(is_retryable(ErrorCode::kOverloaded));
+  EXPECT_TRUE(is_retryable(ErrorCode::kShuttingDown));
+  EXPECT_TRUE(is_retryable(ErrorCode::kConnectionLimit));
+  EXPECT_FALSE(is_retryable(ErrorCode::kBadRequest));
+  EXPECT_FALSE(is_retryable(ErrorCode::kTooLarge));
+  EXPECT_FALSE(is_retryable(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+}
+
+// A reader guarded against hanging forever if the partial-write tests fail.
+void arm_read_deadline(int fd) {
+  struct timeval tv {};
+  tv.tv_sec = 5;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// The fault-injected partial-write path: the server dies (or is killed by
+// the injector) after writing only a prefix of a frame. For every possible
+// cut point the client-side reader must surface a typed TransportError —
+// never a hang, never a garbage score. Cut 0 is the one clean case: EOF on
+// a frame boundary, reported as an orderly false.
+TEST(Protocol, PartialWriteAtEveryPrefixIsATypedTransportError) {
+  AlignResponse response;
+  response.request_id = 7;
+  response.score = 82;
+  response.cigar = "10M";
+  const std::string wire = frame_bytes(encode(response));
+  ASSERT_GT(wire.size(), 4u);
+
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    arm_read_deadline(fds[0]);
+    ASSERT_TRUE(write_all(fds[1], std::string_view(wire).substr(0, cut)));
+    close(fds[1]);  // server gone mid-frame
+
+    std::string payload;
+    if (cut == 0) {
+      EXPECT_FALSE(read_frame(fds[0], &payload))
+          << "EOF on a frame boundary must be an orderly close";
+    } else if (cut == wire.size()) {
+      ASSERT_TRUE(read_frame(fds[0], &payload));
+      const Response decoded = decode_response(payload);
+      const auto* ok = std::get_if<AlignResponse>(&decoded);
+      ASSERT_NE(ok, nullptr);
+      EXPECT_EQ(ok->score, 82);
+    } else {
+      EXPECT_THROW(read_frame(fds[0], &payload), TransportError)
+          << "prefix of " << cut << " of " << wire.size()
+          << " bytes did not produce a typed transport error";
+    }
+    close(fds[0]);
+  }
+}
+
+TEST(Protocol, CorruptedVersionByteIsAProtocolErrorNotAScore) {
+  // The injector's corrupt fault XORs the version byte; the client must
+  // get a typed decode failure, never a plausible wrong answer.
+  AlignResponse response;
+  response.score = 82;
+  std::string payload = encode(response);
+  payload[0] = static_cast<char>(payload[0] ^ 0xA5);
+  EXPECT_THROW(decode_response(payload), ProtocolError);
 }
 
 }  // namespace

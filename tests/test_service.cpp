@@ -25,6 +25,7 @@
 #include "sequence/generate.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/client.hpp"
+#include "service/fault.hpp"
 #include "service/server.hpp"
 
 namespace flsa {
@@ -93,7 +94,10 @@ TEST(Service, AnswersThePaperWorkedExample) {
   ASSERT_NE(ok, nullptr);
   EXPECT_EQ(ok->score, 82);
   EXPECT_FALSE(ok->cigar.empty());
-  EXPECT_EQ(ok->cells, 8u * 7u);
+  // cells is the same (m+1)(n+1) DPM-entry count the admission budget
+  // (max_request_cells) is expressed in.
+  EXPECT_EQ(ok->cells, 9u * 8u);
+  EXPECT_EQ(ok->deadline_remaining_ms, -1);  // no deadline requested
   EXPECT_EQ(ok->cigar, direct_align("TLDKLLKD", "TDVLKAD").cigar());
   server.stop();
 }
@@ -441,6 +445,255 @@ TEST(Service, PerRequestTuningOverridesAreAccepted) {
   const auto* ok = std::get_if<AlignResponse>(&response);
   ASSERT_NE(ok, nullptr);
   EXPECT_EQ(ok->score, 82);  // tuning changes the schedule, not the answer
+  server.stop();
+}
+
+TEST(Service, AdmissionBudgetBoundaryIsInclusive) {
+  // The budget and the reported cells use the same definition,
+  // (m+1)*(n+1), so a request *exactly at* max_request_cells is admitted
+  // and one cell over is rejected.
+  ServiceConfig config;
+  config.max_request_cells = 21u * 21u;  // 441
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  const Response at_budget = client.call(
+      protein_request(std::string(20, 'A'), std::string(20, 'A')));
+  const auto* ok = std::get_if<AlignResponse>(&at_budget);
+  ASSERT_NE(ok, nullptr) << "a request exactly at the budget was rejected";
+  EXPECT_EQ(ok->cells, config.max_request_cells);
+
+  const Response over_budget = client.call(
+      protein_request(std::string(21, 'A'), std::string(20, 'A')));
+  const auto* error = std::get_if<ErrorResponse>(&over_budget);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kTooLarge);  // 22*21 = 462 > 441
+  server.stop();
+}
+
+TEST(Service, GenerousDeadlineReportsRemainingSlack) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRequest request = protein_request("TLDKLLKD", "TDVLKAD");
+  request.deadline_ms = 60000;
+  const Response response = client.call(std::move(request));
+  const auto* ok = std::get_if<AlignResponse>(&response);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->score, 82);
+  EXPECT_GE(ok->deadline_remaining_ms, 0);
+  EXPECT_LE(ok->deadline_remaining_ms, 60000);
+  server.stop();
+}
+
+TEST(Service, DeadlineExpiringMidAlignmentDiscardsTheStaleResult) {
+  // The queue is empty, so the 1 ms deadline survives the dequeue check;
+  // it expires *during* the (multi-millisecond) alignment. Before the
+  // completion re-check this came back as a stale success — a late "done"
+  // the client had already given up on.
+  ServiceConfig config;
+  config.workers = 1;
+  AlignmentServer server(config);
+  server.start();
+
+  Xoshiro256 rng(31);
+  MutationModel model;
+  const SequencePair big =
+      homologous_pair(Alphabet::protein(), 4000, model, rng);
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRequest request =
+      protein_request(big.a.to_string(), big.b.to_string());
+  request.deadline_ms = 1;
+  const Response response = client.call(std::move(request));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr) << "expired deadline answered with a success";
+  EXPECT_EQ(error->code, ErrorCode::kDeadlineExceeded);
+  server.stop();
+}
+
+TEST(Service, IdleConnectionIsHungUpAfterTheDeadline) {
+  ServiceConfig config;
+  config.idle_timeout_ms = 100;
+  AlignmentServer server(config);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval guard{};  // keep the test itself from hanging on a regression
+  guard.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &guard, sizeof(guard));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Send nothing: after ~100 ms of silence the server hangs up and this
+  // blocking read sees EOF (not a 10 s guard timeout, not a hang).
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Service, IdleDeadlineSparesAClientWaitingOnASlowJob) {
+  // A quiet client with a job in flight is patient, not idle: the
+  // per-recv deadline may expire many times while the alignment runs,
+  // and the answer must still arrive on the open connection.
+  ServiceConfig config;
+  config.workers = 1;
+  config.idle_timeout_ms = 10;
+  AlignmentServer server(config);
+  server.start();
+
+  Xoshiro256 rng(37);
+  MutationModel model;
+  const SequencePair pair =
+      homologous_pair(Alphabet::protein(), 2000, model, rng);
+  const std::string a = pair.a.to_string();
+  const std::string b = pair.b.to_string();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Response response = client.call(protein_request(a, b));
+  const auto* ok = std::get_if<AlignResponse>(&response);
+  ASSERT_NE(ok, nullptr) << "idle deadline killed a waiting client";
+  EXPECT_EQ(ok->score, direct_align(a, b).score);
+  server.stop();
+}
+
+TEST(Service, ConnectionOverTheCapGetsATypedRefusal) {
+  ServiceConfig config;
+  config.max_connections = 1;
+  AlignmentServer server(config);
+  server.start();
+
+  Client first;
+  first.connect("127.0.0.1", server.port());
+  // Complete a round trip so the first connection is registered.
+  (void)first.call(protein_request("TLDKLLKD", "TDVLKAD"));
+
+  // The second connection is answered with CONNECTION_LIMIT, then closed.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval guard{};
+  guard.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &guard, sizeof(guard));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string payload;
+  ASSERT_TRUE(read_frame(fd, &payload));
+  const Response refusal = decode_response(payload);
+  const auto* error = std::get_if<ErrorResponse>(&refusal);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kConnectionLimit);
+  EXPECT_EQ(error->request_id, 0u);  // connection-scoped, not a request
+  EXPECT_TRUE(is_retryable(error->code));
+  ::close(fd);
+
+  // The capped-out server still serves its admitted connection.
+  const Response still_works =
+      first.call(protein_request("TLDKLLKD", "TDVLKAD"));
+  const auto* ok = std::get_if<AlignResponse>(&still_works);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->score, 82);
+  server.stop();
+}
+
+// ---- Single-fault service behaviour ----------------------------------
+// Each certain-fire plan isolates one injector path; the chaos soak in
+// test_chaos.cpp mixes them probabilistically.
+
+TEST(Service, InjectedAdmissionRejectIsATypedOverloaded) {
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=5,reject=1");
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Response response =
+      client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kOverloaded);
+  EXPECT_TRUE(is_retryable(error->code));
+  server.stop();
+}
+
+TEST(Service, InjectedDropSurfacesAsATransportError) {
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=5,drop=1");
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRequest request = protein_request("TLDKLLKD", "TDVLKAD");
+  // The connection dies either before the request is read (read-site
+  // drop) or before the answer is written (write-site drop): the send or
+  // the receive throws a typed TransportError — never a hang.
+  EXPECT_THROW(
+      {
+        client.send(std::move(request));
+        (void)client.receive();
+      },
+      TransportError);
+  server.stop();
+}
+
+TEST(Service, InjectedTruncationSurfacesAsATransportError) {
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=5,truncate=1");
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRequest request = protein_request("TLDKLLKD", "TDVLKAD");
+  EXPECT_THROW(
+      {
+        client.send(std::move(request));
+        (void)client.receive();
+      },
+      TransportError);
+  server.stop();
+}
+
+TEST(Service, InjectedCorruptionSurfacesAsAProtocolErrorNotAScore) {
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=5,corrupt=1");
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRequest request = protein_request("TLDKLLKD", "TDVLKAD");
+  client.send(std::move(request));
+  EXPECT_THROW((void)client.receive(), ProtocolError);
+  server.stop();
+}
+
+TEST(Service, InjectedDelayStillAnswersCorrectly) {
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=5,delay=1:20");
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Response response =
+      client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+  const auto* ok = std::get_if<AlignResponse>(&response);
+  ASSERT_NE(ok, nullptr);  // delay is latency, never wrongness
+  EXPECT_EQ(ok->score, 82);
   server.stop();
 }
 

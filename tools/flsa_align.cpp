@@ -59,8 +59,9 @@ int main(int argc, char** argv) {
   cli.add_string("matrix", "mdm78",
                  "mdm78 | pam250 | blosum62 | dna | dna-n | path to an "
                  "NCBI-format matrix file");
-  cli.add_int("gap", -10, "linear gap penalty per residue (<= 0)");
-  cli.add_int("gap-open", 0,
+  cli.add_int("gap", flsa::kDefaultGapExtend,
+              "linear gap penalty per residue (<= 0)");
+  cli.add_int("gap-open", flsa::kDefaultGapOpen,
               "affine gap-open penalty (<= 0; 0 selects linear gaps; "
               "global mode only)");
   cli.add_string("algorithm", "auto",

@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
   cli.add_int("port", 7421, "server TCP port");
   cli.add_string("matrix", "mdm78",
                  "mdm78 | pam250 | blosum62 | dna | dna-n");
-  cli.add_int("gap", -10, "linear gap penalty per residue (<= 0)");
-  cli.add_int("gap-open", 0,
+  cli.add_int("gap", flsa::kDefaultGapExtend,
+              "linear gap penalty per residue (<= 0)");
+  cli.add_int("gap-open", flsa::kDefaultGapOpen,
               "affine gap-open penalty (<= 0; 0 selects linear gaps)");
   cli.add_int("k", 0, "FastLSA division factor (0 = server default)");
   cli.add_int("bm", 0, "FastLSA base-case cells (0 = server default)");
@@ -47,6 +48,13 @@ int main(int argc, char** argv) {
   cli.add_int("flood", 0,
               "pipeline this many copies without waiting, then tally the "
               "response codes (drives OVERLOADED against a full queue)");
+  cli.add_int("min-success", 1,
+              "flood mode: exit nonzero unless at least this many requests "
+              "came back ALIGN_OK (guards CI against total rejection)");
+  cli.add_int("retries", 0,
+              "closed-loop retry attempts beyond the first for transient "
+              "failures (OVERLOADED, resets); exponential backoff with "
+              "decorrelated jitter");
   cli.add_flag("server-stats", false,
                "send a STATS request and print the metrics snapshot");
   cli.add_int("expect-score", std::numeric_limits<std::int64_t>::min(),
@@ -120,11 +128,13 @@ int main(int argc, char** argv) {
         client.send(std::move(copy));
       }
       std::map<std::string, std::size_t> tally;
+      std::size_t succeeded = 0;
       for (std::size_t i = 0; i < flood; ++i) {
         const flsa::service::Response response = client.receive();
         if (const auto* ok =
                 std::get_if<flsa::service::AlignResponse>(&response)) {
           ++tally["ALIGN_OK"];
+          ++succeeded;
           if (expecting && ok->score != expected) all_expected = false;
         } else if (const auto* err =
                        std::get_if<flsa::service::ErrorResponse>(&response)) {
@@ -141,15 +151,29 @@ int main(int argc, char** argv) {
                   << expected << "\n";
         return 1;
       }
+      const auto min_success = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, cli.get_int("min-success")));
+      if (succeeded < min_success) {
+        std::cerr << "error: only " << succeeded << " of " << flood
+                  << " flooded requests succeeded (--min-success "
+                  << min_success << ")\n";
+        return 1;
+      }
       return 0;
     }
 
     const auto repeat =
         static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("repeat")));
+    const auto retries =
+        static_cast<unsigned>(std::max<std::int64_t>(0, cli.get_int("retries")));
+    flsa::service::RetryPolicy retry_policy;
+    retry_policy.max_attempts = retries + 1;
     for (std::size_t i = 0; i < repeat; ++i) {
       flsa::service::AlignRequest copy = request;
       copy.request_id = 0;
-      const flsa::service::Response response = client.call(std::move(copy));
+      const flsa::service::Response response =
+          retries > 0 ? client.call_with_retry(std::move(copy), retry_policy)
+                      : client.call(std::move(copy));
       if (const auto* err =
               std::get_if<flsa::service::ErrorResponse>(&response)) {
         std::cerr << "error response: " << to_string(err->code) << ": "
@@ -165,6 +189,10 @@ int main(int argc, char** argv) {
       std::cout << "queued : " << static_cast<double>(ok.queue_micros) / 1e3
                 << " ms\nexec   : "
                 << static_cast<double>(ok.exec_micros) / 1e3 << " ms\n";
+      if (ok.deadline_remaining_ms >= 0) {
+        std::cout << "slack  : " << ok.deadline_remaining_ms
+                  << " ms left on the deadline\n";
+      }
       if (expecting && ok.score != expected) {
         std::cerr << "error: score " << ok.score << " != expected "
                   << expected << "\n";

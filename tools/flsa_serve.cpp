@@ -53,6 +53,16 @@ int main(int argc, char** argv) {
   cli.add_int("k", 8, "FastLSA division factor (server default)");
   cli.add_int("bm", 1 << 20,
               "FastLSA base-case buffer in cells (server default)");
+  cli.add_int("idle-timeout-ms", 60000,
+              "per-recv read deadline on client connections; bounds idle "
+              "and slow-loris peers (0 = none)");
+  cli.add_int("max-connections", 256,
+              "concurrent-connection cap; over-cap peers get a typed "
+              "CONNECTION_LIMIT answer (0 = unlimited)");
+  cli.add_string("fault-plan", "",
+                 "fault-injection plan for chaos testing, e.g. "
+                 "'seed=42,reject=0.2,drop=0.05,delay=0.1:25,truncate=0.05,"
+                 "corrupt=0.05' (see docs/service.md)");
   cli.add_flag("quiet", false, "suppress the startup/drain log lines");
 
   try {
@@ -69,6 +79,12 @@ int main(int argc, char** argv) {
     config.fastlsa.k = static_cast<unsigned>(cli.get_int("k"));
     config.fastlsa.base_case_cells =
         static_cast<std::size_t>(cli.get_int("bm"));
+    config.idle_timeout_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cli.get_int("idle-timeout-ms")));
+    config.max_connections = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, cli.get_int("max-connections")));
+    config.fault_plan =
+        flsa::service::parse_fault_plan(cli.get_string("fault-plan"));
 
     if (pipe(g_signal_pipe) != 0) {
       std::cerr << "error: pipe failed: " << std::strerror(errno) << "\n";
@@ -101,7 +117,9 @@ int main(int argc, char** argv) {
       std::cout << "flsa_serve listening on " << config.host << ":"
                 << server.port() << " (workers=" << workers
                 << ", queue=" << config.queue_capacity
-                << ", max cells=" << config.max_request_cells << ")\n"
+                << ", max cells=" << config.max_request_cells
+                << ", fault plan: "
+                << flsa::service::to_string(config.fault_plan) << ")\n"
                 << std::flush;
     }
 
