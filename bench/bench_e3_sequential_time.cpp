@@ -9,6 +9,7 @@
 // The findscore[...] rows isolate the kernels themselves (one boundary
 // sweep, no traceback): on an AVX2 host the simd variant sustains well
 // over 1.5x the scalar cells/second.
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -18,6 +19,44 @@
 #include "benchlib/workloads.hpp"
 #include "flsa/flsa.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+struct KernelRow {
+  std::string pair;
+  std::string kernel;
+  double median_ms = 0;
+  double cells_per_s = 0;
+  std::uint64_t escalations = 0;
+};
+
+/// BENCH_kernels.json: one findscore row per pair x kernel tier, plus the
+/// headline int16-vs-int32 speedup per pair, for CI trend tracking.
+void write_kernels_json(const std::string& path,
+                        const std::vector<KernelRow>& rows,
+                        const std::map<std::string, double>& speedup_16_32) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"simd_isa\": \"" << flsa::simd_kernel_isa()
+      << "\",\n  \"findscore\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    out << "    {\"pair\": \"" << r.pair << "\", \"kernel\": \"" << r.kernel
+        << "\", \"median_ms\": " << r.median_ms
+        << ", \"cells_per_s\": " << r.cells_per_s
+        << ", \"escalations\": " << r.escalations << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup_int16_vs_simd\": {\n";
+  std::size_t i = 0;
+  for (const auto& [pair_name, ratio] : speedup_16_32) {
+    out << "    \"" << pair_name << "\": " << ratio
+        << (++i < speedup_16_32.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
 
 int main() {
   std::cout << "=== E3: sequential time, FM vs Hirschberg vs FastLSA ===\n"
@@ -34,6 +73,7 @@ int main() {
       {"pair", "algorithm", "time_ms", "cells_factor", "cells_per_s"});
   // pair name -> kernel -> findscore cells/second, for the speedup footer.
   std::map<std::string, std::map<flsa::KernelKind, double>> findscore_rate;
+  std::vector<KernelRow> kernel_rows;
 
   for (const flsa::bench::Workload& w : flsa::bench::standard_suite(8000)) {
     const flsa::SequencePair pair = w.make();
@@ -90,11 +130,20 @@ int main() {
 
     for (const Run& run : runs) {
       flsa::DpCounters counters;
+      // The findscore rows feed the headline per-tier speedups; they are
+      // cheap (one sweep, no traceback), so buy them extra reps for a
+      // stable median.
+      const int reps = run.is_findscore ? 9 : 3;
       const flsa::Summary timing = flsa::bench::time_runs(
-          [&] { counters = run.fn(); }, /*reps=*/3, /*warmup=*/1);
+          [&] { counters = run.fn(); }, reps, /*warmup=*/1);
       const double cells = static_cast<double>(counters.total_cells());
       const double rate = flsa::bench::cells_per_second(cells, timing.median);
-      if (run.is_findscore) findscore_rate[w.name][run.kernel] = rate;
+      if (run.is_findscore) {
+        findscore_rate[w.name][run.kernel] = rate;
+        kernel_rows.push_back({w.name, flsa::to_string(run.kernel),
+                               timing.median * 1e3, rate,
+                               counters.kernel_escalations});
+      }
       table.add_row({w.name, run.name,
                      flsa::Table::num(timing.median * 1e3),
                      flsa::Table::num(cells / mn),
@@ -117,9 +166,25 @@ int main() {
               << flsa::Table::num(simd->second / scalar->second, 2)
               << "x\n";
   }
+  std::map<std::string, double> speedup_16_32;
+  std::cout << "\nNarrow-tier speedup (findscore cells/s, int16 / simd):\n";
+  for (const auto& [pair_name, rates] : findscore_rate) {
+    const auto simd = rates.find(flsa::KernelKind::kSimd);
+    const auto i16 = rates.find(flsa::KernelKind::kInt16);
+    if (simd == rates.end() || i16 == rates.end() || simd->second <= 0) {
+      continue;
+    }
+    speedup_16_32[pair_name] = i16->second / simd->second;
+    std::cout << "  " << pair_name << ": "
+              << flsa::Table::num(i16->second / simd->second, 2) << "x\n";
+  }
+  write_kernels_json("BENCH_kernels.json", kernel_rows, speedup_16_32);
+  std::cout << "\nwrote BENCH_kernels.json\n";
+
   std::cout
       << "\nExpected shape: fastlsa <= full-matrix <= hirschberg in time;\n"
          "cell factors ~1.0-1.2 (fastlsa), 1.0 (FM), ~2.0 (hirschberg);\n"
-         "findscore[simd] well above findscore[scalar] on AVX2 hosts.\n";
+         "findscore[simd] well above findscore[scalar] on AVX2 hosts;\n"
+         "findscore[int16] at least 1.5x findscore[simd] on AVX2 hosts.\n";
   return 0;
 }

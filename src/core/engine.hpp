@@ -189,6 +189,11 @@ class FastLsaEngine {
     MemoryCharge scratch_charge(
         &tracker_, 2 * scratch_len * sizeof(CellT) * workers_);
 
+    if (options_.prune && m > 0 && n > 0) {
+      incumbent_ = greedy_incumbent();
+      prune_slack_ = std::max<std::int64_t>(0, scheme_.matrix().max_score());
+    }
+
     if (m > 0 && n > 0) {
       // Global DPM boundary (the initial cacheRow / cacheColumn).
       std::vector<CellT>& top = arena_.boundary_top;
@@ -211,6 +216,7 @@ class FastLsaEngine {
     stats_.arena_pool_misses = arena_.cell_pool.misses() - pool_misses0;
     FLSA_OBS_COUNT("fastlsa.arena.pool_hits", stats_.arena_pool_hits);
     FLSA_OBS_COUNT("fastlsa.arena.pool_misses", stats_.arena_pool_misses);
+    FLSA_OBS_COUNT("fastlsa.tiles.pruned", stats_.counters.tiles_pruned);
     FLSA_OBS_PHASE_CELLS(obs_align, stats_.counters.total_cells());
     Alignment result = alignment_from_path(a_, b_, path_, scheme_);
     // Hand the traceback storage back for the next run on this workspace.
@@ -229,6 +235,65 @@ class FastLsaEngine {
     } else {
       return 0;
     }
+  }
+
+  /// Score of the greedy main-diagonal alignment (pair residue i with
+  /// residue i, then gap out the length difference): a real alignment,
+  /// hence a lower bound of the optimum — the pruning incumbent.
+  std::int64_t greedy_incumbent() const {
+    const std::span<const Residue> a = a_.residues();
+    const std::span<const Residue> b = b_.residues();
+    const SubstitutionMatrix& sub = scheme_.matrix();
+    const std::size_t diag = std::min(a.size(), b.size());
+    std::int64_t score = 0;
+    for (std::size_t i = 0; i < diag; ++i) score += sub.at(a[i], b[i]);
+    const std::size_t excess = std::max(a.size(), b.size()) - diag;
+    if (excess > 0) score += scheme_.gap_cost(excess);
+    return score;
+  }
+
+  static Score cell_best(const CellT& cell) {
+    if constexpr (Affine) {
+      return std::max(cell.d, std::max(cell.ix, cell.iy));
+    } else {
+      return cell;
+    }
+  }
+
+  static CellT sentinel_cell() {
+    if constexpr (Affine) {
+      return AffineCell{kNegInf, kNegInf, kNegInf};
+    } else {
+      return kNegInf;
+    }
+  }
+
+  /// Admissible tile bound: no path through this tile's input boundary can
+  /// beat the incumbent. From any boundary cell (r, c) with DP value v the
+  /// final score is at most v + slack * min(m - r, n - c) (each remaining
+  /// step scores at most slack >= 0, and the bound drops the gap cost);
+  /// taking the tile's best boundary value and the tile's top-left corner
+  /// (which maximizes the remaining-step term over the whole boundary)
+  /// upper-bounds every path through the tile. Boundary entries that are
+  /// themselves pruned sentinels only lower the bound, so pruning
+  /// propagates but can never cut a cell of an optimal path: such a cell's
+  /// boundary value is exact by induction and pushes the bound to at least
+  /// the true optimum >= incumbent.
+  bool can_prune(const Rect& rect, std::size_t rs, std::size_t cs,
+                 std::span<const CellT> tile_top,
+                 std::span<const CellT> tile_left) const {
+    std::int64_t best = kNegInf;
+    for (const CellT& cell : tile_top) {
+      best = std::max<std::int64_t>(best, cell_best(cell));
+    }
+    for (const CellT& cell : tile_left) {
+      best = std::max<std::int64_t>(best, cell_best(cell));
+    }
+    const std::size_t dr = a_.size() - (rect.row0 + rs);
+    const std::size_t dc = b_.size() - (rect.col0 + cs);
+    const std::int64_t bound =
+        best + prune_slack_ * static_cast<std::int64_t>(std::min(dr, dc));
+    return bound < incumbent_;
   }
 
   void init_boundary(std::span<CellT> boundary, bool horizontal) {
@@ -507,9 +572,31 @@ class FastLsaEngine {
                        : std::span<const CellT>(line_cols[tj - 1].vec()))
                   .subspan(rs, trows + 1);
 
+          const bool need_right_line = tj + 1 < tc;
+          if (options_.prune &&
+              can_prune(rect, rs, cs, tile_top, tile_left)) {
+            // Publish sentinel lines instead of sweeping: downstream tiles
+            // see -inf and (by the bound's induction argument) either prune
+            // too or compute values that never exceed the true ones. The
+            // corner entries stay exact — same single-writer discipline as
+            // the real lines below.
+            ++arena_.worker_counters[worker].tiles_pruned;
+            if (ti + 1 < tr) {
+              CellT* dst = line_rows[ti].vec().data() + cs;
+              std::fill(dst + 1, dst + 1 + tcols, sentinel_cell());
+              if (tj == 0) dst[0] = tile_left[trows];
+            }
+            if (need_right_line) {
+              CellT* dst = line_cols[tj].vec().data() + rs;
+              std::fill(dst + 1, dst + 1 + trows, sentinel_cell());
+              if (ti == 0) dst[0] = tile_top[tcols];
+            }
+            return std::uint64_t{0};
+          }
+
           std::span<CellT> bottom(arena_.scratch_bottom[worker].data(),
                                   tcols + 1);
-          const bool need_right = tj + 1 < tc;
+          const bool need_right = need_right_line;
           std::span<CellT> right =
               need_right ? std::span<CellT>(
                                arena_.scratch_right[worker].data(),
@@ -565,6 +652,8 @@ class FastLsaEngine {
   Path path_;
   AffineState affine_state_ = AffineState::kD;
   unsigned workers_ = 1;
+  std::int64_t incumbent_ = 0;    ///< pruning lower bound (options_.prune)
+  std::int64_t prune_slack_ = 0;  ///< max(0, best substitution score)
 };
 
 }  // namespace detail

@@ -45,6 +45,19 @@ struct FastLsaOptions {
   /// supports; all kernels produce identical scores and alignments.
   KernelKind kernel = KernelKind::kAuto;
 
+  /// Score-bound band pruning of the Fill Grid Cache phase. When enabled,
+  /// the engine seeds an incumbent from a greedy main-diagonal alignment
+  /// (a real alignment, hence a lower bound of the optimum) and skips any
+  /// grid tile whose admissible upper bound — best boundary value plus
+  /// max(0, best substitution score) per remaining diagonal step — cannot
+  /// reach it, publishing -inf sentinel boundary lines instead. The
+  /// optimal score and alignment are unchanged (cells on any optimal path
+  /// always pass the bound test); only off-band work is dropped, counted
+  /// in FastLsaStats as tiles_pruned. Default off: the exact sweep of
+  /// every tile stays the reference behaviour, and counter-based golden
+  /// fingerprints (cells_scored) only hold with pruning off.
+  bool prune = false;
+
   /// Optional reusable scratch (core/arena.hpp). When set, the engine
   /// draws every internal buffer — grid/line caches, base-case matrix,
   /// per-worker scratch, path storage — from this workspace instead of the

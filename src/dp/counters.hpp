@@ -19,6 +19,14 @@ struct DpCounters {
   std::uint64_t cells_stored = 0;
   /// Traceback steps taken (FindPath work).
   std::uint64_t traceback_steps = 0;
+  /// Narrow-kernel overflow escalations: each time a saturating int8/int16
+  /// sweep hit a rail (or could not represent the scheme) and the work was
+  /// transparently rescored with the next wider tier (dp/kernel_narrow.hpp).
+  std::uint64_t kernel_escalations = 0;
+  /// Fill Grid Cache tiles skipped by score-bound pruning
+  /// (FastLsaOptions::prune): their optimistic bound could not beat the
+  /// greedy-diagonal incumbent, so sentinel lines were published instead.
+  std::uint64_t tiles_pruned = 0;
 
   std::uint64_t total_cells() const { return cells_scored + cells_stored; }
 
@@ -26,6 +34,8 @@ struct DpCounters {
     cells_scored += other.cells_scored;
     cells_stored += other.cells_stored;
     traceback_steps += other.traceback_steps;
+    kernel_escalations += other.kernel_escalations;
+    tiles_pruned += other.tiles_pruned;
     return *this;
   }
 };

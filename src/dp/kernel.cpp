@@ -3,10 +3,31 @@
 #include <algorithm>
 #include <vector>
 
+#include "dp/kernel_narrow.hpp"
 #include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
+
+namespace {
+
+// The single source of truth for kernel names: to_string,
+// parse_kernel_kind and the CLI enumeration all walk this table.
+constexpr KernelInfo kKernelRegistry[] = {
+    {KernelKind::kAuto, "auto",
+     "fastest always-exact kernel for this CPU (default)"},
+    {KernelKind::kScalar, "scalar", "reference row sweep"},
+    {KernelKind::kSimd, "simd",
+     "int32 anti-diagonal vector sweep (scalar fallback off-x86)"},
+    {KernelKind::kInt16, "int16",
+     "saturating 16-bit lanes, escalates int16->int32 on overflow"},
+    {KernelKind::kInt8, "int8",
+     "saturating 8-bit lanes, escalates int8->int16->int32 on overflow"},
+};
+
+}  // namespace
+
+std::span<const KernelInfo> kernel_registry() { return kKernelRegistry; }
 
 KernelKind resolve_kernel(KernelKind requested) {
   if (requested == KernelKind::kAuto) {
@@ -16,26 +37,21 @@ KernelKind resolve_kernel(KernelKind requested) {
 }
 
 const char* to_string(KernelKind kind) {
-  switch (kind) {
-    case KernelKind::kAuto: return "auto";
-    case KernelKind::kScalar: return "scalar";
-    case KernelKind::kSimd: return "simd";
+  for (const KernelInfo& info : kernel_registry()) {
+    if (info.kind == kind) return info.name;
   }
   return "?";
 }
 
 bool parse_kernel_kind(std::string_view text, KernelKind* out) {
   FLSA_REQUIRE(out != nullptr);
-  if (text == "auto") {
-    *out = KernelKind::kAuto;
-  } else if (text == "scalar") {
-    *out = KernelKind::kScalar;
-  } else if (text == "simd") {
-    *out = KernelKind::kSimd;
-  } else {
-    return false;
+  for (const KernelInfo& info : kernel_registry()) {
+    if (text == info.name) {
+      *out = info.kind;
+      return true;
+    }
   }
-  return true;
+  return false;
 }
 
 void sweep_rectangle_linear(std::span<const Residue> a,
@@ -94,12 +110,20 @@ void sweep_rectangle_linear(KernelKind kind, std::span<const Residue> a,
                             std::span<Score> out_bottom,
                             std::span<Score> out_right,
                             DpCounters* counters) {
-  if (resolve_kernel(kind) == KernelKind::kSimd) {
-    sweep_rectangle_linear_simd(a, b, scheme, top, left, out_bottom,
-                                out_right, counters);
-  } else {
-    sweep_rectangle_linear(a, b, scheme, top, left, out_bottom, out_right,
-                           counters);
+  switch (resolve_kernel(kind)) {
+    case KernelKind::kSimd:
+      sweep_rectangle_linear_simd(a, b, scheme, top, left, out_bottom,
+                                  out_right, counters);
+      return;
+    case KernelKind::kInt16:
+    case KernelKind::kInt8:
+      sweep_rectangle_linear_narrow(resolve_kernel(kind), a, b, scheme, top,
+                                    left, out_bottom, out_right, counters);
+      return;
+    default:
+      sweep_rectangle_linear(a, b, scheme, top, left, out_bottom, out_right,
+                             counters);
+      return;
   }
 }
 

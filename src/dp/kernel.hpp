@@ -18,24 +18,44 @@ namespace flsa {
 
 /// Which sweep implementation a score-only rectangle is computed with.
 /// The scalar row sweep is the reference; the SIMD kernel walks the DPM by
-/// anti-diagonals (dp/kernel_simd.hpp) and produces bit-identical boundary
-/// rows/columns and counters.
+/// anti-diagonals (dp/kernel_simd.hpp); the narrow tiers sweep saturating
+/// int16/int8 lanes and transparently rescore any tile that saturates with
+/// the next wider tier (dp/kernel_narrow.hpp). Every kernel produces
+/// bit-identical boundary rows/columns and scores.
 enum class KernelKind : std::uint8_t {
-  kAuto,    ///< pick the fastest kernel this CPU supports (default)
+  kAuto,    ///< pick the fastest always-exact kernel this CPU supports
   kScalar,  ///< the reference row sweep
-  kSimd,    ///< vectorized anti-diagonal sweep (scalar fallback off-x86)
+  kSimd,    ///< vectorized int32 anti-diagonal sweep (scalar off-x86)
+  kInt16,   ///< saturating 16-bit lanes, escalating int16 -> int32
+  kInt8,    ///< saturating 8-bit lanes, escalating int8 -> int16 -> int32
 };
 
+/// One row of the kernel dispatch table.
+struct KernelInfo {
+  KernelKind kind;
+  const char* name;     ///< the CLI spelling ("auto", "scalar", ...)
+  const char* summary;  ///< one-line description for --list-kernels/help
+};
+
+/// The kernel dispatch table: every registered KernelKind with its name
+/// and summary, in declaration order. to_string/parse_kernel_kind and the
+/// CLI's --kernel help are all generated from this single table, so a new
+/// kernel registered here is automatically parseable and listed.
+std::span<const KernelInfo> kernel_registry();
+
 /// Resolves kAuto against the runtime CPU: kSimd when a vector ISA is
-/// available, kScalar otherwise. kScalar/kSimd pass through unchanged
-/// (kSimd is safe everywhere — it degrades to a scalar anti-diagonal
-/// sweep on CPUs without SSE4.1/AVX2).
+/// available, kScalar otherwise. Everything else passes through unchanged
+/// (every kind is safe everywhere — kSimd degrades to a scalar
+/// anti-diagonal sweep off-x86, and the narrow tiers escalate through it).
+/// kAuto deliberately never resolves to a narrow tier: the narrow kernels
+/// are opt-in because their win depends on the scheme's magnitude
+/// (docs/tuning.md).
 KernelKind resolve_kernel(KernelKind requested);
 
-/// "auto" | "scalar" | "simd".
+/// The registry name: "auto" | "scalar" | "simd" | "int16" | "int8".
 const char* to_string(KernelKind kind);
 
-/// Parses "auto" / "scalar" / "simd" (returns false on anything else).
+/// Parses any name in kernel_registry() (returns false on anything else).
 bool parse_kernel_kind(std::string_view text, KernelKind* out);
 
 /// Sweeps the rectangle spanned by residues `a` (rows) x `b` (columns) with

@@ -186,6 +186,15 @@ void run_affine(std::size_t rows, std::size_t cols, Score open, Score ext,
 
 bool simd_kernel_available() { return active_isa() != Isa::kScalar; }
 
+SimdIsa active_simd_isa() {
+  switch (active_isa()) {
+    case Isa::kAvx2: return SimdIsa::kAvx2;
+    case Isa::kSse41: return SimdIsa::kSse41;
+    case Isa::kScalar: return SimdIsa::kScalar;
+  }
+  return SimdIsa::kScalar;
+}
+
 const char* simd_kernel_isa() {
   switch (active_isa()) {
     case Isa::kAvx2: return "avx2";

@@ -35,6 +35,13 @@ namespace flsa {
 /// work — they run the scalar anti-diagonal fallback.
 bool simd_kernel_available();
 
+/// The instruction set the vector kernels (int32 anti-diagonal here, the
+/// narrow saturating tiers in dp/kernel_narrow.hpp) dispatch on at runtime.
+enum class SimdIsa : std::uint8_t { kScalar, kSse41, kAvx2 };
+
+/// Detected once per process; kScalar off-x86 or on pre-SSE4.1 CPUs.
+SimdIsa active_simd_isa();
+
 /// Name of the instruction set the SIMD kernels will run with:
 /// "avx2", "sse4.1", or "scalar" (fallback).
 const char* simd_kernel_isa();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dp/kernel.hpp"
+#include "dp/kernel_narrow.hpp"
 #include "dp/kernel_simd.hpp"
 #include "support/assert.hpp"
 
@@ -55,8 +56,12 @@ std::vector<Score> last_row_profiled(KernelKind kind,
                                      const QueryProfile& profile,
                                      const ScoringScheme& scheme,
                                      DpCounters* counters) {
-  if (resolve_kernel(kind) == KernelKind::kSimd) {
+  const KernelKind resolved = resolve_kernel(kind);
+  if (resolved == KernelKind::kSimd) {
     return last_row_profiled_simd(a, profile, scheme, counters);
+  }
+  if (narrow_kernel_kind(resolved)) {
+    return last_row_profiled_narrow(resolved, a, profile, scheme, counters);
   }
   return last_row_profiled(a, profile, scheme, counters);
 }

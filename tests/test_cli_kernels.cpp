@@ -1,0 +1,126 @@
+// CLI <-> dispatch-table conformance: flsa_align's --list-kernels, --help
+// and error output must enumerate exactly the kernels in
+// kernel_registry(), so a tier added to (or renamed in) the table can
+// never drift from the CLI's documentation. The flsa_align binary path
+// arrives as argv[1] (wired in tests/CMakeLists.txt via
+// $<TARGET_FILE:flsa_align>).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dp/kernel.hpp"
+
+namespace flsa {
+namespace {
+
+std::string g_flsa_align_bin;  // set by main() from argv[1]
+
+/// Runs `cmd` and returns its stdout (merged with stderr).
+std::string run_capture(const std::string& cmd) {
+  std::string out;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return out;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+/// Writes the paper's worked-example pair next to the test binary and
+/// returns the path.
+std::string paper_pair_fasta() {
+  const std::string path = "cli_kernels_pair.fasta";
+  std::ofstream out(path);
+  out << ">a\nTLDKLLKD\n>b\nTDVLKAD\n";
+  return path;
+}
+
+TEST(CliKernels, ListKernelsMatchesDispatchTable) {
+  ASSERT_FALSE(g_flsa_align_bin.empty())
+      << "pass the flsa_align binary path as argv[1]";
+  const std::string out = run_capture(g_flsa_align_bin + " --list-kernels");
+
+  // Expect exactly one "name : summary" line per registry row, in table
+  // order.
+  std::vector<std::string> rows;
+  for (const std::string& line : split_lines(out)) {
+    if (line.find(" : ") != std::string::npos) rows.push_back(line);
+  }
+  ASSERT_EQ(rows.size(), kernel_registry().size()) << out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelInfo& info = kernel_registry()[i];
+    const std::string want =
+        std::string(info.name) + " : " + info.summary;
+    EXPECT_EQ(rows[i], want) << "row " << i;
+  }
+}
+
+TEST(CliKernels, HelpNamesEveryRegisteredKernel) {
+  ASSERT_FALSE(g_flsa_align_bin.empty());
+  const std::string out = run_capture(g_flsa_align_bin + " --help");
+  ASSERT_NE(out.find("--kernel"), std::string::npos) << out;
+  // The --kernel help line is generated from the registry; every name
+  // must appear, joined in table order.
+  std::string joined;
+  for (const KernelInfo& info : kernel_registry()) {
+    if (!joined.empty()) joined += " | ";
+    joined += info.name;
+  }
+  EXPECT_NE(out.find(joined), std::string::npos)
+      << "--help does not carry the registry list '" << joined << "':\n"
+      << out;
+}
+
+TEST(CliKernels, EveryRegisteredKernelIsAccepted) {
+  ASSERT_FALSE(g_flsa_align_bin.empty());
+  const std::string fasta = paper_pair_fasta();
+  for (const KernelInfo& info : kernel_registry()) {
+    const std::string out = run_capture(g_flsa_align_bin + " --kernel " +
+                                        info.name + " " + fasta);
+    // The paper's worked example scores 82 under the default scheme, on
+    // every tier.
+    EXPECT_NE(out.find("score"), std::string::npos)
+        << "--kernel " << info.name << " failed:\n"
+        << out;
+    EXPECT_NE(out.find("82"), std::string::npos)
+        << "--kernel " << info.name << " wrong score:\n"
+        << out;
+  }
+}
+
+TEST(CliKernels, UnknownKernelIsRejectedAndListsChoices) {
+  ASSERT_FALSE(g_flsa_align_bin.empty());
+  const std::string fasta = paper_pair_fasta();
+  const std::string out =
+      run_capture(g_flsa_align_bin + " --kernel int13 " + fasta);
+  EXPECT_NE(out.find("unknown --kernel"), std::string::npos) << out;
+  for (const KernelInfo& info : kernel_registry()) {
+    EXPECT_NE(out.find(info.name), std::string::npos)
+        << "error message does not list '" << info.name << "':\n"
+        << out;
+  }
+}
+
+}  // namespace
+}  // namespace flsa
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) flsa::g_flsa_align_bin = argv[1];
+  return RUN_ALL_TESTS();
+}

@@ -75,7 +75,9 @@ TEST_P(FuzzSweep, AllGlobalAlgorithmsAgree) {
       FastLsaOptions fopts;
       fopts.k = 2 + static_cast<unsigned>(rng.bounded(9));
       fopts.base_case_cells = 16 + rng.bounded(200);
-      for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+      for (const KernelKind kind :
+           {KernelKind::kScalar, KernelKind::kSimd, KernelKind::kInt16,
+            KernelKind::kInt8}) {
         ASSERT_EQ(global_score_linear(kind, a.residues(), b.residues(),
                                       scheme),
                   fm.score)
@@ -92,6 +94,16 @@ TEST_P(FuzzSweep, AllGlobalAlgorithmsAgree) {
             << " m=" << m << " n=" << n << " kernel=" << to_string(kind);
         ASSERT_EQ(fl.gapped_a, fm.gapped_a) << to_string(kind);
         ASSERT_EQ(fl.gapped_b, fm.gapped_b) << to_string(kind);
+        // Score-bound pruning is admissible: same optimal score and the
+        // same traceback as the exact sweep, on every kernel tier.
+        FastLsaOptions popts_prune = fopts;
+        popts_prune.prune = true;
+        const Alignment pruned = fastlsa_align(a, b, scheme, popts_prune);
+        ASSERT_EQ(pruned.score, fm.score) << "prune/" << to_string(kind);
+        ASSERT_EQ(pruned.gapped_a, fm.gapped_a)
+            << "prune/" << to_string(kind);
+        ASSERT_EQ(pruned.gapped_b, fm.gapped_b)
+            << "prune/" << to_string(kind);
         // Parallel FastLSA: same alignment, tile wavefront, both kernels,
         // all three schedulers (first trial only; the tiny problems make
         // threads pure overhead).
@@ -194,13 +206,15 @@ TEST_P(FuzzSweep, LocalAndSemiGlobalAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 12));
 
 // The paper's Figure 1 worked example (MDM78, optimal score 82) as a golden
-// case through every engine x kernel combination.
-TEST(FuzzGolden, PaperExampleUnderBothKernels) {
+// case through every engine x kernel combination (every registered tier,
+// including the saturating narrow kernels).
+TEST(FuzzGolden, PaperExampleUnderEveryKernel) {
   const Sequence a(Alphabet::protein(), "TLDKLLKD");
   const Sequence b(Alphabet::protein(), "TDVLKAD");
   const ScoringScheme& scheme = ScoringScheme::paper_default();
   ASSERT_EQ(full_matrix_align(a, b, scheme).score, 82);
-  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+  for (const KernelInfo& info : kernel_registry()) {
+    const KernelKind kind = info.kind;
     ASSERT_EQ(global_score_linear(kind, a.residues(), b.residues(), scheme),
               82)
         << to_string(kind);
@@ -216,7 +230,7 @@ TEST(FuzzGolden, PaperExampleUnderBothKernels) {
     FastLsaStats stats;
     ASSERT_EQ(fastlsa_align(a, b, scheme, fopts, &stats).score, 82)
         << to_string(kind);
-    ASSERT_EQ(stats.kernel_used, kind);
+    ASSERT_EQ(stats.kernel_used, resolve_kernel(kind));
     for (SchedulerKind sched : {SchedulerKind::kBarrierStaged,
                                 SchedulerKind::kDependencyCounter,
                                 SchedulerKind::kWorkStealing}) {

@@ -66,6 +66,52 @@ TEST(Golden, EditDistanceAndLcsStable) {
   EXPECT_EQ(longest_common_subsequence(a, b).length, 402u);
 }
 
+// The paper's Figure 1 worked example (MDM78, optimal score 82) on EVERY
+// registered kernel tier — including the saturating narrow tiers — and
+// every wavefront scheduler. The registry loop means a newly added tier
+// is golden-tested automatically.
+TEST(Golden, PaperWorkedExampleOnEveryKernelTierAndScheduler) {
+  const Sequence a(Alphabet::protein(), "TLDKLLKD");
+  const Sequence b(Alphabet::protein(), "TDVLKAD");
+  const ScoringScheme& scheme = ScoringScheme::paper_default();
+  const Alignment fm = full_matrix_align(a, b, scheme);
+  ASSERT_EQ(fm.score, 82);
+
+  for (const KernelInfo& info : kernel_registry()) {
+    const KernelKind kind = info.kind;
+    EXPECT_EQ(global_score_linear(kind, a.residues(), b.residues(), scheme),
+              82)
+        << info.name;
+
+    HirschbergOptions hopts;
+    hopts.base_case_cells = 2;
+    hopts.kernel = kind;
+    EXPECT_EQ(hirschberg_align(a, b, scheme, hopts).score, 82) << info.name;
+
+    FastLsaOptions fopts;
+    fopts.k = 2;
+    fopts.base_case_cells = 16;
+    fopts.kernel = kind;
+    const Alignment fl = fastlsa_align(a, b, scheme, fopts);
+    EXPECT_EQ(fl.score, 82) << info.name;
+    EXPECT_EQ(fl.gapped_a, fm.gapped_a) << info.name;
+    EXPECT_EQ(fl.gapped_b, fm.gapped_b) << info.name;
+
+    for (SchedulerKind sched : {SchedulerKind::kBarrierStaged,
+                                SchedulerKind::kDependencyCounter,
+                                SchedulerKind::kWorkStealing}) {
+      ParallelOptions popts;
+      popts.threads = 2;
+      popts.scheduler = sched;
+      const Alignment par = parallel_fastlsa_align(a, b, scheme, fopts,
+                                                   popts);
+      EXPECT_EQ(par.score, 82) << info.name << "/" << to_string(sched);
+      EXPECT_EQ(par.gapped_a, fm.gapped_a)
+          << info.name << "/" << to_string(sched);
+    }
+  }
+}
+
 TEST(Golden, VirtualTimeFingerprintStable) {
   const SequencePair pair = bench::sized_workload(500).make();
   FastLsaOptions options;

@@ -11,8 +11,10 @@
 //       --trace-out trace.json big.fa
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/advisor.hpp"
+#include "dp/kernel.hpp"
 #include "core/local_align.hpp"
 #include "core/semiglobal.hpp"
 #include "flsa/flsa.hpp"
@@ -72,11 +74,25 @@ int main(int argc, char** argv) {
   cli.add_string("scheduler", "dependency",
                  "wavefront scheduler for --algorithm parallel: "
                  "barrier | dependency | stealing");
-  cli.add_string("kernel", "auto",
-                 "DP sweep kernel: auto | scalar | simd (auto picks the "
-                 "fastest this CPU supports; results are identical)");
+  // The accepted --kernel names come from the dispatch table itself, so
+  // the help text can never drift from what parse_kernel_kind accepts.
+  std::string kernel_help = "DP sweep kernel: ";
+  for (const flsa::KernelInfo& info : flsa::kernel_registry()) {
+    if (info.kind != flsa::kernel_registry().front().kind) {
+      kernel_help += " | ";
+    }
+    kernel_help += info.name;
+  }
+  kernel_help +=
+      " (see --list-kernels; every kernel produces identical results)";
+  cli.add_string("kernel", "auto", kernel_help);
+  cli.add_flag("list-kernels", false,
+               "list the available DP kernels and exit");
   cli.add_int("memory-mb", 0,
               "memory budget in MiB for --algorithm auto (0 = unbounded)");
+  cli.add_flag("prune", false,
+               "score-bound tile pruning of the FastLSA fill phase "
+               "(identical score and alignment, fewer cells swept)");
   cli.add_flag("stats", false, "print operation/memory statistics");
   cli.add_flag("metrics", false,
                "record and print per-phase metrics (timings, cells/s)");
@@ -90,6 +106,12 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+    if (cli.get_flag("list-kernels")) {
+      for (const flsa::KernelInfo& info : flsa::kernel_registry()) {
+        std::cout << info.name << " : " << info.summary << "\n";
+      }
+      return 0;
+    }
     if (cli.positional().empty()) {
       std::cerr << "error: no FASTA input given (see --help)\n";
       return 2;
@@ -151,10 +173,17 @@ int main(int argc, char** argv) {
     fl.base_case_cells = static_cast<std::size_t>(cli.get_int("bm"));
     flsa::KernelKind kernel = flsa::KernelKind::kAuto;
     if (!flsa::parse_kernel_kind(cli.get_string("kernel"), &kernel)) {
+      std::string choices;
+      for (const flsa::KernelInfo& info : flsa::kernel_registry()) {
+        if (!choices.empty()) choices += " | ";
+        choices += info.name;
+      }
       throw std::invalid_argument("unknown --kernel " +
-                                  cli.get_string("kernel"));
+                                  cli.get_string("kernel") + " (choices: " +
+                                  choices + ")");
     }
     fl.kernel = kernel;
+    fl.prune = cli.get_flag("prune");
 
     // Observability: arm the metrics registry and/or a trace recorder
     // before the alignment runs. Both are process-global switches; this
@@ -261,6 +290,9 @@ int main(int argc, char** argv) {
                 << "cells scored    : " << stats.counters.cells_scored
                 << "\ncells stored    : " << stats.counters.cells_stored
                 << "\ntraceback steps : " << stats.counters.traceback_steps
+                << "\nkernel escalations : "
+                << stats.counters.kernel_escalations
+                << "\ntiles pruned    : " << stats.counters.tiles_pruned
                 << "\npeak DPM bytes  : " << stats.peak_bytes << "\n";
     }
     if (!trace_path.empty()) {
