@@ -9,28 +9,47 @@ namespace search {
 
 const std::vector<std::uint32_t> KmerIndex::kEmpty;
 
-KmerIndex::KmerIndex(const Sequence& subject, std::size_t k)
-    : subject_(&subject), k_(k), radix_(subject.alphabet().size()) {
+SubjectTooLarge::SubjectTooLarge(std::size_t residues)
+    : std::length_error("subject has " + std::to_string(residues) +
+                        " residues; k-mer index positions are uint32_t, "
+                        "max " +
+                        std::to_string(KmerIndex::kMaxSubjectResidues)),
+      residues_(residues) {}
+
+void KmerIndex::require_indexable(std::size_t residues) {
+  if (residues > kMaxSubjectResidues) throw SubjectTooLarge(residues);
+}
+
+KmerIndex::KmerIndex(std::shared_ptr<const Sequence> subject, std::size_t k)
+    : subject_(std::move(subject)),
+      k_(k),
+      radix_(subject_ ? subject_->alphabet().size() : 0) {
+  FLSA_REQUIRE(subject_ != nullptr);
   FLSA_REQUIRE(k >= 1);
+  require_indexable(subject_->size());
   // |A|^k must fit comfortably in 64 bits.
   double bits = static_cast<double>(k) * std::log2(static_cast<double>(radix_));
   FLSA_REQUIRE(bits < 62.0);
-  if (subject.size() < k) return;
+  const Sequence& subject_ref = *subject_;
+  if (subject_ref.size() < k) return;
 
   // Rolling pack over the subject.
   std::uint64_t key = 0;
   std::uint64_t high = 1;
   for (std::size_t i = 0; i + 1 < k; ++i) high *= radix_;
-  for (std::size_t i = 0; i < subject.size(); ++i) {
+  for (std::size_t i = 0; i < subject_ref.size(); ++i) {
     if (i < k) {
-      key = key * radix_ + subject[i];
+      key = key * radix_ + subject_ref[i];
       if (i + 1 < k) continue;
     } else {
-      key = (key - subject[i - k] * high) * radix_ + subject[i];
+      key = (key - subject_ref[i - k] * high) * radix_ + subject_ref[i];
     }
     positions_[key].push_back(static_cast<std::uint32_t>(i + 1 - k));
   }
 }
+
+KmerIndex::KmerIndex(const Sequence& subject, std::size_t k)
+    : KmerIndex(std::make_shared<const Sequence>(subject), k) {}
 
 std::uint64_t KmerIndex::pack(std::span<const Residue> kmer) const {
   FLSA_REQUIRE(kmer.size() == k_);

@@ -4,10 +4,19 @@
 // every length-k word of the subject is hashed to its positions, so query
 // words find their exact matches in O(1). Works for any alphabet with
 // |A|^k packable into 64 bits.
+//
+// The index shares ownership of its subject (std::shared_ptr), so an index
+// can outlive the scope that built it — the service keeps one per
+// registered reference and hands it to many workers concurrently. Subject
+// positions are stored as uint32_t; subjects with 2^32 or more residues
+// are rejected with SubjectTooLarge instead of silently truncating.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,14 +25,41 @@
 namespace flsa {
 namespace search {
 
+/// Thrown when a subject has too many residues for the uint32_t position
+/// encoding (>= 2^32). A typed subclass so callers (the service's REF_PUT
+/// path) can map it to a wire error instead of a generic bad-request.
+class SubjectTooLarge : public std::length_error {
+ public:
+  explicit SubjectTooLarge(std::size_t residues);
+  std::size_t residues() const { return residues_; }
+
+ private:
+  std::size_t residues_;
+};
+
 class KmerIndex {
  public:
-  /// Indexes every k-mer of `subject`. Requires 1 <= k <= subject length
-  /// practical bound and |A|^k < 2^62.
+  /// Largest indexable subject: positions must fit in uint32_t.
+  static constexpr std::size_t kMaxSubjectResidues =
+      (std::uint64_t{1} << 32) - 1;
+
+  /// Throws SubjectTooLarge when `residues` exceeds kMaxSubjectResidues.
+  /// Exposed so the limit is testable without materializing 4 GiB.
+  static void require_indexable(std::size_t residues);
+
+  /// Indexes every k-mer of `subject`, sharing ownership. Requires
+  /// 1 <= k, |A|^k < 2^62, and subject size <= kMaxSubjectResidues.
+  KmerIndex(std::shared_ptr<const Sequence> subject, std::size_t k);
+
+  /// Convenience: copies `subject` into shared ownership. Safe with
+  /// temporaries (the index never dangles).
   KmerIndex(const Sequence& subject, std::size_t k);
 
   std::size_t k() const { return k_; }
   const Sequence& subject() const { return *subject_; }
+  const std::shared_ptr<const Sequence>& subject_ptr() const {
+    return subject_;
+  }
 
   /// Number of distinct k-mers present.
   std::size_t distinct_kmers() const { return positions_.size(); }
@@ -37,7 +73,7 @@ class KmerIndex {
   std::uint64_t pack(std::span<const Residue> kmer) const;
 
  private:
-  const Sequence* subject_;
+  std::shared_ptr<const Sequence> subject_;
   std::size_t k_;
   std::uint64_t radix_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> positions_;

@@ -1,0 +1,47 @@
+// A reference prepared for many searches: the packed subject plus its
+// k-mer index, built once and shared read-only.
+//
+// This is the unit the service's REF_PUT verb registers and SEARCH aligns
+// against by id: construction is the only mutating phase, so a single
+// shared_ptr<const ReferenceIndex> can be handed to every worker thread
+// without locks. The subject itself is shared (not copied) with the inner
+// KmerIndex, so a multi-megabase chromosome is stored exactly once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "search/kmer_index.hpp"
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+namespace search {
+
+class ReferenceIndex {
+ public:
+  /// Indexes `subject` with seed length `k`, sharing ownership. Same
+  /// preconditions as KmerIndex (throws SubjectTooLarge past 2^32-1
+  /// residues).
+  ReferenceIndex(std::shared_ptr<const Sequence> subject, std::size_t k)
+      : kmers_(std::move(subject), k) {}
+
+  /// Convenience for in-process callers: adopts a by-value subject.
+  ReferenceIndex(Sequence subject, std::size_t k)
+      : ReferenceIndex(
+            std::make_shared<const Sequence>(std::move(subject)), k) {}
+
+  const Sequence& subject() const { return kmers_.subject(); }
+  const std::shared_ptr<const Sequence>& subject_ptr() const {
+    return kmers_.subject_ptr();
+  }
+  std::size_t size() const { return subject().size(); }
+  std::size_t k() const { return kmers_.k(); }
+  const KmerIndex& kmers() const { return kmers_; }
+
+ private:
+  KmerIndex kmers_;
+};
+
+}  // namespace search
+}  // namespace flsa

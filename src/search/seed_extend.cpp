@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "dp/local.hpp"
+#include "core/local_align.hpp"
 #include "support/assert.hpp"
 
 namespace flsa {
@@ -122,22 +122,32 @@ std::vector<SearchHit> seed_and_extend(const Sequence& query,
         (query.size() - u.q_end) + params.window_pad;
     const std::size_t s_end = std::min(subject.size(), u.s_end + right_need);
 
+    const Sequence s_window =
+        subject.subsequence(s_begin, s_end - s_begin);
+    // Linear-space local alignment (forward/reverse score passes +
+    // FastLSA on the located rectangle) — same score as the full-matrix
+    // Smith-Waterman without the O(|query| * window) matrix. The base
+    // case is capped proportionally to the perimeter so total memory
+    // stays linear in |query| + window instead of their product.
+    FastLsaOptions fastlsa;
+    fastlsa.base_case_cells = std::max<std::size_t>(
+        1024, 8 * (query.size() + s_window.size()));
+    Alignment aln = local_align(query, s_window, scheme, fastlsa);
+    if (aln.length() == 0) continue;
+    // Re-anchor the subject region to global coordinates.
+    aln.b_begin += s_begin;
+    aln.b_end += s_begin;
+    // Dedup on the *final* gapped extent: the aligner is free to land
+    // anywhere in the window, so the ungapped candidate extent says
+    // nothing about where the reported alignment actually sits.
     bool overlaps = false;
     for (const auto& [rb, re] : reported) {
-      if (u.s_begin < re && rb < u.s_end) {
+      if (aln.b_begin < re && rb < aln.b_end) {
         overlaps = true;
         break;
       }
     }
     if (overlaps) continue;
-
-    const Sequence s_window =
-        subject.subsequence(s_begin, s_end - s_begin);
-    Alignment aln = local_align_full_matrix(query, s_window, scheme);
-    if (aln.length() == 0) continue;
-    // Re-anchor the subject region to global coordinates.
-    aln.b_begin += s_begin;
-    aln.b_end += s_begin;
     reported.emplace_back(aln.b_begin, aln.b_end);
     hits.push_back(SearchHit{std::move(aln)});
   }

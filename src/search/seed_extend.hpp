@@ -1,10 +1,12 @@
 // Seed-and-extend search (BLAST-style, built on this library's aligners).
 //
 // Pipeline: exact k-mer seeds (search/kmer_index) -> ungapped X-drop
-// extension along each seed's diagonal -> full gapped local alignment
-// (Smith-Waterman) of a window around the surviving extensions. Turns the
-// O(mn) aligners into a practical sub-quadratic homology search for long
-// subjects, the workload the paper's introduction motivates.
+// extension along each seed's diagonal -> gapped local alignment (the
+// linear-space core/local_align) of a window around the surviving
+// extensions. Turns the O(mn) aligners into a practical sub-quadratic
+// homology search for long subjects, the workload the paper's
+// introduction motivates. For reference-indexed search that also chains
+// anchors and restricts DP to the inter-anchor gaps, see search/chain.hpp.
 #pragma once
 
 #include <vector>

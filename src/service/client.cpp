@@ -111,7 +111,8 @@ void Client::close() {
 
 std::uint64_t Client::next_id() { return ++last_id_; }
 
-std::uint64_t Client::send(AlignRequest request) {
+template <typename RequestT>
+std::uint64_t Client::send_impl(RequestT request) {
   FLSA_REQUIRE(connected());
   if (request.request_id == 0) request.request_id = next_id();
   if (!write_frame(fd_, encode(request))) {
@@ -120,13 +121,20 @@ std::uint64_t Client::send(AlignRequest request) {
   return request.request_id;
 }
 
+std::uint64_t Client::send(AlignRequest request) {
+  return send_impl(std::move(request));
+}
+
 std::uint64_t Client::send(StatsRequest request) {
-  FLSA_REQUIRE(connected());
-  if (request.request_id == 0) request.request_id = next_id();
-  if (!write_frame(fd_, encode(request))) {
-    throw TransportError("server closed the connection");
-  }
-  return request.request_id;
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(RefPutRequest request) {
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(SearchRequest request) {
+  return send_impl(std::move(request));
 }
 
 Response Client::receive() {
@@ -163,8 +171,16 @@ Response Client::call(StatsRequest request) {
   return wait_for(send(std::move(request)));
 }
 
-Response Client::call_with_retry(AlignRequest request,
-                                 const RetryPolicy& policy) {
+Response Client::call(RefPutRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(SearchRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+template <typename RequestT>
+Response Client::retry_impl(RequestT request, const RetryPolicy& policy) {
   FLSA_REQUIRE(!host_.empty());  // connect() must have been called once
   if (request.request_id == 0) request.request_id = next_id();
 
@@ -232,6 +248,16 @@ Response Client::call_with_retry(AlignRequest request,
   if (have_rejection) return last_rejection;
   if (last_transport_error) std::rethrow_exception(last_transport_error);
   throw TransportError("retry budget spent before any attempt completed");
+}
+
+Response Client::call_with_retry(AlignRequest request,
+                                 const RetryPolicy& policy) {
+  return retry_impl(std::move(request), policy);
+}
+
+Response Client::call_with_retry(SearchRequest request,
+                                 const RetryPolicy& policy) {
+  return retry_impl(std::move(request), policy);
 }
 
 }  // namespace service

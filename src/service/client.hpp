@@ -59,6 +59,8 @@ class Client {
   /// TransportError when the server is gone.
   std::uint64_t send(AlignRequest request);
   std::uint64_t send(StatsRequest request);
+  std::uint64_t send(RefPutRequest request);
+  std::uint64_t send(SearchRequest request);
 
   /// Blocks for the next response frame (any request id). Throws
   /// ProtocolError on malformed frames, TransportError when the server
@@ -70,6 +72,8 @@ class Client {
   /// do not mix call() with pipelining on one connection).
   Response call(AlignRequest request);
   Response call(StatsRequest request);
+  Response call(RefPutRequest request);
+  Response call(SearchRequest request);
 
   /// call() plus retry: reconnects (to the host:port of the last
   /// connect()) and resends after TransportErrors and after the typed
@@ -80,10 +84,19 @@ class Client {
   /// answer was ever received. Per-attempt metrics land in the obs
   /// registry under client.retry.*.
   Response call_with_retry(AlignRequest request, const RetryPolicy& policy);
+  /// SEARCH is read-only against an immutable reference, so it shares
+  /// ALIGN's idempotent-safe retry contract. REF_PUT deliberately has no
+  /// retry overload: a TransportError after execution may have registered
+  /// the reference, and re-sending would register a second id.
+  Response call_with_retry(SearchRequest request, const RetryPolicy& policy);
 
  private:
   std::uint64_t next_id();
   Response wait_for(std::uint64_t request_id);
+  template <typename RequestT>
+  std::uint64_t send_impl(RequestT request);
+  template <typename RequestT>
+  Response retry_impl(RequestT request, const RetryPolicy& policy);
 
   int fd_ = -1;
   std::uint64_t last_id_ = 0;

@@ -129,7 +129,7 @@ WireMatrix read_matrix(Reader& r) {
 ErrorCode read_error_code(Reader& r) {
   const std::uint8_t raw = r.u8();
   if (raw < static_cast<std::uint8_t>(ErrorCode::kBadRequest) ||
-      raw > static_cast<std::uint8_t>(ErrorCode::kConnectionLimit)) {
+      raw > static_cast<std::uint8_t>(ErrorCode::kRefNotFound)) {
     throw ProtocolError("unknown error code " + std::to_string(raw));
   }
   return static_cast<ErrorCode>(raw);
@@ -141,9 +141,13 @@ const char* to_string(Verb verb) {
   switch (verb) {
     case Verb::kAlign: return "ALIGN";
     case Verb::kStats: return "STATS";
+    case Verb::kRefPut: return "REF_PUT";
+    case Verb::kSearch: return "SEARCH";
     case Verb::kAlignOk: return "ALIGN_OK";
     case Verb::kError: return "ERROR";
     case Verb::kStatsOk: return "STATS_OK";
+    case Verb::kRefPutOk: return "REF_PUT_OK";
+    case Verb::kSearchOk: return "SEARCH_OK";
   }
   return "?";
 }
@@ -157,6 +161,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kConnectionLimit: return "CONNECTION_LIMIT";
+    case ErrorCode::kRefNotFound: return "REF_NOT_FOUND";
   }
   return "?";
 }
@@ -171,6 +176,7 @@ bool is_retryable(ErrorCode code) {
     case ErrorCode::kTooLarge:
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kInternal:
+    case ErrorCode::kRefNotFound:  // deterministic until someone REF_PUTs
       return false;
   }
   return false;
@@ -220,6 +226,35 @@ std::string encode(const StatsRequest& request) {
   return w.take();
 }
 
+std::string encode(const RefPutRequest& request) {
+  Writer w(Verb::kRefPut);
+  w.u64(request.request_id);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.u32(request.k);
+  w.str(request.name);
+  w.str(request.sequence);
+  return w.take();
+}
+
+std::string encode(const SearchRequest& request) {
+  Writer w(Verb::kSearch);
+  w.u64(request.request_id);
+  w.u64(request.ref_id);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.i32(request.gap_extend);
+  w.u32(request.max_hits);
+  w.i32(request.x_drop);
+  w.i32(request.gap_weight);
+  w.i32(request.min_chain_score);
+  w.u32(request.band_pad);
+  w.u32(request.max_overlap);
+  w.u32(request.max_positions_per_kmer);
+  w.u32(request.deadline_ms);
+  w.u8(request.score_only ? 1 : 0);
+  w.str(request.query);
+  return w.take();
+}
+
 std::string encode(const AlignResponse& response) {
   Writer w(Verb::kAlignOk);
   w.u64(response.request_id);
@@ -251,6 +286,36 @@ std::string encode(const StatsResponse& response) {
   return w.take();
 }
 
+std::string encode(const RefPutResponse& response) {
+  Writer w(Verb::kRefPutOk);
+  w.u64(response.request_id);
+  w.u64(response.ref_id);
+  w.u64(response.residues);
+  w.u64(response.distinct_kmers);
+  w.u64(response.build_micros);
+  return w.take();
+}
+
+std::string encode(const SearchResponse& response) {
+  Writer w(Verb::kSearchOk);
+  w.u64(response.request_id);
+  w.u32(static_cast<std::uint32_t>(response.hits.size()));
+  for (const WireHit& hit : response.hits) {
+    w.i64(hit.score);
+    w.u64(hit.q_begin);
+    w.u64(hit.q_end);
+    w.u64(hit.s_begin);
+    w.u64(hit.s_end);
+    w.str(hit.cigar);
+  }
+  w.u64(response.anchors);
+  w.u64(response.chains);
+  w.u64(response.queue_micros);
+  w.u64(response.exec_micros);
+  w.i64(response.deadline_remaining_ms);
+  return w.take();
+}
+
 Request decode_request(std::string_view payload) {
   Reader r(payload);
   const Verb verb = read_header(r);
@@ -273,6 +338,35 @@ Request decode_request(std::string_view payload) {
     case Verb::kStats: {
       StatsRequest req;
       req.request_id = r.u64();
+      r.finish();
+      return req;
+    }
+    case Verb::kRefPut: {
+      RefPutRequest req;
+      req.request_id = r.u64();
+      req.matrix = read_matrix(r);
+      req.k = r.u32();
+      req.name = r.str();
+      req.sequence = r.str();
+      r.finish();
+      return req;
+    }
+    case Verb::kSearch: {
+      SearchRequest req;
+      req.request_id = r.u64();
+      req.ref_id = r.u64();
+      req.matrix = read_matrix(r);
+      req.gap_extend = r.i32();
+      req.max_hits = r.u32();
+      req.x_drop = r.i32();
+      req.gap_weight = r.i32();
+      req.min_chain_score = r.i32();
+      req.band_pad = r.u32();
+      req.max_overlap = r.u32();
+      req.max_positions_per_kmer = r.u32();
+      req.deadline_ms = r.u32();
+      req.score_only = r.u8() != 0;
+      req.query = r.str();
       r.finish();
       return req;
     }
@@ -319,6 +413,39 @@ Response decode_response(std::string_view payload) {
       r.finish();
       return res;
     }
+    case Verb::kRefPutOk: {
+      RefPutResponse res;
+      res.request_id = r.u64();
+      res.ref_id = r.u64();
+      res.residues = r.u64();
+      res.distinct_kmers = r.u64();
+      res.build_micros = r.u64();
+      r.finish();
+      return res;
+    }
+    case Verb::kSearchOk: {
+      SearchResponse res;
+      res.request_id = r.u64();
+      const std::uint32_t count = r.u32();
+      res.hits.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        WireHit hit;
+        hit.score = r.i64();
+        hit.q_begin = r.u64();
+        hit.q_end = r.u64();
+        hit.s_begin = r.u64();
+        hit.s_end = r.u64();
+        hit.cigar = r.str();
+        res.hits.push_back(std::move(hit));
+      }
+      res.anchors = r.u64();
+      res.chains = r.u64();
+      res.queue_micros = r.u64();
+      res.exec_micros = r.u64();
+      res.deadline_remaining_ms = r.i64();
+      r.finish();
+      return res;
+    }
     default:
       throw ProtocolError(std::string("unexpected response verb ") +
                           to_string(verb));
@@ -328,6 +455,11 @@ Response decode_response(std::string_view payload) {
 std::uint64_t estimated_cells(const AlignRequest& request) {
   return (static_cast<std::uint64_t>(request.a.size()) + 1) *
          (static_cast<std::uint64_t>(request.b.size()) + 1);
+}
+
+std::uint64_t estimated_cells(const SearchRequest& request) {
+  const std::uint64_t q = request.query.size() + 1;
+  return q * q;
 }
 
 std::string frame_bytes(std::string_view payload) {

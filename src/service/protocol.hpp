@@ -10,8 +10,11 @@
 // error instead of guessing.
 //
 // Verbs (requests from the client, responses from the server):
-//   ALIGN  -> ALIGN_OK | ERROR    one pairwise alignment job
-//   STATS  -> STATS_OK | ERROR    snapshot of the server metrics registry
+//   ALIGN   -> ALIGN_OK | ERROR    one pairwise alignment job
+//   STATS   -> STATS_OK | ERROR    snapshot of the server metrics registry
+//   REF_PUT -> REF_PUT_OK | ERROR  register a reference; returns its id
+//   SEARCH  -> SEARCH_OK | ERROR   chained search of a query against a
+//                                  registered reference (by id)
 //
 // Responses carry the request_id of the request they answer, so clients
 // may pipeline: with a shared worker pool, responses on one connection can
@@ -46,9 +49,13 @@ inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
 enum class Verb : std::uint8_t {
   kAlign = 0x01,
   kStats = 0x02,
+  kRefPut = 0x03,
+  kSearch = 0x04,
   kAlignOk = 0x81,
   kError = 0x82,
   kStatsOk = 0x83,
+  kRefPutOk = 0x84,
+  kSearchOk = 0x85,
 };
 
 /// Substitution matrix selector (the server owns the tables; the wire
@@ -71,6 +78,7 @@ enum class ErrorCode : std::uint8_t {
   kShuttingDown = 5,      ///< server is draining; no new work accepted
   kInternal = 6,          ///< unexpected server-side failure
   kConnectionLimit = 7,   ///< concurrent-connection cap reached
+  kRefNotFound = 8,       ///< SEARCH named a reference id never registered
 };
 
 /// Transient rejections a client may safely retry: the request was never
@@ -116,6 +124,41 @@ struct StatsRequest {
   std::uint64_t request_id = 0;
 };
 
+/// Registers a reference sequence for SEARCH-by-id. The server builds a
+/// ReferenceIndex (packed residues + k-mer index) once and shares it
+/// read-only across workers; the response carries the id to search by.
+struct RefPutRequest {
+  std::uint64_t request_id = 0;
+  WireMatrix matrix = WireMatrix::kDna;  ///< fixes the alphabet
+  std::uint32_t k = 0;                   ///< seed length; 0 = server default
+  std::string name;                      ///< optional label
+  std::string sequence;                  ///< residue letters
+};
+
+/// Chained (seed-chain-extend) search of one query against a registered
+/// reference. Tuning fields at 0 mean "use the server default"; the
+/// request's matrix alphabet must match the reference's.
+struct SearchRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t ref_id = 0;
+  WireMatrix matrix = WireMatrix::kDna;
+  /// Linear gap penalty per residue (must be <= 0). Chained search runs
+  /// linear-gap kernels only.
+  std::int32_t gap_extend = kDefaultGapExtend;
+  std::uint32_t max_hits = 0;         ///< cap on reported hits
+  std::int32_t x_drop = 0;            ///< flank extension drop-off
+  std::int32_t gap_weight = 0;        ///< chain gap cost per residue
+  std::int32_t min_chain_score = 0;   ///< chain/hit score floor
+  std::uint32_t band_pad = 0;         ///< gap-fill band padding
+  std::uint32_t max_overlap = 0;      ///< chaining overlap tolerance
+  std::uint32_t max_positions_per_kmer = 0;  ///< repeat mask threshold
+  /// Queueing deadline in milliseconds from submission; 0 = none.
+  std::uint32_t deadline_ms = 0;
+  /// Skip per-hit CIGARs in the response.
+  bool score_only = false;
+  std::string query;  ///< residue letters (alphabet follows the matrix)
+};
+
 /// Successful alignment.
 struct AlignResponse {
   std::uint64_t request_id = 0;
@@ -148,8 +191,40 @@ struct StatsResponse {
   std::vector<std::pair<std::string, double>> entries;
 };
 
-using Request = std::variant<AlignRequest, StatsRequest>;
-using Response = std::variant<AlignResponse, ErrorResponse, StatsResponse>;
+/// Successful reference registration.
+struct RefPutResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t ref_id = 0;          ///< handle for SearchRequest::ref_id
+  std::uint64_t residues = 0;        ///< reference length as stored
+  std::uint64_t distinct_kmers = 0;  ///< index fill, for observability
+  std::uint64_t build_micros = 0;    ///< index build time
+};
+
+/// One search hit on the wire: subject/query-global coordinates plus the
+/// alignment score and (unless score_only) CIGAR.
+struct WireHit {
+  std::int64_t score = 0;
+  std::uint64_t q_begin = 0, q_end = 0;  ///< query range [begin, end)
+  std::uint64_t s_begin = 0, s_end = 0;  ///< subject (reference) range
+  std::string cigar;                     ///< empty when score_only
+};
+
+/// Successful search: hits best-first, non-overlapping in the reference.
+struct SearchResponse {
+  std::uint64_t request_id = 0;
+  std::vector<WireHit> hits;
+  std::uint64_t anchors = 0;  ///< seed anchors found (pipeline visibility)
+  std::uint64_t chains = 0;   ///< colinear chains above the score floor
+  std::uint64_t queue_micros = 0;
+  std::uint64_t exec_micros = 0;
+  /// Same contract as AlignResponse::deadline_remaining_ms.
+  std::int64_t deadline_remaining_ms = -1;
+};
+
+using Request =
+    std::variant<AlignRequest, StatsRequest, RefPutRequest, SearchRequest>;
+using Response = std::variant<AlignResponse, ErrorResponse, StatsResponse,
+                              RefPutResponse, SearchResponse>;
 
 /// Thrown by decoders on malformed payloads (truncation, trailing bytes,
 /// unknown version/verb, length overflow).
@@ -185,9 +260,13 @@ class ReadTimeout : public TransportError {
 /// Payload encoders (version byte + verb + body; no length prefix).
 std::string encode(const AlignRequest& request);
 std::string encode(const StatsRequest& request);
+std::string encode(const RefPutRequest& request);
+std::string encode(const SearchRequest& request);
 std::string encode(const AlignResponse& response);
 std::string encode(const ErrorResponse& response);
 std::string encode(const StatsResponse& response);
+std::string encode(const RefPutResponse& response);
+std::string encode(const SearchResponse& response);
 
 /// Payload decoders; throw ProtocolError on malformed input.
 Request decode_request(std::string_view payload);
@@ -196,6 +275,12 @@ Response decode_response(std::string_view payload);
 /// Estimated DPM cells of a request, the quantity the admission
 /// controller's TOO_LARGE budget is expressed in: (|a|+1) * (|b|+1).
 std::uint64_t estimated_cells(const AlignRequest& request);
+
+/// Admission estimate for a search: (|query|+1)^2 — the worst-case DP
+/// area when chaining degenerates to one full-query gap fill. Chained
+/// search normally does far less work, so this is a conservative bound
+/// in the same currency as the ALIGN budget.
+std::uint64_t estimated_cells(const SearchRequest& request);
 
 // ---- Framed transport over a connected socket ------------------------
 

@@ -50,6 +50,20 @@ std::uint64_t micros_between(std::chrono::steady_clock::time_point from,
           .count());
 }
 
+/// REF_PUT seed length when the request leaves k at 0: exact DNA words
+/// stay specific up to ~12 bases; protein alphabets saturate the 62-bit
+/// pack limit much sooner and 5-mers are the classic seed there.
+std::uint32_t default_seed_k(const ServiceConfig& config, WireMatrix matrix) {
+  if (config.default_seed_k != 0) return config.default_seed_k;
+  switch (matrix) {
+    case WireMatrix::kDna:
+    case WireMatrix::kDnaN:
+      return 12;
+    default:
+      return 5;
+  }
+}
+
 }  // namespace
 
 /// Per-connection state shared between the handler thread (reads) and the
@@ -82,9 +96,19 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
           obs::metrics().counter("service.internal_errors"),
           obs::metrics().counter("service.write_errors"),
           obs::metrics().counter("service.cells"),
+          obs::metrics().counter("search.requests"),
+          obs::metrics().counter("search.completed"),
+          obs::metrics().counter("search.hits"),
+          obs::metrics().counter("search.anchors"),
+          obs::metrics().counter("search.ref_not_found"),
+          obs::metrics().counter("search.ref_puts"),
+          obs::metrics().counter("search.ref_residues"),
+          obs::metrics().gauge("search.refs"),
           obs::metrics().gauge("service.queue_depth"),
           obs::metrics().histogram("service.queue_seconds"),
           obs::metrics().histogram("service.exec_seconds"),
+          obs::metrics().histogram("search.exec_seconds"),
+          obs::metrics().histogram("search.ref_build_seconds"),
       },
       queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
   validate(config_.fastlsa);
@@ -340,22 +364,48 @@ void AlignmentServer::handle_request(
     answer_stats(connection, std::get<StatsRequest>(request));
     return;
   }
-  AlignRequest align = std::get<AlignRequest>(std::move(request));
-  instruments_.requests.add();
+
+  // Every queued verb shares the admission pipeline: drain check, a
+  // TOO_LARGE budget in the verb's own currency, the fault injector's
+  // admission site, then the bounded queue.
+  std::uint64_t request_id = 0;
+  std::uint64_t cells = 0;  // DPM-cell budget charge (0 = not cell-bound)
+  std::string too_large_message;
+  if (const auto* align = std::get_if<AlignRequest>(&request)) {
+    instruments_.requests.add();
+    request_id = align->request_id;
+    cells = estimated_cells(*align);
+  } else if (const auto* search = std::get_if<SearchRequest>(&request)) {
+    instruments_.requests.add();
+    instruments_.search_requests.add();
+    request_id = search->request_id;
+    cells = estimated_cells(*search);
+  } else {
+    const auto& ref_put = std::get<RefPutRequest>(request);
+    instruments_.requests.add();
+    request_id = ref_put.request_id;
+    if (ref_put.sequence.size() > config_.max_reference_residues) {
+      too_large_message =
+          "reference of " + std::to_string(ref_put.sequence.size()) +
+          " residues exceeds the limit of " +
+          std::to_string(config_.max_reference_residues);
+    }
+  }
 
   if (draining_.load(std::memory_order_acquire)) {
     instruments_.rejected_shutdown.add();
-    reject(connection, align.request_id, ErrorCode::kShuttingDown,
+    reject(connection, request_id, ErrorCode::kShuttingDown,
            "server is draining");
     return;
   }
-  const std::uint64_t cells = estimated_cells(align);
   if (cells > config_.max_request_cells) {
+    too_large_message = "request of " + std::to_string(cells) +
+                        " DPM cells exceeds the budget of " +
+                        std::to_string(config_.max_request_cells);
+  }
+  if (!too_large_message.empty()) {
     instruments_.rejected_too_large.add();
-    reject(connection, align.request_id, ErrorCode::kTooLarge,
-           "request of " + std::to_string(cells) +
-               " DPM cells exceeds the budget of " +
-               std::to_string(config_.max_request_cells));
+    reject(connection, request_id, ErrorCode::kTooLarge, too_large_message);
     return;
   }
   if (injector_ && injector_->active() && injector_->inject_reject()) {
@@ -363,15 +413,26 @@ void AlignmentServer::handle_request(
     // exactly the typed answer a real full queue produces (and the
     // client retry/backoff path that recovers from it).
     instruments_.rejected_overloaded.add();
-    reject(connection, align.request_id, ErrorCode::kOverloaded,
+    reject(connection, request_id, ErrorCode::kOverloaded,
            "fault injection: admission rejected");
     return;
   }
 
+  std::visit(
+      [&](auto&& work) {
+        using T = std::decay_t<decltype(work)>;
+        if constexpr (!std::is_same_v<T, StatsRequest>) {
+          enqueue(connection, request_id, std::move(work));
+        }
+      },
+      std::move(request));
+}
+
+void AlignmentServer::enqueue(const std::shared_ptr<Connection>& connection,
+                              std::uint64_t request_id, Work work) {
   Job job;
   job.connection = connection;
-  const std::uint64_t request_id = align.request_id;
-  job.request = std::move(align);
+  job.work = std::move(work);
   job.enqueued = std::chrono::steady_clock::now();
   // Count before pushing: a worker may pop (and decrement) immediately.
   connection->in_flight.fetch_add(1, std::memory_order_acq_rel);
@@ -409,16 +470,24 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
   while (auto job = queue_.pop()) {
     instruments_.queue_depth.set(static_cast<double>(queue_.size()));
     const auto now = std::chrono::steady_clock::now();
-    const AlignRequest& request = job->request;
-    if (request.deadline_ms != 0 &&
-        now - job->enqueued >= std::chrono::milliseconds(request.deadline_ms)) {
+    std::uint64_t request_id = 0;
+    std::uint32_t deadline_ms = 0;  // REF_PUT carries no deadline
+    std::visit(
+        [&](const auto& work) {
+          using T = std::decay_t<decltype(work)>;
+          request_id = work.request_id;
+          if constexpr (!std::is_same_v<T, RefPutRequest>) {
+            deadline_ms = work.deadline_ms;
+          }
+        },
+        job->work);
+    if (deadline_ms != 0 &&
+        now - job->enqueued >= std::chrono::milliseconds(deadline_ms)) {
       instruments_.rejected_deadline.add();
-      reject(job->connection, request.request_id,
-             ErrorCode::kDeadlineExceeded,
+      reject(job->connection, request_id, ErrorCode::kDeadlineExceeded,
              "queued for " +
                  std::to_string(micros_between(job->enqueued, now) / 1000) +
-                 " ms, deadline " + std::to_string(request.deadline_ms) +
-                 " ms");
+                 " ms, deadline " + std::to_string(deadline_ms) + " ms");
       job->connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }
@@ -430,7 +499,22 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
 }
 
 void AlignmentServer::execute(Aligner& aligner, Job& job) {
-  const AlignRequest& request = job.request;
+  std::visit(
+      [&](const auto& work) {
+        using T = std::decay_t<decltype(work)>;
+        if constexpr (std::is_same_v<T, AlignRequest>) {
+          execute_align(aligner, job, work);
+        } else if constexpr (std::is_same_v<T, RefPutRequest>) {
+          execute_ref_put(job, work);
+        } else {
+          execute_search(job, work);
+        }
+      },
+      job.work);
+}
+
+void AlignmentServer::execute_align(Aligner& aligner, Job& job,
+                                    const AlignRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   try {
     if (request.gap_open > 0 || request.gap_extend > 0) {
@@ -496,6 +580,164 @@ void AlignmentServer::execute(Aligner& aligner, Job& job) {
     instruments_.queue_seconds.observe(
         static_cast<double>(response.queue_micros) * 1e-6);
     instruments_.exec_seconds.observe(
+        static_cast<double>(response.exec_micros) * 1e-6);
+    if (!respond(job.connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const std::invalid_argument& e) {
+    instruments_.bad_requests.add();
+    reject(job.connection, request.request_id, ErrorCode::kBadRequest,
+           e.what());
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(job.connection, request.request_id, ErrorCode::kInternal,
+           e.what());
+  }
+}
+
+void AlignmentServer::execute_ref_put(Job& job,
+                                      const RefPutRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    const Alphabet& alphabet = alphabet_for(request.matrix);
+    const std::uint32_t k =
+        request.k != 0 ? request.k : default_seed_k(config_, request.matrix);
+    auto subject = std::make_shared<const Sequence>(alphabet,
+                                                    request.sequence,
+                                                    request.name);
+    auto index =
+        std::make_shared<const search::ReferenceIndex>(std::move(subject), k);
+    const auto done = std::chrono::steady_clock::now();
+
+    RefPutResponse response;
+    response.request_id = request.request_id;
+    response.residues = index->size();
+    response.distinct_kmers = index->kmers().distinct_kmers();
+    response.build_micros = micros_between(started, done);
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      response.ref_id = next_ref_id_++;
+      refs_.emplace(response.ref_id, RefEntry{std::move(index),
+                                              request.matrix});
+      instruments_.refs_live.set(static_cast<double>(refs_.size()));
+    }
+    instruments_.completed.add();
+    instruments_.ref_puts.add();
+    instruments_.ref_residues.add(response.residues);
+    instruments_.ref_build_seconds.observe(
+        static_cast<double>(response.build_micros) * 1e-6);
+    if (!respond(job.connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const search::SubjectTooLarge& e) {
+    instruments_.rejected_too_large.add();
+    reject(job.connection, request.request_id, ErrorCode::kTooLarge,
+           e.what());
+  } catch (const std::invalid_argument& e) {
+    instruments_.bad_requests.add();
+    reject(job.connection, request.request_id, ErrorCode::kBadRequest,
+           e.what());
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(job.connection, request.request_id, ErrorCode::kInternal,
+           e.what());
+  }
+}
+
+void AlignmentServer::execute_search(Job& job, const SearchRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    RefEntry entry;
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto it = refs_.find(request.ref_id);
+      if (it != refs_.end()) entry = it->second;
+    }
+    if (!entry.index) {
+      instruments_.search_ref_not_found.add();
+      reject(job.connection, request.request_id, ErrorCode::kRefNotFound,
+             "reference id " + std::to_string(request.ref_id) +
+                 " is not registered");
+      return;
+    }
+    const Alphabet& alphabet = alphabet_for(request.matrix);
+    if (&alphabet != &entry.index->subject().alphabet()) {
+      throw std::invalid_argument(
+          std::string("matrix ") + to_string(request.matrix) +
+          " uses a different alphabet than the reference (registered with " +
+          to_string(entry.matrix) + ")");
+    }
+    if (request.gap_extend > 0) {
+      throw std::invalid_argument("gap penalty must be <= 0");
+    }
+    const ScoringScheme scheme(matrix_for(request.matrix),
+                               request.gap_extend);
+    const Sequence query(alphabet, request.query);
+
+    search::ChainedSearchParams params = config_.search_defaults;
+    if (request.max_hits != 0) params.max_hits = request.max_hits;
+    if (request.x_drop != 0) params.x_drop = request.x_drop;
+    if (request.gap_weight != 0) params.chain.gap_weight = request.gap_weight;
+    if (request.min_chain_score != 0) {
+      params.chain.min_chain_score = request.min_chain_score;
+    }
+    if (request.band_pad != 0) params.band_pad = request.band_pad;
+    if (request.max_overlap != 0) params.chain.max_overlap = request.max_overlap;
+    if (request.max_positions_per_kmer != 0) {
+      params.max_positions_per_kmer = request.max_positions_per_kmer;
+    }
+
+    search::ChainedSearchStats stats;
+    const std::vector<search::SearchHit> hits =
+        search::chained_search(query, *entry.index, scheme, params, &stats);
+    const auto done = std::chrono::steady_clock::now();
+
+    // Same contract as ALIGN: a deadline that expired mid-search answers
+    // DEADLINE_EXCEEDED, never a stale success.
+    std::int64_t deadline_remaining_ms = -1;
+    if (request.deadline_ms != 0) {
+      const auto deadline =
+          job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+      if (done >= deadline) {
+        instruments_.rejected_deadline.add();
+        reject(job.connection, request.request_id,
+               ErrorCode::kDeadlineExceeded,
+               "deadline of " + std::to_string(request.deadline_ms) +
+                   " ms expired during execution; result discarded");
+        return;
+      }
+      deadline_remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                done)
+              .count();
+    }
+
+    SearchResponse response;
+    response.request_id = request.request_id;
+    response.hits.reserve(hits.size());
+    for (const search::SearchHit& hit : hits) {
+      WireHit wire;
+      wire.score = hit.alignment.score;
+      wire.q_begin = hit.alignment.a_begin;
+      wire.q_end = hit.alignment.a_end;
+      wire.s_begin = hit.alignment.b_begin;
+      wire.s_end = hit.alignment.b_end;
+      if (!request.score_only) wire.cigar = hit.alignment.cigar();
+      response.hits.push_back(std::move(wire));
+    }
+    response.anchors = stats.anchors;
+    response.chains = stats.chains;
+    response.queue_micros = micros_between(job.enqueued, started);
+    response.exec_micros = micros_between(started, done);
+    response.deadline_remaining_ms = deadline_remaining_ms;
+
+    instruments_.completed.add();
+    instruments_.search_completed.add();
+    instruments_.search_hits.add(response.hits.size());
+    instruments_.search_anchors.add(stats.anchors);
+    instruments_.queue_seconds.observe(
+        static_cast<double>(response.queue_micros) * 1e-6);
+    instruments_.search_exec_seconds.observe(
         static_cast<double>(response.exec_micros) * 1e-6);
     if (!respond(job.connection, encode(response))) {
       instruments_.write_errors.add();

@@ -36,14 +36,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/aligner.hpp"
 #include "core/fastlsa.hpp"
 #include "obs/metrics.hpp"
+#include "search/chain.hpp"
+#include "search/reference_index.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/fault.hpp"
 #include "service/protocol.hpp"
@@ -83,6 +87,17 @@ struct ServiceConfig {
   /// silently dropped. 0 means unlimited.
   std::size_t max_connections = 256;
 
+  // ---- Reference-indexed search (REF_PUT / SEARCH) --------------------
+  /// Cap on residues of one registered reference. REF_PUT above this is
+  /// answered TOO_LARGE (the k-mer index itself hard-rejects >= 2^32).
+  std::size_t max_reference_residues = std::size_t{1} << 26;
+  /// Seed length for REF_PUT requests that leave k at 0; 0 picks a
+  /// per-alphabet default (12 for DNA, 5 for protein).
+  std::uint32_t default_seed_k = 0;
+  /// Baseline chained-search tuning; SEARCH requests override field by
+  /// field (0 = keep this default).
+  search::ChainedSearchParams search_defaults;
+
   // ---- Fault injection ------------------------------------------------
   /// Chaos-testing plan (see service/fault.hpp); inactive by default.
   /// When enabled, the read/write/admission paths consult the seeded
@@ -120,10 +135,20 @@ class AlignmentServer {
 
  private:
   struct Connection;
+  /// Work the worker pool executes. REF_PUT rides the same queue as the
+  /// DP verbs so index builds obey admission control and drain ordering.
+  using Work = std::variant<AlignRequest, RefPutRequest, SearchRequest>;
   struct Job {
     std::shared_ptr<Connection> connection;
-    AlignRequest request;
+    Work work;
     std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One registered reference: the shared read-only index plus the
+  /// matrix family it was encoded under (SEARCH must agree on alphabet).
+  struct RefEntry {
+    std::shared_ptr<const search::ReferenceIndex> index;
+    WireMatrix matrix = WireMatrix::kDna;
   };
 
   void accept_loop();
@@ -131,10 +156,18 @@ class AlignmentServer {
   void worker_loop(unsigned worker_index);
 
   /// Handles one decoded request on the connection thread (admission,
-  /// STATS, rejections). Alignment work is enqueued, never run here.
+  /// STATS, rejections). Alignment/search/index work is enqueued, never
+  /// run here.
   void handle_request(const std::shared_ptr<Connection>& connection,
                       Request request);
+  /// Admission tail shared by every queued verb: counts in_flight,
+  /// pushes, and answers OVERLOADED/SHUTTING_DOWN on failure.
+  void enqueue(const std::shared_ptr<Connection>& connection,
+               std::uint64_t request_id, Work work);
   void execute(Aligner& aligner, Job& job);
+  void execute_align(Aligner& aligner, Job& job, const AlignRequest& request);
+  void execute_ref_put(Job& job, const RefPutRequest& request);
+  void execute_search(Job& job, const SearchRequest& request);
   void answer_stats(const std::shared_ptr<Connection>& connection,
                     const StatsRequest& request);
 
@@ -173,9 +206,19 @@ class AlignmentServer {
     obs::Counter& internal_errors;
     obs::Counter& write_errors;
     obs::Counter& cells;
+    obs::Counter& search_requests;
+    obs::Counter& search_completed;
+    obs::Counter& search_hits;
+    obs::Counter& search_anchors;
+    obs::Counter& search_ref_not_found;
+    obs::Counter& ref_puts;
+    obs::Counter& ref_residues;
+    obs::Gauge& refs_live;
     obs::Gauge& queue_depth;
     obs::Histogram& queue_seconds;
     obs::Histogram& exec_seconds;
+    obs::Histogram& search_exec_seconds;
+    obs::Histogram& ref_build_seconds;
   };
 
   ServiceConfig config_;
@@ -195,6 +238,13 @@ class AlignmentServer {
 
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
+
+  /// Registered references. The map is touched briefly under the mutex
+  /// (insert on REF_PUT, shared_ptr copy on SEARCH); the indexes
+  /// themselves are immutable and searched without any lock.
+  std::mutex refs_mutex_;
+  std::map<std::uint64_t, RefEntry> refs_;
+  std::uint64_t next_ref_id_ = 1;
 };
 
 }  // namespace service

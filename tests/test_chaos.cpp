@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/aligner.hpp"
+#include "search/chain.hpp"
+#include "search/reference_index.hpp"
 #include "obs/metrics.hpp"
 #include "scoring/builtin.hpp"
 #include "scoring/scheme.hpp"
@@ -261,6 +263,106 @@ TEST(Chaos, RetryRecoversEveryInjectedOverload) {
   // one call must have needed (and recorded) a recovery.
   EXPECT_GT(obs::metrics().counter("client.retry.recovered").value(),
             recovered_before);
+}
+
+TEST(Chaos, SearchUnderFireIsBitIdenticalOrTyped) {
+  // The SEARCH verb under the full fault plan: every search terminates in
+  // a SearchResponse whose hits are bit-identical to the in-process
+  // chained search, a typed ErrorResponse, or a typed client-side
+  // transport/protocol error. Never a hang, never a garbled hit list.
+  ServiceConfig config;
+  config.workers = 2;
+  config.fault_plan = parse_fault_plan(
+      "seed=77,reject=0.1,drop=0.05,delay=0.1:5,truncate=0.05,"
+      "corrupt=0.05");
+  AlignmentServer server(config);
+  server.start();
+
+  Xoshiro256 rng(7777);
+  const Sequence gene = random_sequence(Alphabet::dna(), 140, rng);
+  MutationModel model;
+  model.substitution_rate = 0.04;
+  const std::string reference_text =
+      random_sequence(Alphabet::dna(), 1200, rng).to_string() +
+      mutate(gene, model, rng).to_string() +
+      random_sequence(Alphabet::dna(), 900, rng).to_string();
+
+  // The in-process truth under the server's DNA defaults (k = 12).
+  const search::ReferenceIndex index(
+      Sequence(Alphabet::dna(), reference_text), 12);
+  const auto expected = search::chained_search(
+      gene, index, ScoringScheme(scoring::dna(), kDefaultGapExtend), {});
+  ASSERT_FALSE(expected.empty());
+
+  // Register the reference through the faulty pipe. REF_PUT has no retry
+  // overload (it is not idempotent); the test retries by hand and uses
+  // whichever registration answered last.
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  std::uint64_t ref_id = 0;
+  for (int attempt = 0; attempt < 32 && ref_id == 0; ++attempt) {
+    try {
+      if (!client.connected()) client.connect("127.0.0.1", server.port());
+      RefPutRequest put;
+      put.matrix = WireMatrix::kDna;
+      put.sequence = reference_text;
+      const Response response = client.call(std::move(put));
+      if (const auto* ok = std::get_if<RefPutResponse>(&response)) {
+        ref_id = ok->ref_id;
+      }
+    } catch (const TransportError&) {
+      client.close();
+    } catch (const ProtocolError&) {
+      client.close();
+    }
+  }
+  ASSERT_NE(ref_id, 0u) << "REF_PUT never survived the fault plan";
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(20);
+  policy.seed = 0x5EA4C4;
+
+  constexpr int kCalls = 24;
+  int correct = 0, rejected = 0, transport = 0, protocol = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    SearchRequest request;
+    request.ref_id = ref_id;
+    request.matrix = WireMatrix::kDna;
+    request.query = gene.to_string();
+    try {
+      const Response response =
+          client.call_with_retry(std::move(request), policy);
+      if (const auto* ok = std::get_if<SearchResponse>(&response)) {
+        ASSERT_EQ(ok->hits.size(), expected.size()) << "call " << i;
+        for (std::size_t h = 0; h < expected.size(); ++h) {
+          const Alignment& want = expected[h].alignment;
+          ASSERT_EQ(ok->hits[h].score, want.score) << "call " << i;
+          ASSERT_EQ(ok->hits[h].s_begin, want.b_begin) << "call " << i;
+          ASSERT_EQ(ok->hits[h].s_end, want.b_end) << "call " << i;
+          ASSERT_EQ(ok->hits[h].cigar, want.cigar()) << "call " << i;
+        }
+        ++correct;
+      } else if (std::holds_alternative<ErrorResponse>(response)) {
+        ++rejected;
+      } else {
+        FAIL() << "unexpected response variant on call " << i;
+      }
+    } catch (const ProtocolError&) {
+      ++protocol;
+      client.close();
+    } catch (const TransportError&) {
+      ++transport;
+    }
+  }
+  server.stop();
+
+  EXPECT_EQ(correct + rejected + transport + protocol, kCalls);
+  // With 8 retry attempts most searches must still come back correct.
+  EXPECT_GE(correct, kCalls / 2)
+      << "correct=" << correct << " rejected=" << rejected
+      << " transport=" << transport << " protocol=" << protocol;
 }
 
 TEST(Chaos, DrainUnderFireStaysTyped) {

@@ -126,7 +126,8 @@ TEST(Protocol, ErrorResponseRoundTripAllCodes) {
   for (ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kTooLarge, ErrorCode::kOverloaded,
         ErrorCode::kDeadlineExceeded, ErrorCode::kShuttingDown,
-        ErrorCode::kInternal, ErrorCode::kConnectionLimit}) {
+        ErrorCode::kInternal, ErrorCode::kConnectionLimit,
+        ErrorCode::kRefNotFound}) {
     ErrorResponse response;
     response.request_id = 9;
     response.code = code;
@@ -226,6 +227,132 @@ TEST(Protocol, RejectsUnknownMatrixAndErrorCode) {
   EXPECT_THROW(decode_response(encoded), ProtocolError);
 }
 
+TEST(Protocol, RefPutRequestRoundTrip) {
+  RefPutRequest request;
+  request.request_id = 0xdeadbeefULL;
+  request.matrix = WireMatrix::kDnaN;
+  request.k = 11;
+  request.name = "chr7";
+  request.sequence = "ACGTNACGT";
+  const Request decoded = decode_request(encode(request));
+  const auto* put = std::get_if<RefPutRequest>(&decoded);
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->request_id, request.request_id);
+  EXPECT_EQ(put->matrix, request.matrix);
+  EXPECT_EQ(put->k, request.k);
+  EXPECT_EQ(put->name, request.name);
+  EXPECT_EQ(put->sequence, request.sequence);
+}
+
+TEST(Protocol, SearchRequestRoundTrip) {
+  SearchRequest request;
+  request.request_id = 77;
+  request.ref_id = 0x0102030405060708ULL;
+  request.matrix = WireMatrix::kBlosum62;
+  request.gap_extend = -7;
+  request.max_hits = 3;
+  request.x_drop = 25;
+  request.gap_weight = 2;
+  request.min_chain_score = 40;
+  request.band_pad = 9;
+  request.max_overlap = 4;
+  request.max_positions_per_kmer = 128;
+  request.deadline_ms = 1500;
+  request.score_only = true;
+  request.query = "HEAGAWGHEE";
+  const Request decoded = decode_request(encode(request));
+  const auto* search = std::get_if<SearchRequest>(&decoded);
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->request_id, request.request_id);
+  EXPECT_EQ(search->ref_id, request.ref_id);
+  EXPECT_EQ(search->matrix, request.matrix);
+  EXPECT_EQ(search->gap_extend, request.gap_extend);
+  EXPECT_EQ(search->max_hits, request.max_hits);
+  EXPECT_EQ(search->x_drop, request.x_drop);
+  EXPECT_EQ(search->gap_weight, request.gap_weight);
+  EXPECT_EQ(search->min_chain_score, request.min_chain_score);
+  EXPECT_EQ(search->band_pad, request.band_pad);
+  EXPECT_EQ(search->max_overlap, request.max_overlap);
+  EXPECT_EQ(search->max_positions_per_kmer, request.max_positions_per_kmer);
+  EXPECT_EQ(search->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(search->score_only, request.score_only);
+  EXPECT_EQ(search->query, request.query);
+}
+
+TEST(Protocol, RefPutResponseRoundTrip) {
+  RefPutResponse response;
+  response.request_id = 5;
+  response.ref_id = 12;
+  response.residues = 6200;
+  response.distinct_kmers = 6189;
+  response.build_micros = 1042;
+  const Response decoded = decode_response(encode(response));
+  const auto* put = std::get_if<RefPutResponse>(&decoded);
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->ref_id, response.ref_id);
+  EXPECT_EQ(put->residues, response.residues);
+  EXPECT_EQ(put->distinct_kmers, response.distinct_kmers);
+  EXPECT_EQ(put->build_micros, response.build_micros);
+}
+
+TEST(Protocol, SearchResponseRoundTrip) {
+  SearchResponse response;
+  response.request_id = 6;
+  response.hits.push_back({928, 0, 200, 3000, 3200, "7=1X192="});
+  response.hits.push_back({600, 0, 120, 9000, 9120, ""});  // score_only
+  response.anchors = 7;
+  response.chains = 2;
+  response.queue_micros = 11;
+  response.exec_micros = 222;
+  response.deadline_remaining_ms = 480;
+  const Response decoded = decode_response(encode(response));
+  const auto* search = std::get_if<SearchResponse>(&decoded);
+  ASSERT_NE(search, nullptr);
+  ASSERT_EQ(search->hits.size(), 2u);
+  EXPECT_EQ(search->hits[0].score, 928);
+  EXPECT_EQ(search->hits[0].q_end, 200u);
+  EXPECT_EQ(search->hits[0].s_begin, 3000u);
+  EXPECT_EQ(search->hits[0].cigar, "7=1X192=");
+  EXPECT_EQ(search->hits[1].score, 600);
+  EXPECT_TRUE(search->hits[1].cigar.empty());
+  EXPECT_EQ(search->anchors, 7u);
+  EXPECT_EQ(search->chains, 2u);
+  EXPECT_EQ(search->deadline_remaining_ms, 480);
+
+  SearchResponse empty;  // zero hits must round-trip too
+  const Response decoded_empty = decode_response(encode(empty));
+  const auto* no_hits = std::get_if<SearchResponse>(&decoded_empty);
+  ASSERT_NE(no_hits, nullptr);
+  EXPECT_TRUE(no_hits->hits.empty());
+  EXPECT_EQ(no_hits->deadline_remaining_ms, -1);
+}
+
+TEST(Protocol, SearchMessagesRejectTruncationAtEveryPrefix) {
+  SearchRequest request;
+  request.query = "ACGT";
+  const std::string req_payload = encode(request);
+  for (std::size_t cut = 0; cut < req_payload.size(); ++cut) {
+    EXPECT_THROW(decode_request(req_payload.substr(0, cut)), ProtocolError);
+  }
+  SearchResponse response;
+  response.hits.push_back({1, 0, 4, 10, 14, "4="});
+  const std::string resp_payload = encode(response);
+  for (std::size_t cut = 0; cut < resp_payload.size(); ++cut) {
+    EXPECT_THROW(decode_response(resp_payload.substr(0, cut)),
+                 ProtocolError);
+  }
+}
+
+TEST(Protocol, EstimatedCellsForSearchIsQuerySquared) {
+  // SEARCH admission uses the worst-case degenerate gap fill, (|q|+1)^2 —
+  // the same DPM-cell currency as the ALIGN budget.
+  SearchRequest request;
+  request.query = std::string(9, 'A');
+  EXPECT_EQ(estimated_cells(request), 100u);
+  SearchRequest empty;
+  EXPECT_EQ(estimated_cells(empty), 1u);
+}
+
 TEST(Protocol, EstimatedCellsCountsDpmEntries) {
   AlignRequest request;
   request.a = std::string(9, 'A');
@@ -251,6 +378,9 @@ TEST(Protocol, MatrixNamesRoundTrip) {
 TEST(Protocol, VerbAndCodeNamesAreStable) {
   EXPECT_STREQ(to_string(Verb::kAlign), "ALIGN");
   EXPECT_STREQ(to_string(Verb::kStats), "STATS");
+  EXPECT_STREQ(to_string(Verb::kRefPut), "REF_PUT");
+  EXPECT_STREQ(to_string(Verb::kSearch), "SEARCH");
+  EXPECT_STREQ(to_string(ErrorCode::kRefNotFound), "REF_NOT_FOUND");
   EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "OVERLOADED");
   EXPECT_STREQ(to_string(ErrorCode::kTooLarge), "TOO_LARGE");
   EXPECT_STREQ(to_string(ErrorCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
@@ -267,6 +397,9 @@ TEST(Protocol, RetryableClassificationIsIdempotentSafe) {
   EXPECT_FALSE(is_retryable(ErrorCode::kTooLarge));
   EXPECT_FALSE(is_retryable(ErrorCode::kDeadlineExceeded));
   EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+  // REF_NOT_FOUND is deterministic until someone registers the reference;
+  // blind retry would just repeat the miss.
+  EXPECT_FALSE(is_retryable(ErrorCode::kRefNotFound));
 }
 
 // A reader guarded against hanging forever if the partial-write tests fail.

@@ -1,6 +1,9 @@
 // Tests for the k-mer index and the seed-and-extend search pipeline.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "dp/alignment.hpp"
 #include "dp/local.hpp"
 #include "scoring/builtin.hpp"
 #include "search/seed_extend.hpp"
@@ -53,6 +56,39 @@ TEST(KmerIndex, Validation) {
   EXPECT_THROW(search::KmerIndex(s, 20), std::invalid_argument);  // 20^20
   const search::KmerIndex tiny(Sequence(Alphabet::dna(), "AC"), 4);
   EXPECT_EQ(tiny.distinct_kmers(), 0u);  // subject shorter than k
+}
+
+TEST(KmerIndex, SharedSubjectOutlivesTheCallersHandle) {
+  // The index co-owns its subject: the caller may drop every other
+  // reference (or pass a temporary) and keep searching safely.
+  std::unique_ptr<search::KmerIndex> index;
+  {
+    auto subject = std::make_shared<const Sequence>(Alphabet::dna(),
+                                                    "ACGTACGTAACGT");
+    index = std::make_unique<search::KmerIndex>(subject, 4);
+  }
+  EXPECT_EQ(index->subject().size(), 13u);
+  const Sequence probe(Alphabet::dna(), "ACGT");
+  EXPECT_EQ(index->lookup(probe.residues()),
+            (std::vector<std::uint32_t>{0, 4, 9}));
+  // The copying convenience constructor is just as safe with temporaries.
+  const search::KmerIndex copied(Sequence(Alphabet::dna(), "ACGTACGT"), 4);
+  EXPECT_EQ(copied.lookup(probe.residues()).size(), 2u);
+}
+
+TEST(KmerIndex, SubjectsPastUint32PositionsAreATypedError) {
+  // lookup() returns uint32_t positions; a subject whose positions do not
+  // fit must be rejected loudly, never silently truncated.
+  constexpr std::size_t kLimit = search::KmerIndex::kMaxSubjectResidues;
+  EXPECT_EQ(kLimit, (std::uint64_t{1} << 32) - 1);
+  EXPECT_NO_THROW(search::KmerIndex::require_indexable(kLimit));
+  try {
+    search::KmerIndex::require_indexable(kLimit + 1);
+    FAIL() << "expected SubjectTooLarge";
+  } catch (const search::SubjectTooLarge& e) {
+    EXPECT_EQ(e.residues(), kLimit + 1);
+    EXPECT_NE(std::string(e.what()).find("4294967296"), std::string::npos);
+  }
 }
 
 TEST(XDrop, ExtendsThroughMatchesStopsAtNoise) {
@@ -157,6 +193,83 @@ TEST(SeedExtend, HitScoreMatchesLocalAlignmentOfRegion) {
   // best score (the planted copy is the global optimum).
   EXPECT_EQ(hits[0].alignment.score,
             local_align_full_matrix(gene, subject, scheme()).score);
+}
+
+TEST(SeedExtend, OverlappingRealignedWindowsAreDeduplicatedOnFinalExtent) {
+  // Regression: stage 3 must deduplicate on where the *gapped* alignment
+  // actually landed, not on the ungapped candidate extent. Construction:
+  // the subject carries the full motif M and, 20 bp later, a copy of
+  // M's suffix. The suffix candidate's ungapped extent is disjoint from
+  // the reported M hit, but its padded window still contains M's tail —
+  // where its local alignment scores higher and lands. Dedup on the
+  // candidate extent reports both, i.e. two overlapping hits.
+  Xoshiro256 rng(271);
+  const Sequence motif = random_sequence(Alphabet::dna(), 120, rng);
+  const Sequence suffix = motif.subsequence(60, 60);
+  const Sequence subject(
+      Alphabet::dna(),
+      random_sequence(Alphabet::dna(), 500, rng).to_string() +
+          motif.to_string() +
+          random_sequence(Alphabet::dna(), 20, rng).to_string() +
+          suffix.to_string() +
+          random_sequence(Alphabet::dna(), 400, rng).to_string());
+  const search::KmerIndex index(subject, 8);
+  const auto hits = search::seed_and_extend(motif, index, scheme());
+  ASSERT_FALSE(hits.empty());
+  // The top hit is the planted full motif.
+  EXPECT_LE(hits[0].alignment.b_begin, 500u);
+  EXPECT_GE(hits[0].alignment.b_end, 620u);
+  // The regression property: reported subject extents never overlap.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    for (std::size_t j = i + 1; j < hits.size(); ++j) {
+      const Alignment& a = hits[i].alignment;
+      const Alignment& b = hits[j].alignment;
+      EXPECT_TRUE(a.b_end <= b.b_begin || b.b_end <= a.b_begin)
+          << "hits " << i << " [" << a.b_begin << "," << a.b_end
+          << ") and " << j << " [" << b.b_begin << "," << b.b_end
+          << ") overlap in the subject";
+    }
+  }
+}
+
+TEST(SeedExtend, PropertySweepHitsAreSortedDisjointAndBoundedBySw) {
+  // Fixed-seed sweep over mutated pairs: reported hits are sorted by
+  // score, pairwise disjoint in the subject, self-consistent (the score
+  // matches the emitted gapped rows), and never beat the full
+  // Smith-Waterman optimum over the whole subject.
+  Xoshiro256 rng(272);
+  for (std::size_t trial = 0; trial < 6; ++trial) {
+    const Sequence gene =
+        random_sequence(Alphabet::dna(), 70 + 15 * trial, rng);
+    MutationModel model;
+    model.substitution_rate = 0.05;
+    const Sequence mutated = mutate(gene, model, rng);
+    const Sequence subject(
+        Alphabet::dna(),
+        random_sequence(Alphabet::dna(), 800, rng).to_string() +
+            mutated.to_string() +
+            random_sequence(Alphabet::dna(), 600, rng).to_string());
+    const search::KmerIndex index(subject, 8);
+    const auto hits = search::seed_and_extend(gene, index, scheme());
+    const Score optimum =
+        local_align_full_matrix(gene, subject, scheme()).score;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      const Alignment& a = hits[i].alignment;
+      EXPECT_LE(a.score, optimum) << "trial " << trial;
+      EXPECT_EQ(a.score, score_alignment(a, scheme(), Alphabet::dna()))
+          << "trial " << trial;
+      if (i + 1 < hits.size()) {
+        EXPECT_GE(a.score, hits[i + 1].alignment.score) << "trial " << trial;
+      }
+      for (std::size_t j = i + 1; j < hits.size(); ++j) {
+        const Alignment& b = hits[j].alignment;
+        EXPECT_TRUE(a.b_end <= b.b_begin || b.b_end <= a.b_begin)
+            << "trial " << trial;
+      }
+    }
+    ASSERT_FALSE(hits.empty()) << "trial " << trial;
+    EXPECT_EQ(hits[0].alignment.score, optimum) << "trial " << trial;
+  }
 }
 
 TEST(SeedExtend, Validation) {

@@ -22,6 +22,8 @@
 #include "core/aligner.hpp"
 #include "scoring/builtin.hpp"
 #include "scoring/scheme.hpp"
+#include "search/chain.hpp"
+#include "search/reference_index.hpp"
 #include "sequence/generate.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/client.hpp"
@@ -694,6 +696,233 @@ TEST(Service, InjectedDelayStillAnswersCorrectly) {
   const auto* ok = std::get_if<AlignResponse>(&response);
   ASSERT_NE(ok, nullptr);  // delay is latency, never wrongness
   EXPECT_EQ(ok->score, 82);
+  server.stop();
+}
+
+// ---- Reference-indexed search (REF_PUT / SEARCH) ---------------------
+
+TEST(Service, SearchRoundTripsBitIdenticalToInProcessPipeline) {
+  // Build a DNA reference with two mutated copies of a gene, register it
+  // over the wire, search for the gene, and compare against the
+  // in-process pipeline under the server's defaults (k = 12 for DNA,
+  // stock ChainedSearchParams, linear gap kDefaultGapExtend): scores,
+  // coordinates, and CIGARs must be bit-identical — the service adds
+  // transport, not variation.
+  Xoshiro256 rng(901);
+  const Sequence gene = random_sequence(Alphabet::dna(), 180, rng);
+  MutationModel model;
+  model.substitution_rate = 0.04;
+  const std::string reference_text =
+      random_sequence(Alphabet::dna(), 2500, rng).to_string() +
+      mutate(gene, model, rng).to_string() +
+      random_sequence(Alphabet::dna(), 1500, rng).to_string() +
+      mutate(gene, model, rng).to_string() +
+      random_sequence(Alphabet::dna(), 1000, rng).to_string();
+
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.name = "two-copies";
+  put.sequence = reference_text;
+  const Response put_response = client.call(std::move(put));
+  const auto* registered = std::get_if<RefPutResponse>(&put_response);
+  ASSERT_NE(registered, nullptr);
+  EXPECT_EQ(registered->residues, reference_text.size());
+  EXPECT_GT(registered->distinct_kmers, 0u);
+  EXPECT_GE(registered->ref_id, 1u);
+
+  SearchRequest search;
+  search.ref_id = registered->ref_id;
+  search.matrix = WireMatrix::kDna;
+  search.query = gene.to_string();
+  const Response response = client.call(std::move(search));
+  const auto* ok = std::get_if<SearchResponse>(&response);
+  ASSERT_NE(ok, nullptr);
+
+  const search::ReferenceIndex index(
+      Sequence(Alphabet::dna(), reference_text), 12);
+  search::ChainedSearchStats stats;
+  const auto expected = search::chained_search(
+      gene, index, ScoringScheme(scoring::dna(), kDefaultGapExtend), {},
+      &stats);
+  ASSERT_GE(expected.size(), 2u);  // both planted copies
+  ASSERT_EQ(ok->hits.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Alignment& want = expected[i].alignment;
+    EXPECT_EQ(ok->hits[i].score, want.score) << "hit " << i;
+    EXPECT_EQ(ok->hits[i].q_begin, want.a_begin) << "hit " << i;
+    EXPECT_EQ(ok->hits[i].q_end, want.a_end) << "hit " << i;
+    EXPECT_EQ(ok->hits[i].s_begin, want.b_begin) << "hit " << i;
+    EXPECT_EQ(ok->hits[i].s_end, want.b_end) << "hit " << i;
+    EXPECT_EQ(ok->hits[i].cigar, want.cigar()) << "hit " << i;
+  }
+  EXPECT_EQ(ok->anchors, stats.anchors);
+  EXPECT_EQ(ok->chains, stats.chains);
+  EXPECT_EQ(ok->deadline_remaining_ms, -1);
+  server.stop();
+}
+
+TEST(Service, SearchScoreOnlySkipsPerHitCigars) {
+  Xoshiro256 rng(902);
+  const Sequence gene = random_sequence(Alphabet::dna(), 150, rng);
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.sequence = random_sequence(Alphabet::dna(), 800, rng).to_string() +
+                 gene.to_string() +
+                 random_sequence(Alphabet::dna(), 700, rng).to_string();
+  const Response put_response = client.call(std::move(put));
+  const auto* registered = std::get_if<RefPutResponse>(&put_response);
+  ASSERT_NE(registered, nullptr);
+
+  SearchRequest search;
+  search.ref_id = registered->ref_id;
+  search.matrix = WireMatrix::kDna;
+  search.score_only = true;
+  search.query = gene.to_string();
+  const Response response = client.call(std::move(search));
+  const auto* ok = std::get_if<SearchResponse>(&response);
+  ASSERT_NE(ok, nullptr);
+  ASSERT_FALSE(ok->hits.empty());
+  EXPECT_EQ(ok->hits[0].score, 150 * 5);  // exact planted copy
+  for (const WireHit& hit : ok->hits) EXPECT_TRUE(hit.cigar.empty());
+  server.stop();
+}
+
+TEST(Service, SearchUnknownReferenceAnswersRefNotFound) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  SearchRequest search;
+  search.ref_id = 42;  // nothing registered
+  search.matrix = WireMatrix::kDna;
+  search.query = "ACGTACGTACGTACGT";
+  const Response response = client.call(std::move(search));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+  EXPECT_NE(error->message.find("42"), std::string::npos);
+  EXPECT_FALSE(is_retryable(error->code));
+  server.stop();
+}
+
+TEST(Service, SearchAlphabetMismatchAnswersBadRequest) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.sequence = "ACGTACGTACGTACGTACGTACGTACGT";
+  const Response put_response = client.call(std::move(put));
+  const auto* registered = std::get_if<RefPutResponse>(&put_response);
+  ASSERT_NE(registered, nullptr);
+
+  SearchRequest search;
+  search.ref_id = registered->ref_id;
+  search.matrix = WireMatrix::kMdm78;  // protein vs a DNA reference
+  search.query = "ACGT";
+  const Response response = client.call(std::move(search));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+  server.stop();
+}
+
+TEST(Service, OversizedReferenceAnswersTooLarge) {
+  ServiceConfig config;
+  config.max_reference_residues = 100;
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.sequence = std::string(200, 'A');
+  const Response response = client.call(std::move(put));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kTooLarge);
+  server.stop();
+}
+
+TEST(Service, OversizedSearchQueryAnswersTooLarge) {
+  // SEARCH admission uses (|query|+1)^2 — the worst-case degenerate gap
+  // fill — in the same cell currency as the ALIGN budget.
+  ServiceConfig config;
+  config.max_request_cells = 10000;
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  SearchRequest search;
+  search.ref_id = 1;
+  search.matrix = WireMatrix::kDna;
+  search.query = std::string(200, 'A');  // 201^2 = 40401 > 10000
+  const Response response = client.call(std::move(search));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kTooLarge);
+  server.stop();
+}
+
+TEST(Service, RefPutWithBadResiduesAnswersBadRequest) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;  // strict DNA: no 'N', no lowercase junk
+  put.sequence = "ACGTNACGT";
+  const Response response = client.call(std::move(put));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+  server.stop();
+}
+
+TEST(Service, SearchStatsCountersAdvance) {
+  Xoshiro256 rng(903);
+  const Sequence gene = random_sequence(Alphabet::dna(), 120, rng);
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.sequence = random_sequence(Alphabet::dna(), 600, rng).to_string() +
+                 gene.to_string();
+  const Response put_response = client.call(std::move(put));
+  ASSERT_TRUE(std::holds_alternative<RefPutResponse>(put_response));
+  SearchRequest search;
+  search.ref_id = std::get<RefPutResponse>(put_response).ref_id;
+  search.matrix = WireMatrix::kDna;
+  search.query = gene.to_string();
+  ASSERT_TRUE(
+      std::holds_alternative<SearchResponse>(client.call(std::move(search))));
+
+  const Response stats_response = client.call(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  auto value = [&](const std::string& name) -> double {
+    for (const auto& [key, entry] : stats->entries) {
+      if (key == name) return entry;
+    }
+    return -1.0;
+  };
+  EXPECT_GE(value("search.ref_puts"), 1.0);
+  EXPECT_GE(value("search.refs"), 1.0);
+  EXPECT_GE(value("search.requests"), 1.0);
+  EXPECT_GE(value("search.completed"), 1.0);
+  EXPECT_GE(value("search.hits"), 1.0);
   server.stop();
 }
 

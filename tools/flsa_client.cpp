@@ -5,6 +5,8 @@
 //   flsa_client --port 7421 --flood 8 pair.fasta     # pipeline w/o waiting,
 //                                                    # tally response codes
 //   flsa_client --port 7421 --server-stats           # STATS verb
+//   flsa_client --port 7421 --search genome.fasta reads.fasta
+//       # REF_PUT the first record, SEARCH every remaining record
 #include <algorithm>
 #include <iostream>
 #include <limits>
@@ -57,6 +59,17 @@ int main(int argc, char** argv) {
               "decorrelated jitter");
   cli.add_flag("server-stats", false,
                "send a STATS request and print the metrics snapshot");
+  cli.add_flag("search", false,
+               "seed-chain-extend mode: REF_PUT the first FASTA record as "
+               "the reference, then SEARCH each remaining record against it");
+  cli.add_int("ref-k", 0,
+              "search mode: seed (k-mer) length for the reference index "
+              "(0 = server default: 12 for DNA, 5 for protein)");
+  cli.add_int("max-hits", 0,
+              "search mode: cap on reported hits per query (0 = server "
+              "default)");
+  cli.add_int("min-chain-score", 0,
+              "search mode: chain/hit score floor (0 = server default)");
   cli.add_int("expect-score", std::numeric_limits<std::int64_t>::min(),
               "exit nonzero unless every ALIGN_OK score equals this");
 
@@ -109,6 +122,75 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("need two FASTA records (got " +
                                   std::to_string(records.size()) + ")");
     }
+
+    if (cli.get_flag("search")) {
+      // Reference registration: first record, once per connection.
+      flsa::service::RefPutRequest ref;
+      ref.matrix = request.matrix;
+      ref.k = static_cast<std::uint32_t>(cli.get_int("ref-k"));
+      ref.name = records[0].id();
+      ref.sequence = records[0].to_string();
+      const flsa::service::Response put_response =
+          client.call(std::move(ref));
+      if (const auto* err =
+              std::get_if<flsa::service::ErrorResponse>(&put_response)) {
+        std::cerr << "REF_PUT error: " << to_string(err->code) << ": "
+                  << err->message << "\n";
+        return 1;
+      }
+      const auto& put =
+          std::get<flsa::service::RefPutResponse>(put_response);
+      std::cout << "# reference " << records[0].id() << " registered as id "
+                << put.ref_id << " (" << put.residues << " residues, "
+                << put.distinct_kmers << " distinct k-mers, built in "
+                << static_cast<double>(put.build_micros) / 1e3 << " ms)\n";
+
+      const auto retries = static_cast<unsigned>(
+          std::max<std::int64_t>(0, cli.get_int("retries")));
+      flsa::service::RetryPolicy retry_policy;
+      retry_policy.max_attempts = retries + 1;
+
+      bool any_failed = false;
+      for (std::size_t q = 1; q < records.size(); ++q) {
+        flsa::service::SearchRequest search;
+        search.ref_id = put.ref_id;
+        search.matrix = request.matrix;
+        search.gap_extend = request.gap_extend;
+        search.max_hits =
+            static_cast<std::uint32_t>(cli.get_int("max-hits"));
+        search.min_chain_score =
+            static_cast<std::int32_t>(cli.get_int("min-chain-score"));
+        search.deadline_ms = request.deadline_ms;
+        search.score_only = request.score_only;
+        search.query = records[q].to_string();
+        const flsa::service::Response response =
+            retries > 0
+                ? client.call_with_retry(std::move(search), retry_policy)
+                : client.call(std::move(search));
+        if (const auto* err =
+                std::get_if<flsa::service::ErrorResponse>(&response)) {
+          std::cerr << records[q].id() << ": error response: "
+                    << to_string(err->code) << ": " << err->message << "\n";
+          any_failed = true;
+          continue;
+        }
+        const auto& ok = std::get<flsa::service::SearchResponse>(response);
+        std::cout << "# query " << records[q].id() << " ("
+                  << records[q].size() << "): " << ok.hits.size()
+                  << " hit(s), " << ok.anchors << " anchors, " << ok.chains
+                  << " chains, exec "
+                  << static_cast<double>(ok.exec_micros) / 1e3 << " ms\n";
+        for (const flsa::service::WireHit& hit : ok.hits) {
+          std::cout << "hit score=" << hit.score << " query=["
+                    << hit.q_begin << "," << hit.q_end << ") ref=["
+                    << hit.s_begin << "," << hit.s_end << ")";
+          if (!hit.cigar.empty()) std::cout << " cigar=" << hit.cigar;
+          std::cout << "\n";
+        }
+      }
+      return any_failed ? 1 : 0;
+    }
+
     request.a = records[0].to_string();
     request.b = records[1].to_string();
 

@@ -53,6 +53,12 @@ int main(int argc, char** argv) {
   cli.add_int("k", 8, "FastLSA division factor (server default)");
   cli.add_int("bm", 1 << 20,
               "FastLSA base-case buffer in cells (server default)");
+  cli.add_int("max-ref-m", 64,
+              "cap on registered-reference length, in millions of "
+              "residues (REF_PUT above this is rejected TOO_LARGE)");
+  cli.add_int("seed-k", 0,
+              "seed (k-mer) length for REF_PUT requests that leave k at 0 "
+              "(0 = per-alphabet default: 12 for DNA, 5 for protein)");
   cli.add_int("idle-timeout-ms", 60000,
               "per-recv read deadline on client connections; bounds idle "
               "and slow-loris peers (0 = none)");
@@ -79,6 +85,12 @@ int main(int argc, char** argv) {
     config.fastlsa.k = static_cast<unsigned>(cli.get_int("k"));
     config.fastlsa.base_case_cells =
         static_cast<std::size_t>(cli.get_int("bm"));
+    config.max_reference_residues =
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(1, cli.get_int("max-ref-m"))) *
+        1000000u;
+    config.default_seed_k = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cli.get_int("seed-k")));
     config.idle_timeout_ms = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("idle-timeout-ms")));
     config.max_connections = static_cast<std::size_t>(
