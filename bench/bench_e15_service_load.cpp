@@ -16,12 +16,14 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "benchlib/workloads.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "router/router.hpp"
 #include "sequence/generate.hpp"
 #include "service/client.hpp"
 #include "service/fault.hpp"
@@ -180,17 +182,88 @@ FaultyRun run_faulty(std::uint16_t port,
   return run;
 }
 
-void write_json(const std::string& path, unsigned workers,
-                std::size_t pair_length, const std::vector<LoadRow>& rows,
-                std::size_t overload_accepted, std::size_t overload_rejected,
-                const std::string& fault_plan, const FaultyRun& faulty) {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "{\n  \"workers\": " << workers
-      << ",\n  \"pair_length\": " << pair_length << ",\n  \"load\": [\n";
+/// One router-fronted fleet size: the closed-loop rows per connection
+/// level plus the router counter deltas that show how the front tier
+/// behaved (hedges fired, batches coalesced, failovers needed).
+struct RouterTier {
+  std::size_t backends = 0;
+  std::vector<LoadRow> rows;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t coalesce_batches = 0;
+  std::uint64_t coalesce_jobs = 0;
+  std::uint64_t failovers = 0;
+
+  /// Best throughput over the connection sweep — the tier's capacity.
+  double peak_rps() const {
+    double best = 0.0;
+    for (const LoadRow& row : rows) best = std::max(best, row.rps);
+    return best;
+  }
+};
+
+/// Spins up `backend_count` single-worker backends behind one router and
+/// drives the router with the closed-loop sweep. Single-worker backends
+/// make the scaling story honest: each backend contributes one core of
+/// alignment capacity, so fleet throughput should track fleet size until
+/// the host runs out of cores.
+RouterTier run_router_tier(std::size_t backend_count,
+                           const flsa::service::AlignRequest& prototype,
+                           const std::vector<unsigned>& connection_levels,
+                           std::size_t total_requests) {
+  namespace obs = flsa::obs;
+  const std::uint64_t hedges0 =
+      obs::metrics().counter("router.hedge.issued").value();
+  const std::uint64_t won0 = obs::metrics().counter("router.hedge.won").value();
+  const std::uint64_t batches0 =
+      obs::metrics().counter("router.coalesce.batches").value();
+  const std::uint64_t jobs0 =
+      obs::metrics().counter("router.coalesce.jobs").value();
+  const std::uint64_t failovers0 =
+      obs::metrics().counter("router.failovers").value();
+
+  std::vector<std::unique_ptr<flsa::service::AlignmentServer>> backends;
+  flsa::router::RouterConfig router_config;
+  for (std::size_t i = 0; i < backend_count; ++i) {
+    flsa::service::ServiceConfig backend_config;
+    backend_config.workers = 1;
+    backend_config.queue_capacity = 256;
+    backends.push_back(
+        std::make_unique<flsa::service::AlignmentServer>(backend_config));
+    backends.back()->start();
+    router_config.backends.push_back({"127.0.0.1", backends.back()->port()});
+  }
+  flsa::router::Router router(router_config);
+  router.start();
+
+  RouterTier tier;
+  tier.backends = backend_count;
+  for (unsigned connections : connection_levels) {
+    const std::size_t per_client =
+        std::max<std::size_t>(8, total_requests / connections);
+    tier.rows.push_back(
+        run_closed_loop(router.port(), prototype, connections, per_client));
+  }
+  router.stop();
+  for (auto& backend : backends) backend->stop();
+
+  tier.hedges_issued =
+      obs::metrics().counter("router.hedge.issued").value() - hedges0;
+  tier.hedges_won = obs::metrics().counter("router.hedge.won").value() - won0;
+  tier.coalesce_batches =
+      obs::metrics().counter("router.coalesce.batches").value() - batches0;
+  tier.coalesce_jobs =
+      obs::metrics().counter("router.coalesce.jobs").value() - jobs0;
+  tier.failovers =
+      obs::metrics().counter("router.failovers").value() - failovers0;
+  return tier;
+}
+
+void write_load_rows(std::ofstream& out, const std::vector<LoadRow>& rows,
+                     const char* indent) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const LoadRow& r = rows[i];
-    out << "    {\"connections\": " << r.connections
+    out << indent << "{\"connections\": " << r.connections
         << ", \"requests\": " << r.requests << ", \"wall_s\": " << r.wall_s
         << ", \"throughput_rps\": " << r.rps << ", \"p50_ms\": "
         << r.latency.p50 << ", \"p95_ms\": " << r.latency.p95
@@ -198,6 +271,18 @@ void write_json(const std::string& path, unsigned workers,
         << r.latency.max << ", \"errors\": " << r.errors << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+}
+
+void write_json(const std::string& path, unsigned workers,
+                std::size_t pair_length, const std::vector<LoadRow>& rows,
+                std::size_t overload_accepted, std::size_t overload_rejected,
+                const std::string& fault_plan, const FaultyRun& faulty,
+                const std::vector<RouterTier>& tiers, double speedup_4_vs_1) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"workers\": " << workers
+      << ",\n  \"pair_length\": " << pair_length << ",\n  \"load\": [\n";
+  write_load_rows(out, rows, "    ");
   out << "  ],\n  \"overload\": {\"accepted\": " << overload_accepted
       << ", \"rejected_overloaded\": " << overload_rejected << "},\n"
       << "  \"faulty\": {\"fault_plan\": \"" << fault_plan
@@ -207,7 +292,22 @@ void write_json(const std::string& path, unsigned workers,
       << ", \"retry_attempts\": " << faulty.retry_attempts
       << ", \"reconnects\": " << faulty.reconnects
       << ", \"recovered\": " << faulty.recovered
-      << ", \"exhausted\": " << faulty.exhausted << "}\n}\n";
+      << ", \"exhausted\": " << faulty.exhausted << "},\n"
+      << "  \"multi_backend\": {\n    \"tiers\": [\n";
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const RouterTier& tier = tiers[t];
+    out << "      {\"backends\": " << tier.backends
+        << ", \"peak_rps\": " << tier.peak_rps()
+        << ", \"hedges_issued\": " << tier.hedges_issued
+        << ", \"hedges_won\": " << tier.hedges_won
+        << ", \"coalesce_batches\": " << tier.coalesce_batches
+        << ", \"coalesce_jobs\": " << tier.coalesce_jobs
+        << ", \"failovers\": " << tier.failovers << ", \"load\": [\n";
+    write_load_rows(out, tier.rows, "        ");
+    out << "      ]}" << (t + 1 < tiers.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"speedup_4_backends_vs_1\": " << speedup_4_vs_1
+      << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -319,8 +419,59 @@ int main() {
             << "\n(decorrelated-jitter backoff turns injected overload and"
                " dropped connections\ninto latency, not errors)\n";
 
+  // ---- Router-fronted fleets: does capacity track fleet size? ----
+  std::cout << "\n=== router front tier: 1 router x {1,2,4} backends ===\n\n";
+  // Heavier pairs than the single-server sweep: per-request DP work must
+  // dominate the extra wire hop, so fleet throughput measures backend
+  // capacity (what adding backends buys) rather than loopback latency.
+  const std::size_t router_pair_length = 512;
+  const flsa::SequencePair router_pair =
+      flsa::bench::sized_workload(router_pair_length).make();
+  flsa::service::AlignRequest router_prototype;
+  router_prototype.matrix = flsa::service::WireMatrix::kMdm78;
+  router_prototype.gap_extend = -10;
+  router_prototype.a = router_pair.a.to_string();
+  router_prototype.b = router_pair.b.to_string();
+  const std::vector<unsigned> router_connections = {1u, 8u, 32u, 64u};
+  std::vector<RouterTier> tiers;
+  flsa::Table router_table({"backends", "conns", "req/s", "p50 ms", "p95 ms",
+                            "p99 ms", "errors"});
+  for (std::size_t backend_count : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const RouterTier tier = run_router_tier(backend_count, router_prototype,
+                                            router_connections, 1024);
+    for (const LoadRow& row : tier.rows) {
+      router_table.add_row({std::to_string(tier.backends),
+                            std::to_string(row.connections),
+                            flsa::Table::num(row.rps),
+                            flsa::Table::num(row.latency.p50),
+                            flsa::Table::num(row.latency.p95),
+                            flsa::Table::num(row.latency.p99),
+                            std::to_string(row.errors)});
+    }
+    tiers.push_back(tier);
+  }
+  router_table.print(std::cout);
+  const double speedup_4_vs_1 =
+      tiers.front().peak_rps() > 0.0
+          ? tiers.back().peak_rps() / tiers.front().peak_rps()
+          : 0.0;
+  std::cout << "\nper-tier router activity:\n";
+  for (const RouterTier& tier : tiers) {
+    std::cout << "  " << tier.backends << " backend(s): hedges "
+              << tier.hedges_issued << " (won " << tier.hedges_won
+              << "), coalesced " << tier.coalesce_jobs << " jobs into "
+              << tier.coalesce_batches << " batches, failovers "
+              << tier.failovers << "\n";
+  }
+  std::cout << "speedup 4 backends vs 1 (peak req/s): "
+            << flsa::Table::num(speedup_4_vs_1)
+            << "\n(single-worker backends: fleet capacity should track"
+               " fleet size until the host\nruns out of cores — the CI"
+               " gate asserts >= 2.5x on 4-vCPU runners)\n";
+
   write_json("BENCH_service.json", workers, pair_length, rows, accepted,
-             rejected, fault_plan_spec, faulty);
+             rejected, fault_plan_spec, faulty, tiers, speedup_4_vs_1);
   std::cout << "\nwrote BENCH_service.json\n";
   return 0;
 }

@@ -72,6 +72,16 @@ auto& lookup(Map& map, std::string_view name, std::mutex& mutex) {
 
 }  // namespace
 
+MetricsRegistry::MetricsRegistry()
+    : start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t MetricsRegistry::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   return lookup(counters_, name, mutex_);
 }
@@ -131,7 +141,11 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
       histograms.emplace_back(name, h.get());
   }
   std::vector<Sample> samples;
-  samples.reserve(counters.size() + gauges.size() + 6 * histograms.size());
+  samples.reserve(1 + counters.size() + gauges.size() +
+                  6 * histograms.size());
+  // Synthetic, always-present, monotonic: survives reset() so a STATS
+  // poller can order snapshots and detect restarts.
+  samples.push_back({"uptime_ms", static_cast<double>(uptime_ms())});
   for (const auto& [name, c] : counters) {
     samples.push_back({name, static_cast<double>(c->value())});
   }

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -96,6 +97,8 @@ class Histogram {
 /// values but keeps the objects (and outstanding references) alive.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
@@ -114,12 +117,21 @@ class MetricsRegistry {
   /// Flat machine-readable snapshot of every instrument, sorted by name
   /// within each kind (counters, then gauges, then histogram expansions).
   /// This is what the alignment service's STATS verb ships over the wire.
+  /// Always includes a synthetic `uptime_ms` sample (see uptime_ms()).
   std::vector<Sample> snapshot() const;
 
-  /// Zeroes every instrument (bench reruns / tests).
+  /// Milliseconds since the registry was constructed, from a steady
+  /// clock. Monotonic across reset(): a router health-checking a backend
+  /// via STATS can tell "freshly restarted" from "counters were zeroed",
+  /// and two consecutive snapshots always order correctly.
+  std::uint64_t uptime_ms() const;
+
+  /// Zeroes every instrument (bench reruns / tests). uptime_ms is
+  /// deliberately not reset.
   void reset();
 
  private:
+  const std::chrono::steady_clock::time_point start_;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

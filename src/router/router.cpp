@@ -1,0 +1,1335 @@
+#include "router/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace router {
+
+using service::AlignBatchRequest;
+using service::AlignBatchResponse;
+using service::AlignRequest;
+using service::ErrorCode;
+using service::ErrorResponse;
+using service::ProtocolError;
+using service::ReadTimeout;
+using service::RefPutRequest;
+using service::RefPutResponse;
+using service::Request;
+using service::Response;
+using service::SearchRequest;
+using service::StatsRequest;
+using service::StatsResponse;
+using service::TransportError;
+
+namespace {
+
+std::uint64_t response_id(const Response& response) {
+  return std::visit([](const auto& r) { return r.request_id; }, response);
+}
+
+void set_response_id(Response& response, std::uint64_t id) {
+  std::visit([id](auto& r) { r.request_id = id; }, response);
+}
+
+std::string encode_response(const Response& response) {
+  return std::visit([](const auto& r) { return service::encode(r); },
+                    response);
+}
+
+std::uint64_t millis_between(std::chrono::steady_clock::time_point from,
+                             std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+          .count());
+}
+
+/// Sleeps up to `total_ms` in small slices, returning early (false) when
+/// `stop` flips — the shutdown-responsive sleep every background thread
+/// of the router uses.
+bool interruptible_sleep(std::uint32_t total_ms,
+                         const std::atomic<bool>& stop) {
+  constexpr std::uint32_t kSliceMs = 20;
+  std::uint32_t slept = 0;
+  while (slept < total_ms) {
+    if (stop.load(std::memory_order_acquire)) return false;
+    const std::uint32_t slice = std::min(kSliceMs, total_ms - slept);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    slept += slice;
+  }
+  return !stop.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+/// Per-client-connection state; same ownership discipline as the server's
+/// Connection (open flipped under write_mutex before any close).
+struct Router::ClientConn {
+  int fd = -1;
+  std::mutex write_mutex;
+  bool open = true;  ///< guarded by write_mutex
+  std::atomic<bool> finished{false};
+  /// Ops admitted from this peer and not yet answered — an idle read
+  /// timeout only hangs up when this is zero.
+  std::atomic<std::size_t> in_flight{0};
+  std::thread handler;
+};
+
+/// One pipelined router->backend connection. The reader thread owns the
+/// fd lifecycle (dial, close, re-dial); writers only ever shutdown() it,
+/// and only under write_mutex, so a recycled descriptor is impossible.
+struct Router::Channel {
+  int fd = -1;             ///< guarded by write_mutex
+  std::mutex write_mutex;
+  std::atomic<bool> open{false};
+  std::thread reader;
+  /// Router ids sent on this channel and not yet answered; on channel
+  /// death every one of them is failed over.
+  std::mutex outstanding_mutex;
+  std::set<std::uint64_t> outstanding;
+};
+
+struct Router::Backend {
+  service::Endpoint endpoint;
+  std::atomic<bool> healthy{true};
+  /// Router-side outstanding ops on this backend.
+  std::atomic<std::int64_t> in_flight{0};
+  /// queue_depth + in_flight gauges from the backend's last STATS answer.
+  std::atomic<double> reported_load{0.0};
+  std::atomic<std::size_t> next_channel{0};
+  service::BoundedQueue<std::uint64_t> outbound;
+  std::vector<std::unique_ptr<Channel>> channels;
+  std::thread flusher;
+
+  Backend(service::Endpoint ep, std::size_t queue_capacity)
+      : endpoint(std::move(ep)), outbound(queue_capacity) {}
+};
+
+/// REF_PUT fan-out aggregate: one per client REF_PUT, shared by its R
+/// replica sub-ops. The last sub-op to report answers the client.
+struct Router::RefPutAgg {
+  std::shared_ptr<ClientConn> client;
+  std::uint64_t client_id = 0;
+  std::uint64_t router_ref_id = 0;
+  std::mutex mutex;
+  std::size_t remaining = 0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> placements;
+  bool have_ok = false;
+  RefPutResponse ok;
+  bool have_err = false;
+  ErrorResponse err;
+};
+
+struct Router::PendingOp {
+  std::uint64_t id = 0;
+  std::shared_ptr<ClientConn> client;
+  std::uint64_t client_id = 0;
+  /// The decoded request with every request_id rewritten to `id`; kept so
+  /// failovers and hedges can re-encode with a fresh deadline budget.
+  Request request;
+  std::chrono::steady_clock::time_point arrival;
+  std::uint32_t deadline_ms = 0;  ///< original client budget (0 = none)
+  std::uint64_t cells = 0;
+  unsigned attempts = 0;  ///< sends so far
+  bool hedged = false;
+  bool batched = false;    ///< currently riding inside a batch envelope
+  bool hedgeable = false;  ///< single ALIGN / SEARCH
+  int first_backend = -1;
+  int last_backend = -1;
+  std::chrono::steady_clock::time_point last_sent;
+  /// Backends allowed to serve this op (empty = any): SEARCH replicas,
+  /// or the single REF_PUT target.
+  std::vector<std::size_t> eligible;
+  /// SEARCH only: this reference's local id on each replica backend.
+  std::vector<std::pair<std::size_t, std::uint64_t>> ref_ids;
+  std::shared_ptr<RefPutAgg> agg;  ///< non-null for REF_PUT sub-ops
+};
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      instruments_{
+          obs::metrics().counter("router.requests"),
+          obs::metrics().counter("router.forwarded"),
+          obs::metrics().counter("router.completed"),
+          obs::metrics().counter("router.rejected.overloaded"),
+          obs::metrics().counter("router.rejected.shutting_down"),
+          obs::metrics().counter("router.rejected.deadline"),
+          obs::metrics().counter("router.bad_requests"),
+          obs::metrics().counter("router.internal_errors"),
+          obs::metrics().counter("router.failovers"),
+          obs::metrics().counter("router.hedge.issued"),
+          obs::metrics().counter("router.hedge.won"),
+          obs::metrics().counter("router.hedge.wasted"),
+          obs::metrics().counter("router.coalesce.batches"),
+          obs::metrics().counter("router.coalesce.jobs"),
+          obs::metrics().counter("router.backend.ejected"),
+          obs::metrics().counter("router.backend.readmitted"),
+          obs::metrics().counter("router.ref_put.degraded"),
+          obs::metrics().counter("router.write_errors"),
+          obs::metrics().gauge("router.pending"),
+          obs::metrics().gauge("router.backends_healthy"),
+          obs::metrics().histogram("router.latency_seconds"),
+      },
+      shard_map_(std::max<std::size_t>(config_.backends.size(), 1),
+                 std::max<std::size_t>(config_.replication, 1)) {
+  FLSA_REQUIRE(!config_.backends.empty());
+  FLSA_REQUIRE(config_.channels_per_backend >= 1);
+  FLSA_REQUIRE(config_.coalesce_max_jobs >= 1);
+  FLSA_REQUIRE(config_.max_attempts >= 1);
+  for (const service::Endpoint& endpoint : config_.backends) {
+    backends_.push_back(std::make_unique<Backend>(
+        endpoint, config_.queue_capacity == 0 ? 1 : config_.queue_capacity));
+  }
+}
+
+Router::~Router() { stop(); }
+
+std::int64_t Router::remaining_deadline_ms(
+    std::uint32_t deadline_ms, std::chrono::steady_clock::time_point arrival,
+    std::chrono::steady_clock::time_point now) {
+  if (deadline_ms == 0) return -1;
+  const std::int64_t elapsed =
+      static_cast<std::int64_t>(millis_between(arrival, now));
+  const std::int64_t remaining =
+      static_cast<std::int64_t>(deadline_ms) - elapsed;
+  return remaining > 0 ? remaining : 0;
+}
+
+std::uint32_t Router::hedge_threshold_ms() const {
+  if (!config_.hedge_enabled) return 0;
+  const obs::Histogram::Snapshot snap = instruments_.latency_seconds.snapshot();
+  if (snap.count < config_.hedge_min_samples) return 0;
+  const double p95_ms = instruments_.latency_seconds.quantile(0.95) * 1000.0;
+  const auto rounded = static_cast<std::uint32_t>(std::lround(
+      std::min(p95_ms, 1e9)));
+  return std::max(config_.hedge_min_ms, rounded);
+}
+
+void Router::start() {
+  FLSA_REQUIRE(!running_.load());
+
+  // Pre-flight: at least one backend must accept a connection, otherwise
+  // the fleet config is wrong and starting a black-hole router helps no
+  // one. Unreachable minorities are tolerated (the prober ejects them).
+  std::size_t reachable = 0;
+  for (const service::Endpoint& endpoint : config_.backends) {
+    try {
+      service::Client probe;
+      probe.connect(endpoint.host, endpoint.port);
+      ++reachable;
+    } catch (const std::exception&) {
+    }
+  }
+  if (reachable == 0) {
+    throw std::runtime_error("no backend reachable (" +
+                             std::to_string(config_.backends.size()) +
+                             " configured)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on " + config_.host + ":" +
+                             std::to_string(config_.port) +
+                             " failed: " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("getsockname failed: ") + what);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (config_.enable_metrics) obs::set_enabled(true);
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  for (std::size_t bi = 0; bi < backends_.size(); ++bi) {
+    Backend& backend = *backends_[bi];
+    backend.channels.reserve(config_.channels_per_backend);
+    for (std::size_t ci = 0; ci < config_.channels_per_backend; ++ci) {
+      backend.channels.push_back(std::make_unique<Channel>());
+    }
+    for (std::size_t ci = 0; ci < config_.channels_per_backend; ++ci) {
+      backend.channels[ci]->reader =
+          std::thread([this, bi, ci] { channel_loop(bi, ci); });
+    }
+    backend.flusher = std::thread([this, bi] { flusher_loop(bi); });
+  }
+  prober_ = std::thread([this] { prober_loop(); });
+  monitor_ = std::thread([this] { monitor_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Router::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop admitting clients.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Bounded drain: give in-flight ops a grace window to complete
+  //    through the backends (the flushers and channels are still up).
+  const auto grace_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.drain_grace_ms);
+  while (std::chrono::steady_clock::now() < grace_deadline) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      if (pending_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // 3. Close the outbound queues; flushers drain what is already queued
+  //    and exit.
+  for (auto& backend : backends_) backend->outbound.close();
+  for (auto& backend : backends_) {
+    if (backend->flusher.joinable()) backend->flusher.join();
+  }
+
+  // 4. Whatever is still pending gets a typed SHUTTING_DOWN — never a
+  //    silent drop.
+  std::vector<std::uint64_t> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    leftovers.reserve(pending_.size());
+    for (const auto& [id, op] : pending_) leftovers.push_back(id);
+  }
+  for (std::uint64_t id : leftovers) {
+    complete_error(id, ErrorCode::kShuttingDown, "router is draining");
+  }
+
+  // 5. Tear down the backend channels and helper threads.
+  for (std::size_t bi = 0; bi < backends_.size(); ++bi) {
+    for (auto& channel : backends_[bi]->channels) {
+      fail_channel(bi, *channel, "router shutdown");
+    }
+  }
+  for (auto& backend : backends_) {
+    for (auto& channel : backend->channels) {
+      if (channel->reader.joinable()) channel->reader.join();
+      std::lock_guard<std::mutex> lock(channel->write_mutex);
+      if (channel->fd >= 0) {
+        ::close(channel->fd);
+        channel->fd = -1;
+      }
+    }
+  }
+  if (prober_.joinable()) prober_.join();
+  if (monitor_.joinable()) monitor_.join();
+
+  // 6. Unblock and reap the client connections.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      if (conn->open) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  reap_connections(/*all=*/true);
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    coalesce_groups_.clear();
+  }
+  instruments_.pending.set(0.0);
+}
+
+// ---- Client side -------------------------------------------------------
+
+void Router::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (draining_.load(std::memory_order_acquire)) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED) {
+        continue;
+      }
+      return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+    if (config_.idle_timeout_ms != 0) {
+      timeval tv{};
+      tv.tv_sec = config_.idle_timeout_ms / 1000;
+      tv.tv_usec =
+          static_cast<suseconds_t>((config_.idle_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+
+    reap_connections(/*all=*/false);
+    if (config_.max_connections != 0 &&
+        live_connections() >= config_.max_connections) {
+      ErrorResponse refusal;
+      refusal.code = ErrorCode::kConnectionLimit;
+      refusal.message = "connection limit of " +
+                        std::to_string(config_.max_connections) + " reached";
+      try {
+        service::write_frame(fd, service::encode(refusal));
+      } catch (const std::exception&) {
+      }
+      ::close(fd);
+      continue;
+    }
+
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+    }
+    conn->handler = std::thread([this, conn] { client_loop(conn); });
+  }
+}
+
+std::size_t Router::live_connections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::size_t live = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->finished.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+void Router::kill_connection(const std::shared_ptr<ClientConn>& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->open) {
+    conn->open = false;
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void Router::reap_connections(bool all) {
+  std::vector<std::shared_ptr<ClientConn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        finished.push_back(*it);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->handler.joinable()) conn->handler.join();
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->open = false;
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+}
+
+void Router::client_loop(std::shared_ptr<ClientConn> conn) {
+  std::string payload;
+  while (true) {
+    try {
+      if (!service::read_frame(conn->fd, &payload, config_.max_frame_bytes)) {
+        break;  // clean EOF
+      }
+    } catch (const ReadTimeout&) {
+      if (conn->in_flight.load(std::memory_order_acquire) > 0) continue;
+      kill_connection(conn);
+      break;
+    } catch (const TransportError&) {
+      kill_connection(conn);
+      break;
+    } catch (const std::exception&) {
+      break;
+    }
+    try {
+      handle_request(conn, service::decode_request(payload));
+    } catch (const ProtocolError& e) {
+      instruments_.bad_requests.add();
+      reject(conn, 0, ErrorCode::kBadRequest, e.what());
+      break;
+    }
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void Router::handle_request(const std::shared_ptr<ClientConn>& conn,
+                            Request request) {
+  if (std::holds_alternative<StatsRequest>(request)) {
+    answer_stats(conn, std::get<StatsRequest>(request));
+    return;
+  }
+  instruments_.requests.add();
+  const std::uint64_t client_id =
+      std::visit([](const auto& r) { return r.request_id; }, request);
+  if (draining_.load(std::memory_order_acquire)) {
+    instruments_.rejected_shutdown.add();
+    reject(conn, client_id, ErrorCode::kShuttingDown, "router is draining");
+    return;
+  }
+
+  if (std::holds_alternative<RefPutRequest>(request)) {
+    route_ref_put(conn, std::move(std::get<RefPutRequest>(request)));
+    return;
+  }
+
+  auto op = std::make_shared<PendingOp>();
+  op->id = next_op_id();
+  op->client = conn;
+  op->client_id = client_id;
+  op->arrival = std::chrono::steady_clock::now();
+
+  if (auto* align = std::get_if<AlignRequest>(&request)) {
+    op->deadline_ms = align->deadline_ms;
+    op->cells = service::estimated_cells(*align);
+    op->hedgeable = true;
+    align->request_id = op->id;
+  } else if (auto* search = std::get_if<SearchRequest>(&request)) {
+    op->deadline_ms = search->deadline_ms;
+    op->cells = service::estimated_cells(*search);
+    op->hedgeable = true;
+    search->request_id = op->id;
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto it = refs_.find(search->ref_id);
+      if (it == refs_.end()) {
+        reject(conn, client_id, ErrorCode::kRefNotFound,
+               "reference id " + std::to_string(search->ref_id) +
+                   " is not registered with the router");
+        return;
+      }
+      op->ref_ids = it->second;
+    }
+    op->eligible.reserve(op->ref_ids.size());
+    for (const auto& [backend, local_id] : op->ref_ids) {
+      op->eligible.push_back(backend);
+    }
+  } else {
+    // A client-built ALIGN_BATCH passes through as one unit: routed
+    // least-loaded, never re-coalesced, never hedged.
+    auto& batch = std::get<AlignBatchRequest>(request);
+    op->cells = service::estimated_cells(batch);
+    batch.request_id = op->id;
+    for (AlignRequest& job : batch.jobs) {
+      if (job.request_id == 0) job.request_id = op->id;
+    }
+  }
+  op->request = std::move(request);
+
+  const int backend = pick_backend(op->eligible, -1);
+  if (backend < 0) {
+    instruments_.rejected_overloaded.add();
+    reject(conn, client_id, ErrorCode::kOverloaded,
+           "no healthy backend available");
+    return;
+  }
+  dispatch(std::move(op), static_cast<std::size_t>(backend));
+}
+
+void Router::route_ref_put(const std::shared_ptr<ClientConn>& conn,
+                           RefPutRequest request) {
+  const std::uint64_t router_ref_id =
+      next_ref_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::size_t> replicas = shard_map_.replicas(router_ref_id);
+
+  auto agg = std::make_shared<RefPutAgg>();
+  agg->client = conn;
+  agg->client_id = request.request_id;
+  agg->router_ref_id = router_ref_id;
+  agg->remaining = replicas.size();
+
+  // One sub-op per replica. REF_PUT is not idempotent (each send would
+  // register a fresh id), so sub-ops are pinned to their backend and
+  // never failed over or hedged; a failed replica just degrades the
+  // replication factor, which the aggregate tolerates as long as one
+  // placement succeeded.
+  for (const std::size_t backend : replicas) {
+    auto op = std::make_shared<PendingOp>();
+    op->id = next_op_id();
+    op->client = conn;
+    op->client_id = request.request_id;
+    op->arrival = std::chrono::steady_clock::now();
+    op->agg = agg;
+    op->eligible = {backend};
+    RefPutRequest copy = request;
+    copy.request_id = op->id;
+    op->request = std::move(copy);
+    dispatch(std::move(op), backend);
+  }
+}
+
+void Router::answer_stats(const std::shared_ptr<ClientConn>& conn,
+                          const StatsRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    instruments_.pending.set(static_cast<double>(pending_.size()));
+  }
+  std::size_t healthy = 0;
+  for (const auto& backend : backends_) {
+    if (backend->healthy.load(std::memory_order_acquire)) ++healthy;
+  }
+  instruments_.backends_healthy.set(static_cast<double>(healthy));
+  StatsResponse response;
+  response.request_id = request.request_id;
+  for (const obs::MetricsRegistry::Sample& sample :
+       obs::metrics().snapshot()) {
+    response.entries.emplace_back(sample.name, sample.value);
+  }
+  respond(conn, service::encode(response));
+}
+
+bool Router::respond(const std::shared_ptr<ClientConn>& conn,
+                     const std::string& payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open) return false;
+  try {
+    return service::write_frame(conn->fd, payload);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void Router::reject(const std::shared_ptr<ClientConn>& conn,
+                    std::uint64_t request_id, ErrorCode code,
+                    const std::string& message) {
+  ErrorResponse response;
+  response.request_id = request_id;
+  response.code = code;
+  response.message = message;
+  if (!respond(conn, service::encode(response))) {
+    instruments_.write_errors.add();
+  }
+}
+
+// ---- Routing / dispatch ------------------------------------------------
+
+int Router::pick_backend(const std::vector<std::size_t>& eligible,
+                         int exclude) {
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  const auto consider = [&](std::size_t index) {
+    const Backend& backend = *backends_[index];
+    if (!backend.healthy.load(std::memory_order_acquire)) return;
+    if (static_cast<int>(index) == exclude) return;
+    const double score =
+        static_cast<double>(backend.in_flight.load(std::memory_order_acquire)) +
+        backend.reported_load.load(std::memory_order_acquire);
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<int>(index);
+    }
+  };
+  if (eligible.empty()) {
+    for (std::size_t i = 0; i < backends_.size(); ++i) consider(i);
+  } else {
+    for (const std::size_t i : eligible) consider(i);
+  }
+  if (best < 0 && exclude >= 0) {
+    // Last resort: the excluded backend, if it is healthy and eligible —
+    // retrying the same backend beats answering with an error.
+    const auto index = static_cast<std::size_t>(exclude);
+    const bool is_eligible =
+        eligible.empty() ||
+        std::find(eligible.begin(), eligible.end(), index) != eligible.end();
+    if (is_eligible &&
+        backends_[index]->healthy.load(std::memory_order_acquire)) {
+      best = exclude;
+    }
+  }
+  return best;
+}
+
+void Router::dispatch(std::shared_ptr<PendingOp> op, std::size_t backend) {
+  const std::uint64_t id = op->id;
+  const auto client = op->client;
+  const std::uint64_t client_id = op->client_id;
+  const auto agg = op->agg;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(id, std::move(op));
+    instruments_.pending.set(static_cast<double>(pending_.size()));
+  }
+  client->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  switch (backends_[backend]->outbound.try_push(id)) {
+    case service::BoundedQueue<std::uint64_t>::Push::kAccepted:
+      return;
+    case service::BoundedQueue<std::uint64_t>::Push::kFull:
+      instruments_.rejected_overloaded.add();
+      complete_error(id, ErrorCode::kOverloaded,
+                     "backend queue full (" +
+                         std::to_string(backends_[backend]->outbound.capacity()) +
+                         " entries)");
+      return;
+    case service::BoundedQueue<std::uint64_t>::Push::kClosed:
+      instruments_.rejected_shutdown.add();
+      complete_error(id, ErrorCode::kShuttingDown, "router is draining");
+      return;
+  }
+  (void)client_id;
+  (void)agg;
+}
+
+// ---- Backend flusher (coalescing) --------------------------------------
+
+void Router::flusher_loop(std::size_t backend_index) {
+  Backend& backend = *backends_[backend_index];
+  while (auto first = backend.outbound.pop()) {
+    std::vector<std::uint64_t> group;
+    group.push_back(*first);
+    // Admission-time coalescing: whatever else is already waiting in this
+    // backend's queue is folded into the same flush (bounded), so one
+    // write carries many small jobs and one backend worker runs them back
+    // to back on a warm Aligner.
+    while (group.size() < config_.coalesce_max_jobs) {
+      auto more = backend.outbound.try_pop();
+      if (!more) break;
+      group.push_back(*more);
+    }
+
+    // Classify under the pending lock; build every frame there too (the
+    // ops' deadline fields are rewritten with their remaining budgets).
+    struct Frame {
+      std::string payload;
+      std::vector<std::uint64_t> ids;
+      /// Nonzero for a coalesced batch: the throwaway envelope id its
+      /// coalesce_groups_ entry is registered under.
+      std::uint64_t envelope = 0;
+    };
+    std::vector<Frame> frames;
+    std::vector<std::uint64_t> expired;
+    std::vector<AlignRequest> batch_jobs;
+    std::vector<std::uint64_t> batch_ids;
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      for (const std::uint64_t id : group) {
+        const auto it = pending_.find(id);
+        if (it == pending_.end()) continue;  // already answered elsewhere
+        PendingOp& op = *it->second;
+        const std::int64_t budget =
+            remaining_deadline_ms(op.deadline_ms, op.arrival, now);
+        if (budget == 0) {
+          expired.push_back(id);
+          continue;
+        }
+        op.attempts += 1;
+        op.last_sent = now;
+        op.last_backend = static_cast<int>(backend_index);
+        if (op.first_backend < 0) {
+          op.first_backend = static_cast<int>(backend_index);
+        }
+        forwarded_count_.fetch_add(1, std::memory_order_relaxed);
+        instruments_.forwarded.add();
+
+        if (auto* align = std::get_if<AlignRequest>(&op.request)) {
+          AlignRequest job = *align;
+          if (budget > 0) job.deadline_ms = static_cast<std::uint32_t>(budget);
+          const bool coalescible = config_.coalesce_max_jobs > 1 &&
+                                   !op.hedged &&
+                                   op.cells <= config_.coalesce_max_cells;
+          if (coalescible) {
+            op.batched = true;
+            batch_jobs.push_back(std::move(job));
+            batch_ids.push_back(id);
+          } else {
+            frames.push_back({service::encode(job), {id}});
+          }
+        } else if (auto* search = std::get_if<SearchRequest>(&op.request)) {
+          SearchRequest job = *search;
+          if (budget > 0) job.deadline_ms = static_cast<std::uint32_t>(budget);
+          // Rewrite to this backend's local reference id.
+          for (const auto& [be, local_id] : op.ref_ids) {
+            if (be == backend_index) {
+              job.ref_id = local_id;
+              break;
+            }
+          }
+          frames.push_back({service::encode(job), {id}});
+        } else if (auto* ref_put = std::get_if<RefPutRequest>(&op.request)) {
+          frames.push_back({service::encode(*ref_put), {id}});
+        } else {
+          auto& batch = std::get<AlignBatchRequest>(op.request);
+          frames.push_back({service::encode(batch), {id}});
+        }
+      }
+      if (batch_ids.size() == 1) {
+        // A lone coalescible job travels as a plain ALIGN.
+        pending_.at(batch_ids.front())->batched = false;
+        frames.push_back(
+            {service::encode(batch_jobs.front()), {batch_ids.front()}});
+        batch_jobs.clear();
+        batch_ids.clear();
+      } else if (!batch_ids.empty()) {
+        AlignBatchRequest envelope;
+        envelope.request_id = next_op_id();  // not a pending op: the items
+                                             // carry the real router ids
+        envelope.jobs = std::move(batch_jobs);
+        instruments_.coalesced_batches.add();
+        instruments_.coalesced_jobs.add(batch_ids.size());
+        {
+          // Registered before the send so a whole-frame admission error
+          // (a plain ERROR naming the envelope id) can find its members.
+          std::lock_guard<std::mutex> coalesce_lock(coalesce_mutex_);
+          coalesce_groups_.emplace(envelope.request_id, batch_ids);
+        }
+        frames.push_back(
+            {service::encode(envelope), batch_ids, envelope.request_id});
+      }
+    }
+
+    for (const std::uint64_t id : expired) {
+      instruments_.rejected_deadline.add();
+      complete_error(id, ErrorCode::kDeadlineExceeded,
+                     "deadline budget exhausted before forwarding");
+    }
+    for (Frame& frame : frames) {
+      if (!send_on_backend(backend_index, frame.payload, frame.ids)) {
+        if (frame.envelope != 0) {
+          std::lock_guard<std::mutex> coalesce_lock(coalesce_mutex_);
+          coalesce_groups_.erase(frame.envelope);
+        }
+        for (const std::uint64_t id : frame.ids) {
+          fail_over(id, "backend " + backend.endpoint.host + ":" +
+                            std::to_string(backend.endpoint.port) +
+                            " unreachable");
+        }
+      }
+    }
+  }
+}
+
+bool Router::send_on_backend(std::size_t backend_index,
+                             const std::string& payload,
+                             const std::vector<std::uint64_t>& ids) {
+  Backend& backend = *backends_[backend_index];
+  const std::size_t channels = backend.channels.size();
+  for (std::size_t attempt = 0; attempt < channels; ++attempt) {
+    const std::size_t ci =
+        backend.next_channel.fetch_add(1, std::memory_order_relaxed) %
+        channels;
+    Channel& channel = *backend.channels[ci];
+    bool wrote = false;
+    bool died = false;
+    {
+      std::lock_guard<std::mutex> lock(channel.write_mutex);
+      if (!channel.open.load(std::memory_order_acquire)) continue;
+      {
+        // Outstanding before the write: a response cannot overtake its
+        // own registration.
+        std::lock_guard<std::mutex> out_lock(channel.outstanding_mutex);
+        for (const std::uint64_t id : ids) channel.outstanding.insert(id);
+      }
+      backend.in_flight.fetch_add(static_cast<std::int64_t>(ids.size()),
+                                  std::memory_order_acq_rel);
+      try {
+        wrote = service::write_frame(channel.fd, payload);
+      } catch (const std::exception&) {
+        wrote = false;
+      }
+      if (!wrote) {
+        std::lock_guard<std::mutex> out_lock(channel.outstanding_mutex);
+        for (const std::uint64_t id : ids) channel.outstanding.erase(id);
+        backend.in_flight.fetch_sub(static_cast<std::int64_t>(ids.size()),
+                                    std::memory_order_acq_rel);
+        died = true;
+      }
+    }
+    if (wrote) return true;
+    if (died) fail_channel(backend_index, channel, "write failed");
+  }
+  return false;
+}
+
+// ---- Backend channels --------------------------------------------------
+
+void Router::channel_loop(std::size_t backend_index,
+                          std::size_t channel_index) {
+  Backend& backend = *backends_[backend_index];
+  Channel& channel = *backend.channels[channel_index];
+  while (!draining_.load(std::memory_order_acquire)) {
+    if (!channel.open.load(std::memory_order_acquire)) {
+      // (Re)dial. The reader owns the fd: nobody else ever closes it.
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      bool connected = false;
+      if (fd >= 0) {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(backend.endpoint.port);
+        if (::inet_pton(AF_INET, backend.endpoint.host.c_str(),
+                        &addr.sin_addr) == 1 &&
+            ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          connected = true;
+        }
+      }
+      if (!connected) {
+        if (fd >= 0) ::close(fd);
+        if (!interruptible_sleep(config_.health_interval_ms, draining_)) {
+          return;
+        }
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(channel.write_mutex);
+        if (channel.fd >= 0) ::close(channel.fd);
+        channel.fd = fd;
+        channel.open.store(true, std::memory_order_release);
+      }
+    }
+
+    std::string payload;
+    try {
+      while (service::read_frame(channel.fd, &payload)) {
+        Response response = service::decode_response(payload);
+        if (auto* batch = std::get_if<AlignBatchResponse>(&response)) {
+          // Two batch shapes come back here. A client-built pass-through
+          // batch was sent under its op's own id (outstanding holds the
+          // envelope id; the items carry the client's job ids) and
+          // completes as one unit. A router-coalesced batch used a
+          // throwaway envelope id — the *items* echo the member ops'
+          // router ids and demux individually.
+          bool pass_through = false;
+          {
+            std::lock_guard<std::mutex> lock(channel.outstanding_mutex);
+            if (channel.outstanding.erase(batch->request_id) != 0) {
+              backend.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+              pass_through = true;
+            }
+          }
+          if (pass_through) {
+            const std::uint64_t id = batch->request_id;
+            complete(id, std::move(response),
+                     static_cast<int>(backend_index));
+          } else {
+            {
+              std::lock_guard<std::mutex> lock(coalesce_mutex_);
+              coalesce_groups_.erase(batch->request_id);
+            }
+            for (service::BatchItem& item : batch->items) {
+              const std::uint64_t sub_id = std::visit(
+                  [](const auto& r) { return r.request_id; }, item);
+              {
+                std::lock_guard<std::mutex> lock(channel.outstanding_mutex);
+                if (channel.outstanding.erase(sub_id) != 0) {
+                  backend.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+                }
+              }
+              std::visit(
+                  [&](auto& r) {
+                    complete(sub_id, Response(std::move(r)),
+                             static_cast<int>(backend_index));
+                  },
+                  item);
+            }
+          }
+        } else {
+          const std::uint64_t id = response_id(response);
+          std::vector<std::uint64_t> members;
+          {
+            std::lock_guard<std::mutex> lock(coalesce_mutex_);
+            const auto group = coalesce_groups_.find(id);
+            if (group != coalesce_groups_.end()) {
+              members = std::move(group->second);
+              coalesce_groups_.erase(group);
+            }
+          }
+          if (!members.empty()) {
+            // The backend refused the whole coalesced frame at admission
+            // (OVERLOADED, SHUTTING_DOWN, BAD_REQUEST...) — none of the
+            // member jobs ran. Answer each through the normal completion
+            // path, which re-fires retryable rejections on another
+            // backend instead of bouncing them to clients.
+            const auto* error = std::get_if<ErrorResponse>(&response);
+            for (const std::uint64_t member : members) {
+              {
+                std::lock_guard<std::mutex> lock(channel.outstanding_mutex);
+                if (channel.outstanding.erase(member) != 0) {
+                  backend.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+                }
+              }
+              ErrorResponse item;
+              item.request_id = member;
+              item.code = error ? error->code : ErrorCode::kInternal;
+              item.message = error ? error->message
+                                   : "coalesced batch answered with an "
+                                     "unexpected verb";
+              complete(member, Response(std::move(item)),
+                       static_cast<int>(backend_index));
+            }
+            continue;
+          }
+          {
+            std::lock_guard<std::mutex> lock(channel.outstanding_mutex);
+            if (channel.outstanding.erase(id) != 0) {
+              backend.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            }
+          }
+          complete(id, std::move(response),
+                   static_cast<int>(backend_index));
+        }
+      }
+      fail_channel(backend_index, channel, "backend closed the connection");
+    } catch (const std::exception& e) {
+      // TransportError (reset, mid-frame EOF) or ProtocolError (corrupt
+      // frame — the stream position is unrecoverable): either way this
+      // channel is done; outstanding ops fail over.
+      fail_channel(backend_index, channel, e.what());
+    }
+  }
+}
+
+void Router::fail_channel(std::size_t backend_index, Channel& channel,
+                          const char* why) {
+  {
+    std::lock_guard<std::mutex> lock(channel.write_mutex);
+    if (!channel.open.load(std::memory_order_acquire)) return;
+    channel.open.store(false, std::memory_order_release);
+    ::shutdown(channel.fd, SHUT_RDWR);
+  }
+  std::vector<std::uint64_t> orphans;
+  {
+    std::lock_guard<std::mutex> lock(channel.outstanding_mutex);
+    orphans.assign(channel.outstanding.begin(), channel.outstanding.end());
+    channel.outstanding.clear();
+  }
+  Backend& backend = *backends_[backend_index];
+  backend.in_flight.fetch_sub(static_cast<std::int64_t>(orphans.size()),
+                              std::memory_order_acq_rel);
+  if (!orphans.empty()) {
+    // A coalesced frame travels on exactly one channel, so a group with
+    // any member orphaned here died with this channel — drop its entry
+    // (the members themselves fail over individually below).
+    const std::set<std::uint64_t> swept(orphans.begin(), orphans.end());
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    for (auto it = coalesce_groups_.begin(); it != coalesce_groups_.end();) {
+      const bool hit = std::any_of(
+          it->second.begin(), it->second.end(),
+          [&](std::uint64_t member) { return swept.count(member) != 0; });
+      it = hit ? coalesce_groups_.erase(it) : std::next(it);
+    }
+  }
+  const std::string reason =
+      "backend " + backend.endpoint.host + ":" +
+      std::to_string(backend.endpoint.port) + " channel failed: " + why;
+  for (const std::uint64_t id : orphans) fail_over(id, reason);
+}
+
+void Router::fail_over(std::uint64_t id, const std::string& why) {
+  int target = -1;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // hedge winner already answered
+    PendingOp& op = *it->second;
+    // REF_PUT sub-ops never retarget: the send may have executed, and a
+    // second send would register a second reference id.
+    if (!op.agg && !draining_.load(std::memory_order_acquire) &&
+        op.attempts < config_.max_attempts) {
+      const std::int64_t budget = remaining_deadline_ms(
+          op.deadline_ms, op.arrival, std::chrono::steady_clock::now());
+      if (budget != 0) {
+        target = pick_backend(op.eligible, op.last_backend);
+      }
+    }
+    if (target >= 0) op.batched = false;  // resent as a single
+  }
+  if (target >= 0) {
+    instruments_.failovers.add();
+    if (backends_[static_cast<std::size_t>(target)]->outbound.try_push(id) ==
+        service::BoundedQueue<std::uint64_t>::Push::kAccepted) {
+      return;
+    }
+    // Fall through: the failover target is saturated or closed.
+  }
+  complete_error(id, ErrorCode::kInternal, why);
+}
+
+// ---- Completion --------------------------------------------------------
+
+void Router::complete(std::uint64_t id, Response response, int from_backend) {
+  std::shared_ptr<PendingOp> op;
+  int refire_target = -1;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // hedge loser / late duplicate
+    op = it->second;
+    // A retryable typed error (OVERLOADED, SHUTTING_DOWN, CONNECTION_
+    // LIMIT) from a backend means the job was never executed there —
+    // fail it over instead of bouncing the rejection to the client.
+    const auto* error = std::get_if<ErrorResponse>(&response);
+    if (error != nullptr && service::is_retryable(error->code) &&
+        from_backend >= 0 && !op->agg &&
+        !draining_.load(std::memory_order_acquire) &&
+        op->attempts < config_.max_attempts) {
+      const std::int64_t budget = remaining_deadline_ms(
+          op->deadline_ms, op->arrival, std::chrono::steady_clock::now());
+      if (budget != 0) {
+        refire_target = pick_backend(op->eligible, from_backend);
+      }
+      if (refire_target >= 0) op->batched = false;
+    }
+    if (refire_target < 0) {
+      pending_.erase(it);
+      instruments_.pending.set(static_cast<double>(pending_.size()));
+    }
+  }
+
+  if (refire_target >= 0) {
+    instruments_.failovers.add();
+    if (backends_[static_cast<std::size_t>(refire_target)]
+            ->outbound.try_push(id) ==
+        service::BoundedQueue<std::uint64_t>::Push::kAccepted) {
+      return;
+    }
+    complete_error(id, ErrorCode::kOverloaded,
+                   "failover target queue full");
+    return;
+  }
+
+  op->client->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  if (op->agg) {
+    complete_ref_put(op, std::move(response));
+    return;
+  }
+  if (op->hedged && from_backend >= 0) {
+    if (from_backend == op->first_backend) {
+      instruments_.hedges_wasted.add();
+    } else {
+      instruments_.hedges_won.add();
+    }
+  }
+  if (from_backend >= 0) {
+    instruments_.latency_seconds.observe(
+        static_cast<double>(millis_between(
+            op->arrival, std::chrono::steady_clock::now())) *
+        1e-3);
+  }
+  instruments_.completed.add();
+  set_response_id(response, op->client_id);
+  if (!respond(op->client, encode_response(response))) {
+    instruments_.write_errors.add();
+  }
+}
+
+void Router::complete_error(std::uint64_t id, ErrorCode code,
+                            const std::string& message) {
+  std::shared_ptr<PendingOp> op;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    op = it->second;
+    pending_.erase(it);
+    instruments_.pending.set(static_cast<double>(pending_.size()));
+  }
+  op->client->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  ErrorResponse response;
+  response.request_id = op->client_id;
+  response.code = code;
+  response.message = message;
+  if (op->agg) {
+    complete_ref_put(op, Response(std::move(response)));
+    return;
+  }
+  if (code == ErrorCode::kInternal) instruments_.internal_errors.add();
+  instruments_.completed.add();
+  if (!respond(op->client, service::encode(response))) {
+    instruments_.write_errors.add();
+  }
+}
+
+void Router::complete_ref_put(const std::shared_ptr<PendingOp>& op,
+                              Response response) {
+  const std::shared_ptr<RefPutAgg>& agg = op->agg;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(agg->mutex);
+    if (const auto* ok = std::get_if<RefPutResponse>(&response)) {
+      agg->placements.emplace_back(op->eligible.front(), ok->ref_id);
+      if (!agg->have_ok) {
+        agg->have_ok = true;
+        agg->ok = *ok;
+      }
+    } else if (const auto* error = std::get_if<ErrorResponse>(&response)) {
+      if (!agg->have_err) {
+        agg->have_err = true;
+        agg->err = *error;
+      }
+    }
+    last = (--agg->remaining == 0);
+  }
+  if (!last) return;
+
+  if (agg->have_ok) {
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      refs_[agg->router_ref_id] = agg->placements;
+    }
+    if (agg->have_err) instruments_.ref_put_degraded.add();
+    RefPutResponse out = agg->ok;
+    out.request_id = agg->client_id;
+    out.ref_id = agg->router_ref_id;  // clients only ever see router ids
+    instruments_.completed.add();
+    if (!respond(agg->client, service::encode(out))) {
+      instruments_.write_errors.add();
+    }
+  } else {
+    ErrorResponse out = agg->err;
+    out.request_id = agg->client_id;
+    instruments_.completed.add();
+    if (!respond(agg->client, service::encode(out))) {
+      instruments_.write_errors.add();
+    }
+  }
+}
+
+// ---- Health prober -----------------------------------------------------
+
+void Router::prober_loop() {
+  std::vector<service::Client> probers(backends_.size());
+  while (!draining_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      Backend& backend = *backends_[i];
+      try {
+        if (!probers[i].connected()) {
+          probers[i].connect(backend.endpoint.host, backend.endpoint.port);
+        }
+        Response response = probers[i].call(StatsRequest{});
+        if (const auto* stats = std::get_if<StatsResponse>(&response)) {
+          double load = 0.0;
+          for (const auto& [name, value] : stats->entries) {
+            if (name == "service.queue_depth" || name == "service.in_flight") {
+              load += value;
+            }
+          }
+          backend.reported_load.store(load, std::memory_order_release);
+          if (!backend.healthy.exchange(true, std::memory_order_acq_rel)) {
+            instruments_.backend_readmitted.add();
+          }
+        }
+      } catch (const std::exception&) {
+        probers[i].close();
+        backend.reported_load.store(0.0, std::memory_order_release);
+        if (backend.healthy.exchange(false, std::memory_order_acq_rel)) {
+          instruments_.backend_ejected.add();
+        }
+      }
+    }
+    std::size_t healthy = 0;
+    for (const auto& backend : backends_) {
+      if (backend->healthy.load(std::memory_order_acquire)) ++healthy;
+    }
+    instruments_.backends_healthy.set(static_cast<double>(healthy));
+    if (!interruptible_sleep(config_.health_interval_ms, draining_)) return;
+  }
+}
+
+// ---- Hedge / deadline monitor ------------------------------------------
+
+void Router::monitor_loop() {
+  while (interruptible_sleep(config_.hedge_tick_ms, draining_)) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint32_t threshold = hedge_threshold_ms();
+    std::vector<std::uint64_t> expired;
+    std::vector<std::pair<std::uint64_t, int>> hedges;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      for (const auto& [id, op] : pending_) {
+        if (op->deadline_ms != 0 &&
+            remaining_deadline_ms(op->deadline_ms, op->arrival, now) == 0) {
+          expired.push_back(id);
+          continue;
+        }
+        if (threshold == 0 || !op->hedgeable || op->hedged || op->batched ||
+            op->attempts == 0) {
+          continue;
+        }
+        if (millis_between(op->last_sent, now) < threshold) continue;
+        // Budget: the hedged fraction of forwarded traffic stays under
+        // hedge_budget_percent (with a burst allowance of one), exactly
+        // the retry-budget discipline — an overloaded fleet slows down,
+        // p95 rises, and the budget stops hedges from piling on.
+        const std::uint64_t forwarded =
+            forwarded_count_.load(std::memory_order_relaxed);
+        const std::uint64_t hedged =
+            hedge_count_.load(std::memory_order_relaxed);
+        if (hedged * 100 >=
+            static_cast<std::uint64_t>(config_.hedge_budget_percent) *
+                    forwarded +
+                100) {
+          continue;
+        }
+        const int target = pick_backend(op->eligible, op->last_backend);
+        if (target < 0) continue;
+        op->hedged = true;
+        hedge_count_.fetch_add(1, std::memory_order_relaxed);
+        hedges.emplace_back(id, target);
+      }
+    }
+    for (const std::uint64_t id : expired) {
+      instruments_.rejected_deadline.add();
+      complete_error(id, ErrorCode::kDeadlineExceeded,
+                     "deadline expired while waiting for a backend");
+    }
+    for (const auto& [id, target] : hedges) {
+      instruments_.hedges_issued.add();
+      // Push failure leaves the op pending; the original send, a later
+      // failover, or the deadline sweep still resolves it.
+      (void)backends_[static_cast<std::size_t>(target)]->outbound.try_push(
+          id);
+    }
+  }
+}
+
+}  // namespace router
+}  // namespace flsa

@@ -1,0 +1,295 @@
+// The front tier: a router that speaks the existing wire protocol to
+// clients and multiplexes onto a fleet of flsa_serve backends.
+//
+// Request flow
+// ------------
+//   client conn threads  read frames, decode, assign a router-wide id,
+//                        register a PendingOp, and push the id onto the
+//                        chosen backend's outbound queue
+//   backend flushers     one per backend: pop ids, coalesce small queued
+//                        ALIGNs into one ALIGN_BATCH frame, and write on a
+//                        pipelined channel
+//   channel readers      one per backend connection: read responses,
+//                        demux batch items, complete PendingOps (write the
+//                        answer to the origin client with the original
+//                        request_id restored)
+//   health prober        polls every backend with STATS; ejects/readmits
+//                        and feeds queue-depth/in-flight gauges into
+//                        least-loaded routing
+//   hedge monitor        re-issues slow singles to a second replica after
+//                        a p95-tracked threshold, bounded by a hedge
+//                        budget; also expires ops whose deadline is gone
+//
+// Routing
+// -------
+//   ALIGN        least-loaded healthy backend (router in-flight + the
+//                backend's reported queue_depth/in_flight)
+//   SEARCH       the replicas holding the reference (rendezvous placement
+//                from REF_PUT), least-loaded among them; the ref id is
+//                rewritten per backend (each backend assigned its own)
+//   REF_PUT      fanned out to R rendezvous-chosen replicas; >= 1 success
+//                installs the mapping and answers success (degraded
+//                replication is accepted and counted)
+//   STATS        answered locally from the router's own registry
+//
+// Deadlines: the router re-computes the remaining budget (original
+// deadline minus time since arrival) at every (re)send and answers
+// DEADLINE_EXCEEDED locally once it is gone — a request never reaches a
+// backend with a budget it cannot meet.
+//
+// Failure handling: a dead channel or a retryable typed error fails the
+// op over to another healthy backend (bounded attempts); non-retryable
+// errors are forwarded as-is. Batched jobs fail over individually as
+// singles. REF_PUT never fails over (re-sending after an ambiguous
+// failure could register twice).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "router/shard_map.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+
+namespace flsa {
+namespace router {
+
+struct RouterConfig {
+  /// Listen address of the router itself.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 binds an ephemeral port
+  /// The backend fleet (flsa_serve instances). At least one required.
+  std::vector<service::Endpoint> backends;
+  /// REF_PUT replication factor: each reference lives on min(R, backends)
+  /// backends, placed by rendezvous hashing.
+  std::size_t replication = 1;
+  /// Pipelined connections per backend.
+  std::size_t channels_per_backend = 2;
+  /// Per-backend outbound queue capacity (admission control: a full queue
+  /// answers OVERLOADED locally).
+  std::size_t queue_capacity = 256;
+  /// Frame ceiling for client reads.
+  std::size_t max_frame_bytes = service::kMaxFrameBytes;
+  /// Concurrent client connection cap (0 = unlimited).
+  std::size_t max_connections = 256;
+  /// Per-recv deadline on client sockets, ms (0 disables).
+  std::uint32_t idle_timeout_ms = 60000;
+  int backlog = 128;
+  /// Arm the obs registry on start().
+  bool enable_metrics = true;
+
+  // ---- Coalescing ------------------------------------------------------
+  /// Most jobs folded into one ALIGN_BATCH frame (1 disables coalescing).
+  std::size_t coalesce_max_jobs = 8;
+  /// Only ALIGNs at most this many DPM cells are coalesced — a big job
+  /// gains nothing from amortization and would delay its batch mates.
+  std::uint64_t coalesce_max_cells = std::uint64_t{1} << 20;
+
+  // ---- Hedging ---------------------------------------------------------
+  bool hedge_enabled = true;
+  /// Floor of the hedge threshold, ms.
+  std::uint32_t hedge_min_ms = 20;
+  /// Completed ops needed before the p95 estimate is trusted; until then
+  /// no hedges are issued.
+  std::uint64_t hedge_min_samples = 50;
+  /// Hedge monitor tick, ms.
+  std::uint32_t hedge_tick_ms = 5;
+  /// Budget: hedges issued may not exceed this percentage of forwarded
+  /// ops (plus a burst of 1) — the retry-budget discipline applied to
+  /// hedging, so hedges cannot melt an overloaded fleet.
+  std::uint32_t hedge_budget_percent = 10;
+
+  // ---- Failover / health ----------------------------------------------
+  /// Total sends per op (first try + failovers).
+  unsigned max_attempts = 3;
+  /// STATS health-check period, ms.
+  std::uint32_t health_interval_ms = 200;
+  /// stop() waits this long for in-flight ops before answering the rest
+  /// with SHUTTING_DOWN, ms.
+  std::uint32_t drain_grace_ms = 5000;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();  ///< stops (drains) if still running
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Connects the backend pool, binds the listen socket, and spawns all
+  /// threads. Throws std::runtime_error when no backend is reachable or
+  /// the socket setup fails.
+  void start();
+
+  /// Graceful drain: stops admission, waits (bounded) for in-flight ops,
+  /// answers stragglers with SHUTTING_DOWN, tears everything down.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const RouterConfig& config() const { return config_; }
+
+  /// Remaining deadline budget in ms at `now` for an op that arrived at
+  /// `arrival` with `deadline_ms` (0 = no deadline -> returns -1; fully
+  /// spent -> returns 0). Pure — unit-tested directly.
+  static std::int64_t remaining_deadline_ms(
+      std::uint32_t deadline_ms,
+      std::chrono::steady_clock::time_point arrival,
+      std::chrono::steady_clock::time_point now);
+
+ private:
+  struct ClientConn;
+  struct Channel;
+  struct Backend;
+  struct RefPutAgg;
+  struct PendingOp;
+
+  void accept_loop();
+  void client_loop(std::shared_ptr<ClientConn> conn);
+  void handle_request(const std::shared_ptr<ClientConn>& conn,
+                      service::Request request);
+  void route_ref_put(const std::shared_ptr<ClientConn>& conn,
+                     service::RefPutRequest request);
+  void answer_stats(const std::shared_ptr<ClientConn>& conn,
+                    const service::StatsRequest& request);
+
+  void flusher_loop(std::size_t backend_index);
+  void channel_loop(std::size_t backend_index, std::size_t channel_index);
+  void prober_loop();
+  void monitor_loop();
+
+  /// Least-loaded healthy backend among `eligible` (all when empty);
+  /// `exclude` (when >= 0) is skipped unless it is the only choice.
+  /// Returns -1 when no healthy backend qualifies.
+  int pick_backend(const std::vector<std::size_t>& eligible, int exclude);
+
+  /// Registers the op and pushes it onto `backend`'s outbound queue;
+  /// answers OVERLOADED locally when that queue is full.
+  void dispatch(std::shared_ptr<PendingOp> op, std::size_t backend);
+
+  /// Sends one encoded frame on an open channel of `backend`, recording
+  /// `ids` as outstanding there first. Returns false when no channel
+  /// could be used (the backend is then marked unhealthy).
+  bool send_on_backend(std::size_t backend, const std::string& payload,
+                       const std::vector<std::uint64_t>& ids);
+
+  /// Channel death: mark it closed, collect its outstanding ids, and
+  /// fail each over (or answer the client when attempts are exhausted).
+  void fail_channel(std::size_t backend_index, Channel& channel,
+                    const char* why);
+  void fail_over(std::uint64_t id, const std::string& why);
+
+  /// Completes op `id` with a backend response (or drops it when the op
+  /// is no longer pending — a hedge loser). `from_backend` attributes
+  /// hedge wins/waste; -1 for locally generated completions.
+  void complete(std::uint64_t id, service::Response response,
+                int from_backend);
+  /// Local typed completion (deadline gone, no healthy backend, ...).
+  void complete_error(std::uint64_t id, service::ErrorCode code,
+                      const std::string& message);
+  /// REF_PUT sub-op completion: folds into the aggregate and answers the
+  /// client when the last replica reports.
+  void complete_ref_put(const std::shared_ptr<PendingOp>& op,
+                        service::Response response);
+
+  /// Writes a response payload to an origin client (connection-locked).
+  bool respond(const std::shared_ptr<ClientConn>& conn,
+               const std::string& payload);
+  void reject(const std::shared_ptr<ClientConn>& conn,
+              std::uint64_t request_id, service::ErrorCode code,
+              const std::string& message);
+
+  /// Current hedge threshold in ms, or 0 when hedging must not fire yet
+  /// (disabled, or not enough latency samples).
+  std::uint32_t hedge_threshold_ms() const;
+
+  std::uint64_t next_op_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t live_connections();
+  void reap_connections(bool all);
+  void kill_connection(const std::shared_ptr<ClientConn>& conn);
+
+  struct Instruments {
+    obs::Counter& requests;
+    obs::Counter& forwarded;
+    obs::Counter& completed;
+    obs::Counter& rejected_overloaded;
+    obs::Counter& rejected_shutdown;
+    obs::Counter& rejected_deadline;
+    obs::Counter& bad_requests;
+    obs::Counter& internal_errors;
+    obs::Counter& failovers;
+    obs::Counter& hedges_issued;
+    obs::Counter& hedges_won;
+    obs::Counter& hedges_wasted;
+    obs::Counter& coalesced_batches;
+    obs::Counter& coalesced_jobs;
+    obs::Counter& backend_ejected;
+    obs::Counter& backend_readmitted;
+    obs::Counter& ref_put_degraded;
+    obs::Counter& write_errors;
+    obs::Gauge& pending;
+    obs::Gauge& backends_healthy;
+    obs::Histogram& latency_seconds;
+  };
+
+  RouterConfig config_;
+  Instruments instruments_;
+  ShardMap shard_map_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> forwarded_count_{0};
+  std::atomic<std::uint64_t> hedge_count_{0};
+
+  /// Pending ops by router id. One mutex guards the map and every op's
+  /// mutable fields — routing decisions are tiny compared to DP work, so
+  /// contention is not the bottleneck at this tier's scale.
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<PendingOp>> pending_;
+
+  /// In-flight coalesced batches: throwaway envelope id -> member router
+  /// ids. Normally the envelope's ALIGN_BATCH_OK items demux the members
+  /// and the entry dies with it — but a backend may refuse the *whole*
+  /// frame at admission (OVERLOADED, SHUTTING_DOWN, BAD_REQUEST) with a
+  /// plain ERROR naming the envelope id, and this map is how that error
+  /// finds the member ops to answer (or re-fire) instead of orphaning
+  /// them until the channel dies.
+  std::mutex coalesce_mutex_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> coalesce_groups_;
+
+  /// router ref id -> per-backend placements (backend index, local id).
+  std::mutex refs_mutex_;
+  std::map<std::uint64_t, std::vector<std::pair<std::size_t, std::uint64_t>>>
+      refs_;
+  std::atomic<std::uint64_t> next_ref_id_{1};
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  std::thread acceptor_;
+  std::thread prober_;
+  std::thread monitor_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<ClientConn>> connections_;
+};
+
+}  // namespace router
+}  // namespace flsa

@@ -1,0 +1,65 @@
+#include "router/shard_map.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace flsa {
+namespace router {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, so consecutive
+/// reference ids land on unrelated backends.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::size_t backends, std::size_t replication)
+    : backends_(backends), replication_(std::min(replication, backends)) {
+  FLSA_REQUIRE(backends >= 1);
+  FLSA_REQUIRE(replication >= 1);
+}
+
+std::uint64_t ShardMap::weight(std::uint64_t key, std::size_t backend) {
+  // Double mix keeps the (key, backend) pairing from factoring apart:
+  // mix(key ^ mix(backend)) differs in every bit when either input moves.
+  return mix64(key ^ mix64(static_cast<std::uint64_t>(backend)));
+}
+
+std::vector<std::size_t> ShardMap::replicas(std::uint64_t key) const {
+  std::vector<std::size_t> order(backends_);
+  for (std::size_t i = 0; i < backends_; ++i) order[i] = i;
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(replication_),
+                    order.end(),
+                    [key](std::size_t a, std::size_t b) {
+                      const std::uint64_t wa = weight(key, a);
+                      const std::uint64_t wb = weight(key, b);
+                      // Tie-break on index for a total order.
+                      return wa != wb ? wa > wb : a < b;
+                    });
+  order.resize(replication_);
+  return order;
+}
+
+std::size_t ShardMap::primary(std::uint64_t key) const {
+  std::size_t best = 0;
+  std::uint64_t best_weight = weight(key, 0);
+  for (std::size_t i = 1; i < backends_; ++i) {
+    const std::uint64_t w = weight(key, i);
+    if (w > best_weight) {
+      best = i;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace router
+}  // namespace flsa

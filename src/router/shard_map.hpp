@@ -1,0 +1,49 @@
+// Rendezvous (highest-random-weight) shard map.
+//
+// For a key (a reference id), every backend is scored with a mix of
+// (key, backend index) and the R highest scores own the key. Properties
+// the router leans on:
+//   * deterministic — every router instance with the same backend count
+//     computes the same placement, no coordination or state exchange;
+//   * minimal disruption — adding/removing one backend only moves the
+//     keys that backend won, unlike modular hashing which reshuffles
+//     nearly everything;
+//   * ranked replicas — the score order gives a stable preference list,
+//     so "primary" and "fallback" are well-defined per key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flsa {
+namespace router {
+
+class ShardMap {
+ public:
+  /// `backends` slots, each key owned by min(replication, backends) of
+  /// them. Requires backends >= 1 and replication >= 1.
+  ShardMap(std::size_t backends, std::size_t replication);
+
+  std::size_t backends() const { return backends_; }
+  std::size_t replication() const { return replication_; }
+
+  /// The backends owning `key`, best score first. Size is
+  /// min(replication, backends); deterministic for a given (key,
+  /// backends) pair.
+  std::vector<std::size_t> replicas(std::uint64_t key) const;
+
+  /// replicas(key).front() without building the vector.
+  std::size_t primary(std::uint64_t key) const;
+
+  /// The rendezvous weight of one (key, backend) pair — exposed for
+  /// tests asserting placement stability.
+  static std::uint64_t weight(std::uint64_t key, std::size_t backend);
+
+ private:
+  std::size_t backends_;
+  std::size_t replication_;
+};
+
+}  // namespace router
+}  // namespace flsa

@@ -61,21 +61,21 @@ Client::~Client() { close(); }
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       last_id_(std::exchange(other.last_id_, 0)),
-      host_(std::move(other.host_)),
-      port_(std::exchange(other.port_, 0)) {}
+      endpoints_(std::move(other.endpoints_)),
+      cursor_(std::exchange(other.cursor_, 0)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     last_id_ = std::exchange(other.last_id_, 0);
-    host_ = std::move(other.host_);
-    port_ = std::exchange(other.port_, 0);
+    endpoints_ = std::move(other.endpoints_);
+    cursor_ = std::exchange(other.cursor_, 0);
   }
   return *this;
 }
 
-void Client::connect(const std::string& host, std::uint16_t port) {
+void Client::dial(const std::string& host, std::uint16_t port) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -98,8 +98,37 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  host_ = host;
-  port_ = port;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  connect(std::vector<Endpoint>{{host, port}});
+}
+
+void Client::connect(std::vector<Endpoint> endpoints) {
+  FLSA_REQUIRE(!endpoints.empty());
+  endpoints_ = std::move(endpoints);
+  cursor_ = 0;
+  reconnect();
+}
+
+void Client::reconnect() {
+  FLSA_REQUIRE(!endpoints_.empty());
+  std::exception_ptr last_error;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::size_t index = (cursor_ + i) % endpoints_.size();
+    try {
+      dial(endpoints_[index].host, endpoints_[index].port);
+      cursor_ = index;
+      return;
+    } catch (const TransportError&) {
+      last_error = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last_error);
+}
+
+void Client::advance_endpoint() {
+  if (endpoints_.size() > 1) cursor_ = (cursor_ + 1) % endpoints_.size();
 }
 
 void Client::close() {
@@ -134,6 +163,10 @@ std::uint64_t Client::send(RefPutRequest request) {
 }
 
 std::uint64_t Client::send(SearchRequest request) {
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(AlignBatchRequest request) {
   return send_impl(std::move(request));
 }
 
@@ -179,9 +212,13 @@ Response Client::call(SearchRequest request) {
   return wait_for(send(std::move(request)));
 }
 
+Response Client::call(AlignBatchRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
 template <typename RequestT>
 Response Client::retry_impl(RequestT request, const RetryPolicy& policy) {
-  FLSA_REQUIRE(!host_.empty());  // connect() must have been called once
+  FLSA_REQUIRE(!endpoints_.empty());  // connect() must have been called once
   if (request.request_id == 0) request.request_id = next_id();
 
   RetryInstruments& instruments = RetryInstruments::get();
@@ -219,7 +256,7 @@ Response Client::retry_impl(RequestT request, const RetryPolicy& policy) {
     try {
       if (!connected()) {
         if (attempt > 0) instruments.reconnects.add();
-        connect(host_, port_);
+        reconnect();
       }
       Response response = call(request);
       const auto* error = std::get_if<ErrorResponse>(&response);
@@ -227,7 +264,14 @@ Response Client::retry_impl(RequestT request, const RetryPolicy& policy) {
         // A connection-scoped refusal (CONNECTION_LIMIT echoes id 0) is
         // followed by the server closing the socket; re-dial eagerly
         // instead of burning the next attempt on a dead connection.
+        // With alternatives available, any transient rejection also
+        // rotates the cursor: a server answering OVERLOADED stays
+        // overloaded for a while, so the next attempt goes elsewhere.
         if (error->request_id == 0) close();
+        if (endpoints_.size() > 1) {
+          close();
+          advance_endpoint();
+        }
         have_rejection = true;
         last_rejection = std::move(response);
         continue;
@@ -236,11 +280,14 @@ Response Client::retry_impl(RequestT request, const RetryPolicy& policy) {
       return response;
     } catch (const TransportError&) {
       // The request never completed on this connection; dropping the
-      // socket and re-dialling is idempotent-safe. ProtocolError (a
+      // socket and re-dialling is idempotent-safe (and the next attempt
+      // starts at the next endpoint of a multi-address list — the one
+      // that just died is the worst candidate). ProtocolError (a
       // delivered-but-malformed frame) deliberately propagates: the
       // stream consumed an answer we cannot interpret.
       last_transport_error = std::current_exception();
       close();
+      advance_endpoint();
     }
   }
 

@@ -11,11 +11,19 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "service/protocol.hpp"
 
 namespace flsa {
 namespace service {
+
+/// One dialable server address. Clients hold a list of these; the router
+/// and the retry loop rotate through it on failure.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
 
 /// Retry/backoff schedule for call_with_retry(). The sleep before
 /// attempt n+1 is drawn uniformly from [base_delay, 3 * previous_sleep]
@@ -51,6 +59,21 @@ class Client {
   /// TransportError on socket-level failures, std::runtime_error on a
   /// malformed address.
   void connect(const std::string& host, std::uint16_t port);
+
+  /// Connects to the first reachable endpoint of the list, trying them in
+  /// order; the whole list is remembered, and later reconnects (the retry
+  /// loop, explicit reconnect()) resume from the current cursor so a dead
+  /// address is skipped instead of re-dialled forever. Throws the last
+  /// TransportError when every endpoint refused.
+  void connect(std::vector<Endpoint> endpoints);
+
+  /// Re-dials starting at the current endpoint, rotating through the list
+  /// until one accepts. Requires a previous connect().
+  void reconnect();
+
+  /// The endpoint the current/most recent connection used.
+  const Endpoint& current_endpoint() const { return endpoints_[cursor_]; }
+
   bool connected() const { return fd_ >= 0; }
   void close();
 
@@ -61,6 +84,7 @@ class Client {
   std::uint64_t send(StatsRequest request);
   std::uint64_t send(RefPutRequest request);
   std::uint64_t send(SearchRequest request);
+  std::uint64_t send(AlignBatchRequest request);
 
   /// Blocks for the next response frame (any request id). Throws
   /// ProtocolError on malformed frames, TransportError when the server
@@ -74,11 +98,15 @@ class Client {
   Response call(StatsRequest request);
   Response call(RefPutRequest request);
   Response call(SearchRequest request);
+  Response call(AlignBatchRequest request);
 
-  /// call() plus retry: reconnects (to the host:port of the last
-  /// connect()) and resends after TransportErrors and after the typed
-  /// transient rejections of is_retryable() — all idempotent-safe, the
-  /// request was never executed. Returns the first success or
+  /// call() plus retry: reconnects and resends after TransportErrors and
+  /// after the typed transient rejections of is_retryable() — all
+  /// idempotent-safe, the request was never executed. With a multi-
+  /// endpoint connect(), every retryable failure advances the endpoint
+  /// cursor first, so attempt n+1 dials the *next* address instead of
+  /// hammering the one that just failed (single-endpoint clients keep the
+  /// old re-dial-same-address behaviour). Returns the first success or
   /// non-retryable response; when every attempt failed, returns the last
   /// typed rejection, or rethrows the last TransportError if no typed
   /// answer was ever received. Per-attempt metrics land in the obs
@@ -93,6 +121,10 @@ class Client {
  private:
   std::uint64_t next_id();
   Response wait_for(std::uint64_t request_id);
+  /// Raw socket dial of one address; no endpoint-list bookkeeping.
+  void dial(const std::string& host, std::uint16_t port);
+  /// Rotates the cursor to the next endpoint (no-op for a single one).
+  void advance_endpoint();
   template <typename RequestT>
   std::uint64_t send_impl(RequestT request);
   template <typename RequestT>
@@ -100,8 +132,8 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t last_id_ = 0;
-  std::string host_;
-  std::uint16_t port_ = 0;
+  std::vector<Endpoint> endpoints_;
+  std::size_t cursor_ = 0;
 };
 
 }  // namespace service

@@ -100,6 +100,8 @@ class Reader {
     }
   }
 
+  std::size_t remaining() const { return data_.size() - pos_; }
+
  private:
   void need(std::size_t n) const {
     if (data_.size() - pos_ < n) throw ProtocolError("truncated payload");
@@ -135,6 +137,79 @@ ErrorCode read_error_code(Reader& r) {
   return static_cast<ErrorCode>(raw);
 }
 
+// ---- Shared body codecs ----------------------------------------------
+// The ALIGN job / answer / error bodies appear both as whole payloads and
+// as batch elements, so they are encoded and decoded by one helper each.
+
+void write_align_body(Writer& w, const AlignRequest& request) {
+  w.u64(request.request_id);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.i32(request.gap_open);
+  w.i32(request.gap_extend);
+  w.u32(request.k);
+  w.u64(request.base_case_cells);
+  w.u32(request.deadline_ms);
+  w.u8(request.score_only ? 1 : 0);
+  w.str(request.a);
+  w.str(request.b);
+}
+
+AlignRequest read_align_body(Reader& r) {
+  AlignRequest req;
+  req.request_id = r.u64();
+  req.matrix = read_matrix(r);
+  req.gap_open = r.i32();
+  req.gap_extend = r.i32();
+  req.k = r.u32();
+  req.base_case_cells = r.u64();
+  req.deadline_ms = r.u32();
+  req.score_only = r.u8() != 0;
+  req.a = r.str();
+  req.b = r.str();
+  return req;
+}
+
+/// Smallest possible encoded AlignRequest body (empty sequences) — the
+/// sanity bound a batch decoder applies to its count field so a hostile
+/// count cannot drive a huge up-front reservation.
+constexpr std::size_t kMinAlignBodyBytes = 8 + 1 + 4 + 4 + 4 + 8 + 4 + 1 + 4 + 4;
+
+void write_align_ok_body(Writer& w, const AlignResponse& response) {
+  w.u64(response.request_id);
+  w.i64(response.score);
+  w.str(response.cigar);
+  w.u64(response.cells);
+  w.u64(response.queue_micros);
+  w.u64(response.exec_micros);
+  w.i64(response.deadline_remaining_ms);
+}
+
+AlignResponse read_align_ok_body(Reader& r) {
+  AlignResponse res;
+  res.request_id = r.u64();
+  res.score = r.i64();
+  res.cigar = r.str();
+  res.cells = r.u64();
+  res.queue_micros = r.u64();
+  res.exec_micros = r.u64();
+  res.deadline_remaining_ms = r.i64();
+  return res;
+}
+
+void write_error_body(Writer& w, const ErrorResponse& response) {
+  w.u64(response.request_id);
+  w.u8(static_cast<std::uint8_t>(response.code));
+  w.str(response.message);
+}
+
+ErrorResponse read_error_body(Reader& r) {
+  ErrorResponse res;
+  res.request_id = r.u64();
+  res.code = read_error_code(r);
+  res.message = r.str();
+  return res;
+}
+
 }  // namespace
 
 const char* to_string(Verb verb) {
@@ -143,11 +218,13 @@ const char* to_string(Verb verb) {
     case Verb::kStats: return "STATS";
     case Verb::kRefPut: return "REF_PUT";
     case Verb::kSearch: return "SEARCH";
+    case Verb::kAlignBatch: return "ALIGN_BATCH";
     case Verb::kAlignOk: return "ALIGN_OK";
     case Verb::kError: return "ERROR";
     case Verb::kStatsOk: return "STATS_OK";
     case Verb::kRefPutOk: return "REF_PUT_OK";
     case Verb::kSearchOk: return "SEARCH_OK";
+    case Verb::kAlignBatchOk: return "ALIGN_BATCH_OK";
   }
   return "?";
 }
@@ -207,16 +284,15 @@ bool parse_wire_matrix(std::string_view name, WireMatrix* out) {
 
 std::string encode(const AlignRequest& request) {
   Writer w(Verb::kAlign);
+  write_align_body(w, request);
+  return w.take();
+}
+
+std::string encode(const AlignBatchRequest& request) {
+  Writer w(Verb::kAlignBatch);
   w.u64(request.request_id);
-  w.u8(static_cast<std::uint8_t>(request.matrix));
-  w.i32(request.gap_open);
-  w.i32(request.gap_extend);
-  w.u32(request.k);
-  w.u64(request.base_case_cells);
-  w.u32(request.deadline_ms);
-  w.u8(request.score_only ? 1 : 0);
-  w.str(request.a);
-  w.str(request.b);
+  w.u32(static_cast<std::uint32_t>(request.jobs.size()));
+  for (const AlignRequest& job : request.jobs) write_align_body(w, job);
   return w.take();
 }
 
@@ -257,21 +333,29 @@ std::string encode(const SearchRequest& request) {
 
 std::string encode(const AlignResponse& response) {
   Writer w(Verb::kAlignOk);
-  w.u64(response.request_id);
-  w.i64(response.score);
-  w.str(response.cigar);
-  w.u64(response.cells);
-  w.u64(response.queue_micros);
-  w.u64(response.exec_micros);
-  w.i64(response.deadline_remaining_ms);
+  write_align_ok_body(w, response);
   return w.take();
 }
 
 std::string encode(const ErrorResponse& response) {
   Writer w(Verb::kError);
+  write_error_body(w, response);
+  return w.take();
+}
+
+std::string encode(const AlignBatchResponse& response) {
+  Writer w(Verb::kAlignBatchOk);
   w.u64(response.request_id);
-  w.u8(static_cast<std::uint8_t>(response.code));
-  w.str(response.message);
+  w.u32(static_cast<std::uint32_t>(response.items.size()));
+  for (const BatchItem& item : response.items) {
+    if (const auto* ok = std::get_if<AlignResponse>(&item)) {
+      w.u8(0);
+      write_align_ok_body(w, *ok);
+    } else {
+      w.u8(1);
+      write_error_body(w, std::get<ErrorResponse>(item));
+    }
+  }
   return w.take();
 }
 
@@ -321,17 +405,21 @@ Request decode_request(std::string_view payload) {
   const Verb verb = read_header(r);
   switch (verb) {
     case Verb::kAlign: {
-      AlignRequest req;
+      AlignRequest req = read_align_body(r);
+      r.finish();
+      return req;
+    }
+    case Verb::kAlignBatch: {
+      AlignBatchRequest req;
       req.request_id = r.u64();
-      req.matrix = read_matrix(r);
-      req.gap_open = r.i32();
-      req.gap_extend = r.i32();
-      req.k = r.u32();
-      req.base_case_cells = r.u64();
-      req.deadline_ms = r.u32();
-      req.score_only = r.u8() != 0;
-      req.a = r.str();
-      req.b = r.str();
+      const std::uint32_t count = r.u32();
+      if (count > r.remaining() / kMinAlignBodyBytes) {
+        throw ProtocolError("batch job count exceeds the payload size");
+      }
+      req.jobs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        req.jobs.push_back(read_align_body(r));
+      }
       r.finish();
       return req;
     }
@@ -381,22 +469,35 @@ Response decode_response(std::string_view payload) {
   const Verb verb = read_header(r);
   switch (verb) {
     case Verb::kAlignOk: {
-      AlignResponse res;
-      res.request_id = r.u64();
-      res.score = r.i64();
-      res.cigar = r.str();
-      res.cells = r.u64();
-      res.queue_micros = r.u64();
-      res.exec_micros = r.u64();
-      res.deadline_remaining_ms = r.i64();
+      AlignResponse res = read_align_ok_body(r);
       r.finish();
       return res;
     }
     case Verb::kError: {
-      ErrorResponse res;
+      ErrorResponse res = read_error_body(r);
+      r.finish();
+      return res;
+    }
+    case Verb::kAlignBatchOk: {
+      AlignBatchResponse res;
       res.request_id = r.u64();
-      res.code = read_error_code(r);
-      res.message = r.str();
+      const std::uint32_t count = r.u32();
+      // Smallest item: 1 tag byte + an error body with an empty message.
+      if (count > r.remaining() / (1 + 8 + 1 + 4)) {
+        throw ProtocolError("batch item count exceeds the payload size");
+      }
+      res.items.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t tag = r.u8();
+        if (tag == 0) {
+          res.items.emplace_back(read_align_ok_body(r));
+        } else if (tag == 1) {
+          res.items.emplace_back(read_error_body(r));
+        } else {
+          throw ProtocolError("unknown batch item tag " +
+                              std::to_string(tag));
+        }
+      }
       r.finish();
       return res;
     }
@@ -460,6 +561,12 @@ std::uint64_t estimated_cells(const AlignRequest& request) {
 std::uint64_t estimated_cells(const SearchRequest& request) {
   const std::uint64_t q = request.query.size() + 1;
   return q * q;
+}
+
+std::uint64_t estimated_cells(const AlignBatchRequest& request) {
+  std::uint64_t total = 0;
+  for (const AlignRequest& job : request.jobs) total += estimated_cells(job);
+  return total;
 }
 
 std::string frame_bytes(std::string_view payload) {

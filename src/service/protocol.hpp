@@ -15,6 +15,11 @@
 //   REF_PUT -> REF_PUT_OK | ERROR  register a reference; returns its id
 //   SEARCH  -> SEARCH_OK | ERROR   chained search of a query against a
 //                                  registered reference (by id)
+//   ALIGN_BATCH -> ALIGN_BATCH_OK | ERROR
+//                                  several ALIGN jobs in one frame; one
+//                                  worker executes them back to back on
+//                                  its persistent Aligner (the router's
+//                                  admission-time coalescing target)
 //
 // Responses carry the request_id of the request they answer, so clients
 // may pipeline: with a shared worker pool, responses on one connection can
@@ -51,11 +56,13 @@ enum class Verb : std::uint8_t {
   kStats = 0x02,
   kRefPut = 0x03,
   kSearch = 0x04,
+  kAlignBatch = 0x05,
   kAlignOk = 0x81,
   kError = 0x82,
   kStatsOk = 0x83,
   kRefPutOk = 0x84,
   kSearchOk = 0x85,
+  kAlignBatchOk = 0x86,
 };
 
 /// Substitution matrix selector (the server owns the tables; the wire
@@ -117,6 +124,18 @@ struct AlignRequest {
   /// Residue letters of the two sequences (alphabet follows the matrix).
   std::string a;
   std::string b;
+};
+
+/// Several independent ALIGN jobs folded into one frame. One worker pops
+/// the whole batch and runs the jobs back to back on its persistent
+/// Aligner, so the workspace-reuse amortization the daemon gets from a
+/// warm worker also applies *across* small requests — this is the frame
+/// the router's admission-time coalescer emits. Each job keeps its own
+/// request_id; the response echoes them job by job, so a multiplexer can
+/// demux per-job answers to different origin clients.
+struct AlignBatchRequest {
+  std::uint64_t request_id = 0;  ///< envelope id (answers the batch frame)
+  std::vector<AlignRequest> jobs;
 };
 
 /// Registry snapshot request.
@@ -221,10 +240,22 @@ struct SearchResponse {
   std::int64_t deadline_remaining_ms = -1;
 };
 
-using Request =
-    std::variant<AlignRequest, StatsRequest, RefPutRequest, SearchRequest>;
-using Response = std::variant<AlignResponse, ErrorResponse, StatsResponse,
-                              RefPutResponse, SearchResponse>;
+/// One per-job outcome inside an ALIGN_BATCH_OK frame: the job either
+/// succeeded (AlignResponse) or failed with a typed error — a bad job
+/// never poisons its batch mates.
+using BatchItem = std::variant<AlignResponse, ErrorResponse>;
+
+/// Batch answer: items in job order, each echoing its job's request_id.
+struct AlignBatchResponse {
+  std::uint64_t request_id = 0;
+  std::vector<BatchItem> items;
+};
+
+using Request = std::variant<AlignRequest, StatsRequest, RefPutRequest,
+                             SearchRequest, AlignBatchRequest>;
+using Response =
+    std::variant<AlignResponse, ErrorResponse, StatsResponse, RefPutResponse,
+                 SearchResponse, AlignBatchResponse>;
 
 /// Thrown by decoders on malformed payloads (truncation, trailing bytes,
 /// unknown version/verb, length overflow).
@@ -262,11 +293,13 @@ std::string encode(const AlignRequest& request);
 std::string encode(const StatsRequest& request);
 std::string encode(const RefPutRequest& request);
 std::string encode(const SearchRequest& request);
+std::string encode(const AlignBatchRequest& request);
 std::string encode(const AlignResponse& response);
 std::string encode(const ErrorResponse& response);
 std::string encode(const StatsResponse& response);
 std::string encode(const RefPutResponse& response);
 std::string encode(const SearchResponse& response);
+std::string encode(const AlignBatchResponse& response);
 
 /// Payload decoders; throw ProtocolError on malformed input.
 Request decode_request(std::string_view payload);
@@ -281,6 +314,11 @@ std::uint64_t estimated_cells(const AlignRequest& request);
 /// search normally does far less work, so this is a conservative bound
 /// in the same currency as the ALIGN budget.
 std::uint64_t estimated_cells(const SearchRequest& request);
+
+/// Batch admission estimate: the sum over the jobs — a batch occupies one
+/// worker for the total of its jobs' work, so it is budgeted like one
+/// request of that size.
+std::uint64_t estimated_cells(const AlignBatchRequest& request);
 
 // ---- Framed transport over a connected socket ------------------------
 

@@ -103,8 +103,12 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
           obs::metrics().counter("search.ref_not_found"),
           obs::metrics().counter("search.ref_puts"),
           obs::metrics().counter("search.ref_residues"),
+          obs::metrics().counter("service.batch.requests"),
+          obs::metrics().counter("service.batch.jobs"),
           obs::metrics().gauge("search.refs"),
           obs::metrics().gauge("service.queue_depth"),
+          obs::metrics().gauge("service.in_flight"),
+          obs::metrics().gauge("service.uptime_ms"),
           obs::metrics().histogram("service.queue_seconds"),
           obs::metrics().histogram("service.exec_seconds"),
           obs::metrics().histogram("search.exec_seconds"),
@@ -161,6 +165,7 @@ void AlignmentServer::start() {
 
   if (config_.enable_metrics) obs::set_enabled(true);
 
+  started_at_ = std::chrono::steady_clock::now();
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
 
@@ -202,6 +207,7 @@ void AlignmentServer::stop() {
   }
   reap_connections(/*all=*/true);
   instruments_.queue_depth.set(0.0);
+  instruments_.in_flight.set(0.0);
 }
 
 void AlignmentServer::accept_loop() {
@@ -380,6 +386,21 @@ void AlignmentServer::handle_request(
     instruments_.search_requests.add();
     request_id = search->request_id;
     cells = estimated_cells(*search);
+  } else if (const auto* batch = std::get_if<AlignBatchRequest>(&request)) {
+    // A coalesced frame is one queue entry but counts every job in the
+    // request counter — throughput accounting must not depend on whether
+    // the router folded the jobs or pipelined them singly.
+    instruments_.requests.add(batch->jobs.size());
+    instruments_.batch_requests.add();
+    instruments_.batch_jobs.add(batch->jobs.size());
+    request_id = batch->request_id;
+    cells = estimated_cells(*batch);
+    if (batch->jobs.empty()) {
+      instruments_.bad_requests.add();
+      reject(connection, request_id, ErrorCode::kBadRequest,
+             "batch contains no jobs");
+      return;
+    }
   } else {
     const auto& ref_put = std::get<RefPutRequest>(request);
     instruments_.requests.add();
@@ -439,6 +460,8 @@ void AlignmentServer::enqueue(const std::shared_ptr<Connection>& connection,
   switch (queue_.try_push(std::move(job))) {
     case BoundedQueue<Job>::Push::kAccepted:
       instruments_.queue_depth.set(static_cast<double>(queue_.size()));
+      instruments_.in_flight.set(static_cast<double>(
+          jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1));
       break;
     case BoundedQueue<Job>::Push::kFull:
       connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
@@ -476,7 +499,10 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
         [&](const auto& work) {
           using T = std::decay_t<decltype(work)>;
           request_id = work.request_id;
-          if constexpr (!std::is_same_v<T, RefPutRequest>) {
+          // REF_PUT carries no deadline; a batch envelope has none either
+          // (each coalesced job enforces its own inside run_align).
+          if constexpr (std::is_same_v<T, AlignRequest> ||
+                        std::is_same_v<T, SearchRequest>) {
             deadline_ms = work.deadline_ms;
           }
         },
@@ -489,12 +515,16 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
                  std::to_string(micros_between(job->enqueued, now) / 1000) +
                  " ms, deadline " + std::to_string(deadline_ms) + " ms");
       job->connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      instruments_.in_flight.set(static_cast<double>(
+          jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1));
       continue;
     }
     execute(aligner, *job);
     // Decremented only after the answer is written (or provably dropped):
     // an idle-deadline hangup can then never race a pending response.
     job->connection->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    instruments_.in_flight.set(static_cast<double>(
+        jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1));
   }
 }
 
@@ -504,6 +534,8 @@ void AlignmentServer::execute(Aligner& aligner, Job& job) {
         using T = std::decay_t<decltype(work)>;
         if constexpr (std::is_same_v<T, AlignRequest>) {
           execute_align(aligner, job, work);
+        } else if constexpr (std::is_same_v<T, AlignBatchRequest>) {
+          execute_align_batch(aligner, job, work);
         } else if constexpr (std::is_same_v<T, RefPutRequest>) {
           execute_ref_put(job, work);
         } else {
@@ -513,9 +545,25 @@ void AlignmentServer::execute(Aligner& aligner, Job& job) {
       job.work);
 }
 
-void AlignmentServer::execute_align(Aligner& aligner, Job& job,
-                                    const AlignRequest& request) {
+BatchItem AlignmentServer::run_align(
+    Aligner& aligner, std::chrono::steady_clock::time_point enqueued,
+    const AlignRequest& request) {
   const auto started = std::chrono::steady_clock::now();
+  // Per-job deadline pre-check against the shared enqueue timestamp: in a
+  // coalesced batch the earlier jobs consume wall clock before this one
+  // starts, so each job re-validates its own budget before burning cells.
+  if (request.deadline_ms != 0 &&
+      started - enqueued >= std::chrono::milliseconds(request.deadline_ms)) {
+    instruments_.rejected_deadline.add();
+    ErrorResponse error;
+    error.request_id = request.request_id;
+    error.code = ErrorCode::kDeadlineExceeded;
+    error.message =
+        "queued for " +
+        std::to_string(micros_between(enqueued, started) / 1000) +
+        " ms, deadline " + std::to_string(request.deadline_ms) + " ms";
+    return error;
+  }
   try {
     if (request.gap_open > 0 || request.gap_extend > 0) {
       throw std::invalid_argument("gap penalties must be <= 0");
@@ -536,7 +584,8 @@ void AlignmentServer::execute_align(Aligner& aligner, Job& job,
     }
     validate(options.fastlsa);
     // The worker's persistent workspace: this is the whole point of the
-    // daemon shape — buffers stay warm across requests.
+    // daemon shape — buffers stay warm across requests (and across every
+    // job of a coalesced batch, which is what coalescing amortizes).
     options.fastlsa.workspace = &aligner.workspace();
 
     const Alignment alignment = flsa::align(a, b, scheme, options);
@@ -549,14 +598,15 @@ void AlignmentServer::execute_align(Aligner& aligner, Job& job,
     std::int64_t deadline_remaining_ms = -1;
     if (request.deadline_ms != 0) {
       const auto deadline =
-          job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+          enqueued + std::chrono::milliseconds(request.deadline_ms);
       if (done >= deadline) {
         instruments_.rejected_deadline.add();
-        reject(job.connection, request.request_id,
-               ErrorCode::kDeadlineExceeded,
-               "deadline of " + std::to_string(request.deadline_ms) +
-                   " ms expired during execution; result discarded");
-        return;
+        ErrorResponse error;
+        error.request_id = request.request_id;
+        error.code = ErrorCode::kDeadlineExceeded;
+        error.message = "deadline of " + std::to_string(request.deadline_ms) +
+                        " ms expired during execution; result discarded";
+        return error;
       }
       deadline_remaining_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
@@ -571,7 +621,7 @@ void AlignmentServer::execute_align(Aligner& aligner, Job& job,
     // The same (m+1)(n+1) DPM-cell quantity the admission budget uses —
     // STATS/bench numbers and max_request_cells agree at the boundary.
     response.cells = estimated_cells(request);
-    response.queue_micros = micros_between(job.enqueued, started);
+    response.queue_micros = micros_between(enqueued, started);
     response.exec_micros = micros_between(started, done);
     response.deadline_remaining_ms = deadline_remaining_ms;
 
@@ -581,17 +631,48 @@ void AlignmentServer::execute_align(Aligner& aligner, Job& job,
         static_cast<double>(response.queue_micros) * 1e-6);
     instruments_.exec_seconds.observe(
         static_cast<double>(response.exec_micros) * 1e-6);
-    if (!respond(job.connection, encode(response))) {
-      instruments_.write_errors.add();
-    }
+    return response;
   } catch (const std::invalid_argument& e) {
     instruments_.bad_requests.add();
-    reject(job.connection, request.request_id, ErrorCode::kBadRequest,
-           e.what());
+    ErrorResponse error;
+    error.request_id = request.request_id;
+    error.code = ErrorCode::kBadRequest;
+    error.message = e.what();
+    return error;
   } catch (const std::exception& e) {
     instruments_.internal_errors.add();
-    reject(job.connection, request.request_id, ErrorCode::kInternal,
-           e.what());
+    ErrorResponse error;
+    error.request_id = request.request_id;
+    error.code = ErrorCode::kInternal;
+    error.message = e.what();
+    return error;
+  }
+}
+
+void AlignmentServer::execute_align(Aligner& aligner, Job& job,
+                                    const AlignRequest& request) {
+  const BatchItem item = run_align(aligner, job.enqueued, request);
+  const std::string payload =
+      std::visit([](const auto& response) { return encode(response); }, item);
+  if (!respond(job.connection, payload)) {
+    instruments_.write_errors.add();
+  }
+}
+
+void AlignmentServer::execute_align_batch(Aligner& aligner, Job& job,
+                                          const AlignBatchRequest& request) {
+  AlignBatchResponse response;
+  response.request_id = request.request_id;
+  response.items.reserve(request.jobs.size());
+  // Sequential on this worker's Aligner by design: the batch exists so
+  // the persistent workspace is reused job-to-job with no queue hops or
+  // frame parsing in between. Per-job outcomes are independent — one bad
+  // job yields one error item, never poisons its neighbours.
+  for (const AlignRequest& item : request.jobs) {
+    response.items.push_back(run_align(aligner, job.enqueued, item));
+  }
+  if (!respond(job.connection, encode(response))) {
+    instruments_.write_errors.add();
   }
 }
 
@@ -756,7 +837,15 @@ void AlignmentServer::execute_search(Job& job, const SearchRequest& request) {
 void AlignmentServer::answer_stats(
     const std::shared_ptr<Connection>& connection,
     const StatsRequest& request) {
+  // Refresh the router-facing load gauges at the sample point so a STATS
+  // poll always sees current depth/in-flight, not the last transition.
   instruments_.queue_depth.set(static_cast<double>(queue_.size()));
+  instruments_.in_flight.set(
+      static_cast<double>(jobs_in_flight_.load(std::memory_order_acquire)));
+  instruments_.uptime_ms.set(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count()));
   StatsResponse response;
   response.request_id = request.request_id;
   for (const obs::MetricsRegistry::Sample& sample :

@@ -136,8 +136,11 @@ class AlignmentServer {
  private:
   struct Connection;
   /// Work the worker pool executes. REF_PUT rides the same queue as the
-  /// DP verbs so index builds obey admission control and drain ordering.
-  using Work = std::variant<AlignRequest, RefPutRequest, SearchRequest>;
+  /// DP verbs so index builds obey admission control and drain ordering;
+  /// ALIGN_BATCH runs all jobs on one worker's Aligner so the coalesced
+  /// frame amortizes workspace reuse (the router's coalescing contract).
+  using Work = std::variant<AlignRequest, RefPutRequest, SearchRequest,
+                            AlignBatchRequest>;
   struct Job {
     std::shared_ptr<Connection> connection;
     Work work;
@@ -165,7 +168,15 @@ class AlignmentServer {
   void enqueue(const std::shared_ptr<Connection>& connection,
                std::uint64_t request_id, Work work);
   void execute(Aligner& aligner, Job& job);
+  /// Runs one ALIGN job (deadline pre-check, align, deadline re-check)
+  /// and returns the per-job outcome without writing to the wire — the
+  /// shared core of execute_align and execute_align_batch.
+  BatchItem run_align(Aligner& aligner,
+                      std::chrono::steady_clock::time_point enqueued,
+                      const AlignRequest& request);
   void execute_align(Aligner& aligner, Job& job, const AlignRequest& request);
+  void execute_align_batch(Aligner& aligner, Job& job,
+                           const AlignBatchRequest& request);
   void execute_ref_put(Job& job, const RefPutRequest& request);
   void execute_search(Job& job, const SearchRequest& request);
   void answer_stats(const std::shared_ptr<Connection>& connection,
@@ -213,8 +224,12 @@ class AlignmentServer {
     obs::Counter& search_ref_not_found;
     obs::Counter& ref_puts;
     obs::Counter& ref_residues;
+    obs::Counter& batch_requests;
+    obs::Counter& batch_jobs;
     obs::Gauge& refs_live;
     obs::Gauge& queue_depth;
+    obs::Gauge& in_flight;
+    obs::Gauge& uptime_ms;
     obs::Histogram& queue_seconds;
     obs::Histogram& exec_seconds;
     obs::Histogram& search_exec_seconds;
@@ -231,6 +246,11 @@ class AlignmentServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+  /// Admitted-but-unanswered jobs across all connections; exported as the
+  /// `service.in_flight` gauge so a router can score backend load beyond
+  /// queue depth (a deep queue and busy workers both count).
+  std::atomic<std::size_t> jobs_in_flight_{0};
+  std::chrono::steady_clock::time_point started_at_{};
 
   BoundedQueue<Job> queue_;
   std::thread acceptor_;

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -87,6 +89,31 @@ TEST_F(Obs, HistogramQuantilesAreMonotonic) {
   // power of two: the true p99 here is ~2.5e8, whose bucket ends at 2^28.
   EXPECT_GE(q99, static_cast<double>(1u << 28) * 0.99);
   EXPECT_LE(q99, 1e9);
+}
+
+TEST_F(Obs, UptimeIsMonotonicAndSurvivesReset) {
+  const std::uint64_t before = metrics().uptime_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t after = metrics().uptime_ms();
+  EXPECT_GE(after, before + 4) << "uptime_ms is not advancing";
+  // reset() zeroes instruments but never the clock — a monitor comparing
+  // two snapshots must be able to tell "restarted" from "counters were
+  // zeroed".
+  metrics().reset();
+  EXPECT_GE(metrics().uptime_ms(), after);
+}
+
+TEST_F(Obs, SnapshotAlwaysCarriesUptime) {
+  bool found = false;
+  double value = -1.0;
+  for (const MetricsRegistry::Sample& sample : metrics().snapshot()) {
+    if (sample.name == "uptime_ms") {
+      found = true;
+      value = sample.value;
+    }
+  }
+  EXPECT_TRUE(found) << "snapshot() lost the synthetic uptime_ms sample";
+  EXPECT_GE(value, 0.0);
 }
 
 TEST_F(Obs, RegistryReturnsStableInstruments) {

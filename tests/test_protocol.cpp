@@ -343,6 +343,113 @@ TEST(Protocol, SearchMessagesRejectTruncationAtEveryPrefix) {
   }
 }
 
+TEST(Protocol, AlignBatchRequestRoundTrip) {
+  AlignBatchRequest batch;
+  batch.request_id = 0xB00Fu;
+  batch.jobs.push_back(sample_align_request());
+  AlignRequest second;
+  second.request_id = 99;
+  second.a = "AC";
+  second.b = "AG";
+  second.matrix = WireMatrix::kDna;
+  batch.jobs.push_back(second);
+
+  const Request decoded = decode_request(encode(batch));
+  const auto* out = std::get_if<AlignBatchRequest>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->request_id, batch.request_id);
+  ASSERT_EQ(out->jobs.size(), 2u);
+  EXPECT_EQ(out->jobs[0].request_id, batch.jobs[0].request_id);
+  EXPECT_EQ(out->jobs[0].a, batch.jobs[0].a);
+  EXPECT_EQ(out->jobs[0].deadline_ms, batch.jobs[0].deadline_ms);
+  EXPECT_EQ(out->jobs[1].request_id, 99u);
+  EXPECT_EQ(out->jobs[1].matrix, WireMatrix::kDna);
+}
+
+TEST(Protocol, AlignBatchResponseRoundTripMixesOkAndError) {
+  AlignBatchResponse batch;
+  batch.request_id = 0xBEEFu;
+  AlignResponse ok;
+  ok.request_id = 1;
+  ok.score = 82;
+  ok.cigar = "8=";
+  ok.cells = 81;
+  batch.items.emplace_back(ok);
+  ErrorResponse error;
+  error.request_id = 2;
+  error.code = ErrorCode::kDeadlineExceeded;
+  error.message = "late";
+  batch.items.emplace_back(error);
+
+  const Response decoded = decode_response(encode(batch));
+  const auto* out = std::get_if<AlignBatchResponse>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->request_id, batch.request_id);
+  ASSERT_EQ(out->items.size(), 2u);
+  const auto* item_ok = std::get_if<AlignResponse>(&out->items[0]);
+  ASSERT_NE(item_ok, nullptr);
+  EXPECT_EQ(item_ok->request_id, 1u);
+  EXPECT_EQ(item_ok->score, 82);
+  EXPECT_EQ(item_ok->cigar, "8=");
+  const auto* item_err = std::get_if<ErrorResponse>(&out->items[1]);
+  ASSERT_NE(item_err, nullptr);
+  EXPECT_EQ(item_err->request_id, 2u);
+  EXPECT_EQ(item_err->code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(item_err->message, "late");
+}
+
+TEST(Protocol, AlignBatchMessagesRejectTruncationAtEveryPrefix) {
+  AlignBatchRequest request;
+  request.jobs.push_back(sample_align_request());
+  const std::string req_payload = encode(request);
+  for (std::size_t cut = 0; cut < req_payload.size(); ++cut) {
+    EXPECT_THROW(decode_request(req_payload.substr(0, cut)), ProtocolError);
+  }
+  AlignBatchResponse response;
+  response.items.emplace_back(AlignResponse{});
+  response.items.emplace_back(ErrorResponse{});
+  const std::string resp_payload = encode(response);
+  for (std::size_t cut = 0; cut < resp_payload.size(); ++cut) {
+    EXPECT_THROW(decode_response(resp_payload.substr(0, cut)),
+                 ProtocolError);
+  }
+}
+
+TEST(Protocol, AlignBatchRejectsHostileJobCount) {
+  // A count field claiming more jobs than the payload could possibly
+  // hold must be rejected up front (guarding the decoder's reserve), not
+  // by running off the end job by job.
+  AlignBatchRequest request;
+  request.jobs.push_back(sample_align_request());
+  std::string payload = encode(request);
+  // Layout: version, verb, u64 envelope id, u32 count.
+  const std::size_t count_offset = 2 + 8;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload[count_offset + i] = '\xff';
+  }
+  EXPECT_THROW(decode_request(payload), ProtocolError);
+}
+
+TEST(Protocol, AlignBatchResponseRejectsUnknownItemTag) {
+  AlignBatchResponse response;
+  response.items.emplace_back(AlignResponse{});
+  std::string payload = encode(response);
+  // Layout: version, verb, u64 envelope id, u32 count, then the first
+  // item's tag byte.
+  payload[2 + 8 + 4] = '\x07';
+  EXPECT_THROW(decode_response(payload), ProtocolError);
+}
+
+TEST(Protocol, EstimatedCellsForBatchSumsItsJobs) {
+  AlignBatchRequest batch;
+  AlignRequest a;
+  a.a = std::string(9, 'A');
+  a.b = std::string(4, 'C');
+  batch.jobs.push_back(a);
+  batch.jobs.push_back(AlignRequest{});
+  EXPECT_EQ(estimated_cells(batch), 51u);  // 50 + 1
+}
+
 TEST(Protocol, EstimatedCellsForSearchIsQuerySquared) {
   // SEARCH admission uses the worst-case degenerate gap fill, (|q|+1)^2 —
   // the same DPM-cell currency as the ALIGN budget.
@@ -380,6 +487,8 @@ TEST(Protocol, VerbAndCodeNamesAreStable) {
   EXPECT_STREQ(to_string(Verb::kStats), "STATS");
   EXPECT_STREQ(to_string(Verb::kRefPut), "REF_PUT");
   EXPECT_STREQ(to_string(Verb::kSearch), "SEARCH");
+  EXPECT_STREQ(to_string(Verb::kAlignBatch), "ALIGN_BATCH");
+  EXPECT_STREQ(to_string(Verb::kAlignBatchOk), "ALIGN_BATCH_OK");
   EXPECT_STREQ(to_string(ErrorCode::kRefNotFound), "REF_NOT_FOUND");
   EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "OVERLOADED");
   EXPECT_STREQ(to_string(ErrorCode::kTooLarge), "TOO_LARGE");

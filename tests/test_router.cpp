@@ -1,0 +1,456 @@
+// Router-tier integration tests: shard-map placement, deadline-budget
+// arithmetic, and the front tier end-to-end over loopback against real
+// AlignmentServer backends — routing, replication, coalescing with
+// per-request demux, failover, ejection, and local deadline enforcement.
+// The contract mirrors the backend's: every request ends in a response
+// bit-identical to direct align() or a typed error, never a hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/aligner.hpp"
+#include "obs/metrics.hpp"
+#include "router/router.hpp"
+#include "router/shard_map.hpp"
+#include "scoring/builtin.hpp"
+#include "scoring/scheme.hpp"
+#include "service/client.hpp"
+#include "service/fault.hpp"
+#include "service/server.hpp"
+
+namespace flsa {
+namespace router {
+namespace {
+
+using service::AlignmentServer;
+using service::AlignRequest;
+using service::AlignResponse;
+using service::Client;
+using service::ErrorCode;
+using service::ErrorResponse;
+using service::RefPutRequest;
+using service::RefPutResponse;
+using service::Response;
+using service::SearchRequest;
+using service::SearchResponse;
+using service::ServiceConfig;
+using service::StatsRequest;
+using service::StatsResponse;
+using service::WireMatrix;
+
+AlignRequest protein_request(const std::string& a, const std::string& b) {
+  AlignRequest request;
+  request.matrix = WireMatrix::kMdm78;
+  request.gap_extend = -10;
+  request.a = a;
+  request.b = b;
+  return request;
+}
+
+Alignment direct_align(const std::string& a, const std::string& b) {
+  AlignOptions options;
+  options.strategy = Strategy::kFastLsa;
+  return align(Sequence(Alphabet::protein(), a),
+               Sequence(Alphabet::protein(), b),
+               ScoringScheme(scoring::mdm78(), -10), options);
+}
+
+/// N loopback backends plus one router in front, all in-process.
+struct Fleet {
+  std::vector<std::unique_ptr<AlignmentServer>> backends;
+  std::unique_ptr<Router> router;
+
+  explicit Fleet(std::size_t n, RouterConfig config = {},
+                 ServiceConfig backend_config = {}) {
+    backend_config.workers =
+        backend_config.workers == 0 ? 2 : backend_config.workers;
+    for (std::size_t i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<AlignmentServer>(backend_config));
+      backends.back()->start();
+      config.backends.push_back({"127.0.0.1", backends.back()->port()});
+    }
+    router = std::make_unique<Router>(config);
+    router->start();
+  }
+
+  ~Fleet() {
+    router->stop();
+    for (auto& backend : backends) backend->stop();
+  }
+
+  Client connect() {
+    Client client;
+    client.connect("127.0.0.1", router->port());
+    return client;
+  }
+};
+
+std::uint64_t counter(const char* name) {
+  return obs::metrics().counter(name).value();
+}
+
+// ---- ShardMap ---------------------------------------------------------
+
+TEST(ShardMap, ReplicasAreDeterministicDistinctAndRanked) {
+  const ShardMap map(5, 3);
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    const std::vector<std::size_t> first = map.replicas(key);
+    ASSERT_EQ(first.size(), 3u);
+    EXPECT_EQ(first, map.replicas(key)) << "placement is not stable";
+    const std::set<std::size_t> distinct(first.begin(), first.end());
+    EXPECT_EQ(distinct.size(), 3u) << "a replica repeats for key " << key;
+    EXPECT_EQ(first.front(), map.primary(key));
+    // Best-score-first ranking.
+    EXPECT_GE(ShardMap::weight(key, first[0]), ShardMap::weight(key, first[1]));
+    EXPECT_GE(ShardMap::weight(key, first[1]), ShardMap::weight(key, first[2]));
+  }
+}
+
+TEST(ShardMap, ReplicationIsCappedByTheBackendCount) {
+  const ShardMap map(2, 5);
+  EXPECT_EQ(map.replication(), 2u);
+  EXPECT_EQ(map.replicas(7).size(), 2u);
+}
+
+TEST(ShardMap, PlacementSpreadsAcrossBackends) {
+  const ShardMap map(4, 1);
+  std::map<std::size_t, int> owners;
+  for (std::uint64_t key = 0; key < 400; ++key) owners[map.primary(key)]++;
+  ASSERT_EQ(owners.size(), 4u) << "some backend owns nothing";
+  for (const auto& [backend, count] : owners) {
+    EXPECT_GT(count, 40) << "backend " << backend
+                         << " is badly underweighted";
+  }
+}
+
+TEST(ShardMap, AddingABackendOnlyMovesTheKeysItWins) {
+  // The rendezvous property: growing the fleet from 7 to 8 moves a key
+  // only when the new backend outranks all old ones (expected 1/8 of
+  // keys), and every moved key moves *to* the new backend.
+  const ShardMap before(7, 1);
+  const ShardMap after(8, 1);
+  int moved = 0;
+  for (std::uint64_t key = 0; key < 400; ++key) {
+    const std::size_t was = before.primary(key);
+    const std::size_t is = after.primary(key);
+    if (was != is) {
+      EXPECT_EQ(is, 7u) << "key " << key << " moved to an old backend";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 10);   // the new backend does win some keys
+  EXPECT_LT(moved, 120);  // ... but nowhere near a full reshuffle
+}
+
+// ---- Deadline budget --------------------------------------------------
+
+TEST(RouterDeadline, BudgetArithmetic) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point arrival = clock::now();
+  // No deadline: sentinel -1, never expires.
+  EXPECT_EQ(Router::remaining_deadline_ms(0, arrival, arrival), -1);
+  EXPECT_EQ(Router::remaining_deadline_ms(
+                0, arrival, arrival + std::chrono::hours(1)),
+            -1);
+  // Fresh arrival: the full budget.
+  EXPECT_EQ(Router::remaining_deadline_ms(100, arrival, arrival), 100);
+  // Partially spent.
+  EXPECT_EQ(Router::remaining_deadline_ms(
+                100, arrival, arrival + std::chrono::milliseconds(30)),
+            70);
+  // Spent and overspent both clamp to 0 — "expired", not negative.
+  EXPECT_EQ(Router::remaining_deadline_ms(
+                100, arrival, arrival + std::chrono::milliseconds(100)),
+            0);
+  EXPECT_EQ(Router::remaining_deadline_ms(
+                100, arrival, arrival + std::chrono::seconds(5)),
+            0);
+}
+
+// ---- End-to-end -------------------------------------------------------
+
+TEST(Router, AlignThroughTheRouterIsBitIdenticalToDirect) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  const Alignment expected = direct_align("TLDKLLKD", "TDVLKAD");
+  for (int i = 0; i < 6; ++i) {
+    const Response response =
+        client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+    const auto* ok = std::get_if<AlignResponse>(&response);
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->score, expected.score);
+    EXPECT_EQ(ok->cigar, expected.cigar());
+  }
+}
+
+TEST(Router, PipelinedAlignsCoalesceAndDemuxById) {
+  RouterConfig config;
+  config.channels_per_backend = 1;
+  config.coalesce_max_jobs = 8;
+  Fleet fleet(1, config);
+  Client client = fleet.connect();
+
+  const std::uint64_t batches_before = counter("router.coalesce.batches");
+  const Score score_a = direct_align("TLDKLLKD", "TDVLKAD").score;
+  const Score score_b = direct_align("HEAGAWGHEE", "PAWHEAE").score;
+
+  // Pipeline 64 small aligns of two different pairs; responses may come
+  // back in any order (coalesced batches demux to per-job answers), so
+  // match scores by request id.
+  std::map<std::uint64_t, Score> expected;
+  for (int i = 0; i < 64; ++i) {
+    const bool odd = (i % 2) != 0;
+    const std::uint64_t id = client.send(
+        odd ? protein_request("HEAGAWGHEE", "PAWHEAE")
+            : protein_request("TLDKLLKD", "TDVLKAD"));
+    expected[id] = odd ? score_b : score_a;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const Response response = client.receive();
+    const auto* ok = std::get_if<AlignResponse>(&response);
+    ASSERT_NE(ok, nullptr) << "response " << i << " was not ALIGN_OK";
+    const auto it = expected.find(ok->request_id);
+    ASSERT_NE(it, expected.end()) << "unknown id " << ok->request_id;
+    EXPECT_EQ(ok->score, it->second) << "wrong score for id " << ok->request_id;
+    expected.erase(it);
+  }
+  EXPECT_TRUE(expected.empty()) << expected.size() << " requests unanswered";
+  // With one channel and 64 back-to-back sends, at least some admission
+  // windows must have folded queued jobs together.
+  EXPECT_GT(counter("router.coalesce.batches"), batches_before)
+      << "no batch ever formed";
+}
+
+TEST(Router, ClientBuiltBatchPassesThroughAsAUnit) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  service::AlignBatchRequest batch;
+  AlignRequest first = protein_request("TLDKLLKD", "TDVLKAD");
+  first.request_id = 41;
+  batch.jobs.push_back(first);
+  AlignRequest second = protein_request("HEAGAWGHEE", "PAWHEAE");
+  second.request_id = 42;
+  batch.jobs.push_back(second);
+
+  const Response response = client.call(std::move(batch));
+  const auto* out = std::get_if<service::AlignBatchResponse>(&response);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->items.size(), 2u);
+  const auto* a = std::get_if<AlignResponse>(&out->items[0]);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->request_id, 41u);  // the client's job ids survive the hop
+  EXPECT_EQ(a->score, direct_align("TLDKLLKD", "TDVLKAD").score);
+  const auto* b = std::get_if<AlignResponse>(&out->items[1]);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->request_id, 42u);
+  EXPECT_EQ(b->score, direct_align("HEAGAWGHEE", "PAWHEAE").score);
+}
+
+TEST(Router, RefPutReplicatesAndSearchMatchesASingleBackend) {
+  RouterConfig config;
+  config.replication = 2;
+  Fleet fleet(2, config);
+
+  const std::string reference =
+      "TLDKLLKDTDVLKADHEAGAWGHEEPAWHEAETLDKLLKDWGHEETDVLKAD";
+  const std::string query = "TLDKLLKDTDVLKAD";
+
+  // Expected answer: the same REF_PUT + SEARCH against one backend
+  // directly (both replicas build identical indexes, so the router's
+  // choice between them must not matter).
+  service::WireHit expected_hit{};
+  {
+    Client direct;
+    direct.connect("127.0.0.1", fleet.backends[0]->port());
+    RefPutRequest put;
+    put.matrix = WireMatrix::kMdm78;
+    put.sequence = reference;
+    const Response put_response = direct.call(std::move(put));
+    const auto* ok = std::get_if<RefPutResponse>(&put_response);
+    ASSERT_NE(ok, nullptr);
+    SearchRequest search;
+    search.ref_id = ok->ref_id;
+    search.matrix = WireMatrix::kMdm78;
+    search.gap_extend = -10;
+    search.query = query;
+    const Response search_response = direct.call(std::move(search));
+    const auto* hits = std::get_if<SearchResponse>(&search_response);
+    ASSERT_NE(hits, nullptr);
+    ASSERT_FALSE(hits->hits.empty());
+    expected_hit = hits->hits.front();
+  }
+
+  Client client = fleet.connect();
+  RefPutRequest put;
+  put.matrix = WireMatrix::kMdm78;
+  put.sequence = reference;
+  const Response put_response = client.call(std::move(put));
+  const auto* put_ok = std::get_if<RefPutResponse>(&put_response);
+  ASSERT_NE(put_ok, nullptr);
+  EXPECT_EQ(put_ok->residues, reference.size());
+
+  // Both backends now hold the index: the registered-reference counters
+  // must have advanced on each.
+  for (int round = 0; round < 8; ++round) {
+    SearchRequest search;
+    search.ref_id = put_ok->ref_id;  // the *router's* reference id
+    search.matrix = WireMatrix::kMdm78;
+    search.gap_extend = -10;
+    search.query = query;
+    const Response response = client.call(std::move(search));
+    const auto* ok = std::get_if<SearchResponse>(&response);
+    ASSERT_NE(ok, nullptr);
+    ASSERT_FALSE(ok->hits.empty());
+    EXPECT_EQ(ok->hits.front().score, expected_hit.score);
+    EXPECT_EQ(ok->hits.front().q_begin, expected_hit.q_begin);
+    EXPECT_EQ(ok->hits.front().q_end, expected_hit.q_end);
+    EXPECT_EQ(ok->hits.front().s_begin, expected_hit.s_begin);
+    EXPECT_EQ(ok->hits.front().s_end, expected_hit.s_end);
+    EXPECT_EQ(ok->hits.front().cigar, expected_hit.cigar);
+  }
+}
+
+TEST(Router, SearchForAnUnknownReferenceIsAnsweredLocally) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  SearchRequest search;
+  search.ref_id = 777;  // never registered through this router
+  search.matrix = WireMatrix::kMdm78;
+  search.query = "TLDKLLKD";
+  const Response response = client.call(std::move(search));
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+}
+
+TEST(Router, RefPutToleratesADeadReplicaAndCountsDegradation) {
+  RouterConfig config;
+  config.replication = 2;
+  Fleet fleet(2, config);
+  fleet.backends[1]->stop();  // one replica target is gone
+  const std::uint64_t degraded_before = counter("router.ref_put.degraded");
+
+  Client client = fleet.connect();
+  RefPutRequest put;
+  put.matrix = WireMatrix::kMdm78;
+  put.sequence = "TLDKLLKDTDVLKADHEAGAWGHEEPAWHEAE";
+  const Response put_response = client.call(std::move(put));
+  const auto* ok = std::get_if<RefPutResponse>(&put_response);
+  ASSERT_NE(ok, nullptr) << "one live replica must be enough";
+  EXPECT_EQ(counter("router.ref_put.degraded"), degraded_before + 1);
+
+  SearchRequest search;
+  search.ref_id = ok->ref_id;
+  search.matrix = WireMatrix::kMdm78;
+  search.gap_extend = -10;
+  search.query = "TLDKLLKD";
+  const Response response = client.call(std::move(search));
+  EXPECT_TRUE(std::holds_alternative<SearchResponse>(response))
+      << "the surviving replica must serve the search";
+}
+
+TEST(Router, BackendDeathIsAbsorbedByFailoverAndEjection) {
+  RouterConfig config;
+  config.health_interval_ms = 50;
+  Fleet fleet(2, config);
+  Client client = fleet.connect();
+  const Response warm = client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+  ASSERT_TRUE(std::holds_alternative<AlignResponse>(warm));
+
+  const std::uint64_t ejected_before = counter("router.backend.ejected");
+  fleet.backends[0]->stop();
+  // Give the prober a few intervals to eject the corpse.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_GT(counter("router.backend.ejected"), ejected_before);
+  EXPECT_EQ(obs::metrics().gauge("router.backends_healthy").value(), 1.0);
+
+  const Score expected = direct_align("TLDKLLKD", "TDVLKAD").score;
+  for (int i = 0; i < 8; ++i) {
+    const Response response =
+        client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+    const auto* ok = std::get_if<AlignResponse>(&response);
+    ASSERT_NE(ok, nullptr) << "request " << i
+                           << " failed after backend death";
+    EXPECT_EQ(ok->score, expected);
+  }
+}
+
+TEST(Router, ExpiredDeadlineIsAnsweredLocallyNotByTheBackend) {
+  RouterConfig config;
+  config.hedge_enabled = false;  // a hedge would just duplicate the wait
+  ServiceConfig slow;
+  slow.fault_plan = service::parse_fault_plan("seed=5,delay=1:400");
+  Fleet fleet(1, config, slow);
+  Client client = fleet.connect();
+
+  AlignRequest request = protein_request("TLDKLLKD", "TDVLKAD");
+  request.deadline_ms = 60;
+  const auto start = std::chrono::steady_clock::now();
+  const Response response = client.call(std::move(request));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kDeadlineExceeded);
+  // The router's monitor must answer about when the budget dies (~60ms),
+  // not when the delayed backend finally does (~400ms).
+  EXPECT_LT(elapsed.count(), 350)
+      << "deadline was enforced by the backend, not the router";
+}
+
+TEST(Router, StatsIsAnsweredLocallyWithRouterMetrics) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  (void)client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+  const Response response = client.call(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&response);
+  ASSERT_NE(stats, nullptr);
+  double requests = -1.0, healthy = -1.0, uptime = -1.0;
+  for (const auto& [name, value] : stats->entries) {
+    if (name == "router.requests") requests = value;
+    if (name == "router.backends_healthy") healthy = value;
+    if (name == "uptime_ms") uptime = value;
+  }
+  EXPECT_GE(requests, 1.0);
+  EXPECT_EQ(healthy, 2.0);
+  EXPECT_GE(uptime, 0.0);
+}
+
+TEST(Router, StartRequiresAReachableBackend) {
+  AlignmentServer parked;
+  parked.start();
+  const std::uint16_t dead = parked.port();
+  parked.stop();
+  RouterConfig config;
+  config.backends = {{"127.0.0.1", dead}};
+  Router router(config);
+  EXPECT_THROW(router.start(), std::runtime_error);
+}
+
+TEST(Router, StopIsIdempotentAndStopsServing) {
+  Fleet fleet(1);
+  {
+    Client client = fleet.connect();
+    const Response response =
+        client.call(protein_request("TLDKLLKD", "TDVLKAD"));
+    ASSERT_TRUE(std::holds_alternative<AlignResponse>(response));
+  }
+  fleet.router->stop();
+  EXPECT_FALSE(fleet.router->running());
+  fleet.router->stop();  // second stop is a no-op
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", fleet.router->port()),
+               service::TransportError);
+}
+
+}  // namespace
+}  // namespace router
+}  // namespace flsa

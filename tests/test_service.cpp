@@ -926,6 +926,141 @@ TEST(Service, SearchStatsCountersAdvance) {
   server.stop();
 }
 
+// ---- ALIGN_BATCH ------------------------------------------------------
+
+TEST(Service, AlignBatchExecutesEveryJobAndDemuxesById) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  AlignBatchRequest batch;
+  AlignRequest good = protein_request("TLDKLLKD", "TDVLKAD");
+  good.request_id = 11;
+  batch.jobs.push_back(good);
+  AlignRequest bad = protein_request("TLDK1LKD", "TDVLKAD");  // bad residue
+  bad.request_id = 22;
+  batch.jobs.push_back(bad);
+  AlignRequest second_good = protein_request("HEAGAWGHEE", "PAWHEAE");
+  second_good.request_id = 33;
+  batch.jobs.push_back(second_good);
+
+  const Response response = client.call(std::move(batch));
+  const auto* out = std::get_if<AlignBatchResponse>(&response);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->items.size(), 3u);
+
+  const auto* first = std::get_if<AlignResponse>(&out->items[0]);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->request_id, 11u);
+  EXPECT_EQ(first->score, 82);
+  EXPECT_EQ(first->cigar, direct_align("TLDKLLKD", "TDVLKAD").cigar());
+
+  // One bad job must not poison its batch mates — it answers a per-job
+  // typed error in its slot.
+  const auto* middle = std::get_if<ErrorResponse>(&out->items[1]);
+  ASSERT_NE(middle, nullptr);
+  EXPECT_EQ(middle->request_id, 22u);
+  EXPECT_EQ(middle->code, ErrorCode::kBadRequest);
+
+  const auto* last = std::get_if<AlignResponse>(&out->items[2]);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->request_id, 33u);
+  EXPECT_EQ(last->score, direct_align("HEAGAWGHEE", "PAWHEAE").score);
+  server.stop();
+}
+
+TEST(Service, EmptyAlignBatchAnswersBadRequest) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Response response = client.call(AlignBatchRequest{});
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+  server.stop();
+}
+
+TEST(Service, StatsReportsLoadGaugesAndUptime) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Response response = client.call(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&response);
+  ASSERT_NE(stats, nullptr);
+  double queue_depth = -1.0, in_flight = -1.0, uptime = -1.0;
+  for (const auto& [name, value] : stats->entries) {
+    if (name == "service.queue_depth") queue_depth = value;
+    if (name == "service.in_flight") in_flight = value;
+    if (name == "service.uptime_ms") uptime = value;
+  }
+  // The load gauges a router's least-loaded routing feeds on must always
+  // be present (zero on an idle server), alongside a monotonic uptime.
+  EXPECT_EQ(queue_depth, 0.0);
+  EXPECT_EQ(in_flight, 0.0);
+  EXPECT_GE(uptime, 0.0);
+  server.stop();
+}
+
+// ---- Endpoint lists ---------------------------------------------------
+
+TEST(Client, ConnectSkipsDeadEndpointsInOrder) {
+  AlignmentServer server;
+  server.start();
+  // A TCP port nothing listens on: bind-then-close reserves a number
+  // that connect() will refuse.
+  AlignmentServer parked;
+  parked.start();
+  const std::uint16_t dead_port = parked.port();
+  parked.stop();
+
+  Client client;
+  client.connect({{"127.0.0.1", dead_port}, {"127.0.0.1", server.port()}});
+  EXPECT_EQ(client.current_endpoint().port, server.port());
+  const Response response = client.call(protein_request("A", "A"));
+  EXPECT_TRUE(std::holds_alternative<AlignResponse>(response));
+  server.stop();
+}
+
+TEST(Client, ConnectThrowsWhenEveryEndpointIsDead) {
+  AlignmentServer parked;
+  parked.start();
+  const std::uint16_t dead = parked.port();
+  parked.stop();
+  Client client;
+  EXPECT_THROW(client.connect({{"127.0.0.1", dead}, {"127.0.0.1", dead}}),
+               TransportError);
+}
+
+TEST(Client, RetryFailsOverToTheNextEndpoint) {
+  AlignmentServer first;
+  first.start();
+  AlignmentServer second;
+  second.start();
+
+  Client client;
+  client.connect(
+      {{"127.0.0.1", first.port()}, {"127.0.0.1", second.port()}});
+  ASSERT_EQ(client.current_endpoint().port, first.port());
+
+  // Kill the connected endpoint mid-session: the next call sees a
+  // transport failure, and the retry loop must rotate to the survivor
+  // instead of re-dialling the corpse.
+  first.stop();
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay = std::chrono::milliseconds(1);
+  const Response response =
+      client.call_with_retry(protein_request("TLDKLLKD", "TDVLKAD"), policy);
+  const auto* ok = std::get_if<AlignResponse>(&response);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->score, 82);
+  EXPECT_EQ(client.current_endpoint().port, second.port());
+  second.stop();
+}
+
 TEST(Service, StartAfterStopServesAgain) {
   ServiceConfig config;
   AlignmentServer first(config);

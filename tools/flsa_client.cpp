@@ -11,6 +11,9 @@
 #include <iostream>
 #include <limits>
 #include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sequence/fasta.hpp"
@@ -35,6 +38,10 @@ int main(int argc, char** argv) {
       "(docs/service.md protocol)");
   cli.add_string("host", "127.0.0.1", "server address");
   cli.add_int("port", 7421, "server TCP port");
+  cli.add_string("backends", "",
+                 "comma-separated host:port list (overrides --host/--port); "
+                 "connects to the first reachable address and rotates to "
+                 "the next on transient failures with --retries");
   cli.add_string("matrix", "mdm78",
                  "mdm78 | pam250 | blosum62 | dna | dna-n");
   cli.add_int("gap", flsa::kDefaultGapExtend,
@@ -75,11 +82,33 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.parse(argc, argv)) return 0;
-    const std::string host = cli.get_string("host");
-    const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+    std::vector<flsa::service::Endpoint> endpoints;
+    const std::string backends = cli.get_string("backends");
+    if (!backends.empty()) {
+      std::istringstream csv(backends);
+      std::string token;
+      while (std::getline(csv, token, ',')) {
+        if (token.empty()) continue;
+        const std::size_t colon = token.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= token.size()) {
+          throw std::invalid_argument("bad --backends entry '" + token +
+                                      "' (expected host:port)");
+        }
+        endpoints.push_back(
+            {token.substr(0, colon),
+             static_cast<std::uint16_t>(std::stoi(token.substr(colon + 1)))});
+      }
+    }
+    if (endpoints.empty()) {
+      endpoints.push_back({cli.get_string("host"),
+                           static_cast<std::uint16_t>(cli.get_int("port"))});
+    }
 
     flsa::service::Client client;
-    client.connect(host, port);
+    client.connect(endpoints);
+    const std::string host = client.current_endpoint().host;
+    const std::uint16_t port = client.current_endpoint().port;
 
     if (cli.get_flag("server-stats")) {
       const flsa::service::Response response =
