@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "support/checked.hpp"
+
 namespace flsa {
 
 /// Accumulated work counters. Not thread-safe: parallel code keeps one per
@@ -28,14 +30,20 @@ struct DpCounters {
   /// greedy-diagonal incumbent, so sentinel lines were published instead.
   std::uint64_t tiles_pruned = 0;
 
-  std::uint64_t total_cells() const { return cells_scored + cells_stored; }
+  /// Saturating: at genome scale the two operands are each derived from
+  /// (m+1)*(n+1)-flavoured products, and a wrapped total would read as a
+  /// plausible small number instead of "off the scale".
+  std::uint64_t total_cells() const {
+    return add_sat_u64(cells_scored, cells_stored);
+  }
 
   DpCounters& operator+=(const DpCounters& other) {
-    cells_scored += other.cells_scored;
-    cells_stored += other.cells_stored;
-    traceback_steps += other.traceback_steps;
-    kernel_escalations += other.kernel_escalations;
-    tiles_pruned += other.tiles_pruned;
+    cells_scored = add_sat_u64(cells_scored, other.cells_scored);
+    cells_stored = add_sat_u64(cells_stored, other.cells_stored);
+    traceback_steps = add_sat_u64(traceback_steps, other.traceback_steps);
+    kernel_escalations =
+        add_sat_u64(kernel_escalations, other.kernel_escalations);
+    tiles_pruned = add_sat_u64(tiles_pruned, other.tiles_pruned);
     return *this;
   }
 };

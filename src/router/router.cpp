@@ -24,6 +24,8 @@ namespace router {
 
 using service::AlignBatchRequest;
 using service::AlignBatchResponse;
+using service::AlignPartResponse;
+using service::AlignRefRequest;
 using service::AlignRequest;
 using service::ErrorCode;
 using service::ErrorResponse;
@@ -34,6 +36,10 @@ using service::RefPutResponse;
 using service::Request;
 using service::Response;
 using service::SearchRequest;
+using service::SeqBeginRequest;
+using service::SeqChunkRequest;
+using service::SeqEndRequest;
+using service::SeqOkResponse;
 using service::StatsRequest;
 using service::StatsResponse;
 using service::TransportError;
@@ -150,14 +156,23 @@ struct Router::PendingOp {
   bool hedged = false;
   bool batched = false;    ///< currently riding inside a batch envelope
   bool hedgeable = false;  ///< single ALIGN / SEARCH
+  /// SEQ_* / ALIGN_REF: the op is welded to its one eligible backend —
+  /// no failover, no hedge (session state / a possibly-started response
+  /// stream lives there; a second send could duplicate either).
+  bool pinned = false;
+  /// Channel restriction for the send (-1 = any): upload chunks of one
+  /// session stay on one channel so the backend sees them in order.
+  int channel_pin = -1;
   int first_backend = -1;
   int last_backend = -1;
   std::chrono::steady_clock::time_point last_sent;
   /// Backends allowed to serve this op (empty = any): SEARCH replicas,
   /// or the single REF_PUT target.
   std::vector<std::size_t> eligible;
-  /// SEARCH only: this reference's local id on each replica backend.
+  /// SEARCH / ALIGN_REF: this reference's local id on each replica
+  /// backend (ALIGN_REF: ref_a's placements; ref_ids_b holds ref_b's).
   std::vector<std::pair<std::size_t, std::uint64_t>> ref_ids;
+  std::vector<std::pair<std::size_t, std::uint64_t>> ref_ids_b;
   std::shared_ptr<RefPutAgg> agg;  ///< non-null for REF_PUT sub-ops
 };
 
@@ -551,6 +566,116 @@ void Router::handle_request(const std::shared_ptr<ClientConn>& conn,
     for (const auto& [backend, local_id] : op->ref_ids) {
       op->eligible.push_back(backend);
     }
+  } else if (auto* begin = std::get_if<SeqBeginRequest>(&request)) {
+    // A new session pins to one rendezvous-chosen backend (the client may
+    // steer co-location with `placement`); a resume re-uses the recorded
+    // route so the retried BEGIN reaches the backend holding the bytes.
+    const std::uint64_t key =
+        begin->placement != 0 ? begin->placement : begin->upload_token;
+    std::size_t backend = shard_map_.replicas(key).front();
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto route = upload_routes_.find(begin->upload_token);
+      if (route != upload_routes_.end()) {
+        backend = route->second;
+      } else {
+        upload_routes_.emplace(begin->upload_token, backend);
+      }
+    }
+    op->pinned = true;
+    op->eligible = {backend};
+    op->channel_pin = static_cast<int>(begin->upload_token %
+                                       config_.channels_per_backend);
+    begin->request_id = op->id;
+  } else if (auto* chunk = std::get_if<SeqChunkRequest>(&request)) {
+    std::size_t backend = 0;
+    bool routed = false;
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto route = upload_routes_.find(chunk->upload_token);
+      if (route != upload_routes_.end()) {
+        backend = route->second;
+        routed = true;
+      }
+    }
+    if (!routed) {
+      instruments_.bad_requests.add();
+      reject(conn, client_id, ErrorCode::kBadRequest,
+             "unknown upload token " + std::to_string(chunk->upload_token) +
+                 " (send SEQ_BEGIN first)");
+      return;
+    }
+    op->pinned = true;
+    op->eligible = {backend};
+    op->channel_pin = static_cast<int>(chunk->upload_token %
+                                       config_.channels_per_backend);
+    chunk->request_id = op->id;
+  } else if (auto* end = std::get_if<SeqEndRequest>(&request)) {
+    std::size_t backend = 0;
+    bool routed = false;
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto route = upload_routes_.find(end->upload_token);
+      if (route != upload_routes_.end()) {
+        backend = route->second;
+        routed = true;
+      }
+    }
+    if (!routed) {
+      instruments_.bad_requests.add();
+      reject(conn, client_id, ErrorCode::kBadRequest,
+             "unknown upload token " + std::to_string(end->upload_token) +
+                 " (send SEQ_BEGIN first)");
+      return;
+    }
+    op->pinned = true;
+    op->eligible = {backend};
+    op->channel_pin = static_cast<int>(end->upload_token %
+                                       config_.channels_per_backend);
+    end->request_id = op->id;
+  } else if (auto* by_ref = std::get_if<AlignRefRequest>(&request)) {
+    op->deadline_ms = by_ref->deadline_ms;
+    op->pinned = true;  // the response may stream; one backend, one shot
+    by_ref->request_id = op->id;
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto a_it = refs_.find(by_ref->ref_a);
+      if (a_it == refs_.end()) {
+        reject(conn, client_id, ErrorCode::kRefNotFound,
+               "reference id " + std::to_string(by_ref->ref_a) +
+                   " is not registered with the router");
+        return;
+      }
+      op->ref_ids = a_it->second;
+      if (by_ref->ref_b != 0) {
+        const auto b_it = refs_.find(by_ref->ref_b);
+        if (b_it == refs_.end()) {
+          reject(conn, client_id, ErrorCode::kRefNotFound,
+                 "reference id " + std::to_string(by_ref->ref_b) +
+                     " is not registered with the router");
+          return;
+        }
+        op->ref_ids_b = b_it->second;
+      }
+    }
+    // Eligible = backends holding ref_a, intersected with ref_b's
+    // placements when both are handles — the pair must be co-located.
+    for (const auto& [backend, local_id] : op->ref_ids) {
+      if (by_ref->ref_b != 0) {
+        const bool has_b = std::any_of(
+            op->ref_ids_b.begin(), op->ref_ids_b.end(),
+            [backend = backend](const auto& p) { return p.first == backend; });
+        if (!has_b) continue;
+      }
+      op->eligible.push_back(backend);
+    }
+    if (op->eligible.empty()) {
+      reject(conn, client_id, ErrorCode::kRefNotFound,
+             "references " + std::to_string(by_ref->ref_a) + " and " +
+                 std::to_string(by_ref->ref_b) +
+                 " share no backend placement");
+      return;
+    }
   } else {
     // A client-built ALIGN_BATCH passes through as one unit: routed
     // least-loaded, never re-coalesced, never hedged.
@@ -741,6 +866,8 @@ void Router::flusher_loop(std::size_t backend_index) {
       /// Nonzero for a coalesced batch: the throwaway envelope id its
       /// coalesce_groups_ entry is registered under.
       std::uint64_t envelope = 0;
+      /// Channel restriction (-1 = any) — see PendingOp::channel_pin.
+      int channel_pin = -1;
     };
     std::vector<Frame> frames;
     std::vector<std::uint64_t> expired;
@@ -794,6 +921,31 @@ void Router::flusher_loop(std::size_t backend_index) {
           frames.push_back({service::encode(job), {id}});
         } else if (auto* ref_put = std::get_if<RefPutRequest>(&op.request)) {
           frames.push_back({service::encode(*ref_put), {id}});
+        } else if (auto* begin = std::get_if<SeqBeginRequest>(&op.request)) {
+          frames.push_back(
+              {service::encode(*begin), {id}, 0, op.channel_pin});
+        } else if (auto* chunk = std::get_if<SeqChunkRequest>(&op.request)) {
+          frames.push_back(
+              {service::encode(*chunk), {id}, 0, op.channel_pin});
+        } else if (auto* end = std::get_if<SeqEndRequest>(&op.request)) {
+          frames.push_back({service::encode(*end), {id}, 0, op.channel_pin});
+        } else if (auto* by_ref = std::get_if<AlignRefRequest>(&op.request)) {
+          AlignRefRequest job = *by_ref;
+          if (budget > 0) job.deadline_ms = static_cast<std::uint32_t>(budget);
+          // Rewrite both handles to this backend's local reference ids.
+          for (const auto& [be, local_id] : op.ref_ids) {
+            if (be == backend_index) {
+              job.ref_a = local_id;
+              break;
+            }
+          }
+          for (const auto& [be, local_id] : op.ref_ids_b) {
+            if (be == backend_index) {
+              job.ref_b = local_id;
+              break;
+            }
+          }
+          frames.push_back({service::encode(job), {id}});
         } else {
           auto& batch = std::get<AlignBatchRequest>(op.request);
           frames.push_back({service::encode(batch), {id}});
@@ -830,7 +982,8 @@ void Router::flusher_loop(std::size_t backend_index) {
                      "deadline budget exhausted before forwarding");
     }
     for (Frame& frame : frames) {
-      if (!send_on_backend(backend_index, frame.payload, frame.ids)) {
+      if (!send_on_backend(backend_index, frame.payload, frame.ids,
+                           frame.channel_pin)) {
         if (frame.envelope != 0) {
           std::lock_guard<std::mutex> coalesce_lock(coalesce_mutex_);
           coalesce_groups_.erase(frame.envelope);
@@ -847,13 +1000,20 @@ void Router::flusher_loop(std::size_t backend_index) {
 
 bool Router::send_on_backend(std::size_t backend_index,
                              const std::string& payload,
-                             const std::vector<std::uint64_t>& ids) {
+                             const std::vector<std::uint64_t>& ids,
+                             int channel_pin) {
   Backend& backend = *backends_[backend_index];
   const std::size_t channels = backend.channels.size();
-  for (std::size_t attempt = 0; attempt < channels; ++attempt) {
+  // A pinned frame (upload chunk) gets exactly one channel candidate:
+  // spilling to a sibling channel would put it on a different backend
+  // connection, where the server would see it out of session order.
+  const std::size_t attempts_allowed = channel_pin >= 0 ? 1 : channels;
+  for (std::size_t attempt = 0; attempt < attempts_allowed; ++attempt) {
     const std::size_t ci =
-        backend.next_channel.fetch_add(1, std::memory_order_relaxed) %
-        channels;
+        channel_pin >= 0
+            ? static_cast<std::size_t>(channel_pin) % channels
+            : backend.next_channel.fetch_add(1, std::memory_order_relaxed) %
+                  channels;
     Channel& channel = *backend.channels[ci];
     bool wrote = false;
     bool died = false;
@@ -971,6 +1131,25 @@ void Router::channel_loop(std::size_t backend_index,
                   item);
             }
           }
+        } else if (auto* part = std::get_if<AlignPartResponse>(&response);
+                   part != nullptr && !part->last) {
+          // A non-final ALIGN_PART frame: forward it to the origin client
+          // with its request id restored, but keep the op pending and
+          // outstanding — the stream completes only on the last frame.
+          const std::uint64_t id = part->request_id;
+          std::shared_ptr<PendingOp> op;
+          {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            const auto it = pending_.find(id);
+            if (it != pending_.end()) op = it->second;
+          }
+          if (op != nullptr) {
+            AlignPartResponse forwarded = *part;
+            forwarded.request_id = op->client_id;
+            if (!respond(op->client, service::encode(forwarded))) {
+              instruments_.write_errors.add();
+            }
+          }
         } else {
           const std::uint64_t id = response_id(response);
           std::vector<std::uint64_t> members;
@@ -1071,8 +1250,11 @@ void Router::fail_over(std::uint64_t id, const std::string& why) {
     if (it == pending_.end()) return;  // hedge winner already answered
     PendingOp& op = *it->second;
     // REF_PUT sub-ops never retarget: the send may have executed, and a
-    // second send would register a second reference id.
-    if (!op.agg && !draining_.load(std::memory_order_acquire) &&
+    // second send would register a second reference id. Pinned ops
+    // (SEQ_* sessions, ALIGN_REF streams) never retarget either — their
+    // state lives on exactly one backend.
+    if (!op.agg && !op.pinned &&
+        !draining_.load(std::memory_order_acquire) &&
         op.attempts < config_.max_attempts) {
       const std::int64_t budget = remaining_deadline_ms(
           op.deadline_ms, op.arrival, std::chrono::steady_clock::now());
@@ -1108,7 +1290,7 @@ void Router::complete(std::uint64_t id, Response response, int from_backend) {
     // fail it over instead of bouncing the rejection to the client.
     const auto* error = std::get_if<ErrorResponse>(&response);
     if (error != nullptr && service::is_retryable(error->code) &&
-        from_backend >= 0 && !op->agg &&
+        from_backend >= 0 && !op->agg && !op->pinned &&
         !draining_.load(std::memory_order_acquire) &&
         op->attempts < config_.max_attempts) {
       const std::int64_t budget = remaining_deadline_ms(
@@ -1140,6 +1322,21 @@ void Router::complete(std::uint64_t id, Response response, int from_backend) {
   if (op->agg) {
     complete_ref_put(op, std::move(response));
     return;
+  }
+  // A sealed upload: the backend answered SEQ_END with its local ref id.
+  // Install a router id for it (single placement — streamed uploads are
+  // not replicated) and rewrite the answer; clients only see router ids.
+  if (std::holds_alternative<SeqEndRequest>(op->request)) {
+    if (auto* ok = std::get_if<SeqOkResponse>(&response);
+        ok != nullptr && ok->ref_id != 0 && from_backend >= 0) {
+      const std::uint64_t router_ref_id =
+          next_ref_id_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      refs_[router_ref_id] = {{static_cast<std::size_t>(from_backend),
+                               ok->ref_id}};
+      upload_routes_.erase(ok->upload_token);
+      ok->ref_id = router_ref_id;
+    }
   }
   if (op->hedged && from_backend >= 0) {
     if (from_backend == op->first_backend) {

@@ -30,6 +30,17 @@
 //   REF_PUT      fanned out to R rendezvous-chosen replicas; >= 1 success
 //                installs the mapping and answers success (degraded
 //                replication is accepted and counted)
+//   SEQ_*        pinned to one rendezvous-chosen backend per upload token
+//                (chunks of a session must land on one store, in order:
+//                the frames also stick to one channel), never hedged,
+//                coalesced, or failed over; the SEQ_END answer's backend-
+//                local ref id is rewritten to a fresh router id
+//   ALIGN_REF    eligible backends are those holding *both* referenced
+//                handles (intersection of their placements); ref ids are
+//                rewritten per backend; never hedged or coalesced, and
+//                never failed over (the response may already be streaming
+//                in ALIGN_PART frames — non-last parts are forwarded to
+//                the client as they arrive, the last one completes the op)
 //   STATS        answered locally from the router's own registry
 //
 // Deadlines: the router re-computes the remaining budget (original
@@ -181,8 +192,12 @@ class Router {
   /// Sends one encoded frame on an open channel of `backend`, recording
   /// `ids` as outstanding there first. Returns false when no channel
   /// could be used (the backend is then marked unhealthy).
+  /// `channel_pin` >= 0 restricts the send to that channel (mod the
+  /// channel count) — upload chunks must not be striped across channels,
+  /// or the backend sees them out of order on different connections.
   bool send_on_backend(std::size_t backend, const std::string& payload,
-                       const std::vector<std::uint64_t>& ids);
+                       const std::vector<std::uint64_t>& ids,
+                       int channel_pin = -1);
 
   /// Channel death: mark it closed, collect its outstanding ids, and
   /// fail each over (or answer the client when attempts are exhausted).
@@ -280,6 +295,9 @@ class Router {
   std::map<std::uint64_t, std::vector<std::pair<std::size_t, std::uint64_t>>>
       refs_;
   std::atomic<std::uint64_t> next_ref_id_{1};
+  /// Open upload sessions: token -> pinned backend (guarded by
+  /// refs_mutex_). Installed by SEQ_BEGIN, dropped when SEQ_END answers.
+  std::map<std::uint64_t, std::size_t> upload_routes_;
 
   std::vector<std::unique_ptr<Backend>> backends_;
 

@@ -25,7 +25,7 @@ std::vector<Anchor> collect_anchors(const Sequence& query,
                                     const ScoringScheme& scheme,
                                     std::size_t max_positions_per_kmer) {
   const std::size_t k = index.k();
-  const Sequence& subject = index.subject();
+  const SequenceView& subject = index.subject();
   FLSA_REQUIRE(&query.alphabet() == &subject.alphabet());
   const SubstitutionMatrix& sub = scheme.matrix();
 
@@ -295,7 +295,7 @@ FlankExtension extend_flank(std::size_t nq, std::size_t ns, QAt q_at,
 /// banded DP in the inter-anchor gaps, gapped X-drop extension past the
 /// chain ends. Returns nullopt when trimming swallows the whole chain.
 std::optional<Alignment> fill_chain(const Sequence& query,
-                                    const Sequence& subject,
+                                    const SequenceView& subject,
                                     std::span<const Anchor> anchors,
                                     const Chain& chain,
                                     const ScoringScheme& scheme,
@@ -388,7 +388,7 @@ std::optional<Alignment> fill_chain(const Sequence& query,
     const std::size_t half_width = std::max<std::size_t>(
         1, skew + params.band_pad);
     const Alignment gap = banded_align(query.subsequence(prev_q, dq),
-                                       subject.subsequence(prev_s, ds),
+                                       subject.materialize(prev_s, ds),
                                        scheme, half_width);
     out.gapped_a += gap.gapped_a;
     out.gapped_b += gap.gapped_b;
@@ -422,7 +422,7 @@ std::vector<SearchHit> chained_search(const Sequence& query,
                                       ChainedSearchStats* stats) {
   FLSA_REQUIRE(scheme.is_linear());
   FLSA_REQUIRE(&scheme.alphabet() == &query.alphabet());
-  const Sequence& subject = index.subject();
+  const SequenceView& subject = index.subject();
 
   std::vector<SearchHit> hits;
   const std::vector<Anchor> anchors = collect_anchors(

@@ -20,33 +20,35 @@ void KmerIndex::require_indexable(std::size_t residues) {
   if (residues > kMaxSubjectResidues) throw SubjectTooLarge(residues);
 }
 
-KmerIndex::KmerIndex(std::shared_ptr<const Sequence> subject, std::size_t k)
+KmerIndex::KmerIndex(SequenceView subject, std::size_t k)
     : subject_(std::move(subject)),
       k_(k),
-      radix_(subject_ ? subject_->alphabet().size() : 0) {
-  FLSA_REQUIRE(subject_ != nullptr);
+      radix_(subject_.alphabet().size()) {
   FLSA_REQUIRE(k >= 1);
-  require_indexable(subject_->size());
+  require_indexable(subject_.size());
   // |A|^k must fit comfortably in 64 bits.
   double bits = static_cast<double>(k) * std::log2(static_cast<double>(radix_));
   FLSA_REQUIRE(bits < 62.0);
-  const Sequence& subject_ref = *subject_;
-  if (subject_ref.size() < k) return;
+  if (subject_.size() < k) return;
 
-  // Rolling pack over the subject.
+  // Rolling pack over the subject (reads through the view, so a 2-bit
+  // packed store record is indexed without decompressing it).
   std::uint64_t key = 0;
   std::uint64_t high = 1;
   for (std::size_t i = 0; i + 1 < k; ++i) high *= radix_;
-  for (std::size_t i = 0; i < subject_ref.size(); ++i) {
+  for (std::size_t i = 0; i < subject_.size(); ++i) {
     if (i < k) {
-      key = key * radix_ + subject_ref[i];
+      key = key * radix_ + subject_[i];
       if (i + 1 < k) continue;
     } else {
-      key = (key - subject_ref[i - k] * high) * radix_ + subject_ref[i];
+      key = (key - subject_[i - k] * high) * radix_ + subject_[i];
     }
     positions_[key].push_back(static_cast<std::uint32_t>(i + 1 - k));
   }
 }
+
+KmerIndex::KmerIndex(std::shared_ptr<const Sequence> subject, std::size_t k)
+    : KmerIndex(SequenceView(std::move(subject)), k) {}
 
 KmerIndex::KmerIndex(const Sequence& subject, std::size_t k)
     : KmerIndex(std::make_shared<const Sequence>(subject), k) {}

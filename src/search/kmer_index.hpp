@@ -5,11 +5,13 @@
 // words find their exact matches in O(1). Works for any alphabet with
 // |A|^k packable into 64 bits.
 //
-// The index shares ownership of its subject (std::shared_ptr), so an index
-// can outlive the scope that built it — the service keeps one per
-// registered reference and hands it to many workers concurrently. Subject
-// positions are stored as uint32_t; subjects with 2^32 or more residues
-// are rejected with SubjectTooLarge instead of silently truncating.
+// The subject is held as a SequenceView, so the index reads equally from
+// an owned Sequence (shared ownership keeps it alive) or an mmap'd
+// packed-store record — the service keeps one index per registered
+// reference and hands it to many workers concurrently without ever
+// inflating the packed bytes. Subject positions are stored as uint32_t;
+// subjects with 2^32 or more residues are rejected with SubjectTooLarge
+// instead of silently truncating.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "sequence/sequence.hpp"
+#include "sequence/sequence_view.hpp"
 
 namespace flsa {
 namespace search {
@@ -47,19 +50,20 @@ class KmerIndex {
   /// Exposed so the limit is testable without materializing 4 GiB.
   static void require_indexable(std::size_t residues);
 
-  /// Indexes every k-mer of `subject`, sharing ownership. Requires
+  /// Indexes every k-mer of the viewed subject. The view's shared owner
+  /// (a Sequence or an mmap'd store) keeps the residues alive. Requires
   /// 1 <= k, |A|^k < 2^62, and subject size <= kMaxSubjectResidues.
+  KmerIndex(SequenceView subject, std::size_t k);
+
+  /// Indexes `subject`, sharing ownership (the index never dangles).
   KmerIndex(std::shared_ptr<const Sequence> subject, std::size_t k);
 
   /// Convenience: copies `subject` into shared ownership. Safe with
-  /// temporaries (the index never dangles).
+  /// temporaries.
   KmerIndex(const Sequence& subject, std::size_t k);
 
   std::size_t k() const { return k_; }
-  const Sequence& subject() const { return *subject_; }
-  const std::shared_ptr<const Sequence>& subject_ptr() const {
-    return subject_;
-  }
+  const SequenceView& subject() const { return subject_; }
 
   /// Number of distinct k-mers present.
   std::size_t distinct_kmers() const { return positions_.size(); }
@@ -73,7 +77,7 @@ class KmerIndex {
   std::uint64_t pack(std::span<const Residue> kmer) const;
 
  private:
-  std::shared_ptr<const Sequence> subject_;
+  SequenceView subject_;
   std::size_t k_;
   std::uint64_t radix_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> positions_;

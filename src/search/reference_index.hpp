@@ -1,11 +1,13 @@
 // A reference prepared for many searches: the packed subject plus its
 // k-mer index, built once and shared read-only.
 //
-// This is the unit the service's REF_PUT verb registers and SEARCH aligns
-// against by id: construction is the only mutating phase, so a single
-// shared_ptr<const ReferenceIndex> can be handed to every worker thread
-// without locks. The subject itself is shared (not copied) with the inner
-// KmerIndex, so a multi-megabase chromosome is stored exactly once.
+// This is the unit the service's REF_PUT/SEQ_END verbs register and
+// SEARCH aligns against by id: construction is the only mutating phase,
+// so a single shared_ptr<const ReferenceIndex> can be handed to every
+// worker thread without locks. The subject is a SequenceView — shared
+// ownership of an owned Sequence, or a zero-copy window into an mmap'd
+// packed store — so a multi-megabase chromosome is stored exactly once,
+// possibly at 2 bits per base.
 #pragma once
 
 #include <cstddef>
@@ -14,15 +16,20 @@
 
 #include "search/kmer_index.hpp"
 #include "sequence/sequence.hpp"
+#include "sequence/sequence_view.hpp"
 
 namespace flsa {
 namespace search {
 
 class ReferenceIndex {
  public:
-  /// Indexes `subject` with seed length `k`, sharing ownership. Same
+  /// Indexes the viewed subject with seed length `k`. Same
   /// preconditions as KmerIndex (throws SubjectTooLarge past 2^32-1
   /// residues).
+  ReferenceIndex(SequenceView subject, std::size_t k)
+      : kmers_(std::move(subject), k) {}
+
+  /// Indexes `subject` with seed length `k`, sharing ownership.
   ReferenceIndex(std::shared_ptr<const Sequence> subject, std::size_t k)
       : kmers_(std::move(subject), k) {}
 
@@ -31,10 +38,7 @@ class ReferenceIndex {
       : ReferenceIndex(
             std::make_shared<const Sequence>(std::move(subject)), k) {}
 
-  const Sequence& subject() const { return kmers_.subject(); }
-  const std::shared_ptr<const Sequence>& subject_ptr() const {
-    return kmers_.subject_ptr();
-  }
+  const SequenceView& subject() const { return kmers_.subject(); }
   std::size_t size() const { return subject().size(); }
   std::size_t k() const { return kmers_.k(); }
   const KmerIndex& kmers() const { return kmers_; }

@@ -10,7 +10,7 @@ namespace flsa {
 namespace search {
 
 UngappedHit xdrop_extend(const Sequence& query, std::size_t q,
-                         const Sequence& subject, std::size_t s,
+                         const SequenceView& subject, std::size_t s,
                          std::size_t k, const ScoringScheme& scheme,
                          Score x_drop) {
   FLSA_REQUIRE(q + k <= query.size() && s + k <= subject.size());
@@ -73,7 +73,7 @@ std::vector<SearchHit> seed_and_extend(const Sequence& query,
                                        const SearchParams& params) {
   FLSA_REQUIRE(scheme.is_linear());
   FLSA_REQUIRE(params.k == index.k());
-  const Sequence& subject = index.subject();
+  const SequenceView& subject = index.subject();
   std::vector<SearchHit> hits;
   if (query.size() < params.k) return hits;
 
@@ -123,7 +123,7 @@ std::vector<SearchHit> seed_and_extend(const Sequence& query,
     const std::size_t s_end = std::min(subject.size(), u.s_end + right_need);
 
     const Sequence s_window =
-        subject.subsequence(s_begin, s_end - s_begin);
+        subject.materialize(s_begin, s_end - s_begin);
     // Linear-space local alignment (forward/reverse score passes +
     // FastLSA on the located rectangle) — same score as the full-matrix
     // Smith-Waterman without the O(|query| * window) matrix. The base

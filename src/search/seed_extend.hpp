@@ -43,7 +43,7 @@ struct SearchHit {
 /// of length k in both directions without gaps, stopping when the running
 /// score falls `x_drop` below its running maximum. Exposed for testing.
 UngappedHit xdrop_extend(const Sequence& query, std::size_t q,
-                         const Sequence& subject, std::size_t s,
+                         const SequenceView& subject, std::size_t s,
                          std::size_t k, const ScoringScheme& scheme,
                          Score x_drop);
 

@@ -1,0 +1,57 @@
+#include "sequence/sequence_view.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace flsa {
+
+SequenceView::SequenceView() : alphabet_(&Alphabet::dna()) {}
+
+SequenceView::SequenceView(const Sequence& sequence)
+    : data_(sequence.residues().data()),
+      size_(sequence.size()),
+      packing_(Packing::kByte),
+      alphabet_(&sequence.alphabet()) {}
+
+SequenceView::SequenceView(std::shared_ptr<const Sequence> sequence)
+    : alphabet_(&Alphabet::dna()) {
+  if (sequence == nullptr) {
+    throw std::invalid_argument("SequenceView: null sequence");
+  }
+  data_ = sequence->residues().data();
+  size_ = sequence->size();
+  packing_ = Packing::kByte;
+  alphabet_ = &sequence->alphabet();
+  owner_ = std::move(sequence);
+}
+
+SequenceView::SequenceView(std::shared_ptr<const void> owner,
+                           const std::uint8_t* data, std::size_t size,
+                           Packing packing, const Alphabet& alphabet)
+    : owner_(std::move(owner)),
+      data_(data),
+      size_(size),
+      packing_(packing),
+      alphabet_(&alphabet) {}
+
+Sequence SequenceView::materialize(std::size_t pos, std::size_t count,
+                                   std::string id) const {
+  std::vector<Residue> residues;
+  residues.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    residues.push_back((*this)[pos + i]);
+  }
+  return Sequence(*alphabet_, std::move(residues), std::move(id));
+}
+
+std::string SequenceView::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(alphabet_->letter((*this)[i]));
+  }
+  return out;
+}
+
+}  // namespace flsa

@@ -1,0 +1,96 @@
+// A non-owning (or shared-owning) read-only view of residues that may be
+// byte-backed (one Residue per byte, e.g. a Sequence's vector) or
+// bit-packed (4 or 2 bits per residue, e.g. an mmap'd store payload).
+//
+// The view is the currency between the packed store and every consumer
+// that used to demand an owned Sequence: the k-mer index, chaining,
+// X-drop extension, and the service's reference registry all read
+// through it, so a 2-bit mmap'd chromosome is indexed and aligned in
+// place without ever being inflated to one byte per base.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sequence/sequence.hpp"
+
+namespace flsa {
+
+/// Residue packing of a view's backing bytes.
+enum class Packing : std::uint8_t {
+  kByte = 8,    ///< one residue per byte (Sequence layout)
+  kNibble = 4,  ///< two residues per byte, low nibble first
+  kTwoBit = 2,  ///< four residues per byte, low pair first
+};
+
+class SequenceView {
+ public:
+  /// Empty view over the DNA alphabet (valid, size 0).
+  SequenceView();
+
+  /// Non-owning view of a Sequence (string_view-style: the Sequence must
+  /// outlive the view). Implicit so `const Sequence&` call sites keep
+  /// compiling when a parameter becomes `const SequenceView&`.
+  SequenceView(const Sequence& sequence);  // NOLINT(runtime/explicit)
+
+  /// Shared-owning view of a Sequence.
+  explicit SequenceView(std::shared_ptr<const Sequence> sequence);
+
+  /// View of packed bytes. `owner` keeps the backing alive (e.g. an
+  /// mmap'd store); it may be null for storage with static lifetime.
+  /// `data` must hold at least ceil(size * bits / 8) bytes.
+  SequenceView(std::shared_ptr<const void> owner, const std::uint8_t* data,
+               std::size_t size, Packing packing, const Alphabet& alphabet);
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Packing packing() const { return packing_; }
+
+  /// Residue code at zero-based position i.
+  Residue operator[](std::size_t i) const {
+    switch (packing_) {
+      case Packing::kByte:
+        return data_[i];
+      case Packing::kNibble:
+        return static_cast<Residue>(
+            (static_cast<unsigned>(data_[i >> 1]) >> ((i & 1u) * 4)) & 0xFu);
+      case Packing::kTwoBit:
+      default:
+        return static_cast<Residue>(
+            (static_cast<unsigned>(data_[i >> 2]) >> ((i & 3u) * 2)) & 0x3u);
+    }
+  }
+
+  /// True when residues are one-per-byte and `data()` can be read as a
+  /// contiguous Residue array.
+  bool is_contiguous() const { return packing_ == Packing::kByte; }
+
+  /// Backing bytes (packed per `packing()`).
+  const std::uint8_t* data() const { return data_; }
+
+  /// Decodes `count` residues starting at `pos` into an owned Sequence
+  /// (O(count) — the escape hatch for code that needs contiguous bytes,
+  /// e.g. handing a slice to the full DP engine).
+  Sequence materialize(std::size_t pos, std::size_t count,
+                       std::string id = "") const;
+
+  /// The whole view as an owned Sequence.
+  Sequence materialize(std::string id = "") const {
+    return materialize(0, size_, std::move(id));
+  }
+
+  /// Decodes back to letters (for display / tests).
+  std::string to_string() const;
+
+ private:
+  std::shared_ptr<const void> owner_;  ///< keeps backing storage alive
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  Packing packing_ = Packing::kByte;
+  const Alphabet* alphabet_ = nullptr;
+};
+
+}  // namespace flsa

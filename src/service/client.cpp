@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/assert.hpp"
+#include "support/fnv.hpp"
 
 namespace flsa {
 namespace service {
@@ -170,6 +171,22 @@ std::uint64_t Client::send(AlignBatchRequest request) {
   return send_impl(std::move(request));
 }
 
+std::uint64_t Client::send(SeqBeginRequest request) {
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(SeqChunkRequest request) {
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(SeqEndRequest request) {
+  return send_impl(std::move(request));
+}
+
+std::uint64_t Client::send(AlignRefRequest request) {
+  return send_impl(std::move(request));
+}
+
 Response Client::receive() {
   FLSA_REQUIRE(connected());
   std::string payload;
@@ -214,6 +231,53 @@ Response Client::call(SearchRequest request) {
 
 Response Client::call(AlignBatchRequest request) {
   return wait_for(send(std::move(request)));
+}
+
+Response Client::call(SeqBeginRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(SeqChunkRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(SeqEndRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(AlignRefRequest request) {
+  const std::uint64_t id = send(std::move(request));
+  AlignPartResponse assembled;
+  std::uint32_t expected_seq = 0;
+  while (true) {
+    Response response = wait_for(id);
+    if (std::holds_alternative<ErrorResponse>(response)) return response;
+    auto* part = std::get_if<AlignPartResponse>(&response);
+    if (part == nullptr) {
+      throw std::runtime_error("ALIGN_REF answered with an unexpected verb");
+    }
+    if (part->seq != expected_seq) {
+      throw ProtocolError("ALIGN_PART out of sequence: got frame " +
+                          std::to_string(part->seq) + ", expected " +
+                          std::to_string(expected_seq));
+    }
+    const bool last = part->last;
+    if (expected_seq == 0) {
+      assembled = std::move(*part);
+    } else {
+      assembled.cigar_part += part->cigar_part;
+      // Every frame carries the trailer; the last frame's copy is the
+      // authoritative one, so overwrite as frames arrive.
+      assembled.score = part->score;
+      assembled.cells = part->cells;
+      assembled.queue_micros = part->queue_micros;
+      assembled.exec_micros = part->exec_micros;
+      assembled.deadline_remaining_ms = part->deadline_remaining_ms;
+      assembled.last = part->last;
+    }
+    ++expected_seq;
+    if (last) return Response{std::move(assembled)};
+  }
 }
 
 template <typename RequestT>
@@ -305,6 +369,82 @@ Response Client::call_with_retry(AlignRequest request,
 Response Client::call_with_retry(SearchRequest request,
                                  const RetryPolicy& policy) {
   return retry_impl(std::move(request), policy);
+}
+
+Response Client::call_with_retry(AlignRefRequest request,
+                                 const RetryPolicy& policy) {
+  return retry_impl(std::move(request), policy);
+}
+
+Response Client::call_with_retry(RefPutRequest request,
+                                 const RetryPolicy& policy) {
+  if (request.content_token == 0) {
+    request.content_token = content_token_for(request);
+  }
+  return retry_impl(std::move(request), policy);
+}
+
+Response Client::upload_sequence(std::string_view letters,
+                                 const UploadOptions& options) {
+  FLSA_REQUIRE(!endpoints_.empty());  // connect() must have been called once
+  std::uint64_t token = options.token;
+  const std::uint64_t total_hash =
+      fnv1a64(letters.data(), letters.size());
+  if (token == 0) token = total_hash != 0 ? total_hash : 1;
+  const std::size_t chunk_residues =
+      options.chunk_residues != 0 ? options.chunk_residues
+                                  : std::size_t{1} << 20;
+
+  unsigned resumes = 0;
+  while (true) {
+    try {
+      if (!connected()) reconnect();
+      // (Re-)open the session. On a resume the server answers how far
+      // the previous attempt got; bytes before next_offset are already
+      // durable on its side and are never re-sent.
+      SeqBeginRequest begin;
+      begin.upload_token = token;
+      begin.placement = options.placement;
+      begin.matrix = options.matrix;
+      begin.total_residues = letters.size();
+      begin.name = options.name;
+      Response opened = call(std::move(begin));
+      const auto* ok = std::get_if<SeqOkResponse>(&opened);
+      if (ok == nullptr) return opened;  // typed rejection — not ours to fix
+      std::uint64_t offset = ok->next_offset;
+
+      // Rebuild the rolling prefix hash up to the resume point, then
+      // chain it chunk by chunk.
+      std::uint64_t rolling = fnv1a64(letters.data(), offset);
+      while (offset < letters.size()) {
+        const std::size_t len =
+            std::min(chunk_residues, letters.size() - offset);
+        rolling = fnv1a64(letters.data() + offset, len, rolling);
+        SeqChunkRequest chunk;
+        chunk.upload_token = token;
+        chunk.offset = offset;
+        chunk.prefix_hash = rolling;
+        chunk.data.assign(letters.data() + offset, len);
+        Response acked = call(std::move(chunk));
+        const auto* chunk_ok = std::get_if<SeqOkResponse>(&acked);
+        if (chunk_ok == nullptr) return acked;
+        offset = chunk_ok->next_offset;
+      }
+
+      SeqEndRequest end;
+      end.upload_token = token;
+      end.total_residues = letters.size();
+      end.total_hash = total_hash;
+      end.k = options.k;
+      end.build_index = options.build_index;
+      return call(std::move(end));
+    } catch (const TransportError&) {
+      if (resumes >= options.max_resumes) throw;
+      ++resumes;
+      close();
+      advance_endpoint();
+    }
+  }
 }
 
 }  // namespace service

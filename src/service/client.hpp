@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "service/protocol.hpp"
@@ -85,6 +86,10 @@ class Client {
   std::uint64_t send(RefPutRequest request);
   std::uint64_t send(SearchRequest request);
   std::uint64_t send(AlignBatchRequest request);
+  std::uint64_t send(SeqBeginRequest request);
+  std::uint64_t send(SeqChunkRequest request);
+  std::uint64_t send(SeqEndRequest request);
+  std::uint64_t send(AlignRefRequest request);
 
   /// Blocks for the next response frame (any request id). Throws
   /// ProtocolError on malformed frames, TransportError when the server
@@ -99,6 +104,17 @@ class Client {
   Response call(RefPutRequest request);
   Response call(SearchRequest request);
   Response call(AlignBatchRequest request);
+  Response call(SeqBeginRequest request);
+  Response call(SeqChunkRequest request);
+  Response call(SeqEndRequest request);
+
+  /// Closed-loop ALIGN_REF with streamed-response reassembly: blocks
+  /// until the last ALIGN_PART frame and returns a single
+  /// AlignPartResponse whose cigar_part is the complete cigar and whose
+  /// trailer fields come from the last (authoritative) frame — or the
+  /// ErrorResponse the server answered instead. Memory is bounded by the
+  /// cigar itself, never by the DP matrix.
+  Response call(AlignRefRequest request);
 
   /// call() plus retry: reconnects and resends after TransportErrors and
   /// after the typed transient rejections of is_retryable() — all
@@ -112,11 +128,40 @@ class Client {
   /// answer was ever received. Per-attempt metrics land in the obs
   /// registry under client.retry.*.
   Response call_with_retry(AlignRequest request, const RetryPolicy& policy);
-  /// SEARCH is read-only against an immutable reference, so it shares
-  /// ALIGN's idempotent-safe retry contract. REF_PUT deliberately has no
-  /// retry overload: a TransportError after execution may have registered
-  /// the reference, and re-sending would register a second id.
+  /// SEARCH and ALIGN_REF are read-only against immutable references, so
+  /// they share ALIGN's idempotent-safe retry contract (a mid-stream
+  /// TransportError re-sends the whole ALIGN_REF; the re-computed parts
+  /// are identical).
   Response call_with_retry(SearchRequest request, const RetryPolicy& policy);
+  Response call_with_retry(AlignRefRequest request,
+                           const RetryPolicy& policy);
+  /// REF_PUT becomes retry-safe through its content token: when
+  /// request.content_token == 0 this fills in content_token_for(request)
+  /// first, so a re-send after an ambiguous failure answers the already
+  /// registered id instead of registering a duplicate.
+  Response call_with_retry(RefPutRequest request, const RetryPolicy& policy);
+
+  /// Streams `letters` to the server as one chunked upload
+  /// (SEQ_BEGIN / SEQ_CHUNK* / SEQ_END) and returns the final response —
+  /// a SeqOkResponse carrying the registered ref id on success, or the
+  /// first non-transport error. Transport failures mid-upload reconnect
+  /// and resume from the server's acknowledged offset (up to
+  /// `max_resumes` times): already-delivered bytes are never re-sent.
+  struct UploadOptions {
+    std::uint64_t token = 0;  ///< 0 = derive from the content hash
+    /// Router placement key: uploads sharing one land on the same
+    /// backend (required to ALIGN_REF them against each other through
+    /// the router). 0 = place by token; direct connections ignore it.
+    std::uint64_t placement = 0;
+    std::string name;
+    WireMatrix matrix = WireMatrix::kDna;
+    std::size_t chunk_residues = std::size_t{1} << 20;
+    std::uint32_t k = 0;            ///< SEQ_END seed length (0 = default)
+    bool build_index = false;       ///< also build the k-mer index
+    unsigned max_resumes = 3;       ///< transport failures tolerated
+  };
+  Response upload_sequence(std::string_view letters,
+                           const UploadOptions& options);
 
  private:
   std::uint64_t next_id();

@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "support/checked.hpp"
+#include "support/fnv.hpp"
+
 namespace flsa {
 namespace service {
 namespace {
@@ -219,12 +222,18 @@ const char* to_string(Verb verb) {
     case Verb::kRefPut: return "REF_PUT";
     case Verb::kSearch: return "SEARCH";
     case Verb::kAlignBatch: return "ALIGN_BATCH";
+    case Verb::kSeqBegin: return "SEQ_BEGIN";
+    case Verb::kSeqChunk: return "SEQ_CHUNK";
+    case Verb::kSeqEnd: return "SEQ_END";
+    case Verb::kAlignRef: return "ALIGN_REF";
     case Verb::kAlignOk: return "ALIGN_OK";
     case Verb::kError: return "ERROR";
     case Verb::kStatsOk: return "STATS_OK";
     case Verb::kRefPutOk: return "REF_PUT_OK";
     case Verb::kSearchOk: return "SEARCH_OK";
     case Verb::kAlignBatchOk: return "ALIGN_BATCH_OK";
+    case Verb::kSeqOk: return "SEQ_OK";
+    case Verb::kAlignPart: return "ALIGN_PART";
   }
   return "?";
 }
@@ -307,8 +316,58 @@ std::string encode(const RefPutRequest& request) {
   w.u64(request.request_id);
   w.u8(static_cast<std::uint8_t>(request.matrix));
   w.u32(request.k);
+  w.u64(request.content_token);
   w.str(request.name);
   w.str(request.sequence);
+  return w.take();
+}
+
+std::string encode(const SeqBeginRequest& request) {
+  Writer w(Verb::kSeqBegin);
+  w.u64(request.request_id);
+  w.u64(request.upload_token);
+  w.u64(request.placement);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.u64(request.total_residues);
+  w.str(request.name);
+  return w.take();
+}
+
+std::string encode(const SeqChunkRequest& request) {
+  Writer w(Verb::kSeqChunk);
+  w.u64(request.request_id);
+  w.u64(request.upload_token);
+  w.u64(request.offset);
+  w.u64(request.prefix_hash);
+  w.str(request.data);
+  return w.take();
+}
+
+std::string encode(const SeqEndRequest& request) {
+  Writer w(Verb::kSeqEnd);
+  w.u64(request.request_id);
+  w.u64(request.upload_token);
+  w.u64(request.total_residues);
+  w.u64(request.total_hash);
+  w.u32(request.k);
+  w.u8(request.build_index ? 1 : 0);
+  return w.take();
+}
+
+std::string encode(const AlignRefRequest& request) {
+  Writer w(Verb::kAlignRef);
+  w.u64(request.request_id);
+  w.u64(request.ref_a);
+  w.u64(request.ref_b);
+  w.u8(static_cast<std::uint8_t>(request.matrix));
+  w.i32(request.gap_open);
+  w.i32(request.gap_extend);
+  w.u32(request.k);
+  w.u64(request.base_case_cells);
+  w.u32(request.band);
+  w.u32(request.deadline_ms);
+  w.u8(request.score_only ? 1 : 0);
+  w.str(request.b);
   return w.take();
 }
 
@@ -380,6 +439,30 @@ std::string encode(const RefPutResponse& response) {
   return w.take();
 }
 
+std::string encode(const SeqOkResponse& response) {
+  Writer w(Verb::kSeqOk);
+  w.u64(response.request_id);
+  w.u64(response.upload_token);
+  w.u64(response.next_offset);
+  w.u64(response.ref_id);
+  w.u64(response.residues);
+  return w.take();
+}
+
+std::string encode(const AlignPartResponse& response) {
+  Writer w(Verb::kAlignPart);
+  w.u64(response.request_id);
+  w.u32(response.seq);
+  w.u8(response.last ? 1 : 0);
+  w.i64(response.score);
+  w.u64(response.cells);
+  w.u64(response.queue_micros);
+  w.u64(response.exec_micros);
+  w.i64(response.deadline_remaining_ms);
+  w.str(response.cigar_part);
+  return w.take();
+}
+
 std::string encode(const SearchResponse& response) {
   Writer w(Verb::kSearchOk);
   w.u64(response.request_id);
@@ -434,8 +517,58 @@ Request decode_request(std::string_view payload) {
       req.request_id = r.u64();
       req.matrix = read_matrix(r);
       req.k = r.u32();
+      req.content_token = r.u64();
       req.name = r.str();
       req.sequence = r.str();
+      r.finish();
+      return req;
+    }
+    case Verb::kSeqBegin: {
+      SeqBeginRequest req;
+      req.request_id = r.u64();
+      req.upload_token = r.u64();
+      req.placement = r.u64();
+      req.matrix = read_matrix(r);
+      req.total_residues = r.u64();
+      req.name = r.str();
+      r.finish();
+      return req;
+    }
+    case Verb::kSeqChunk: {
+      SeqChunkRequest req;
+      req.request_id = r.u64();
+      req.upload_token = r.u64();
+      req.offset = r.u64();
+      req.prefix_hash = r.u64();
+      req.data = r.str();
+      r.finish();
+      return req;
+    }
+    case Verb::kSeqEnd: {
+      SeqEndRequest req;
+      req.request_id = r.u64();
+      req.upload_token = r.u64();
+      req.total_residues = r.u64();
+      req.total_hash = r.u64();
+      req.k = r.u32();
+      req.build_index = r.u8() != 0;
+      r.finish();
+      return req;
+    }
+    case Verb::kAlignRef: {
+      AlignRefRequest req;
+      req.request_id = r.u64();
+      req.ref_a = r.u64();
+      req.ref_b = r.u64();
+      req.matrix = read_matrix(r);
+      req.gap_open = r.i32();
+      req.gap_extend = r.i32();
+      req.k = r.u32();
+      req.base_case_cells = r.u64();
+      req.band = r.u32();
+      req.deadline_ms = r.u32();
+      req.score_only = r.u8() != 0;
+      req.b = r.str();
       r.finish();
       return req;
     }
@@ -514,6 +647,30 @@ Response decode_response(std::string_view payload) {
       r.finish();
       return res;
     }
+    case Verb::kSeqOk: {
+      SeqOkResponse res;
+      res.request_id = r.u64();
+      res.upload_token = r.u64();
+      res.next_offset = r.u64();
+      res.ref_id = r.u64();
+      res.residues = r.u64();
+      r.finish();
+      return res;
+    }
+    case Verb::kAlignPart: {
+      AlignPartResponse res;
+      res.request_id = r.u64();
+      res.seq = r.u32();
+      res.last = r.u8() != 0;
+      res.score = r.i64();
+      res.cells = r.u64();
+      res.queue_micros = r.u64();
+      res.exec_micros = r.u64();
+      res.deadline_remaining_ms = r.i64();
+      res.cigar_part = r.str();
+      r.finish();
+      return res;
+    }
     case Verb::kRefPutOk: {
       RefPutResponse res;
       res.request_id = r.u64();
@@ -553,20 +710,46 @@ Response decode_response(std::string_view payload) {
   }
 }
 
+std::uint64_t estimated_cells(std::uint64_t m, std::uint64_t n) {
+  return mul_sat_u64(add_sat_u64(m, 1), add_sat_u64(n, 1));
+}
+
+std::uint64_t estimated_banded_cells(std::uint64_t m, std::uint64_t n,
+                                     std::uint32_t half_width) {
+  const std::uint64_t diff = m > n ? m - n : n - m;
+  const std::uint64_t width =
+      add_sat_u64(diff, add_sat_u64(2 * std::uint64_t{half_width}, 1));
+  return mul_sat_u64(add_sat_u64(m, 1), width);
+}
+
 std::uint64_t estimated_cells(const AlignRequest& request) {
-  return (static_cast<std::uint64_t>(request.a.size()) + 1) *
-         (static_cast<std::uint64_t>(request.b.size()) + 1);
+  return estimated_cells(request.a.size(), request.b.size());
 }
 
 std::uint64_t estimated_cells(const SearchRequest& request) {
-  const std::uint64_t q = request.query.size() + 1;
-  return q * q;
+  return estimated_cells(request.query.size(), request.query.size());
 }
 
 std::uint64_t estimated_cells(const AlignBatchRequest& request) {
   std::uint64_t total = 0;
-  for (const AlignRequest& job : request.jobs) total += estimated_cells(job);
+  for (const AlignRequest& job : request.jobs) {
+    total = add_sat_u64(total, estimated_cells(job));
+  }
   return total;
+}
+
+std::uint64_t content_token_for(const RefPutRequest& request) {
+  const std::uint8_t matrix_byte = static_cast<std::uint8_t>(request.matrix);
+  const std::uint8_t k_bytes[4] = {
+      static_cast<std::uint8_t>(request.k),
+      static_cast<std::uint8_t>(request.k >> 8),
+      static_cast<std::uint8_t>(request.k >> 16),
+      static_cast<std::uint8_t>(request.k >> 24),
+  };
+  std::uint64_t token = fnv1a64(&matrix_byte, 1);
+  token = fnv1a64(k_bytes, sizeof(k_bytes), token);
+  token = fnv1a64(request.sequence.data(), request.sequence.size(), token);
+  return token != 0 ? token : 1;
 }
 
 std::string frame_bytes(std::string_view payload) {

@@ -20,6 +20,28 @@
 //                                  worker executes them back to back on
 //                                  its persistent Aligner (the router's
 //                                  admission-time coalescing target)
+//   SEQ_BEGIN   -> SEQ_OK | ERROR  open (or resume) a chunked sequence
+//                                  upload session, keyed by a client
+//                                  token; SEQ_OK reports the next byte
+//                                  offset expected (0 for a new session)
+//   SEQ_CHUNK   -> SEQ_OK | ERROR  one slice of letters at an explicit
+//                                  offset with a rolling prefix hash;
+//                                  replayed prefixes are acknowledged
+//                                  idempotently (resume after reconnect)
+//   SEQ_END     -> SEQ_OK | ERROR  seal the upload (total length + hash
+//                                  must match), register the sequence in
+//                                  the server's packed store, and return
+//                                  its reference id
+//   ALIGN_REF   -> ALIGN_PART* | ERROR
+//                                  align by handle: the sequences are
+//                                  named by store ids (uploaded once via
+//                                  SEQ_* or REF_PUT) instead of being
+//                                  resent; the answer is streamed as a
+//                                  bounded-size sequence of ALIGN_PART
+//                                  frames (cigar slices, final frame
+//                                  carries score + timings) so a
+//                                  megabase edit script never needs one
+//                                  huge frame
 //
 // Responses carry the request_id of the request they answer, so clients
 // may pipeline: with a shared worker pool, responses on one connection can
@@ -57,12 +79,18 @@ enum class Verb : std::uint8_t {
   kRefPut = 0x03,
   kSearch = 0x04,
   kAlignBatch = 0x05,
+  kSeqBegin = 0x06,
+  kSeqChunk = 0x07,
+  kSeqEnd = 0x08,
+  kAlignRef = 0x09,
   kAlignOk = 0x81,
   kError = 0x82,
   kStatsOk = 0x83,
   kRefPutOk = 0x84,
   kSearchOk = 0x85,
   kAlignBatchOk = 0x86,
+  kSeqOk = 0x87,
+  kAlignPart = 0x88,
 };
 
 /// Substitution matrix selector (the server owns the tables; the wire
@@ -150,8 +178,83 @@ struct RefPutRequest {
   std::uint64_t request_id = 0;
   WireMatrix matrix = WireMatrix::kDna;  ///< fixes the alphabet
   std::uint32_t k = 0;                   ///< seed length; 0 = server default
+  /// Idempotency token, normally a content hash of (matrix, k, sequence);
+  /// 0 means none. A registration whose token matches an earlier one
+  /// answers the *existing* id instead of building a duplicate index —
+  /// which makes REF_PUT safe to retry after an ambiguous transport
+  /// failure (the double-send lands on the same id).
+  std::uint64_t content_token = 0;
   std::string name;                      ///< optional label
   std::string sequence;                  ///< residue letters
+};
+
+/// Opens (or, with a token the server already knows, resumes) a chunked
+/// upload session. The server answers SEQ_OK with `next_offset` = the
+/// letters it already holds for this token, so a client can continue
+/// after a reconnect without resending the prefix.
+struct SeqBeginRequest {
+  std::uint64_t request_id = 0;
+  /// Client-chosen session key; must be nonzero. Also the default
+  /// placement key at the router tier.
+  std::uint64_t upload_token = 0;
+  /// Router placement override: sequences sharing a placement key land
+  /// on the same backend (required to ALIGN_REF two uploads against
+  /// each other through the router). 0 = place by upload_token.
+  std::uint64_t placement = 0;
+  WireMatrix matrix = WireMatrix::kDna;  ///< fixes the alphabet
+  /// Declared total length; 0 = unknown until SEQ_END.
+  std::uint64_t total_residues = 0;
+  std::string name;  ///< optional label
+};
+
+/// One slice of residue letters at an explicit offset. `prefix_hash` is
+/// the FNV-1a of all letters [0, offset + data.size()) — a rolling
+/// checksum, so corruption is caught at the chunk where it happened.
+/// A chunk entirely below the server's high-water mark is acknowledged
+/// without being applied (idempotent replay); a chunk past it is a gap
+/// and is rejected.
+struct SeqChunkRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t upload_token = 0;
+  std::uint64_t offset = 0;       ///< letters before this chunk
+  std::uint64_t prefix_hash = 0;  ///< FNV-1a of letters [0, offset+|data|)
+  std::string data;               ///< residue letters
+};
+
+/// Seals an upload: the server verifies total length and hash, writes
+/// the packed store record, registers it, and answers SEQ_OK carrying
+/// the new reference id.
+struct SeqEndRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t upload_token = 0;
+  std::uint64_t total_residues = 0;  ///< must equal the letters received
+  std::uint64_t total_hash = 0;      ///< FNV-1a of all letters
+  std::uint32_t k = 0;  ///< seed length for the k-mer index; 0 = default
+  /// Build a k-mer index (required for SEARCH by this id). Skipping it
+  /// makes the handle ALIGN_REF-only but registration O(1) after the
+  /// store write.
+  bool build_index = false;
+};
+
+/// Align by store handle. `ref_a` names a registered sequence; `ref_b`
+/// may name a second one (two uploaded chromosomes) or be 0 with the
+/// second sequence inline in `b` (many short reads against one stored
+/// reference, the common case). `band` > 0 selects banded global
+/// alignment with that half-width (linear gaps only) — the only
+/// practical mode at multi-megabase scale; 0 runs full FastLSA.
+struct AlignRefRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t ref_a = 0;  ///< store id of sequence A (required)
+  std::uint64_t ref_b = 0;  ///< store id of sequence B; 0 = inline `b`
+  WireMatrix matrix = WireMatrix::kMdm78;
+  std::int32_t gap_open = kDefaultGapOpen;
+  std::int32_t gap_extend = kDefaultGapExtend;
+  std::uint32_t k = 0;  ///< FastLSA division factor; 0 = server default
+  std::uint64_t base_case_cells = 0;
+  std::uint32_t band = 0;  ///< banded half-width; 0 = full FastLSA
+  std::uint32_t deadline_ms = 0;
+  bool score_only = false;
+  std::string b;  ///< residue letters when ref_b == 0
 };
 
 /// Chained (seed-chain-extend) search of one query against a registered
@@ -219,6 +322,35 @@ struct RefPutResponse {
   std::uint64_t build_micros = 0;    ///< index build time
 };
 
+/// Acknowledges SEQ_BEGIN / SEQ_CHUNK / SEQ_END. `next_offset` is the
+/// total letters the server holds for the session — the offset the next
+/// chunk must start at (and the resume point after a reconnect).
+/// `ref_id` is 0 until SEQ_END registers the sequence.
+struct SeqOkResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t upload_token = 0;
+  std::uint64_t next_offset = 0;
+  std::uint64_t ref_id = 0;    ///< nonzero only on the SEQ_END answer
+  std::uint64_t residues = 0;  ///< letters stored (== next_offset)
+};
+
+/// One slice of a streamed ALIGN_REF answer. Parts arrive in `seq`
+/// order on the requesting connection; `cigar_part` concatenated over
+/// all parts is the full edit script. Every frame carries the trailer
+/// fields; they are authoritative on the frame with `last` set (a
+/// score_only answer is exactly one part with an empty cigar_part).
+struct AlignPartResponse {
+  std::uint64_t request_id = 0;
+  std::uint32_t seq = 0;  ///< part index, 0-based
+  bool last = false;
+  std::int64_t score = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t queue_micros = 0;
+  std::uint64_t exec_micros = 0;
+  std::int64_t deadline_remaining_ms = -1;
+  std::string cigar_part;
+};
+
 /// One search hit on the wire: subject/query-global coordinates plus the
 /// alignment score and (unless score_only) CIGAR.
 struct WireHit {
@@ -251,11 +383,14 @@ struct AlignBatchResponse {
   std::vector<BatchItem> items;
 };
 
-using Request = std::variant<AlignRequest, StatsRequest, RefPutRequest,
-                             SearchRequest, AlignBatchRequest>;
+using Request =
+    std::variant<AlignRequest, StatsRequest, RefPutRequest, SearchRequest,
+                 AlignBatchRequest, SeqBeginRequest, SeqChunkRequest,
+                 SeqEndRequest, AlignRefRequest>;
 using Response =
     std::variant<AlignResponse, ErrorResponse, StatsResponse, RefPutResponse,
-                 SearchResponse, AlignBatchResponse>;
+                 SearchResponse, AlignBatchResponse, SeqOkResponse,
+                 AlignPartResponse>;
 
 /// Thrown by decoders on malformed payloads (truncation, trailing bytes,
 /// unknown version/verb, length overflow).
@@ -294,19 +429,37 @@ std::string encode(const StatsRequest& request);
 std::string encode(const RefPutRequest& request);
 std::string encode(const SearchRequest& request);
 std::string encode(const AlignBatchRequest& request);
+std::string encode(const SeqBeginRequest& request);
+std::string encode(const SeqChunkRequest& request);
+std::string encode(const SeqEndRequest& request);
+std::string encode(const AlignRefRequest& request);
 std::string encode(const AlignResponse& response);
 std::string encode(const ErrorResponse& response);
 std::string encode(const StatsResponse& response);
 std::string encode(const RefPutResponse& response);
 std::string encode(const SearchResponse& response);
 std::string encode(const AlignBatchResponse& response);
+std::string encode(const SeqOkResponse& response);
+std::string encode(const AlignPartResponse& response);
 
 /// Payload decoders; throw ProtocolError on malformed input.
 Request decode_request(std::string_view payload);
 Response decode_response(std::string_view payload);
 
-/// Estimated DPM cells of a request, the quantity the admission
-/// controller's TOO_LARGE budget is expressed in: (|a|+1) * (|b|+1).
+/// Estimated DPM cells of an m x n problem, the quantity the admission
+/// controller's TOO_LARGE budget is expressed in: (m+1) * (n+1),
+/// *saturating* — at multi-megabase (let alone chromosome) lengths the
+/// product overflows 64 bits, and a wrapped estimate would sail under
+/// the budget instead of over it. All the request overloads below and
+/// every admission/bench call site go through this.
+std::uint64_t estimated_cells(std::uint64_t m, std::uint64_t n);
+
+/// Cells of the banded matrix banded_align allocates for an m x n
+/// problem at half-width w: (m+1) * (|n-m| + 2w + 1), saturating.
+std::uint64_t estimated_banded_cells(std::uint64_t m, std::uint64_t n,
+                                     std::uint32_t half_width);
+
+/// Estimated DPM cells of a request: (|a|+1) * (|b|+1), saturating.
 std::uint64_t estimated_cells(const AlignRequest& request);
 
 /// Admission estimate for a search: (|query|+1)^2 — the worst-case DP
@@ -319,6 +472,14 @@ std::uint64_t estimated_cells(const SearchRequest& request);
 /// worker for the total of its jobs' work, so it is budgeted like one
 /// request of that size.
 std::uint64_t estimated_cells(const AlignBatchRequest& request);
+
+/// Canonical idempotency token for a REF_PUT: FNV-1a over the fields
+/// that determine what gets registered (matrix, k, sequence letters —
+/// the display name is excluded). Never returns 0, which the wire
+/// reserves for "no token". Client::call_with_retry(RefPutRequest) fills
+/// this in automatically; pipelined senders that want retry safety call
+/// it themselves.
+std::uint64_t content_token_for(const RefPutRequest& request);
 
 // ---- Framed transport over a connected socket ------------------------
 

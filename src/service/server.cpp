@@ -1,21 +1,27 @@
 #include "service/server.hpp"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "dp/banded.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scoring/builtin.hpp"
 #include "scoring/scheme.hpp"
 #include "sequence/sequence.hpp"
+#include "support/checked.hpp"
+#include "support/fnv.hpp"
 
 namespace flsa {
 namespace service {
@@ -105,6 +111,15 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
           obs::metrics().counter("search.ref_residues"),
           obs::metrics().counter("service.batch.requests"),
           obs::metrics().counter("service.batch.jobs"),
+          obs::metrics().counter("stream.uploads"),
+          obs::metrics().counter("stream.upload_chunks"),
+          obs::metrics().counter("stream.upload_bytes"),
+          obs::metrics().counter("stream.upload_resumes"),
+          obs::metrics().counter("stream.uploads_sealed"),
+          obs::metrics().counter("stream.align_ref"),
+          obs::metrics().counter("stream.parts"),
+          obs::metrics().counter("search.ref_dedup_hits"),
+          obs::metrics().gauge("stream.uploads_active"),
           obs::metrics().gauge("search.refs"),
           obs::metrics().gauge("service.queue_depth"),
           obs::metrics().gauge("service.in_flight"),
@@ -165,6 +180,36 @@ void AlignmentServer::start() {
 
   if (config_.enable_metrics) obs::set_enabled(true);
 
+  // Resolve the packed-store directory: an explicit path is created (and
+  // kept) for the operator; an empty one gets a private mkdtemp the
+  // server removes on stop. Store files in an owned directory are
+  // unlinked as soon as they are mmap'd (the mapping keeps the bytes),
+  // so even a crash leaks at most the directory itself.
+  if (store_dir_.empty()) {
+    if (!config_.store_dir.empty()) {
+      store_dir_ = config_.store_dir;
+      owns_store_dir_ = false;
+      if (::mkdir(store_dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("cannot create store directory '" +
+                                 store_dir_ + "': " + std::strerror(errno));
+      }
+    } else {
+      const char* tmp = std::getenv("TMPDIR");
+      std::string tmpl =
+          std::string(tmp != nullptr ? tmp : "/tmp") + "/flsa_store.XXXXXX";
+      if (::mkdtemp(tmpl.data()) == nullptr) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error(std::string("mkdtemp failed: ") +
+                                 std::strerror(errno));
+      }
+      store_dir_ = tmpl;
+      owns_store_dir_ = true;
+    }
+  }
+
   started_at_ = std::chrono::steady_clock::now();
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -208,6 +253,27 @@ void AlignmentServer::stop() {
   reap_connections(/*all=*/true);
   instruments_.queue_depth.set(0.0);
   instruments_.in_flight.set(0.0);
+
+  // 4. Upload sessions die with the server (their writers unlink the
+  //    partial files); an owned store directory is swept and removed.
+  {
+    std::lock_guard<std::mutex> lock(uploads_mutex_);
+    uploads_.clear();
+    instruments_.uploads_active.set(0.0);
+  }
+  if (owns_store_dir_ && !store_dir_.empty()) {
+    if (DIR* dir = ::opendir(store_dir_.c_str())) {
+      while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((store_dir_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(store_dir_.c_str());
+    store_dir_.clear();
+    owns_store_dir_ = false;
+  }
 }
 
 void AlignmentServer::accept_loop() {
@@ -370,6 +436,21 @@ void AlignmentServer::handle_request(
     answer_stats(connection, std::get<StatsRequest>(request));
     return;
   }
+  // Upload verbs run inline on this connection thread: chunk order is
+  // the connection's frame order, which the shared worker pool would
+  // destroy, and the work is disk I/O, not DP cells.
+  if (const auto* begin = std::get_if<SeqBeginRequest>(&request)) {
+    handle_seq_begin(connection, *begin);
+    return;
+  }
+  if (const auto* chunk = std::get_if<SeqChunkRequest>(&request)) {
+    handle_seq_chunk(connection, *chunk);
+    return;
+  }
+  if (const auto* end = std::get_if<SeqEndRequest>(&request)) {
+    handle_seq_end(connection, *end);
+    return;
+  }
 
   // Every queued verb shares the admission pipeline: drain check, a
   // TOO_LARGE budget in the verb's own currency, the fault injector's
@@ -400,6 +481,50 @@ void AlignmentServer::handle_request(
       reject(connection, request_id, ErrorCode::kBadRequest,
              "batch contains no jobs");
       return;
+    }
+  } else if (const auto* by_ref = std::get_if<AlignRefRequest>(&request)) {
+    instruments_.requests.add();
+    instruments_.align_ref_requests.add();
+    request_id = by_ref->request_id;
+    // Resolve handle lengths for the budget check. The banded budget is
+    // its own currency (the banded matrix is what is actually
+    // allocated); full FastLSA is charged like ALIGN.
+    std::uint64_t len_a = 0;
+    std::uint64_t len_b = by_ref->b.size();
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto a_it = refs_.find(by_ref->ref_a);
+      if (a_it == refs_.end()) {
+        instruments_.search_ref_not_found.add();
+        reject(connection, request_id, ErrorCode::kRefNotFound,
+               "reference id " + std::to_string(by_ref->ref_a) +
+                   " is not registered");
+        return;
+      }
+      len_a = a_it->second.view.size();
+      if (by_ref->ref_b != 0) {
+        const auto b_it = refs_.find(by_ref->ref_b);
+        if (b_it == refs_.end()) {
+          instruments_.search_ref_not_found.add();
+          reject(connection, request_id, ErrorCode::kRefNotFound,
+                 "reference id " + std::to_string(by_ref->ref_b) +
+                     " is not registered");
+          return;
+        }
+        len_b = b_it->second.view.size();
+      }
+    }
+    if (by_ref->band != 0) {
+      const std::uint64_t banded =
+          estimated_banded_cells(len_a, len_b, by_ref->band);
+      if (banded > config_.max_banded_cells) {
+        too_large_message =
+            "banded request of " + std::to_string(banded) +
+            " cells exceeds the banded budget of " +
+            std::to_string(config_.max_banded_cells);
+      }
+    } else {
+      cells = estimated_cells(len_a, len_b);
     }
   } else {
     const auto& ref_put = std::get<RefPutRequest>(request);
@@ -442,7 +567,11 @@ void AlignmentServer::handle_request(
   std::visit(
       [&](auto&& work) {
         using T = std::decay_t<decltype(work)>;
-        if constexpr (!std::is_same_v<T, StatsRequest>) {
+        // STATS and the SEQ_* verbs were answered inline above.
+        if constexpr (!std::is_same_v<T, StatsRequest> &&
+                      !std::is_same_v<T, SeqBeginRequest> &&
+                      !std::is_same_v<T, SeqChunkRequest> &&
+                      !std::is_same_v<T, SeqEndRequest>) {
           enqueue(connection, request_id, std::move(work));
         }
       },
@@ -502,7 +631,8 @@ void AlignmentServer::worker_loop(unsigned worker_index) {
           // REF_PUT carries no deadline; a batch envelope has none either
           // (each coalesced job enforces its own inside run_align).
           if constexpr (std::is_same_v<T, AlignRequest> ||
-                        std::is_same_v<T, SearchRequest>) {
+                        std::is_same_v<T, SearchRequest> ||
+                        std::is_same_v<T, AlignRefRequest>) {
             deadline_ms = work.deadline_ms;
           }
         },
@@ -538,6 +668,8 @@ void AlignmentServer::execute(Aligner& aligner, Job& job) {
           execute_align_batch(aligner, job, work);
         } else if constexpr (std::is_same_v<T, RefPutRequest>) {
           execute_ref_put(job, work);
+        } else if constexpr (std::is_same_v<T, AlignRefRequest>) {
+          execute_align_ref(aligner, job, work);
         } else {
           execute_search(job, work);
         }
@@ -676,32 +808,102 @@ void AlignmentServer::execute_align_batch(Aligner& aligner, Job& job,
   }
 }
 
+std::string AlignmentServer::write_store_file(const Alphabet& alphabet,
+                                              std::string_view letters,
+                                              const std::string& name) {
+  const std::string path =
+      store_dir_ + "/ref" +
+      std::to_string(next_store_file_.fetch_add(1, std::memory_order_relaxed)) +
+      ".flsa";
+  store::StoreWriter writer(path, alphabet);
+  writer.append_letters(letters);
+  writer.finish_record(name);
+  writer.finalize();
+  return path;
+}
+
+std::uint64_t AlignmentServer::register_store_file(
+    const std::string& path, WireMatrix matrix, std::uint32_t build_k,
+    std::uint64_t* distinct_kmers) {
+  auto packed = store::PackedStore::open(path);
+  // In an owned (temporary) directory the file is unlinked immediately:
+  // the mapping keeps the bytes alive, and nothing can leak past the
+  // mapping's lifetime.
+  if (owns_store_dir_) ::unlink(path.c_str());
+  SequenceView view = packed->view(0);
+  std::shared_ptr<const search::ReferenceIndex> index;
+  if (build_k != 0) {
+    // The index reads straight through the packed view — the reference
+    // is never inflated to byte residues.
+    index = std::make_shared<const search::ReferenceIndex>(view, build_k);
+    if (distinct_kmers != nullptr) {
+      *distinct_kmers = index->kmers().distinct_kmers();
+    }
+  }
+  std::lock_guard<std::mutex> lock(refs_mutex_);
+  const std::uint64_t id = next_ref_id_++;
+  refs_.emplace(id, RefEntry{std::move(index), std::move(view), matrix});
+  instruments_.refs_live.set(static_cast<double>(refs_.size()));
+  return id;
+}
+
 void AlignmentServer::execute_ref_put(Job& job,
                                       const RefPutRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   try {
+    // Idempotent replay: a retried REF_PUT whose content token is
+    // already mapped answers the existing id — a duplicate send after an
+    // ambiguous failure cannot register (and index) the content twice.
+    if (request.content_token != 0) {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto tok = ref_tokens_.find(request.content_token);
+      if (tok != ref_tokens_.end()) {
+        RefPutResponse response;
+        response.request_id = request.request_id;
+        response.ref_id = tok->second;
+        const auto it = refs_.find(tok->second);
+        if (it != refs_.end()) {
+          response.residues = it->second.view.size();
+          if (it->second.index) {
+            response.distinct_kmers =
+                it->second.index->kmers().distinct_kmers();
+          }
+        }
+        instruments_.completed.add();
+        instruments_.ref_dedup_hits.add();
+        if (!respond(job.connection, encode(response))) {
+          instruments_.write_errors.add();
+        }
+        return;
+      }
+    }
+
     const Alphabet& alphabet = alphabet_for(request.matrix);
     const std::uint32_t k =
         request.k != 0 ? request.k : default_seed_k(config_, request.matrix);
-    auto subject = std::make_shared<const Sequence>(alphabet,
-                                                    request.sequence,
-                                                    request.name);
-    auto index =
-        std::make_shared<const search::ReferenceIndex>(std::move(subject), k);
+    search::KmerIndex::require_indexable(request.sequence.size());
+    const std::string path =
+        write_store_file(alphabet, request.sequence, request.name);
+    std::uint64_t distinct = 0;
+    std::uint64_t ref_id =
+        register_store_file(path, request.matrix, k, &distinct);
     const auto done = std::chrono::steady_clock::now();
+
+    if (request.content_token != 0) {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      // Two concurrent registrations of the same content settle on the
+      // first mapping; the loser's entry is merely unreferenced.
+      const auto winner =
+          ref_tokens_.emplace(request.content_token, ref_id).first;
+      ref_id = winner->second;
+    }
 
     RefPutResponse response;
     response.request_id = request.request_id;
-    response.residues = index->size();
-    response.distinct_kmers = index->kmers().distinct_kmers();
+    response.ref_id = ref_id;
+    response.residues = request.sequence.size();
+    response.distinct_kmers = distinct;
     response.build_micros = micros_between(started, done);
-    {
-      std::lock_guard<std::mutex> lock(refs_mutex_);
-      response.ref_id = next_ref_id_++;
-      refs_.emplace(response.ref_id, RefEntry{std::move(index),
-                                              request.matrix});
-      instruments_.refs_live.set(static_cast<double>(refs_.size()));
-    }
     instruments_.completed.add();
     instruments_.ref_puts.add();
     instruments_.ref_residues.add(response.residues);
@@ -729,20 +931,31 @@ void AlignmentServer::execute_search(Job& job, const SearchRequest& request) {
   const auto started = std::chrono::steady_clock::now();
   try {
     RefEntry entry;
+    bool found = false;
     {
       std::lock_guard<std::mutex> lock(refs_mutex_);
       const auto it = refs_.find(request.ref_id);
-      if (it != refs_.end()) entry = it->second;
+      if (it != refs_.end()) {
+        entry = it->second;
+        found = true;
+      }
     }
-    if (!entry.index) {
+    if (!found) {
       instruments_.search_ref_not_found.add();
       reject(job.connection, request.request_id, ErrorCode::kRefNotFound,
              "reference id " + std::to_string(request.ref_id) +
                  " is not registered");
       return;
     }
+    if (!entry.index) {
+      // Registered via SEQ_END with build_index=false: alignable by
+      // handle, but not seed-searchable.
+      throw std::invalid_argument(
+          "reference id " + std::to_string(request.ref_id) +
+          " was stored without a k-mer index; re-upload with build_index");
+    }
     const Alphabet& alphabet = alphabet_for(request.matrix);
-    if (&alphabet != &entry.index->subject().alphabet()) {
+    if (&alphabet != &entry.view.alphabet()) {
       throw std::invalid_argument(
           std::string("matrix ") + to_string(request.matrix) +
           " uses a different alphabet than the reference (registered with " +
@@ -822,6 +1035,432 @@ void AlignmentServer::execute_search(Job& job, const SearchRequest& request) {
         static_cast<double>(response.exec_micros) * 1e-6);
     if (!respond(job.connection, encode(response))) {
       instruments_.write_errors.add();
+    }
+  } catch (const std::invalid_argument& e) {
+    instruments_.bad_requests.add();
+    reject(job.connection, request.request_id, ErrorCode::kBadRequest,
+           e.what());
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(job.connection, request.request_id, ErrorCode::kInternal,
+           e.what());
+  }
+}
+
+void AlignmentServer::handle_seq_begin(
+    const std::shared_ptr<Connection>& connection,
+    const SeqBeginRequest& request) {
+  instruments_.requests.add();
+  if (draining_.load(std::memory_order_acquire)) {
+    instruments_.rejected_shutdown.add();
+    reject(connection, request.request_id, ErrorCode::kShuttingDown,
+           "server is draining");
+    return;
+  }
+  if (request.upload_token == 0) {
+    instruments_.bad_requests.add();
+    reject(connection, request.request_id, ErrorCode::kBadRequest,
+           "upload token must be nonzero");
+    return;
+  }
+  if (request.total_residues > config_.max_store_residues) {
+    instruments_.rejected_too_large.add();
+    reject(connection, request.request_id, ErrorCode::kTooLarge,
+           "declared upload of " + std::to_string(request.total_residues) +
+               " residues exceeds the store limit of " +
+               std::to_string(config_.max_store_residues));
+    return;
+  }
+  if (injector_ && injector_->active() && injector_->inject_reject()) {
+    instruments_.rejected_overloaded.add();
+    reject(connection, request.request_id, ErrorCode::kOverloaded,
+           "fault injection: admission rejected");
+    return;
+  }
+  try {
+    SeqOkResponse response;
+    response.request_id = request.request_id;
+    response.upload_token = request.upload_token;
+    {
+      std::lock_guard<std::mutex> lock(uploads_mutex_);
+      auto it = uploads_.find(request.upload_token);
+      if (it != uploads_.end()) {
+        // Resume: a re-BEGIN with a known token answers how far the
+        // previous attempt got; the client continues from next_offset.
+        instruments_.upload_resumes.add();
+        response.next_offset = it->second.received;
+        response.residues = it->second.received;
+      } else {
+        if (uploads_.size() >= config_.max_uploads_in_flight) {
+          instruments_.rejected_overloaded.add();
+          reject(connection, request.request_id, ErrorCode::kOverloaded,
+                 "too many uploads in flight (" +
+                     std::to_string(config_.max_uploads_in_flight) + ")");
+          return;
+        }
+        const Alphabet& alphabet = alphabet_for(request.matrix);
+        Upload upload;
+        upload.path =
+            store_dir_ + "/up" +
+            std::to_string(
+                next_store_file_.fetch_add(1, std::memory_order_relaxed)) +
+            ".flsa";
+        upload.writer =
+            std::make_unique<store::StoreWriter>(upload.path, alphabet);
+        upload.matrix = request.matrix;
+        upload.name = request.name;
+        upload.declared_total = request.total_residues;
+        upload.rolling_hash = kFnvOffsetBasis;
+        uploads_.emplace(request.upload_token, std::move(upload));
+        instruments_.uploads_started.add();
+        instruments_.uploads_active.set(static_cast<double>(uploads_.size()));
+      }
+    }
+    instruments_.completed.add();
+    if (!respond(connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(connection, request.request_id, ErrorCode::kInternal, e.what());
+  }
+}
+
+void AlignmentServer::handle_seq_chunk(
+    const std::shared_ptr<Connection>& connection,
+    const SeqChunkRequest& request) {
+  instruments_.requests.add();
+  if (draining_.load(std::memory_order_acquire)) {
+    instruments_.rejected_shutdown.add();
+    reject(connection, request.request_id, ErrorCode::kShuttingDown,
+           "server is draining");
+    return;
+  }
+  try {
+    SeqOkResponse response;
+    response.request_id = request.request_id;
+    response.upload_token = request.upload_token;
+    {
+      std::lock_guard<std::mutex> lock(uploads_mutex_);
+      const auto it = uploads_.find(request.upload_token);
+      if (it == uploads_.end()) {
+        instruments_.bad_requests.add();
+        reject(connection, request.request_id, ErrorCode::kBadRequest,
+               "unknown upload token " +
+                   std::to_string(request.upload_token) +
+                   " (send SEQ_BEGIN first)");
+        return;
+      }
+      Upload& upload = it->second;
+      const std::uint64_t chunk_end =
+          add_sat_u64(request.offset, request.data.size());
+      if (chunk_end <= upload.received) {
+        // Replay of bytes already applied (a retry after a lost SEQ_OK):
+        // acknowledge idempotently, append nothing.
+        response.next_offset = upload.received;
+        response.residues = upload.received;
+      } else if (request.offset != upload.received) {
+        // A gap (or partial overlap) — the session stays open so the
+        // client can re-BEGIN, learn next_offset, and resume correctly.
+        instruments_.bad_requests.add();
+        reject(connection, request.request_id, ErrorCode::kBadRequest,
+               "chunk at offset " + std::to_string(request.offset) +
+                   " does not resume at " + std::to_string(upload.received));
+        return;
+      } else {
+        if (chunk_end > config_.max_store_residues ||
+            (upload.declared_total != 0 &&
+             chunk_end > upload.declared_total)) {
+          // Past the declared (or absolute) size: the session is void.
+          const std::string message =
+              "upload grew to " + std::to_string(chunk_end) +
+              " residues, past " +
+              std::to_string(upload.declared_total != 0
+                                 ? upload.declared_total
+                                 : config_.max_store_residues);
+          uploads_.erase(it);  // StoreWriter dtor unlinks the partial file
+          instruments_.uploads_active.set(
+              static_cast<double>(uploads_.size()));
+          instruments_.rejected_too_large.add();
+          reject(connection, request.request_id, ErrorCode::kTooLarge,
+                 message);
+          return;
+        }
+        const std::uint64_t rolled =
+            fnv1a64(request.data.data(), request.data.size(),
+                    upload.rolling_hash);
+        if (request.prefix_hash != 0 && request.prefix_hash != rolled) {
+          // The client's prefix checksum disagrees with what the store
+          // actually received: some earlier byte was corrupted in
+          // flight, so nothing already written can be trusted.
+          uploads_.erase(it);
+          instruments_.uploads_active.set(
+              static_cast<double>(uploads_.size()));
+          instruments_.bad_requests.add();
+          reject(connection, request.request_id, ErrorCode::kBadRequest,
+                 "prefix checksum mismatch at offset " +
+                     std::to_string(chunk_end) + "; upload aborted");
+          return;
+        }
+        try {
+          upload.writer->append_letters(request.data);
+        } catch (const std::invalid_argument& e) {
+          const std::string message = e.what();
+          uploads_.erase(it);
+          instruments_.uploads_active.set(
+              static_cast<double>(uploads_.size()));
+          instruments_.bad_requests.add();
+          reject(connection, request.request_id, ErrorCode::kBadRequest,
+                 message + "; upload aborted");
+          return;
+        }
+        upload.received = chunk_end;
+        upload.rolling_hash = rolled;
+        instruments_.upload_chunks.add();
+        instruments_.upload_bytes.add(request.data.size());
+        response.next_offset = upload.received;
+        response.residues = upload.received;
+      }
+    }
+    instruments_.completed.add();
+    if (!respond(connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(connection, request.request_id, ErrorCode::kInternal, e.what());
+  }
+}
+
+void AlignmentServer::handle_seq_end(
+    const std::shared_ptr<Connection>& connection,
+    const SeqEndRequest& request) {
+  instruments_.requests.add();
+  try {
+    Upload upload;
+    {
+      std::lock_guard<std::mutex> lock(uploads_mutex_);
+      const auto it = uploads_.find(request.upload_token);
+      if (it == uploads_.end()) {
+        instruments_.bad_requests.add();
+        reject(connection, request.request_id, ErrorCode::kBadRequest,
+               "unknown upload token " +
+                   std::to_string(request.upload_token) +
+                   " (send SEQ_BEGIN first)");
+        return;
+      }
+      if (request.total_residues != it->second.received) {
+        // Wrong length but the bytes present are fine: keep the session
+        // so the client can resume the missing tail.
+        instruments_.bad_requests.add();
+        reject(connection, request.request_id, ErrorCode::kBadRequest,
+               "SEQ_END declares " + std::to_string(request.total_residues) +
+                   " residues but " + std::to_string(it->second.received) +
+                   " were received; resume from there or abort");
+        return;
+      }
+      if (request.total_hash != 0 &&
+          request.total_hash != it->second.rolling_hash) {
+        const std::string message =
+            "whole-sequence checksum mismatch; upload aborted";
+        uploads_.erase(it);
+        instruments_.uploads_active.set(static_cast<double>(uploads_.size()));
+        instruments_.bad_requests.add();
+        reject(connection, request.request_id, ErrorCode::kBadRequest,
+               message);
+        return;
+      }
+      upload = std::move(it->second);
+      uploads_.erase(it);
+      instruments_.uploads_active.set(static_cast<double>(uploads_.size()));
+    }
+    // Seal and register outside uploads_mutex_: finalize fsyncs and a
+    // requested index build is CPU work; neither should stall other
+    // connections' chunks.
+    std::uint32_t build_k = 0;
+    if (request.build_index) {
+      search::KmerIndex::require_indexable(upload.received);
+      build_k = request.k != 0 ? request.k
+                               : default_seed_k(config_, upload.matrix);
+    }
+    upload.writer->finish_record(upload.name);
+    upload.writer->finalize();
+    upload.writer.reset();
+
+    std::uint64_t distinct = 0;
+    const std::uint64_t ref_id =
+        register_store_file(upload.path, upload.matrix, build_k, &distinct);
+    instruments_.uploads_sealed.add();
+    instruments_.ref_puts.add();
+    instruments_.ref_residues.add(upload.received);
+    instruments_.completed.add();
+
+    SeqOkResponse response;
+    response.request_id = request.request_id;
+    response.upload_token = request.upload_token;
+    response.next_offset = upload.received;
+    response.ref_id = ref_id;
+    response.residues = upload.received;
+    if (!respond(connection, encode(response))) {
+      instruments_.write_errors.add();
+    }
+  } catch (const search::SubjectTooLarge& e) {
+    instruments_.rejected_too_large.add();
+    reject(connection, request.request_id, ErrorCode::kTooLarge, e.what());
+  } catch (const std::invalid_argument& e) {
+    instruments_.bad_requests.add();
+    reject(connection, request.request_id, ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    instruments_.internal_errors.add();
+    reject(connection, request.request_id, ErrorCode::kInternal, e.what());
+  }
+}
+
+void AlignmentServer::execute_align_ref(Aligner& aligner, Job& job,
+                                        const AlignRefRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    RefEntry entry_a;
+    RefEntry entry_b;
+    bool found_a = false;
+    bool found_b = request.ref_b == 0;  // inline b needs no lookup
+    {
+      std::lock_guard<std::mutex> lock(refs_mutex_);
+      const auto a_it = refs_.find(request.ref_a);
+      if (a_it != refs_.end()) {
+        entry_a = a_it->second;
+        found_a = true;
+      }
+      if (request.ref_b != 0) {
+        const auto b_it = refs_.find(request.ref_b);
+        if (b_it != refs_.end()) {
+          entry_b = b_it->second;
+          found_b = true;
+        }
+      }
+    }
+    if (!found_a || !found_b) {
+      instruments_.search_ref_not_found.add();
+      reject(job.connection, request.request_id, ErrorCode::kRefNotFound,
+             "reference id " +
+                 std::to_string(found_a ? request.ref_b : request.ref_a) +
+                 " is not registered");
+      return;
+    }
+    const Alphabet& alphabet = alphabet_for(request.matrix);
+    if (&alphabet != &entry_a.view.alphabet() ||
+        (request.ref_b != 0 && &alphabet != &entry_b.view.alphabet())) {
+      throw std::invalid_argument(
+          std::string("matrix ") + to_string(request.matrix) +
+          " uses a different alphabet than the stored reference");
+    }
+    if (request.gap_open > 0 || request.gap_extend > 0) {
+      throw std::invalid_argument("gap penalties must be <= 0");
+    }
+
+    // Materialize the packed views into byte sequences for the DP engine:
+    // linear in the sequence lengths (megabytes), while the matrix the
+    // band avoids is quadratic (terabytes at this scale).
+    const Sequence a = entry_a.view.materialize();
+    const Sequence b = request.ref_b != 0 ? entry_b.view.materialize()
+                                          : Sequence(alphabet, request.b);
+
+    Alignment alignment;
+    DpCounters counters;
+    if (request.band != 0) {
+      if (request.gap_open != 0) {
+        throw std::invalid_argument(
+            "banded ALIGN_REF requires linear gap penalties (gap_open = 0)");
+      }
+      // Band geometry: j - i spans [-w, (n - m) + w]; when m - n > 2w the
+      // range is empty and no monotone path reaches the corner.
+      if (a.size() > b.size() &&
+          a.size() - b.size() > 2 * std::uint64_t{request.band}) {
+        throw std::invalid_argument(
+            "band half-width " + std::to_string(request.band) +
+            " cannot cover a length difference of " +
+            std::to_string(a.size() - b.size()));
+      }
+      const ScoringScheme scheme(matrix_for(request.matrix),
+                                 request.gap_extend);
+      alignment = banded_align(a, b, scheme, request.band, &counters);
+    } else {
+      const SubstitutionMatrix& matrix = matrix_for(request.matrix);
+      const ScoringScheme scheme =
+          request.gap_open == 0
+              ? ScoringScheme(matrix, request.gap_extend)
+              : ScoringScheme(matrix, request.gap_open, request.gap_extend);
+      AlignOptions options = aligner.options();
+      if (request.k != 0) options.fastlsa.k = request.k;
+      if (request.base_case_cells != 0) {
+        options.fastlsa.base_case_cells = request.base_case_cells;
+      }
+      validate(options.fastlsa);
+      options.fastlsa.workspace = &aligner.workspace();
+      alignment = flsa::align(a, b, scheme, options);
+    }
+    const auto done = std::chrono::steady_clock::now();
+
+    std::int64_t deadline_remaining_ms = -1;
+    if (request.deadline_ms != 0) {
+      const auto deadline =
+          job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+      if (done >= deadline) {
+        instruments_.rejected_deadline.add();
+        reject(job.connection, request.request_id,
+               ErrorCode::kDeadlineExceeded,
+               "deadline of " + std::to_string(request.deadline_ms) +
+                   " ms expired during execution; result discarded");
+        return;
+      }
+      deadline_remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                done)
+              .count();
+    }
+
+    const std::string cigar =
+        request.score_only ? std::string() : alignment.cigar();
+    const std::uint64_t cells =
+        request.band != 0
+            ? counters.cells_stored
+            : estimated_cells(a.size(), b.size());
+
+    // Stream the answer in bounded frames: every frame carries the full
+    // trailer (authoritative on the last), so a client that only wants
+    // the score can stop at frame 0 and a reassembler can size-check as
+    // it goes. Always at least one frame, even for an empty cigar.
+    const std::size_t slice = config_.align_part_chars != 0
+                                  ? config_.align_part_chars
+                                  : std::size_t{1} << 20;
+    const std::size_t parts =
+        cigar.empty() ? 1 : (cigar.size() + slice - 1) / slice;
+    instruments_.completed.add();
+    instruments_.cells.add(cells);
+    instruments_.queue_seconds.observe(
+        static_cast<double>(micros_between(job.enqueued, started)) * 1e-6);
+    instruments_.exec_seconds.observe(
+        static_cast<double>(micros_between(started, done)) * 1e-6);
+    for (std::size_t part = 0; part < parts; ++part) {
+      AlignPartResponse response;
+      response.request_id = request.request_id;
+      response.seq = static_cast<std::uint32_t>(part);
+      response.last = part + 1 == parts;
+      response.score = alignment.score;
+      response.cells = cells;
+      response.queue_micros = micros_between(job.enqueued, started);
+      response.exec_micros = micros_between(started, done);
+      response.deadline_remaining_ms = deadline_remaining_ms;
+      if (!cigar.empty()) {
+        const std::size_t begin = part * slice;
+        response.cigar_part =
+            cigar.substr(begin, std::min(slice, cigar.size() - begin));
+      }
+      instruments_.align_parts.add();
+      if (!respond(job.connection, encode(response))) {
+        instruments_.write_errors.add();
+        return;  // peer is gone; the remaining parts have no reader
+      }
     }
   } catch (const std::invalid_argument& e) {
     instruments_.bad_requests.add();

@@ -48,9 +48,11 @@
 #include "obs/metrics.hpp"
 #include "search/chain.hpp"
 #include "search/reference_index.hpp"
+#include "sequence/sequence_view.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/fault.hpp"
 #include "service/protocol.hpp"
+#include "store/packed_store.hpp"
 
 namespace flsa {
 namespace service {
@@ -98,6 +100,26 @@ struct ServiceConfig {
   /// field (0 = keep this default).
   search::ChainedSearchParams search_defaults;
 
+  // ---- Streaming (SEQ_* / ALIGN_REF) ----------------------------------
+  /// Directory for packed store files (one per registered reference).
+  /// Empty = a private directory under TMPDIR, removed with the server.
+  std::string store_dir;
+  /// Cap on residues of one streamed upload; SEQ_BEGIN/SEQ_CHUNK past it
+  /// answer TOO_LARGE. Defaults well above max_reference_residues: an
+  /// upload is bounded by disk, not by the k-mer index position type,
+  /// until SEQ_END asks for an index.
+  std::uint64_t max_store_residues = std::uint64_t{1} << 32;
+  /// Cap on concurrently open upload sessions (each holds an fd and a
+  /// small write buffer). Admission answers OVERLOADED past it.
+  std::size_t max_uploads_in_flight = 64;
+  /// TOO_LARGE budget for banded ALIGN_REF (band > 0): maximum
+  /// (m+1)*(|n-m|+2*band+1) banded-matrix cells. Distinct from
+  /// max_request_cells because the banded matrix is the memory ceiling
+  /// at multi-megabase scale, not the full (m+1)*(n+1) rectangle.
+  std::uint64_t max_banded_cells = std::uint64_t{1} << 33;
+  /// Largest cigar slice carried by one ALIGN_PART frame.
+  std::size_t align_part_chars = std::size_t{1} << 20;
+
   // ---- Fault injection ------------------------------------------------
   /// Chaos-testing plan (see service/fault.hpp); inactive by default.
   /// When enabled, the read/write/admission paths consult the seeded
@@ -140,18 +162,38 @@ class AlignmentServer {
   /// ALIGN_BATCH runs all jobs on one worker's Aligner so the coalesced
   /// frame amortizes workspace reuse (the router's coalescing contract).
   using Work = std::variant<AlignRequest, RefPutRequest, SearchRequest,
-                            AlignBatchRequest>;
+                            AlignBatchRequest, AlignRefRequest>;
   struct Job {
     std::shared_ptr<Connection> connection;
     Work work;
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// One registered reference: the shared read-only index plus the
-  /// matrix family it was encoded under (SEARCH must agree on alphabet).
+  /// One registered reference, living in the packed store: a zero-copy
+  /// view of the mmap'd record (every worker reads the same pages), the
+  /// matrix family it was encoded under (SEARCH/ALIGN_REF must agree on
+  /// alphabet), and — when an index was requested — the k-mer index.
+  /// `index` is null for ALIGN_REF-only handles (SEQ_END with
+  /// build_index = false); SEARCH against them is a BAD_REQUEST.
   struct RefEntry {
     std::shared_ptr<const search::ReferenceIndex> index;
+    SequenceView view;
     WireMatrix matrix = WireMatrix::kDna;
+  };
+
+  /// One in-progress chunked upload, keyed by the client's token. Lives
+  /// on the connection threads only (guarded by uploads_mutex_): chunks
+  /// of one session arrive ordered on one connection, and the store
+  /// write is I/O-bound, not CPU-bound, so the worker pool is not
+  /// involved until SEQ_END registers the result.
+  struct Upload {
+    std::unique_ptr<store::StoreWriter> writer;
+    WireMatrix matrix = WireMatrix::kDna;
+    std::string name;
+    std::string path;
+    std::uint64_t declared_total = 0;  ///< SEQ_BEGIN's total (0 = unknown)
+    std::uint64_t received = 0;        ///< letters applied so far
+    std::uint64_t rolling_hash;        ///< FNV-1a of letters [0, received)
   };
 
   void accept_loop();
@@ -179,8 +221,32 @@ class AlignmentServer {
                            const AlignBatchRequest& request);
   void execute_ref_put(Job& job, const RefPutRequest& request);
   void execute_search(Job& job, const SearchRequest& request);
+  void execute_align_ref(Aligner& aligner, Job& job,
+                         const AlignRefRequest& request);
   void answer_stats(const std::shared_ptr<Connection>& connection,
                     const StatsRequest& request);
+
+  // Upload sessions run inline on the connection thread (chunk order is
+  // the connection's frame order; the worker pool would reorder them).
+  void handle_seq_begin(const std::shared_ptr<Connection>& connection,
+                        const SeqBeginRequest& request);
+  void handle_seq_chunk(const std::shared_ptr<Connection>& connection,
+                        const SeqChunkRequest& request);
+  void handle_seq_end(const std::shared_ptr<Connection>& connection,
+                      const SeqEndRequest& request);
+
+  /// Registers a finalized store file under a fresh ref id. Returns the
+  /// id. `build_k` == 0 skips the k-mer index (ALIGN_REF-only handle).
+  std::uint64_t register_store_file(const std::string& path,
+                                    WireMatrix matrix, std::uint32_t build_k,
+                                    std::uint64_t* distinct_kmers);
+
+  /// Writes `sequence` (letters) through a StoreWriter into store_dir_
+  /// and returns the finalized path. Used by REF_PUT so every reference
+  /// lives in the store regardless of which verb registered it.
+  std::string write_store_file(const Alphabet& alphabet,
+                               std::string_view letters,
+                               const std::string& name);
 
   /// Serialized, connection-locked frame write; false when the peer hung
   /// up (the job's result is then dropped, not an error). Consults the
@@ -226,6 +292,15 @@ class AlignmentServer {
     obs::Counter& ref_residues;
     obs::Counter& batch_requests;
     obs::Counter& batch_jobs;
+    obs::Counter& uploads_started;
+    obs::Counter& upload_chunks;
+    obs::Counter& upload_bytes;
+    obs::Counter& upload_resumes;
+    obs::Counter& uploads_sealed;
+    obs::Counter& align_ref_requests;
+    obs::Counter& align_parts;
+    obs::Counter& ref_dedup_hits;
+    obs::Gauge& uploads_active;
     obs::Gauge& refs_live;
     obs::Gauge& queue_depth;
     obs::Gauge& in_flight;
@@ -260,11 +335,24 @@ class AlignmentServer {
   std::vector<std::shared_ptr<Connection>> connections_;
 
   /// Registered references. The map is touched briefly under the mutex
-  /// (insert on REF_PUT, shared_ptr copy on SEARCH); the indexes
-  /// themselves are immutable and searched without any lock.
+  /// (insert on REF_PUT/SEQ_END, shared_ptr copy on SEARCH/ALIGN_REF);
+  /// the indexes and mmap'd views themselves are immutable and read
+  /// without any lock.
   std::mutex refs_mutex_;
   std::map<std::uint64_t, RefEntry> refs_;
   std::uint64_t next_ref_id_ = 1;
+  /// REF_PUT idempotency: content token -> already-assigned ref id.
+  std::map<std::uint64_t, std::uint64_t> ref_tokens_;
+
+  /// Open upload sessions by token (see Upload).
+  std::mutex uploads_mutex_;
+  std::map<std::uint64_t, Upload> uploads_;
+
+  /// Resolved store directory; when `owns_store_dir_` the server created
+  /// it (config.store_dir empty) and removes it on stop().
+  std::string store_dir_;
+  bool owns_store_dir_ = false;
+  std::atomic<std::uint64_t> next_store_file_{1};
 };
 
 }  // namespace service

@@ -1,0 +1,400 @@
+#include "store/packed_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "support/checked.hpp"
+#include "support/fnv.hpp"
+
+namespace flsa {
+namespace store {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'L', 'S', 'A', 'S', 'T', 'O', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 64;
+constexpr std::uint64_t kPayloadOffset = 4096;
+constexpr std::size_t kRecordEntryBytes = 24;
+constexpr std::size_t kWriterBufferBytes = std::size_t{1} << 16;
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  std::uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) v = static_cast<std::uint16_t>((v << 8) | p[i]);
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// The store encodes which alphabet a file uses as a small id; only the
+/// three canonical singletons exist on the wire, so only they can be
+/// stored.
+std::uint8_t alphabet_id(const Alphabet& alphabet) {
+  if (&alphabet == &Alphabet::dna()) return 0;
+  if (&alphabet == &Alphabet::dna_n()) return 1;
+  if (&alphabet == &Alphabet::protein()) return 2;
+  throw std::invalid_argument("packed store: unsupported alphabet " +
+                              alphabet.name());
+}
+
+const Alphabet& alphabet_for_id(std::uint8_t id) {
+  switch (id) {
+    case 0:
+      return Alphabet::dna();
+    case 1:
+      return Alphabet::dna_n();
+    default:
+      return Alphabet::protein();
+  }
+}
+
+[[noreturn]] void throw_errno(StoreError::Kind kind, const std::string& what,
+                              const std::string& path) {
+  throw StoreError(kind, "packed store: " + what + " '" + path +
+                             "': " + std::strerror(errno));
+}
+
+void write_fd(int fd, const std::uint8_t* data, std::size_t len,
+              const std::string& path) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(StoreError::Kind::kIo, "write", path);
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint8_t packing_bits(const Alphabet& alphabet) {
+  if (alphabet.size() <= 4) return 2;
+  if (alphabet.size() <= 16) return 4;
+  return 8;
+}
+
+std::uint64_t packed_bytes(std::uint64_t residues, std::uint8_t bits) {
+  const std::uint64_t per_byte = std::uint64_t{8} / bits;
+  return residues / per_byte + (residues % per_byte != 0 ? 1 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// StoreWriter
+
+StoreWriter::StoreWriter(std::string path, const Alphabet& alphabet)
+    : path_(std::move(path)),
+      alphabet_(&alphabet),
+      bits_(packing_bits(alphabet)),
+      payload_hash_(kFnvOffsetBasis) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) throw_errno(StoreError::Kind::kIo, "create", path_);
+  if (::lseek(fd_, static_cast<off_t>(kPayloadOffset), SEEK_SET) < 0) {
+    throw_errno(StoreError::Kind::kIo, "seek", path_);
+  }
+  buffer_.reserve(kWriterBufferBytes);
+}
+
+StoreWriter::~StoreWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  // A writer that never reached finalize() leaves no half-written file
+  // behind for a later open() to trip on.
+  if (!finalized_) ::unlink(path_.c_str());
+}
+
+void StoreWriter::put_residue(Residue code) {
+  if (bits_ == 8) {
+    buffer_.push_back(code);
+  } else {
+    pending_byte_ |= static_cast<std::uint8_t>(code << pending_bits_);
+    pending_bits_ += bits_;
+    if (pending_bits_ == 8) {
+      buffer_.push_back(pending_byte_);
+      pending_byte_ = 0;
+      pending_bits_ = 0;
+    }
+  }
+  if (buffer_.size() >= kWriterBufferBytes) flush_buffer();
+}
+
+void StoreWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  payload_hash_ = fnv1a64(buffer_.data(), buffer_.size(), payload_hash_);
+  payload_bytes_ += buffer_.size();
+  write_fd(fd_, buffer_.data(), buffer_.size(), path_);
+  buffer_.clear();
+}
+
+void StoreWriter::append(const Residue* data, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (data[i] >= alphabet_->size()) {
+      throw std::invalid_argument("packed store: residue code out of range");
+    }
+    put_residue(data[i]);
+  }
+  record_residues_ += count;
+}
+
+void StoreWriter::append_letters(std::string_view letters) {
+  // Validate first: a foreign character must not leave a half-appended
+  // chunk behind (the upload path relies on append being all-or-nothing
+  // per chunk).
+  for (char c : letters) {
+    if (!alphabet_->contains(c)) {
+      throw std::invalid_argument(
+          std::string("packed store: character '") + c +
+          "' not in alphabet " + alphabet_->name());
+    }
+  }
+  for (char c : letters) put_residue(alphabet_->code(c));
+  record_residues_ += letters.size();
+}
+
+void StoreWriter::pad_record_boundary() {
+  if (pending_bits_ != 0) {
+    buffer_.push_back(pending_byte_);
+    pending_byte_ = 0;
+    pending_bits_ = 0;
+  }
+}
+
+void StoreWriter::finish_record(std::string name) {
+  pad_record_boundary();
+  PendingRecord record;
+  record.byte_begin = record_begin_;
+  record.count = record_residues_;
+  record.name = std::move(name);
+  records_.push_back(std::move(record));
+  finished_residues_ += record_residues_;
+  record_residues_ = 0;
+  record_begin_ = payload_bytes_ + buffer_.size();
+}
+
+std::uint64_t StoreWriter::total_residues() const {
+  return finished_residues_ + record_residues_;
+}
+
+void StoreWriter::finalize() {
+  if (finalized_) return;
+  if (record_residues_ > 0) finish_record("");
+  flush_buffer();
+
+  if (records_.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw StoreError(StoreError::Kind::kBadRecord,
+                     "packed store: too many records");
+  }
+  std::vector<std::uint8_t> table(records_.size() * kRecordEntryBytes);
+  std::string heap;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const PendingRecord& r = records_[i];
+    std::uint8_t* e = table.data() + i * kRecordEntryBytes;
+    put_u64(e, r.byte_begin);
+    put_u64(e + 8, r.count);
+    put_u32(e + 16, static_cast<std::uint32_t>(heap.size()));
+    put_u32(e + 20, static_cast<std::uint32_t>(r.name.size()));
+    heap += r.name;
+  }
+  table.insert(table.end(), heap.begin(), heap.end());
+  if (table.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw StoreError(StoreError::Kind::kBadRecord,
+                     "packed store: record table too large");
+  }
+
+  const std::uint64_t table_offset = kPayloadOffset + payload_bytes_;
+  // Guarantee the file extends to the table even when it is empty, so
+  // open() can bounds-check against the real size.
+  if (::ftruncate(fd_, static_cast<off_t>(table_offset + table.size())) < 0) {
+    throw_errno(StoreError::Kind::kIo, "truncate", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(table_offset), SEEK_SET) < 0) {
+    throw_errno(StoreError::Kind::kIo, "seek", path_);
+  }
+  write_fd(fd_, table.data(), table.size(), path_);
+
+  std::uint8_t header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof kMagic);
+  put_u32(header + 8, kVersion);
+  header[12] = bits_;
+  header[13] = alphabet_id(*alphabet_);
+  put_u16(header + 14, static_cast<std::uint16_t>(records_.size()));
+  put_u64(header + 16, finished_residues_);
+  put_u64(header + 24, kPayloadOffset);
+  put_u64(header + 32, payload_bytes_);
+  put_u64(header + 40, table_offset);
+  put_u64(header + 48, payload_hash_);
+  put_u32(header + 56, static_cast<std::uint32_t>(table.size()));
+  put_u32(header + 60, static_cast<std::uint32_t>(fnv1a64(header, 60)));
+  if (::pwrite(fd_, header, sizeof header, 0) !=
+      static_cast<ssize_t>(sizeof header)) {
+    throw_errno(StoreError::Kind::kIo, "write header", path_);
+  }
+  if (::fsync(fd_) < 0) throw_errno(StoreError::Kind::kIo, "fsync", path_);
+  ::close(fd_);
+  fd_ = -1;
+  finalized_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// PackedStore
+
+std::shared_ptr<const PackedStore> PackedStore::open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno(StoreError::Kind::kIo, "open", path);
+  struct stat st = {};
+  if (::fstat(fd, &st) < 0) {
+    ::close(fd);
+    throw_errno(StoreError::Kind::kIo, "stat", path);
+  }
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kHeaderBytes) {
+    ::close(fd);
+    throw StoreError(StoreError::Kind::kTruncated,
+                     "packed store: file shorter than header: " + path);
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (map == MAP_FAILED) {
+    throw_errno(StoreError::Kind::kIo, "mmap", path);
+  }
+
+  // From here every exit must unmap; hand the mapping to the object
+  // first and validate through it.
+  std::shared_ptr<PackedStore> self(new PackedStore());
+  self->path_ = path;
+  self->map_ = static_cast<const std::uint8_t*>(map);
+  self->map_bytes_ = file_bytes;
+
+  const std::uint8_t* h = self->map_;
+  if (std::memcmp(h, kMagic, sizeof kMagic) != 0) {
+    throw StoreError(StoreError::Kind::kBadMagic,
+                     "packed store: bad magic: " + path);
+  }
+  if (get_u32(h + 8) != kVersion) {
+    throw StoreError(StoreError::Kind::kBadVersion,
+                     "packed store: unsupported version " +
+                         std::to_string(get_u32(h + 8)) + ": " + path);
+  }
+  if (get_u32(h + 60) != static_cast<std::uint32_t>(fnv1a64(h, 60))) {
+    throw StoreError(StoreError::Kind::kBadHeader,
+                     "packed store: header checksum mismatch: " + path);
+  }
+  const std::uint8_t bits = h[12];
+  if (bits != 2 && bits != 4 && bits != 8) {
+    throw StoreError(StoreError::Kind::kBadHeader,
+                     "packed store: bad packing bits: " + path);
+  }
+  if (h[13] > 2) {
+    throw StoreError(StoreError::Kind::kBadHeader,
+                     "packed store: unknown alphabet id: " + path);
+  }
+  const std::uint16_t record_count = get_u16(h + 14);
+  const std::uint64_t residues = get_u64(h + 16);
+  const std::uint64_t payload_offset = get_u64(h + 24);
+  const std::uint64_t payload_bytes = get_u64(h + 32);
+  const std::uint64_t table_offset = get_u64(h + 40);
+  const std::uint64_t payload_hash = get_u64(h + 48);
+  const std::uint32_t table_bytes = get_u32(h + 56);
+  if (payload_offset != kPayloadOffset ||
+      table_offset != add_sat_u64(payload_offset, payload_bytes)) {
+    throw StoreError(StoreError::Kind::kBadHeader,
+                     "packed store: inconsistent section offsets: " + path);
+  }
+  if (add_sat_u64(table_offset, table_bytes) > file_bytes) {
+    throw StoreError(StoreError::Kind::kTruncated,
+                     "packed store: file shorter than header claims: " + path);
+  }
+  const std::uint64_t entry_bytes =
+      mul_sat_u64(record_count, kRecordEntryBytes);
+  if (entry_bytes > table_bytes) {
+    throw StoreError(StoreError::Kind::kBadHeader,
+                     "packed store: record table larger than section: " +
+                         path);
+  }
+  const std::uint64_t heap_bytes = table_bytes - entry_bytes;
+
+  const std::uint8_t* payload = self->map_ + payload_offset;
+  const std::uint8_t* table = self->map_ + table_offset;
+  const char* heap = reinterpret_cast<const char*>(table + entry_bytes);
+
+  std::uint64_t counted = 0;
+  self->records_.reserve(record_count);
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    const std::uint8_t* e = table + std::size_t{i} * kRecordEntryBytes;
+    Record record;
+    record.byte_begin = get_u64(e);
+    record.count = get_u64(e + 8);
+    const std::uint32_t name_off = get_u32(e + 16);
+    const std::uint32_t name_len = get_u32(e + 20);
+    if (add_sat_u64(record.byte_begin, packed_bytes(record.count, bits)) >
+        payload_bytes) {
+      throw StoreError(StoreError::Kind::kBadRecord,
+                       "packed store: record " + std::to_string(i) +
+                           " payload out of bounds: " + path);
+    }
+    if (add_sat_u64(name_off, name_len) > heap_bytes) {
+      throw StoreError(StoreError::Kind::kBadRecord,
+                       "packed store: record " + std::to_string(i) +
+                           " name overruns table: " + path);
+    }
+    record.name.assign(heap + name_off, name_len);
+    counted = add_sat_u64(counted, record.count);
+    self->records_.push_back(std::move(record));
+  }
+  if (counted != residues) {
+    throw StoreError(StoreError::Kind::kBadRecord,
+                     "packed store: record counts disagree with header: " +
+                         path);
+  }
+  if (fnv1a64(payload, payload_bytes) != payload_hash) {
+    throw StoreError(StoreError::Kind::kBadChecksum,
+                     "packed store: payload hash mismatch: " + path);
+  }
+
+  self->alphabet_ = &alphabet_for_id(h[13]);
+  self->bits_ = bits;
+  self->total_residues_ = residues;
+  self->payload_ = payload;
+  return self;
+}
+
+PackedStore::~PackedStore() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+  }
+}
+
+SequenceView PackedStore::view(std::size_t i) const {
+  const Record& record = records_.at(i);
+  Packing packing = bits_ == 2   ? Packing::kTwoBit
+                    : bits_ == 4 ? Packing::kNibble
+                                 : Packing::kByte;
+  return SequenceView(shared_from_this(), payload_ + record.byte_begin,
+                      record.count, packing, *alphabet_);
+}
+
+}  // namespace store
+}  // namespace flsa

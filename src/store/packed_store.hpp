@@ -1,0 +1,197 @@
+// The packed sequence store: an on-disk, page-aligned, bit-packed
+// container of encoded sequences, opened read-only via mmap and shared
+// (zero-copy) across worker threads and processes.
+//
+// File layout ("FLSASTO1", little-endian, version 1):
+//
+//   [0, 64)                      header (checksummed)
+//   [4096, 4096 + payload_bytes) packed residues, records byte-aligned
+//   [table_offset, +table_bytes) record table + name heap
+//
+// Header fields:
+//
+//   off  size  field
+//   0    8     magic "FLSASTO1"
+//   8    4     u32 version (= 1)
+//   12   1     u8  bits per residue (2, 4, or 8)
+//   13   1     u8  alphabet id (0 = dna, 1 = dna_n, 2 = protein)
+//   14   2     u16 record count
+//   16   8     u64 total residues (sum of record counts)
+//   24   8     u64 payload offset (= 4096, one page: the payload can be
+//              mapped page-aligned and the header page dropped)
+//   32   8     u64 payload bytes
+//   40   8     u64 table offset (= payload offset + payload bytes)
+//   48   8     u64 FNV-1a hash of the payload bytes
+//   56   4     u32 table bytes (records + name heap)
+//   60   4     u32 FNV-1a of header bytes [0, 60), truncated
+//
+// Record table: record_count entries of 24 bytes each
+//   { u64 payload byte offset, u64 residue count,
+//     u32 name offset (into the heap), u32 name length },
+// followed by the name heap. Every record starts on a payload byte
+// boundary (the writer pads the last partial byte of each record), so a
+// record is always addressable as (pointer, count, packing) — exactly a
+// SequenceView.
+//
+// Opening validates everything before anything is dereferenced: magic,
+// version, checksums, and every offset/length (with saturating
+// arithmetic) against the actual file size. Corrupt or truncated files
+// fail with a typed StoreError, never UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sequence/sequence_view.hpp"
+
+namespace flsa {
+namespace store {
+
+/// Typed failure from store open/validation or writer I/O.
+class StoreError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kIo,           ///< open/read/write/mmap syscall failure
+    kBadMagic,     ///< not a store file
+    kBadVersion,   ///< format version not understood
+    kBadHeader,    ///< header field out of range or checksum mismatch
+    kTruncated,    ///< file shorter than the header claims
+    kBadChecksum,  ///< payload hash mismatch
+    kBadRecord,    ///< record table entry out of bounds
+  };
+
+  StoreError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Bits per residue used for `alphabet` (2 for |A| <= 4, 4 for <= 16,
+/// else 8).
+std::uint8_t packing_bits(const Alphabet& alphabet);
+
+/// Payload bytes needed for `residues` residues at `bits` per residue
+/// (saturating; never wraps).
+std::uint64_t packed_bytes(std::uint64_t residues, std::uint8_t bits);
+
+/// Streaming store builder. Residues are appended (in arbitrary chunk
+/// sizes), grouped into named records, and flushed bit-packed straight
+/// to disk — peak memory is one small I/O buffer regardless of sequence
+/// length. The file is unusable until finalize() writes the table and
+/// header; a writer destroyed without finalize() removes its file.
+class StoreWriter {
+ public:
+  /// Creates (truncates) `path`. Throws StoreError(kIo) on failure.
+  StoreWriter(std::string path, const Alphabet& alphabet);
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Appends encoded residues (each must be < alphabet.size()) to the
+  /// current record.
+  void append(const Residue* data, std::size_t count);
+
+  /// Encodes `letters` over the alphabet and appends them. Throws
+  /// std::invalid_argument on foreign characters (file is unaffected:
+  /// the letters are validated before any byte is buffered).
+  void append_letters(std::string_view letters);
+
+  /// Ends the current record, naming it. Pads the payload to the next
+  /// byte boundary so the following record is byte-aligned.
+  void finish_record(std::string name);
+
+  /// Residues appended to the current (unfinished) record.
+  std::uint64_t current_record_residues() const { return record_residues_; }
+  /// Residues across all records, finished and current.
+  std::uint64_t total_residues() const;
+
+  /// Finishes an in-progress record (unnamed) if any, writes the record
+  /// table and header, fsyncs and closes. No appends may follow.
+  void finalize();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void put_residue(Residue code);
+  void flush_buffer();
+  void pad_record_boundary();
+
+  struct PendingRecord {
+    std::uint64_t byte_begin = 0;
+    std::uint64_t count = 0;
+    std::string name;
+  };
+
+  std::string path_;
+  const Alphabet* alphabet_;
+  std::uint8_t bits_;
+  int fd_ = -1;
+  bool finalized_ = false;
+
+  std::vector<std::uint8_t> buffer_;  ///< packed bytes not yet written
+  std::uint8_t pending_byte_ = 0;     ///< partial byte being filled
+  unsigned pending_bits_ = 0;
+  std::uint64_t payload_bytes_ = 0;  ///< full bytes committed so far
+  std::uint64_t payload_hash_;
+  std::uint64_t record_residues_ = 0;  ///< residues in the open record
+  std::uint64_t record_begin_ = 0;     ///< byte offset of the open record
+  std::uint64_t finished_residues_ = 0;
+  std::vector<PendingRecord> records_;
+};
+
+/// A finished store file, memory-mapped read-only. Records are exposed
+/// as SequenceViews whose lifetime is tied to the mapping via shared
+/// ownership — a view keeps the mmap alive.
+class PackedStore : public std::enable_shared_from_this<PackedStore> {
+ public:
+  struct Record {
+    std::uint64_t byte_begin = 0;  ///< offset into the payload
+    std::uint64_t count = 0;       ///< residues
+    std::string name;
+  };
+
+  /// Maps and validates `path`. Throws StoreError on any defect.
+  static std::shared_ptr<const PackedStore> open(const std::string& path);
+
+  ~PackedStore();
+
+  PackedStore(const PackedStore&) = delete;
+  PackedStore& operator=(const PackedStore&) = delete;
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  std::uint8_t bits() const { return bits_; }
+  std::uint64_t total_residues() const { return total_residues_; }
+  std::size_t record_count() const { return records_.size(); }
+  const Record& record(std::size_t i) const { return records_[i]; }
+
+  /// Zero-copy view of record `i`. The view shares ownership of the
+  /// mapping (the file stays mapped while any view lives).
+  SequenceView view(std::size_t i) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  PackedStore() = default;
+
+  std::string path_;
+  const Alphabet* alphabet_ = nullptr;
+  std::uint8_t bits_ = 8;
+  std::uint64_t total_residues_ = 0;
+  std::vector<Record> records_;
+
+  const std::uint8_t* map_ = nullptr;  ///< whole-file mapping
+  std::size_t map_bytes_ = 0;
+  const std::uint8_t* payload_ = nullptr;
+};
+
+}  // namespace store
+}  // namespace flsa

@@ -1,0 +1,34 @@
+// Saturating unsigned arithmetic for size/cell-budget computations.
+//
+// DP cell counts are products of sequence lengths: at multi-megabase
+// scale `(m + 1) * (n + 1)` silently wraps 64-bit arithmetic (two 5 Gbp
+// chromosomes already overflow), and a wrapped product sails *under* an
+// admission budget instead of over it. Every budget comparison in the
+// tree goes through these helpers: overflow clamps to the maximum, so
+// an impossible request always looks too big, never too small.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flsa {
+
+/// `a + b`, clamped to `UINT64_MAX` on overflow.
+inline std::uint64_t add_sat_u64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+/// `a * b`, clamped to `UINT64_MAX` on overflow.
+inline std::uint64_t mul_sat_u64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+}  // namespace flsa

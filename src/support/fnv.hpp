@@ -1,0 +1,29 @@
+// FNV-1a 64-bit — the tree's one content hash.
+//
+// Used by the packed store (payload + header checksums), the resumable
+// upload protocol (rolling prefix hash over the residue letters), and
+// REF_PUT idempotency tokens. Not cryptographic; it only needs to catch
+// corruption and to give two identical uploads the same token.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flsa {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Folds `len` bytes into a running FNV-1a state. Seed with
+/// `kFnvOffsetBasis`, then chain calls for rolling hashes.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t state = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace flsa

@@ -1,6 +1,8 @@
 // Tests for the banded global aligner.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dp/banded.hpp"
 #include "dp/fullmatrix.hpp"
 #include "scoring/builtin.hpp"
@@ -91,6 +93,30 @@ TEST(Banded, RejectsBadParameters) {
   const SubstitutionMatrix m = scoring::dna();
   const ScoringScheme affine(m, -5, -1);
   EXPECT_THROW(banded_align(a, a, affine, 2), std::invalid_argument);
+}
+
+TEST(Banded, DpCountersSaturateInsteadOfWrapping) {
+  // Counter merges across workers sum (m+1)*(n+1)-flavoured quantities;
+  // at the 64-bit boundary they must pin, not wrap to a small lie.
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  DpCounters a;
+  a.cells_scored = max64 - 10;
+  a.cells_stored = 100;
+  EXPECT_EQ(a.total_cells(), max64);
+
+  DpCounters b;
+  b.cells_scored = max64 - 1;
+  b.traceback_steps = max64;
+  a += b;
+  EXPECT_EQ(a.cells_scored, max64);
+  EXPECT_EQ(a.cells_stored, 100u);
+  EXPECT_EQ(a.traceback_steps, max64);
+  EXPECT_EQ(a.total_cells(), max64);
+
+  DpCounters small;
+  small.cells_scored = 3;
+  small.cells_stored = 4;
+  EXPECT_EQ(small.total_cells(), 7u);  // ordinary sums stay exact
 }
 
 }  // namespace

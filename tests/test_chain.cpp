@@ -301,7 +301,7 @@ TEST(ReferenceIndex, SharesSubjectOwnershipWithCallers) {
     index = std::make_shared<const search::ReferenceIndex>(subject, 4);
   }  // the caller's handle is gone; the index keeps the subject alive
   EXPECT_EQ(index->size(), 16u);
-  EXPECT_EQ(index->subject_ptr().use_count(), 1);
+  EXPECT_EQ(index->subject().to_string(), "ACGTACGTAACGTTTT");
   const Sequence probe(Alphabet::dna(), "ACGT");
   EXPECT_FALSE(index->kmers().lookup(probe.residues()).empty());
 }

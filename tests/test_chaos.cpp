@@ -365,6 +365,115 @@ TEST(Chaos, SearchUnderFireIsBitIdenticalOrTyped) {
       << " transport=" << transport << " protocol=" << protocol;
 }
 
+TEST(Chaos, RefPutRetriesNeverDoubleRegister) {
+  // Drop faults kill connections *after* the server may already have
+  // executed the REF_PUT — the classic at-least-once hazard. With the
+  // content token filled in by call_with_retry, every resend of the
+  // same sequence must settle on the original handle: one id per
+  // distinct sequence, no matter how many attempts or what display
+  // name each attempt carried.
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=31,drop=0.2,reject=0.1");
+  AlignmentServer server(config);
+  server.start();
+
+  const std::uint64_t dedup_before =
+      obs::metrics().counter("search.ref_dedup_hits").value();
+
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(10);
+  policy.seed = 0xC0DE;
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(920);
+  constexpr int kSequences = 6;
+  constexpr int kRounds = 4;
+  std::vector<std::string> sequences;
+  for (int s = 0; s < kSequences; ++s) {
+    sequences.push_back(
+        random_sequence(Alphabet::dna(), 300, rng).to_string());
+  }
+  std::vector<std::uint64_t> ids(kSequences, 0);
+  int registered = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int s = 0; s < kSequences; ++s) {
+      RefPutRequest put;
+      put.matrix = WireMatrix::kDna;
+      put.name = "try-" + std::to_string(round);  // token ignores the name
+      put.sequence = sequences[static_cast<std::size_t>(s)];
+      const Response response = client.call_with_retry(std::move(put), policy);
+      const auto* ok = std::get_if<RefPutResponse>(&response);
+      ASSERT_NE(ok, nullptr) << "round " << round << " sequence " << s;
+      ++registered;
+      std::uint64_t& id = ids[static_cast<std::size_t>(s)];
+      if (id == 0) {
+        id = ok->ref_id;
+      } else {
+        EXPECT_EQ(ok->ref_id, id)
+            << "retried REF_PUT registered a duplicate (round " << round
+            << ", sequence " << s << ")";
+      }
+    }
+  }
+  server.stop();
+  EXPECT_EQ(registered, kSequences * kRounds);
+  // Rounds past the first are replays by construction, so the dedup
+  // path must have fired at least that many times.
+  EXPECT_GE(obs::metrics().counter("search.ref_dedup_hits").value(),
+            dedup_before + kSequences * (kRounds - 1));
+}
+
+TEST(Chaos, UploadUnderFireResumesToTheSameHandle) {
+  // The streaming path under drop/truncate faults: upload_sequence
+  // reconnects and resumes from the server's high-water mark, so the
+  // sealed sequence must be byte-identical to the input — proven by
+  // aligning it against the original via ALIGN_REF (an all-match
+  // self-alignment scores exactly 5 per residue).
+  ServiceConfig config;
+  config.fault_plan = parse_fault_plan("seed=47,drop=0.05,truncate=0.03");
+  AlignmentServer server(config);
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(921);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 20000, rng).to_string();
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.chunk_residues = 512;  // many chunks -> many fault opportunities
+  options.max_resumes = 64;
+  const Response uploaded = client.upload_sequence(letters, options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr) << "upload did not survive the fault plan";
+  EXPECT_EQ(ok->residues, letters.size());
+
+  AlignRefRequest request;
+  request.ref_a = ok->ref_id;
+  request.matrix = WireMatrix::kDna;
+  request.b = letters;
+  request.gap_open = 0;  // banded self-alignment: fast, diagonal optimum
+  request.gap_extend = -4;
+  request.band = 16;
+  request.score_only = true;
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(10);
+  policy.seed = 0xFA57;
+  const Response aligned = client.call_with_retry(request, policy);
+  const auto* part = std::get_if<AlignPartResponse>(&aligned);
+  ASSERT_NE(part, nullptr) << "ALIGN_REF did not survive the fault plan";
+  EXPECT_EQ(part->score,
+            static_cast<std::int64_t>(letters.size()) * 5)
+      << "stored bytes differ from the uploaded letters";
+  server.stop();
+}
+
 TEST(Chaos, DrainUnderFireStaysTyped) {
   // Stop the server while retrying clients are mid-flight: every
   // in-flight and every subsequent request still terminates typed

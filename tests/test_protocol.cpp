@@ -557,6 +557,244 @@ TEST(Protocol, PartialWriteAtEveryPrefixIsATypedTransportError) {
   }
 }
 
+TEST(Protocol, SeqBeginRequestRoundTrip) {
+  SeqBeginRequest request;
+  request.request_id = 0xa1b2c3d4e5f60718ULL;
+  request.upload_token = 0x0f0e0d0c0b0a0908ULL;
+  request.placement = 42;
+  request.matrix = WireMatrix::kDnaN;
+  request.total_residues = 3'200'000'000ULL;
+  request.name = "chr1";
+  const Request decoded = decode_request(encode(request));
+  const auto* begin = std::get_if<SeqBeginRequest>(&decoded);
+  ASSERT_NE(begin, nullptr);
+  EXPECT_EQ(begin->request_id, request.request_id);
+  EXPECT_EQ(begin->upload_token, request.upload_token);
+  EXPECT_EQ(begin->placement, request.placement);
+  EXPECT_EQ(begin->matrix, request.matrix);
+  EXPECT_EQ(begin->total_residues, request.total_residues);
+  EXPECT_EQ(begin->name, request.name);
+}
+
+TEST(Protocol, SeqChunkRequestRoundTrip) {
+  SeqChunkRequest request;
+  request.request_id = 9;
+  request.upload_token = 0xfeedULL;
+  request.offset = (std::uint64_t{1} << 40) + 17;
+  request.prefix_hash = 0x123456789abcdef0ULL;
+  request.data = "ACGTACGTACGT";
+  const Request decoded = decode_request(encode(request));
+  const auto* chunk = std::get_if<SeqChunkRequest>(&decoded);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->request_id, request.request_id);
+  EXPECT_EQ(chunk->upload_token, request.upload_token);
+  EXPECT_EQ(chunk->offset, request.offset);
+  EXPECT_EQ(chunk->prefix_hash, request.prefix_hash);
+  EXPECT_EQ(chunk->data, request.data);
+}
+
+TEST(Protocol, SeqEndRequestRoundTrip) {
+  SeqEndRequest request;
+  request.request_id = 10;
+  request.upload_token = 0xfeedULL;
+  request.total_residues = 2'200'000ULL;
+  request.total_hash = 0x0dedbeefcafef00dULL;
+  request.k = 13;
+  request.build_index = true;
+  const Request decoded = decode_request(encode(request));
+  const auto* end = std::get_if<SeqEndRequest>(&decoded);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(end->request_id, request.request_id);
+  EXPECT_EQ(end->upload_token, request.upload_token);
+  EXPECT_EQ(end->total_residues, request.total_residues);
+  EXPECT_EQ(end->total_hash, request.total_hash);
+  EXPECT_EQ(end->k, request.k);
+  EXPECT_EQ(end->build_index, request.build_index);
+}
+
+TEST(Protocol, AlignRefRequestRoundTrip) {
+  AlignRefRequest request;
+  request.request_id = 11;
+  request.ref_a = 3;
+  request.ref_b = 4;
+  request.matrix = WireMatrix::kDna;
+  request.gap_open = 0;
+  request.gap_extend = -2;
+  request.k = 6;
+  request.base_case_cells = 1 << 18;
+  request.band = 512;
+  request.deadline_ms = 30000;
+  request.score_only = true;
+  request.b = "";
+  const Request decoded = decode_request(encode(request));
+  const auto* align = std::get_if<AlignRefRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_EQ(align->request_id, request.request_id);
+  EXPECT_EQ(align->ref_a, request.ref_a);
+  EXPECT_EQ(align->ref_b, request.ref_b);
+  EXPECT_EQ(align->matrix, request.matrix);
+  EXPECT_EQ(align->gap_open, request.gap_open);
+  EXPECT_EQ(align->gap_extend, request.gap_extend);
+  EXPECT_EQ(align->k, request.k);
+  EXPECT_EQ(align->base_case_cells, request.base_case_cells);
+  EXPECT_EQ(align->band, request.band);
+  EXPECT_EQ(align->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(align->score_only, request.score_only);
+  EXPECT_EQ(align->b, request.b);
+}
+
+TEST(Protocol, AlignRefInlineBRoundTrip) {
+  AlignRefRequest request;
+  request.ref_a = 1;
+  request.ref_b = 0;
+  request.b = "HEAGAWGHEE";
+  const Request decoded = decode_request(encode(request));
+  const auto* align = std::get_if<AlignRefRequest>(&decoded);
+  ASSERT_NE(align, nullptr);
+  EXPECT_EQ(align->ref_b, 0u);
+  EXPECT_EQ(align->b, "HEAGAWGHEE");
+}
+
+TEST(Protocol, SeqOkResponseRoundTrip) {
+  SeqOkResponse response;
+  response.request_id = 12;
+  response.upload_token = 0xfeedULL;
+  response.next_offset = 1'048'576;
+  response.ref_id = 7;
+  response.residues = 1'048'576;
+  const Response decoded = decode_response(encode(response));
+  const auto* ok = std::get_if<SeqOkResponse>(&decoded);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->request_id, response.request_id);
+  EXPECT_EQ(ok->upload_token, response.upload_token);
+  EXPECT_EQ(ok->next_offset, response.next_offset);
+  EXPECT_EQ(ok->ref_id, response.ref_id);
+  EXPECT_EQ(ok->residues, response.residues);
+}
+
+TEST(Protocol, AlignPartResponseRoundTrip) {
+  AlignPartResponse response;
+  response.request_id = 13;
+  response.seq = 3;
+  response.last = true;
+  response.score = -12345;
+  response.cells = std::numeric_limits<std::uint64_t>::max();
+  response.queue_micros = 17;
+  response.exec_micros = 90210;
+  response.deadline_remaining_ms = 250;
+  response.cigar_part = "100M2D40M";
+  const Response decoded = decode_response(encode(response));
+  const auto* part = std::get_if<AlignPartResponse>(&decoded);
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(part->request_id, response.request_id);
+  EXPECT_EQ(part->seq, response.seq);
+  EXPECT_EQ(part->last, response.last);
+  EXPECT_EQ(part->score, response.score);
+  EXPECT_EQ(part->cells, response.cells);
+  EXPECT_EQ(part->queue_micros, response.queue_micros);
+  EXPECT_EQ(part->exec_micros, response.exec_micros);
+  EXPECT_EQ(part->deadline_remaining_ms, response.deadline_remaining_ms);
+  EXPECT_EQ(part->cigar_part, response.cigar_part);
+}
+
+TEST(Protocol, RefPutContentTokenRoundTrip) {
+  RefPutRequest request;
+  request.request_id = 14;
+  request.matrix = WireMatrix::kDna;
+  request.sequence = "ACGT";
+  request.content_token = 0x00c0ffee00c0ffeeULL;
+  const Request decoded = decode_request(encode(request));
+  const auto* put = std::get_if<RefPutRequest>(&decoded);
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->content_token, request.content_token);
+}
+
+TEST(Protocol, StreamingMessagesRejectTruncationAtEveryPrefix) {
+  SeqChunkRequest chunk;
+  chunk.upload_token = 1;
+  chunk.data = "ACGTAC";
+  const std::string chunk_payload = encode(chunk);
+  for (std::size_t cut = 0; cut < chunk_payload.size(); ++cut) {
+    EXPECT_THROW(decode_request(chunk_payload.substr(0, cut)), ProtocolError);
+  }
+  AlignRefRequest align;
+  align.ref_a = 1;
+  align.b = "AW";
+  const std::string align_payload = encode(align);
+  for (std::size_t cut = 0; cut < align_payload.size(); ++cut) {
+    EXPECT_THROW(decode_request(align_payload.substr(0, cut)), ProtocolError);
+  }
+  AlignPartResponse part;
+  part.cigar_part = "5M";
+  const std::string part_payload = encode(part);
+  for (std::size_t cut = 0; cut < part_payload.size(); ++cut) {
+    EXPECT_THROW(decode_response(part_payload.substr(0, cut)), ProtocolError);
+  }
+  SeqOkResponse ok;
+  const std::string ok_payload = encode(ok);
+  for (std::size_t cut = 0; cut < ok_payload.size(); ++cut) {
+    EXPECT_THROW(decode_response(ok_payload.substr(0, cut)), ProtocolError);
+  }
+}
+
+TEST(Protocol, ContentTokenIsDeterministicAndIgnoresTheName) {
+  RefPutRequest a;
+  a.matrix = WireMatrix::kDna;
+  a.k = 12;
+  a.name = "chr1";
+  a.sequence = "ACGTACGTACGT";
+  RefPutRequest b = a;
+  b.name = "renamed";
+  b.request_id = 999;  // ids must not perturb the token either
+  EXPECT_EQ(content_token_for(a), content_token_for(b));
+  EXPECT_NE(content_token_for(a), 0u);
+
+  RefPutRequest different_k = a;
+  different_k.k = 13;
+  EXPECT_NE(content_token_for(a), content_token_for(different_k));
+
+  RefPutRequest different_matrix = a;
+  different_matrix.matrix = WireMatrix::kDnaN;
+  EXPECT_NE(content_token_for(a), content_token_for(different_matrix));
+
+  RefPutRequest different_sequence = a;
+  different_sequence.sequence = "ACGTACGTACGA";
+  EXPECT_NE(content_token_for(a), content_token_for(different_sequence));
+
+  RefPutRequest empty;
+  EXPECT_NE(content_token_for(empty), 0u);
+}
+
+TEST(Protocol, EstimatedCellsSaturatesInsteadOfWrapping) {
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  // Ordinary sizes are exact.
+  EXPECT_EQ(estimated_cells(0, 0), 1u);
+  EXPECT_EQ(estimated_cells(10, 20), 11u * 21u);
+  // (2^32)^2 == 2^64 wraps to 0 in naive arithmetic; the estimate must
+  // pin to the ceiling so admission rejects instead of admitting.
+  const std::uint64_t just_past = std::uint64_t{1} << 32;
+  EXPECT_EQ(estimated_cells(just_past, just_past), max64);
+  EXPECT_EQ(estimated_cells(max64, 1), max64);
+  EXPECT_EQ(estimated_cells(max64, max64), max64);
+  // Below the boundary stays exact: (2^32 - 1 + 1) * 2 == 2^33.
+  EXPECT_EQ(estimated_cells((std::uint64_t{1} << 32) - 1, 1),
+            std::uint64_t{1} << 33);
+}
+
+TEST(Protocol, EstimatedBandedCellsSaturatesInsteadOfWrapping) {
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  // 2 Mbp pair at half-width 32: (m+1) * (|n-m| + 2w + 1), small & exact.
+  EXPECT_EQ(estimated_banded_cells(2'000'000, 2'000'100, 32),
+            2'000'001ULL * (100 + 64 + 1));
+  EXPECT_EQ(estimated_banded_cells(2'000'100, 2'000'000, 32),
+            2'000'101ULL * (100 + 64 + 1));
+  // Huge m with a wide band must saturate, not wrap.
+  EXPECT_EQ(estimated_banded_cells(max64 - 1, max64 - 1,
+                                   std::numeric_limits<std::uint32_t>::max()),
+            max64);
+  EXPECT_EQ(estimated_banded_cells(max64, 0, 0), max64);
+}
+
 TEST(Protocol, CorruptedVersionByteIsAProtocolErrorNotAScore) {
   // The injector's corrupt fault XORs the version byte; the client must
   // get a typed decode failure, never a plausible wrong answer.

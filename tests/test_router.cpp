@@ -406,6 +406,83 @@ TEST(Router, ExpiredDeadlineIsAnsweredLocallyNotByTheBackend) {
       << "deadline was enforced by the backend, not the router";
 }
 
+TEST(Router, StreamedUploadsThroughTheRouterAlignByHandle) {
+  // Two uploads sharing a placement key must land on one backend, and
+  // an ALIGN_REF naming both router handles must be routed there and
+  // answer bit-identically to the buffered ALIGN verb via the router.
+  Fleet fleet(2);
+  Client client = fleet.connect();
+
+  const std::string a = "HEAGAWGHEETLDKLLKDTDVLKADWGHEE";
+  const std::string b = "HEAGAWGHEDTLDKLKDTDVLKADWGHEE";
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kMdm78;
+  options.placement = 42;  // co-locate the pair
+  options.chunk_residues = 8;
+  options.token = 1001;
+  options.name = "a";
+  const Response up_a = client.upload_sequence(a, options);
+  const auto* ok_a = std::get_if<service::SeqOkResponse>(&up_a);
+  ASSERT_NE(ok_a, nullptr);
+  EXPECT_EQ(ok_a->residues, a.size());
+  ASSERT_GE(ok_a->ref_id, 1u);
+
+  options.token = 1002;
+  options.name = "b";
+  const Response up_b = client.upload_sequence(b, options);
+  const auto* ok_b = std::get_if<service::SeqOkResponse>(&up_b);
+  ASSERT_NE(ok_b, nullptr);
+  ASSERT_GE(ok_b->ref_id, 1u);
+  EXPECT_NE(ok_a->ref_id, ok_b->ref_id);  // router-scope ids are distinct
+
+  service::AlignRefRequest by_handle;
+  by_handle.ref_a = ok_a->ref_id;
+  by_handle.ref_b = ok_b->ref_id;
+  by_handle.matrix = WireMatrix::kMdm78;
+  by_handle.gap_extend = -10;
+  const Response streamed = client.call(by_handle);
+  const auto* part = std::get_if<service::AlignPartResponse>(&streamed);
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(part->last);
+
+  AlignRequest buffered;
+  buffered.matrix = WireMatrix::kMdm78;
+  buffered.gap_extend = -10;
+  buffered.a = a;
+  buffered.b = b;
+  const Response direct = client.call(std::move(buffered));
+  const auto* full = std::get_if<AlignResponse>(&direct);
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(part->score, full->score);
+  EXPECT_EQ(part->cigar_part, full->cigar);
+}
+
+TEST(Router, ChunkWithoutABeginIsRejectedAtTheRouter) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  service::SeqChunkRequest chunk;
+  chunk.upload_token = 999999;  // no SEQ_BEGIN installed a route
+  chunk.data = "ACGT";
+  const Response response = client.call(chunk);
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+}
+
+TEST(Router, AlignRefForUnknownHandlesIsAnsweredLocally) {
+  Fleet fleet(2);
+  Client client = fleet.connect();
+  service::AlignRefRequest request;
+  request.ref_a = 31337;
+  request.matrix = WireMatrix::kMdm78;
+  request.b = "HEAGAWGHEE";
+  const Response response = client.call(request);
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+}
+
 TEST(Router, StatsIsAnsweredLocallyWithRouterMetrics) {
   Fleet fleet(2);
   Client client = fleet.connect();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/aligner.hpp"
+#include "dp/banded.hpp"
 #include "scoring/builtin.hpp"
 #include "scoring/scheme.hpp"
 #include "search/chain.hpp"
@@ -29,6 +30,7 @@
 #include "service/client.hpp"
 #include "service/fault.hpp"
 #include "service/server.hpp"
+#include "support/fnv.hpp"
 
 namespace flsa {
 namespace service {
@@ -923,6 +925,557 @@ TEST(Service, SearchStatsCountersAdvance) {
   EXPECT_GE(value("search.requests"), 1.0);
   EXPECT_GE(value("search.completed"), 1.0);
   EXPECT_GE(value("search.hits"), 1.0);
+  server.stop();
+}
+
+// ---- Streaming uploads + ALIGN_REF -----------------------------------
+
+TEST(Service, StreamedAlignRefIsBitIdenticalToBufferedAlign) {
+  // The acceptance bar for the streaming path: chunk-upload a pair into
+  // the packed store, align by handle, and the answer must match the
+  // buffered ALIGN verb bit for bit — same score, same CIGAR, same cell
+  // count. The store's 2-bit round trip must be invisible.
+  Xoshiro256 rng(911);
+  MutationModel model;
+  model.substitution_rate = 0.05;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 3000, model, rng);
+
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.chunk_residues = 512;  // force many chunks
+  options.name = "a";
+  const Response up_a = client.upload_sequence(pair.a.to_string(), options);
+  const auto* ok_a = std::get_if<SeqOkResponse>(&up_a);
+  ASSERT_NE(ok_a, nullptr);
+  EXPECT_EQ(ok_a->residues, pair.a.size());
+  ASSERT_GE(ok_a->ref_id, 1u);
+
+  options.name = "b";
+  const Response up_b = client.upload_sequence(pair.b.to_string(), options);
+  const auto* ok_b = std::get_if<SeqOkResponse>(&up_b);
+  ASSERT_NE(ok_b, nullptr);
+  ASSERT_GE(ok_b->ref_id, 1u);
+  EXPECT_NE(ok_a->ref_id, ok_b->ref_id);
+
+  AlignRefRequest by_handle;
+  by_handle.ref_a = ok_a->ref_id;
+  by_handle.ref_b = ok_b->ref_id;
+  by_handle.matrix = WireMatrix::kDna;
+  const Response streamed = client.call(by_handle);
+  const auto* part = std::get_if<AlignPartResponse>(&streamed);
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(part->last);
+
+  AlignRequest buffered;
+  buffered.matrix = WireMatrix::kDna;
+  buffered.a = pair.a.to_string();
+  buffered.b = pair.b.to_string();
+  const Response direct = client.call(std::move(buffered));
+  const auto* full = std::get_if<AlignResponse>(&direct);
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(part->score, full->score);
+  EXPECT_EQ(part->cigar_part, full->cigar);
+  EXPECT_EQ(part->cells, full->cells);
+  server.stop();
+}
+
+TEST(Service, AlignRefStreamsMultiplePartsAndTheClientReassembles) {
+  // Shrink the response slice so even a modest CIGAR spans several
+  // ALIGN_PART frames; Client::call must stitch them back together.
+  ServiceConfig config;
+  config.align_part_chars = 16;
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Xoshiro256 rng(912);
+  MutationModel model;
+  model.substitution_rate = 0.08;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 800, model, rng);
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.chunk_residues = 256;
+  const Response uploaded = client.upload_sequence(pair.a.to_string(), options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+
+  AlignRefRequest request;
+  request.ref_a = ok->ref_id;
+  request.matrix = WireMatrix::kDna;
+  request.b = pair.b.to_string();  // inline second sequence
+  const Response streamed = client.call(request);
+  const auto* part = std::get_if<AlignPartResponse>(&streamed);
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(part->last);
+  EXPECT_GT(part->cigar_part.size(), config.align_part_chars);
+
+  AlignRequest buffered;
+  buffered.matrix = WireMatrix::kDna;
+  buffered.a = pair.a.to_string();
+  buffered.b = pair.b.to_string();
+  const Response direct = client.call(std::move(buffered));
+  const auto* full = std::get_if<AlignResponse>(&direct);
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(part->score, full->score);
+  EXPECT_EQ(part->cigar_part, full->cigar);
+  server.stop();
+}
+
+TEST(Service, UploadResumesReplaysAndRejectsGaps) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Xoshiro256 rng(913);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 1000, rng).to_string();
+
+  SeqBeginRequest begin;
+  begin.upload_token = 77;
+  begin.matrix = WireMatrix::kDna;
+  begin.name = "resumable";
+  const Response opened = client.call(begin);
+  const auto* ok = std::get_if<SeqOkResponse>(&opened);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->next_offset, 0u);
+
+  SeqChunkRequest first;
+  first.upload_token = 77;
+  first.offset = 0;
+  first.data = letters.substr(0, 400);
+  first.prefix_hash = fnv1a64(letters.data(), 400);
+  const Response after_first = client.call(first);
+  const auto* ack = std::get_if<SeqOkResponse>(&after_first);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->next_offset, 400u);
+
+  // Replaying an already-applied chunk (a retry after a lost ack) must
+  // be acknowledged without being applied twice.
+  const Response replayed = client.call(first);
+  const auto* replay_ack = std::get_if<SeqOkResponse>(&replayed);
+  ASSERT_NE(replay_ack, nullptr);
+  EXPECT_EQ(replay_ack->next_offset, 400u);
+
+  // A chunk past the high-water mark is a gap: rejected, session kept.
+  SeqChunkRequest gap;
+  gap.upload_token = 77;
+  gap.offset = 500;
+  gap.data = letters.substr(500, 100);
+  const Response gapped = client.call(gap);
+  const auto* gap_error = std::get_if<ErrorResponse>(&gapped);
+  ASSERT_NE(gap_error, nullptr);
+  EXPECT_EQ(gap_error->code, ErrorCode::kBadRequest);
+
+  // Re-BEGIN with the same token answers the resume point.
+  const Response reopened = client.call(begin);
+  const auto* resume = std::get_if<SeqOkResponse>(&reopened);
+  ASSERT_NE(resume, nullptr);
+  EXPECT_EQ(resume->next_offset, 400u);
+
+  SeqChunkRequest rest;
+  rest.upload_token = 77;
+  rest.offset = 400;
+  rest.data = letters.substr(400);
+  rest.prefix_hash = fnv1a64(letters.data(), letters.size());
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(rest)));
+
+  SeqEndRequest seal;
+  seal.upload_token = 77;
+  seal.total_residues = letters.size();
+  seal.total_hash = fnv1a64(letters.data(), letters.size());
+  const Response sealed = client.call(seal);
+  const auto* done = std::get_if<SeqOkResponse>(&sealed);
+  ASSERT_NE(done, nullptr);
+  EXPECT_GE(done->ref_id, 1u);
+  EXPECT_EQ(done->residues, letters.size());
+  server.stop();
+}
+
+TEST(Service, ChunkChecksumMismatchAbortsTheUploadSession) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SeqBeginRequest begin;
+  begin.upload_token = 78;
+  begin.matrix = WireMatrix::kDna;
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(begin)));
+
+  SeqChunkRequest chunk;
+  chunk.upload_token = 78;
+  chunk.offset = 0;
+  chunk.data = "ACGTACGT";
+  chunk.prefix_hash = 0xBAD;  // wrong on purpose (0 would skip the check)
+  const Response rejected = client.call(chunk);
+  const auto* error = std::get_if<ErrorResponse>(&rejected);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+
+  // The session is gone: a follow-up chunk has no upload to land in.
+  chunk.prefix_hash = 0;
+  const Response orphaned = client.call(chunk);
+  const auto* orphan_error = std::get_if<ErrorResponse>(&orphaned);
+  ASSERT_NE(orphan_error, nullptr);
+  EXPECT_EQ(orphan_error->code, ErrorCode::kBadRequest);
+
+  // Re-BEGIN starts a fresh session from zero, not the poisoned bytes.
+  const Response reopened = client.call(begin);
+  const auto* fresh = std::get_if<SeqOkResponse>(&reopened);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->next_offset, 0u);
+  server.stop();
+}
+
+TEST(Service, SeqEndLengthMismatchKeepsTheSessionForResume) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  const std::string letters = "ACGTACGTACGTACGTACGT";  // 20 residues
+  SeqBeginRequest begin;
+  begin.upload_token = 79;
+  begin.matrix = WireMatrix::kDna;
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(begin)));
+  SeqChunkRequest chunk;
+  chunk.upload_token = 79;
+  chunk.data = letters;
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(chunk)));
+
+  // Declaring the wrong total is a client bug or a lost chunk — either
+  // way the server must keep the bytes so the client can resume.
+  SeqEndRequest wrong;
+  wrong.upload_token = 79;
+  wrong.total_residues = letters.size() - 3;
+  const Response rejected = client.call(wrong);
+  const auto* error = std::get_if<ErrorResponse>(&rejected);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+
+  const Response reopened = client.call(begin);
+  const auto* resume = std::get_if<SeqOkResponse>(&reopened);
+  ASSERT_NE(resume, nullptr);
+  EXPECT_EQ(resume->next_offset, letters.size());
+
+  SeqEndRequest seal;
+  seal.upload_token = 79;
+  seal.total_residues = letters.size();
+  seal.total_hash = fnv1a64(letters.data(), letters.size());
+  const Response sealed = client.call(seal);
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(sealed));
+  server.stop();
+}
+
+TEST(Service, AlignRefUnknownHandleAnswersRefNotFound) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  AlignRefRequest request;
+  request.ref_a = 424242;
+  request.matrix = WireMatrix::kDna;
+  request.b = "ACGT";
+  const Response response = client.call(request);
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+  server.stop();
+}
+
+TEST(Service, IndexlessStreamedHandleAlignsButRefusesSearch) {
+  // An upload sealed without build_index registers in O(1): usable as an
+  // ALIGN_REF operand, but SEARCH against it must be a typed refusal,
+  // not a crash or an empty result.
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(914);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 500, rng).to_string();
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.build_index = false;
+  const Response uploaded = client.upload_sequence(letters, options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+
+  SearchRequest search;
+  search.ref_id = ok->ref_id;
+  search.matrix = WireMatrix::kDna;
+  search.query = letters.substr(100, 60);
+  const Response refused = client.call(std::move(search));
+  const auto* error = std::get_if<ErrorResponse>(&refused);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+
+  AlignRefRequest align_request;
+  align_request.ref_a = ok->ref_id;
+  align_request.matrix = WireMatrix::kDna;
+  align_request.b = letters;  // self-alignment: all matches
+  align_request.score_only = true;
+  const Response aligned = client.call(align_request);
+  ASSERT_TRUE(std::holds_alternative<AlignPartResponse>(aligned));
+  server.stop();
+}
+
+TEST(Service, StreamedHandleWithIndexAnswersSearch) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(915);
+  const Sequence gene = random_sequence(Alphabet::dna(), 150, rng);
+  const std::string reference =
+      random_sequence(Alphabet::dna(), 800, rng).to_string() +
+      gene.to_string() +
+      random_sequence(Alphabet::dna(), 400, rng).to_string();
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.build_index = true;
+  options.chunk_residues = 300;
+  const Response uploaded = client.upload_sequence(reference, options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+
+  SearchRequest search;
+  search.ref_id = ok->ref_id;
+  search.matrix = WireMatrix::kDna;
+  search.query = gene.to_string();
+  const Response found = client.call(std::move(search));
+  const auto* hits = std::get_if<SearchResponse>(&found);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_FALSE(hits->hits.empty());
+  EXPECT_EQ(hits->hits.front().s_begin, 800u);
+  EXPECT_EQ(hits->hits.front().s_end, 950u);
+  server.stop();
+}
+
+TEST(Service, RefPutWithContentTokenIsRetrySafe) {
+  // A retried REF_PUT (same content token) must answer the original
+  // handle instead of registering a second copy — the retryability hole
+  // the token closes.
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(916);
+
+  RefPutRequest put;
+  put.matrix = WireMatrix::kDna;
+  put.sequence = random_sequence(Alphabet::dna(), 600, rng).to_string();
+  put.content_token = content_token_for(put);
+
+  const Response first = client.call(put);
+  const auto* registered = std::get_if<RefPutResponse>(&first);
+  ASSERT_NE(registered, nullptr);
+  const std::uint64_t original_id = registered->ref_id;
+
+  const Response retried = client.call(put);
+  const auto* replayed = std::get_if<RefPutResponse>(&retried);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->ref_id, original_id);
+  EXPECT_EQ(replayed->residues, registered->residues);
+
+  // A different sequence under a different token still gets a new id.
+  RefPutRequest other;
+  other.matrix = WireMatrix::kDna;
+  other.sequence = random_sequence(Alphabet::dna(), 600, rng).to_string();
+  other.content_token = content_token_for(other);
+  const Response fresh = client.call(other);
+  const auto* fresh_put = std::get_if<RefPutResponse>(&fresh);
+  ASSERT_NE(fresh_put, nullptr);
+  EXPECT_NE(fresh_put->ref_id, original_id);
+  server.stop();
+}
+
+TEST(Service, BandedAlignRefMatchesDirectBandedAlignment) {
+  // Substitution-only pair (equal lengths) so a narrow band covers the
+  // optimal path; the streamed banded answer must equal banded_align run
+  // in-process on the same bytes.
+  Xoshiro256 rng(917);
+  MutationModel model;
+  model.substitution_rate = 0.05;
+  model.insertion_rate = 0;
+  model.deletion_rate = 0;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 2000, model, rng);
+
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  const Response up_a = client.upload_sequence(pair.a.to_string(), options);
+  const Response up_b = client.upload_sequence(pair.b.to_string(), options);
+  const auto* ok_a = std::get_if<SeqOkResponse>(&up_a);
+  const auto* ok_b = std::get_if<SeqOkResponse>(&up_b);
+  ASSERT_NE(ok_a, nullptr);
+  ASSERT_NE(ok_b, nullptr);
+
+  AlignRefRequest request;
+  request.ref_a = ok_a->ref_id;
+  request.ref_b = ok_b->ref_id;
+  request.matrix = WireMatrix::kDna;
+  request.gap_open = 0;  // banded mode is linear-gap only
+  request.gap_extend = -4;
+  request.band = 32;
+  const Response streamed = client.call(request);
+  const auto* part = std::get_if<AlignPartResponse>(&streamed);
+  ASSERT_NE(part, nullptr);
+
+  const Alignment expected =
+      banded_align(pair.a, pair.b, ScoringScheme(scoring::dna(), -4), 32);
+  EXPECT_EQ(part->score, expected.score);
+  EXPECT_EQ(part->cigar_part, expected.cigar());
+  server.stop();
+}
+
+TEST(Service, BandedAlignRefRejectsBadGeometryAndAffineGaps) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(918);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 300, rng).to_string();
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  const Response uploaded = client.upload_sequence(letters, options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+
+  // Band half-width 5 cannot cover a 200-residue length difference.
+  AlignRefRequest narrow;
+  narrow.ref_a = ok->ref_id;
+  narrow.matrix = WireMatrix::kDna;
+  narrow.gap_open = 0;
+  narrow.band = 5;
+  narrow.b = letters.substr(0, 100);
+  const Response rejected = client.call(narrow);
+  const auto* geometry_error = std::get_if<ErrorResponse>(&rejected);
+  ASSERT_NE(geometry_error, nullptr);
+  EXPECT_EQ(geometry_error->code, ErrorCode::kBadRequest);
+
+  // Affine gaps under a band are not supported: typed refusal.
+  AlignRefRequest affine;
+  affine.ref_a = ok->ref_id;
+  affine.matrix = WireMatrix::kDna;
+  affine.gap_open = -11;
+  affine.band = 64;
+  affine.b = letters;
+  const Response refused = client.call(affine);
+  const auto* affine_error = std::get_if<ErrorResponse>(&refused);
+  ASSERT_NE(affine_error, nullptr);
+  EXPECT_EQ(affine_error->code, ErrorCode::kBadRequest);
+  server.stop();
+}
+
+TEST(Service, OversizedUploadAnswersTooLarge) {
+  ServiceConfig config;
+  config.max_store_residues = 100;
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // Declared over the cap: refused at SEQ_BEGIN, before any bytes move.
+  SeqBeginRequest declared;
+  declared.upload_token = 80;
+  declared.matrix = WireMatrix::kDna;
+  declared.total_residues = 200;
+  const Response refused = client.call(declared);
+  const auto* declare_error = std::get_if<ErrorResponse>(&refused);
+  ASSERT_NE(declare_error, nullptr);
+  EXPECT_EQ(declare_error->code, ErrorCode::kTooLarge);
+
+  // Undeclared totals are caught at the chunk that crosses the cap.
+  SeqBeginRequest open_ended;
+  open_ended.upload_token = 81;
+  open_ended.matrix = WireMatrix::kDna;
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(open_ended)));
+  SeqChunkRequest chunk;
+  chunk.upload_token = 81;
+  chunk.data = std::string(150, 'A');
+  const Response overflow = client.call(chunk);
+  const auto* overflow_error = std::get_if<ErrorResponse>(&overflow);
+  ASSERT_NE(overflow_error, nullptr);
+  EXPECT_EQ(overflow_error->code, ErrorCode::kTooLarge);
+  server.stop();
+}
+
+TEST(Service, UploadForeignCharactersAbortTheSession) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  SeqBeginRequest begin;
+  begin.upload_token = 82;
+  begin.matrix = WireMatrix::kDna;
+  ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(client.call(begin)));
+  SeqChunkRequest chunk;
+  chunk.upload_token = 82;
+  chunk.data = "ACGTXXGT";
+  const Response rejected = client.call(chunk);
+  const auto* error = std::get_if<ErrorResponse>(&rejected);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+  // Session aborted: the next BEGIN starts from zero.
+  const Response reopened = client.call(begin);
+  const auto* fresh = std::get_if<SeqOkResponse>(&reopened);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->next_offset, 0u);
+  server.stop();
+}
+
+TEST(Service, StreamingStatsCountersAdvance) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Xoshiro256 rng(919);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 400, rng).to_string();
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.chunk_residues = 128;
+  const Response uploaded = client.upload_sequence(letters, options);
+  const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+  AlignRefRequest request;
+  request.ref_a = ok->ref_id;
+  request.matrix = WireMatrix::kDna;
+  request.b = letters;
+  request.score_only = true;
+  ASSERT_TRUE(
+      std::holds_alternative<AlignPartResponse>(client.call(request)));
+
+  const Response stats_response = client.call(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  auto value = [&](const std::string& name) -> double {
+    for (const auto& [key, entry] : stats->entries) {
+      if (key == name) return entry;
+    }
+    return -1.0;
+  };
+  EXPECT_GE(value("stream.uploads"), 1.0);
+  EXPECT_GE(value("stream.upload_chunks"), 4.0);  // 400 letters / 128
+  EXPECT_GE(value("stream.upload_bytes"), 400.0);
+  EXPECT_GE(value("stream.uploads_sealed"), 1.0);
+  EXPECT_GE(value("stream.align_ref"), 1.0);
+  EXPECT_GE(value("stream.parts"), 1.0);
   server.stop();
 }
 

@@ -1,0 +1,412 @@
+// Tests for the packed sequence store: writer/open round-trips over
+// every packing width, chunked appends across byte boundaries, the
+// corruption matrix (each defect class must surface as its typed
+// StoreError, never UB), and byte-level header fuzz.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scoring/builtin.hpp"
+#include "search/chain.hpp"
+#include "sequence/generate.hpp"
+#include "sequence/sequence_view.hpp"
+#include "store/packed_store.hpp"
+#include "support/fnv.hpp"
+#include "support/prng.hpp"
+
+namespace flsa {
+namespace store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "flsa_store_" + name + ".flsa";
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// The header checksum (u32 at offset 60, FNV-1a of bytes [0, 60)) guards
+// every header field; corruption tests that target a specific deeper
+// check must re-seal it to get past the checksum gate.
+void reseal_header(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 64u);
+  const std::uint32_t sum = static_cast<std::uint32_t>(fnv1a64(bytes.data(), 60));
+  for (int i = 0; i < 4; ++i) {
+    bytes[60 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
+
+std::string make_store(const std::string& name, const Alphabet& alphabet,
+                       const std::vector<std::pair<std::string, std::string>>&
+                           records) {
+  const std::string path = temp_path(name);
+  StoreWriter writer(path, alphabet);
+  for (const auto& [letters, record_name] : records) {
+    writer.append_letters(letters);
+    writer.finish_record(record_name);
+  }
+  writer.finalize();
+  return path;
+}
+
+StoreError::Kind open_kind(const std::string& path) {
+  try {
+    PackedStore::open(path);
+  } catch (const StoreError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "open unexpectedly succeeded: " << path;
+  return StoreError::Kind::kIo;
+}
+
+std::string random_letters(const Alphabet& alphabet, std::size_t length,
+                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return random_sequence(alphabet, length, rng).to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST(StoreRoundTrip, DnaPacksTwoBitsAndDecodesIdentically) {
+  const std::string letters = random_letters(Alphabet::dna(), 1003, 11);
+  const std::string path = make_store("dna", Alphabet::dna(), {{letters, "chr"}});
+  const auto stored = PackedStore::open(path);
+  EXPECT_EQ(stored->bits(), 2);
+  EXPECT_EQ(stored->total_residues(), letters.size());
+  ASSERT_EQ(stored->record_count(), 1u);
+  EXPECT_EQ(stored->record(0).name, "chr");
+  const SequenceView view = stored->view(0);
+  EXPECT_EQ(view.packing(), Packing::kTwoBit);
+  EXPECT_EQ(view.size(), letters.size());
+  EXPECT_EQ(view.to_string(), letters);
+}
+
+TEST(StoreRoundTrip, DnaNPacksNibblesAndDecodesIdentically) {
+  const std::string letters = random_letters(Alphabet::dna_n(), 517, 12);
+  const std::string path =
+      make_store("dna_n", Alphabet::dna_n(), {{letters, "ambiguous"}});
+  const auto stored = PackedStore::open(path);
+  EXPECT_EQ(stored->bits(), 4);
+  EXPECT_EQ(&stored->alphabet(), &Alphabet::dna_n());
+  EXPECT_EQ(stored->view(0).to_string(), letters);
+}
+
+TEST(StoreRoundTrip, ProteinPacksBytesAndDecodesIdentically) {
+  const std::string letters = random_letters(Alphabet::protein(), 301, 13);
+  const std::string path =
+      make_store("protein", Alphabet::protein(), {{letters, "orf1"}});
+  const auto stored = PackedStore::open(path);
+  EXPECT_EQ(stored->bits(), 8);
+  const SequenceView view = stored->view(0);
+  EXPECT_TRUE(view.is_contiguous());
+  EXPECT_EQ(view.to_string(), letters);
+}
+
+TEST(StoreRoundTrip, MultiRecordFilesKeepRecordsByteAlignedAndNamed) {
+  // Record lengths chosen so every record ends mid-byte at 2 bits per
+  // residue; the writer must pad so record i+1 starts byte-aligned.
+  const std::vector<std::pair<std::string, std::string>> records = {
+      {random_letters(Alphabet::dna(), 5, 21), "a"},
+      {random_letters(Alphabet::dna(), 7, 22), "b"},
+      {random_letters(Alphabet::dna(), 9, 23), ""},
+      {random_letters(Alphabet::dna(), 250, 24), "final-record"},
+  };
+  const std::string path = make_store("multi", Alphabet::dna(), records);
+  const auto stored = PackedStore::open(path);
+  ASSERT_EQ(stored->record_count(), records.size());
+  std::uint64_t expected_total = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(stored->record(i).name, records[i].second) << i;
+    EXPECT_EQ(stored->view(i).to_string(), records[i].first) << i;
+    expected_total += records[i].first.size();
+  }
+  EXPECT_EQ(stored->total_residues(), expected_total);
+}
+
+TEST(StoreRoundTrip, ChunkedAppendsSpanningByteBoundariesMatchOneShot) {
+  const std::string letters = random_letters(Alphabet::dna(), 641, 31);
+  const std::string path = temp_path("chunked");
+  StoreWriter writer(path, Alphabet::dna());
+  // Odd chunk sizes so chunk edges land at every bit offset in a byte.
+  std::size_t offset = 0;
+  const std::size_t sizes[] = {1, 3, 7, 13, 64, 251};
+  std::size_t which = 0;
+  while (offset < letters.size()) {
+    const std::size_t len =
+        std::min(sizes[which++ % 6], letters.size() - offset);
+    writer.append_letters(std::string_view(letters).substr(offset, len));
+    offset += len;
+  }
+  EXPECT_EQ(writer.current_record_residues(), letters.size());
+  writer.finish_record("chunked");
+  writer.finalize();
+  EXPECT_EQ(PackedStore::open(path)->view(0).to_string(), letters);
+}
+
+TEST(StoreRoundTrip, EmptyStoreAndEmptyRecordOpenCleanly) {
+  const std::string path = make_store("empty", Alphabet::dna(), {});
+  const auto stored = PackedStore::open(path);
+  EXPECT_EQ(stored->record_count(), 0u);
+  EXPECT_EQ(stored->total_residues(), 0u);
+
+  const std::string path2 =
+      make_store("empty_record", Alphabet::dna(), {{"", "nothing"}});
+  const auto stored2 = PackedStore::open(path2);
+  ASSERT_EQ(stored2->record_count(), 1u);
+  EXPECT_EQ(stored2->view(0).size(), 0u);
+  EXPECT_TRUE(stored2->view(0).to_string().empty());
+}
+
+TEST(StoreWriter, ForeignCharacterThrowsWithoutCorruptingTheRecord) {
+  const std::string path = temp_path("foreign");
+  StoreWriter writer(path, Alphabet::dna());
+  writer.append_letters("ACGT");
+  EXPECT_THROW(writer.append_letters("ACXT"), std::invalid_argument);
+  // append_letters validates before buffering: the rejected chunk must
+  // leave no partial residues behind.
+  EXPECT_EQ(writer.current_record_residues(), 4u);
+  writer.append_letters("TTTT");
+  writer.finish_record("kept");
+  writer.finalize();
+  EXPECT_EQ(PackedStore::open(path)->view(0).to_string(), "ACGTTTTT");
+}
+
+TEST(StoreWriter, DestructionWithoutFinalizeRemovesTheFile) {
+  const std::string path = temp_path("abandoned");
+  {
+    StoreWriter writer(path, Alphabet::dna());
+    writer.append_letters("ACGTACGT");
+  }
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_FALSE(in.good()) << "abandoned store file left behind";
+}
+
+TEST(StoreRoundTrip, ViewKeepsTheMappingAliveAfterStoreHandleIsDropped) {
+  const std::string letters = random_letters(Alphabet::dna(), 4096, 41);
+  const std::string path = make_store("alive", Alphabet::dna(), {{letters, "x"}});
+  SequenceView view;
+  {
+    const auto stored = PackedStore::open(path);
+    view = stored->view(0);
+  }
+  // The shared owner inside the view must keep the mmap valid.
+  EXPECT_EQ(view.to_string(), letters);
+}
+
+TEST(StoreParity, PackedViewIndexesAndSearchesLikeAByteSequence) {
+  Xoshiro256 rng(71);
+  const Sequence subject = random_sequence(Alphabet::dna(), 2000, rng);
+  const std::string path =
+      make_store("parity", Alphabet::dna(), {{subject.to_string(), "s"}});
+  const auto stored = PackedStore::open(path);
+
+  // One index over the in-memory byte sequence, one over the 2-bit
+  // mmap'd record: the whole pipeline must not notice the packing.
+  const search::ReferenceIndex byte_index(subject, 12);
+  const search::ReferenceIndex packed_index(stored->view(0), 12);
+  const Sequence probe(Alphabet::dna(),
+                       subject.to_string().substr(700, 180), "probe");
+  static const SubstitutionMatrix matrix = scoring::dna(5, -4);
+  const ScoringScheme scheme(matrix, -6);
+  const auto byte_hits = search::chained_search(probe, byte_index, scheme);
+  const auto packed_hits = search::chained_search(probe, packed_index, scheme);
+  ASSERT_FALSE(byte_hits.empty());
+  ASSERT_EQ(byte_hits.size(), packed_hits.size());
+  for (std::size_t i = 0; i < byte_hits.size(); ++i) {
+    EXPECT_EQ(byte_hits[i].alignment.score, packed_hits[i].alignment.score)
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: one test per StoreError kind, each produced by the
+// minimal byte-level defect that triggers it.
+
+class StoreCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = make_store("corrupt", Alphabet::dna(),
+                       {{random_letters(Alphabet::dna(), 301, 51), "a"},
+                        {random_letters(Alphabet::dna(), 77, 52), "b"}});
+    bytes_ = read_file(path_);
+    ASSERT_GE(bytes_.size(), 4096u);
+  }
+
+  void expect_kind(StoreError::Kind kind) {
+    write_file(path_, bytes_);
+    EXPECT_EQ(open_kind(path_), kind);
+  }
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(StoreCorruption, BadMagic) {
+  bytes_[0] ^= 0xFF;
+  expect_kind(StoreError::Kind::kBadMagic);
+}
+
+TEST_F(StoreCorruption, UnsupportedVersion) {
+  bytes_[8] = 9;  // version precedes the checksum gate: no reseal needed
+  expect_kind(StoreError::Kind::kBadVersion);
+}
+
+TEST_F(StoreCorruption, HeaderChecksumMismatch) {
+  bytes_[16] ^= 0x01;  // total-residues field, checksum left stale
+  expect_kind(StoreError::Kind::kBadHeader);
+}
+
+TEST_F(StoreCorruption, BadPackingBits) {
+  bytes_[12] = 3;
+  reseal_header(bytes_);
+  expect_kind(StoreError::Kind::kBadHeader);
+}
+
+TEST_F(StoreCorruption, UnknownAlphabetId) {
+  bytes_[13] = 200;
+  reseal_header(bytes_);
+  expect_kind(StoreError::Kind::kBadHeader);
+}
+
+TEST_F(StoreCorruption, InconsistentSectionOffsets) {
+  bytes_[24] ^= 0x01;  // payload offset no longer the fixed page
+  reseal_header(bytes_);
+  expect_kind(StoreError::Kind::kBadHeader);
+}
+
+TEST_F(StoreCorruption, FileShorterThanHeader) {
+  bytes_.resize(32);
+  expect_kind(StoreError::Kind::kTruncated);
+}
+
+TEST_F(StoreCorruption, FileShorterThanHeaderClaims) {
+  bytes_.resize(bytes_.size() - 8);  // cut into the record table
+  expect_kind(StoreError::Kind::kTruncated);
+}
+
+TEST_F(StoreCorruption, RecordPayloadOutOfBounds) {
+  // The record table is not checksummed (the header and payload are);
+  // table offset is at header[40], record 1's payload begin at +24.
+  std::uint64_t table_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    table_offset = (table_offset << 8) | bytes_[40 + static_cast<std::size_t>(i)];
+  }
+  const std::size_t entry = static_cast<std::size_t>(table_offset) + 24;
+  bytes_[entry + 2] ^= 0x7F;  // record 1 byte_begin blown far past payload
+  expect_kind(StoreError::Kind::kBadRecord);
+}
+
+TEST_F(StoreCorruption, RecordNameOverrunsTable) {
+  std::uint64_t table_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    table_offset = (table_offset << 8) | bytes_[40 + static_cast<std::size_t>(i)];
+  }
+  // Record 0 name length (u32 at entry offset 20) inflated past the heap.
+  bytes_[static_cast<std::size_t>(table_offset) + 20 + 2] = 0xFF;
+  expect_kind(StoreError::Kind::kBadRecord);
+}
+
+TEST_F(StoreCorruption, RecordCountsDisagreeWithHeader) {
+  std::uint64_t table_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    table_offset = (table_offset << 8) | bytes_[40 + static_cast<std::size_t>(i)];
+  }
+  bytes_[static_cast<std::size_t>(table_offset) + 8] ^= 0x01;  // record 0 count
+  expect_kind(StoreError::Kind::kBadRecord);
+}
+
+TEST_F(StoreCorruption, PayloadHashMismatch) {
+  bytes_[4096] ^= 0xFF;  // first payload byte
+  expect_kind(StoreError::Kind::kBadChecksum);
+}
+
+TEST_F(StoreCorruption, MissingFileReportsIo) {
+  EXPECT_EQ(open_kind(temp_path("does_not_exist")),
+            StoreError::Kind::kIo);
+}
+
+// Every single-byte header flip and every truncation point must land in
+// a typed StoreError or a clean open — never UB. Mirrors the protocol
+// decoder's prefix-cut fuzz.
+TEST_F(StoreCorruption, EveryHeaderByteFlipFailsTypedOrOpensClean) {
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<std::uint8_t> mutated = bytes_;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      write_file(path_, mutated);
+      try {
+        const auto stored = PackedStore::open(path_);
+        // Flips in header padding [14..16) record-count high byte etc.
+        // may genuinely not matter only if the checksum still holds,
+        // which a flip never allows — except flips inside unused
+        // padding past offset 64 (not exercised here). Opening clean is
+        // acceptable only if decoding round-trips.
+        EXPECT_EQ(stored->view(0).size(), stored->record(0).count);
+      } catch (const StoreError&) {
+        // typed failure: expected for nearly every flip
+      }
+    }
+  }
+}
+
+TEST_F(StoreCorruption, EveryTruncationPointFailsTypedOrOpensClean) {
+  const std::size_t total = bytes_.size();
+  for (std::size_t cut = 0; cut < total; cut += 97) {
+    std::vector<std::uint8_t> mutated = bytes_;
+    mutated.resize(cut);
+    write_file(path_, mutated);
+    try {
+      PackedStore::open(path_);
+      ADD_FAILURE() << "truncated open succeeded at " << cut;
+    } catch (const StoreError&) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// packed_bytes arithmetic
+
+TEST(PackedBytes, RoundsUpPerPackingWidth) {
+  EXPECT_EQ(packed_bytes(0, 2), 0u);
+  EXPECT_EQ(packed_bytes(1, 2), 1u);
+  EXPECT_EQ(packed_bytes(4, 2), 1u);
+  EXPECT_EQ(packed_bytes(5, 2), 2u);
+  EXPECT_EQ(packed_bytes(2, 4), 1u);
+  EXPECT_EQ(packed_bytes(3, 4), 2u);
+  EXPECT_EQ(packed_bytes(7, 8), 7u);
+}
+
+TEST(PackedBytes, HugeResidueCountsDoNotWrap) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(packed_bytes(max, 2), max / 4 + 1);
+  EXPECT_EQ(packed_bytes(max, 8), max);
+}
+
+TEST(PackingBits, MatchesAlphabetWidth) {
+  EXPECT_EQ(packing_bits(Alphabet::dna()), 2);
+  EXPECT_EQ(packing_bits(Alphabet::dna_n()), 4);
+  EXPECT_EQ(packing_bits(Alphabet::protein()), 8);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace flsa

@@ -77,6 +77,18 @@ int main(int argc, char** argv) {
               "default)");
   cli.add_int("min-chain-score", 0,
               "search mode: chain/hit score floor (0 = server default)");
+  cli.add_flag("stream", false,
+               "genome-scale mode: chunk-upload the first two FASTA records "
+               "into the server's packed store (SEQ_BEGIN/SEQ_CHUNK/SEQ_END, "
+               "resumable), then align them by handle (ALIGN_REF) — peak "
+               "client memory is the sequences plus the cigar, never a DP "
+               "matrix");
+  cli.add_int("band", 0,
+              "stream mode: banded-alignment half-width (0 = full FastLSA; "
+              "> 0 runs the linear-gap banded kernel, the only practical "
+              "choice at multi-megabase scale)");
+  cli.add_int("chunk", 1 << 20,
+              "stream mode: residues per SEQ_CHUNK frame");
   cli.add_int("expect-score", std::numeric_limits<std::int64_t>::min(),
               "exit nonzero unless every ALIGN_OK score equals this");
 
@@ -218,6 +230,70 @@ int main(int argc, char** argv) {
         }
       }
       return any_failed ? 1 : 0;
+    }
+
+    if (cli.get_flag("stream")) {
+      std::uint64_t handles[2] = {0, 0};
+      for (std::size_t r = 0; r < 2; ++r) {
+        flsa::service::Client::UploadOptions upload;
+        upload.name = records[r].id();
+        upload.matrix = request.matrix;
+        upload.chunk_residues = static_cast<std::size_t>(
+            std::max<std::int64_t>(1, cli.get_int("chunk")));
+        const std::string letters = records[r].to_string();
+        const flsa::service::Response uploaded =
+            client.upload_sequence(letters, upload);
+        if (const auto* err =
+                std::get_if<flsa::service::ErrorResponse>(&uploaded)) {
+          std::cerr << "upload error (" << records[r].id()
+                    << "): " << to_string(err->code) << ": " << err->message
+                    << "\n";
+          return 1;
+        }
+        const auto& sealed =
+            std::get<flsa::service::SeqOkResponse>(uploaded);
+        handles[r] = sealed.ref_id;
+        std::cout << "# " << records[r].id() << " (" << sealed.residues
+                  << " residues) streamed as ref " << sealed.ref_id << "\n";
+      }
+
+      flsa::service::AlignRefRequest by_ref;
+      by_ref.ref_a = handles[0];
+      by_ref.ref_b = handles[1];
+      by_ref.matrix = request.matrix;
+      by_ref.gap_open = request.gap_open;
+      by_ref.gap_extend = request.gap_extend;
+      by_ref.k = request.k;
+      by_ref.base_case_cells = request.base_case_cells;
+      by_ref.band =
+          static_cast<std::uint32_t>(std::max<std::int64_t>(0, cli.get_int("band")));
+      by_ref.deadline_ms = request.deadline_ms;
+      by_ref.score_only = request.score_only;
+      const flsa::service::Response response = client.call(by_ref);
+      if (const auto* err =
+              std::get_if<flsa::service::ErrorResponse>(&response)) {
+        std::cerr << "ALIGN_REF error: " << to_string(err->code) << ": "
+                  << err->message << "\n";
+        return 1;
+      }
+      const auto& ok = std::get<flsa::service::AlignPartResponse>(response);
+      std::cout << "# ref " << by_ref.ref_a << " x ref " << by_ref.ref_b
+                << " via " << host << ":" << port
+                << (by_ref.band != 0
+                        ? " (band " + std::to_string(by_ref.band) + ")"
+                        : " (full FastLSA)")
+                << "\nscore  : " << ok.score << "\ncells  : " << ok.cells
+                << "\ncigar  : " << ok.cigar_part.size() << " chars in "
+                << (ok.seq + 1) << " part(s)\nexec   : "
+                << static_cast<double>(ok.exec_micros) / 1e3 << " ms\n";
+      const std::int64_t expected_stream = cli.get_int("expect-score");
+      if (expected_stream != std::numeric_limits<std::int64_t>::min() &&
+          ok.score != expected_stream) {
+        std::cerr << "error: score " << ok.score << " != expected "
+                  << expected_stream << "\n";
+        return 1;
+      }
+      return 0;
     }
 
     request.a = records[0].to_string();

@@ -59,6 +59,17 @@ int main(int argc, char** argv) {
   cli.add_int("seed-k", 0,
               "seed (k-mer) length for REF_PUT requests that leave k at 0 "
               "(0 = per-alphabet default: 12 for DNA, 5 for protein)");
+  cli.add_string("store-dir", "",
+                 "directory for the packed sequence store (mmap'd "
+                 "reference files); empty = a private TMPDIR directory "
+                 "removed on drain");
+  cli.add_int("max-banded-cells-m", 8192,
+              "admission budget for banded ALIGN_REF, in millions of "
+              "banded-matrix cells ((m+1)*(|n-m|+2w+1) above this is "
+              "rejected TOO_LARGE)");
+  cli.add_int("max-store-m", 4096,
+              "cap on one streamed upload, in millions of residues "
+              "(SEQ_BEGIN/SEQ_CHUNK past it answer TOO_LARGE)");
   cli.add_int("idle-timeout-ms", 60000,
               "per-recv read deadline on client connections; bounds idle "
               "and slow-loris peers (0 = none)");
@@ -91,6 +102,15 @@ int main(int argc, char** argv) {
         1000000u;
     config.default_seed_k = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("seed-k")));
+    config.store_dir = cli.get_string("store-dir");
+    config.max_banded_cells =
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, cli.get_int("max-banded-cells-m"))) *
+        1000000u;
+    config.max_store_residues =
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, cli.get_int("max-store-m"))) *
+        1000000u;
     config.idle_timeout_ms = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("idle-timeout-ms")));
     config.max_connections = static_cast<std::size_t>(
