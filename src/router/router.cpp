@@ -31,6 +31,8 @@ using service::ErrorCode;
 using service::ErrorResponse;
 using service::ProtocolError;
 using service::ReadTimeout;
+using service::RefListRequest;
+using service::RefListResponse;
 using service::RefPutRequest;
 using service::RefPutResponse;
 using service::Request;
@@ -197,8 +199,12 @@ Router::Router(RouterConfig config)
           obs::metrics().counter("router.backend.readmitted"),
           obs::metrics().counter("router.ref_put.degraded"),
           obs::metrics().counter("router.write_errors"),
+          obs::metrics().counter("router.backend.resyncs"),
+          obs::metrics().counter("router.refs_pruned"),
+          obs::metrics().counter("router.upload_routes_expired"),
           obs::metrics().gauge("router.pending"),
           obs::metrics().gauge("router.backends_healthy"),
+          obs::metrics().gauge("router.upload_placements"),
           obs::metrics().histogram("router.latency_seconds"),
       },
       shard_map_(std::max<std::size_t>(config_.backends.size(), 1),
@@ -577,9 +583,13 @@ void Router::handle_request(const std::shared_ptr<ClientConn>& conn,
       std::lock_guard<std::mutex> lock(refs_mutex_);
       const auto route = upload_routes_.find(begin->upload_token);
       if (route != upload_routes_.end()) {
-        backend = route->second;
+        backend = route->second.backend;
+        route->second.last_used = op->arrival;
       } else {
-        upload_routes_.emplace(begin->upload_token, backend);
+        upload_routes_.emplace(begin->upload_token,
+                               UploadRoute{backend, op->arrival});
+        instruments_.upload_placements.set(
+            static_cast<double>(upload_routes_.size()));
       }
     }
     op->pinned = true;
@@ -594,7 +604,8 @@ void Router::handle_request(const std::shared_ptr<ClientConn>& conn,
       std::lock_guard<std::mutex> lock(refs_mutex_);
       const auto route = upload_routes_.find(chunk->upload_token);
       if (route != upload_routes_.end()) {
-        backend = route->second;
+        backend = route->second.backend;
+        route->second.last_used = op->arrival;
         routed = true;
       }
     }
@@ -617,7 +628,8 @@ void Router::handle_request(const std::shared_ptr<ClientConn>& conn,
       std::lock_guard<std::mutex> lock(refs_mutex_);
       const auto route = upload_routes_.find(end->upload_token);
       if (route != upload_routes_.end()) {
-        backend = route->second;
+        backend = route->second.backend;
+        route->second.last_used = op->arrival;
         routed = true;
       }
     }
@@ -1334,7 +1346,12 @@ void Router::complete(std::uint64_t id, Response response, int from_backend) {
       std::lock_guard<std::mutex> lock(refs_mutex_);
       refs_[router_ref_id] = {{static_cast<std::size_t>(from_backend),
                                ok->ref_id}};
+      // Session over: the sticky placement is garbage now. Aborted or
+      // abandoned sessions (no SEQ_END ever succeeds) are swept by the
+      // upload_route_ttl_ms monitor instead.
       upload_routes_.erase(ok->upload_token);
+      instruments_.upload_placements.set(
+          static_cast<double>(upload_routes_.size()));
       ok->ref_id = router_ref_id;
     }
   }
@@ -1430,6 +1447,63 @@ void Router::complete_ref_put(const std::shared_ptr<PendingOp>& op,
   }
 }
 
+// ---- Placement hygiene -------------------------------------------------
+
+void Router::prune_backend_refs(
+    std::size_t backend_index,
+    const std::vector<service::RefListEntry>& surviving) {
+  std::set<std::uint64_t> alive;
+  for (const service::RefListEntry& entry : surviving) {
+    alive.insert(entry.ref_id);
+  }
+  std::size_t pruned = 0;
+  {
+    std::lock_guard<std::mutex> lock(refs_mutex_);
+    for (auto it = refs_.begin(); it != refs_.end();) {
+      auto& placements = it->second;
+      const std::size_t before = placements.size();
+      placements.erase(
+          std::remove_if(placements.begin(), placements.end(),
+                         [&](const std::pair<std::size_t, std::uint64_t>& p) {
+                           return p.first == backend_index &&
+                                  alive.count(p.second) == 0;
+                         }),
+          placements.end());
+      pruned += before - placements.size();
+      // A handle with no surviving replica anywhere answers REF_NOT_FOUND
+      // at routing time — drop the empty entry so the map stays bounded.
+      if (placements.empty()) {
+        it = refs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (pruned != 0) instruments_.refs_pruned.add(pruned);
+}
+
+void Router::sweep_upload_routes(std::chrono::steady_clock::time_point now) {
+  if (config_.upload_route_ttl_ms == 0) return;
+  const auto ttl = std::chrono::milliseconds(config_.upload_route_ttl_ms);
+  std::size_t expired = 0;
+  {
+    std::lock_guard<std::mutex> lock(refs_mutex_);
+    for (auto it = upload_routes_.begin(); it != upload_routes_.end();) {
+      if (now - it->second.last_used >= ttl) {
+        it = upload_routes_.erase(it);
+        ++expired;
+      } else {
+        ++it;
+      }
+    }
+    if (expired != 0) {
+      instruments_.upload_placements.set(
+          static_cast<double>(upload_routes_.size()));
+    }
+  }
+  if (expired != 0) instruments_.upload_routes_expired.add(expired);
+}
+
 // ---- Health prober -----------------------------------------------------
 
 void Router::prober_loop() {
@@ -1452,6 +1526,18 @@ void Router::prober_loop() {
           backend.reported_load.store(load, std::memory_order_release);
           if (!backend.healthy.exchange(true, std::memory_order_acq_rel)) {
             instruments_.backend_readmitted.add();
+            // Readmit re-sync: the backend may have restarted while it
+            // was ejected. Ask it which handles actually survive (a
+            // durable store replays them; a fresh one has none) and
+            // prune placements whose local ids are gone — a stale
+            // placement must become a typed REF_NOT_FOUND at routing
+            // time, never an answer computed against the wrong handle.
+            Response refs_response = probers[i].call(RefListRequest{});
+            if (const auto* list =
+                    std::get_if<RefListResponse>(&refs_response)) {
+              prune_backend_refs(i, list->refs);
+              instruments_.backend_resyncs.add();
+            }
           }
         }
       } catch (const std::exception&) {
@@ -1474,8 +1560,17 @@ void Router::prober_loop() {
 // ---- Hedge / deadline monitor ------------------------------------------
 
 void Router::monitor_loop() {
+  auto last_route_sweep = std::chrono::steady_clock::now();
   while (interruptible_sleep(config_.hedge_tick_ms, draining_)) {
     const auto now = std::chrono::steady_clock::now();
+    // Abandoned-upload sweep: a few times per TTL is prompt enough, and
+    // keeps the map walk off the hot hedge tick.
+    if (config_.upload_route_ttl_ms != 0 &&
+        millis_between(last_route_sweep, now) >=
+            std::max<std::uint64_t>(1, config_.upload_route_ttl_ms / 4)) {
+      last_route_sweep = now;
+      sweep_upload_routes(now);
+    }
     const std::uint32_t threshold = hedge_threshold_ms();
     std::vector<std::uint64_t> expired;
     std::vector<std::pair<std::uint64_t, int>> hedges;

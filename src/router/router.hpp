@@ -127,6 +127,13 @@ struct RouterConfig {
   /// stop() waits this long for in-flight ops before answering the rest
   /// with SHUTTING_DOWN, ms.
   std::uint32_t drain_grace_ms = 5000;
+
+  // ---- Upload placement hygiene ----------------------------------------
+  /// TTL for a token-sticky upload placement with no SEQ_* traffic: an
+  /// abandoned session's route is evicted after this long so the map
+  /// cannot grow without bound (completion already evicts promptly).
+  /// 0 disables the sweep.
+  std::uint32_t upload_route_ttl_ms = 600000;
 };
 
 class Router {
@@ -256,8 +263,12 @@ class Router {
     obs::Counter& backend_readmitted;
     obs::Counter& ref_put_degraded;
     obs::Counter& write_errors;
+    obs::Counter& backend_resyncs;
+    obs::Counter& refs_pruned;
+    obs::Counter& upload_routes_expired;
     obs::Gauge& pending;
     obs::Gauge& backends_healthy;
+    obs::Gauge& upload_placements;
     obs::Histogram& latency_seconds;
   };
 
@@ -296,8 +307,24 @@ class Router {
       refs_;
   std::atomic<std::uint64_t> next_ref_id_{1};
   /// Open upload sessions: token -> pinned backend (guarded by
-  /// refs_mutex_). Installed by SEQ_BEGIN, dropped when SEQ_END answers.
-  std::map<std::uint64_t, std::size_t> upload_routes_;
+  /// refs_mutex_). Installed by SEQ_BEGIN, dropped when SEQ_END answers
+  /// successfully — and swept by TTL when the client vanished mid-upload
+  /// (every SEQ_* frame refreshes last_used). Exported as the
+  /// `router.upload_placements` gauge.
+  struct UploadRoute {
+    std::size_t backend = 0;
+    std::chrono::steady_clock::time_point last_used{};
+  };
+  std::map<std::uint64_t, UploadRoute> upload_routes_;
+
+  /// Prunes placements on `backend_index` whose local ref id is absent
+  /// from `surviving` (a REF_LIST snapshot taken at readmit): a backend
+  /// restarted without durable state must answer a typed REF_NOT_FOUND,
+  /// never serve a stale placement's wrong handle.
+  void prune_backend_refs(std::size_t backend_index,
+                          const std::vector<service::RefListEntry>& surviving);
+  /// Evicts upload routes idle past config.upload_route_ttl_ms.
+  void sweep_upload_routes(std::chrono::steady_clock::time_point now);
 
   std::vector<std::unique_ptr<Backend>> backends_;
 

@@ -187,6 +187,10 @@ std::uint64_t Client::send(AlignRefRequest request) {
   return send_impl(std::move(request));
 }
 
+std::uint64_t Client::send(RefListRequest request) {
+  return send_impl(std::move(request));
+}
+
 Response Client::receive() {
   FLSA_REQUIRE(connected());
   std::string payload;
@@ -242,6 +246,10 @@ Response Client::call(SeqChunkRequest request) {
 }
 
 Response Client::call(SeqEndRequest request) {
+  return wait_for(send(std::move(request)));
+}
+
+Response Client::call(RefListRequest request) {
   return wait_for(send(std::move(request)));
 }
 

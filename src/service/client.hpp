@@ -90,6 +90,7 @@ class Client {
   std::uint64_t send(SeqChunkRequest request);
   std::uint64_t send(SeqEndRequest request);
   std::uint64_t send(AlignRefRequest request);
+  std::uint64_t send(RefListRequest request);
 
   /// Blocks for the next response frame (any request id). Throws
   /// ProtocolError on malformed frames, TransportError when the server
@@ -107,6 +108,7 @@ class Client {
   Response call(SeqBeginRequest request);
   Response call(SeqChunkRequest request);
   Response call(SeqEndRequest request);
+  Response call(RefListRequest request);
 
   /// Closed-loop ALIGN_REF with streamed-response reassembly: blocks
   /// until the last ALIGN_PART frame and returns a single

@@ -226,6 +226,7 @@ const char* to_string(Verb verb) {
     case Verb::kSeqChunk: return "SEQ_CHUNK";
     case Verb::kSeqEnd: return "SEQ_END";
     case Verb::kAlignRef: return "ALIGN_REF";
+    case Verb::kRefList: return "REF_LIST";
     case Verb::kAlignOk: return "ALIGN_OK";
     case Verb::kError: return "ERROR";
     case Verb::kStatsOk: return "STATS_OK";
@@ -234,6 +235,7 @@ const char* to_string(Verb verb) {
     case Verb::kAlignBatchOk: return "ALIGN_BATCH_OK";
     case Verb::kSeqOk: return "SEQ_OK";
     case Verb::kAlignPart: return "ALIGN_PART";
+    case Verb::kRefListOk: return "REF_LIST_OK";
   }
   return "?";
 }
@@ -371,6 +373,12 @@ std::string encode(const AlignRefRequest& request) {
   return w.take();
 }
 
+std::string encode(const RefListRequest& request) {
+  Writer w(Verb::kRefList);
+  w.u64(request.request_id);
+  return w.take();
+}
+
 std::string encode(const SearchRequest& request) {
   Writer w(Verb::kSearch);
   w.u64(request.request_id);
@@ -460,6 +468,22 @@ std::string encode(const AlignPartResponse& response) {
   w.u64(response.exec_micros);
   w.i64(response.deadline_remaining_ms);
   w.str(response.cigar_part);
+  return w.take();
+}
+
+std::string encode(const RefListResponse& response) {
+  Writer w(Verb::kRefListOk);
+  w.u64(response.request_id);
+  w.u32(static_cast<std::uint32_t>(response.refs.size()));
+  for (const RefListEntry& entry : response.refs) {
+    w.u64(entry.ref_id);
+    w.u64(entry.content_token);
+    w.u64(entry.residues);
+    w.u8(static_cast<std::uint8_t>(entry.matrix));
+    w.u32(entry.k);
+    w.u8(entry.indexed ? 1 : 0);
+    w.str(entry.name);
+  }
   return w.take();
 }
 
@@ -572,6 +596,12 @@ Request decode_request(std::string_view payload) {
       r.finish();
       return req;
     }
+    case Verb::kRefList: {
+      RefListRequest req;
+      req.request_id = r.u64();
+      r.finish();
+      return req;
+    }
     case Verb::kSearch: {
       SearchRequest req;
       req.request_id = r.u64();
@@ -678,6 +708,29 @@ Response decode_response(std::string_view payload) {
       res.residues = r.u64();
       res.distinct_kmers = r.u64();
       res.build_micros = r.u64();
+      r.finish();
+      return res;
+    }
+    case Verb::kRefListOk: {
+      RefListResponse res;
+      res.request_id = r.u64();
+      const std::uint32_t count = r.u32();
+      // Smallest entry: the fixed fields plus an empty-name length.
+      if (count > r.remaining() / (8 + 8 + 8 + 1 + 4 + 1 + 4)) {
+        throw ProtocolError("ref list count exceeds the payload size");
+      }
+      res.refs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        RefListEntry entry;
+        entry.ref_id = r.u64();
+        entry.content_token = r.u64();
+        entry.residues = r.u64();
+        entry.matrix = read_matrix(r);
+        entry.k = r.u32();
+        entry.indexed = r.u8() != 0;
+        entry.name = r.str();
+        res.refs.push_back(std::move(entry));
+      }
       r.finish();
       return res;
     }

@@ -83,6 +83,7 @@ enum class Verb : std::uint8_t {
   kSeqChunk = 0x07,
   kSeqEnd = 0x08,
   kAlignRef = 0x09,
+  kRefList = 0x0a,
   kAlignOk = 0x81,
   kError = 0x82,
   kStatsOk = 0x83,
@@ -91,6 +92,7 @@ enum class Verb : std::uint8_t {
   kAlignBatchOk = 0x86,
   kSeqOk = 0x87,
   kAlignPart = 0x88,
+  kRefListOk = 0x89,
 };
 
 /// Substitution matrix selector (the server owns the tables; the wire
@@ -168,6 +170,14 @@ struct AlignBatchRequest {
 
 /// Registry snapshot request.
 struct StatsRequest {
+  std::uint64_t request_id = 0;
+};
+
+/// Enumerates the registered reference handles (REF_PUT and sealed
+/// uploads alike). The answer is what survives a restart from the
+/// durable registry, so clients and the router front tier can
+/// re-resolve handles instead of guessing from stale placement state.
+struct RefListRequest {
   std::uint64_t request_id = 0;
 };
 
@@ -372,6 +382,23 @@ struct SearchResponse {
   std::int64_t deadline_remaining_ms = -1;
 };
 
+/// One registered handle as reported by REF_LIST.
+struct RefListEntry {
+  std::uint64_t ref_id = 0;
+  std::uint64_t content_token = 0;  ///< idempotency/content token (may be 0)
+  std::uint64_t residues = 0;
+  WireMatrix matrix = WireMatrix::kDna;
+  std::uint32_t k = 0;   ///< seed length of the index (0 = none requested)
+  bool indexed = false;  ///< SEARCH-able (index present or lazily rebuilt)
+  std::string name;      ///< display name (may be empty)
+};
+
+/// Successful handle enumeration, in ascending ref_id order.
+struct RefListResponse {
+  std::uint64_t request_id = 0;
+  std::vector<RefListEntry> refs;
+};
+
 /// One per-job outcome inside an ALIGN_BATCH_OK frame: the job either
 /// succeeded (AlignResponse) or failed with a typed error — a bad job
 /// never poisons its batch mates.
@@ -386,11 +413,11 @@ struct AlignBatchResponse {
 using Request =
     std::variant<AlignRequest, StatsRequest, RefPutRequest, SearchRequest,
                  AlignBatchRequest, SeqBeginRequest, SeqChunkRequest,
-                 SeqEndRequest, AlignRefRequest>;
+                 SeqEndRequest, AlignRefRequest, RefListRequest>;
 using Response =
     std::variant<AlignResponse, ErrorResponse, StatsResponse, RefPutResponse,
                  SearchResponse, AlignBatchResponse, SeqOkResponse,
-                 AlignPartResponse>;
+                 AlignPartResponse, RefListResponse>;
 
 /// Thrown by decoders on malformed payloads (truncation, trailing bytes,
 /// unknown version/verb, length overflow).
@@ -433,6 +460,7 @@ std::string encode(const SeqBeginRequest& request);
 std::string encode(const SeqChunkRequest& request);
 std::string encode(const SeqEndRequest& request);
 std::string encode(const AlignRefRequest& request);
+std::string encode(const RefListRequest& request);
 std::string encode(const AlignResponse& response);
 std::string encode(const ErrorResponse& response);
 std::string encode(const StatsResponse& response);
@@ -441,6 +469,7 @@ std::string encode(const SearchResponse& response);
 std::string encode(const AlignBatchResponse& response);
 std::string encode(const SeqOkResponse& response);
 std::string encode(const AlignPartResponse& response);
+std::string encode(const RefListResponse& response);
 
 /// Payload decoders; throw ProtocolError on malformed input.
 Request decode_request(std::string_view payload);

@@ -9,7 +9,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -54,6 +56,29 @@ std::uint64_t micros_between(std::chrono::steady_clock::time_point from,
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(to - from)
           .count());
+}
+
+/// Durable identity of a streamed upload: the rolling FNV of the letters
+/// extended by the matrix byte (same content under a different alphabet
+/// family is a different handle). Never 0 — the wire reserves it.
+std::uint64_t durable_token(std::uint64_t rolling_hash, WireMatrix matrix) {
+  const std::uint8_t matrix_byte = static_cast<std::uint8_t>(matrix);
+  const std::uint64_t token = fnv1a64(&matrix_byte, 1, rolling_hash);
+  return token != 0 ? token : 1;
+}
+
+/// Whether a wire matrix byte recovered from the manifest names a matrix
+/// this build understands (a registry written by a newer build may not).
+bool known_matrix(std::uint8_t byte) {
+  switch (static_cast<WireMatrix>(byte)) {
+    case WireMatrix::kMdm78:
+    case WireMatrix::kPam250:
+    case WireMatrix::kBlosum62:
+    case WireMatrix::kDna:
+    case WireMatrix::kDnaN:
+      return true;
+  }
+  return false;
 }
 
 /// REF_PUT seed length when the request leaves k at 0: exact DNA words
@@ -119,6 +144,10 @@ AlignmentServer::AlignmentServer(ServiceConfig config)
           obs::metrics().counter("stream.align_ref"),
           obs::metrics().counter("stream.parts"),
           obs::metrics().counter("search.ref_dedup_hits"),
+          obs::metrics().counter("stream.uploads_reaped"),
+          obs::metrics().counter("store.refs_recovered"),
+          obs::metrics().counter("store.recovery_skipped"),
+          obs::metrics().counter("search.index_rebuilds"),
           obs::metrics().gauge("stream.uploads_active"),
           obs::metrics().gauge("search.refs"),
           obs::metrics().gauge("service.queue_depth"),
@@ -210,6 +239,23 @@ void AlignmentServer::start() {
     }
   }
 
+  // A persistent store directory recovers its sealed handles before the
+  // first connection is accepted: replay the FLSAREG1 manifest, re-mmap
+  // every intact payload, and open the registry for new seals. Replay
+  // degrades (skips) on corruption; only an unusable manifest *file*
+  // (I/O) fails the boot.
+  recovery_ = RecoveryReport{};
+  if (!owns_store_dir_) {
+    try {
+      recover_store_dir();
+    } catch (const std::exception& e) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("store recovery in '" + store_dir_ +
+                               "' failed: " + e.what());
+    }
+  }
+
   started_at_ = std::chrono::steady_clock::now();
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -221,11 +267,24 @@ void AlignmentServer::start() {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
   acceptor_ = std::thread([this] { accept_loop(); });
+  {
+    std::lock_guard<std::mutex> lock(hygiene_mutex_);
+    hygiene_stop_ = false;
+  }
+  hygiene_ = std::thread([this] { hygiene_loop(); });
 }
 
 void AlignmentServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   draining_.store(true, std::memory_order_release);
+
+  // 0. Hygiene timer down first — it walks uploads_, which step 4 clears.
+  {
+    std::lock_guard<std::mutex> lock(hygiene_mutex_);
+    hygiene_stop_ = true;
+  }
+  hygiene_cv_.notify_all();
+  if (hygiene_.joinable()) hygiene_.join();
 
   // 1. Stop accepting: shutdown unblocks the acceptor's accept(2).
   ::shutdown(listen_fd_, SHUT_RDWR);
@@ -261,6 +320,9 @@ void AlignmentServer::stop() {
     uploads_.clear();
     instruments_.uploads_active.set(0.0);
   }
+  // The manifest fd closes with the server; the next start() re-replays
+  // and re-opens it (the file itself is the durable artifact).
+  registry_.reset();
   if (owns_store_dir_ && !store_dir_.empty()) {
     if (DIR* dir = ::opendir(store_dir_.c_str())) {
       while (const dirent* entry = ::readdir(dir)) {
@@ -436,6 +498,12 @@ void AlignmentServer::handle_request(
     answer_stats(connection, std::get<StatsRequest>(request));
     return;
   }
+  if (const auto* list = std::get_if<RefListRequest>(&request)) {
+    // A pure read of the handle table: answered inline like STATS, so a
+    // router re-syncing after a backend restart never queues behind DP.
+    answer_ref_list(connection, *list);
+    return;
+  }
   // Upload verbs run inline on this connection thread: chunk order is
   // the connection's frame order, which the shared worker pool would
   // destroy, and the work is disk I/O, not DP cells.
@@ -567,8 +635,9 @@ void AlignmentServer::handle_request(
   std::visit(
       [&](auto&& work) {
         using T = std::decay_t<decltype(work)>;
-        // STATS and the SEQ_* verbs were answered inline above.
+        // STATS, REF_LIST, and the SEQ_* verbs were answered inline above.
         if constexpr (!std::is_same_v<T, StatsRequest> &&
+                      !std::is_same_v<T, RefListRequest> &&
                       !std::is_same_v<T, SeqBeginRequest> &&
                       !std::is_same_v<T, SeqChunkRequest> &&
                       !std::is_same_v<T, SeqEndRequest>) {
@@ -811,8 +880,12 @@ void AlignmentServer::execute_align_batch(Aligner& aligner, Job& job,
 std::string AlignmentServer::write_store_file(const Alphabet& alphabet,
                                               std::string_view letters,
                                               const std::string& name) {
+  // Written under an `up<N>.flsa` scratch name: anything the registry
+  // does not reference must look like an upload partial, so a crash here
+  // is cleaned by the same boot-time orphan sweep. Registration renames
+  // it to its durable content-token name.
   const std::string path =
-      store_dir_ + "/ref" +
+      store_dir_ + "/up" +
       std::to_string(next_store_file_.fetch_add(1, std::memory_order_relaxed)) +
       ".flsa";
   store::StoreWriter writer(path, alphabet);
@@ -822,14 +895,38 @@ std::string AlignmentServer::write_store_file(const Alphabet& alphabet,
   return path;
 }
 
+std::string AlignmentServer::durable_payload_path(
+    std::uint64_t content_token) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(content_token));
+  return store_dir_ + "/ref_" + hex + ".flsa";
+}
+
 std::uint64_t AlignmentServer::register_store_file(
     const std::string& path, WireMatrix matrix, std::uint32_t build_k,
-    std::uint64_t* distinct_kmers) {
-  auto packed = store::PackedStore::open(path);
+    std::uint64_t* distinct_kmers, std::uint64_t content_token,
+    const std::string& name) {
+  // Durability is ordering, not atomicity: (1) the finalized payload is
+  // renamed to its content-token name, (2) the manifest record is
+  // appended and fsync'd, (3) the handle appears in memory and is
+  // acknowledged. A crash between any two steps leaves an invisible
+  // orphan or a replayable record — never an acknowledged handle that a
+  // restart cannot serve.
+  std::string final_path = path;
+  if (registry_ && content_token != 0) {
+    final_path = durable_payload_path(content_token);
+    if (final_path != path &&
+        ::rename(path.c_str(), final_path.c_str()) != 0) {
+      throw std::runtime_error("cannot rename '" + path + "' to '" +
+                               final_path + "': " + std::strerror(errno));
+    }
+  }
+  auto packed = store::PackedStore::open(final_path);
   // In an owned (temporary) directory the file is unlinked immediately:
   // the mapping keeps the bytes alive, and nothing can leak past the
   // mapping's lifetime.
-  if (owns_store_dir_) ::unlink(path.c_str());
+  if (owns_store_dir_) ::unlink(final_path.c_str());
   SequenceView view = packed->view(0);
   std::shared_ptr<const search::ReferenceIndex> index;
   if (build_k != 0) {
@@ -840,11 +937,147 @@ std::uint64_t AlignmentServer::register_store_file(
       *distinct_kmers = index->kmers().distinct_kmers();
     }
   }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(refs_mutex_);
+    id = next_ref_id_++;
+  }
+  if (registry_) {
+    store::RegistryEntry record;
+    record.ref_id = id;
+    record.content_token = content_token;
+    record.matrix = static_cast<std::uint8_t>(matrix);
+    record.build_k = build_k;
+    record.residues = view.size();
+    record.file = final_path.substr(final_path.rfind('/') + 1);
+    record.name = name;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_->append(record);  // fsync'd before the handle goes live
+  }
   std::lock_guard<std::mutex> lock(refs_mutex_);
-  const std::uint64_t id = next_ref_id_++;
-  refs_.emplace(id, RefEntry{std::move(index), std::move(view), matrix});
+  refs_.emplace(id, RefEntry{std::move(index), std::move(view), matrix,
+                             build_k, content_token, name});
   instruments_.refs_live.set(static_cast<double>(refs_.size()));
   return id;
+}
+
+void AlignmentServer::recover_store_dir() {
+  // Orphan sweep: `up*.flsa` files are unfinalized scratch from a crash
+  // mid-upload (or mid-REF_PUT). No manifest record can reference one —
+  // records are appended only after the payload is finalized and renamed
+  // to `ref_*.flsa` — so they are garbage by construction, and a partial
+  // file can never back a recovered handle.
+  if (DIR* dir = ::opendir(store_dir_.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string file = entry->d_name;
+      if (file.size() > 7 && file.rfind("up", 0) == 0 &&
+          file.compare(file.size() - 5, 5, ".flsa") == 0) {
+        ::unlink((store_dir_ + "/" + file).c_str());
+      }
+    }
+    ::closedir(dir);
+  }
+
+  const std::string manifest_path =
+      store_dir_ + "/" + store::kRegistryFileName;
+  store::RegistryReplayReport report;
+  const std::vector<store::RegistryEntry> records =
+      store::replay_registry(manifest_path, &report);
+  recovery_.skipped = report.skipped;
+  recovery_.warnings = report.warnings;
+
+  std::uint64_t max_id = 0;
+  for (const store::RegistryEntry& record : records) {
+    max_id = std::max(max_id, record.ref_id);
+    if (refs_.count(record.ref_id) != 0) continue;  // in-process restart
+    try {
+      if (!known_matrix(record.matrix)) {
+        throw store::StoreError(
+            store::StoreError::Kind::kBadRecord,
+            "unknown wire matrix byte " + std::to_string(record.matrix));
+      }
+      const WireMatrix matrix = static_cast<WireMatrix>(record.matrix);
+      auto packed =
+          store::PackedStore::open(store_dir_ + "/" + record.file);
+      SequenceView view = packed->view(0);
+      if (&view.alphabet() != &alphabet_for(matrix)) {
+        throw store::StoreError(
+            store::StoreError::Kind::kBadRecord,
+            "payload alphabet does not match the recorded matrix family");
+      }
+      if (view.size() != record.residues) {
+        throw store::StoreError(
+            store::StoreError::Kind::kBadRecord,
+            "payload holds " + std::to_string(view.size()) +
+                " residues but the record promises " +
+                std::to_string(record.residues));
+      }
+      // The k-mer index is *not* rebuilt here: boot stays O(records),
+      // and the first SEARCH against the handle rebuilds it lazily.
+      refs_.emplace(record.ref_id,
+                    RefEntry{nullptr, std::move(view), matrix,
+                             record.build_k, record.content_token,
+                             record.name});
+      if (record.content_token != 0) {
+        ref_tokens_.emplace(record.content_token, record.ref_id);
+      }
+      ++recovery_.recovered;
+    } catch (const std::exception& e) {
+      // A typed absence, never a failed boot: the handle is gone (its
+      // payload vanished or rotted), the rest must still come back.
+      ++recovery_.skipped;
+      recovery_.warnings.push_back(
+          "ref " + std::to_string(record.ref_id) + " (" + record.file +
+          "): " + e.what());
+    }
+  }
+  if (max_id >= next_ref_id_) next_ref_id_ = max_id + 1;
+  instruments_.refs_live.set(static_cast<double>(refs_.size()));
+  instruments_.refs_recovered.add(recovery_.recovered);
+  instruments_.recovery_skipped.add(recovery_.skipped);
+
+  // Open (or create) the manifest for this run's seals only after replay
+  // read it — the writer's header write would race our own scan.
+  registry_ = std::make_unique<store::RegistryWriter>(manifest_path);
+}
+
+void AlignmentServer::hygiene_loop() {
+  const std::uint32_t timeout_ms = config_.upload_idle_timeout_ms;
+  // Tick a few times per timeout so expiry latency stays proportional,
+  // but never busier than 4 Hz (and never slower than 100 Hz in tests
+  // that shrink the timeout to tens of milliseconds).
+  const auto tick = std::chrono::milliseconds(
+      timeout_ms == 0
+          ? 250
+          : std::max<std::uint32_t>(
+                10, std::min<std::uint32_t>(250, timeout_ms / 4)));
+  std::unique_lock<std::mutex> lock(hygiene_mutex_);
+  while (!hygiene_stop_) {
+    hygiene_cv_.wait_for(lock, tick);
+    if (hygiene_stop_) return;
+    if (timeout_ms == 0) continue;
+    const auto now = std::chrono::steady_clock::now();
+    const auto limit = std::chrono::milliseconds(timeout_ms);
+    std::size_t reaped = 0;
+    {
+      std::lock_guard<std::mutex> uploads_lock(uploads_mutex_);
+      for (auto it = uploads_.begin(); it != uploads_.end();) {
+        if (now - it->second.last_activity >= limit) {
+          // StoreWriter's destructor unlinks the partial file; the slot
+          // against max_uploads_in_flight frees with the erase.
+          it = uploads_.erase(it);
+          ++reaped;
+        } else {
+          ++it;
+        }
+      }
+      if (reaped != 0) {
+        instruments_.uploads_active.set(
+            static_cast<double>(uploads_.size()));
+      }
+    }
+    if (reaped != 0) instruments_.uploads_reaped.add(reaped);
+  }
 }
 
 void AlignmentServer::execute_ref_put(Job& job,
@@ -884,9 +1117,16 @@ void AlignmentServer::execute_ref_put(Job& job,
     search::KmerIndex::require_indexable(request.sequence.size());
     const std::string path =
         write_store_file(alphabet, request.sequence, request.name);
+    // The durable identity: the client's token when it sent one, else
+    // the same derivation the client's retry path uses — every REF_PUT
+    // handle gets a content-token payload name and a manifest record.
+    const std::uint64_t durable = request.content_token != 0
+                                      ? request.content_token
+                                      : content_token_for(request);
     std::uint64_t distinct = 0;
-    std::uint64_t ref_id =
-        register_store_file(path, request.matrix, k, &distinct);
+    std::uint64_t ref_id = register_store_file(path, request.matrix, k,
+                                               &distinct, durable,
+                                               request.name);
     const auto done = std::chrono::steady_clock::now();
 
     if (request.content_token != 0) {
@@ -946,6 +1186,28 @@ void AlignmentServer::execute_search(Job& job, const SearchRequest& request) {
              "reference id " + std::to_string(request.ref_id) +
                  " is not registered");
       return;
+    }
+    if (!entry.index && entry.build_k != 0) {
+      // Restart replay deferred this handle's index (boot stays cheap);
+      // the first SEARCH rebuilds it from the mmap'd payload and installs
+      // it for every later request. Two racing rebuilds are benign — the
+      // indexes are identical, the loser's copy is just dropped.
+      const auto build_started = std::chrono::steady_clock::now();
+      auto rebuilt = std::make_shared<const search::ReferenceIndex>(
+          entry.view, entry.build_k);
+      instruments_.index_rebuilds.add();
+      instruments_.ref_build_seconds.observe(
+          static_cast<double>(micros_between(
+              build_started, std::chrono::steady_clock::now())) *
+          1e-6);
+      {
+        std::lock_guard<std::mutex> lock(refs_mutex_);
+        const auto it = refs_.find(request.ref_id);
+        if (it != refs_.end() && !it->second.index) {
+          it->second.index = rebuilt;
+        }
+      }
+      entry.index = std::move(rebuilt);
     }
     if (!entry.index) {
       // Registered via SEQ_END with build_index=false: alignable by
@@ -1088,6 +1350,7 @@ void AlignmentServer::handle_seq_begin(
         // Resume: a re-BEGIN with a known token answers how far the
         // previous attempt got; the client continues from next_offset.
         instruments_.upload_resumes.add();
+        it->second.last_activity = std::chrono::steady_clock::now();
         response.next_offset = it->second.received;
         response.residues = it->second.received;
       } else {
@@ -1111,6 +1374,7 @@ void AlignmentServer::handle_seq_begin(
         upload.name = request.name;
         upload.declared_total = request.total_residues;
         upload.rolling_hash = kFnvOffsetBasis;
+        upload.last_activity = std::chrono::steady_clock::now();
         uploads_.emplace(request.upload_token, std::move(upload));
         instruments_.uploads_started.add();
         instruments_.uploads_active.set(static_cast<double>(uploads_.size()));
@@ -1152,6 +1416,7 @@ void AlignmentServer::handle_seq_chunk(
         return;
       }
       Upload& upload = it->second;
+      upload.last_activity = std::chrono::steady_clock::now();
       const std::uint64_t chunk_end =
           add_sat_u64(request.offset, request.data.size());
       if (chunk_end <= upload.received) {
@@ -1249,6 +1514,7 @@ void AlignmentServer::handle_seq_end(
                    " (send SEQ_BEGIN first)");
         return;
       }
+      it->second.last_activity = std::chrono::steady_clock::now();
       if (request.total_residues != it->second.received) {
         // Wrong length but the bytes present are fine: keep the session
         // so the client can resume the missing tail.
@@ -1288,8 +1554,9 @@ void AlignmentServer::handle_seq_end(
     upload.writer.reset();
 
     std::uint64_t distinct = 0;
-    const std::uint64_t ref_id =
-        register_store_file(upload.path, upload.matrix, build_k, &distinct);
+    const std::uint64_t ref_id = register_store_file(
+        upload.path, upload.matrix, build_k, &distinct,
+        durable_token(upload.rolling_hash, upload.matrix), upload.name);
     instruments_.uploads_sealed.add();
     instruments_.ref_puts.add();
     instruments_.ref_residues.add(upload.received);
@@ -1492,6 +1759,33 @@ void AlignmentServer::answer_stats(
     response.entries.emplace_back(sample.name, sample.value);
   }
   respond(connection, encode(response));
+}
+
+void AlignmentServer::answer_ref_list(
+    const std::shared_ptr<Connection>& connection,
+    const RefListRequest& request) {
+  instruments_.requests.add();
+  RefListResponse response;
+  response.request_id = request.request_id;
+  {
+    std::lock_guard<std::mutex> lock(refs_mutex_);
+    response.refs.reserve(refs_.size());
+    for (const auto& [id, entry] : refs_) {
+      RefListEntry item;
+      item.ref_id = id;
+      item.content_token = entry.content_token;
+      item.residues = entry.view.size();
+      item.matrix = entry.matrix;
+      item.k = entry.build_k;
+      item.indexed = entry.build_k != 0;
+      item.name = entry.name;
+      response.refs.push_back(std::move(item));
+    }
+  }
+  instruments_.completed.add();
+  if (!respond(connection, encode(response))) {
+    instruments_.write_errors.add();
+  }
 }
 
 bool AlignmentServer::respond(const std::shared_ptr<Connection>& connection,

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -53,6 +54,7 @@
 #include "service/fault.hpp"
 #include "service/protocol.hpp"
 #include "store/packed_store.hpp"
+#include "store/registry.hpp"
 
 namespace flsa {
 namespace service {
@@ -112,6 +114,12 @@ struct ServiceConfig {
   /// Cap on concurrently open upload sessions (each holds an fd and a
   /// small write buffer). Admission answers OVERLOADED past it.
   std::size_t max_uploads_in_flight = 64;
+  /// Idle ceiling for an open upload session: a session with no
+  /// SEQ_BEGIN/SEQ_CHUNK/SEQ_END activity for this long is reaped (its
+  /// partial file unlinked, its slot against max_uploads_in_flight
+  /// freed). A dead client must not pin the cap until shutdown. 0
+  /// disables reaping.
+  std::uint32_t upload_idle_timeout_ms = 60000;
   /// TOO_LARGE budget for banded ALIGN_REF (band > 0): maximum
   /// (m+1)*(|n-m|+2*band+1) banded-matrix cells. Distinct from
   /// max_request_cells because the banded matrix is the memory ceiling
@@ -150,6 +158,19 @@ class AlignmentServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
+  /// What start() recovered from a persistent store directory. Empty
+  /// (all zeros) when config.store_dir is empty — a private temp store
+  /// has nothing to recover. A skipped entry is a warning, never a
+  /// failed boot: the surviving handles must come back even when one
+  /// record is torn or its payload vanished.
+  struct RecoveryReport {
+    std::size_t recovered = 0;  ///< handles serving again after replay
+    std::size_t skipped = 0;    ///< manifest entries dropped (see warnings)
+    std::vector<std::string> warnings;
+  };
+  /// Valid after start(); stable until the next start().
+  const RecoveryReport& recovery() const { return recovery_; }
+
   /// Current depth of the bounded request queue.
   std::size_t queue_depth() const { return queue_.size(); }
 
@@ -175,10 +196,16 @@ class AlignmentServer {
   /// alphabet), and — when an index was requested — the k-mer index.
   /// `index` is null for ALIGN_REF-only handles (SEQ_END with
   /// build_index = false); SEARCH against them is a BAD_REQUEST.
+  /// After a restart replay the index is also null for indexed handles
+  /// (`build_k` != 0) until the first SEARCH rebuilds it lazily — boot
+  /// must not pay O(total residues) index builds up front.
   struct RefEntry {
     std::shared_ptr<const search::ReferenceIndex> index;
     SequenceView view;
     WireMatrix matrix = WireMatrix::kDna;
+    std::uint32_t build_k = 0;        ///< index seed length (0 = no index)
+    std::uint64_t content_token = 0;  ///< durable identity across restarts
+    std::string name;
   };
 
   /// One in-progress chunked upload, keyed by the client's token. Lives
@@ -194,6 +221,9 @@ class AlignmentServer {
     std::uint64_t declared_total = 0;  ///< SEQ_BEGIN's total (0 = unknown)
     std::uint64_t received = 0;        ///< letters applied so far
     std::uint64_t rolling_hash;        ///< FNV-1a of letters [0, received)
+    /// Refreshed by every SEQ_* frame of the session; the hygiene loop
+    /// reaps sessions idle past config.upload_idle_timeout_ms.
+    std::chrono::steady_clock::time_point last_activity{};
   };
 
   void accept_loop();
@@ -225,6 +255,10 @@ class AlignmentServer {
                          const AlignRefRequest& request);
   void answer_stats(const std::shared_ptr<Connection>& connection,
                     const StatsRequest& request);
+  /// REF_LIST is a pure read of refs_ (one brief lock), answered inline
+  /// on the connection thread like STATS.
+  void answer_ref_list(const std::shared_ptr<Connection>& connection,
+                       const RefListRequest& request);
 
   // Upload sessions run inline on the connection thread (chunk order is
   // the connection's frame order; the worker pool would reorder them).
@@ -237,9 +271,32 @@ class AlignmentServer {
 
   /// Registers a finalized store file under a fresh ref id. Returns the
   /// id. `build_k` == 0 skips the k-mer index (ALIGN_REF-only handle).
+  /// When a registry is active (persistent store dir) the manifest
+  /// record is appended and fsync'd *before* the in-memory insert — a
+  /// handle is never acknowledged to a client unless a crash-restart
+  /// would bring it back.
   std::uint64_t register_store_file(const std::string& path,
                                     WireMatrix matrix, std::uint32_t build_k,
-                                    std::uint64_t* distinct_kmers);
+                                    std::uint64_t* distinct_kmers,
+                                    std::uint64_t content_token,
+                                    const std::string& name);
+
+  /// Renames a finalized temp payload to its durable content-token name
+  /// (`ref_<token-hex>.flsa`) inside store_dir_ and returns the new
+  /// path. Same-content collisions rename onto the identical bytes, so
+  /// an atomic replace is safe.
+  std::string durable_payload_path(std::uint64_t content_token) const;
+
+  /// Replays the FLSAREG1 manifest in a persistent store dir: re-mmaps
+  /// every intact payload, restores refs_/ref_tokens_/next_ref_id_, and
+  /// fills recovery_. Corrupt records and missing payloads become typed
+  /// warnings, never a failed boot. Also sweeps orphaned `up*.flsa`
+  /// partials left by a crash mid-upload.
+  void recover_store_dir();
+
+  /// Hygiene timer: reaps upload sessions idle past
+  /// config.upload_idle_timeout_ms. Interruptible via hygiene_cv_.
+  void hygiene_loop();
 
   /// Writes `sequence` (letters) through a StoreWriter into store_dir_
   /// and returns the finalized path. Used by REF_PUT so every reference
@@ -300,6 +357,10 @@ class AlignmentServer {
     obs::Counter& align_ref_requests;
     obs::Counter& align_parts;
     obs::Counter& ref_dedup_hits;
+    obs::Counter& uploads_reaped;
+    obs::Counter& refs_recovered;
+    obs::Counter& recovery_skipped;
+    obs::Counter& index_rebuilds;
     obs::Gauge& uploads_active;
     obs::Gauge& refs_live;
     obs::Gauge& queue_depth;
@@ -353,6 +414,19 @@ class AlignmentServer {
   std::string store_dir_;
   bool owns_store_dir_ = false;
   std::atomic<std::uint64_t> next_store_file_{1};
+
+  /// Durable handle registry (FLSAREG1). Non-null only for a persistent
+  /// store dir; appends are serialized by registry_mutex_ so records
+  /// never interleave.
+  std::unique_ptr<store::RegistryWriter> registry_;
+  std::mutex registry_mutex_;
+  RecoveryReport recovery_;
+
+  /// Upload-session hygiene timer (see hygiene_loop()).
+  std::thread hygiene_;
+  std::mutex hygiene_mutex_;
+  std::condition_variable hygiene_cv_;
+  bool hygiene_stop_ = false;
 };
 
 }  // namespace service

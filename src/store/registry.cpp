@@ -1,0 +1,315 @@
+#include "store/registry.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/fnv.hpp"
+
+namespace flsa {
+namespace store {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'L', 'S', 'A', 'R', 'E', 'G', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::uint32_t kSyncMarker = 0x47455231u;  // "1REG" little-endian
+/// A record body is two u64 ids, a matrix byte, a k, a residue count and
+/// two strings; anything past this bound is a corrupt length field.
+constexpr std::uint32_t kMaxBodyBytes = 1u << 20;
+
+void put_u32(std::string* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_str(std::string* out, const std::string& value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out->append(value);
+}
+
+/// Strict bounds-checked reader over one record body.
+class BodyReader {
+ public:
+  BodyReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t* out) {
+    if (pos_ + 1 > size_) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t* out) {
+    if (pos_ + 4 > size_) return false;
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    if (pos_ + 8 > size_) return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *out = value;
+    return true;
+  }
+
+  bool str(std::string* out) {
+    std::uint32_t length = 0;
+    if (!u32(&length)) return false;
+    if (pos_ + length > size_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return true;
+  }
+
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_body(const RegistryEntry& entry) {
+  std::string body;
+  put_u64(&body, entry.ref_id);
+  put_u64(&body, entry.content_token);
+  body.push_back(static_cast<char>(entry.matrix));
+  put_u32(&body, entry.build_k);
+  put_u64(&body, entry.residues);
+  put_str(&body, entry.file);
+  put_str(&body, entry.name);
+  return body;
+}
+
+bool decode_body(const std::uint8_t* data, std::size_t size,
+                 RegistryEntry* entry) {
+  BodyReader reader(data, size);
+  return reader.u64(&entry->ref_id) && reader.u64(&entry->content_token) &&
+         reader.u8(&entry->matrix) && reader.u32(&entry->build_k) &&
+         reader.u64(&entry->residues) && reader.str(&entry->file) &&
+         reader.str(&entry->name) && reader.done();
+}
+
+std::uint32_t read_u32(const std::uint8_t* data) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t read_u64(const std::uint8_t* data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw StoreError(StoreError::Kind::kIo,
+                   what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+RegistryWriter::RegistryWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_io("cannot open registry", path_);
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_io("cannot stat registry", path_);
+  }
+  if (st.st_size == 0) {
+    std::string header(kMagic, sizeof(kMagic));
+    put_u32(&header, kVersion);
+    put_u32(&header, 0);  // reserved
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      ::close(fd_);
+      fd_ = -1;
+      throw_io("cannot write registry header", path_);
+    }
+    if (::fsync(fd_) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw_io("cannot fsync registry", path_);
+    }
+  }
+}
+
+RegistryWriter::~RegistryWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RegistryWriter::append(const RegistryEntry& entry) {
+  const std::string body = encode_body(entry);
+  std::string record;
+  put_u32(&record, kSyncMarker);
+  put_u32(&record, static_cast<std::uint32_t>(body.size()));
+  record.append(body);
+  put_u64(&record, fnv1a64(body.data(), body.size()));
+  // One write(2): O_APPEND makes the offset atomic, and a crash mid-write
+  // leaves a truncated tail that replay stops at cleanly.
+  if (::write(fd_, record.data(), record.size()) !=
+      static_cast<ssize_t>(record.size())) {
+    throw_io("cannot append to registry", path_);
+  }
+  if (::fsync(fd_) != 0) throw_io("cannot fsync registry", path_);
+}
+
+std::vector<RegistryEntry> replay_registry(const std::string& path,
+                                           RegistryReplayReport* report) {
+  std::vector<RegistryEntry> entries;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return entries;  // first boot: empty registry
+    throw_io("cannot open registry", path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_io("cannot stat registry", path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + got, bytes.size() - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw_io("cannot read registry", path);
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (report != nullptr) {
+      report->warnings.push_back("registry " + path +
+                                 ": bad magic/short header; ignoring file");
+    }
+    return entries;
+  }
+  if (read_u32(bytes.data() + 8) != kVersion) {
+    if (report != nullptr) {
+      report->warnings.push_back("registry " + path +
+                                 ": unknown version; ignoring file");
+    }
+    return entries;
+  }
+
+  std::size_t pos = kHeaderBytes;
+  bool resyncing = false;
+  while (pos < bytes.size()) {
+    if (pos + 4 > bytes.size()) {
+      if (report != nullptr) report->truncated_tail = true;
+      break;
+    }
+    if (read_u32(bytes.data() + pos) != kSyncMarker) {
+      // Damage before this point: scan byte-by-byte for the next record.
+      if (!resyncing) {
+        resyncing = true;
+        if (report != nullptr) {
+          ++report->skipped;
+          report->warnings.push_back(
+              "registry " + path + ": garbage at byte " +
+              std::to_string(pos) + "; scanning for next record");
+        }
+      }
+      ++pos;
+      continue;
+    }
+    resyncing = false;
+    if (pos + 8 > bytes.size()) {
+      if (report != nullptr) report->truncated_tail = true;
+      break;
+    }
+    const std::uint32_t body_bytes = read_u32(bytes.data() + pos + 4);
+    if (body_bytes > kMaxBodyBytes) {
+      if (report != nullptr) {
+        ++report->skipped;
+        report->warnings.push_back("registry " + path +
+                                   ": record at byte " + std::to_string(pos) +
+                                   " claims an implausible length; skipping");
+      }
+      ++pos;  // rescan: the length field itself is untrustworthy
+      continue;
+    }
+    const std::size_t record_end = pos + 8 + body_bytes + 8;
+    if (record_end > bytes.size()) {
+      if (report != nullptr) report->truncated_tail = true;
+      break;
+    }
+    const std::uint8_t* body = bytes.data() + pos + 8;
+    const std::uint64_t want = read_u64(body + body_bytes);
+    if (fnv1a64(body, body_bytes) != want) {
+      if (report != nullptr) {
+        ++report->skipped;
+        report->warnings.push_back("registry " + path + ": record at byte " +
+                                   std::to_string(pos) +
+                                   " fails its checksum; skipping");
+      }
+      ++pos;  // corrupt body: the framing may be a lie too, rescan
+      continue;
+    }
+    RegistryEntry entry;
+    if (!decode_body(body, body_bytes, &entry)) {
+      if (report != nullptr) {
+        ++report->skipped;
+        report->warnings.push_back("registry " + path + ": record at byte " +
+                                   std::to_string(pos) +
+                                   " is malformed; skipping");
+      }
+      pos = record_end;
+      continue;
+    }
+    bool duplicate = false;
+    for (const RegistryEntry& seen : entries) {
+      if (seen.ref_id == entry.ref_id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      if (report != nullptr) {
+        ++report->skipped;
+        report->warnings.push_back("registry " + path + ": duplicate ref_id " +
+                                   std::to_string(entry.ref_id) +
+                                   "; keeping the first");
+      }
+    } else {
+      entries.push_back(std::move(entry));
+      if (report != nullptr) ++report->records;
+    }
+    pos = record_end;
+  }
+  return entries;
+}
+
+}  // namespace store
+}  // namespace flsa

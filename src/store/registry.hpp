@@ -1,0 +1,103 @@
+// The durable handle registry: an append-only manifest ("FLSAREG1")
+// living next to the packed store files it describes, mapping every
+// sealed handle (ref_id, content token) to its payload file, alphabet
+// family, length, and index parameters.
+//
+// File layout (little-endian, version 1):
+//
+//   [0, 16)   header: magic "FLSAREG1", u32 version (= 1), u32 reserved
+//   then records, each:
+//
+//     u32 sync marker 0x47455231 ("1REG")
+//     u32 body length (bounded; a corrupt length cannot force a huge read)
+//     body:
+//       u64 ref_id
+//       u64 content_token
+//       u8  matrix (wire matrix byte; fixes the alphabet family)
+//       u32 build_k (0 = no k-mer index was requested)
+//       u64 residues
+//       str file  (u32 length + bytes; payload basename inside the dir)
+//       str name  (display name, may be empty)
+//     u64 FNV-1a of the body bytes
+//
+// The write contract is crash-safe by ordering, not by atomicity: a
+// record is appended and fsync'd *after* its payload file is finalized
+// and renamed into place and *before* the handle is registered in
+// memory or acknowledged on the wire. A crash therefore leaves either
+// (a) a payload file with no record — an orphan, invisible forever — or
+// (b) a record whose payload is intact — replayable. Never a served
+// handle whose bytes are not durable.
+//
+// Replay is total-validation, per-record: a bad checksum, bad length,
+// or malformed body skips that record with a typed warning and rescans
+// for the next sync marker; a truncated tail (the crash case: the
+// process died mid-append before fsync completed) stops replay cleanly.
+// Replay never throws on corrupt *content* — a damaged manifest must
+// degrade to fewer handles, not a failed boot. Only I/O failures
+// (permissions, unreadable device) raise StoreError(kIo).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/packed_store.hpp"
+
+namespace flsa {
+namespace store {
+
+/// One sealed handle as recorded in the manifest.
+struct RegistryEntry {
+  std::uint64_t ref_id = 0;
+  std::uint64_t content_token = 0;
+  std::uint8_t matrix = 0;      ///< wire matrix byte at seal time
+  std::uint32_t build_k = 0;    ///< seed length of the index (0 = none)
+  std::uint64_t residues = 0;
+  std::string file;  ///< payload basename inside the store directory
+  std::string name;  ///< display name (may be empty)
+};
+
+/// What replay found: good records, skipped corruption, and whether the
+/// file ended mid-record (a crash tail — expected, not an error).
+struct RegistryReplayReport {
+  std::size_t records = 0;   ///< entries returned
+  std::size_t skipped = 0;   ///< corrupt records skipped
+  bool truncated_tail = false;
+  std::vector<std::string> warnings;  ///< one typed line per defect
+};
+
+/// Appends records to a manifest, fsync'ing each one before returning —
+/// the durability point of the seal path. Opens (or creates) `path` in
+/// append mode; a fresh/empty file gets the header first.
+class RegistryWriter {
+ public:
+  /// Throws StoreError(kIo) when the file cannot be opened or the
+  /// header cannot be written.
+  explicit RegistryWriter(std::string path);
+  ~RegistryWriter();
+
+  RegistryWriter(const RegistryWriter&) = delete;
+  RegistryWriter& operator=(const RegistryWriter&) = delete;
+
+  /// Encodes, appends, and fsyncs one record. Throws StoreError(kIo)
+  /// on write failure — the caller must not acknowledge the seal.
+  void append(const RegistryEntry& entry);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Replays a manifest. A missing file is an empty registry (first boot);
+/// corrupt records are skipped into `report`; duplicate ref_ids keep the
+/// first occurrence. Throws StoreError(kIo) only on I/O failure.
+std::vector<RegistryEntry> replay_registry(const std::string& path,
+                                           RegistryReplayReport* report);
+
+/// The manifest's basename inside a store directory.
+inline const char* kRegistryFileName = "registry.flsareg";
+
+}  // namespace store
+}  // namespace flsa

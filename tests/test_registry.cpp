@@ -1,0 +1,249 @@
+// Unit tests for the FLSAREG1 handle registry: the append-only manifest
+// that makes sealed handles survive a restart. The writer side is
+// exercised through RegistryWriter; the corruption matrix below edits
+// the file bytes directly against the documented layout (16-byte
+// header, then per record: u32 sync marker, u32 body length, body,
+// u64 FNV-1a of the body — all little-endian), because crash damage
+// does not arrive through the API.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/registry.hpp"
+#include "support/fnv.hpp"
+
+namespace flsa {
+namespace store {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kFrameBytes = 8;    // sync marker + body length
+constexpr std::size_t kChecksumBytes = 8;
+
+std::string registry_path(const std::string& name) {
+  return testing::TempDir() + "flsa_registry_" + name + ".flsareg";
+}
+
+RegistryEntry sample_entry(std::uint64_t id) {
+  RegistryEntry entry;
+  entry.ref_id = id;
+  entry.content_token = 0x1000 + id;
+  entry.matrix = 3;  // WireMatrix::kDna
+  entry.build_k = static_cast<std::uint32_t>(id % 2 == 0 ? 12 : 0);
+  entry.residues = 100 * id;
+  entry.file = "ref_" + std::to_string(id) + ".flsa";
+  entry.name = id % 2 == 0 ? "chr" + std::to_string(id) : "";
+  return entry;
+}
+
+void write_entries(const std::string& path,
+                   const std::vector<RegistryEntry>& entries) {
+  RegistryWriter writer(path);
+  for (const RegistryEntry& entry : entries) writer.append(entry);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Byte length of one encoded record (frame + body + checksum), so the
+/// corruption tests can locate record boundaries without re-parsing.
+std::size_t record_bytes(const RegistryEntry& entry) {
+  const std::size_t body = 8 + 8 + 1 + 4 + 8 + (4 + entry.file.size()) +
+                           (4 + entry.name.size());
+  return kFrameBytes + body + kChecksumBytes;
+}
+
+void expect_same(const RegistryEntry& got, const RegistryEntry& want) {
+  EXPECT_EQ(got.ref_id, want.ref_id);
+  EXPECT_EQ(got.content_token, want.content_token);
+  EXPECT_EQ(got.matrix, want.matrix);
+  EXPECT_EQ(got.build_k, want.build_k);
+  EXPECT_EQ(got.residues, want.residues);
+  EXPECT_EQ(got.file, want.file);
+  EXPECT_EQ(got.name, want.name);
+}
+
+TEST(Registry, RoundTripsEveryField) {
+  const std::string path = registry_path("roundtrip");
+  ::remove(path.c_str());
+  const std::vector<RegistryEntry> wrote = {sample_entry(1), sample_entry(2),
+                                            sample_entry(3)};
+  write_entries(path, wrote);
+
+  RegistryReplayReport report;
+  const std::vector<RegistryEntry> got = replay_registry(path, &report);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) expect_same(got[i], wrote[i]);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_FALSE(report.truncated_tail);
+  EXPECT_TRUE(report.warnings.empty());
+}
+
+TEST(Registry, ReopeningAppendsInsteadOfRewritingTheHeader) {
+  const std::string path = registry_path("reopen");
+  ::remove(path.c_str());
+  write_entries(path, {sample_entry(1)});
+  write_entries(path, {sample_entry(2)});  // second writer, same file
+
+  const std::vector<RegistryEntry> got = replay_registry(path, nullptr);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].ref_id, 1u);
+  EXPECT_EQ(got[1].ref_id, 2u);
+}
+
+TEST(Registry, MissingFileIsAnEmptyFirstBoot) {
+  const std::string path = registry_path("missing");
+  ::remove(path.c_str());
+  RegistryReplayReport report;
+  EXPECT_TRUE(replay_registry(path, &report).empty());
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(report.warnings.empty());
+}
+
+TEST(Registry, TruncatedTailAtEveryBoundaryKeepsEarlierRecords) {
+  // A crash mid-append leaves a partial final record. Wherever the cut
+  // lands inside record 2 — mid-marker, mid-length, mid-body, mid-
+  // checksum — record 1 must survive and the tail must be flagged, not
+  // thrown.
+  const std::string path = registry_path("truncated");
+  ::remove(path.c_str());
+  const RegistryEntry first = sample_entry(1);
+  const RegistryEntry second = sample_entry(2);
+  write_entries(path, {first, second});
+  const std::string full = read_file(path);
+  const std::size_t second_start = kHeaderBytes + record_bytes(first);
+  ASSERT_EQ(full.size(), second_start + record_bytes(second));
+
+  for (std::size_t cut = second_start + 1; cut < full.size(); ++cut) {
+    write_file(path, full.substr(0, cut));
+    RegistryReplayReport report;
+    const std::vector<RegistryEntry> got = replay_registry(path, &report);
+    ASSERT_EQ(got.size(), 1u) << "cut at byte " << cut;
+    expect_same(got[0], first);
+    EXPECT_TRUE(report.truncated_tail) << "cut at byte " << cut;
+  }
+}
+
+TEST(Registry, CorruptMiddleRecordIsSkippedAndTheNextRecovered) {
+  // Flip one body byte of record 2 of 3: its checksum fails, replay
+  // rescans and must still find record 3 by its sync marker.
+  const std::string path = registry_path("corrupt");
+  ::remove(path.c_str());
+  const std::vector<RegistryEntry> wrote = {sample_entry(1), sample_entry(2),
+                                            sample_entry(3)};
+  write_entries(path, wrote);
+  std::string bytes = read_file(path);
+  const std::size_t second_body =
+      kHeaderBytes + record_bytes(wrote[0]) + kFrameBytes;
+  bytes[second_body + 3] = static_cast<char>(bytes[second_body + 3] ^ 0x40);
+  write_file(path, bytes);
+
+  RegistryReplayReport report;
+  const std::vector<RegistryEntry> got = replay_registry(path, &report);
+  ASSERT_EQ(got.size(), 2u);
+  expect_same(got[0], wrote[0]);
+  expect_same(got[1], wrote[2]);
+  EXPECT_GE(report.skipped, 1u);
+  EXPECT_FALSE(report.warnings.empty());
+}
+
+TEST(Registry, ImplausibleLengthFieldDoesNotSwallowTheNextRecord) {
+  // Corrupt record 1's length field to a huge value: the record is
+  // untrustworthy, but the rescan must still land on record 2.
+  const std::string path = registry_path("badlen");
+  ::remove(path.c_str());
+  const std::vector<RegistryEntry> wrote = {sample_entry(1), sample_entry(2)};
+  write_entries(path, wrote);
+  std::string bytes = read_file(path);
+  const std::size_t length_field = kHeaderBytes + 4;
+  bytes[length_field + 3] = static_cast<char>(0x7f);  // ~2 GiB body claim
+  write_file(path, bytes);
+
+  RegistryReplayReport report;
+  const std::vector<RegistryEntry> got = replay_registry(path, &report);
+  ASSERT_EQ(got.size(), 1u);
+  expect_same(got[0], wrote[1]);
+  EXPECT_GE(report.skipped, 1u);
+}
+
+TEST(Registry, GarbageFileIsIgnoredWithAWarning) {
+  const std::string path = registry_path("garbage");
+  write_file(path, "this is not a registry at all");
+  RegistryReplayReport report;
+  EXPECT_TRUE(replay_registry(path, &report).empty());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("bad magic"), std::string::npos);
+}
+
+TEST(Registry, UnknownVersionIsIgnoredWithAWarning) {
+  const std::string path = registry_path("version");
+  ::remove(path.c_str());
+  write_entries(path, {sample_entry(1)});
+  std::string bytes = read_file(path);
+  bytes[8] = 9;  // version u32 little-endian low byte
+  write_file(path, bytes);
+
+  RegistryReplayReport report;
+  EXPECT_TRUE(replay_registry(path, &report).empty());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("unknown version"), std::string::npos);
+}
+
+TEST(Registry, DuplicateRefIdKeepsTheFirstRecord) {
+  // Restart-collision damage model: if two records ever claim one id,
+  // the first (the one that was acknowledged first) wins.
+  const std::string path = registry_path("duplicate");
+  ::remove(path.c_str());
+  RegistryEntry first = sample_entry(7);
+  RegistryEntry second = sample_entry(7);
+  second.residues = 9999;
+  second.file = "ref_other.flsa";
+  write_entries(path, {first, second});
+
+  RegistryReplayReport report;
+  const std::vector<RegistryEntry> got = replay_registry(path, &report);
+  ASSERT_EQ(got.size(), 1u);
+  expect_same(got[0], first);
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(Registry, ChecksumCoversTheWholeBody) {
+  // Sanity-pin the layout itself: the trailing u64 must equal
+  // fnv1a64(body). If the encoding ever drifts, this fails before any
+  // crash test does.
+  const std::string path = registry_path("layout");
+  ::remove(path.c_str());
+  const RegistryEntry entry = sample_entry(5);
+  write_entries(path, {entry});
+  const std::string bytes = read_file(path);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + record_bytes(entry));
+  const std::size_t body_begin = kHeaderBytes + kFrameBytes;
+  const std::size_t body_size =
+      record_bytes(entry) - kFrameBytes - kChecksumBytes;
+  const std::uint64_t want = fnv1a64(bytes.data() + body_begin, body_size);
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    got |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+               bytes[body_begin + body_size + i]))
+           << (8 * i);
+  }
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace flsa

@@ -528,6 +528,112 @@ TEST(Router, StopIsIdempotentAndStopsServing) {
                service::TransportError);
 }
 
+TEST(Router, ReadmittedBackendIsResyncedAndStaleHandlesPruned) {
+  // A backend that dies and comes back EMPTY (restarted without its
+  // store) must not keep serving from the router's stale placement
+  // table: on readmission the router asks REF_LIST and prunes handles
+  // the backend no longer owns, so the client gets REF_NOT_FOUND from
+  // the router instead of an undefined answer.
+  RouterConfig config;
+  config.health_interval_ms = 50;
+  Fleet fleet(1, config);
+  Client client = fleet.connect();
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kMdm78;
+  options.token = 4001;
+  const Response uploaded =
+      client.upload_sequence("HEAGAWGHEETLDKLLKD", options);
+  const auto* ok = std::get_if<service::SeqOkResponse>(&uploaded);
+  ASSERT_NE(ok, nullptr);
+  const std::uint64_t stale_handle = ok->ref_id;
+
+  const std::uint64_t resyncs_before = counter("router.backend.resyncs");
+  const std::uint64_t pruned_before = counter("router.refs_pruned");
+
+  // Restart the backend on the same port with none of its state.
+  const std::uint16_t port = fleet.backends[0]->port();
+  ServiceConfig blank;
+  blank.workers = 2;
+  blank.port = port;
+  fleet.backends[0]->stop();
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (obs::metrics().gauge("router.backends_healthy").value() == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  fleet.backends[0] = std::make_unique<AlignmentServer>(blank);
+  fleet.backends[0]->start();
+
+  bool resynced = false;
+  for (int attempt = 0; attempt < 200 && !resynced; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    resynced = counter("router.backend.resyncs") > resyncs_before;
+  }
+  ASSERT_TRUE(resynced) << "readmission never triggered a REF_LIST re-sync";
+  EXPECT_GT(counter("router.refs_pruned"), pruned_before);
+
+  service::AlignRefRequest request;
+  request.ref_a = stale_handle;
+  request.matrix = WireMatrix::kMdm78;
+  request.b = "HEAGAWGHEE";
+  const Response response = client.call(request);
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+}
+
+TEST(Router, CompletedUploadEvictsItsPlacementRoute) {
+  // The placement map must not remember finished uploads: a sealed
+  // session's route is evicted on the SEQ_END ack, so the gauge returns
+  // to zero once the upload completes.
+  Fleet fleet(2);
+  Client client = fleet.connect();
+
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kMdm78;
+  options.token = 2001;
+  options.chunk_residues = 8;
+  const Response uploaded =
+      client.upload_sequence("HEAGAWGHEETLDKLLKD", options);
+  ASSERT_TRUE(std::holds_alternative<service::SeqOkResponse>(uploaded));
+  EXPECT_EQ(obs::metrics().gauge("router.upload_placements").value(), 0.0);
+}
+
+TEST(Router, AbandonedUploadRouteIsSweptAfterTheTtl) {
+  // A client that opens a session and vanishes must not pin a map entry
+  // forever: the TTL sweep evicts the stale route, counts it, and a late
+  // chunk for the dead token gets the no-route refusal.
+  RouterConfig config;
+  config.upload_route_ttl_ms = 100;
+  Fleet fleet(2, config);
+  Client client = fleet.connect();
+
+  const std::uint64_t expired_before = counter("router.upload_routes_expired");
+  service::SeqBeginRequest begin;
+  begin.upload_token = 3001;
+  begin.matrix = WireMatrix::kMdm78;
+  const Response opened = client.call(begin);
+  ASSERT_TRUE(std::holds_alternative<service::SeqOkResponse>(opened));
+  EXPECT_EQ(obs::metrics().gauge("router.upload_placements").value(), 1.0);
+
+  // ...client walks away. Poll: the monitor sweep runs every ttl/4 ms.
+  bool swept = false;
+  for (int attempt = 0; attempt < 100 && !swept; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    swept = obs::metrics().gauge("router.upload_placements").value() == 0.0;
+  }
+  EXPECT_TRUE(swept) << "abandoned route was never evicted";
+  EXPECT_GT(counter("router.upload_routes_expired"), expired_before);
+
+  service::SeqChunkRequest chunk;
+  chunk.upload_token = 3001;
+  chunk.data = "HEAG";
+  const Response late = client.call(chunk);
+  const auto* error = std::get_if<ErrorResponse>(&late);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+}
+
 }  // namespace
 }  // namespace router
 }  // namespace flsa

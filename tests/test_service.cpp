@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
+#include <stdlib.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -1630,6 +1632,406 @@ TEST(Service, StartAfterStopServesAgain) {
   const Response response = client.call(protein_request("A", "A"));
   EXPECT_TRUE(std::holds_alternative<AlignResponse>(response));
   second.stop();
+}
+
+// ---- Durable handle registry: restart recovery -----------------------
+
+// Fresh persistent store directory (the server must NOT own/remove it —
+// the whole point is surviving the process).
+std::string make_store_dir(const std::string& tag) {
+  std::string path = testing::TempDir() + "flsa_recovery_" + tag + "_XXXXXX";
+  EXPECT_NE(::mkdtemp(path.data()), nullptr);
+  return path;
+}
+
+void remove_ref_payloads(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  std::vector<std::string> victims;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string file = entry->d_name;
+    if (file.rfind("ref_", 0) == 0) victims.push_back(dir + "/" + file);
+  }
+  ::closedir(d);
+  ASSERT_FALSE(victims.empty());
+  for (const std::string& victim : victims) ::unlink(victim.c_str());
+}
+
+TEST(Service, SealedHandlesSurviveARestartBitIdentically) {
+  // The tentpole guarantee: seal handles against a persistent store
+  // directory, restart the server over the same directory, and the same
+  // ids must answer ALIGN_REF and SEARCH bit-identically — including a
+  // SEARCH index that was never persisted and must rebuild lazily.
+  const std::string dir = make_store_dir("survive");
+  Xoshiro256 rng(920);
+  MutationModel model;
+  model.substitution_rate = 0.05;
+  const SequencePair pair = homologous_pair(Alphabet::dna(), 1200, model, rng);
+  const Sequence gene = random_sequence(Alphabet::dna(), 120, rng);
+  const std::string reference =
+      random_sequence(Alphabet::dna(), 600, rng).to_string() +
+      gene.to_string() +
+      random_sequence(Alphabet::dna(), 300, rng).to_string();
+
+  ServiceConfig config;
+  config.store_dir = dir;
+  std::uint64_t id_a = 0;
+  std::uint64_t id_b = 0;
+  std::uint64_t id_ref = 0;
+  std::int64_t score_before = 0;
+  std::string cigar_before;
+  std::vector<std::uint64_t> hit_begins_before;
+  {
+    AlignmentServer server(config);
+    server.start();
+    Client client;
+    client.connect("127.0.0.1", server.port());
+
+    Client::UploadOptions options;
+    options.matrix = WireMatrix::kDna;
+    options.name = "a";
+    const Response up_a = client.upload_sequence(pair.a.to_string(), options);
+    const auto* ok_a = std::get_if<SeqOkResponse>(&up_a);
+    ASSERT_NE(ok_a, nullptr);
+    id_a = ok_a->ref_id;
+    options.name = "b";
+    const Response up_b = client.upload_sequence(pair.b.to_string(), options);
+    const auto* ok_b = std::get_if<SeqOkResponse>(&up_b);
+    ASSERT_NE(ok_b, nullptr);
+    id_b = ok_b->ref_id;
+    options.name = "searchable";
+    options.build_index = true;
+    const Response up_ref = client.upload_sequence(reference, options);
+    const auto* ok_ref = std::get_if<SeqOkResponse>(&up_ref);
+    ASSERT_NE(ok_ref, nullptr);
+    id_ref = ok_ref->ref_id;
+
+    AlignRefRequest by_handle;
+    by_handle.ref_a = id_a;
+    by_handle.ref_b = id_b;
+    by_handle.matrix = WireMatrix::kDna;
+    const Response aligned = client.call(by_handle);
+    const auto* part = std::get_if<AlignPartResponse>(&aligned);
+    ASSERT_NE(part, nullptr);
+    score_before = part->score;
+    cigar_before = part->cigar_part;
+
+    SearchRequest search;
+    search.ref_id = id_ref;
+    search.matrix = WireMatrix::kDna;
+    search.query = gene.to_string();
+    const Response found = client.call(std::move(search));
+    const auto* hits = std::get_if<SearchResponse>(&found);
+    ASSERT_NE(hits, nullptr);
+    ASSERT_FALSE(hits->hits.empty());
+    for (const auto& hit : hits->hits) hit_begins_before.push_back(hit.s_begin);
+    server.stop();
+  }
+
+  AlignmentServer restarted(config);
+  restarted.start();
+  EXPECT_EQ(restarted.recovery().recovered, 3u);
+  EXPECT_EQ(restarted.recovery().skipped, 0u);
+  Client client;
+  client.connect("127.0.0.1", restarted.port());
+
+  // REF_LIST must enumerate the recovered handles with their metadata.
+  const Response listed = client.call(RefListRequest{});
+  const auto* list = std::get_if<RefListResponse>(&listed);
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->refs.size(), 3u);
+  EXPECT_EQ(list->refs[0].ref_id, id_a);
+  EXPECT_EQ(list->refs[0].name, "a");
+  EXPECT_EQ(list->refs[0].residues, pair.a.size());
+  EXPECT_FALSE(list->refs[0].indexed);
+  EXPECT_EQ(list->refs[2].ref_id, id_ref);
+  EXPECT_TRUE(list->refs[2].indexed);
+
+  AlignRefRequest by_handle;
+  by_handle.ref_a = id_a;
+  by_handle.ref_b = id_b;
+  by_handle.matrix = WireMatrix::kDna;
+  const Response aligned = client.call(by_handle);
+  const auto* part = std::get_if<AlignPartResponse>(&aligned);
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(part->score, score_before);
+  EXPECT_EQ(part->cigar_part, cigar_before);
+
+  // The recovered handle has no in-memory index; the first SEARCH must
+  // rebuild it from the mmap'd store and answer identically.
+  SearchRequest search;
+  search.ref_id = id_ref;
+  search.matrix = WireMatrix::kDna;
+  search.query = gene.to_string();
+  const Response found = client.call(std::move(search));
+  const auto* hits = std::get_if<SearchResponse>(&found);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->hits.size(), hit_begins_before.size());
+  for (std::size_t i = 0; i < hits->hits.size(); ++i) {
+    EXPECT_EQ(hits->hits[i].s_begin, hit_begins_before[i]);
+  }
+  restarted.stop();
+}
+
+TEST(Service, RestartDoesNotReissueRecoveredHandleIds) {
+  // The restart-collision bug: a fresh server that restarts its id
+  // counter at 1 would hand a new upload an id that already names a
+  // recovered handle. The manifest owns the id space across restarts.
+  const std::string dir = make_store_dir("collision");
+  Xoshiro256 rng(921);
+  const std::string before_letters =
+      random_sequence(Alphabet::dna(), 400, rng).to_string();
+  const std::string after_letters =
+      random_sequence(Alphabet::dna(), 300, rng).to_string();
+
+  ServiceConfig config;
+  config.store_dir = dir;
+  std::uint64_t recovered_id = 0;
+  {
+    AlignmentServer server(config);
+    server.start();
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    Client::UploadOptions options;
+    options.matrix = WireMatrix::kDna;
+    const Response uploaded =
+        client.upload_sequence(before_letters, options);
+    const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+    ASSERT_NE(ok, nullptr);
+    recovered_id = ok->ref_id;
+    server.stop();
+  }
+
+  AlignmentServer restarted(config);
+  restarted.start();
+  Client client;
+  client.connect("127.0.0.1", restarted.port());
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  const Response uploaded = client.upload_sequence(after_letters, options);
+  const auto* fresh = std::get_if<SeqOkResponse>(&uploaded);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh->ref_id, recovered_id);
+
+  // Both handles must answer with their own sequence, not each other's.
+  AlignRefRequest old_self;
+  old_self.ref_a = recovered_id;
+  old_self.matrix = WireMatrix::kDna;
+  old_self.b = before_letters;
+  old_self.score_only = true;
+  const Response old_answer = client.call(old_self);
+  ASSERT_TRUE(std::holds_alternative<AlignPartResponse>(old_answer));
+
+  AlignRefRequest new_self;
+  new_self.ref_a = fresh->ref_id;
+  new_self.matrix = WireMatrix::kDna;
+  new_self.b = after_letters;
+  new_self.score_only = true;
+  const Response new_answer = client.call(new_self);
+  ASSERT_TRUE(std::holds_alternative<AlignPartResponse>(new_answer));
+  restarted.stop();
+}
+
+TEST(Service, MissingPayloadIsSkippedWithAWarningNotAFailedBoot) {
+  // Manifest says a handle exists but its payload file is gone (disk
+  // damage between restarts). Boot must succeed, count the skip, and
+  // answer REF_NOT_FOUND for the dead id — never crash or serve junk.
+  const std::string dir = make_store_dir("payload");
+  Xoshiro256 rng(922);
+  const std::string letters =
+      random_sequence(Alphabet::dna(), 350, rng).to_string();
+
+  ServiceConfig config;
+  config.store_dir = dir;
+  std::uint64_t dead_id = 0;
+  {
+    AlignmentServer server(config);
+    server.start();
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    Client::UploadOptions options;
+    options.matrix = WireMatrix::kDna;
+    const Response uploaded = client.upload_sequence(letters, options);
+    const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+    ASSERT_NE(ok, nullptr);
+    dead_id = ok->ref_id;
+    server.stop();
+  }
+  remove_ref_payloads(dir);
+
+  AlignmentServer restarted(config);
+  restarted.start();
+  EXPECT_EQ(restarted.recovery().recovered, 0u);
+  EXPECT_EQ(restarted.recovery().skipped, 1u);
+  EXPECT_FALSE(restarted.recovery().warnings.empty());
+
+  Client client;
+  client.connect("127.0.0.1", restarted.port());
+  AlignRefRequest request;
+  request.ref_a = dead_id;
+  request.matrix = WireMatrix::kDna;
+  request.b = letters;
+  const Response answered = client.call(request);
+  const auto* error = std::get_if<ErrorResponse>(&answered);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kRefNotFound);
+  restarted.stop();
+}
+
+TEST(Service, TwoHundredHandleReplayIsBitIdentical) {
+  // Volume leg of the recovery matrix: seal 200 small handles, restart,
+  // and every recovered handle must score a fixed probe exactly as it
+  // did before the restart (distinct sequences give distinct scores, so
+  // a shuffled or cross-wired recovery cannot pass).
+  const std::string dir = make_store_dir("volume");
+  constexpr std::size_t kHandles = 200;
+  Xoshiro256 rng(923);
+  const std::string probe =
+      random_sequence(Alphabet::dna(), 48, rng).to_string();
+  std::vector<std::string> sequences;
+  for (std::size_t i = 0; i < kHandles; ++i) {
+    sequences.push_back(
+        random_sequence(Alphabet::dna(), 32 + (i % 64), rng).to_string());
+  }
+
+  ServiceConfig config;
+  config.store_dir = dir;
+  std::vector<std::uint64_t> ids(kHandles, 0);
+  std::vector<std::int64_t> scores(kHandles, 0);
+  {
+    AlignmentServer server(config);
+    server.start();
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    Client::UploadOptions options;
+    options.matrix = WireMatrix::kDna;
+    for (std::size_t i = 0; i < kHandles; ++i) {
+      const Response uploaded =
+          client.upload_sequence(sequences[i], options);
+      const auto* ok = std::get_if<SeqOkResponse>(&uploaded);
+      ASSERT_NE(ok, nullptr) << "upload " << i;
+      ids[i] = ok->ref_id;
+      AlignRefRequest request;
+      request.ref_a = ids[i];
+      request.matrix = WireMatrix::kDna;
+      request.b = probe;
+      request.score_only = true;
+      const Response aligned = client.call(request);
+      const auto* part = std::get_if<AlignPartResponse>(&aligned);
+      ASSERT_NE(part, nullptr) << "pre-restart align " << i;
+      scores[i] = part->score;
+    }
+    server.stop();
+  }
+
+  AlignmentServer restarted(config);
+  restarted.start();
+  ASSERT_EQ(restarted.recovery().recovered, kHandles);
+  Client client;
+  client.connect("127.0.0.1", restarted.port());
+  const Response listed = client.call(RefListRequest{});
+  const auto* list = std::get_if<RefListResponse>(&listed);
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->refs.size(), kHandles);
+  for (std::size_t i = 0; i < kHandles; ++i) {
+    AlignRefRequest request;
+    request.ref_a = ids[i];
+    request.matrix = WireMatrix::kDna;
+    request.b = probe;
+    request.score_only = true;
+    const Response aligned = client.call(request);
+    const auto* part = std::get_if<AlignPartResponse>(&aligned);
+    ASSERT_NE(part, nullptr) << "post-restart align " << i;
+    EXPECT_EQ(part->score, scores[i]) << "handle " << ids[i];
+  }
+  restarted.stop();
+}
+
+TEST(Service, IdleUploadSessionsAreReapedAndTheCapRecovers) {
+  // The session-leak fix: two abandoned uploads pin a cap of two until
+  // the hygiene timer reaps them; a third SEQ_BEGIN must go from
+  // OVERLOADED to accepted without any client cooperation.
+  ServiceConfig config;
+  config.max_uploads_in_flight = 2;
+  config.upload_idle_timeout_ms = 50;
+  AlignmentServer server(config);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  for (std::uint64_t token = 1; token <= 2; ++token) {
+    SeqBeginRequest begin;
+    begin.upload_token = token;
+    begin.matrix = WireMatrix::kDna;
+    const Response opened = client.call(begin);
+    ASSERT_TRUE(std::holds_alternative<SeqOkResponse>(opened))
+        << "session " << token;
+  }
+
+  SeqBeginRequest third;
+  third.upload_token = 3;
+  third.matrix = WireMatrix::kDna;
+  const Response refused = client.call(third);
+  const auto* error = std::get_if<ErrorResponse>(&refused);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, ErrorCode::kOverloaded);
+
+  // Poll rather than sleep a fixed amount: under TSan the reaper tick
+  // can land well past 50 ms.
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    const Response retried = client.call(third);
+    admitted = std::holds_alternative<SeqOkResponse>(retried);
+  }
+  EXPECT_TRUE(admitted) << "idle sessions were never reaped";
+  server.stop();
+}
+
+TEST(Service, RefListEnumeratesLiveHandlesInOrder) {
+  AlignmentServer server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // Empty registry answers an empty (not error) list.
+  const Response none = client.call(RefListRequest{});
+  const auto* empty = std::get_if<RefListResponse>(&none);
+  ASSERT_NE(empty, nullptr);
+  EXPECT_TRUE(empty->refs.empty());
+
+  Xoshiro256 rng(924);
+  Client::UploadOptions options;
+  options.matrix = WireMatrix::kDna;
+  options.name = "plain";
+  const Response up_plain = client.upload_sequence(
+      random_sequence(Alphabet::dna(), 200, rng).to_string(), options);
+  const auto* plain = std::get_if<SeqOkResponse>(&up_plain);
+  ASSERT_NE(plain, nullptr);
+  options.name = "indexed";
+  options.build_index = true;
+  options.k = 11;
+  const Response up_indexed = client.upload_sequence(
+      random_sequence(Alphabet::dna(), 300, rng).to_string(), options);
+  const auto* indexed = std::get_if<SeqOkResponse>(&up_indexed);
+  ASSERT_NE(indexed, nullptr);
+
+  const Response listed = client.call(RefListRequest{});
+  const auto* list = std::get_if<RefListResponse>(&listed);
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->refs.size(), 2u);
+  EXPECT_EQ(list->refs[0].ref_id, plain->ref_id);
+  EXPECT_EQ(list->refs[0].name, "plain");
+  EXPECT_EQ(list->refs[0].residues, 200u);
+  EXPECT_EQ(list->refs[0].matrix, WireMatrix::kDna);
+  EXPECT_FALSE(list->refs[0].indexed);
+  EXPECT_EQ(list->refs[0].k, 0u);
+  EXPECT_EQ(list->refs[1].ref_id, indexed->ref_id);
+  EXPECT_EQ(list->refs[1].name, "indexed");
+  EXPECT_TRUE(list->refs[1].indexed);
+  EXPECT_EQ(list->refs[1].k, 11u);
+  EXPECT_NE(list->refs[1].content_token, 0u);
+  server.stop();
 }
 
 }  // namespace

@@ -66,6 +66,16 @@ int main(int argc, char** argv) {
               "decorrelated jitter");
   cli.add_flag("server-stats", false,
                "send a STATS request and print the metrics snapshot");
+  cli.add_flag("list-refs", false,
+               "send a REF_LIST request and print every registered handle "
+               "(id, content token, residues, matrix, index k, name) — "
+               "after a restart this is what survived the replay");
+  cli.add_int("align-ref-a", 0,
+              "align two already-registered handles: ref id of sequence a "
+              "(no upload; pairs with --align-ref-b, honors --band/--matrix/"
+              "--gap/--expect-score)");
+  cli.add_int("align-ref-b", 0,
+              "ref id of sequence b for --align-ref-a");
   cli.add_flag("search", false,
                "seed-chain-extend mode: REF_PUT the first FASTA record as "
                "the reference, then SEARCH each remaining record against it");
@@ -128,6 +138,75 @@ int main(int argc, char** argv) {
       const auto& stats = std::get<flsa::service::StatsResponse>(response);
       for (const auto& [name, value] : stats.entries) {
         std::cout << name << " = " << value << "\n";
+      }
+      return 0;
+    }
+
+    if (cli.get_flag("list-refs")) {
+      const flsa::service::Response response =
+          client.call(flsa::service::RefListRequest{});
+      if (const auto* err =
+              std::get_if<flsa::service::ErrorResponse>(&response)) {
+        std::cerr << "REF_LIST error: " << to_string(err->code) << ": "
+                  << err->message << "\n";
+        return 1;
+      }
+      const auto& list = std::get<flsa::service::RefListResponse>(response);
+      std::cout << "# " << list.refs.size() << " handle(s) registered at "
+                << host << ":" << port << "\n";
+      for (const flsa::service::RefListEntry& entry : list.refs) {
+        std::cout << "ref " << entry.ref_id << " token="
+                  << entry.content_token << " residues=" << entry.residues
+                  << " matrix=" << to_string(entry.matrix)
+                  << " k=" << entry.k
+                  << (entry.indexed ? " indexed" : " align-only");
+        if (!entry.name.empty()) std::cout << " name=" << entry.name;
+        std::cout << "\n";
+      }
+      return 0;
+    }
+
+    if (cli.get_int("align-ref-a") != 0) {
+      // Handle-only alignment: nothing is uploaded, so this works against
+      // handles recovered by a restarted server — the restart-smoke CI leg
+      // uses it to prove bit-identical scores across the restart.
+      flsa::service::AlignRefRequest by_ref;
+      if (!flsa::service::parse_wire_matrix(cli.get_string("matrix"),
+                                            &by_ref.matrix)) {
+        throw std::invalid_argument("unknown --matrix " +
+                                    cli.get_string("matrix"));
+      }
+      by_ref.ref_a = static_cast<std::uint64_t>(cli.get_int("align-ref-a"));
+      by_ref.ref_b = static_cast<std::uint64_t>(cli.get_int("align-ref-b"));
+      by_ref.gap_open = static_cast<std::int32_t>(cli.get_int("gap-open"));
+      by_ref.gap_extend = static_cast<std::int32_t>(cli.get_int("gap"));
+      by_ref.k = static_cast<std::uint32_t>(cli.get_int("k"));
+      by_ref.base_case_cells =
+          static_cast<std::uint64_t>(cli.get_int("bm"));
+      by_ref.band = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(0, cli.get_int("band")));
+      by_ref.deadline_ms =
+          static_cast<std::uint32_t>(cli.get_int("deadline-ms"));
+      by_ref.score_only = cli.get_flag("score-only");
+      const flsa::service::Response response = client.call(by_ref);
+      if (const auto* err =
+              std::get_if<flsa::service::ErrorResponse>(&response)) {
+        std::cerr << "ALIGN_REF error: " << to_string(err->code) << ": "
+                  << err->message << "\n";
+        return 1;
+      }
+      const auto& ok = std::get<flsa::service::AlignPartResponse>(response);
+      std::cout << "# ref " << by_ref.ref_a << " x ref " << by_ref.ref_b
+                << " via " << host << ":" << port
+                << "\nscore  : " << ok.score << "\ncells  : " << ok.cells
+                << "\nexec   : "
+                << static_cast<double>(ok.exec_micros) / 1e3 << " ms\n";
+      const std::int64_t expected_ref = cli.get_int("expect-score");
+      if (expected_ref != std::numeric_limits<std::int64_t>::min() &&
+          ok.score != expected_ref) {
+        std::cerr << "error: score " << ok.score << " != expected "
+                  << expected_ref << "\n";
+        return 1;
       }
       return 0;
     }

@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
               "requests");
   cli.add_int("max-attempts", 3, "total sends per request (try + failovers)");
   cli.add_int("health-interval-ms", 200, "STATS health-check period");
+  cli.add_int("upload-route-ttl-ms", 600000,
+              "TTL for an upload placement with no SEQ_* traffic; an "
+              "abandoned session's route is evicted after this long "
+              "(0 = never)");
   cli.add_int("idle-timeout-ms", 60000,
               "per-recv read deadline on client connections (0 = none)");
   cli.add_int("max-connections", 256,
@@ -154,6 +158,8 @@ int main(int argc, char** argv) {
         std::max<std::int64_t>(1, cli.get_int("max-attempts")));
     config.health_interval_ms = static_cast<std::uint32_t>(
         std::max<std::int64_t>(1, cli.get_int("health-interval-ms")));
+    config.upload_route_ttl_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cli.get_int("upload-route-ttl-ms")));
     config.idle_timeout_ms = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("idle-timeout-ms")));
     config.max_connections = static_cast<std::size_t>(

@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
   cli.add_int("idle-timeout-ms", 60000,
               "per-recv read deadline on client connections; bounds idle "
               "and slow-loris peers (0 = none)");
+  cli.add_int("upload-idle-ms", 60000,
+              "idle ceiling for an open upload session; a session with no "
+              "SEQ_* activity for this long is reaped and its partial file "
+              "removed (0 = never)");
   cli.add_int("max-connections", 256,
               "concurrent-connection cap; over-cap peers get a typed "
               "CONNECTION_LIMIT answer (0 = unlimited)");
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
         1000000u;
     config.idle_timeout_ms = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("idle-timeout-ms")));
+    config.upload_idle_timeout_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cli.get_int("upload-idle-ms")));
     config.max_connections = static_cast<std::size_t>(
         std::max<std::int64_t>(0, cli.get_int("max-connections")));
     config.fault_plan =
@@ -153,6 +159,19 @@ int main(int argc, char** argv) {
                 << ", fault plan: "
                 << flsa::service::to_string(config.fault_plan) << ")\n"
                 << std::flush;
+      // Restart recovery: say what the registry replay brought back (and
+      // what it had to skip) so an operator restarting over a persistent
+      // --store-dir sees the surviving handles without asking REF_LIST.
+      const auto& recovery = server.recovery();
+      if (!config.store_dir.empty()) {
+        std::cout << "store recovery: " << recovery.recovered
+                  << " handle(s) restored, " << recovery.skipped
+                  << " skipped\n";
+        for (const std::string& warning : recovery.warnings) {
+          std::cout << "store recovery warning: " << warning << "\n";
+        }
+        std::cout << std::flush;
+      }
     }
 
     // Block until SIGINT/SIGTERM, then drain.
